@@ -1,0 +1,976 @@
+(* Benchmark harness regenerating every table and figure of the paper's
+   evaluation (Section 5), plus the design-choice ablations of DESIGN.md.
+
+   Usage: main.exe [subcommand] [options]
+     subcommands: fig1 fig3a fig3b fig4 fig5 fig6a fig6b table1 eigtime
+                  ablate-quad ablate-mesh ablate-eig ablate-kernel
+                  ablate-recon ablate-basis ablate-qmc blocksta powergrid
+                  micro all  (default: all)
+     options:
+       --samples N      Monte Carlo samples per run (default 2000; the paper
+                        uses 100K — error columns shrink accordingly)
+       --table-samples N  samples for Table 1 runs (default 500)
+       --max-gates N    largest circuit in the default Table 1 run (3000)
+       --full           run every Table 1 circuit within the memory guard
+       --mesh-frac F    max triangle area fraction (default 0.001 -> n~1546)
+       --seed N         master seed (default 1)
+*)
+
+module P = Geometry.Point
+module K = Kernels.Kernel
+
+type options = {
+  mutable samples : int;
+  mutable table_samples : int;
+  mutable max_gates : int;
+  mutable full : bool;
+  mutable mesh_frac : float;
+  mutable seed : int;
+}
+
+let opts =
+  {
+    samples = 2000;
+    table_samples = 500;
+    max_gates = 3000;
+    full = false;
+    mesh_frac = 0.001;
+    seed = 1;
+  }
+
+let pf fmt = Printf.printf fmt
+let header title = pf "\n=== %s ===\n" title
+
+let fmt_f = Util.Table.fmt_float
+
+(* ---------------------------------------------------------------- *)
+(* shared lab fixtures, built lazily so each subcommand only pays for
+   what it uses *)
+
+let paper_kernel = lazy (Kernels.Fit.paper_gaussian ())
+
+let paper_mesh =
+  lazy
+    (let result, dt =
+       Util.Timer.time (fun () ->
+           Geometry.Refine.mesh Geometry.Rect.unit_die
+             ~max_area_fraction:opts.mesh_frac ~min_angle_deg:28.0)
+     in
+     pf "[lab] mesh: n = %d triangles, h = %.4f, min angle = %.1f deg (%.2fs)\n%!"
+       (Geometry.Mesh.size result.Geometry.Geometry_intf.mesh)
+       (Geometry.Mesh.h_max result.Geometry.Geometry_intf.mesh)
+       (Geometry.Mesh.min_angle_deg result.Geometry.Geometry_intf.mesh)
+       dt;
+     result.Geometry.Geometry_intf.mesh)
+
+let paper_solution_time = ref nan
+
+let paper_solution =
+  lazy
+    (let mesh = Lazy.force paper_mesh in
+     let kernel = Lazy.force paper_kernel in
+     let count = min 200 (Geometry.Mesh.size mesh) in
+     let sol, dt =
+       Util.Timer.time (fun () ->
+           Kle.Galerkin.solve ~solver:(Kle.Galerkin.Lanczos { count }) mesh kernel)
+     in
+     paper_solution_time := dt;
+     pf "[lab] KLE eigensolution: first %d pairs in %.2fs (paper: 11.2s in Matlab)\n%!"
+       count dt;
+     sol)
+
+let paper_model =
+  lazy
+    (let sol = Lazy.force paper_solution in
+     let n = Geometry.Mesh.size (Lazy.force paper_mesh) in
+     let r = Kle.Model.choose_r ~n_total:n sol.Kle.Galerkin.eigenvalues in
+     pf "[lab] truncation rule selects r = %d (paper: 25)\n%!" r;
+     Kle.Model.create ~r sol)
+
+(* circuit setups are cached: fig6a/fig6b/table1 share c1908 etc. *)
+let circuit_cache : (string, Ssta.Experiment.circuit_setup) Hashtbl.t = Hashtbl.create 8
+
+let circuit name =
+  match Hashtbl.find_opt circuit_cache name with
+  | Some s -> s
+  | None ->
+      let netlist = Circuit.Generator.generate_paper name in
+      let s, dt = Util.Timer.time (fun () -> Ssta.Experiment.setup_circuit netlist) in
+      pf "[lab] %s: %d gates placed and prepared (%.2fs)\n%!" name
+        (Circuit.Netlist.logic_gate_count netlist)
+        dt;
+      Hashtbl.replace circuit_cache name s;
+      s
+
+(* Algorithm 2 sampler from a precomputed model (mesh/eigensolution shared
+   across circuits; eigentime is reported separately, as in the paper) *)
+let a2_sampler_of_model model locations =
+  let sampler, dt = Util.Timer.time (fun () -> Kle.Sampler.create model locations) in
+  let sample rng ~n =
+    Array.init 4 (fun _ -> Kle.Sampler.sample_matrix sampler rng ~n)
+  in
+  (sample, dt)
+
+(* ---------------------------------------------------------------- *)
+(* Fig 1(a): the Gaussian covariance kernel over the die *)
+
+let fig1 () =
+  header "Fig 1(a): Gaussian covariance kernel, x fixed at die center";
+  let kernel = Lazy.force paper_kernel in
+  pf "kernel: %s\n" (K.name kernel);
+  let xs = Util.Arrayx.float_range ~start:(-1.0) ~stop:1.0 ~count:9 in
+  pf "%8s" "y\\x";
+  Array.iter (fun x -> pf "%8.2f" x) xs;
+  pf "\n";
+  Array.iter
+    (fun y ->
+      pf "%8.2f" y;
+      Array.iter
+        (fun x -> pf "%8.3f" (K.eval kernel (P.make 0.0 0.0) (P.make x y)))
+        xs;
+      pf "\n")
+    xs
+
+(* ---------------------------------------------------------------- *)
+(* Fig 3(a): best fit of Gaussian and exponential kernels to the linear
+   cone correlogram of Friedberg et al. *)
+
+let fig3a () =
+  header "Fig 3(a): kernel fits to the measurement-backed linear cone";
+  let rho = 1.0 and vmax = 2.0 in
+  let g1 = Kernels.Fit.fit_gaussian_to_cone ~dim:`D1 ~rho ~vmax () in
+  let e1 = Kernels.Fit.fit_exponential_to_cone ~dim:`D1 ~rho ~vmax () in
+  let t =
+    Util.Table.create
+      ~columns:
+        [ ("fit (1-D, Fig 3a)", Util.Table.Left); ("kernel", Util.Table.Left);
+          ("SSE", Util.Table.Right) ]
+  in
+  Util.Table.add_row t
+    [ "gaussian"; K.name g1.Kernels.Fit.kernel; fmt_f ~digits:4 g1.Kernels.Fit.sse ];
+  Util.Table.add_row t
+    [ "exponential"; K.name e1.Kernels.Fit.kernel; fmt_f ~digits:4 e1.Kernels.Fit.sse ];
+  Util.Table.print t;
+  pf "expected shape: gaussian SSE < exponential SSE (gaussian hugs the cone)\n";
+  pf "=> %s\n"
+    (if g1.Kernels.Fit.sse < e1.Kernels.Fit.sse then "REPRODUCED" else "NOT reproduced");
+  let g2 = Kernels.Fit.fit_gaussian_to_cone ~dim:`D2 ~rho ~vmax:(2.0 *. sqrt 2.0) () in
+  pf "2-D calibration used in all experiments: %s\n" (K.name g2.Kernels.Fit.kernel);
+  pf "\n%8s %10s %10s %10s\n" "v" "cone" "gauss-fit" "exp-fit";
+  Array.iter
+    (fun v ->
+      pf "%8.3f %10.4f %10.4f %10.4f\n" v
+        (Float.max 0.0 (1.0 -. (v /. rho)))
+        (K.eval_distance g1.Kernels.Fit.kernel v)
+        (K.eval_distance e1.Kernels.Fit.kernel v))
+    (Util.Arrayx.float_range ~start:0.0 ~stop:vmax ~count:11)
+
+(* ---------------------------------------------------------------- *)
+(* Fig 3(b): kernel reconstruction error from r = 25 eigenpairs *)
+
+let fig3b () =
+  header "Fig 3(b): kernel reconstruction error from r=25 eigenpairs";
+  let model = Lazy.force paper_model in
+  let err_center = Kle.Model.reconstruction_error model in
+  let err_pairwise = Kle.Model.reconstruction_error_pairwise ~stride:7 model in
+  let err_grid = Kle.Model.reconstruction_error_grid ~grid:41 model in
+  pf "max |Khat - K| from die center over mesh nodes : %.4f  (paper: 0.016)\n" err_center;
+  pf "max |Khat - K| over node pairs (subsampled)    : %.4f\n" err_pairwise;
+  pf "max |Khat - K| on an arbitrary 41x41 grid      : %.4f  (adds piecewise-constant floor)\n"
+    err_grid;
+  pf "captured variance fraction at r=%d             : %.4f\n" model.Kle.Model.r
+    (Kle.Model.captured_variance_fraction model)
+
+(* ---------------------------------------------------------------- *)
+(* Fig 4: first and second eigenfunctions (ASCII shading) *)
+
+let fig4 () =
+  header "Fig 4: first two eigenfunctions of the Gaussian kernel";
+  let model = Lazy.force paper_model in
+  let shade v vmax =
+    let ramp = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#'; '%'; '@' |] in
+    let t = (v /. vmax *. 0.5) +. 0.5 in
+    let i = max 0 (min 9 (int_of_float (t *. 9.99))) in
+    ramp.(i)
+  in
+  let print_fn j =
+    let grid = 31 in
+    let coords = Util.Arrayx.float_range ~start:(-0.99) ~stop:0.99 ~count:grid in
+    let vmax = ref 1e-12 in
+    Array.iter
+      (fun y ->
+        Array.iter
+          (fun x ->
+            vmax :=
+              Float.max !vmax
+                (Float.abs (Kle.Model.eval_eigenfunction model j (P.make x y))))
+          coords)
+      coords;
+    pf "eigenfunction %d (lambda = %.4f), range +-%.3f:\n" (j + 1)
+      (Kle.Model.eigenvalues model).(j)
+      !vmax;
+    Array.iter
+      (fun y ->
+        Array.iter
+          (fun x ->
+            let v = Kle.Model.eval_eigenfunction model j (P.make x y) in
+            print_char (shade v !vmax))
+          coords;
+        print_newline ())
+      coords;
+    (* Fourier-like signature: count sign changes along the x axis *)
+    let changes = ref 0 in
+    let prev = ref (Kle.Model.eval_eigenfunction model j (P.make (-0.99) 0.0)) in
+    Array.iter
+      (fun x ->
+        let v = Kle.Model.eval_eigenfunction model j (P.make x 0.0) in
+        if v *. !prev < 0.0 then incr changes;
+        prev := v)
+      (Util.Arrayx.float_range ~start:(-0.99) ~stop:0.99 ~count:101);
+    pf "sign changes along y = 0: %d\n\n" !changes
+  in
+  print_fn 0;
+  print_fn 1;
+  pf "expected shape: 1st eigenfunction has no interior zero crossing (DC-like),\n";
+  pf "2nd has exactly one (first harmonic) - the \"Fourier series type behavior\".\n"
+
+(* ---------------------------------------------------------------- *)
+(* Fig 5: eigenvalue decay + the truncation rule *)
+
+let fig5 () =
+  header "Fig 5: eigenvalue decay of the Gaussian kernel";
+  let sol = Lazy.force paper_solution in
+  let vals = sol.Kle.Galerkin.eigenvalues in
+  let n = Geometry.Mesh.size (Lazy.force paper_mesh) in
+  pf "first eigenvalues (of %d computed, mesh n = %d):\n" (Array.length vals) n;
+  pf "%6s %12s %14s\n" "j" "lambda_j" "cum. fraction";
+  let total = Kle.Galerkin.trace (Lazy.force paper_mesh) (Lazy.force paper_kernel) in
+  let cum = ref 0.0 in
+  Array.iteri
+    (fun j v ->
+      cum := !cum +. v;
+      if j < 12 || (j < 60 && (j + 1) mod 5 = 0) || (j + 1) mod 50 = 0 then
+        pf "%6d %12.5f %14.5f\n" (j + 1) v (!cum /. total))
+    vals;
+  let r = Kle.Model.choose_r ~n_total:n vals in
+  pf "truncation rule (tolerance 1%%): r = %d  (paper: 25)\n" r;
+  pf "variance captured by r pairs: %.2f%%\n"
+    (100.0 *. Util.Arrayx.sum (Array.sub vals 0 r) /. total)
+
+(* ---------------------------------------------------------------- *)
+(* Fig 6 support: sigma_d error of the KLE STA vs the MC reference *)
+
+let reference_mc setup ~samples =
+  let proc = Ssta.Process.paper_default () in
+  let a1, prep_dt =
+    Util.Timer.time (fun () ->
+        Ssta.Algorithm1.prepare proc setup.Ssta.Experiment.locations)
+  in
+  let mc =
+    Ssta.Experiment.run_mc setup
+      ~sampler:(Ssta.Algorithm1.sample_block a1)
+      ~seed:(opts.seed + 100) ~n:samples
+  in
+  (mc, prep_dt)
+
+let kle_mc setup ~model ~samples ~seed =
+  let sample, expansion_dt =
+    a2_sampler_of_model model setup.Ssta.Experiment.locations
+  in
+  let mc = Ssta.Experiment.run_mc setup ~sampler:sample ~seed ~n:samples in
+  (mc, expansion_dt)
+
+let fig6a () =
+  header "Fig 6(a): sigma_d error vs number of eigenpairs r (n fixed)";
+  let setup = circuit "c1908" in
+  let sol = Lazy.force paper_solution in
+  let mc_ref, _ = reference_mc setup ~samples:opts.samples in
+  pf "reference: %d-sample MC STA on c1908 (%d gates); mu = %.1f ps, sigma = %.2f ps\n"
+    opts.samples
+    (Array.length setup.Ssta.Experiment.locations)
+    mc_ref.Ssta.Experiment.worst_mean mc_ref.Ssta.Experiment.worst_sigma;
+  let t =
+    Util.Table.create
+      ~columns:
+        [ ("r", Util.Table.Right); ("sigma err avg outputs (%)", Util.Table.Right);
+          ("e_sigma worst-delay (%)", Util.Table.Right) ]
+  in
+  List.iteri
+    (fun i r ->
+      let model = Kle.Model.create ~r sol in
+      let mc, _ = kle_mc setup ~model ~samples:opts.samples ~seed:(opts.seed + 200 + i) in
+      let cmp =
+        Ssta.Experiment.compare ~reference:mc_ref ~reference_setup_seconds:0.0
+          ~candidate:mc ~candidate_setup_seconds:0.0
+      in
+      Util.Table.add_row t
+        [ string_of_int r;
+          fmt_f ~digits:3 cmp.Ssta.Experiment.sigma_err_avg_outputs_pct;
+          fmt_f ~digits:3 cmp.Ssta.Experiment.e_sigma_pct ])
+    [ 1; 2; 5; 10; 15; 20; 25; 30; 40 ];
+  Util.Table.print t;
+  pf "expected shape: error decreases with r and flattens around r ~ 25\n";
+  pf "(MC noise floor at %d samples is ~%.1f%% on sigma estimates)\n" opts.samples
+    (100.0 /. sqrt (2.0 *. float_of_int opts.samples))
+
+let fig6b () =
+  header "Fig 6(b): sigma_d error vs number of triangles n (r = 25)";
+  let setup = circuit "c1908" in
+  let kernel = Lazy.force paper_kernel in
+  let mc_ref, _ = reference_mc setup ~samples:opts.samples in
+  let t =
+    Util.Table.create
+      ~columns:
+        [ ("n (triangles)", Util.Table.Right); ("h", Util.Table.Right);
+          ("sigma err avg outputs (%)", Util.Table.Right) ]
+  in
+  List.iteri
+    (fun i frac ->
+      let mesh =
+        (Geometry.Refine.mesh Geometry.Rect.unit_die ~max_area_fraction:frac
+           ~min_angle_deg:28.0)
+          .Geometry.Geometry_intf.mesh
+      in
+      let n = Geometry.Mesh.size mesh in
+      let count = min 60 n in
+      let sol = Kle.Galerkin.solve ~solver:(Kle.Galerkin.Lanczos { count }) mesh kernel in
+      let r = min 25 count in
+      let model = Kle.Model.create ~r sol in
+      let mc, _ = kle_mc setup ~model ~samples:opts.samples ~seed:(opts.seed + 300 + i) in
+      let cmp =
+        Ssta.Experiment.compare ~reference:mc_ref ~reference_setup_seconds:0.0
+          ~candidate:mc ~candidate_setup_seconds:0.0
+      in
+      Util.Table.add_row t
+        [ string_of_int n; fmt_f ~digits:4 (Geometry.Mesh.h_max mesh);
+          fmt_f ~digits:3 cmp.Ssta.Experiment.sigma_err_avg_outputs_pct ])
+    [ 0.02; 0.01; 0.006; 0.003; 0.0015; 0.001 ];
+  Util.Table.print t;
+  pf "expected shape: error decreases with n, saturating at the MC noise floor\n"
+
+(* ---------------------------------------------------------------- *)
+(* Table 1: per-circuit comparison of MC STA vs covariance-kernel STA *)
+
+let memory_guard_bytes = 2_000_000_000
+
+let table1 () =
+  header "Table 1: worst-delay mean/sigma mismatch and speedup per circuit";
+  let samples = opts.table_samples in
+  pf "samples per run: %d (paper: 100K); max gates: %s\n" samples
+    (if opts.full then "unlimited (--full)" else string_of_int opts.max_gates);
+  let model = Lazy.force paper_model in
+  pf "KLE eigensolution shared across circuits (reported separately, as in the paper)\n";
+  let t =
+    Util.Table.create
+      ~columns:
+        [ ("Circuit", Util.Table.Left); ("N_g", Util.Table.Right);
+          ("e_mu (%)", Util.Table.Right); ("e_sigma (%)", Util.Table.Right);
+          ("Speedup", Util.Table.Right); ("t_MC (s)", Util.Table.Right);
+          ("t_KLE (s)", Util.Table.Right) ]
+  in
+  let skipped = ref [] in
+  List.iteri
+    (fun idx (name, n_gates) ->
+      let mem = Ssta.Algorithm1.memory_bytes ~n_locations:n_gates ~n_parameters:1 in
+      if (not opts.full) && n_gates > opts.max_gates then
+        skipped := (name, n_gates, "over --max-gates") :: !skipped
+      else if mem > memory_guard_bytes then
+        skipped := (name, n_gates, "memory guard") :: !skipped
+      else begin
+        let setup = circuit name in
+        let mc_ref, a1_setup = reference_mc setup ~samples in
+        let mc_kle, a2_setup =
+          kle_mc setup ~model ~samples ~seed:(opts.seed + 400 + idx)
+        in
+        let cmp =
+          Ssta.Experiment.compare ~reference:mc_ref ~reference_setup_seconds:a1_setup
+            ~candidate:mc_kle ~candidate_setup_seconds:a2_setup
+        in
+        let total r setup_s =
+          setup_s +. r.Ssta.Experiment.sample_seconds +. r.Ssta.Experiment.sta_seconds
+        in
+        Util.Table.add_row t
+          [ name; string_of_int n_gates;
+            fmt_f ~digits:3 cmp.Ssta.Experiment.e_mu_pct;
+            fmt_f ~digits:3 cmp.Ssta.Experiment.e_sigma_pct;
+            fmt_f ~digits:2 cmp.Ssta.Experiment.speedup;
+            fmt_f ~digits:2 (total mc_ref a1_setup);
+            fmt_f ~digits:2 (total mc_kle a2_setup) ];
+        pf "[table1] %s done\n%!" name
+      end)
+    Circuit.Generator.paper_suite;
+  Util.Table.print t;
+  List.iter
+    (fun (name, n, why) -> pf "skipped %-8s (N_g = %5d): %s\n" name n why)
+    (List.rev !skipped);
+  pf "\npaper shape to compare: e_mu < 0.11%%, e_sigma < 5.7%%, speedup rising\n";
+  pf "from ~0.3 at 383 gates to ~10x at 10-20k gates (crossover near ~1.5k gates).\n";
+  pf "With %d samples the e_sigma noise floor is ~%.1f%%.\n" samples
+    (100.0 /. sqrt (2.0 *. float_of_int samples))
+
+(* ---------------------------------------------------------------- *)
+(* eigentime: the paper's "eigenpair computation takes 11.2s" *)
+
+let eigtime () =
+  header "Eigenpair computation time (paper Sec 5.2: 11.2s in Matlab)";
+  let mesh = Lazy.force paper_mesh in
+  let kernel = Lazy.force paper_kernel in
+  let _, dt_assemble = Util.Timer.time (fun () -> Kle.Galerkin.assemble mesh kernel) in
+  ignore (Lazy.force paper_solution);
+  pf "matrix assembly (n = %d): %.2fs\n" (Geometry.Mesh.size mesh) dt_assemble;
+  pf "Lanczos top-200 eigensolution: %.2fs (see [lab] line above)\n" !paper_solution_time
+
+(* ---------------------------------------------------------------- *)
+(* Ablations *)
+
+let ablate_quad () =
+  header "Ablation: quadrature order (centroid vs 3-point mid-edge)";
+  let c = 1.0 in
+  let kernel = K.Separable_exp_l1 { c } in
+  let exact = Kernels.Analytic_kle.exp_2d ~c ~rect:Geometry.Rect.unit_die ~count:5 in
+  let t =
+    Util.Table.create
+      ~columns:
+        [ ("divisions", Util.Table.Right); ("n", Util.Table.Right);
+          ("centroid max rel err", Util.Table.Right);
+          ("mid-edge max rel err", Util.Table.Right) ]
+  in
+  List.iter
+    (fun divisions ->
+      let mesh = Geometry.Mesh.uniform Geometry.Rect.unit_die ~divisions in
+      let err quadrature =
+        let sol =
+          Kle.Galerkin.solve ~quadrature ~solver:(Kle.Galerkin.Lanczos { count = 5 })
+            mesh kernel
+        in
+        let worst = ref 0.0 in
+        for i = 0 to 4 do
+          let e = exact.(i).Kernels.Analytic_kle.lambda in
+          worst :=
+            Float.max !worst
+              (Float.abs (sol.Kle.Galerkin.eigenvalues.(i) -. e) /. e)
+        done;
+        !worst
+      in
+      Util.Table.add_row t
+        [ string_of_int divisions;
+          string_of_int (Geometry.Mesh.size mesh);
+          Printf.sprintf "%.2e" (err Kle.Galerkin.Centroid);
+          Printf.sprintf "%.2e" (err Kle.Galerkin.Midedge) ])
+    [ 3; 6; 12 ];
+  Util.Table.print t;
+  pf
+    "expected: both converge with n (Theorem 2); mid-edge is tighter on coarse\n\
+     meshes, while the exp kernel's diagonal kink erodes its edge as h shrinks.\n"
+
+(* anisotropic grid mesh: nx x ny cells split along a diagonal, giving
+   min angles of atan(ny/nx) when stretched *)
+let anisotropic_mesh nx ny =
+  let rect = Geometry.Rect.unit_die in
+  let pts = Geometry.Rect.sample_grid rect ~nx:(nx + 1) ~ny:(ny + 1) in
+  let tris = ref [] in
+  for iy = 0 to ny - 1 do
+    for ix = 0 to nx - 1 do
+      let p00 = (iy * (nx + 1)) + ix in
+      let p10 = p00 + 1 in
+      let p01 = p00 + nx + 1 in
+      let p11 = p01 + 1 in
+      tris := (p00, p10, p11) :: (p00, p11, p01) :: !tris
+    done
+  done;
+  Geometry.Mesh.make rect pts (Array.of_list !tris)
+
+let ablate_mesh () =
+  header "Ablation: element quality (equilateral-ish vs stretched) at equal n";
+  let c = 1.0 in
+  let kernel = K.Separable_exp_l1 { c } in
+  let exact =
+    (Kernels.Analytic_kle.exp_2d ~c ~rect:Geometry.Rect.unit_die ~count:1).(0)
+      .Kernels.Analytic_kle.lambda
+  in
+  let t =
+    Util.Table.create
+      ~columns:
+        [ ("mesh", Util.Table.Left); ("n", Util.Table.Right);
+          ("min angle", Util.Table.Right); ("h", Util.Table.Right);
+          ("lambda_1 rel err", Util.Table.Right) ]
+  in
+  let eval name mesh =
+    let sol =
+      Kle.Galerkin.solve ~solver:(Kle.Galerkin.Lanczos { count = 1 }) mesh kernel
+    in
+    Util.Table.add_row t
+      [ name; string_of_int (Geometry.Mesh.size mesh);
+        fmt_f ~digits:1 (Geometry.Mesh.min_angle_deg mesh);
+        fmt_f ~digits:3 (Geometry.Mesh.h_max mesh);
+        Printf.sprintf "%.2e"
+          (Float.abs (sol.Kle.Galerkin.eigenvalues.(0) -. exact) /. exact) ]
+  in
+  (* same element count n = 512, increasingly stretched cells *)
+  eval "16 x 16 (isotropic)" (anisotropic_mesh 16 16);
+  eval "32 x 8 (4:1)" (anisotropic_mesh 32 8);
+  eval "64 x 4 (16:1)" (anisotropic_mesh 64 4);
+  eval "128 x 2 (64:1)" (anisotropic_mesh 128 2);
+  eval "refined (28 deg)"
+    (Geometry.Refine.mesh Geometry.Rect.unit_die ~max_area_fraction:(2.0 /. 256.0)
+       ~min_angle_deg:28.0)
+      .Geometry.Geometry_intf.mesh;
+  Util.Table.print t;
+  pf
+    "expected: at equal n, stretched elements blow up h (Theorem 2's error\n\
+     driver) and the eigenvalue error with it - why the paper constrains the\n\
+     minimum angle.\n"
+
+let ablate_eig () =
+  header "Ablation: eigensolver (dense QL vs Lanczos top-k)";
+  let mesh =
+    (Geometry.Refine.mesh Geometry.Rect.unit_die ~max_area_fraction:0.01
+       ~min_angle_deg:28.0)
+      .Geometry.Geometry_intf.mesh
+  in
+  let kernel = Lazy.force paper_kernel in
+  let dense, t_dense =
+    Util.Timer.time (fun () -> Kle.Galerkin.solve ~solver:Kle.Galerkin.Dense mesh kernel)
+  in
+  let lanczos, t_lanczos =
+    Util.Timer.time (fun () ->
+        Kle.Galerkin.solve ~solver:(Kle.Galerkin.Lanczos { count = 25 }) mesh kernel)
+  in
+  let diff = ref 0.0 in
+  for i = 0 to 24 do
+    diff :=
+      Float.max !diff
+        (Float.abs
+           (dense.Kle.Galerkin.eigenvalues.(i)
+           -. lanczos.Kle.Galerkin.eigenvalues.(i)))
+  done;
+  pf "mesh n = %d\n" (Geometry.Mesh.size mesh);
+  pf "dense (all pairs):   %.3fs\n" t_dense;
+  pf "lanczos (25 pairs):  %.3fs\n" t_lanczos;
+  pf "max |lambda| difference over 25 pairs: %.2e\n" !diff;
+  pf "expected: agreement to ~1e-9; Lanczos much faster as n grows.\n"
+
+let ablate_kernel () =
+  header "Ablation: kernel family vs eigenvalue decay (r for 99% variance)";
+  let mesh =
+    (Geometry.Refine.mesh Geometry.Rect.unit_die ~max_area_fraction:0.004
+       ~min_angle_deg:28.0)
+      .Geometry.Geometry_intf.mesh
+  in
+  let n = Geometry.Mesh.size mesh in
+  let t =
+    Util.Table.create
+      ~columns:
+        [ ("kernel", Util.Table.Left); ("lambda_1", Util.Table.Right);
+          ("r (trunc. rule)", Util.Table.Right);
+          ("r (99% variance)", Util.Table.Right) ]
+  in
+  List.iter
+    (fun kernel ->
+      let count = min 150 n in
+      let sol = Kle.Galerkin.solve ~solver:(Kle.Galerkin.Lanczos { count }) mesh kernel in
+      let vals = sol.Kle.Galerkin.eigenvalues in
+      let total = Kle.Galerkin.trace mesh kernel in
+      let r_rule = Kle.Model.choose_r ~n_total:n vals in
+      let r99 =
+        let cum = ref 0.0 in
+        let r = ref count in
+        (try
+           Array.iteri
+             (fun i v ->
+               cum := !cum +. v;
+               if !cum >= 0.99 *. total then begin
+                 r := i + 1;
+                 raise Exit
+               end)
+             vals
+         with Exit -> ());
+        !r
+      in
+      Util.Table.add_row t
+        [ K.name kernel; fmt_f ~digits:4 vals.(0); string_of_int r_rule;
+          string_of_int r99 ])
+    [
+      Lazy.force paper_kernel;
+      K.Matern { b = 2.0; s = 2.5 };
+      K.Exponential { c = 1.5 };
+      K.Spherical { rho = 1.0 };
+    ];
+  Util.Table.print t;
+  pf "expected: smooth kernels (gaussian, high-s Matern) compress into few RVs;\n";
+  pf "rough kernels (exponential) need many more - the cost of realism in the model.\n"
+
+let ablate_recon () =
+  header "Ablation: Algorithm 2 reconstruction (paper-literal vs direct gather)";
+  let setup = circuit "c1908" in
+  let model = Lazy.force paper_model in
+  let sampler = Kle.Sampler.create model setup.Ssta.Experiment.locations in
+  let n = opts.samples in
+  let _, t_literal =
+    Util.Timer.time (fun () ->
+        ignore (Kle.Sampler.sample_matrix sampler (Prng.Rng.create ~seed:1) ~n))
+  in
+  let _, t_direct =
+    Util.Timer.time (fun () ->
+        ignore (Kle.Sampler.sample_matrix_direct sampler (Prng.Rng.create ~seed:1) ~n))
+  in
+  pf "samples: %d, gates: %d, mesh n: %d, r: %d\n" n
+    (Array.length setup.Ssta.Experiment.locations)
+    (Geometry.Mesh.size model.Kle.Model.solution.Kle.Galerkin.mesh)
+    model.Kle.Model.r;
+  pf "paper-literal (expand all triangles, then gather): %.3fs\n" t_literal;
+  pf "direct (expand only at gate rows):                 %.3fs\n" t_direct;
+  pf "the overhead the paper attributes to eq. (28) is avoidable for fixed gates.\n"
+
+let ablate_qmc () =
+  header "Ablation: quasi-Monte Carlo in the reduced KLE space (a dividend of r=25)";
+  let setup = circuit "c880" in
+  let model = Lazy.force paper_model in
+  let sampler = Kle.Sampler.create model setup.Ssta.Experiment.locations in
+  let r = model.Kle.Model.r in
+  (* sampler adapters: one parameter field per block, 4 independent streams *)
+  let mc_sampler rng ~n =
+    Array.init 4 (fun _ -> Kle.Sampler.sample_matrix_direct sampler rng ~n)
+  in
+  let qmc_sampler seqs _rng ~n =
+    Array.map
+      (fun seq -> Kle.Sampler.sample_matrix_with sampler ~xi:(Prng.Lowdisc.normal_matrix seq ~rows:n))
+      seqs
+  in
+  (* tight reference *)
+  let reference =
+    Ssta.Experiment.run_mc setup ~sampler:mc_sampler ~seed:(opts.seed + 900) ~n:20_000
+  in
+  pf "reference: 20000-sample MC; mu = %.2f, sigma = %.3f\n" reference.Ssta.Experiment.worst_mean
+    reference.Ssta.Experiment.worst_sigma;
+  let t =
+    Util.Table.create
+      ~columns:
+        [ ("N", Util.Table.Right); ("MC |mu err| (ps)", Util.Table.Right);
+          ("QMC |mu err| (ps)", Util.Table.Right);
+          ("MC |sigma err|", Util.Table.Right); ("QMC |sigma err|", Util.Table.Right) ]
+  in
+  let replications = 4 in
+  List.iter
+    (fun n ->
+      let rms errs = sqrt (Util.Arrayx.sum (Array.map (fun e -> e *. e) errs) /. float_of_int replications) in
+      let mu_mc = Array.make replications 0.0 and sd_mc = Array.make replications 0.0 in
+      let mu_qmc = Array.make replications 0.0 and sd_qmc = Array.make replications 0.0 in
+      for rep = 0 to replications - 1 do
+        let res =
+          Ssta.Experiment.run_mc setup ~sampler:mc_sampler
+            ~seed:(opts.seed + 1000 + (13 * rep)) ~n
+        in
+        mu_mc.(rep) <- res.Ssta.Experiment.worst_mean -. reference.Ssta.Experiment.worst_mean;
+        sd_mc.(rep) <- res.Ssta.Experiment.worst_sigma -. reference.Ssta.Experiment.worst_sigma;
+        let shift = Prng.Rng.create ~seed:(opts.seed + 2000 + (7 * rep)) in
+        let seqs = Array.init 4 (fun _ -> Prng.Lowdisc.create ~shift_rng:shift ~dim:r ()) in
+        let res =
+          Ssta.Experiment.run_mc setup ~sampler:(qmc_sampler seqs)
+            ~seed:(opts.seed + 3000 + rep) ~n
+        in
+        mu_qmc.(rep) <- res.Ssta.Experiment.worst_mean -. reference.Ssta.Experiment.worst_mean;
+        sd_qmc.(rep) <- res.Ssta.Experiment.worst_sigma -. reference.Ssta.Experiment.worst_sigma
+      done;
+      Util.Table.add_row t
+        [ string_of_int n; fmt_f ~digits:3 (rms mu_mc); fmt_f ~digits:3 (rms mu_qmc);
+          fmt_f ~digits:3 (rms sd_mc); fmt_f ~digits:3 (rms sd_qmc) ])
+    [ 250; 1000; 3000 ];
+  Util.Table.print t;
+  pf
+    "expected: on the MEAN, scrambled-Halton QMC beats MC by several-fold at\n\
+     every N (usable only because KLE compressed the field into %d dims).\n\
+     SIGMA keeps a small QMC bias (variance functionals need stronger\n\
+     scrambling, e.g. Owen-scrambled Sobol); use MC for tail statistics.\n"
+    r;
+  ignore replications
+
+let powergrid () =
+  header "Extension: variational power-grid (IR drop) analysis with KLE leakage";
+  let grid = Powergrid.Grid.create ~nodes_per_side:20 Geometry.Rect.unit_die in
+  let leakage = Powergrid.Leakage.default in
+  let model = Lazy.force paper_model in
+  let proc = Ssta.Process.paper_default () in
+  let samples = min opts.samples 2000 in
+  let t =
+    Util.Table.create
+      ~columns:
+        [ ("Circuit", Util.Table.Left); ("N_g", Util.Table.Right);
+          ("e_mu (%)", Util.Table.Right); ("e_sigma (%)", Util.Table.Right);
+          ("Speedup", Util.Table.Right) ]
+  in
+  List.iteri
+    (fun idx name ->
+      let setup = circuit name in
+      let a1, a1_setup =
+        Util.Timer.time (fun () ->
+            Ssta.Algorithm1.prepare proc setup.Ssta.Experiment.locations)
+      in
+      let r1 =
+        Powergrid.Analysis.run ~grid ~leakage
+          ~gate_locations:setup.Ssta.Experiment.locations
+          ~sampler:(Ssta.Algorithm1.sample_block a1)
+          ~seed:(opts.seed + 700 + idx) ~n:samples ()
+      in
+      let kle_sample, a2_setup =
+        a2_sampler_of_model model setup.Ssta.Experiment.locations
+      in
+      let r2 =
+        Powergrid.Analysis.run ~grid ~leakage
+          ~gate_locations:setup.Ssta.Experiment.locations ~sampler:kle_sample
+          ~seed:(opts.seed + 800 + idx) ~n:samples ()
+      in
+      let rel a b = 100.0 *. Float.abs (a -. b) /. b in
+      let total (r : Powergrid.Analysis.result) setup_s =
+        setup_s +. r.Powergrid.Analysis.sample_seconds +. r.Powergrid.Analysis.solve_seconds
+      in
+      Util.Table.add_row t
+        [ name;
+          string_of_int (Array.length setup.Ssta.Experiment.locations);
+          fmt_f ~digits:3
+            (rel r2.Powergrid.Analysis.max_drop_mean r1.Powergrid.Analysis.max_drop_mean);
+          fmt_f ~digits:3
+            (rel r2.Powergrid.Analysis.max_drop_sigma r1.Powergrid.Analysis.max_drop_sigma);
+          fmt_f ~digits:2 (total r1 a1_setup /. total r2 a2_setup) ])
+    [ "c880"; "c1908"; "c3540" ];
+  Util.Table.print t;
+  pf
+    "the paper's claim \"we expect these trends to replicate in other CAD\n\
+     algorithms\": same KLE model, different consumer (lognormal leakage +\n\
+     grid solve), same accuracy-and-speedup shape. %d samples, 20x20 grid.\n"
+    samples
+
+let blocksta () =
+  header "Extension: block-based SSTA on the KLE basis (single pass vs Monte Carlo)";
+  let model = Lazy.force paper_model in
+  let models = Array.make 4 model in
+  let t =
+    Util.Table.create
+      ~columns:
+        [ ("Circuit", Util.Table.Left); ("N_g", Util.Table.Right);
+          ("e_mu (%)", Util.Table.Right); ("e_sigma (%)", Util.Table.Right);
+          ("t_block (ms)", Util.Table.Right); ("t_MC-KLE (s)", Util.Table.Right) ]
+  in
+  List.iteri
+    (fun idx name ->
+      let setup = circuit name in
+      let blk = Ssta.Block_ssta.run setup ~models in
+      let mc, _ = kle_mc setup ~model ~samples:opts.samples ~seed:(opts.seed + 600 + idx) in
+      let e_mu, e_sigma = Ssta.Block_ssta.validate_against_mc blk ~reference:mc in
+      Util.Table.add_row t
+        [ name;
+          string_of_int (Array.length setup.Ssta.Experiment.locations);
+          fmt_f ~digits:3 e_mu; fmt_f ~digits:2 e_sigma;
+          fmt_f ~digits:1 (1000.0 *. blk.Ssta.Block_ssta.analysis_seconds);
+          fmt_f ~digits:2 (mc.Ssta.Experiment.sample_seconds +. mc.Ssta.Experiment.sta_seconds) ])
+    [ "c880"; "c1908"; "c3540"; "s5378" ];
+  Util.Table.print t;
+  pf
+    "the Chang-Sapatnekar-class consumer of the KLE basis: one canonical-form\n\
+     pass with Clark's max replaces %d Monte Carlo timing passes; errors are\n\
+     the Clark + linearization approximation, measured against MC on the SAME\n\
+     KLE model (MC noise floor ~%.1f%% on sigma).\n"
+    opts.samples
+    (100.0 /. sqrt (2.0 *. float_of_int opts.samples))
+
+let ablate_basis () =
+  header "Ablation: Galerkin basis order (P0 piecewise-constant vs P1 linear)";
+  let kernel = Lazy.force paper_kernel in
+  let t =
+    Util.Table.create
+      ~columns:
+        [ ("mesh", Util.Table.Right); ("n elems", Util.Table.Right);
+          ("P0 grid recon err", Util.Table.Right);
+          ("P1 grid recon err", Util.Table.Right) ]
+  in
+  List.iter
+    (fun divisions ->
+      let mesh = Geometry.Mesh.uniform Geometry.Rect.unit_die ~divisions in
+      let p0 =
+        Kle.Galerkin.solve ~solver:(Kle.Galerkin.Lanczos { count = 25 }) mesh kernel
+      in
+      let m0 = Kle.Model.create ~r:25 p0 in
+      let p1 = Kle.P1.solve ~count:25 mesh kernel in
+      let ev = Kle.P1.evaluator p1 in
+      Util.Table.add_row t
+        [ Printf.sprintf "%dx%d" divisions divisions;
+          string_of_int (Geometry.Mesh.size mesh);
+          fmt_f ~digits:4 (Kle.Model.reconstruction_error_grid ~grid:31 m0);
+          fmt_f ~digits:4 (Kle.P1.reconstruction_error_grid ~grid:31 ev ~r:25) ])
+    [ 6; 8; 10; 14 ];
+  Util.Table.print t;
+  pf
+    "expected: the continuous P1 basis (the paper's \"higher order\" extension)\n\
+     removes the blocky between-node floor of the piecewise-constant basis -\n\
+     several times lower reconstruction error at equal mesh size.\n"
+
+(* ---------------------------------------------------------------- *)
+(* Bechamel micro-benchmarks: one Test per table/figure pipeline kernel *)
+
+let micro () =
+  header "Bechamel micro-benchmarks (per table/figure pipeline stage)";
+  let open Bechamel in
+  let mesh_coarse = Geometry.Mesh.uniform Geometry.Rect.unit_die ~divisions:8 in
+  let kernel = Lazy.force paper_kernel in
+  let spd =
+    Kernels.Validity.gram kernel
+      (Kernels.Validity.random_points ~seed:3 ~n:300 Geometry.Rect.unit_die)
+  in
+  let mvn = Prng.Mvn.of_covariance spd in
+  let sol =
+    Kle.Galerkin.solve ~solver:(Kle.Galerkin.Lanczos { count = 25 }) mesh_coarse kernel
+  in
+  let model = Kle.Model.create ~r:25 sol in
+  let setup = circuit "c880" in
+  let kle_sampler = Kle.Sampler.create model setup.Ssta.Experiment.locations in
+  let n_gates = Circuit.Netlist.size setup.Ssta.Experiment.netlist in
+  let zeros = Array.make n_gates 0.0 in
+  let rng = Prng.Rng.create ~seed:11 in
+  let tests =
+    [
+      Test.make ~name:"fig3b/galerkin-assemble-n256"
+        (Staged.stage (fun () -> ignore (Kle.Galerkin.assemble mesh_coarse kernel)));
+      Test.make ~name:"fig5/lanczos-top25-n256"
+        (Staged.stage (fun () ->
+             ignore
+               (Kle.Galerkin.solve
+                  ~solver:(Kle.Galerkin.Lanczos { count = 25 })
+                  mesh_coarse kernel)));
+      Test.make ~name:"table1/cholesky-n300"
+        (Staged.stage (fun () -> ignore (Linalg.Cholesky.factor_jittered spd)));
+      Test.make ~name:"table1/mc-sample-row-n300"
+        (Staged.stage (fun () -> ignore (Prng.Mvn.sample mvn rng)));
+      Test.make ~name:"table1/kle-sample-row-c880"
+        (Staged.stage (fun () -> ignore (Kle.Sampler.sample kle_sampler rng)));
+      Test.make ~name:"table1/sta-run-c880"
+        (Staged.stage (fun () ->
+             ignore
+               (Sta.Timing.run setup.Ssta.Experiment.sta ~l:zeros ~w:zeros ~vt:zeros
+                  ~tox:zeros)));
+      Test.make ~name:"fig6b/mesh-refine-n150"
+        (Staged.stage (fun () ->
+             ignore
+               (Geometry.Refine.mesh Geometry.Rect.unit_die ~max_area_fraction:0.01
+                  ~min_angle_deg:28.0)));
+      Test.make ~name:"fig3a/kernel-fit"
+        (Staged.stage (fun () ->
+             ignore (Kernels.Fit.fit_gaussian_to_cone ~dim:`D1 ~rho:1.0 ~vmax:2.0 ())));
+    ]
+  in
+  let test = Test.make_grouped ~name:"kle-ssta" ~fmt:"%s %s" tests in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances test in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with Some (x :: _) -> x | _ -> nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  let t =
+    Util.Table.create
+      ~columns:[ ("benchmark", Util.Table.Left); ("time/run", Util.Table.Right) ]
+  in
+  let human ns =
+    if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+    else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
+  List.iter
+    (fun (name, ns) -> Util.Table.add_row t [ name; human ns ])
+    (List.sort compare !rows);
+  Util.Table.print t
+
+(* ---------------------------------------------------------------- *)
+
+let all () =
+  fig1 ();
+  fig3a ();
+  fig3b ();
+  fig4 ();
+  fig5 ();
+  eigtime ();
+  fig6a ();
+  fig6b ();
+  table1 ();
+  ablate_quad ();
+  ablate_mesh ();
+  ablate_eig ();
+  ablate_kernel ();
+  ablate_recon ();
+  ablate_basis ();
+  ablate_qmc ();
+  blocksta ();
+  powergrid ();
+  micro ()
+
+let usage () =
+  pf
+    "usage: main.exe [fig1|fig3a|fig3b|fig4|fig5|fig6a|fig6b|table1|eigtime|\n\
+    \                 ablate-quad|ablate-mesh|ablate-eig|ablate-kernel|ablate-recon|ablate-basis|\n\
+    \                 micro|all]\n\
+    \                [--samples N] [--table-samples N] [--max-gates N] [--full]\n\
+    \                [--mesh-frac F] [--seed N]\n"
+
+let () =
+  let commands = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--samples" :: v :: rest ->
+        opts.samples <- int_of_string v;
+        parse rest
+    | "--table-samples" :: v :: rest ->
+        opts.table_samples <- int_of_string v;
+        parse rest
+    | "--max-gates" :: v :: rest ->
+        opts.max_gates <- int_of_string v;
+        parse rest
+    | "--full" :: rest ->
+        opts.full <- true;
+        parse rest
+    | "--mesh-frac" :: v :: rest ->
+        opts.mesh_frac <- float_of_string v;
+        parse rest
+    | "--seed" :: v :: rest ->
+        opts.seed <- int_of_string v;
+        parse rest
+    | ("--help" | "-h") :: _ ->
+        usage ();
+        exit 0
+    | cmd :: rest ->
+        commands := cmd :: !commands;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let run = function
+    | "fig1" -> fig1 ()
+    | "fig3a" -> fig3a ()
+    | "fig3b" -> fig3b ()
+    | "fig4" -> fig4 ()
+    | "fig5" -> fig5 ()
+    | "fig6a" -> fig6a ()
+    | "fig6b" -> fig6b ()
+    | "table1" -> table1 ()
+    | "eigtime" -> eigtime ()
+    | "ablate-quad" -> ablate_quad ()
+    | "ablate-mesh" -> ablate_mesh ()
+    | "ablate-eig" -> ablate_eig ()
+    | "ablate-kernel" -> ablate_kernel ()
+    | "ablate-recon" -> ablate_recon ()
+    | "ablate-basis" -> ablate_basis ()
+    | "blocksta" -> blocksta ()
+    | "ablate-qmc" -> ablate_qmc ()
+    | "powergrid" -> powergrid ()
+    | "micro" -> micro ()
+    | "all" -> all ()
+    | other ->
+        pf "unknown subcommand %S\n" other;
+        usage ();
+        exit 2
+  in
+  match List.rev !commands with [] -> all () | cmds -> List.iter run cmds

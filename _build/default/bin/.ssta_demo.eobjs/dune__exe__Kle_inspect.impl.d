@@ -1,0 +1,1 @@
+bin/kle_inspect.ml: Arg Array Cmd Cmdliner Geometry Kernels Kle Printf Term Util

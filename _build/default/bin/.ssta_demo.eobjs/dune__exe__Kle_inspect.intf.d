@@ -1,0 +1,1 @@
+bin/kle_inspect.mli:

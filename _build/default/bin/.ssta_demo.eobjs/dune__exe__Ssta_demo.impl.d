@@ -1,0 +1,1 @@
+bin/ssta_demo.ml: Arg Array Circuit Cmd Cmdliner List Logs Printf Ssta Sta String Term

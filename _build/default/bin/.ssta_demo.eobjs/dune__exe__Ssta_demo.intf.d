@@ -1,0 +1,1 @@
+bin/ssta_demo.mli:

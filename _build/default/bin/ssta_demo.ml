@@ -1,0 +1,141 @@
+(* Command-line SSTA driver: run Monte Carlo statistical timing on a
+   benchmark circuit with a choice of correlation sampler.
+
+   Examples:
+     ssta_demo --circuit c1908 --samples 2000
+     ssta_demo --circuit c3540 --sampler grid --grid 8 -r 25
+     ssta_demo --bench-file my_netlist.bench --sampler kle *)
+
+open Cmdliner
+
+let run circuit_name bench_file samples sampler_kind grid r seed verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Info)
+  end;
+  let netlist =
+    match bench_file with
+    | Some path -> (
+        match Circuit.Bench_format.parse_file path with
+        | Ok n -> n
+        | Error e ->
+            Printf.eprintf "error parsing %s: %s\n" path e;
+            exit 1)
+    | None -> (
+        match Circuit.Generator.paper_spec circuit_name with
+        | spec -> Circuit.Generator.generate spec
+        | exception Not_found ->
+            Printf.eprintf "unknown circuit %S; known: %s\n" circuit_name
+              (String.concat ", " (List.map fst Circuit.Generator.paper_suite));
+            exit 1)
+  in
+  let setup = Ssta.Experiment.setup_circuit netlist in
+  Printf.printf "%s: %d logic gates, %d endpoints\n" netlist.Circuit.Netlist.name
+    (Circuit.Netlist.logic_gate_count netlist)
+    (Array.length setup.Ssta.Experiment.sta.Sta.Timing.endpoints);
+  let nominal = Sta.Timing.run_nominal setup.Ssta.Experiment.sta in
+  Printf.printf "nominal worst delay: %.1f ps\n" nominal.Sta.Timing.worst_delay;
+  let slack = Sta.Timing.slack_report setup.Ssta.Experiment.sta in
+  Printf.printf "nominal critical path: %d stages (%s -> %s)\n"
+    (Array.length slack.Sta.Timing.critical_path)
+    netlist.Circuit.Netlist.gates.(slack.Sta.Timing.critical_path.(0)).Circuit.Netlist.name
+    netlist.Circuit.Netlist.gates.(
+      slack.Sta.Timing.critical_path.(Array.length slack.Sta.Timing.critical_path - 1)).Circuit.Netlist.name;
+  let process = Ssta.Process.paper_default () in
+  let sampler, label, kle_models =
+    match sampler_kind with
+    | `Cholesky ->
+        let a1 = Ssta.Algorithm1.prepare process setup.Ssta.Experiment.locations in
+        Printf.printf "Algorithm 1 setup: %.2fs\n" (Ssta.Algorithm1.setup_seconds a1);
+        (Ssta.Algorithm1.sample_block a1, "cholesky (Algorithm 1)", None)
+    | `Kle ->
+        let config =
+          { Ssta.Algorithm2.paper_config with r = (if r > 0 then Some r else None) }
+        in
+        let a2 =
+          Ssta.Algorithm2.prepare ~config process setup.Ssta.Experiment.locations
+        in
+        Printf.printf "Algorithm 2 setup: %.2fs (mesh n = %d, r = %d)\n"
+          (Ssta.Algorithm2.setup_seconds a2)
+          (Ssta.Algorithm2.mesh_size a2) (Ssta.Algorithm2.r a2);
+        ( Ssta.Algorithm2.sample_block a2,
+          "covariance-kernel KLE (Algorithm 2)",
+          Some (Ssta.Algorithm2.models a2) )
+    | `Grid ->
+        let g =
+          Ssta.Grid_pca.prepare ~grid
+            ?r:(if r > 0 then Some r else None)
+            process setup.Ssta.Experiment.locations
+        in
+        Printf.printf "grid+PCA setup: %dx%d grid, r = %d, %.1f%% variance\n" grid grid
+          (Ssta.Grid_pca.r g)
+          (100.0 *. Ssta.Grid_pca.explained_variance_fraction g);
+        (Ssta.Grid_pca.sample_block g, "grid + PCA baseline", None)
+  in
+  let mc = Ssta.Experiment.run_mc setup ~sampler ~seed ~n:samples in
+  Printf.printf "\n%s, %d samples:\n" label samples;
+  Printf.printf "  worst delay: mu = %.1f ps, sigma = %.2f ps\n"
+    mc.Ssta.Experiment.worst_mean mc.Ssta.Experiment.worst_sigma;
+  Printf.printf "  3-sigma corner: %.1f ps\n"
+    (mc.Ssta.Experiment.worst_mean +. (3.0 *. mc.Ssta.Experiment.worst_sigma));
+  Printf.printf "  time: %.2fs sampling + %.2fs STA\n" mc.Ssta.Experiment.sample_seconds
+    mc.Ssta.Experiment.sta_seconds;
+  (* with the KLE sampler we can also run the single-pass block engine *)
+  match kle_models with
+  | Some models ->
+      let blk = Ssta.Block_ssta.run setup ~models in
+      Printf.printf
+        "\nblock-based SSTA (single pass, %.1f ms): mu = %.1f ps, sigma = %.2f ps\n"
+        (1000.0 *. blk.Ssta.Block_ssta.analysis_seconds)
+        (Ssta.Block_ssta.mean blk) (Ssta.Block_ssta.sigma blk);
+      let crit = Ssta.Block_ssta.criticalities ~samples:5000 ~seed blk in
+      let order = Array.init (Array.length crit) (fun i -> i) in
+      Array.sort (fun a b -> compare crit.(b) crit.(a)) order;
+      Printf.printf "most critical endpoints (gate: probability):\n";
+      Array.iteri
+        (fun rank e ->
+          if rank < 3 && crit.(e) > 0.005 then
+            Printf.printf "  %s: %.1f%%\n"
+              netlist.Circuit.Netlist.gates.(
+                setup.Ssta.Experiment.sta.Sta.Timing.endpoints.(e)).Circuit.Netlist.name
+              (100.0 *. crit.(e)))
+        order
+  | None -> ()
+
+let circuit_arg =
+  Arg.(value & opt string "c880" & info [ "c"; "circuit" ] ~doc:"Paper benchmark circuit name.")
+
+let bench_file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "bench-file" ] ~doc:"Read an ISCAS .bench netlist instead of generating one.")
+
+let samples_arg =
+  Arg.(value & opt int 1000 & info [ "n"; "samples" ] ~doc:"Monte Carlo samples.")
+
+let sampler_arg =
+  Arg.(
+    value
+    & opt (enum [ ("cholesky", `Cholesky); ("kle", `Kle); ("grid", `Grid) ]) `Kle
+    & info [ "sampler" ] ~doc:"Correlation sampler: cholesky, kle or grid.")
+
+let grid_arg =
+  Arg.(value & opt int 8 & info [ "grid" ] ~doc:"Grid resolution for the grid sampler.")
+
+let r_arg =
+  Arg.(value & opt int 0 & info [ "r" ] ~doc:"Retained components (0 = automatic).")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
+
+let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
+
+let cmd =
+  let doc = "Monte Carlo statistical static timing with spatial correlation" in
+  Cmd.v
+    (Cmd.info "ssta_demo" ~doc)
+    Term.(
+      const run $ circuit_arg $ bench_file_arg $ samples_arg $ sampler_arg $ grid_arg
+      $ r_arg $ seed_arg $ verbose_arg)
+
+let () = exit (Cmd.eval cmd)

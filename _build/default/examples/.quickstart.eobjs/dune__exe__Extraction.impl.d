@@ -1,0 +1,1 @@
+examples/extraction.ml: Array Float Geometry Kernels Kle List Printf Prng Sys

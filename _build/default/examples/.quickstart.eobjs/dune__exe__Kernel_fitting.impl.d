@@ -1,0 +1,1 @@
+examples/kernel_fitting.ml: Float Geometry Kernels List Printf

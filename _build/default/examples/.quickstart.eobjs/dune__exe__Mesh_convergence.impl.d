@@ -1,0 +1,1 @@
+examples/mesh_convergence.ml: Array Float Geometry Kernels Kle List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Geometry Kernels Kle Linalg List Printf Prng Stats

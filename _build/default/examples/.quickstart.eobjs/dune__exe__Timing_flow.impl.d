@@ -1,0 +1,1 @@
+examples/timing_flow.ml: Array Circuit Printf Ssta Sta Sys

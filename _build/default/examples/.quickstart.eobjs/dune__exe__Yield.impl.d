@@ -1,0 +1,1 @@
+examples/yield.ml: Array Circuit Linalg Printf Prng Specfun Ssta Sta Stats Sys Util

@@ -1,0 +1,49 @@
+(* Theorem 2 in practice: the Galerkin eigenvalues converge as the mesh is
+   refined (h -> 0), validated against the closed-form KLE of the separable
+   exponential kernel (Ghanem & Spanos).
+
+   Run with: dune exec examples/mesh_convergence.exe *)
+
+let () =
+  let c = 1.0 in
+  let kernel = Kernels.Kernel.Separable_exp_l1 { c } in
+  let exact = Kernels.Analytic_kle.exp_2d ~c ~rect:Geometry.Rect.unit_die ~count:5 in
+  Printf.printf "kernel: %s on [-1,1]^2 (analytically solvable)\n" (Kernels.Kernel.name kernel);
+  Printf.printf "exact eigenvalues:";
+  Array.iter (fun p -> Printf.printf " %.5f" p.Kernels.Analytic_kle.lambda) exact;
+  Printf.printf "\n\n%10s %8s %10s %24s %24s\n" "max area" "n" "h" "centroid max rel err"
+    "mid-edge max rel err";
+  List.iter
+    (fun frac ->
+      let mesh =
+        (Geometry.Refine.mesh Geometry.Rect.unit_die ~max_area_fraction:frac
+           ~min_angle_deg:28.0)
+          .Geometry.Geometry_intf.mesh
+      in
+      let err quadrature =
+        let sol =
+          Kle.Galerkin.solve ~quadrature
+            ~solver:(Kle.Galerkin.Lanczos { count = 5 })
+            mesh kernel
+        in
+        let worst = ref 0.0 in
+        Array.iteri
+          (fun i p ->
+            let e = p.Kernels.Analytic_kle.lambda in
+            worst :=
+              Float.max !worst
+                (Float.abs (sol.Kle.Galerkin.eigenvalues.(i) -. e) /. e))
+          exact;
+        !worst
+      in
+      Printf.printf "%10.4f %8d %10.4f %24.2e %24.2e\n" frac (Geometry.Mesh.size mesh)
+        (Geometry.Mesh.h_max mesh)
+        (err Kle.Galerkin.Centroid)
+        (err Kle.Galerkin.Midedge))
+    [ 0.05; 0.02; 0.01; 0.004; 0.002 ];
+  Printf.printf
+    "\nexpected: error shrinks roughly linearly in h (Theorem 2). The degree-2\n\
+     mid-edge rule (the paper's \"higher order\" extension) is tighter on coarse\n\
+     meshes; for this kernel (whose derivative jumps at x = y, violating the\n\
+     smoothness behind the higher-order rate) the centroid rule catches up as\n\
+     h shrinks.\n"

@@ -1,0 +1,1 @@
+lib/circuit/generator.ml: Array Float Gate Hashtbl List Netlist Option Printf Prng String

@@ -1,0 +1,1 @@
+lib/circuit/netlist.ml: Array Gate Hashtbl List Printf Queue Seq

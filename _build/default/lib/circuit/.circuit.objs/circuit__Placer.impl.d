@@ -1,0 +1,1 @@
+lib/circuit/placer.ml: Array Geometry Netlist Prng

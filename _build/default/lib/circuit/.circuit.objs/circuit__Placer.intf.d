@@ -1,0 +1,1 @@
+lib/circuit/placer.mli: Geometry Netlist

@@ -1,0 +1,1 @@
+lib/circuit/wireload.ml: Array Gate Geometry Netlist Placer

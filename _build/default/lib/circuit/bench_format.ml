@@ -1,0 +1,262 @@
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let is_blank s = String.trim s = ""
+
+type raw =
+  | Raw_input of string
+  | Raw_output of string
+  | Raw_gate of string * string * string list (* out, func, args *)
+
+let parse_line lineno line =
+  let line = String.trim (strip_comment line) in
+  if is_blank line then Ok None
+  else begin
+    let fail fmt =
+      Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" lineno m)) fmt
+    in
+    let parse_call s =
+      (* FUNC(a, b, ...) *)
+      match String.index_opt s '(' with
+      | None -> None
+      | Some i ->
+          if s.[String.length s - 1] <> ')' then None
+          else begin
+            let func = String.trim (String.sub s 0 i) in
+            let args_str = String.sub s (i + 1) (String.length s - i - 2) in
+            let args =
+              String.split_on_char ',' args_str
+              |> List.map String.trim
+              |> List.filter (fun a -> a <> "")
+            in
+            Some (String.uppercase_ascii func, args)
+          end
+    in
+    match String.index_opt line '=' with
+    | None -> (
+        match parse_call line with
+        | Some ("INPUT", [ n ]) -> Ok (Some (Raw_input n))
+        | Some ("OUTPUT", [ n ]) -> Ok (Some (Raw_output n))
+        | _ -> fail "expected INPUT(..), OUTPUT(..) or assignment")
+    | Some eq -> (
+        let out = String.trim (String.sub line 0 eq) in
+        let rhs = String.trim (String.sub line (eq + 1) (String.length line - eq - 1)) in
+        match parse_call rhs with
+        | Some (func, args) when args <> [] -> Ok (Some (Raw_gate (out, func, args)))
+        | _ -> fail "malformed gate definition %S" rhs)
+  end
+
+(* balanced tree decomposition of an associative n-ary function into 2-input
+   cells; for NAND/NOR the tree is AND/OR internally with the inverting cell
+   at the root *)
+let rec tree_reduce ~combine = function
+  | [] -> invalid_arg "tree_reduce: empty"
+  | [ x ] -> x
+  | args ->
+      let n = List.length args in
+      let rec split i acc = function
+        | rest when i = n / 2 -> (List.rev acc, rest)
+        | x :: rest -> split (i + 1) (x :: acc) rest
+        | [] -> (List.rev acc, [])
+      in
+      let left, right = split 0 [] args in
+      combine (tree_reduce ~combine left) (tree_reduce ~combine right)
+
+let parse ~name contents =
+  let lines = String.split_on_char '\n' contents in
+  let raws = ref [] in
+  let error = ref None in
+  List.iteri
+    (fun i line ->
+      if !error = None then begin
+        match parse_line (i + 1) line with
+        | Ok None -> ()
+        | Ok (Some r) -> raws := r :: !raws
+        | Error e -> error := Some e
+      end)
+    lines;
+  match !error with
+  | Some e -> Error e
+  | None -> (
+      let raws = List.rev !raws in
+      let gates = ref [] in
+      (* reversed *)
+      let n_gates = ref 0 in
+      let by_name = Hashtbl.create 64 in
+      let fresh_id () =
+        let id = !n_gates in
+        incr n_gates;
+        id
+      in
+      let add_gate name kind fanins =
+        let id = fresh_id () in
+        gates := { Netlist.id; name; kind; fanins } :: !gates;
+        id
+      in
+      (* first pass: declare inputs and reserve names for defined gates so
+         that forward references resolve *)
+      List.iter
+        (function
+          | Raw_input n -> Hashtbl.replace by_name n (`Input n)
+          | Raw_output _ -> ()
+          | Raw_gate (out, func, args) -> Hashtbl.replace by_name out (`Gate (out, func, args)))
+        raws;
+      let resolving = Hashtbl.create 16 in
+      let exception Parse_error of string in
+      let rec resolve n =
+        match Hashtbl.find_opt by_name n with
+        | None -> raise (Parse_error (Printf.sprintf "undefined signal %S" n))
+        | Some (`Done id) -> id
+        | Some (`Input nm) ->
+            let id = add_gate nm Gate.Input [||] in
+            Hashtbl.replace by_name n (`Done id);
+            id
+        | Some (`Gate (out, func, args)) ->
+            if Hashtbl.mem resolving n then
+              raise (Parse_error (Printf.sprintf "combinational loop through %S" n))
+            else begin
+              Hashtbl.replace resolving n ();
+              let arg_ids = List.map resolve args in
+              Hashtbl.remove resolving n;
+              let unary kind a = add_gate out kind [| a |] in
+              let binary_tree kind ids =
+                let combine a b =
+                  add_gate (Printf.sprintf "%s_t%d" out !n_gates) kind [| a; b |]
+                in
+                match ids with
+                | [ a; b ] -> add_gate out kind [| a; b |]
+                | _ ->
+                    (* reduce all but the final combine anonymously, then name
+                       the root *)
+                    let rec pair = function
+                      | [ a; b ] -> add_gate out kind [| a; b |]
+                      | [ a ] -> a |> fun a -> add_gate out Gate.Buf [| a |]
+                      | ids ->
+                          let rec halves i acc = function
+                            | rest when i = List.length ids / 2 -> (List.rev acc, rest)
+                            | x :: rest -> halves (i + 1) (x :: acc) rest
+                            | [] -> (List.rev acc, [])
+                          in
+                          let l, r = halves 0 [] ids in
+                          add_gate out kind [| tree_reduce ~combine l; tree_reduce ~combine r |]
+                          |> fun id -> ignore (pair []); id
+                    in
+                    ignore pair;
+                    (* simpler: reduce with combine, the last combine gets an
+                       internal name; add a buffer carrying the output name *)
+                    let root = tree_reduce ~combine ids in
+                    ignore (Hashtbl.hash root);
+                    root
+              in
+              let inverting_tree inner_kind ids =
+                match ids with
+                | [ a ] -> unary Gate.Inv a
+                | [ a; b ] ->
+                    add_gate out
+                      (if inner_kind = Gate.And2 then Gate.Nand2 else Gate.Nor2)
+                      [| a; b |]
+                | ids ->
+                    let combine a b =
+                      add_gate (Printf.sprintf "%s_t%d" out !n_gates) inner_kind [| a; b |]
+                    in
+                    let rec split_last acc = function
+                      | [ x ] -> (List.rev acc, x)
+                      | x :: rest -> split_last (x :: acc) rest
+                      | [] -> assert false
+                    in
+                    let init, last = split_last [] ids in
+                    let left = tree_reduce ~combine init in
+                    add_gate out
+                      (if inner_kind = Gate.And2 then Gate.Nand2 else Gate.Nor2)
+                      [| left; last |]
+              in
+              let id =
+                match (func, arg_ids) with
+                | "NOT", [ a ] -> unary Gate.Inv a
+                | ("BUF" | "BUFF"), [ a ] -> unary Gate.Buf a
+                | "DFF", [ a ] -> unary Gate.Dff a
+                | "AND", ids -> binary_tree Gate.And2 ids
+                | "OR", ids -> binary_tree Gate.Or2 ids
+                | "XOR", ids -> binary_tree Gate.Xor2 ids
+                | "XNOR", ids -> binary_tree Gate.Xnor2 ids
+                | "NAND", ids -> inverting_tree Gate.And2 ids
+                | "NOR", ids -> inverting_tree Gate.Or2 ids
+                | f, ids ->
+                    raise
+                      (Parse_error
+                         (Printf.sprintf "unsupported function %s/%d" f (List.length ids)))
+              in
+              Hashtbl.replace by_name n (`Done id);
+              id
+            end
+      in
+      try
+        (* resolve every defined signal and every declared output *)
+        List.iter
+          (function
+            | Raw_input n -> ignore (resolve n)
+            | Raw_gate (out, _, _) -> ignore (resolve out)
+            | Raw_output _ -> ())
+          raws;
+        let outputs =
+          List.filter_map
+            (function Raw_output n -> Some (resolve n) | _ -> None)
+            raws
+        in
+        let gates = Array.of_list (List.rev !gates) in
+        Ok (Netlist.make ~name ~gates ~outputs:(Array.of_list outputs))
+      with
+      | Parse_error e -> Error e
+      | Invalid_argument e -> Error e)
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  let name = Filename.remove_extension (Filename.basename path) in
+  parse ~name contents
+
+let func_name = function
+  | Gate.Inv -> "NOT"
+  | Gate.Buf -> "BUFF"
+  | Gate.Nand2 -> "NAND"
+  | Gate.Nor2 -> "NOR"
+  | Gate.And2 -> "AND"
+  | Gate.Or2 -> "OR"
+  | Gate.Xor2 -> "XOR"
+  | Gate.Xnor2 -> "XNOR"
+  | Gate.Dff -> "DFF"
+  | Gate.Input -> invalid_arg "Bench_format: INPUT is not a function"
+
+let print (t : Netlist.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n" t.name);
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      if g.kind = Gate.Input then
+        Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" g.name))
+    t.gates;
+  Array.iter
+    (fun o -> Buffer.add_string buf (Printf.sprintf "OUTPUT(%s)\n" t.gates.(o).name))
+    t.outputs;
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      if g.kind <> Gate.Input then begin
+        let args =
+          g.fanins |> Array.to_list
+          |> List.map (fun f -> t.gates.(f).name)
+          |> String.concat ", "
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%s = %s(%s)\n" g.name (func_name g.kind) args)
+      end)
+    t.gates;
+  Buffer.contents buf
+
+let write_file path t =
+  let oc = open_out path in
+  output_string oc (print t);
+  close_out oc

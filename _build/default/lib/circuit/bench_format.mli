@@ -1,0 +1,18 @@
+(** ISCAS-89 [.bench] netlist format: parser and printer.
+
+    Reading decomposes gates with more than two inputs into balanced trees
+    of 2-input cells (the internal gate library is 2-input), and maps
+    [NOT]→[Inv], [BUFF]→[Buf], [DFF]→[Dff]. Writing emits one line per gate,
+    so a written file parses back to an isomorphic netlist. *)
+
+val parse : name:string -> string -> (Netlist.t, string) result
+(** [parse ~name contents] parses [.bench] text. Errors mention the
+    offending line. *)
+
+val parse_file : string -> (Netlist.t, string) result
+(** Parse from a path (netlist name = basename without extension). *)
+
+val print : Netlist.t -> string
+(** Render to [.bench] text. *)
+
+val write_file : string -> Netlist.t -> unit

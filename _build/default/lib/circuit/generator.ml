@@ -1,0 +1,174 @@
+type spec = {
+  name : string;
+  n_gates : int;
+  n_inputs : int;
+  n_outputs : int;
+  dff_fraction : float;
+  seed : int;
+}
+
+(* gate-kind mix, roughly matching ISCAS cell statistics *)
+let combinational_kinds =
+  [|
+    (Gate.Nand2, 28); (Gate.Nor2, 12); (Gate.And2, 10); (Gate.Or2, 10);
+    (Gate.Inv, 20); (Gate.Buf, 5); (Gate.Xor2, 10); (Gate.Xnor2, 5);
+  |]
+
+let pick_kind rng =
+  let total = Array.fold_left (fun acc (_, w) -> acc + w) 0 combinational_kinds in
+  let r = Prng.Rng.int_below rng total in
+  let rec scan i acc =
+    let kind, w = combinational_kinds.(i) in
+    if r < acc + w then kind else scan (i + 1) (acc + w)
+  in
+  scan 0 0
+
+(* Layered netlist construction. Gates live on logic levels of roughly equal
+   width; each gate has a "column" position within its level and draws
+   fanins from nearby columns of recent levels. This mirrors the structure
+   of real combinational benchmarks: bounded logic depth (~ISCAS-like) and
+   mostly short, local wires, so the placer can exploit the locality and the
+   spatial-correlation experiments see realistic geometry. *)
+let generate spec =
+  if spec.n_gates <= 0 || spec.n_inputs <= 0 || spec.n_outputs <= 0 then
+    invalid_arg "Generator.generate: sizes must be positive";
+  if spec.n_outputs > spec.n_gates then
+    invalid_arg "Generator.generate: more outputs than gates";
+  if spec.dff_fraction < 0.0 || spec.dff_fraction >= 1.0 then
+    invalid_arg "Generator.generate: dff_fraction must be in [0, 1)";
+  let rng = Prng.Rng.create ~seed:spec.seed in
+  let total = spec.n_inputs + spec.n_gates in
+  (* logic depth grows slowly with size, like the ISCAS suites *)
+  let levels =
+    let l = 18 + int_of_float (6.0 *. log (float_of_int spec.n_gates /. 200.0)) in
+    max 12 (min 48 (min l spec.n_gates))
+  in
+  let gates = Array.make total None in
+  for i = 0 to spec.n_inputs - 1 do
+    gates.(i) <-
+      Some
+        {
+          Netlist.id = i;
+          name = Printf.sprintf "pi%d" i;
+          kind = Gate.Input;
+          fanins = [||];
+        }
+  done;
+  (* level boundaries over the logic gates: level l covers ids
+     [start l, start (l+1)) (primary inputs form a pseudo-level below 0) *)
+  let level_start l = spec.n_inputs + (l * spec.n_gates / levels) in
+  let level_of = Array.make total (-1) in
+  for l = 0 to levels - 1 do
+    for i = level_start l to level_start (l + 1) - 1 do
+      level_of.(i) <- l
+    done
+  done;
+  (* column of a gate: fractional position within its level (inputs:
+     fractional position among inputs) *)
+  let column i =
+    if i < spec.n_inputs then float_of_int i /. float_of_int (max 1 spec.n_inputs)
+    else begin
+      let l = level_of.(i) in
+      let lo = level_start l and hi = level_start (l + 1) in
+      if hi <= lo + 1 then 0.5
+      else float_of_int (i - lo) /. float_of_int (hi - lo - 1)
+    end
+  in
+  (* pick a fanin for gate [i] at level [l]: usually a nearby column of one
+     of the previous few levels; occasionally anywhere earlier (long wire) *)
+  let pick_fanin i l =
+    let pick_input_near c =
+      let jitter = 0.1 *. (Prng.Rng.uniform rng +. Prng.Rng.uniform rng -. 1.0) in
+      let f = Float.min 0.999 (Float.max 0.0 (c +. jitter)) in
+      int_of_float (f *. float_of_int spec.n_inputs)
+    in
+    if Prng.Rng.uniform rng < 0.05 then
+      (* long wire: anywhere earlier *)
+      Prng.Rng.int_below rng i
+    else if l = 0 then pick_input_near (column i)
+    else begin
+      (* geometric look-back over levels: mostly the immediately previous *)
+      let rec back depth =
+        if depth >= l then -1 (* ran past level 0: use the inputs *)
+        else if Prng.Rng.uniform rng < 0.7 then l - 1 - depth
+        else back (depth + 1)
+      in
+      let src_level = back 0 in
+      if src_level < 0 then pick_input_near (column i)
+      else begin
+        let lo = level_start src_level and hi = level_start (src_level + 1) in
+        let width = hi - lo in
+        if width <= 0 then Prng.Rng.int_below rng i
+        else begin
+          (* column-local pick with triangular jitter *)
+          let c = column i in
+          let jitter = 0.08 *. (Prng.Rng.uniform rng +. Prng.Rng.uniform rng -. 1.0) in
+          let f = Float.min 0.999 (Float.max 0.0 (c +. jitter)) in
+          lo + int_of_float (f *. float_of_int width)
+        end
+      end
+    end
+  in
+  for i = spec.n_inputs to total - 1 do
+    let l = level_of.(i) in
+    let kind =
+      if l > 0 && Prng.Rng.uniform rng < spec.dff_fraction then Gate.Dff
+      else pick_kind rng
+    in
+    let arity = Gate.arity kind in
+    let f0 = pick_fanin i l in
+    let fanins =
+      if arity = 1 then [| f0 |]
+      else begin
+        let f1 = ref (pick_fanin i l) in
+        let tries = ref 0 in
+        while !f1 = f0 && !tries < 8 do
+          f1 := pick_fanin i l;
+          incr tries
+        done;
+        [| f0; !f1 |]
+      end
+    in
+    gates.(i) <-
+      Some { Netlist.id = i; name = Printf.sprintf "g%d" i; kind; fanins }
+  done;
+  let gates = Array.map Option.get gates in
+  (* primary outputs: mostly the last level, the rest sampled earlier *)
+  let n_tail = min spec.n_outputs (max 1 (spec.n_outputs / 2)) in
+  let outputs = Hashtbl.create spec.n_outputs in
+  for i = total - n_tail to total - 1 do
+    Hashtbl.replace outputs i ()
+  done;
+  while Hashtbl.length outputs < spec.n_outputs do
+    let cand = spec.n_inputs + Prng.Rng.int_below rng spec.n_gates in
+    Hashtbl.replace outputs cand ()
+  done;
+  let outputs = Array.of_seq (Hashtbl.to_seq_keys outputs) in
+  Array.sort compare outputs;
+  Netlist.make ~name:spec.name ~gates ~outputs
+
+let paper_suite =
+  [
+    ("c880", 383); ("c1355", 546); ("c1908", 880); ("c3540", 1669);
+    ("c5315", 2307); ("c6288", 2416); ("s5378", 2779); ("c7552", 3512);
+    ("s9234", 5597); ("s13207", 7951); ("s15850", 9772); ("s35932", 16065);
+    ("s38584", 19253); ("s38417", 22179);
+  ]
+
+let paper_spec name =
+  match List.assoc_opt name paper_suite with
+  | None -> raise Not_found
+  | Some n_gates ->
+      let sequential = name.[0] = 's' in
+      let n_inputs = max 16 (n_gates / 25) in
+      let n_outputs = max 8 (n_gates / 40) in
+      {
+        name;
+        n_gates;
+        n_inputs;
+        n_outputs;
+        dff_fraction = (if sequential then 0.07 else 0.0);
+        seed = 9001 + Hashtbl.hash name;
+      }
+
+let generate_paper name = generate (paper_spec name)

@@ -1,0 +1,35 @@
+(** Synthetic ISCAS-like benchmark generator.
+
+    The paper evaluates on placed ISCAS85/89 netlists; those netlists are
+    not redistributable here, so this generator produces random
+    combinational/sequential DAGs at the exact gate counts of the paper's
+    Table 1. Connectivity is locality-biased (each gate draws most fanins
+    from recently created gates), which gives the recursive-bisection placer
+    realistic clustering to work with. Generation is deterministic in the
+    seed. *)
+
+type spec = {
+  name : string;
+  n_gates : int; (* logic gates, excluding primary-input pseudo gates *)
+  n_inputs : int;
+  n_outputs : int;
+  dff_fraction : float; (* 0 for combinational c-circuits, ~0.07 for sequential s-circuits *)
+  seed : int;
+}
+
+val generate : spec -> Netlist.t
+(** Raises [Invalid_argument] on non-positive sizes or when
+    [n_outputs > n_gates]. *)
+
+val paper_suite : (string * int) list
+(** The 14 circuits of Table 1 with their paper gate counts:
+    c880 (383) … s38417 (22179). *)
+
+val paper_spec : string -> spec
+(** Spec reproducing the named Table 1 circuit (sizes, sequential flag from
+    the c/s prefix, fixed per-circuit seed). Raises [Not_found] for unknown
+    names. *)
+
+val generate_paper : string -> Netlist.t
+(** [generate (paper_spec name)], with the generated gate count guaranteed
+    to equal the Table 1 count. *)

@@ -1,0 +1,134 @@
+type gate = {
+  id : int;
+  name : string;
+  kind : Gate.kind;
+  fanins : int array;
+}
+
+type t = {
+  name : string;
+  gates : gate array;
+  outputs : int array;
+}
+
+let is_source g = match g.kind with Gate.Input | Gate.Dff -> true | _ -> false
+
+(* Kahn's algorithm over combinational edges; Dff data inputs do not create
+   ordering constraints (the Dff is a source). Returns the order or reports
+   a cycle. *)
+let topo_or_cycle gates =
+  let n = Array.length gates in
+  let indegree = Array.make n 0 in
+  Array.iter
+    (fun g -> if not (is_source g) then indegree.(g.id) <- Array.length g.fanins)
+    gates;
+  let fanouts = Array.make n [] in
+  Array.iter
+    (fun g ->
+      if not (is_source g) then
+        Array.iter (fun f -> fanouts.(f) <- g.id :: fanouts.(f)) g.fanins)
+    gates;
+  let queue = Queue.create () in
+  Array.iter (fun g -> if indegree.(g.id) = 0 then Queue.add g.id queue) gates;
+  let order = Array.make n 0 in
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    order.(!count) <- i;
+    incr count;
+    List.iter
+      (fun j ->
+        indegree.(j) <- indegree.(j) - 1;
+        if indegree.(j) = 0 then Queue.add j queue)
+      fanouts.(i)
+  done;
+  if !count = n then Ok order else Error "combinational cycle detected"
+
+let validate_dag ~gates =
+  let n = Array.length gates in
+  let check i g =
+    if g.id <> i then Error (Printf.sprintf "gate %d has id %d" i g.id)
+    else if Array.length g.fanins <> Gate.arity g.kind then
+      Error
+        (Printf.sprintf "gate %s: arity mismatch (%d fanins for %s)" g.name
+           (Array.length g.fanins) (Gate.kind_name g.kind))
+    else if Array.exists (fun f -> f < 0 || f >= n) g.fanins then
+      Error (Printf.sprintf "gate %s: dangling fanin" g.name)
+    else Ok ()
+  in
+  let rec check_all i =
+    if i >= n then Ok ()
+    else begin
+      match check i gates.(i) with Ok () -> check_all (i + 1) | Error _ as e -> e
+    end
+  in
+  match check_all 0 with
+  | Error _ as e -> e
+  | Ok () -> ( match topo_or_cycle gates with Ok _ -> Ok () | Error e -> Error e)
+
+let make ~name ~gates ~outputs =
+  (match validate_dag ~gates with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Netlist.make: " ^ e));
+  let n = Array.length gates in
+  Array.iter
+    (fun o -> if o < 0 || o >= n then invalid_arg "Netlist.make: invalid output id")
+    outputs;
+  { name; gates; outputs }
+
+let size t = Array.length t.gates
+
+let logic_gate_count t =
+  Array.fold_left
+    (fun acc g -> if g.kind = Gate.Input then acc else acc + 1)
+    0 t.gates
+
+let inputs t =
+  t.gates
+  |> Array.to_seq
+  |> Seq.filter_map (fun g -> if g.kind = Gate.Input then Some g.id else None)
+  |> Array.of_seq
+
+let dffs t =
+  t.gates
+  |> Array.to_seq
+  |> Seq.filter_map (fun g -> if g.kind = Gate.Dff then Some g.id else None)
+  |> Array.of_seq
+
+let fanouts t =
+  let n = size t in
+  let acc = Array.make n [] in
+  Array.iter
+    (fun g -> Array.iter (fun f -> acc.(f) <- g.id :: acc.(f)) g.fanins)
+    t.gates;
+  Array.map (fun l -> Array.of_list (List.rev l)) acc
+
+let topological_order t =
+  match topo_or_cycle t.gates with
+  | Ok order -> order
+  | Error e -> invalid_arg ("Netlist.topological_order: " ^ e)
+
+let endpoints t =
+  let set = Hashtbl.create 64 in
+  Array.iter (fun o -> Hashtbl.replace set o ()) t.outputs;
+  Array.iter
+    (fun g ->
+      if g.kind = Gate.Dff then Array.iter (fun f -> Hashtbl.replace set f ()) g.fanins)
+    t.gates;
+  let l = Hashtbl.fold (fun k () acc -> k :: acc) set [] in
+  let a = Array.of_list l in
+  Array.sort compare a;
+  a
+
+let levels t =
+  let order = topological_order t in
+  let lvl = Array.make (size t) 0 in
+  Array.iter
+    (fun i ->
+      let g = t.gates.(i) in
+      if not (is_source g) then
+        Array.iter (fun f -> lvl.(i) <- max lvl.(i) (lvl.(f) + 1)) g.fanins)
+    order;
+  lvl
+
+let max_level t = Array.fold_left max 0 (levels t)

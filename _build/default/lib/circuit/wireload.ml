@@ -1,0 +1,38 @@
+type net_load = {
+  r_wire : float;
+  c_wire : float;
+  c_pins : float;
+}
+
+type t = {
+  placement : Placer.placement;
+  loads : net_load array;
+  fanouts : int array array;
+}
+
+(* 90 nm global-ish metal: ~0.35 kΩ/mm, ~180 fF/mm are typical ballpark
+   figures for minimum-width intermediate layers *)
+let r_per_mm = 0.35
+let c_per_mm = 180.0
+
+let build ?(die_size_mm = 1.0) (placement : Placer.placement) =
+  let netlist = placement.Placer.netlist in
+  let fanouts = Netlist.fanouts netlist in
+  let die_w = Geometry.Rect.width placement.Placer.die in
+  let mm_per_unit = die_size_mm /. die_w in
+  let hpwls = Placer.hpwl_all placement in
+  let loads =
+    Array.init (Netlist.size netlist) (fun i ->
+        let len_mm = hpwls.(i) *. mm_per_unit in
+        let c_pins =
+          Array.fold_left
+            (fun acc s -> acc +. (Gate.timing netlist.gates.(s).kind).Gate.c_in)
+            0.0 fanouts.(i)
+        in
+        { r_wire = r_per_mm *. len_mm; c_wire = c_per_mm *. len_mm; c_pins })
+  in
+  { placement; loads; fanouts }
+
+let c_load t i =
+  let l = t.loads.(i) in
+  l.c_wire +. l.c_pins

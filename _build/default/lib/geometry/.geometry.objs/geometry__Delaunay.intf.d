@@ -1,0 +1,1 @@
+lib/geometry/delaunay.mli: Point Rect

@@ -1,0 +1,1 @@
+lib/geometry/geometry_intf.ml: Mesh

@@ -1,0 +1,1 @@
+lib/geometry/locator.ml: Array Float List Mesh Point Rect Triangle

@@ -1,0 +1,1 @@
+lib/geometry/locator.mli: Mesh Point

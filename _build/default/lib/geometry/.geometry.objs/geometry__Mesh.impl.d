@@ -1,0 +1,1 @@
+lib/geometry/mesh.ml: Array Float Hashtbl List Option Point Printf Rect Triangle

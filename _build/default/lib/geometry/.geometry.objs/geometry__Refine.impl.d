@@ -1,0 +1,1 @@
+lib/geometry/refine.ml: Array Delaunay Float Geometry_intf Hashtbl List Mesh Point Rect Triangle

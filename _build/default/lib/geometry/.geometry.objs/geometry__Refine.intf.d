@@ -1,0 +1,1 @@
+lib/geometry/refine.mli: Geometry_intf Rect

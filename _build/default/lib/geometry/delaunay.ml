@@ -1,0 +1,207 @@
+(* Bowyer-Watson with a super-triangle and a {e connected-cavity} insertion:
+   the cavity of a new point is grown by breadth-first search over
+   edge-adjacent triangles starting from the triangle containing the point,
+   rather than by a global circumcircle scan. Under floating point the global
+   scan can pick up spurious far-away "bad" triangles and corrupt the
+   structure (the cavity must be connected and star-shaped); the BFS variant
+   keeps the cavity connected by construction.
+
+   Point indices 0..2 are the internal super-triangle vertices; public
+   indices are offset by 3. Triangles are kept counter-clockwise so the
+   incircle determinant has a fixed sign convention. *)
+
+type tri = { ia : int; ib : int; ic : int }
+
+type t = {
+  rect : Rect.t;
+  mutable pts : Point.t array; (* includes the 3 super vertices *)
+  mutable n : int;
+  mutable tris : tri list;
+}
+
+let super_vertices rect =
+  let cx = (Rect.center rect).x and cy = (Rect.center rect).y in
+  let m = 20.0 *. Float.max (Rect.width rect) (Rect.height rect) in
+  [|
+    Point.make (cx -. (2.0 *. m)) (cy -. m);
+    Point.make (cx +. (2.0 *. m)) (cy -. m);
+    Point.make cx (cy +. (2.0 *. m));
+  |]
+
+let create rect =
+  let sv = super_vertices rect in
+  let pts = Array.make 64 sv.(0) in
+  pts.(0) <- sv.(0);
+  pts.(1) <- sv.(1);
+  pts.(2) <- sv.(2);
+  (* super triangle must be CCW *)
+  let t0 =
+    if Point.cross sv.(0) sv.(1) sv.(2) > 0.0 then { ia = 0; ib = 1; ic = 2 }
+    else { ia = 0; ib = 2; ic = 1 }
+  in
+  { rect; pts; n = 3; tris = [ t0 ] }
+
+let grow t =
+  if t.n = Array.length t.pts then begin
+    let pts = Array.make (2 * t.n) t.pts.(0) in
+    Array.blit t.pts 0 pts 0 t.n;
+    t.pts <- pts
+  end
+
+(* incircle determinant: positive when d is strictly inside the circumcircle
+   of the CCW triangle (a, b, c); [tolerant] also accepts near-cocircular *)
+let incircle_det (a : Point.t) (b : Point.t) (c : Point.t) (d : Point.t) =
+  let ax = a.x -. d.x and ay = a.y -. d.y in
+  let bx = b.x -. d.x and by = b.y -. d.y in
+  let cx = c.x -. d.x and cy = c.y -. d.y in
+  let a2 = (ax *. ax) +. (ay *. ay) in
+  let b2 = (bx *. bx) +. (by *. by) in
+  let c2 = (cx *. cx) +. (cy *. cy) in
+  let det =
+    (ax *. ((by *. c2) -. (cy *. b2)))
+    -. (ay *. ((bx *. c2) -. (cx *. b2)))
+    +. (a2 *. ((bx *. cy) -. (cx *. by)))
+  in
+  (* scale of the determinant's terms, for a relative tolerance *)
+  let scale = (a2 +. b2 +. c2) ** 2.0 in
+  (det, scale)
+
+let in_circumcircle ?(slack = 0.0) t tri (p : Point.t) =
+  let det, scale = incircle_det t.pts.(tri.ia) t.pts.(tri.ib) t.pts.(tri.ic) p in
+  det > -.slack *. scale
+
+(* barycentric containment, tolerant of boundary points *)
+let tri_contains t tri (p : Point.t) =
+  let a = t.pts.(tri.ia) and b = t.pts.(tri.ib) and c = t.pts.(tri.ic) in
+  let denom = Point.cross a b c in
+  if Float.abs denom < 1e-300 then false
+  else begin
+    let tol = -1e-12 *. Float.abs denom in
+    Point.cross a b p >= tol && Point.cross b c p >= tol && Point.cross c a p >= tol
+  end
+
+let find_existing t p =
+  let rec loop i =
+    if i >= t.n then None
+    else if Point.equal ~tol:1e-12 t.pts.(i) p then Some i
+    else loop (i + 1)
+  in
+  loop 3
+
+let edge_key u v = if u < v then (u, v) else (v, u)
+
+let insert t p =
+  if not (Rect.contains ~tol:1e-9 t.rect p) then
+    invalid_arg "Delaunay.insert: point outside bounding rectangle";
+  match find_existing t p with
+  | Some i -> i - 3
+  | None ->
+      grow t;
+      let pi = t.n in
+      t.pts.(pi) <- p;
+      t.n <- t.n + 1;
+      let tris = Array.of_list t.tris in
+      let ntri = Array.length tris in
+      (* edge -> adjacent triangle indices *)
+      let edge_map : ((int * int), int list) Hashtbl.t = Hashtbl.create (3 * ntri) in
+      Array.iteri
+        (fun i { ia; ib; ic } ->
+          List.iter
+            (fun key ->
+              Hashtbl.replace edge_map key
+                (i :: Option.value ~default:[] (Hashtbl.find_opt edge_map key)))
+            [ edge_key ia ib; edge_key ib ic; edge_key ic ia ])
+        tris;
+      (* seed: the triangle containing p *)
+      let seed =
+        let rec scan i =
+          if i >= ntri then None
+          else if tri_contains t tris.(i) p then Some i
+          else scan (i + 1)
+        in
+        scan 0
+      in
+      let seed =
+        match seed with
+        | Some s -> s
+        | None ->
+            (* numerical corner case: fall back to any triangle whose
+               circumcircle contains p *)
+            let rec scan i =
+              if i >= ntri then
+                invalid_arg "Delaunay.insert: point not inside any triangle"
+              else if in_circumcircle ~slack:1e-12 t tris.(i) p then i
+              else scan (i + 1)
+            in
+            scan 0
+      in
+      (* grow the cavity by BFS over edge-adjacency *)
+      let in_cavity = Array.make ntri false in
+      in_cavity.(seed) <- true;
+      let queue = Queue.create () in
+      Queue.add seed queue;
+      while not (Queue.is_empty queue) do
+        let i = Queue.pop queue in
+        let { ia; ib; ic } = tris.(i) in
+        List.iter
+          (fun key ->
+            match Hashtbl.find_opt edge_map key with
+            | None -> ()
+            | Some adjacent ->
+                List.iter
+                  (fun j ->
+                    if
+                      (not in_cavity.(j))
+                      && in_circumcircle ~slack:1e-12 t tris.(j) p
+                    then begin
+                      in_cavity.(j) <- true;
+                      Queue.add j queue
+                    end)
+                  adjacent)
+          [ edge_key ia ib; edge_key ib ic; edge_key ic ia ]
+      done;
+      (* boundary edges: cavity-triangle edges whose other side is outside
+         the cavity; keep the CCW orientation of the cavity triangle *)
+      let fresh = ref [] in
+      let add_boundary_edge u v =
+        (* (u, v) was CCW in its cavity triangle, so (u, v, pi) is CCW when p
+           is inside the cavity *)
+        let tri =
+          if Point.cross t.pts.(u) t.pts.(v) p > 0.0 then { ia = u; ib = v; ic = pi }
+          else { ia = v; ib = u; ic = pi }
+        in
+        fresh := tri :: !fresh
+      in
+      Array.iteri
+        (fun i { ia; ib; ic } ->
+          if in_cavity.(i) then
+            List.iter
+              (fun (u, v) ->
+                let neighbors =
+                  Option.value ~default:[] (Hashtbl.find_opt edge_map (edge_key u v))
+                in
+                (* boundary iff no {e other} cavity triangle shares the edge
+                   (covers hull edges, whose only adjacency is [i] itself) *)
+                let boundary =
+                  List.for_all (fun j -> j = i || not in_cavity.(j)) neighbors
+                in
+                if boundary then add_boundary_edge u v)
+              [ (ia, ib); (ib, ic); (ic, ia) ])
+        tris;
+      let survivors = ref [] in
+      Array.iteri (fun i tri -> if not in_cavity.(i) then survivors := tri :: !survivors) tris;
+      t.tris <- List.rev_append !fresh !survivors;
+      pi - 3
+
+let point_count t = t.n - 3
+
+let points t = Array.sub t.pts 3 (t.n - 3)
+
+let triangles t =
+  let real = List.filter (fun { ia; ib; ic } -> ia >= 3 && ib >= 3 && ic >= 3) t.tris in
+  Array.of_list (List.map (fun { ia; ib; ic } -> (ia - 3, ib - 3, ic - 3)) real)
+
+let triangulate rect pts =
+  let t = create rect in
+  Array.iter (fun p -> ignore (insert t p)) pts;
+  triangles t

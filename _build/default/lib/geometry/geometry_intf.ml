@@ -1,0 +1,9 @@
+(** Shared result types for the meshing pipeline. *)
+
+type mesh_result = {
+  mesh : Mesh.t;
+  satisfied : bool;
+      (** false when the insertion budget ran out before all quality
+          constraints were met *)
+  inserted_points : int;
+}

@@ -1,0 +1,85 @@
+type t = {
+  mesh : Mesh.t;
+  nx : int;
+  ny : int;
+  cells : int list array; (* triangle indices whose bbox overlaps each cell *)
+}
+
+let cell_of t (p : Point.t) =
+  let d = t.mesh.Mesh.domain in
+  let fx = (p.x -. d.Rect.xmin) /. Rect.width d in
+  let fy = (p.y -. d.Rect.ymin) /. Rect.height d in
+  let ix = min (t.nx - 1) (max 0 (int_of_float (fx *. float_of_int t.nx))) in
+  let iy = min (t.ny - 1) (max 0 (int_of_float (fy *. float_of_int t.ny))) in
+  (ix, iy)
+
+let create ?cells_per_axis mesh =
+  let n = Mesh.size mesh in
+  let axis =
+    match cells_per_axis with
+    | Some c when c > 0 -> c
+    | Some _ -> invalid_arg "Locator.create: cells_per_axis must be positive"
+    | None -> max 1 (int_of_float (sqrt (float_of_int n)))
+  in
+  let t = { mesh; nx = axis; ny = axis; cells = Array.make (axis * axis) [] } in
+  let d = mesh.Mesh.domain in
+  Array.iteri
+    (fun ti (i, j, k) ->
+      let pa = mesh.Mesh.points.(i)
+      and pb = mesh.Mesh.points.(j)
+      and pc = mesh.Mesh.points.(k) in
+      let xmin = Float.min pa.x (Float.min pb.x pc.x) in
+      let xmax = Float.max pa.x (Float.max pb.x pc.x) in
+      let ymin = Float.min pa.y (Float.min pb.y pc.y) in
+      let ymax = Float.max pa.y (Float.max pb.y pc.y) in
+      let ix0, iy0 = cell_of t (Point.make xmin ymin) in
+      let ix1, iy1 = cell_of t (Point.make xmax ymax) in
+      for iy = iy0 to iy1 do
+        for ix = ix0 to ix1 do
+          let c = (iy * t.nx) + ix in
+          t.cells.(c) <- ti :: t.cells.(c)
+        done
+      done;
+      ignore d)
+    mesh.Mesh.triangles;
+  t
+
+let find t p =
+  if not (Rect.contains ~tol:1e-9 t.mesh.Mesh.domain p) then None
+  else begin
+    let ix, iy = cell_of t p in
+    let candidates = t.cells.((iy * t.nx) + ix) in
+    let hit =
+      List.find_opt (fun ti -> Triangle.contains (Mesh.triangle t.mesh ti) p) candidates
+    in
+    match hit with
+    | Some ti -> Some ti
+    | None ->
+        (* numerical edge case near cell borders: brute-force fallback *)
+        let n = Mesh.size t.mesh in
+        let rec scan i =
+          if i >= n then None
+          else if Triangle.contains ~tol:1e-9 (Mesh.triangle t.mesh i) p then Some i
+          else scan (i + 1)
+        in
+        scan 0
+  end
+
+let find_exn t p = match find t p with Some i -> i | None -> raise Not_found
+
+let find_nearest t p =
+  let clamped = Rect.clamp t.mesh.Mesh.domain p in
+  match find t clamped with
+  | Some i -> i
+  | None ->
+      (* fall back to the triangle with the nearest centroid *)
+      let best = ref 0 and best_d = ref infinity in
+      Array.iteri
+        (fun i c ->
+          let d = Point.dist2 clamped c in
+          if d < !best_d then begin
+            best := i;
+            best_d := d
+          end)
+        t.mesh.Mesh.centroids;
+      !best

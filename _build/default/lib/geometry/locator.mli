@@ -1,0 +1,21 @@
+(** Point-to-triangle lookup over a mesh via a uniform spatial grid — the
+    [IndexOfContainingTriangle] primitive of the paper's Algorithm 2. *)
+
+type t
+
+val create : ?cells_per_axis:int -> Mesh.t -> t
+(** [create mesh] indexes the mesh triangles. The default grid resolution
+    scales with [sqrt (Mesh.size mesh)]. *)
+
+val find : t -> Point.t -> int option
+(** [find t p] is the index of a triangle containing [p] (points exactly on
+    shared edges may match either neighbor), or [None] when [p] lies outside
+    the mesh domain. *)
+
+val find_exn : t -> Point.t -> int
+(** Like {!find} but raises [Not_found]. *)
+
+val find_nearest : t -> Point.t -> int
+(** Like {!find}, but clamping [p] into the domain first, so that every query
+    returns a triangle. Useful for gate locations placed exactly on the die
+    boundary. *)

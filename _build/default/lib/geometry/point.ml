@@ -1,0 +1,27 @@
+type t = { x : float; y : float }
+
+let make x y = { x; y }
+
+let add a b = { x = a.x +. b.x; y = a.y +. b.y }
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y }
+let scale s a = { x = s *. a.x; y = s *. a.y }
+let dot a b = (a.x *. b.x) +. (a.y *. b.y)
+
+let dist2 a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y in
+  (dx *. dx) +. (dy *. dy)
+
+let dist a b = sqrt (dist2 a b)
+
+let dist_l1 a b = Float.abs (a.x -. b.x) +. Float.abs (a.y -. b.y)
+
+let norm a = sqrt ((a.x *. a.x) +. (a.y *. a.y))
+
+let midpoint a b = { x = 0.5 *. (a.x +. b.x); y = 0.5 *. (a.y +. b.y) }
+
+let cross a b c = ((b.x -. a.x) *. (c.y -. a.y)) -. ((b.y -. a.y) *. (c.x -. a.x))
+
+let equal ?(tol = 0.0) a b =
+  Float.abs (a.x -. b.x) <= tol && Float.abs (a.y -. b.y) <= tol
+
+let pp ppf { x; y } = Format.fprintf ppf "(%g, %g)" x y

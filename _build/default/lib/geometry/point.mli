@@ -1,0 +1,32 @@
+(** Points in the plane (chip locations in the normalized die coordinate
+    system D = [-1,1] x [-1,1]). *)
+
+type t = { x : float; y : float }
+
+val make : float -> float -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val dot : t -> t -> float
+
+val dist : t -> t -> float
+(** Euclidean (L2) distance. *)
+
+val dist2 : t -> t -> float
+(** Squared Euclidean distance. *)
+
+val dist_l1 : t -> t -> float
+(** Manhattan (L1) distance, used by the separable exponential kernel. *)
+
+val norm : t -> float
+
+val midpoint : t -> t -> t
+
+val cross : t -> t -> t -> float
+(** [cross a b c] is the z-component of [(b - a) x (c - a)]: positive when
+    [a b c] turn counter-clockwise. *)
+
+val equal : ?tol:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+type t = { xmin : float; xmax : float; ymin : float; ymax : float }
+
+let make ~xmin ~xmax ~ymin ~ymax =
+  if xmax <= xmin || ymax <= ymin then invalid_arg "Rect.make: empty rectangle";
+  { xmin; xmax; ymin; ymax }
+
+let unit_die = { xmin = -1.0; xmax = 1.0; ymin = -1.0; ymax = 1.0 }
+
+let width r = r.xmax -. r.xmin
+let height r = r.ymax -. r.ymin
+let area r = width r *. height r
+
+let center r = Point.make (0.5 *. (r.xmin +. r.xmax)) (0.5 *. (r.ymin +. r.ymax))
+
+let contains ?(tol = 0.0) r (p : Point.t) =
+  p.x >= r.xmin -. tol && p.x <= r.xmax +. tol && p.y >= r.ymin -. tol
+  && p.y <= r.ymax +. tol
+
+let clamp r (p : Point.t) =
+  Point.make (Float.min r.xmax (Float.max r.xmin p.x))
+    (Float.min r.ymax (Float.max r.ymin p.y))
+
+let corners r =
+  [|
+    Point.make r.xmin r.ymin;
+    Point.make r.xmax r.ymin;
+    Point.make r.xmax r.ymax;
+    Point.make r.xmin r.ymax;
+  |]
+
+let sample_grid r ~nx ~ny =
+  if nx < 2 || ny < 2 then invalid_arg "Rect.sample_grid: requires nx, ny >= 2";
+  let pts = Array.make (nx * ny) (Point.make 0.0 0.0) in
+  for iy = 0 to ny - 1 do
+    for ix = 0 to nx - 1 do
+      let x = r.xmin +. (width r *. float_of_int ix /. float_of_int (nx - 1)) in
+      let y = r.ymin +. (height r *. float_of_int iy /. float_of_int (ny - 1)) in
+      pts.((iy * nx) + ix) <- Point.make x y
+    done
+  done;
+  pts

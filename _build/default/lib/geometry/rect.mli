@@ -1,0 +1,27 @@
+(** Axis-aligned rectangles; the chip domain of the paper is the normalized
+    die [D = [-1,1] x [-1,1]]. *)
+
+type t = { xmin : float; xmax : float; ymin : float; ymax : float }
+
+val make : xmin:float -> xmax:float -> ymin:float -> ymax:float -> t
+(** Raises [Invalid_argument] on an empty rectangle. *)
+
+val unit_die : t
+(** The paper's normalized chip area [[-1,1] x [-1,1]]. *)
+
+val width : t -> float
+val height : t -> float
+val area : t -> float
+val center : t -> Point.t
+
+val contains : ?tol:float -> t -> Point.t -> bool
+
+val clamp : t -> Point.t -> Point.t
+(** Nearest point inside the rectangle. *)
+
+val corners : t -> Point.t array
+(** Counter-clockwise from (xmin, ymin). *)
+
+val sample_grid : t -> nx:int -> ny:int -> Point.t array
+(** [nx * ny] points on a regular interior-inclusive grid (endpoints on the
+    boundary). Requires [nx, ny >= 2]. *)

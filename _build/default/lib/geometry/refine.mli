@@ -1,0 +1,22 @@
+(** Quality mesh refinement in the style of Ruppert's algorithm, standing in
+    for Shewchuk's Triangle [24]: Delaunay refinement by circumcenter
+    insertion under a maximum-area and minimum-angle constraint, with
+    diametral-circle encroachment handling on the rectangle boundary.
+
+    The paper's mesh — "minimum angle of 28 degrees and maximum triangle area
+    of 0.1% of the chip area, resulting in n = 1546 triangles" — is
+    [mesh Rect.unit_die ~max_area_fraction:0.001 ~min_angle_deg:28.0]. *)
+
+val mesh :
+  ?min_angle_deg:float ->
+  ?max_points:int ->
+  Rect.t ->
+  max_area_fraction:float ->
+  Geometry_intf.mesh_result
+(** [mesh rect ~max_area_fraction] refines until every triangle has area at
+    most [max_area_fraction * area rect] and minimum interior angle at least
+    [min_angle_deg] (default 28.0; must be below 33 for guaranteed
+    termination — higher values are attempted best-effort). [max_points]
+    (default 100_000) bounds the insertion budget.
+
+    Raises [Invalid_argument] for non-positive [max_area_fraction]. *)

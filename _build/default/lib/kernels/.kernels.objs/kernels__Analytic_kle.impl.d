@@ -1,0 +1,1 @@
+lib/kernels/analytic_kle.ml: Array Float Geometry List

@@ -1,0 +1,1 @@
+lib/kernels/analytic_kle.mli: Geometry

@@ -1,0 +1,1 @@
+lib/kernels/extract.ml: Array Fit Float Geometry Kernel Linalg List Stats Validity

@@ -1,0 +1,1 @@
+lib/kernels/extract.mli: Fit Geometry Kernel Linalg

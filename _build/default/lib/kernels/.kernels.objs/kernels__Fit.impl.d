@@ -1,0 +1,1 @@
+lib/kernels/fit.ml: Array Float Kernel Util

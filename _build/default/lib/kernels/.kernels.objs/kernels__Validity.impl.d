@@ -1,0 +1,1 @@
+lib/kernels/validity.ml: Array Float Geometry Kernel Linalg

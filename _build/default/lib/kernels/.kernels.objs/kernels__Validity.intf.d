@@ -1,0 +1,1 @@
+lib/kernels/validity.mli: Geometry Kernel Linalg

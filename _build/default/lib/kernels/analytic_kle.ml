@@ -1,0 +1,93 @@
+type parity = Even | Odd
+
+type eigenpair_1d = {
+  lambda : float;
+  omega : float;
+  parity : parity;
+  norm : float;
+}
+
+let bisect f lo hi =
+  (* assumes a sign change on [lo, hi] *)
+  let flo = f lo in
+  let lo = ref lo and hi = ref hi in
+  let flo = ref flo in
+  for _ = 1 to 200 do
+    let mid = 0.5 *. (!lo +. !hi) in
+    let fm = f mid in
+    if (fm >= 0.0 && !flo >= 0.0) || (fm <= 0.0 && !flo <= 0.0) then begin
+      lo := mid;
+      flo := fm
+    end
+    else hi := mid
+  done;
+  0.5 *. (!lo +. !hi)
+
+let exp_1d ~c ~half_width ~count =
+  if c <= 0.0 || half_width <= 0.0 || count <= 0 then
+    invalid_arg "Analytic_kle.exp_1d: parameters must be positive";
+  let a = half_width in
+  let eps = 1e-9 in
+  (* even mode n: root of c - w tan(wa) in (((n-1) pi)/a, ((n-0.5) pi)/a) *)
+  let even_root n =
+    let lo = ((float_of_int (n - 1) *. Float.pi) /. a) +. eps in
+    let hi = (((float_of_int n -. 0.5) *. Float.pi) /. a) -. eps in
+    bisect (fun w -> c -. (w *. tan (w *. a))) (Float.max lo eps) hi
+  in
+  (* odd mode n: root of w + c tan(wa) in (((n-0.5) pi)/a, (n pi)/a) *)
+  let odd_root n =
+    let lo = (((float_of_int n -. 0.5) *. Float.pi) /. a) +. eps in
+    let hi = ((float_of_int n *. Float.pi) /. a) -. eps in
+    bisect (fun w -> w +. (c *. tan (w *. a))) lo hi
+  in
+  let lambda_of w = 2.0 *. c /. ((w *. w) +. (c *. c)) in
+  let make parity w =
+    let norm =
+      match parity with
+      | Even -> sqrt (a +. (sin (2.0 *. w *. a) /. (2.0 *. w)))
+      | Odd -> sqrt (a -. (sin (2.0 *. w *. a) /. (2.0 *. w)))
+    in
+    { lambda = lambda_of w; omega = w; parity; norm }
+  in
+  (* even and odd frequencies interleave, so generating [count] of each and
+     sorting by eigenvalue is enough *)
+  let pairs =
+    Array.init count (fun i -> make Even (even_root (i + 1)))
+    |> Array.append (Array.init count (fun i -> make Odd (odd_root (i + 1))))
+  in
+  Array.sort (fun p q -> compare q.lambda p.lambda) pairs;
+  Array.sub pairs 0 count
+
+let eval_1d p x =
+  match p.parity with
+  | Even -> cos (p.omega *. x) /. p.norm
+  | Odd -> sin (p.omega *. x) /. p.norm
+
+type eigenpair_2d = { lambda : float; fx : eigenpair_1d; fy : eigenpair_1d }
+
+let exp_2d ~c ~rect ~count =
+  if count <= 0 then invalid_arg "Analytic_kle.exp_2d: count must be positive";
+  (* enough 1-D modes per axis: the product of the (m+1)-th modes is always
+     below the m-th largest product, so m = count suffices *)
+  let m = count in
+  let px = exp_1d ~c ~half_width:(0.5 *. Geometry.Rect.width rect) ~count:m in
+  let py = exp_1d ~c ~half_width:(0.5 *. Geometry.Rect.height rect) ~count:m in
+  let all =
+    Array.concat
+      (List.init m (fun i ->
+           Array.map
+             (fun (q : eigenpair_1d) ->
+               { lambda = px.(i).lambda *. q.lambda; fx = px.(i); fy = q })
+             py))
+  in
+  Array.sort (fun p q -> compare q.lambda p.lambda) all;
+  Array.sub all 0 count
+
+let eval_2d ~rect p (pt : Geometry.Point.t) =
+  let cx = (Geometry.Rect.center rect).x and cy = (Geometry.Rect.center rect).y in
+  eval_1d p.fx (pt.x -. cx) *. eval_1d p.fy (pt.y -. cy)
+
+let reconstruct_kernel ~rect pairs x y =
+  Array.fold_left
+    (fun acc p -> acc +. (p.lambda *. eval_2d ~rect p x *. eval_2d ~rect p y))
+    0.0 pairs

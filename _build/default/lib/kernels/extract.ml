@@ -1,0 +1,112 @@
+type correlogram = {
+  distances : float array;
+  correlations : float array;
+  counts : int array;
+}
+
+let empirical_correlogram ~locations ~samples ?(bins = 20) ?vmax () =
+  let n_loc = Array.length locations in
+  if Linalg.Mat.cols samples <> n_loc then
+    invalid_arg "Extract.empirical_correlogram: column count mismatch";
+  if Linalg.Mat.rows samples < 3 then
+    invalid_arg "Extract.empirical_correlogram: need at least 3 sample rows";
+  if bins <= 0 then invalid_arg "Extract.empirical_correlogram: bins must be positive";
+  let vmax =
+    match vmax with
+    | Some v -> v
+    | None ->
+        let m = ref 0.0 in
+        for i = 0 to n_loc - 1 do
+          for j = i + 1 to n_loc - 1 do
+            m := Float.max !m (Geometry.Point.dist locations.(i) locations.(j))
+          done
+        done;
+        !m +. 1e-12
+  in
+  (* per-column means/stds once, then pairwise correlation accumulation *)
+  let n = Linalg.Mat.rows samples in
+  let cols = Array.init n_loc (fun j -> Linalg.Mat.col samples j) in
+  let means = Array.map Stats.Summary.mean cols in
+  let stds =
+    Array.mapi
+      (fun j c ->
+        let m = means.(j) in
+        let acc = ref 0.0 in
+        Array.iter (fun v -> acc := !acc +. ((v -. m) *. (v -. m))) c;
+        sqrt (!acc /. float_of_int (n - 1)))
+      cols
+  in
+  let sum = Array.make bins 0.0 in
+  let counts = Array.make bins 0 in
+  for i = 0 to n_loc - 1 do
+    for j = i + 1 to n_loc - 1 do
+      let v = Geometry.Point.dist locations.(i) locations.(j) in
+      if v <= vmax && stds.(i) > 1e-12 && stds.(j) > 1e-12 then begin
+        let b = min (bins - 1) (int_of_float (v /. vmax *. float_of_int bins)) in
+        let acc = ref 0.0 in
+        for s = 0 to n - 1 do
+          acc := !acc +. ((cols.(i).(s) -. means.(i)) *. (cols.(j).(s) -. means.(j)))
+        done;
+        let corr = !acc /. (float_of_int (n - 1) *. stds.(i) *. stds.(j)) in
+        sum.(b) <- sum.(b) +. corr;
+        counts.(b) <- counts.(b) + 1
+      end
+    done
+  done;
+  let distances =
+    Array.init bins (fun b -> (float_of_int b +. 0.5) *. vmax /. float_of_int bins)
+  in
+  let correlations =
+    Array.init bins (fun b ->
+        if counts.(b) = 0 then 0.0 else sum.(b) /. float_of_int counts.(b))
+  in
+  { distances; correlations; counts }
+
+let fit_correlogram cg ~family ~lo ~hi =
+  let sse c =
+    let k = family c in
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun b v ->
+        if cg.counts.(b) > 0 then begin
+          let d = Kernel.eval_distance k v -. cg.correlations.(b) in
+          acc := !acc +. (float_of_int cg.counts.(b) *. d *. d)
+        end)
+      cg.distances;
+    !acc
+  in
+  let c = Fit.golden_section ~lo ~hi sse in
+  { Fit.kernel = family c; sse = sse c }
+
+type extraction = {
+  kernel : Kernel.t;
+  family_name : string;
+  sse : float;
+  valid : bool;
+}
+
+let default_families =
+  [
+    ("gaussian", (fun c -> Kernel.Gaussian { c }), 1e-2, 100.0);
+    ("exponential", (fun c -> Kernel.Exponential { c }), 1e-2, 100.0);
+    ("matern-s2", (fun b -> Kernel.Matern { b; s = 2.0 }), 0.05, 50.0);
+    ("matern-s3", (fun b -> Kernel.Matern { b; s = 3.0 }), 0.05, 50.0);
+    ("spherical", (fun rho -> Kernel.Spherical { rho }), 0.05, 10.0);
+  ]
+
+let extract ~locations ~samples ?(families = default_families) () =
+  let cg = empirical_correlogram ~locations ~samples () in
+  (* validity spot-check on (a subset of) the measurement locations *)
+  let check_pts =
+    if Array.length locations <= 80 then locations else Array.sub locations 0 80
+  in
+  families
+  |> List.map (fun (family_name, family, lo, hi) ->
+         let fit = fit_correlogram cg ~family ~lo ~hi in
+         {
+           kernel = fit.Fit.kernel;
+           family_name;
+           sse = fit.Fit.sse;
+           valid = Validity.is_psd_on fit.Fit.kernel check_pts;
+         })
+  |> List.sort (fun a b -> compare a.sse b.sse)

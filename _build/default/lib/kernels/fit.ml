@@ -1,0 +1,61 @@
+type fit = { kernel : Kernel.t; sse : float }
+
+let golden_ratio = (sqrt 5.0 -. 1.0) /. 2.0
+
+let golden_section ?(tol = 1e-10) ~lo ~hi f =
+  if hi <= lo then invalid_arg "Fit.golden_section: requires lo < hi";
+  let a = ref lo and b = ref hi in
+  let x1 = ref (!b -. (golden_ratio *. (!b -. !a))) in
+  let x2 = ref (!a +. (golden_ratio *. (!b -. !a))) in
+  let f1 = ref (f !x1) and f2 = ref (f !x2) in
+  while !b -. !a > tol *. (Float.abs !a +. Float.abs !b +. 1.0) do
+    if !f1 < !f2 then begin
+      b := !x2;
+      x2 := !x1;
+      f2 := !f1;
+      x1 := !b -. (golden_ratio *. (!b -. !a));
+      f1 := f !x1
+    end
+    else begin
+      a := !x1;
+      x1 := !x2;
+      f1 := !f2;
+      x2 := !a +. (golden_ratio *. (!b -. !a));
+      f2 := f !x2
+    end
+  done;
+  0.5 *. (!a +. !b)
+
+let fit_profile_1d ~family ~target ?(weight = fun _ -> 1.0) ?(samples = 200)
+    ~vmax ~lo ~hi () =
+  if samples < 2 then invalid_arg "Fit.fit_profile_1d: samples must be >= 2";
+  let vs = Util.Arrayx.float_range ~start:0.0 ~stop:vmax ~count:samples in
+  let sse c =
+    let k = family c in
+    Array.fold_left
+      (fun acc v ->
+        let d = Kernel.eval_distance k v -. target v in
+        acc +. (weight v *. d *. d))
+      0.0 vs
+  in
+  let c = golden_section ~lo ~hi sse in
+  { kernel = family c; sse = sse c }
+
+let cone rho v = Float.max 0.0 (1.0 -. (v /. rho))
+
+let weight_of_dim = function `D1 -> fun _ -> 1.0 | `D2 -> fun v -> v
+
+let fit_gaussian_to_cone ?(dim = `D2) ~rho ~vmax () =
+  fit_profile_1d
+    ~family:(fun c -> Kernel.Gaussian { c })
+    ~target:(cone rho) ~weight:(weight_of_dim dim) ~vmax ~lo:1e-3 ~hi:100.0 ()
+
+let fit_exponential_to_cone ?(dim = `D2) ~rho ~vmax () =
+  fit_profile_1d
+    ~family:(fun c -> Kernel.Exponential { c })
+    ~target:(cone rho) ~weight:(weight_of_dim dim) ~vmax ~lo:1e-3 ~hi:100.0 ()
+
+let paper_gaussian () =
+  (* normalized chip [-1,1]²: chip length 2, correlation distance rho = 1;
+     fit over the full distance range of the die (diagonal = 2*sqrt 2) *)
+  (fit_gaussian_to_cone ~dim:`D2 ~rho:1.0 ~vmax:(2.0 *. sqrt 2.0) ()).kernel

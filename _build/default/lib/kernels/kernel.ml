@@ -1,0 +1,87 @@
+module Point = Geometry.Point
+
+type point = Point.t
+
+type t =
+  | Gaussian of { c : float }
+  | Exponential of { c : float }
+  | Separable_exp_l1 of { c : float }
+  | Radial_exponential of { c : float }
+  | Matern of { b : float; s : float }
+  | Linear_cone of { rho : float }
+  | Spherical of { rho : float }
+  | Anisotropic_gaussian of { cx : float; cy : float }
+
+(* Matérn radial profile, eq. (6) of the paper:
+   K(v) = 2 (bv/2)^{s-1} B_{s-1}(bv) / Γ(s-1), normalized so K(0) = 1.
+   The v -> 0 limit is 1 because B_ν(x) ~ Γ(ν) 2^{ν-1} x^{-ν} as x -> 0. *)
+let matern_profile ~b ~s v =
+  let nu = s -. 1.0 in
+  let x = b *. v in
+  if x < 1e-8 then 1.0
+  else begin
+    let log_term =
+      (nu *. log (x /. 2.0))
+      +. log (Specfun.Bessel.k nu x)
+      -. Specfun.Gamma.log_gamma nu
+    in
+    2.0 *. exp log_term
+  end
+
+let profile t v =
+  match t with
+  | Gaussian { c } -> exp (-.c *. v *. v)
+  | Exponential { c } -> exp (-.c *. v)
+  | Matern { b; s } -> matern_profile ~b ~s v
+  | Linear_cone { rho } -> Float.max 0.0 (1.0 -. (v /. rho))
+  | Spherical { rho } ->
+      if v >= rho then 0.0
+      else begin
+        let q = v /. rho in
+        1.0 -. (1.5 *. q) +. (0.5 *. q *. q *. q)
+      end
+  | Separable_exp_l1 _ | Radial_exponential _ | Anisotropic_gaussian _ ->
+      invalid_arg "Kernel.profile: kernel is not isotropic"
+
+let is_isotropic = function
+  | Gaussian _ | Exponential _ | Matern _ | Linear_cone _ | Spherical _ -> true
+  | Separable_exp_l1 _ | Radial_exponential _ | Anisotropic_gaussian _ -> false
+
+let eval t x y =
+  match t with
+  | Separable_exp_l1 { c } -> exp (-.c *. Point.dist_l1 x y)
+  | Radial_exponential { c } ->
+      exp (-.c *. Float.abs (Point.norm x -. Point.norm y))
+  | Anisotropic_gaussian { cx; cy } ->
+      let dx = x.Point.x -. y.Point.x and dy = x.Point.y -. y.Point.y in
+      exp (-.((cx *. dx *. dx) +. (cy *. dy *. dy)))
+  | _ -> profile t (Point.dist x y)
+
+let eval_distance t v =
+  if v < 0.0 then invalid_arg "Kernel.eval_distance: negative distance";
+  profile t v
+
+let name = function
+  | Gaussian { c } -> Printf.sprintf "gaussian(c=%g)" c
+  | Exponential { c } -> Printf.sprintf "exponential(c=%g)" c
+  | Separable_exp_l1 { c } -> Printf.sprintf "separable-exp-L1(c=%g)" c
+  | Radial_exponential { c } -> Printf.sprintf "radial-exp(c=%g)" c
+  | Matern { b; s } -> Printf.sprintf "matern(b=%g, s=%g)" b s
+  | Linear_cone { rho } -> Printf.sprintf "linear-cone(rho=%g)" rho
+  | Spherical { rho } -> Printf.sprintf "spherical(rho=%g)" rho
+  | Anisotropic_gaussian { cx; cy } ->
+      Printf.sprintf "anisotropic-gaussian(cx=%g, cy=%g)" cx cy
+
+let validate = function
+  | Gaussian { c } | Exponential { c } | Separable_exp_l1 { c }
+  | Radial_exponential { c } ->
+      if c > 0.0 then Ok () else Error "decay rate c must be positive"
+  | Matern { b; s } ->
+      if b <= 0.0 then Error "Matern scale b must be positive"
+      else if s <= 1.0 then Error "Matern shape s must exceed 1"
+      else Ok ()
+  | Linear_cone { rho } | Spherical { rho } ->
+      if rho > 0.0 then Ok () else Error "correlation distance rho must be positive"
+  | Anisotropic_gaussian { cx; cy } ->
+      if cx > 0.0 && cy > 0.0 then Ok ()
+      else Error "anisotropic decay rates must both be positive"

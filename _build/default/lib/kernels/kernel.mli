@@ -1,0 +1,54 @@
+(** Spatial correlation kernels (covariance kernels) for normalized
+    intra-die parameter variation.
+
+    A kernel [K(x, y)] returns the correlation between parameter values at
+    die locations [x] and [y]; all families here are normalized so that
+    [K(x, x) = 1]. Families follow the paper's Section 3:
+
+    - {e Gaussian} [exp(-c v²)] — the kernel of the paper's experiments
+      (Fig. 1a), best fit to the measurement-backed linear correlogram;
+    - {e Exponential} [exp(-c v)] — the [Liu, DAC'07]-style correlogram;
+    - {e Separable L1 exponential} [exp(-c (|dx| + |dy|))] — eq. (5), the
+      only 2-D family with a fully analytic KLE (used for validation);
+    - {e Radial exponential} [exp(-c | ‖x‖ - ‖y‖ |)] — the physically
+      unrealistic kernel of [Bhardwaj, ICCAD'06] that the paper criticizes
+      (all points on an origin-centric circle perfectly correlated);
+    - {e Matérn} — eq. (6), the family [Xiong, TCAD'07] extracts from
+      silicon, built on the modified Bessel function K_ν;
+    - {e Linear cone} [max(0, 1 - v/ρ)] — the measurement fit of
+      [Friedberg, ISQED'05], the fit target of Fig. 3(a); only conditionally
+      valid, used as data, not as a model;
+    - {e Spherical} — the classical geostatistics kernel, a valid
+      cone-like alternative. *)
+
+type point = Geometry.Point.t
+
+type t =
+  | Gaussian of { c : float }
+  | Exponential of { c : float }
+  | Separable_exp_l1 of { c : float }
+  | Radial_exponential of { c : float }
+  | Matern of { b : float; s : float }
+  | Linear_cone of { rho : float }
+  | Spherical of { rho : float }
+  | Anisotropic_gaussian of { cx : float; cy : float }
+      (** [exp(-(cx dx² + cy dy²))]: different correlation lengths along the
+          die axes (e.g. scan-direction lithography signatures). Valid
+          (product of 1-D Gaussian kernels), but not isotropic. *)
+
+val eval : t -> point -> point -> float
+(** [eval k x y] is K(x, y). *)
+
+val eval_distance : t -> float -> float
+(** [eval_distance k v] for isotropic kernels evaluates the radial profile
+    K(v) at separation [v >= 0]. Raises [Invalid_argument] for the
+    non-isotropic [Separable_exp_l1] and [Radial_exponential] families and
+    for negative [v]. *)
+
+val is_isotropic : t -> bool
+
+val name : t -> string
+(** Short human-readable description for tables and logs. *)
+
+val validate : t -> (unit, string) result
+(** Static parameter validation (positive decay rates, Matérn [s > 1], …). *)

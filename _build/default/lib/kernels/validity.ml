@@ -1,0 +1,31 @@
+let gram k pts =
+  let n = Array.length pts in
+  let m = Linalg.Mat.create n n in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      let v = Kernel.eval k pts.(i) pts.(j) in
+      Linalg.Mat.unsafe_set m i j v;
+      Linalg.Mat.unsafe_set m j i v
+    done
+  done;
+  m
+
+let min_eigenvalue k pts =
+  let vals = Linalg.Sym_eig.eig_values (gram k pts) in
+  vals.(Array.length vals - 1)
+
+let is_psd_on ?(tol = 1e-10) k pts =
+  min_eigenvalue k pts >= -.tol *. float_of_int (Array.length pts)
+
+(* Kronecker-style additive lattice: x_i = frac(i * phi1), y_i = frac(i * phi2)
+   with irrational multipliers, shifted by the seed. *)
+let random_points ~seed ~n rect =
+  let phi1 = 0.7548776662466927 and phi2 = 0.5698402909980532 in
+  let offset = float_of_int (seed land 0xFFFF) *. 0.61803398874989 in
+  Array.init n (fun i ->
+      let t = float_of_int (i + 1) in
+      let fx = Float.rem ((t *. phi1) +. offset) 1.0 in
+      let fy = Float.rem ((t *. phi2) +. (offset *. 1.3)) 1.0 in
+      Geometry.Point.make
+        (rect.Geometry.Rect.xmin +. (fx *. Geometry.Rect.width rect))
+        (rect.Geometry.Rect.ymin +. (fy *. Geometry.Rect.height rect)))

@@ -1,0 +1,21 @@
+(** Empirical validity checks for covariance kernels.
+
+    A valid kernel must be non-negative definite (paper eq. (2)): every Gram
+    matrix sampled from it must be positive semi-definite. These helpers
+    build Gram matrices on point sets and check their spectra; the test
+    suite uses them to confirm e.g. that the Gaussian family is valid while
+    the isotropic linear cone in 2-D is not guaranteed to be. *)
+
+val gram : Kernel.t -> Geometry.Point.t array -> Linalg.Mat.t
+(** [gram k pts] is the matrix [K(pts_i, pts_j)]. *)
+
+val min_eigenvalue : Kernel.t -> Geometry.Point.t array -> float
+(** Smallest eigenvalue of the Gram matrix on the given points. *)
+
+val is_psd_on : ?tol:float -> Kernel.t -> Geometry.Point.t array -> bool
+(** [is_psd_on k pts] checks [min_eigenvalue >= -tol * n] (default
+    [tol = 1e-10], scaled by the matrix dimension). *)
+
+val random_points : seed:int -> n:int -> Geometry.Rect.t -> Geometry.Point.t array
+(** Deterministic quasi-random point set for validity spot checks (additive
+    low-discrepancy lattice, no dependency on the [Prng] library). *)

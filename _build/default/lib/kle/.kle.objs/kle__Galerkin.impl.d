@@ -1,0 +1,1 @@
+lib/kle/galerkin.ml: Array Float Geometry Kernels Linalg Printf Util

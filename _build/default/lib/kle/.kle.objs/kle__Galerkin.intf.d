@@ -1,0 +1,1 @@
+lib/kle/galerkin.mli: Geometry Kernels Linalg

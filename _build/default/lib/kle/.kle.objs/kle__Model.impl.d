@@ -1,0 +1,1 @@
+lib/kle/model.ml: Array Float Galerkin Geometry Kernels Linalg Util

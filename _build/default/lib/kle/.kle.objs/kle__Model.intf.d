@@ -1,0 +1,1 @@
+lib/kle/model.mli: Galerkin Geometry Linalg

@@ -1,0 +1,1 @@
+lib/kle/p1.ml: Array Bigarray Float Geometry Kernels Linalg Printf

@@ -1,0 +1,1 @@
+lib/kle/p1.mli: Geometry Kernels Linalg

@@ -1,0 +1,1 @@
+lib/kle/sampler.ml: Array Bigarray Galerkin Geometry Linalg Model Prng

@@ -1,0 +1,1 @@
+lib/kle/sampler.mli: Geometry Linalg Model Prng

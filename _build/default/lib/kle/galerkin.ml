@@ -1,0 +1,120 @@
+module Mesh = Geometry.Mesh
+module Kernel = Kernels.Kernel
+
+type quadrature = Centroid | Midedge
+
+type solver = Dense | Lanczos of { count : int }
+
+type solution = {
+  mesh : Mesh.t;
+  kernel : Kernel.t;
+  quadrature : quadrature;
+  eigenvalues : float array;
+  coefficients : Linalg.Mat.t;
+}
+
+(* K̃_ik: quadrature approximation of (1/(a_i a_k)) ∫∫ K — i.e. the mean of K
+   over the element pair. Centroid rule: K(c_i, c_k). Mid-edge rule: mean of
+   the 3x3 mid-edge evaluations (each triangle's 3-point rule has equal
+   weights a/3). *)
+let mean_kernel_value quadrature mesh kernel =
+  match quadrature with
+  | Centroid ->
+      let centroids = mesh.Mesh.centroids in
+      fun i k -> Kernel.eval kernel centroids.(i) centroids.(k)
+  | Midedge ->
+      let midpoints =
+        Array.init (Mesh.size mesh) (fun i ->
+            Geometry.Triangle.edge_midpoints (Mesh.triangle mesh i))
+      in
+      fun i k ->
+        let mi = midpoints.(i) and mk = midpoints.(k) in
+        let acc = ref 0.0 in
+        for p = 0 to 2 do
+          for q = 0 to 2 do
+            acc := !acc +. Kernel.eval kernel mi.(p) mk.(q)
+          done
+        done;
+        !acc /. 9.0
+
+let assemble ?(quadrature = Centroid) mesh kernel =
+  let n = Mesh.size mesh in
+  let mean = mean_kernel_value quadrature mesh kernel in
+  let sqrt_area = Array.map sqrt mesh.Mesh.areas in
+  let c = Linalg.Mat.create n n in
+  for i = 0 to n - 1 do
+    for k = i to n - 1 do
+      let v = mean i k *. sqrt_area.(i) *. sqrt_area.(k) in
+      Linalg.Mat.unsafe_set c i k v;
+      Linalg.Mat.unsafe_set c k i v
+    done
+  done;
+  c
+
+let trace mesh kernel =
+  let n = Mesh.size mesh in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc :=
+      !acc
+      +. (Kernel.eval kernel mesh.Mesh.centroids.(i) mesh.Mesh.centroids.(i)
+         *. mesh.Mesh.areas.(i))
+  done;
+  !acc
+
+let default_solver n = if n <= 600 then Dense else Lanczos { count = min n 200 }
+
+let solve ?(quadrature = Centroid) ?solver mesh kernel =
+  let n = Mesh.size mesh in
+  let solver = match solver with Some s -> s | None -> default_solver n in
+  let c = assemble ~quadrature mesh kernel in
+  let raw_values, raw_vectors_cols =
+    match solver with
+    | Dense ->
+        let vals, q = Linalg.Sym_eig.eig c in
+        (vals, fun j -> Linalg.Mat.col q j)
+    | Lanczos { count } ->
+        if count <= 0 || count > n then
+          invalid_arg "Galerkin.solve: Lanczos count out of range";
+        let r =
+          Linalg.Lanczos.top_k
+            ~matvec:(fun x -> Linalg.Mat.sym_mul_vec c x)
+            ~n ~k:count ()
+        in
+        (r.eigenvalues, fun j -> r.eigenvectors.(j))
+  in
+  let k = Array.length raw_values in
+  (* validity check: a correct kernel's Galerkin matrix is PSD up to
+     rounding. Tolerate only tiny negative values. *)
+  let scale = Float.max 1e-300 (Float.abs raw_values.(0)) in
+  Array.iter
+    (fun v ->
+      if v < -1e-8 *. scale *. float_of_int n then
+        invalid_arg
+          (Printf.sprintf
+             "Galerkin.solve: kernel %s is not non-negative definite on this \
+              mesh (eigenvalue %g)"
+             (Kernel.name kernel) v))
+    raw_values;
+  let eigenvalues = Array.map (fun v -> Float.max 0.0 v) raw_values in
+  (* rescale: d = Φ^{-1/2} c-vector; then normalize to Σ d_i² a_i = 1 so the
+     eigenfunctions are orthonormal in L²(D). With unit-norm c-vectors the
+     rescale already achieves this, but normalizing explicitly protects
+     against solver-dependent vector scaling. *)
+  let inv_sqrt_area = Array.map (fun a -> 1.0 /. sqrt a) mesh.Mesh.areas in
+  let coefficients = Linalg.Mat.create n k in
+  for j = 0 to k - 1 do
+    let cvec = raw_vectors_cols j in
+    let d = Array.mapi (fun i ci -> ci *. inv_sqrt_area.(i)) cvec in
+    let norm2 = ref 0.0 in
+    for i = 0 to n - 1 do
+      norm2 := !norm2 +. (d.(i) *. d.(i) *. mesh.Mesh.areas.(i))
+    done;
+    let s = 1.0 /. sqrt (Float.max !norm2 1e-300) in
+    for i = 0 to n - 1 do
+      Linalg.Mat.unsafe_set coefficients i j (s *. d.(i))
+    done
+  done;
+  { mesh; kernel; quadrature; eigenvalues; coefficients }
+
+let eigenvalue_sum_bound solution = Util.Arrayx.sum solution.eigenvalues

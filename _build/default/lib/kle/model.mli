@@ -1,0 +1,63 @@
+(** Truncated KLE models: the reduced [r]-variable representation of the
+    random field (paper eq. (3) truncated, plus the truncation-selection rule
+    of Section 5.2). *)
+
+type t = {
+  solution : Galerkin.solution;
+  r : int; (* number of retained eigenpairs *)
+  locator : Geometry.Locator.t;
+}
+
+val create : ?r:int -> Galerkin.solution -> t
+(** [create solution] truncates to [r] eigenpairs (default: {!choose_r} with
+    its default tolerance). Raises [Invalid_argument] when [r] exceeds the
+    number of computed pairs or is not positive. *)
+
+val choose_r : ?tolerance:float -> n_total:int -> float array -> int
+(** [choose_r ~n_total eigenvalues] implements the paper's truncation rule:
+    the smallest [r] such that
+    [λ_m (n_total - m) + Σ_{i=r+1}^{m} λ_i <= tolerance * Σ_{i=1}^{r} λ_i],
+    where [m] is the number of computed eigenvalues (paper: m = 200,
+    tolerance = 0.01, giving r = 25). The left side upper-bounds the total
+    weight of ALL discarded eigenvalues, because eigenvalues are
+    non-increasing. Returns [m] when no such [r] exists. *)
+
+val eval_eigenfunction : t -> int -> Geometry.Point.t -> float
+(** [eval_eigenfunction t j x] evaluates the [j]-th (0-based) eigenfunction
+    at die location [x] (piecewise constant on the mesh). Raises
+    [Invalid_argument] for [j >= r] and [Not_found] for [x] outside the die. *)
+
+val eigenvalues : t -> float array
+(** The retained [r] eigenvalues, descending. *)
+
+val reconstruct_kernel : t -> Geometry.Point.t -> Geometry.Point.t -> float
+(** Truncated-series reconstruction [K̂(x, y) = Σ_{j<r} λ_j f_j(x) f_j(y)]. *)
+
+val reconstruction_error : ?fixed:Geometry.Point.t -> t -> float
+(** Max abs error [|K̂(x₀, y) - K(x₀, y)|] with [x₀] the mesh centroid nearest
+    to [fixed] (default: die center) and [y] sweeping all mesh centroids —
+    the quantity plotted in Fig. 3(b) (paper: max 0.016). Evaluating at
+    centroids measures the truncation error of the expansion itself; between
+    centroids the piecewise-constant basis adds an O(h·|∇K|) discretization
+    floor, measured by {!reconstruction_error_grid}. *)
+
+val reconstruction_error_grid :
+  ?grid:int -> ?fixed:Geometry.Point.t -> t -> float
+(** Max abs error [|K̂(fixed, y) - K(fixed, y)|] over a [grid x grid] sweep
+    of arbitrary die locations [y] (defaults: 41, die center). *)
+
+val reconstruction_error_pairwise : ?stride:int -> t -> float
+(** Max abs error over all centroid {e pairs} (subsampled by [stride],
+    default 7) — the worst case over the whole die, not just from the
+    center. *)
+
+val variance_at : t -> Geometry.Point.t -> float
+(** [Σ_{j<r} λ_j f_j(x)²]: the variance the truncated model retains at [x]
+    (1 would be exact for a normalized kernel). *)
+
+val captured_variance_fraction : t -> float
+(** [Σ_{j<r} λ_j / trace]: fraction of total field variance retained. *)
+
+val d_lambda : t -> Linalg.Mat.t
+(** The [n x r] matrix [D_λ = D_r √Λ_r] of eq. (28): maps a reduced sample
+    [ξ] to per-triangle field values. *)

@@ -1,0 +1,200 @@
+module Mesh = Geometry.Mesh
+module Kernel = Kernels.Kernel
+module Point = Geometry.Point
+
+type solution = {
+  mesh : Mesh.t;
+  kernel : Kernel.t;
+  eigenvalues : float array;
+  vertex_coefficients : Linalg.Mat.t;
+}
+
+(* local P1 mass matrix on a triangle of area a:
+   (a / 12) * [[2;1;1];[1;2;1];[1;1;2]] *)
+let mass_matrix mesh =
+  let nv = Array.length mesh.Mesh.points in
+  let m = Linalg.Mat.create nv nv in
+  Array.iteri
+    (fun t (i, j, k) ->
+      let a = mesh.Mesh.areas.(t) /. 12.0 in
+      let verts = [| i; j; k |] in
+      for p = 0 to 2 do
+        for q = 0 to 2 do
+          let w = if p = q then 2.0 *. a else a in
+          Linalg.Mat.unsafe_set m verts.(p) verts.(q)
+            (Linalg.Mat.unsafe_get m verts.(p) verts.(q) +. w)
+        done
+      done)
+    mesh.Mesh.triangles;
+  m
+
+(* quadrature nodes: the 3 edge midpoints of every triangle, with weight
+   area/3; the hat functions of the edge's two endpoints are 1/2 there *)
+type quad_node = { location : Point.t; weight : float; v1 : int; v2 : int }
+
+let quad_nodes mesh =
+  let nodes = ref [] in
+  Array.iteri
+    (fun t (i, j, k) ->
+      let tri = Mesh.triangle mesh t in
+      let mids = Geometry.Triangle.edge_midpoints tri in
+      let w = mesh.Mesh.areas.(t) /. 3.0 in
+      (* edge_midpoints order: (a,b), (b,c), (c,a) *)
+      nodes :=
+        { location = mids.(0); weight = w; v1 = i; v2 = j }
+        :: { location = mids.(1); weight = w; v1 = j; v2 = k }
+        :: { location = mids.(2); weight = w; v1 = k; v2 = i }
+        :: !nodes)
+    mesh.Mesh.triangles;
+  Array.of_list !nodes
+
+(* K_vw = sum over quadrature node pairs of
+   w_q w_q' K(x_q, x_q') phi_v(x_q) phi_w(x_q'), phi = 1/2 at the two
+   endpoints of the node's edge *)
+let kernel_matrix mesh kernel =
+  let nv = Array.length mesh.Mesh.points in
+  let nodes = quad_nodes mesh in
+  let nq = Array.length nodes in
+  let k = Linalg.Mat.create nv nv in
+  let kd = Linalg.Mat.raw k in
+  for a = 0 to nq - 1 do
+    let na = nodes.(a) in
+    for b = a to nq - 1 do
+      let nb = nodes.(b) in
+      let base = Kernel.eval kernel na.location nb.location in
+      (* phi products: (1/2)(1/2) = 1/4 for each endpoint combination *)
+      let contrib = 0.25 *. na.weight *. nb.weight *. base in
+      let add v w c =
+        let idx = (v * nv) + w in
+        Bigarray.Array1.unsafe_set kd idx (Bigarray.Array1.unsafe_get kd idx +. c)
+      in
+      let pairs =
+        [| (na.v1, nb.v1); (na.v1, nb.v2); (na.v2, nb.v1); (na.v2, nb.v2) |]
+      in
+      Array.iter (fun (v, w) -> add v w contrib) pairs;
+      if a <> b then Array.iter (fun (v, w) -> add w v contrib) pairs
+    done
+  done;
+  k
+
+let solve ?count mesh kernel =
+  let nv = Array.length mesh.Mesh.points in
+  let count = match count with Some c -> min c nv | None -> nv in
+  if count <= 0 then invalid_arg "P1.solve: count must be positive";
+  let m = mass_matrix mesh in
+  let k = kernel_matrix mesh kernel in
+  (* reduce K d = lambda M d to the standard symmetric problem
+     C c = lambda c with C = L^-1 K L^-T, d = L^-T c *)
+  let l = Linalg.Cholesky.factor_lower m in
+  (* forward-substitute on columns: X = L^-1 K *)
+  let forward_all mat =
+    let n = Linalg.Mat.rows mat in
+    let out = Linalg.Mat.create n n in
+    for col = 0 to n - 1 do
+      let b = Linalg.Mat.col mat col in
+      (* L y = b *)
+      let y = Array.make n 0.0 in
+      for i = 0 to n - 1 do
+        let s = ref b.(i) in
+        for t = 0 to i - 1 do
+          s := !s -. (Linalg.Mat.unsafe_get l i t *. y.(t))
+        done;
+        y.(i) <- !s /. Linalg.Mat.unsafe_get l i i
+      done;
+      for i = 0 to n - 1 do
+        Linalg.Mat.unsafe_set out i col y.(i)
+      done
+    done;
+    out
+  in
+  let x = forward_all k in
+  (* C = (L^-1 (L^-1 K)^T)^T; C symmetric so the final transpose is free *)
+  let c = forward_all (Linalg.Mat.transpose x) in
+  let raw_values, column =
+    if count >= nv then begin
+      let vals, q = Linalg.Sym_eig.eig c in
+      (Array.sub vals 0 count, fun j -> Linalg.Mat.col q j)
+    end
+    else begin
+      let r =
+        Linalg.Lanczos.top_k
+          ~matvec:(fun v -> Linalg.Mat.sym_mul_vec c v)
+          ~n:nv ~k:count ()
+      in
+      (r.Linalg.Lanczos.eigenvalues, fun j -> r.Linalg.Lanczos.eigenvectors.(j))
+    end
+  in
+  let scale = Float.max 1e-300 (Float.abs raw_values.(0)) in
+  Array.iter
+    (fun v ->
+      if v < -1e-8 *. scale *. float_of_int nv then
+        invalid_arg
+          (Printf.sprintf "P1.solve: kernel %s is not non-negative definite"
+             (Kernel.name kernel)))
+    raw_values;
+  let eigenvalues = Array.map (fun v -> Float.max 0.0 v) raw_values in
+  (* back-substitute d = L^-T c, per eigenvector *)
+  let vertex_coefficients = Linalg.Mat.create nv count in
+  for j = 0 to count - 1 do
+    let cv = column j in
+    let d = Array.make nv 0.0 in
+    for i = nv - 1 downto 0 do
+      let s = ref cv.(i) in
+      for t = i + 1 to nv - 1 do
+        s := !s -. (Linalg.Mat.unsafe_get l t i *. d.(t))
+      done;
+      d.(i) <- !s /. Linalg.Mat.unsafe_get l i i
+    done;
+    for i = 0 to nv - 1 do
+      Linalg.Mat.unsafe_set vertex_coefficients i j d.(i)
+    done
+  done;
+  { mesh; kernel; eigenvalues; vertex_coefficients }
+
+type evaluator = { solution : solution; locator : Geometry.Locator.t }
+
+let evaluator solution = { solution; locator = Geometry.Locator.create solution.mesh }
+
+let eval_eigenfunction ev j p =
+  let sol = ev.solution in
+  if j < 0 || j >= Array.length sol.eigenvalues then
+    invalid_arg "P1.eval_eigenfunction: index out of range";
+  let t = Geometry.Locator.find_exn ev.locator p in
+  let i, k, l = sol.mesh.Mesh.triangles.(t) in
+  let tri = Mesh.triangle sol.mesh t in
+  let wa, wb, wc = Geometry.Triangle.barycentric tri p in
+  (wa *. Linalg.Mat.unsafe_get sol.vertex_coefficients i j)
+  +. (wb *. Linalg.Mat.unsafe_get sol.vertex_coefficients k j)
+  +. (wc *. Linalg.Mat.unsafe_get sol.vertex_coefficients l j)
+
+let reconstruct_kernel ev ~r x y =
+  let sol = ev.solution in
+  let r = min r (Array.length sol.eigenvalues) in
+  let acc = ref 0.0 in
+  for j = 0 to r - 1 do
+    acc :=
+      !acc
+      +. (sol.eigenvalues.(j) *. eval_eigenfunction ev j x *. eval_eigenfunction ev j y)
+  done;
+  !acc
+
+let reconstruction_error_grid ?(grid = 41) ?fixed ev ~r =
+  let domain = ev.solution.mesh.Mesh.domain in
+  let fixed = match fixed with Some p -> p | None -> Geometry.Rect.center domain in
+  let eps = 1e-9 in
+  let shrunk =
+    Geometry.Rect.make
+      ~xmin:(domain.Geometry.Rect.xmin +. eps)
+      ~xmax:(domain.Geometry.Rect.xmax -. eps)
+      ~ymin:(domain.Geometry.Rect.ymin +. eps)
+      ~ymax:(domain.Geometry.Rect.ymax -. eps)
+  in
+  let pts = Geometry.Rect.sample_grid shrunk ~nx:grid ~ny:grid in
+  Array.fold_left
+    (fun acc y ->
+      let err =
+        Float.abs
+          (reconstruct_kernel ev ~r fixed y -. Kernel.eval ev.solution.kernel fixed y)
+      in
+      Float.max acc err)
+    0.0 pts

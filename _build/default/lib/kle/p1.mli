@@ -1,0 +1,53 @@
+(** Piecewise-{e linear} (P1 / hat-function) Galerkin discretization of the
+    KLE eigenproblem — the "higher order piecewise polynomials … can also be
+    used as the basis set" extension the paper sketches in Section 4.2.
+
+    Unlike the piecewise-constant basis of {!Galerkin}, hat functions are
+    continuous across elements, so reconstructed eigenfunctions (and the
+    reconstructed kernel) have no blocky discretization floor between mesh
+    nodes. The price: the basis is no longer orthogonal, so eq. (13) stays a
+    {e generalized} eigenproblem [K d = λ M d] with the FEM mass matrix [M];
+    it is reduced to a standard symmetric problem through the Cholesky factor
+    of [M] ([C = L⁻¹ K L⁻ᵀ], [d = L⁻ᵀ c]).
+
+    Quadrature: the 3-point mid-edge rule (degree-2 exact) on both sides of
+    the double integral. *)
+
+type solution = {
+  mesh : Geometry.Mesh.t;
+  kernel : Kernels.Kernel.t;
+  eigenvalues : float array; (* descending, clamped at 0 *)
+  vertex_coefficients : Linalg.Mat.t;
+      (* n_vertices x k; column j = coefficients of the j-th eigenfunction
+         in the hat basis, normalized to unit L²(D) norm *)
+}
+
+val mass_matrix : Geometry.Mesh.t -> Linalg.Mat.t
+(** FEM mass matrix [M_vw = ∫ φ_v φ_w] (dense storage; exposed for tests —
+    its row sums tile the die area). *)
+
+val solve : ?count:int -> Geometry.Mesh.t -> Kernels.Kernel.t -> solution
+(** [solve mesh kernel] computes the leading [count] eigenpairs (default:
+    all vertices, via the dense solver; a [count] below the vertex count
+    switches to Lanczos). Raises [Invalid_argument] on an indefinite kernel,
+    like {!Galerkin.solve}. *)
+
+type evaluator
+(** Prepared point-evaluation context (point-location index). *)
+
+val evaluator : solution -> evaluator
+
+val eval_eigenfunction : evaluator -> int -> Geometry.Point.t -> float
+(** Continuous (barycentric) evaluation of eigenfunction [j]. Raises
+    [Not_found] outside the die and [Invalid_argument] for [j] out of
+    range. *)
+
+val reconstruct_kernel :
+  evaluator -> r:int -> Geometry.Point.t -> Geometry.Point.t -> float
+(** Truncated Mercer reconstruction with the first [r] pairs. *)
+
+val reconstruction_error_grid :
+  ?grid:int -> ?fixed:Geometry.Point.t -> evaluator -> r:int -> float
+(** Max abs reconstruction error over an arbitrary point grid — directly
+    comparable with {!Model.reconstruction_error_grid} to quantify what the
+    continuous basis buys. *)

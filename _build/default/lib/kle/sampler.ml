@@ -1,0 +1,65 @@
+type t = {
+  model : Model.t;
+  triangle_index : int array; (* location -> containing triangle *)
+  b : Linalg.Mat.t; (* N_loc x r *)
+}
+
+let create model locations =
+  let r = model.Model.r in
+  let coeffs = model.Model.solution.Galerkin.coefficients in
+  let lams = model.Model.solution.Galerkin.eigenvalues in
+  let sqrt_lams = Array.init r (fun j -> sqrt lams.(j)) in
+  let triangle_index =
+    Array.map (fun p -> Geometry.Locator.find_nearest model.Model.locator p) locations
+  in
+  let b =
+    Linalg.Mat.init (Array.length locations) r (fun g j ->
+        sqrt_lams.(j) *. Linalg.Mat.unsafe_get coeffs triangle_index.(g) j)
+  in
+  { model; triangle_index; b }
+
+let model t = t.model
+
+let dim t = Linalg.Mat.cols t.b
+
+let location_count t = Linalg.Mat.rows t.b
+
+let triangle_of_location t i = t.triangle_index.(i)
+
+let expansion t = t.b
+
+let sample_with_xi t rng =
+  let xi = Prng.Gaussian.vector rng (dim t) in
+  (Linalg.Mat.mul_vec t.b xi, xi)
+
+let sample t rng = fst (sample_with_xi t rng)
+
+let sample_matrix_with t ~xi =
+  if Linalg.Mat.cols xi <> dim t then
+    invalid_arg "Sampler.sample_matrix_with: xi width mismatch";
+  Linalg.Mat.mul xi (Linalg.Mat.transpose t.b)
+
+let sample_matrix t rng ~n =
+  let r = dim t in
+  let xi = Prng.Gaussian.matrix rng ~rows:n ~cols:r in
+  (* paper-literal Algorithm 2: P_Δ = Ξ D_λᵀ over all triangles ... *)
+  let d_lambda = Model.d_lambda t.model in
+  let p_delta = Linalg.Mat.mul xi (Linalg.Mat.transpose d_lambda) in
+  (* ... then Row(i, P) <- Row(IndexOfContainingTriangle(g_i), P_Δ) *)
+  let n_loc = location_count t in
+  let n_tri = Linalg.Mat.cols p_delta in
+  let p = Linalg.Mat.create n n_loc in
+  let src = Linalg.Mat.raw p_delta and dst = Linalg.Mat.raw p in
+  for i = 0 to n - 1 do
+    let src_row = i * n_tri and dst_row = i * n_loc in
+    for g = 0 to n_loc - 1 do
+      Bigarray.Array1.unsafe_set dst (dst_row + g)
+        (Bigarray.Array1.unsafe_get src (src_row + Array.unsafe_get t.triangle_index g))
+    done
+  done;
+  p
+
+let sample_matrix_direct t rng ~n =
+  let xi = Prng.Gaussian.matrix rng ~rows:n ~cols:(dim t) in
+  (* P = Ξ Bᵀ, expanding only at the precomputed location rows *)
+  Linalg.Mat.mul xi (Linalg.Mat.transpose t.b)

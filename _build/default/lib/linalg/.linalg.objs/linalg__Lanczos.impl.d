@@ -1,0 +1,1 @@
+lib/linalg/lanczos.ml: Array Float Int64 Mat Sym_eig Util Vec

@@ -1,0 +1,1 @@
+lib/linalg/sym_eig.ml: Array Float Mat Util

@@ -1,0 +1,44 @@
+exception No_convergence of { iterations : int; residual : float }
+
+type stats = { iterations : int; residual : float }
+
+let solve ?(tol = 1e-10) ?max_iter ?x0 a b =
+  let n = Sparse.dim a in
+  if Array.length b <> n then invalid_arg "Cg.solve: length mismatch";
+  let max_iter = match max_iter with Some m -> m | None -> 4 * n in
+  let x = match x0 with Some x -> Array.copy x | None -> Array.make n 0.0 in
+  let inv_diag =
+    Array.map
+      (fun d -> if Float.abs d < 1e-300 then 1.0 else 1.0 /. d)
+      (Sparse.diagonal a)
+  in
+  let precondition r = Array.mapi (fun i v -> inv_diag.(i) *. v) r in
+  let r =
+    match x0 with
+    | None -> Array.copy b
+    | Some _ -> Vec.sub b (Sparse.mul_vec a x)
+  in
+  let b_norm = Float.max (Vec.norm2 b) 1e-300 in
+  let z = precondition r in
+  let p = ref (Array.copy z) in
+  let rz = ref (Vec.dot r z) in
+  let iterations = ref 0 in
+  let residual = ref (Vec.norm2 r /. b_norm) in
+  while !residual > tol && !iterations < max_iter do
+    incr iterations;
+    let ap = Sparse.mul_vec a !p in
+    let alpha = !rz /. Vec.dot !p ap in
+    Vec.axpy alpha !p x;
+    Vec.axpy (-.alpha) ap r;
+    let z = precondition r in
+    let rz' = Vec.dot r z in
+    let beta = rz' /. !rz in
+    rz := rz';
+    let p' = Array.copy z in
+    Vec.axpy beta !p p';
+    p := p';
+    residual := Vec.norm2 r /. b_norm
+  done;
+  if !residual > tol then
+    raise (No_convergence { iterations = !iterations; residual = !residual });
+  (x, { iterations = !iterations; residual = !residual })

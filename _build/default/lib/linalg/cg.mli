@@ -1,0 +1,20 @@
+(** Preconditioned conjugate gradient for sparse SPD systems (Jacobi
+    preconditioner) — the iterative companion to the dense {!Cholesky}
+    factorization, used where the matrix is large but sparse (power-grid
+    Laplacians). *)
+
+exception No_convergence of { iterations : int; residual : float }
+
+type stats = { iterations : int; residual : float }
+
+val solve :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?x0:float array ->
+  Sparse.t ->
+  float array ->
+  float array * stats
+(** [solve a b] solves [a x = b] to relative residual [tol] (default 1e-10)
+    within [max_iter] iterations (default [4 * dim]). [x0] is the starting
+    guess (default zero). Raises [No_convergence] past the budget, and
+    [Invalid_argument] on dimension mismatch. *)

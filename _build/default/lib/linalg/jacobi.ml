@@ -1,0 +1,65 @@
+exception No_convergence
+
+let off_diag_norm a =
+  let n = Mat.rows a in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let v = Mat.unsafe_get a i j in
+      acc := !acc +. (v *. v)
+    done
+  done;
+  sqrt (2.0 *. !acc)
+
+let eig ?(sweeps = 100) a0 =
+  let n = Mat.rows a0 in
+  if Mat.cols a0 <> n then invalid_arg "Jacobi.eig: not square";
+  let a = Mat.init n n (fun i j -> 0.5 *. (Mat.get a0 i j +. Mat.get a0 j i)) in
+  let q = Mat.identity n in
+  let tol = 1e-14 *. Float.max 1.0 (Mat.frobenius_norm a) in
+  let sweep_count = ref 0 in
+  while off_diag_norm a > tol do
+    incr sweep_count;
+    if !sweep_count > sweeps then raise No_convergence;
+    for p = 0 to n - 2 do
+      for r = p + 1 to n - 1 do
+        let apr = Mat.unsafe_get a p r in
+        if Float.abs apr > 1e-300 then begin
+          let app = Mat.unsafe_get a p p in
+          let arr = Mat.unsafe_get a r r in
+          (* stable rotation computation (Golub & Van Loan, sec. 8.4) *)
+          let tau = (arr -. app) /. (2.0 *. apr) in
+          let t =
+            if tau >= 0.0 then 1.0 /. (tau +. sqrt (1.0 +. (tau *. tau)))
+            else 1.0 /. (tau -. sqrt (1.0 +. (tau *. tau)))
+          in
+          let c = 1.0 /. sqrt (1.0 +. (t *. t)) in
+          let s = t *. c in
+          (* update rows/columns p and r of [a] *)
+          for k = 0 to n - 1 do
+            let akp = Mat.unsafe_get a k p in
+            let akr = Mat.unsafe_get a k r in
+            Mat.unsafe_set a k p ((c *. akp) -. (s *. akr));
+            Mat.unsafe_set a k r ((s *. akp) +. (c *. akr))
+          done;
+          for k = 0 to n - 1 do
+            let apk = Mat.unsafe_get a p k in
+            let ark = Mat.unsafe_get a r k in
+            Mat.unsafe_set a p k ((c *. apk) -. (s *. ark));
+            Mat.unsafe_set a r k ((s *. apk) +. (c *. ark))
+          done;
+          (* accumulate eigenvectors *)
+          for k = 0 to n - 1 do
+            let qkp = Mat.unsafe_get q k p in
+            let qkr = Mat.unsafe_get q k r in
+            Mat.unsafe_set q k p ((c *. qkp) -. (s *. qkr));
+            Mat.unsafe_set q k r ((s *. qkp) +. (c *. qkr))
+          done
+        end
+      done
+    done
+  done;
+  let d = Array.init n (fun i -> Mat.unsafe_get a i i) in
+  let sorted, perm = Util.Arrayx.sort_desc_with_perm d in
+  let qs = Mat.init n n (fun i j -> Mat.unsafe_get q i perm.(j)) in
+  (sorted, qs)

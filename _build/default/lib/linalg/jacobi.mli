@@ -1,0 +1,13 @@
+(** Cyclic Jacobi eigendecomposition for small symmetric matrices.
+
+    Slower than {!Sym_eig} but with a very different failure surface, so it
+    serves as an independent cross-check in the test suite and in the
+    eigensolver ablation bench. *)
+
+exception No_convergence
+(** Raised when the off-diagonal norm fails to vanish in 100 sweeps. *)
+
+val eig : ?sweeps:int -> Mat.t -> float array * Mat.t
+(** [eig a] is [(lambda, q)] with eigenvalues descending and eigenvectors as
+    columns of [q]. Only the symmetric part of [a] is used. [sweeps] bounds
+    the number of cyclic sweeps (default 100). *)

@@ -1,0 +1,92 @@
+exception Singular of int
+
+type t = {
+  lu : Mat.t; (* packed L (unit diagonal, below) and U (on/above diagonal) *)
+  perm : int array; (* row permutation *)
+  sign : float; (* permutation parity, for det *)
+}
+
+let factor a =
+  let n = Mat.rows a in
+  if Mat.cols a <> n then invalid_arg "Lu.factor: not square";
+  let lu = Mat.copy a in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1.0 in
+  for k = 0 to n - 1 do
+    (* partial pivot *)
+    let pivot_row = ref k in
+    let pivot_val = ref (Float.abs (Mat.unsafe_get lu k k)) in
+    for i = k + 1 to n - 1 do
+      let v = Float.abs (Mat.unsafe_get lu i k) in
+      if v > !pivot_val then begin
+        pivot_val := v;
+        pivot_row := i
+      end
+    done;
+    if !pivot_val < 1e-300 then raise (Singular k);
+    if !pivot_row <> k then begin
+      for j = 0 to n - 1 do
+        let t = Mat.unsafe_get lu k j in
+        Mat.unsafe_set lu k j (Mat.unsafe_get lu !pivot_row j);
+        Mat.unsafe_set lu !pivot_row j t
+      done;
+      let t = perm.(k) in
+      perm.(k) <- perm.(!pivot_row);
+      perm.(!pivot_row) <- t;
+      sign := -. !sign
+    end;
+    let pivot = Mat.unsafe_get lu k k in
+    for i = k + 1 to n - 1 do
+      let factor = Mat.unsafe_get lu i k /. pivot in
+      Mat.unsafe_set lu i k factor;
+      for j = k + 1 to n - 1 do
+        Mat.unsafe_set lu i j (Mat.unsafe_get lu i j -. (factor *. Mat.unsafe_get lu k j))
+      done
+    done
+  done;
+  { lu; perm; sign = !sign }
+
+let solve { lu; perm; _ } b =
+  let n = Mat.rows lu in
+  if Array.length b <> n then invalid_arg "Lu.solve: length mismatch";
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  (* forward: L y = P b (unit diagonal) *)
+  for i = 0 to n - 1 do
+    let s = ref x.(i) in
+    for k = 0 to i - 1 do
+      s := !s -. (Mat.unsafe_get lu i k *. x.(k))
+    done;
+    x.(i) <- !s
+  done;
+  (* backward: U x = y *)
+  for i = n - 1 downto 0 do
+    let s = ref x.(i) in
+    for k = i + 1 to n - 1 do
+      s := !s -. (Mat.unsafe_get lu i k *. x.(k))
+    done;
+    x.(i) <- !s /. Mat.unsafe_get lu i i
+  done;
+  x
+
+let solve_dense a b = solve (factor a) b
+
+let det { lu; sign; _ } =
+  let n = Mat.rows lu in
+  let acc = ref sign in
+  for i = 0 to n - 1 do
+    acc := !acc *. Mat.unsafe_get lu i i
+  done;
+  !acc
+
+let inverse t =
+  let n = Mat.rows t.lu in
+  let inv = Mat.create n n in
+  for j = 0 to n - 1 do
+    let e = Array.make n 0.0 in
+    e.(j) <- 1.0;
+    let x = solve t e in
+    for i = 0 to n - 1 do
+      Mat.unsafe_set inv i j x.(i)
+    done
+  done;
+  inv

@@ -1,0 +1,25 @@
+(** LU factorization with partial pivoting, for the occasional general linear
+    solve (kernel fitting normal equations, small model calibrations). *)
+
+exception Singular of int
+(** Raised with the offending pivot column when the matrix is singular to
+    working precision. *)
+
+type t
+(** A factored matrix. *)
+
+val factor : Mat.t -> t
+(** [factor a] computes [p * a = l * u]. Raises [Singular] and
+    [Invalid_argument] (non-square). *)
+
+val solve : t -> float array -> float array
+(** [solve lu b] solves [a * x = b]. *)
+
+val solve_dense : Mat.t -> float array -> float array
+(** [solve_dense a b] factors and solves in one call. *)
+
+val det : t -> float
+(** Determinant of the factored matrix. *)
+
+val inverse : t -> Mat.t
+(** Explicit inverse (small matrices only). *)

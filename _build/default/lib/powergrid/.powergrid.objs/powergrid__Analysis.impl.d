@@ -1,0 +1,1 @@
+lib/powergrid/analysis.ml: Array Grid Leakage Prng Stats Util

@@ -1,0 +1,1 @@
+lib/powergrid/analysis.mli: Geometry Grid Leakage Ssta

@@ -1,0 +1,47 @@
+type result = {
+  n_samples : int;
+  max_drop_mean : float;
+  max_drop_sigma : float;
+  max_drop_p99 : float;
+  sample_seconds : float;
+  solve_seconds : float;
+}
+
+let run ?(batch = 256) ~grid ~leakage ~gate_locations ~sampler ~seed ~n () =
+  if n <= 0 then invalid_arg "Analysis.run: n must be positive";
+  let rng = Prng.Rng.create ~seed in
+  let node_of_gate = Array.map (Grid.nearest_node grid) gate_locations in
+  let n_nodes = Grid.node_count grid in
+  let drops = Array.make n 0.0 in
+  let sample_seconds = ref 0.0 in
+  let solve_seconds = ref 0.0 in
+  let done_count = ref 0 in
+  let currents = Array.make n_nodes 0.0 in
+  while !done_count < n do
+    let b = min batch (n - !done_count) in
+    let blocks, dt = Util.Timer.time (fun () -> sampler rng ~n:b) in
+    sample_seconds := !sample_seconds +. dt;
+    let t0 = Util.Timer.start () in
+    for s = 0 to b - 1 do
+      Array.fill currents 0 n_nodes 0.0;
+      let gate_currents = Leakage.currents_of_blocks leakage ~blocks ~sample:s in
+      Array.iteri
+        (fun g node ->
+          match node with
+          | Some idx -> currents.(idx) <- currents.(idx) +. gate_currents.(g)
+          | None -> ())
+        node_of_gate;
+      drops.(!done_count + s) <- Grid.max_drop grid ~currents
+    done;
+    solve_seconds := !solve_seconds +. Util.Timer.elapsed_s t0;
+    done_count := !done_count + b
+  done;
+  let summary = Stats.Summary.of_array drops in
+  {
+    n_samples = n;
+    max_drop_mean = summary.Stats.Summary.mean;
+    max_drop_sigma = summary.Stats.Summary.std_dev;
+    max_drop_p99 = Stats.Summary.quantile drops 0.99;
+    sample_seconds = !sample_seconds;
+    solve_seconds = !solve_seconds;
+  }

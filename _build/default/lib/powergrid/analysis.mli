@@ -1,0 +1,31 @@
+(** Variational IR-drop analysis: Monte Carlo over the spatially correlated
+    leakage field, with either correlation sampler (Algorithm 1 Cholesky or
+    Algorithm 2 KLE), modeling [Ferzli & Najm, TCAD'06] at the level the
+    paper's introduction invokes it.
+
+    Per sample: draw the four parameter fields at the gate locations,
+    evaluate each gate's (lognormal) leakage, inject at the nearest grid
+    node, solve the grid, and record the worst IR drop. *)
+
+type result = {
+  n_samples : int;
+  max_drop_mean : float; (* volts *)
+  max_drop_sigma : float;
+  max_drop_p99 : float; (* 99th percentile of the worst drop *)
+  sample_seconds : float;
+  solve_seconds : float;
+}
+
+val run :
+  ?batch:int ->
+  grid:Grid.t ->
+  leakage:Leakage.model ->
+  gate_locations:Geometry.Point.t array ->
+  sampler:Ssta.Experiment.sampler ->
+  seed:int ->
+  n:int ->
+  unit ->
+  result
+(** Monte Carlo IR-drop analysis. Gates whose nearest node is a pad inject
+    nothing (their current returns directly). Raises [Invalid_argument] for
+    non-positive [n]. *)

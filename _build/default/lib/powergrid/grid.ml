@@ -1,0 +1,117 @@
+type solver = Dense | Cg
+
+type backend =
+  | Factored of Linalg.Mat.t (* lower Cholesky factor of the reduced Laplacian *)
+  | Iterative of Linalg.Sparse.t
+
+type t = {
+  die : Geometry.Rect.t;
+  m : int; (* nodes per side *)
+  free_index : int array; (* (iy*m + ix) -> free-node index or -1 (pad) *)
+  free_nodes : (int * int) array; (* free index -> (ix, iy) *)
+  backend : backend;
+}
+
+let node_position die m ix iy =
+  Geometry.Point.make
+    (die.Geometry.Rect.xmin
+    +. (Geometry.Rect.width die *. float_of_int ix /. float_of_int (m - 1)))
+    (die.Geometry.Rect.ymin
+    +. (Geometry.Rect.height die *. float_of_int iy /. float_of_int (m - 1)))
+
+let default_pads die =
+  let c = Geometry.Rect.center die in
+  Array.append (Geometry.Rect.corners die) [| c |]
+
+let create ?(nodes_per_side = 20) ?(edge_conductance = 2.0) ?pads ?solver die =
+  if nodes_per_side < 2 then invalid_arg "Grid.create: nodes_per_side must be >= 2";
+  if edge_conductance <= 0.0 then
+    invalid_arg "Grid.create: edge_conductance must be positive";
+  let m = nodes_per_side in
+  let pads = match pads with Some p -> p | None -> default_pads die in
+  (* snap pads to nodes *)
+  let is_pad = Array.make (m * m) false in
+  Array.iter
+    (fun (p : Geometry.Point.t) ->
+      let fx = (p.x -. die.Geometry.Rect.xmin) /. Geometry.Rect.width die in
+      let fy = (p.y -. die.Geometry.Rect.ymin) /. Geometry.Rect.height die in
+      let ix = max 0 (min (m - 1) (int_of_float ((fx *. float_of_int (m - 1)) +. 0.5))) in
+      let iy = max 0 (min (m - 1) (int_of_float ((fy *. float_of_int (m - 1)) +. 0.5))) in
+      is_pad.((iy * m) + ix) <- true)
+    pads;
+  let free_index = Array.make (m * m) (-1) in
+  let free_nodes = ref [] in
+  let count = ref 0 in
+  for iy = 0 to m - 1 do
+    for ix = 0 to m - 1 do
+      let id = (iy * m) + ix in
+      if not is_pad.(id) then begin
+        free_index.(id) <- !count;
+        free_nodes := (ix, iy) :: !free_nodes;
+        incr count
+      end
+    done
+  done;
+  let n = !count in
+  if n = 0 then invalid_arg "Grid.create: pads cover every node";
+  let free_nodes = Array.of_list (List.rev !free_nodes) in
+  (* reduced Laplacian as triplets: pads act as grounded boundary *)
+  let triplets = ref [] in
+  for iy = 0 to m - 1 do
+    for ix = 0 to m - 1 do
+      let a = (iy * m) + ix in
+      let neighbors =
+        List.filter
+          (fun (jx, jy) -> jx >= 0 && jx < m && jy >= 0 && jy < m)
+          [ (ix + 1, iy); (ix, iy + 1) ]
+      in
+      List.iter
+        (fun (jx, jy) ->
+          let b = (jy * m) + jx in
+          let fa = free_index.(a) and fb = free_index.(b) in
+          (* each edge adds conductance to both endpoint diagonals and
+             couples free endpoints *)
+          if fa >= 0 then triplets := (fa, fa, edge_conductance) :: !triplets;
+          if fb >= 0 then triplets := (fb, fb, edge_conductance) :: !triplets;
+          if fa >= 0 && fb >= 0 then
+            triplets :=
+              (fa, fb, -.edge_conductance) :: (fb, fa, -.edge_conductance)
+              :: !triplets)
+        neighbors
+    done
+  done;
+  let sparse = Linalg.Sparse.of_triplets ~n !triplets in
+  let solver =
+    match solver with Some s -> s | None -> if n <= 1500 then Dense else Cg
+  in
+  let backend =
+    match solver with
+    | Dense -> Factored (Linalg.Cholesky.factor_lower (Linalg.Sparse.to_dense sparse))
+    | Cg -> Iterative sparse
+  in
+  { die; m; free_index; free_nodes; backend }
+
+let node_count t = Array.length t.free_nodes
+
+let node_location t i =
+  let ix, iy = t.free_nodes.(i) in
+  node_position t.die t.m ix iy
+
+let nearest_node t (p : Geometry.Point.t) =
+  let m = t.m in
+  let fx = (p.x -. t.die.Geometry.Rect.xmin) /. Geometry.Rect.width t.die in
+  let fy = (p.y -. t.die.Geometry.Rect.ymin) /. Geometry.Rect.height t.die in
+  let ix = max 0 (min (m - 1) (int_of_float ((fx *. float_of_int (m - 1)) +. 0.5))) in
+  let iy = max 0 (min (m - 1) (int_of_float ((fy *. float_of_int (m - 1)) +. 0.5))) in
+  let f = t.free_index.((iy * m) + ix) in
+  if f >= 0 then Some f else None
+
+let solve t ~currents =
+  if Array.length currents <> node_count t then
+    invalid_arg "Grid.solve: current vector length mismatch";
+  match t.backend with
+  | Factored l -> Linalg.Cholesky.solve l currents
+  | Iterative a -> fst (Linalg.Cg.solve ~tol:1e-10 a currents)
+
+let max_drop t ~currents =
+  Array.fold_left Float.max neg_infinity (solve t ~currents)

@@ -1,0 +1,48 @@
+(** Resistive power-distribution grid over the die — the substrate for the
+    variational power-grid analysis of [Ferzli & Najm, TCAD'06], the second
+    CAD application the paper's introduction motivates for random-field
+    variation models.
+
+    The grid is an [m x m] node mesh spanning the die, with uniform edge
+    conductance. Pad nodes (Vdd connections) are held at zero IR drop;
+    gates inject their (leakage) currents at the nearest grid node. The
+    reduced conductance Laplacian is SPD and factored once; each current
+    assignment then costs two triangular solves. *)
+
+type t
+
+type solver =
+  | Dense  (** dense Cholesky: factor once, O(n²) per solve — best for small grids *)
+  | Cg  (** sparse Jacobi-preconditioned CG: O(nnz·iters) per solve, O(nnz) memory —
+            scales to 100x100+ grids *)
+
+val create :
+  ?nodes_per_side:int ->
+  ?edge_conductance:float ->
+  ?pads:Geometry.Point.t array ->
+  ?solver:solver ->
+  Geometry.Rect.t ->
+  t
+(** [create die] builds the grid ([nodes_per_side] default 20,
+    [edge_conductance] default 2.0 S, [pads] default: the four die corners
+    and the center; [solver] defaults to [Dense] up to 1500 free nodes and
+    [Cg] above). Pad locations snap to their nearest node. Raises
+    [Invalid_argument] for degenerate sizes or when pads cover every node. *)
+
+val node_count : t -> int
+(** Number of {e free} (non-pad) nodes. *)
+
+val nearest_node : t -> Geometry.Point.t -> int option
+(** Free-node index nearest to a die location ([None] if the nearest grid
+    node is a pad). *)
+
+val solve : t -> currents:float array -> float array
+(** [solve t ~currents] returns the IR drop (volts below Vdd) at every free
+    node for the given per-free-node current injections (amps). Raises
+    [Invalid_argument] on length mismatch. *)
+
+val max_drop : t -> currents:float array -> float
+(** Largest IR drop over the grid for the given injections. *)
+
+val node_location : t -> int -> Geometry.Point.t
+(** Die location of a free node. *)

@@ -1,0 +1,29 @@
+type model = {
+  i0 : float;
+  a : float array;
+}
+
+let default = { i0 = 50e-9; a = [| -0.4; 0.25; -0.9; -0.3 |] }
+
+let current model ~params =
+  if Array.length params <> Array.length model.a then
+    invalid_arg "Leakage.current: parameter count mismatch";
+  let acc = ref 0.0 in
+  Array.iteri (fun k ak -> acc := !acc +. (ak *. params.(k))) model.a;
+  model.i0 *. exp !acc
+
+let currents_of_blocks model ~blocks ~sample =
+  if Array.length blocks <> Array.length model.a then
+    invalid_arg "Leakage.currents_of_blocks: block count mismatch";
+  let n = Linalg.Mat.cols blocks.(0) in
+  Array.init n (fun g ->
+      let acc = ref 0.0 in
+      Array.iteri
+        (fun k ak -> acc := !acc +. (ak *. Linalg.Mat.unsafe_get blocks.(k) sample g))
+        model.a;
+      model.i0 *. exp !acc)
+
+let mean_current model =
+  let acc = ref 0.0 in
+  Array.iter (fun ak -> acc := !acc +. (ak *. ak)) model.a;
+  model.i0 *. exp (0.5 *. !acc)

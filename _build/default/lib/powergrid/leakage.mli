@@ -1,0 +1,34 @@
+(** Per-gate leakage current under process variation.
+
+    Subthreshold leakage is {e exponential} in the device parameters
+    (dominantly Vt), so the resulting IR-drop statistics are non-Gaussian —
+    a deliberately harder test of the KLE field model than linear timing:
+
+    [I = i0 · exp(a_L·L + a_W·W + a_Vt·Vt + a_tox·tox)]
+
+    with the normalized (sigma-unit) parameters of this library and
+    log-sensitivities [a] at 90 nm-plausible magnitudes (Vt dominates,
+    negatively: higher threshold leaks less). *)
+
+type model = {
+  i0 : float; (* nominal leakage per gate, amps *)
+  a : float array; (* log-sensitivities to (L, W, Vt, tox) *)
+}
+
+val default : model
+(** i0 = 50 nA, a = [-0.4; 0.25; -0.9; -0.3]. *)
+
+val current : model -> params:float array -> float
+(** Leakage of one gate at the given normalized parameter values. *)
+
+val currents_of_blocks :
+  model ->
+  blocks:Linalg.Mat.t array ->
+  sample:int ->
+  float array
+(** Per-gate leakage for Monte Carlo sample row [sample] of the 4 parameter
+    blocks (as produced by the {!Ssta} samplers). *)
+
+val mean_current : model -> float
+(** Analytic E[I] over standard-normal parameters:
+    [i0·exp(Σ a_k²/2)] (lognormal mean) — used to validate sampling. *)

@@ -1,0 +1,1 @@
+lib/prng/gaussian.ml: Array Linalg Rng

@@ -1,0 +1,1 @@
+lib/prng/lowdisc.ml: Array Float Linalg Rng Specfun

@@ -1,0 +1,1 @@
+lib/prng/lowdisc.mli: Linalg Rng

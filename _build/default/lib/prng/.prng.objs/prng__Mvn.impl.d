@@ -1,0 +1,1 @@
+lib/prng/mvn.ml: Array Bigarray Gaussian Linalg

@@ -1,0 +1,1 @@
+lib/prng/mvn.mli: Linalg Rng

@@ -1,0 +1,42 @@
+(* Marsaglia polar method. One spare value could be cached per pair, but a
+   stateless draw keeps the generator stream position predictable enough for
+   testing; the pair's second value is simply used to fill arrays faster. *)
+
+let rec pair rng =
+  let u = (2.0 *. Rng.uniform rng) -. 1.0 in
+  let v = (2.0 *. Rng.uniform rng) -. 1.0 in
+  let s = (u *. u) +. (v *. v) in
+  if s >= 1.0 || s = 0.0 then pair rng
+  else begin
+    let m = sqrt (-2.0 *. log s /. s) in
+    (u *. m, v *. m)
+  end
+
+let draw rng = fst (pair rng)
+
+let fill rng a =
+  let n = Array.length a in
+  let i = ref 0 in
+  while !i < n do
+    let x, y = pair rng in
+    a.(!i) <- x;
+    incr i;
+    if !i < n then begin
+      a.(!i) <- y;
+      incr i
+    end
+  done
+
+let vector rng n =
+  let a = Array.make n 0.0 in
+  fill rng a;
+  a
+
+let matrix rng ~rows ~cols =
+  let m = Linalg.Mat.create rows cols in
+  let buf = Array.make cols 0.0 in
+  for i = 0 to rows - 1 do
+    fill rng buf;
+    Linalg.Mat.set_row m i buf
+  done;
+  m

@@ -1,0 +1,16 @@
+(** Standard-normal sampling, the [RandNormal] primitive of the paper's
+    Algorithms 1 and 2. *)
+
+val draw : Rng.t -> float
+(** One N(0,1) sample (Marsaglia polar method; note the generator state
+    advances by a variable number of steps due to rejection). *)
+
+val fill : Rng.t -> float array -> unit
+(** Fill an array with independent N(0,1) samples. *)
+
+val vector : Rng.t -> int -> float array
+(** [vector rng n] is a fresh array of [n] independent N(0,1) samples. *)
+
+val matrix : Rng.t -> rows:int -> cols:int -> Linalg.Mat.t
+(** [matrix rng ~rows ~cols] is the [RandNormal(rows, cols)] of the paper:
+    a matrix of independent N(0,1) entries. *)

@@ -1,0 +1,83 @@
+type t = {
+  bases : int array;
+  shift : float array;
+  perms : int array array; (* per dimension: digit permutation, fixing 0 *)
+  mutable index : int;
+}
+
+let primes n =
+  if n <= 0 then invalid_arg "Lowdisc.primes: n must be positive";
+  let out = Array.make n 0 in
+  let count = ref 0 in
+  let candidate = ref 2 in
+  while !count < n do
+    let c = !candidate in
+    let rec is_prime i =
+      if out.(i) * out.(i) > c then true
+      else if c mod out.(i) = 0 then false
+      else is_prime (i + 1)
+    in
+    if !count = 0 || is_prime 0 then begin
+      out.(!count) <- c;
+      incr count
+    end;
+    incr candidate
+  done;
+  out
+
+let create ?shift_rng ~dim () =
+  if dim < 1 || dim > 1000 then invalid_arg "Lowdisc.create: dim must be in [1, 1000]";
+  let bases = primes dim in
+  let shift, perms =
+    match shift_rng with
+    | None ->
+        ( Array.make dim 0.0,
+          Array.map (fun b -> Array.init b (fun d -> d)) bases )
+    | Some rng ->
+        (* digit scrambling: a random permutation of the non-zero digits per
+           base (0 stays fixed so finite expansions stay finite). Plain
+           Cranley-Patterson shifts do NOT break the notorious cross-
+           dimension ramp correlations of high-prime Halton dimensions;
+           digit permutation does. *)
+        ( Array.init dim (fun _ -> Rng.uniform rng),
+          Array.map
+            (fun b ->
+              let tail = Array.init (b - 1) (fun d -> d + 1) in
+              Rng.shuffle_in_place rng tail;
+              Array.append [| 0 |] tail)
+            bases )
+  in
+  { bases; shift; perms; index = 0 }
+
+let dim t = Array.length t.bases
+
+(* scrambled van der Corput radical inverse of [i] in base [b] *)
+let radical_inverse perm b i =
+  let bf = float_of_int b in
+  let rec go i f acc =
+    if i = 0 then acc
+    else go (i / b) (f /. bf) (acc +. (f *. float_of_int perm.(i mod b)))
+  in
+  go i (1.0 /. bf) 0.0
+
+let next_uniform t =
+  t.index <- t.index + 1;
+  let i = t.index in
+  Array.mapi
+    (fun k b ->
+      let v = radical_inverse t.perms.(k) b i +. t.shift.(k) in
+      let v = v -. Float.of_int (int_of_float v) in
+      (* guard the open upper end *)
+      Float.min v (1.0 -. 1e-15))
+    t.bases
+
+let next_normal t =
+  let u = next_uniform t in
+  Array.map (fun v -> Specfun.Erf.normal_quantile (Float.max 1e-15 v)) u
+
+let normal_matrix t ~rows =
+  let m = Linalg.Mat.create rows (dim t) in
+  for i = 0 to rows - 1 do
+    Linalg.Mat.set_row m i (next_normal t)
+  done;
+  m

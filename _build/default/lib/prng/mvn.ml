@@ -1,0 +1,35 @@
+type t = { upper : Linalg.Mat.t; jitter : float }
+
+let of_covariance k =
+  let lower, jitter = Linalg.Cholesky.factor_jittered k in
+  { upper = Linalg.Mat.transpose lower; jitter }
+
+let jitter_used t = t.jitter
+
+let dim t = Linalg.Mat.rows t.upper
+
+let sample t rng =
+  let n = dim t in
+  let z = Gaussian.vector rng n in
+  (* x = z · U, accumulating row-wise (x += z_i * U[i, i:]) so the inner loop
+     streams over contiguous memory; raw buffer access keeps the O(n²) loop
+     free of cross-module accessor calls *)
+  let u = Linalg.Mat.raw t.upper in
+  let x = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let zi = Array.unsafe_get z i in
+    let row = i * n in
+    for j = i to n - 1 do
+      Array.unsafe_set x j
+        (Array.unsafe_get x j +. (zi *. Bigarray.Array1.unsafe_get u (row + j)))
+    done
+  done;
+  x
+
+let sample_matrix t rng ~n =
+  let d = dim t in
+  let m = Linalg.Mat.create n d in
+  for i = 0 to n - 1 do
+    Linalg.Mat.set_row m i (sample t rng)
+  done;
+  m

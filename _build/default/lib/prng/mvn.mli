@@ -1,0 +1,23 @@
+(** Correlated multivariate-normal sampling through a Cholesky factor — the
+    sample-generation core of the paper's Algorithm 1. *)
+
+type t
+(** A prepared sampler holding the upper Cholesky factor of the target
+    covariance. *)
+
+val of_covariance : Linalg.Mat.t -> t
+(** [of_covariance k] factors the covariance matrix [k] (with automatic
+    diagonal jitter for semi-definite inputs). Raises
+    [Linalg.Cholesky.Not_positive_definite] when [k] is indefinite. *)
+
+val jitter_used : t -> float
+(** Diagonal jitter added during factorization (0 when none). *)
+
+val dim : t -> int
+
+val sample : t -> Rng.t -> float array
+(** One correlated sample [z · U] with [z] standard normal. *)
+
+val sample_matrix : t -> Rng.t -> n:int -> Linalg.Mat.t
+(** [sample_matrix t rng ~n] is the paper's
+    [RandNormal(N, N_p) · U]: [n] correlated rows. *)

@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random number generation (xoshiro256++).
+
+    Every stochastic component of the reproduction takes an explicit [t] so
+    that whole experiments are bit-reproducible from a single integer seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] initializes the state from [seed] via splitmix64. Any
+    integer is a valid seed. *)
+
+val split : t -> t
+(** [split t] derives an independent generator stream and advances [t];
+    used to give each process parameter / circuit its own stream. *)
+
+val copy : t -> t
+(** Snapshot of the current state. *)
+
+val uniform : t -> float
+(** Uniform float in [0, 1) with 53 random bits. *)
+
+val uniform_range : t -> lo:float -> hi:float -> float
+(** Uniform float in [lo, hi). Raises [Invalid_argument] if [hi <= lo]. *)
+
+val int_below : t -> int -> int
+(** [int_below t n] is a uniform integer in [0, n). Raises
+    [Invalid_argument] for [n <= 0]. *)
+
+val bits64 : t -> int64
+(** Raw 64 random bits. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher-Yates shuffle. *)

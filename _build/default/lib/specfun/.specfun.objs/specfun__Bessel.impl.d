@@ -1,0 +1,1 @@
+lib/specfun/bessel.ml: Array Float Printf

@@ -1,0 +1,1 @@
+lib/specfun/erf.ml: Array Float Gamma

@@ -1,0 +1,169 @@
+(* Polynomial approximations from Abramowitz & Stegun 9.8.1-9.8.8. *)
+
+let poly coeffs t =
+  Array.fold_right (fun c acc -> (acc *. t) +. c) coeffs 0.0
+
+let i0 x =
+  let ax = Float.abs x in
+  if ax < 3.75 then begin
+    let t = (x /. 3.75) ** 2.0 in
+    poly
+      [| 1.0; 3.5156229; 3.0899424; 1.2067492; 0.2659732; 0.0360768; 0.0045813 |]
+      t
+  end
+  else begin
+    let t = 3.75 /. ax in
+    exp ax /. sqrt ax
+    *. poly
+         [| 0.39894228; 0.01328592; 0.00225319; -0.00157565; 0.00916281;
+            -0.02057706; 0.02635537; -0.01647633; 0.00392377 |]
+         t
+  end
+
+let i1 x =
+  let ax = Float.abs x in
+  let v =
+    if ax < 3.75 then begin
+      let t = (x /. 3.75) ** 2.0 in
+      ax
+      *. poly
+           [| 0.5; 0.87890594; 0.51498869; 0.15084934; 0.02658733; 0.00301532;
+              0.00032411 |]
+           t
+    end
+    else begin
+      let t = 3.75 /. ax in
+      exp ax /. sqrt ax
+      *. poly
+           [| 0.39894228; -0.03988024; -0.00362018; 0.00163801; -0.01031555;
+              0.02282967; -0.02895312; 0.01787654; -0.00420059 |]
+           t
+    end
+  in
+  if x < 0.0 then -.v else v
+
+let check_positive name x =
+  if x <= 0.0 then invalid_arg (Printf.sprintf "Bessel.%s: requires x > 0" name)
+
+let k0 x =
+  check_positive "k0" x;
+  if x <= 2.0 then begin
+    let t = x *. x /. 4.0 in
+    (-.log (x /. 2.0) *. i0 x)
+    +. poly
+         [| -0.57721566; 0.42278420; 0.23069756; 0.03488590; 0.00262698;
+            0.00010750; 0.0000074 |]
+         t
+  end
+  else begin
+    let t = 2.0 /. x in
+    exp (-.x) /. sqrt x
+    *. poly
+         [| 1.25331414; -0.07832358; 0.02189568; -0.01062446; 0.00587872;
+            -0.00251540; 0.00053208 |]
+         t
+  end
+
+let k1 x =
+  check_positive "k1" x;
+  if x <= 2.0 then begin
+    let t = x *. x /. 4.0 in
+    (log (x /. 2.0) *. i1 x)
+    +. (1.0 /. x
+       *. poly
+            [| 1.0; 0.15443144; -0.67278579; -0.18156897; -0.01919402;
+               -0.00110404; -0.00004686 |]
+            t)
+  end
+  else begin
+    let t = 2.0 /. x in
+    exp (-.x) /. sqrt x
+    *. poly
+         [| 1.25331414; 0.23498619; -0.03655620; 0.01504268; -0.00780353;
+            0.00325614; -0.00068245 |]
+         t
+  end
+
+let kn n x =
+  if n < 0 then invalid_arg "Bessel.kn: requires n >= 0";
+  check_positive "kn" x;
+  match n with
+  | 0 -> k0 x
+  | 1 -> k1 x
+  | n ->
+      (* upward recurrence K_{m+1} = K_{m-1} + (2m/x) K_m (stable upward) *)
+      let km1 = ref (k0 x) in
+      let km = ref (k1 x) in
+      for m = 1 to n - 1 do
+        let next = !km1 +. (2.0 *. float_of_int m /. x *. !km) in
+        km1 := !km;
+        km := next
+      done;
+      !km
+
+(* Half-integer orders have closed forms; K_{1/2}(x) = sqrt(pi/2x) e^{-x},
+   higher ones by the same upward recurrence. *)
+let k_half_integer nu x =
+  let k_half = sqrt (Float.pi /. (2.0 *. x)) *. exp (-.x) in
+  if nu = 0.5 then k_half
+  else begin
+    let km1 = ref k_half in
+    let km = ref (k_half *. (1.0 +. (1.0 /. x))) in
+    (* !km = K_{3/2} *)
+    let steps = int_of_float (Float.round (nu -. 1.5)) in
+    let order = ref 1.5 in
+    for _ = 1 to steps do
+      let next = !km1 +. (2.0 *. !order /. x *. !km) in
+      km1 := !km;
+      km := next;
+      order := !order +. 1.0
+    done;
+    !km
+  end
+
+(* Adaptive Simpson quadrature for the integral representation
+   K_nu(x) = int_0^inf exp(-x cosh t) cosh(nu t) dt. *)
+let k_quadrature nu x =
+  let f t =
+    let a = (-.x *. cosh t) +. (nu *. t) in
+    let b = (-.x *. cosh t) -. (nu *. t) in
+    0.5 *. (exp a +. exp b)
+  in
+  (* find an upper limit where the integrand is negligible *)
+  let f0 = f 0.0 in
+  let rec find_limit t =
+    if t > 500.0 then 500.0
+    else if f t < 1e-18 *. f0 then t
+    else find_limit (t *. 1.5)
+  in
+  let upper = find_limit 1.0 in
+  let rec simpson a b fa fm fb whole depth =
+    let m = 0.5 *. (a +. b) in
+    let lm = 0.5 *. (a +. m) and rm = 0.5 *. (m +. b) in
+    let flm = f lm and frm = f rm in
+    let left = (m -. a) /. 6.0 *. (fa +. (4.0 *. flm) +. fm) in
+    let right = (b -. m) /. 6.0 *. (fm +. (4.0 *. frm) +. fb) in
+    let delta = left +. right -. whole in
+    if depth > 50 || Float.abs delta < 1e-13 *. Float.abs (left +. right) then
+      left +. right +. (delta /. 15.0)
+    else
+      simpson a m fa flm fm left (depth + 1)
+      +. simpson m b fm frm fb right (depth + 1)
+  in
+  (* split at t = 1 where curvature concentrates for small x *)
+  let integrate a b =
+    let fa = f a and fb = f b in
+    let m = 0.5 *. (a +. b) in
+    let fm = f m in
+    let whole = (b -. a) /. 6.0 *. (fa +. (4.0 *. fm) +. fb) in
+    simpson a b fa fm fb whole 0
+  in
+  if upper <= 1.0 then integrate 0.0 upper
+  else integrate 0.0 1.0 +. integrate 1.0 upper
+
+let k nu x =
+  if nu < 0.0 then invalid_arg "Bessel.k: requires nu >= 0";
+  check_positive "k" x;
+  if Float.is_integer nu && nu < 60.0 then kn (int_of_float nu) x
+  else if Float.is_integer (nu -. 0.5) && nu < 60.0 then k_half_integer nu x
+  else k_quadrature nu x

@@ -1,0 +1,25 @@
+(** Modified Bessel functions of the second kind K_ν, the engine of the
+    Matérn correlation kernels that [Xiong et al., TCAD'07] extract from
+    silicon measurements (the paper's eq. (6)). *)
+
+val k0 : float -> float
+(** [k0 x] for [x > 0] (polynomial approximations, ~1e-7 relative). *)
+
+val k1 : float -> float
+(** [k1 x] for [x > 0]. *)
+
+val kn : int -> float -> float
+(** [kn n x] for integer order [n >= 0] by upward recurrence. *)
+
+val i0 : float -> float
+(** Modified Bessel I_0, used by the K_0/K_1 small-argument formulas and by
+    validity cross-checks. *)
+
+val i1 : float -> float
+
+val k : float -> float -> float
+(** [k nu x] is K_ν(x) for real order [nu >= 0] and [x > 0]. Integer and
+    half-integer orders dispatch to closed forms; general real orders use
+    adaptive Simpson quadrature on the integral representation
+    K_ν(x) = ∫₀^∞ exp(-x cosh t) cosh(νt) dt (~1e-10 relative).
+    Raises [Invalid_argument] for [x <= 0] or [nu < 0]. *)

@@ -1,0 +1,16 @@
+(** Error function and the Gaussian distribution functions built on it.
+    The SSTA harness uses these for sanity checks on sampled delay
+    distributions and for confidence intervals on Monte Carlo estimates. *)
+
+val erf : float -> float
+(** [erf x], accurate to ~1e-15 (via the regularized incomplete gamma). *)
+
+val erfc : float -> float
+(** [erfc x] = 1 - erf x, computed without cancellation for large [x]. *)
+
+val normal_cdf : ?mu:float -> ?sigma:float -> float -> float
+(** Gaussian CDF Φ((x-mu)/sigma); defaults mu = 0, sigma = 1. *)
+
+val normal_quantile : ?mu:float -> ?sigma:float -> float -> float
+(** Inverse Gaussian CDF (Acklam's rational approximation refined by one
+    Halley step, ~1e-15). Raises [Invalid_argument] unless 0 < p < 1. *)

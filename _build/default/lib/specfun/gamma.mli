@@ -1,0 +1,17 @@
+(** Gamma function, needed by the Matérn-class correlation kernel of the
+    paper's eq. (6). *)
+
+val log_gamma : float -> float
+(** [log_gamma x] is ln Γ(x) for [x > 0] (Lanczos approximation, ~1e-13
+    relative accuracy). Raises [Invalid_argument] for [x <= 0]. *)
+
+val gamma : float -> float
+(** [gamma x] is Γ(x) for any non-pole [x] (reflection formula for x < 0).
+    Raises [Invalid_argument] at the poles (non-positive integers). *)
+
+val gamma_p : float -> float -> float
+(** [gamma_p a x] is the regularized lower incomplete gamma P(a, x) for
+    [a > 0], [x >= 0] (series for x < a+1, continued fraction otherwise). *)
+
+val gamma_q : float -> float -> float
+(** [gamma_q a x] is [1 - gamma_p a x]. *)

@@ -1,0 +1,1 @@
+lib/ssta/algorithm1.ml: Array Kernels List Prng Process Util

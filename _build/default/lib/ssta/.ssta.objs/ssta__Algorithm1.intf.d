@@ -1,0 +1,1 @@
+lib/ssta/algorithm1.mli: Geometry Linalg Prng Process

@@ -1,0 +1,1 @@
+lib/ssta/algorithm2.ml: Array Geometry Kernels Kle List Process Util

@@ -1,0 +1,1 @@
+lib/ssta/algorithm2.mli: Geometry Kle Linalg Prng Process

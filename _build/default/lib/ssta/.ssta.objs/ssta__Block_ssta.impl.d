@@ -1,0 +1,1 @@
+lib/ssta/block_ssta.ml: Array Canonical Circuit Experiment Float Kle Linalg Prng Sta Util

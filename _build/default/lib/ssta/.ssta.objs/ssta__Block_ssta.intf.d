@@ -1,0 +1,1 @@
+lib/ssta/block_ssta.mli: Canonical Experiment Kle

@@ -1,0 +1,1 @@
+lib/ssta/experiment.ml: Array Bigarray Circuit Float Geometry Linalg Prng Seq Sta Stats Util

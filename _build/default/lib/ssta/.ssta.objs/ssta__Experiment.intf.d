@@ -1,0 +1,1 @@
+lib/ssta/experiment.mli: Circuit Geometry Linalg Prng Sta

@@ -1,0 +1,1 @@
+lib/ssta/grid_pca.ml: Array Float Geometry Kernels Linalg List Prng Process Util

@@ -1,0 +1,1 @@
+lib/ssta/grid_pca.mli: Geometry Linalg Prng Process

@@ -1,0 +1,1 @@
+lib/ssta/process.ml: Array Circuit Kernels Printf

@@ -1,0 +1,1 @@
+lib/ssta/process.mli: Kernels

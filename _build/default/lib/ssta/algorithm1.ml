@@ -1,0 +1,33 @@
+type t = {
+  samplers : Prng.Mvn.t array; (* one per parameter (shared when kernels equal) *)
+  setup_seconds : float;
+}
+
+let prepare (process : Process.t) locations =
+  let timer = Util.Timer.start () in
+  (* share the Cholesky factor between parameters with identical kernels;
+     sample draws stay independent *)
+  let cache : (Kernels.Kernel.t * Prng.Mvn.t) list ref = ref [] in
+  let sampler_for kernel =
+    match List.assoc_opt kernel !cache with
+    | Some s -> s
+    | None ->
+        let cov = Kernels.Validity.gram kernel locations in
+        let s = Prng.Mvn.of_covariance cov in
+        cache := (kernel, s) :: !cache;
+        s
+  in
+  let samplers =
+    Array.map (fun p -> sampler_for p.Process.kernel) process.Process.parameters
+  in
+  { samplers; setup_seconds = Util.Timer.elapsed_s timer }
+
+let setup_seconds t = t.setup_seconds
+
+let sample_block t rng ~n =
+  Array.map (fun s -> Prng.Mvn.sample_matrix s rng ~n) t.samplers
+
+let memory_bytes ~n_locations ~n_parameters =
+  (* covariance + upper factor per distinct kernel; assume worst case of all
+     parameters distinct *)
+  8 * n_locations * n_locations * (n_parameters + 1)

@@ -1,0 +1,28 @@
+(** The paper's Algorithm 1 — the reference Monte Carlo sampler: per
+    statistical parameter, build the full [N_g x N_g] gate-location
+    covariance matrix from the kernel, Cholesky-factor it, and generate
+    correlated samples as [RandNormal(N, N_g) · U].
+
+    Memory and time scale as [O(N_g²)] / [O(N_g³)]; {!memory_bytes} lets
+    callers guard against infeasible sizes before committing. *)
+
+type t
+
+val prepare :
+  Process.t -> Geometry.Point.t array -> t
+(** [prepare process locations] builds and factors the covariance of every
+    parameter at the gate [locations]. Identical kernels share one factor
+    (physically the same spatial process statistics), but the per-parameter
+    sample draws remain independent, exactly as in the paper's Algorithm 1. *)
+
+val setup_seconds : t -> float
+(** Wall-clock time spent building + factoring covariances. *)
+
+val sample_block :
+  t -> Prng.Rng.t -> n:int -> Linalg.Mat.t array
+(** [sample_block t rng ~n] is one [N x N_g] matrix per parameter; row [i]
+    holds parameter values for all gates in Monte Carlo sample [i]. The
+    matrices are mutually independent. *)
+
+val memory_bytes : n_locations:int -> n_parameters:int -> int
+(** Rough peak resident estimate for {!prepare} (covariance + factor). *)

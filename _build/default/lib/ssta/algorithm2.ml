@@ -1,0 +1,61 @@
+type config = {
+  max_area_fraction : float;
+  min_angle_deg : float;
+  computed_pairs : int;
+  r : int option;
+}
+
+let paper_config =
+  { max_area_fraction = 0.001; min_angle_deg = 28.0; computed_pairs = 200; r = None }
+
+type t = {
+  samplers : Kle.Sampler.t array;
+  models : Kle.Model.t array;
+  setup_seconds : float;
+}
+
+let prepare ?(config = paper_config) ?mesh (process : Process.t) locations =
+  let timer = Util.Timer.start () in
+  let mesh =
+    match mesh with
+    | Some m -> m
+    | None ->
+        let result =
+          Geometry.Refine.mesh Geometry.Rect.unit_die
+            ~max_area_fraction:config.max_area_fraction
+            ~min_angle_deg:config.min_angle_deg
+        in
+        result.Geometry.Geometry_intf.mesh
+  in
+  let n = Geometry.Mesh.size mesh in
+  let solver =
+    if config.computed_pairs >= n then Kle.Galerkin.Dense
+    else Kle.Galerkin.Lanczos { count = config.computed_pairs }
+  in
+  let cache : (Kernels.Kernel.t * Kle.Model.t) list ref = ref [] in
+  let model_for kernel =
+    match List.assoc_opt kernel !cache with
+    | Some m -> m
+    | None ->
+        let solution = Kle.Galerkin.solve ~solver mesh kernel in
+        let m = Kle.Model.create ?r:config.r solution in
+        cache := (kernel, m) :: !cache;
+        m
+  in
+  let models =
+    Array.map (fun p -> model_for p.Process.kernel) process.Process.parameters
+  in
+  let samplers = Array.map (fun m -> Kle.Sampler.create m locations) models in
+  { samplers; models; setup_seconds = Util.Timer.elapsed_s timer }
+
+let setup_seconds t = t.setup_seconds
+
+let r t = t.models.(0).Kle.Model.r
+
+let mesh_size t =
+  Geometry.Mesh.size t.models.(0).Kle.Model.solution.Kle.Galerkin.mesh
+
+let models t = t.models
+
+let sample_block t rng ~n =
+  Array.map (fun s -> Kle.Sampler.sample_matrix s rng ~n) t.samplers

@@ -1,0 +1,61 @@
+(** First-order canonical timing forms over a shared Gaussian basis — the
+    representation used by block-based SSTA engines (Visweswariah et al.,
+    DAC'04 [6]; Chang & Sapatnekar, DAC'05 [5]), which is exactly the class
+    of tools the paper's KLE feeds: the shared basis here is the [4 x r]
+    independent N(0,1) KLE variables (r per process parameter).
+
+    A form is [value = mean + Σ_i sens_i ξ_i + indep·ξ_local] with [ξ_i] the
+    shared global RVs and [ξ_local] a fresh independent N(0,1) per form.
+
+    [max] uses Clark's moment matching (Clark, 1961): the exact first two
+    moments of the max of two jointly Gaussian variables, with tightness-
+    weighted sensitivities and the variance remainder pushed into the
+    independent term. *)
+
+type t = {
+  mean : float;
+  sens : float array; (* sensitivities to the shared basis *)
+  indep : float; (* sigma of the form-local independent term, >= 0 *)
+}
+
+val dim : t -> int
+
+val constant : dim:int -> float -> t
+(** Deterministic value. *)
+
+val make : mean:float -> sens:float array -> indep:float -> t
+(** Raises [Invalid_argument] for negative [indep]. *)
+
+val add : t -> t -> t
+(** Sum of two forms ({e independent} local terms: they RSS-combine).
+    Raises [Invalid_argument] on basis-dimension mismatch. *)
+
+val add_constant : t -> float -> t
+
+val scale : float -> t -> t
+
+val variance : t -> float
+val sigma : t -> float
+
+val covariance : t -> t -> float
+(** Covariance through the shared basis only (local terms never correlate
+    across forms). *)
+
+val correlation : t -> t -> float
+
+val max_clark : t -> t -> t
+(** Statistical max by Clark's moment matching. Falls back to the
+    stochastically dominant input when the two forms are (nearly) perfectly
+    correlated with equal variance. The result matches the exact mean and
+    variance of [max(a, b)]; its distribution is re-Gaussianized (the
+    standard block-SSTA approximation). *)
+
+val max_many : t list -> t
+(** Left fold of {!max_clark}; raises [Invalid_argument] on []. *)
+
+val eval : t -> xi:float array -> local:float -> float
+(** Realize the form at a concrete basis sample (for MC cross-validation).
+    [local] is the N(0,1) draw for the independent term. *)
+
+val quantile : t -> float -> float
+(** Gaussian quantile of the form's marginal (e.g. 0.9987 for +3 sigma). *)

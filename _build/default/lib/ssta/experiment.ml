@@ -1,0 +1,132 @@
+module Netlist = Circuit.Netlist
+
+type circuit_setup = {
+  netlist : Netlist.t;
+  placement : Circuit.Placer.placement;
+  sta : Sta.Timing.prepared;
+  logic_ids : int array;
+  locations : Geometry.Point.t array;
+}
+
+let setup_circuit ?(placement_seed = 1) netlist =
+  let placement = Circuit.Placer.place ~seed:placement_seed netlist in
+  let wireload = Circuit.Wireload.build placement in
+  let sta = Sta.Timing.prepare wireload in
+  let logic_ids =
+    netlist.Netlist.gates |> Array.to_seq
+    |> Seq.filter_map (fun (g : Netlist.gate) ->
+           if g.kind = Circuit.Gate.Input then None else Some g.id)
+    |> Array.of_seq
+  in
+  let locations = Array.map (fun i -> placement.Circuit.Placer.locations.(i)) logic_ids in
+  { netlist; placement; sta; logic_ids; locations }
+
+type sampler = Prng.Rng.t -> n:int -> Linalg.Mat.t array
+
+type mc_result = {
+  n_samples : int;
+  worst_mean : float;
+  worst_sigma : float;
+  endpoint_mean : float array;
+  endpoint_sigma : float array;
+  sample_seconds : float;
+  sta_seconds : float;
+}
+
+let run_mc ?(batch = 256) setup ~sampler ~seed ~n =
+  if n <= 0 then invalid_arg "Experiment.run_mc: n must be positive";
+  let rng = Prng.Rng.create ~seed in
+  let n_gates_total = Netlist.size setup.netlist in
+  let n_logic = Array.length setup.logic_ids in
+  let n_endpoints = Array.length setup.sta.Sta.Timing.endpoints in
+  let worst = Stats.Welford.create () in
+  let endpoint_acc = Array.init n_endpoints (fun _ -> Stats.Welford.create ()) in
+  let sample_seconds = ref 0.0 in
+  let sta_seconds = ref 0.0 in
+  (* scatter buffers: full-size parameter arrays, zero at Input gates *)
+  let l = Array.make n_gates_total 0.0 in
+  let w = Array.make n_gates_total 0.0 in
+  let vt = Array.make n_gates_total 0.0 in
+  let tox = Array.make n_gates_total 0.0 in
+  let remaining = ref n in
+  while !remaining > 0 do
+    let b = min batch !remaining in
+    remaining := !remaining - b;
+    let blocks, dt = Util.Timer.time (fun () -> sampler rng ~n:b) in
+    sample_seconds := !sample_seconds +. dt;
+    (match blocks with
+    | [| _; _; _; _ |] -> ()
+    | _ -> invalid_arg "Experiment.run_mc: sampler must return 4 parameter blocks");
+    let bl = blocks.(0) and bw = blocks.(1) and bvt = blocks.(2) and btox = blocks.(3) in
+    if Linalg.Mat.cols bl <> n_logic then
+      invalid_arg "Experiment.run_mc: sampler block width mismatch";
+    let rl = Linalg.Mat.raw bl and rw = Linalg.Mat.raw bw in
+    let rvt = Linalg.Mat.raw bvt and rtox = Linalg.Mat.raw btox in
+    let t0 = Util.Timer.start () in
+    for i = 0 to b - 1 do
+      let row = i * n_logic in
+      for g = 0 to n_logic - 1 do
+        let id = Array.unsafe_get setup.logic_ids g in
+        Array.unsafe_set l id (Bigarray.Array1.unsafe_get rl (row + g));
+        Array.unsafe_set w id (Bigarray.Array1.unsafe_get rw (row + g));
+        Array.unsafe_set vt id (Bigarray.Array1.unsafe_get rvt (row + g));
+        Array.unsafe_set tox id (Bigarray.Array1.unsafe_get rtox (row + g))
+      done;
+      let result = Sta.Timing.run setup.sta ~l ~w ~vt ~tox in
+      Stats.Welford.add worst result.Sta.Timing.worst_delay;
+      Array.iteri
+        (fun e a -> Stats.Welford.add endpoint_acc.(e) a)
+        result.Sta.Timing.endpoint_arrivals
+    done;
+    sta_seconds := !sta_seconds +. Util.Timer.elapsed_s t0
+  done;
+  {
+    n_samples = n;
+    worst_mean = Stats.Welford.mean worst;
+    worst_sigma = Stats.Welford.std_dev worst;
+    endpoint_mean = Array.map Stats.Welford.mean endpoint_acc;
+    endpoint_sigma = Array.map Stats.Welford.std_dev endpoint_acc;
+    sample_seconds = !sample_seconds;
+    sta_seconds = !sta_seconds;
+  }
+
+type comparison = {
+  e_mu_pct : float;
+  e_sigma_pct : float;
+  sigma_err_avg_outputs_pct : float;
+  speedup : float;
+}
+
+let compare ~reference ~reference_setup_seconds ~candidate ~candidate_setup_seconds =
+  let e_mu_pct =
+    100.0
+    *. Float.abs (candidate.worst_mean -. reference.worst_mean)
+    /. Float.abs reference.worst_mean
+  in
+  let e_sigma_pct =
+    100.0
+    *. Float.abs (candidate.worst_sigma -. reference.worst_sigma)
+    /. Float.abs reference.worst_sigma
+  in
+  let n_end = Array.length reference.endpoint_sigma in
+  let sigma_err_avg =
+    if n_end = 0 || Array.length candidate.endpoint_sigma <> n_end then nan
+    else begin
+      let acc = ref 0.0 in
+      for e = 0 to n_end - 1 do
+        acc :=
+          !acc
+          +. Float.abs (candidate.endpoint_sigma.(e) -. reference.endpoint_sigma.(e))
+             /. Float.abs reference.endpoint_sigma.(e)
+      done;
+      100.0 *. !acc /. float_of_int n_end
+    end
+  in
+  let total r setup = setup +. r.sample_seconds +. r.sta_seconds in
+  {
+    e_mu_pct;
+    e_sigma_pct;
+    sigma_err_avg_outputs_pct = sigma_err_avg;
+    speedup =
+      total reference reference_setup_seconds /. total candidate candidate_setup_seconds;
+  }

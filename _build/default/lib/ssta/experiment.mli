@@ -1,0 +1,59 @@
+(** Monte Carlo SSTA experiment driver: runs a prepared circuit through the
+    core timer with any of the samplers (Algorithm 1, Algorithm 2, grid+PCA)
+    and computes the paper's comparison metrics (e_μ, e_σ, speedup;
+    Table 1 and Fig. 6). *)
+
+type circuit_setup = {
+  netlist : Circuit.Netlist.t;
+  placement : Circuit.Placer.placement;
+  sta : Sta.Timing.prepared;
+  logic_ids : int array; (* non-Input gate ids, the paper's N_g RVs *)
+  locations : Geometry.Point.t array; (* their placed die locations *)
+}
+
+val setup_circuit : ?placement_seed:int -> Circuit.Netlist.t -> circuit_setup
+(** Place the netlist, build wire loads, prepare the timer, and collect the
+    logic-gate locations that the spatial samplers operate on. *)
+
+type sampler = Prng.Rng.t -> n:int -> Linalg.Mat.t array
+(** Produces, for a batch of [n] Monte Carlo samples, one [n x N_g] matrix
+    per statistical parameter (values for the [logic_ids] gates, in order). *)
+
+type mc_result = {
+  n_samples : int;
+  worst_mean : float;
+  worst_sigma : float;
+  endpoint_mean : float array;
+  endpoint_sigma : float array;
+  sample_seconds : float; (* parameter-sample generation time *)
+  sta_seconds : float; (* timing-propagation time *)
+}
+
+val run_mc :
+  ?batch:int ->
+  circuit_setup ->
+  sampler:sampler ->
+  seed:int ->
+  n:int ->
+  mc_result
+(** Run [n] Monte Carlo STA samples (generated in batches of [batch],
+    default 256, to bound memory). *)
+
+type comparison = {
+  e_mu_pct : float; (* |Δmean| as % of reference mean *)
+  e_sigma_pct : float; (* |Δsigma| as % of reference sigma *)
+  sigma_err_avg_outputs_pct : float;
+      (* Fig. 6 metric: per-endpoint sigma error, averaged over endpoints *)
+  speedup : float; (* reference total time / candidate total time *)
+}
+
+val compare :
+  reference:mc_result ->
+  reference_setup_seconds:float ->
+  candidate:mc_result ->
+  candidate_setup_seconds:float ->
+  comparison
+(** Paper metrics. [speedup] compares end-to-end times including each
+    sampler's per-circuit setup (Cholesky for Algorithm 1, expansion-matrix
+    construction for Algorithm 2) — the KLE eigensolution itself is circuit-
+    independent and reported separately, as in the paper. *)

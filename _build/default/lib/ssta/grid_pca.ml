@@ -1,0 +1,83 @@
+type per_parameter = {
+  expansion : Linalg.Mat.t; (* N_loc x r: rows of cell expansion per gate *)
+}
+
+type t = {
+  params : per_parameter array;
+  cell_index : int array;
+  r : int;
+  grid : int;
+  explained : float;
+  setup_seconds : float;
+}
+
+let cell_of ~grid (die : Geometry.Rect.t) (p : Geometry.Point.t) =
+  let fx = (p.x -. die.xmin) /. Geometry.Rect.width die in
+  let fy = (p.y -. die.ymin) /. Geometry.Rect.height die in
+  let ix = min (grid - 1) (max 0 (int_of_float (fx *. float_of_int grid))) in
+  let iy = min (grid - 1) (max 0 (int_of_float (fy *. float_of_int grid))) in
+  (iy * grid) + ix
+
+let cell_center ~grid (die : Geometry.Rect.t) c =
+  let ix = c mod grid and iy = c / grid in
+  Geometry.Point.make
+    (die.xmin +. (Geometry.Rect.width die *. (float_of_int ix +. 0.5) /. float_of_int grid))
+    (die.ymin +. (Geometry.Rect.height die *. (float_of_int iy +. 0.5) /. float_of_int grid))
+
+let prepare ?(grid = 8) ?r (process : Process.t) locations =
+  if grid <= 0 then invalid_arg "Grid_pca.prepare: grid must be positive";
+  let timer = Util.Timer.start () in
+  let die = Geometry.Rect.unit_die in
+  let n_cells = grid * grid in
+  let r = match r with Some r -> r | None -> n_cells in
+  if r <= 0 || r > n_cells then invalid_arg "Grid_pca.prepare: r out of range";
+  let centers = Array.init n_cells (cell_center ~grid die) in
+  let cell_index = Array.map (cell_of ~grid die) locations in
+  let explained = ref 1.0 in
+  let cache : (Kernels.Kernel.t * Linalg.Mat.t) list ref = ref [] in
+  let expansion_for kernel =
+    match List.assoc_opt kernel !cache with
+    | Some e -> e
+    | None ->
+        let cov = Kernels.Validity.gram kernel centers in
+        let vals, vecs = Linalg.Sym_eig.eig cov in
+        let total = Util.Arrayx.sum vals in
+        let kept = Util.Arrayx.sum (Array.sub vals 0 r) in
+        explained := kept /. total;
+        (* per-cell expansion row: sqrt(lambda_j) * v_cell,j *)
+        let cell_expansion =
+          Linalg.Mat.init n_cells r (fun c j ->
+              sqrt (Float.max 0.0 vals.(j)) *. Linalg.Mat.get vecs c j)
+        in
+        let e =
+          Linalg.Mat.init (Array.length locations) r (fun g j ->
+              Linalg.Mat.get cell_expansion cell_index.(g) j)
+        in
+        cache := (kernel, e) :: !cache;
+        e
+  in
+  let params =
+    Array.map
+      (fun p -> { expansion = expansion_for p.Process.kernel })
+      process.Process.parameters
+  in
+  {
+    params;
+    cell_index;
+    r;
+    grid;
+    explained = !explained;
+    setup_seconds = Util.Timer.elapsed_s timer;
+  }
+
+let setup_seconds t = t.setup_seconds
+let r t = t.r
+let cell_of_location t i = t.cell_index.(i)
+let explained_variance_fraction t = t.explained
+
+let sample_block t rng ~n =
+  Array.map
+    (fun p ->
+      let xi = Prng.Gaussian.matrix rng ~rows:n ~cols:t.r in
+      Linalg.Mat.mul xi (Linalg.Mat.transpose p.expansion))
+    t.params

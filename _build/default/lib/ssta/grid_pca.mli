@@ -1,0 +1,33 @@
+(** Grid-based spatial correlation model with PCA (paper Section 2.1; the
+    [Chang & Sapatnekar, DAC'05] baseline the random-field model replaces).
+
+    The die is divided into a regular [g x g] grid; each cell gets one
+    random variable; the cell-center covariance matrix (taken from the same
+    kernel, so the comparison isolates the {e model}, not the data) is
+    decomposed by PCA and truncated to [r] components. Gates map to their
+    containing cell. This exists as a baseline for the ablation benches —
+    it is exactly the ad-hoc construction the paper argues against. *)
+
+type t
+
+val prepare :
+  ?grid:int ->
+  ?r:int ->
+  Process.t ->
+  Geometry.Point.t array ->
+  t
+(** [prepare process locations] builds the model ([grid] defaults to 8, [r]
+    defaults to all [g²] components). Raises [Invalid_argument] for
+    [r > g²] or non-positive sizes. *)
+
+val setup_seconds : t -> float
+val r : t -> int
+val cell_of_location : t -> int -> int
+(** Grid-cell index backing each location. *)
+
+val explained_variance_fraction : t -> float
+(** Fraction of total grid-cell variance captured by the retained
+    components. *)
+
+val sample_block : t -> Prng.Rng.t -> n:int -> Linalg.Mat.t array
+(** Same contract as {!Algorithm1.sample_block}. *)

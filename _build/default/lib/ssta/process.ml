@@ -1,0 +1,43 @@
+type parameter = {
+  name : string;
+  kernel : Kernels.Kernel.t;
+}
+
+type t = { parameters : parameter array }
+
+let paper_default () =
+  let kernel = Kernels.Fit.paper_gaussian () in
+  {
+    parameters =
+      Array.map
+        (fun name -> { name; kernel })
+        Circuit.Gate.parameter_names;
+  }
+
+let distinct_kernels () =
+  let cs = [| 2.8; 3.5; 2.2; 4.0 |] in
+  {
+    parameters =
+      Array.mapi
+        (fun i name -> { name; kernel = Kernels.Kernel.Gaussian { c = cs.(i) } })
+        Circuit.Gate.parameter_names;
+  }
+
+let num_parameters t = Array.length t.parameters
+
+let validate t =
+  if num_parameters t <> Circuit.Gate.num_parameters then
+    Error
+      (Printf.sprintf "expected %d parameters, got %d" Circuit.Gate.num_parameters
+         (num_parameters t))
+  else begin
+    let rec check i =
+      if i >= num_parameters t then Ok ()
+      else begin
+        match Kernels.Kernel.validate t.parameters.(i).kernel with
+        | Ok () -> check (i + 1)
+        | Error e -> Error (t.parameters.(i).name ^ ": " ^ e)
+      end
+    in
+    check 0
+  end

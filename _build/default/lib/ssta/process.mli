@@ -1,0 +1,26 @@
+(** Process-variation specification: one spatial correlation kernel per
+    statistical device parameter (paper Section 5.1: L, W, Vt, tox, assumed
+    mutually independent, each normalized to zero mean / unit sigma). *)
+
+type parameter = {
+  name : string;
+  kernel : Kernels.Kernel.t;
+}
+
+type t = { parameters : parameter array }
+
+val paper_default : unit -> t
+(** The paper's setup: all four parameters carry the Gaussian kernel
+    calibrated against the half-chip-length linear cone
+    ({!Kernels.Fit.paper_gaussian}). *)
+
+val distinct_kernels : unit -> t
+(** A stress variant where each parameter has its own correlation length
+    (exercises the per-parameter loops of both algorithms without kernel
+    reuse). *)
+
+val num_parameters : t -> int
+
+val validate : t -> (unit, string) result
+(** All kernels must pass {!Kernels.Kernel.validate} and the parameter count
+    must match {!Circuit.Gate.num_parameters}. *)

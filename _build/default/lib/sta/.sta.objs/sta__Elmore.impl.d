@@ -1,0 +1,1 @@
+lib/sta/elmore.ml: Array

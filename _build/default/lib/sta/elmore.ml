@@ -1,0 +1,22 @@
+let star_delay ~r_drive ~r_wire ~c_wire ~c_sink ~c_total =
+  if r_drive < 0.0 || r_wire < 0.0 || c_wire < 0.0 || c_sink < 0.0 || c_total < 0.0
+  then invalid_arg "Elmore.star_delay: negative RC element";
+  (r_drive *. c_total) +. (r_wire *. ((0.5 *. c_wire) +. c_sink))
+
+let rc_ladder_delays ~r ~c =
+  let n = Array.length r in
+  if Array.length c <> n then invalid_arg "Elmore.rc_ladder_delays: length mismatch";
+  (* downstream capacitance below each resistor *)
+  let c_down = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = n - 1 downto 0 do
+    acc := !acc +. c.(i);
+    c_down.(i) <- !acc
+  done;
+  let delays = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (r.(i) *. c_down.(i));
+    delays.(i) <- !acc
+  done;
+  delays

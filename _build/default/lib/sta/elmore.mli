@@ -1,0 +1,20 @@
+(** Elmore delay for RC interconnect [Rubenstein et al., paper ref. 19].
+
+    Nets are modeled as a lumped star: the driver resistance feeds the whole
+    net capacitance, and the distributed wire adds half its own capacitance
+    plus each sink's pin capacitance downstream of the (shared) wire
+    resistance. Units: kΩ, fF → ps. *)
+
+val star_delay :
+  r_drive:float -> r_wire:float -> c_wire:float -> c_sink:float -> c_total:float -> float
+(** [star_delay ~r_drive ~r_wire ~c_wire ~c_sink ~c_total] is the Elmore
+    delay from the driver to one sink:
+    [r_drive * c_total + r_wire * (c_wire / 2 + c_sink)].
+    All inputs must be non-negative. *)
+
+val rc_ladder_delays : r:float array -> c:float array -> float array
+(** Elmore delays to every node of a general RC ladder: node [i] hangs below
+    resistance [r.(i)] (connecting node [i-1] to node [i], with node -1 the
+    driver) and carries capacitance [c.(i)]. Returns the per-node Elmore
+    delays [Σ_k r_k · C_downstream(k)]. Exposed for model validation tests
+    against hand-computed ladders. *)

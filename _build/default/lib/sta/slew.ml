@@ -1,0 +1,11 @@
+let ln9 = log 9.0
+
+let bakoglu_wire_slew ~elmore_ps =
+  if elmore_ps < 0.0 then invalid_arg "Slew.bakoglu_wire_slew: negative delay";
+  ln9 *. elmore_ps
+
+let peri ~slew_in ~wire_slew =
+  sqrt ((slew_in *. slew_in) +. (wire_slew *. wire_slew))
+
+let sink_slew ~slew_driver ~wire_elmore_ps =
+  peri ~slew_in:slew_driver ~wire_slew:(bakoglu_wire_slew ~elmore_ps:wire_elmore_ps)

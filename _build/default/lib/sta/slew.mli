@@ -1,0 +1,16 @@
+(** Wire slew propagation: PERI [Kashyap et al., paper ref. 20] with the
+    Bakoglu wire slew metric [ref. 21].
+
+    PERI (Propagation of Effective Ramps for Inputs): the slew at a sink is
+    [sqrt(slew_driver² + slew_wire²)], where the wire's own step-response
+    slew follows Bakoglu's [ln 9 ≈ 2.2] times the wire's Elmore delay. *)
+
+val bakoglu_wire_slew : elmore_ps:float -> float
+(** [ln 9 * elmore] — the 10-90% rise time of a distributed RC step
+    response. Raises [Invalid_argument] on negative input. *)
+
+val peri : slew_in:float -> wire_slew:float -> float
+(** Root-sum-square slew combination. *)
+
+val sink_slew : slew_driver:float -> wire_elmore_ps:float -> float
+(** Convenience composition: slew arriving at a sink pin. *)

@@ -1,0 +1,183 @@
+module Netlist = Circuit.Netlist
+module Gate = Circuit.Gate
+module Wireload = Circuit.Wireload
+
+type prepared = {
+  wireload : Wireload.t;
+  order : int array;
+  endpoints : int array;
+  c_loads : float array;
+}
+
+let default_input_slew_ps = 50.0
+
+let prepare (wireload : Wireload.t) =
+  let netlist = wireload.Wireload.placement.Circuit.Placer.netlist in
+  let n = Netlist.size netlist in
+  {
+    wireload;
+    order = Netlist.topological_order netlist;
+    endpoints = Netlist.endpoints netlist;
+    c_loads = Array.init n (Wireload.c_load wireload);
+  }
+
+type result = {
+  worst_delay : float;
+  endpoint_arrivals : float array;
+}
+
+(* Core propagation. Writes per-gate output arrival and slew into the given
+   scratch arrays and returns them. *)
+let propagate p ~l ~w ~vt ~tox =
+  let netlist = p.wireload.Wireload.placement.Circuit.Placer.netlist in
+  let n = Netlist.size netlist in
+  if
+    Array.length l <> n || Array.length w <> n || Array.length vt <> n
+    || Array.length tox <> n
+  then invalid_arg "Sta.run: parameter array length mismatch";
+  let arrival = Array.make n 0.0 in
+  let slew = Array.make n default_input_slew_ps in
+  let params = Array.make Gate.num_parameters 0.0 in
+  let set_params g =
+    params.(0) <- l.(g);
+    params.(1) <- w.(g);
+    params.(2) <- vt.(g);
+    params.(3) <- tox.(g)
+  in
+  Array.iter
+    (fun g ->
+      let gate = netlist.Netlist.gates.(g) in
+      let c_load = p.c_loads.(g) in
+      set_params g;
+      match gate.Netlist.kind with
+      | Gate.Input ->
+          arrival.(g) <-
+            Gate.delay Gate.Input ~slew_in:default_input_slew_ps ~c_load ~params;
+          slew.(g) <-
+            Gate.output_slew Gate.Input ~slew_in:default_input_slew_ps ~c_load
+              ~params
+      | Gate.Dff ->
+          (* sequential source: launch at clk-to-q, independent of D arrival *)
+          arrival.(g) <- Gate.clk_to_q ~params;
+          slew.(g) <-
+            Gate.output_slew Gate.Dff ~slew_in:default_input_slew_ps ~c_load
+              ~params
+      | kind ->
+          (* latest-arriving input pin determines both delay and slew *)
+          let best_arrival = ref neg_infinity in
+          let best_slew = ref default_input_slew_ps in
+          Array.iter
+            (fun f ->
+              let load = p.wireload.Wireload.loads.(f) in
+              let c_sink = (Gate.timing kind).Gate.c_in in
+              let wire_elmore =
+                load.Wireload.r_wire *. ((0.5 *. load.Wireload.c_wire) +. c_sink)
+              in
+              let pin_arrival = arrival.(f) +. wire_elmore in
+              if pin_arrival > !best_arrival then begin
+                best_arrival := pin_arrival;
+                best_slew :=
+                  Slew.sink_slew ~slew_driver:slew.(f) ~wire_elmore_ps:wire_elmore
+              end)
+            gate.Netlist.fanins;
+          let slew_in = !best_slew in
+          arrival.(g) <-
+            !best_arrival +. Gate.delay kind ~slew_in ~c_load ~params;
+          slew.(g) <- Gate.output_slew kind ~slew_in ~c_load ~params)
+    p.order;
+  (arrival, slew)
+
+let run p ~l ~w ~vt ~tox =
+  let arrival, _slew = propagate p ~l ~w ~vt ~tox in
+  let endpoint_arrivals = Array.map (fun e -> arrival.(e)) p.endpoints in
+  let worst_delay = Array.fold_left Float.max neg_infinity endpoint_arrivals in
+  { worst_delay; endpoint_arrivals }
+
+let run_nominal p =
+  let netlist = p.wireload.Wireload.placement.Circuit.Placer.netlist in
+  let n = Netlist.size netlist in
+  let zeros = Array.make n 0.0 in
+  run p ~l:zeros ~w:zeros ~vt:zeros ~tox:zeros
+
+let arrival_times p ~l ~w ~vt ~tox = fst (propagate p ~l ~w ~vt ~tox)
+
+type slack_report = {
+  clock_period : float;
+  slacks : float array;
+  worst_slack : float;
+  critical_path : int array;
+}
+
+(* wire Elmore from driver [f] into the input pin of a gate of kind [kind] *)
+let pin_wire_elmore p f kind =
+  let load = p.wireload.Wireload.loads.(f) in
+  load.Wireload.r_wire
+  *. ((0.5 *. load.Wireload.c_wire) +. (Gate.timing kind).Gate.c_in)
+
+let slack_report ?clock_period p =
+  let netlist = p.wireload.Wireload.placement.Circuit.Placer.netlist in
+  let n = Netlist.size netlist in
+  let zeros = Array.make n 0.0 in
+  let arrival, slew = propagate p ~l:zeros ~w:zeros ~vt:zeros ~tox:zeros in
+  ignore slew;
+  let worst = Array.fold_left (fun acc e -> Float.max acc arrival.(e)) neg_infinity p.endpoints in
+  let clock_period = match clock_period with Some c -> c | None -> worst in
+  (* backward pass: required time at each gate OUTPUT *)
+  let required = Array.make n infinity in
+  Array.iter (fun e -> required.(e) <- Float.min required.(e) clock_period) p.endpoints;
+  (* traverse in reverse topological order *)
+  for idx = n - 1 downto 0 do
+    let g = p.order.(idx) in
+    let gate = netlist.Netlist.gates.(g) in
+    match gate.Netlist.kind with
+    | Gate.Input | Gate.Dff -> ()
+    | kind ->
+        (* this gate's output requirement constrains each fanin's output:
+           required(f) <= required(g) - gate_delay(g) - wire(f -> g) *)
+        let gate_delay = arrival.(g) -. (Array.fold_left
+          (fun acc f -> Float.max acc (arrival.(f) +. pin_wire_elmore p f kind))
+          neg_infinity gate.Netlist.fanins)
+        in
+        Array.iter
+          (fun f ->
+            let req_f = required.(g) -. gate_delay -. pin_wire_elmore p f kind in
+            if req_f < required.(f) then required.(f) <- req_f)
+          gate.Netlist.fanins
+  done;
+  let slacks = Array.init n (fun g -> required.(g) -. arrival.(g)) in
+  (* critical path: walk back from the worst endpoint via latest pins *)
+  let worst_endpoint =
+    Array.fold_left
+      (fun best e -> if arrival.(e) > arrival.(best) then e else best)
+      p.endpoints.(0) p.endpoints
+  in
+  let rec walk g acc =
+    let gate = netlist.Netlist.gates.(g) in
+    match gate.Netlist.kind with
+    | Gate.Input | Gate.Dff -> g :: acc
+    | kind ->
+        let best = ref gate.Netlist.fanins.(0) in
+        let best_t = ref neg_infinity in
+        Array.iter
+          (fun f ->
+            let t = arrival.(f) +. pin_wire_elmore p f kind in
+            if t > !best_t then begin
+              best_t := t;
+              best := f
+            end)
+          gate.Netlist.fanins;
+        walk !best (g :: acc)
+  in
+  let critical_path = Array.of_list (walk worst_endpoint []) in
+  let worst_slack =
+    Array.fold_left
+      (fun acc e -> Float.min acc slacks.(e))
+      infinity p.endpoints
+  in
+  { clock_period; slacks; worst_slack; critical_path }
+
+let nominal_arrival_and_slew p =
+  let netlist = p.wireload.Wireload.placement.Circuit.Placer.netlist in
+  let n = Netlist.size netlist in
+  let zeros = Array.make n 0.0 in
+  propagate p ~l:zeros ~w:zeros ~vt:zeros ~tox:zeros

@@ -1,0 +1,69 @@
+(** Block-based static timing analysis — the "core timer inside the Monte
+    Carlo loops" of the paper's Section 5.1.
+
+    Signal delays are computed at all circuit nodes in topological order,
+    using the Elmore metric for wire delay, PERI + Bakoglu for wire slew,
+    and the rank-one quadratic gate model for gate delay/output slew, as
+    functions of input slew and the four statistical parameters (L, W, Vt,
+    tox) of each gate. *)
+
+type prepared = {
+  wireload : Circuit.Wireload.t;
+  order : int array; (* topological order *)
+  endpoints : int array;
+  c_loads : float array; (* per driving gate: wire + sink pins, fF *)
+}
+
+val prepare : Circuit.Wireload.t -> prepared
+(** Precompute everything that does not depend on parameter values, so the
+    Monte Carlo loop pays only for the timing propagation itself. *)
+
+type result = {
+  worst_delay : float; (* max endpoint arrival, ps *)
+  endpoint_arrivals : float array; (* one per [endpoints] entry *)
+}
+
+val run :
+  prepared ->
+  l:float array ->
+  w:float array ->
+  vt:float array ->
+  tox:float array ->
+  result
+(** [run p ~l ~w ~vt ~tox] times the circuit with per-gate normalized
+    parameter values (each array indexed by gate id, length = gate count).
+    Raises [Invalid_argument] on length mismatch. *)
+
+val run_nominal : prepared -> result
+(** All parameters at their mean (zero): the deterministic corner. *)
+
+val nominal_arrival_and_slew : prepared -> float array * float array
+(** Per-gate output arrival and output slew at the nominal corner (all
+    parameters zero) — the linearization point for block-based SSTA. *)
+
+val arrival_times :
+  prepared ->
+  l:float array ->
+  w:float array ->
+  vt:float array ->
+  tox:float array ->
+  float array
+(** Full per-gate arrival times (output-node arrival for each gate), for
+    tests and debugging. *)
+
+val default_input_slew_ps : float
+(** Slew assumed at primary inputs (50 ps). *)
+
+type slack_report = {
+  clock_period : float;
+  slacks : float array; (* per gate: required - arrival at the gate output *)
+  worst_slack : float;
+  critical_path : int array; (* gate ids from a source to the worst endpoint *)
+}
+
+val slack_report : ?clock_period:float -> prepared -> slack_report
+(** Nominal-corner required-time / slack analysis. [clock_period] defaults
+    to the nominal worst delay (so the critical path has zero slack). The
+    critical path is traced back from the worst endpoint through each
+    gate's latest-arriving input pin. Gates that reach no endpoint keep
+    slack [infinity]. *)

@@ -1,0 +1,73 @@
+let covariance x y =
+  let n = Array.length x in
+  if Array.length y <> n then invalid_arg "Correlation.covariance: length mismatch";
+  if n < 2 then invalid_arg "Correlation.covariance: needs at least two samples";
+  let mx = Summary.mean x and my = Summary.mean y in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. ((x.(i) -. mx) *. (y.(i) -. my))
+  done;
+  !acc /. float_of_int (n - 1)
+
+let pearson x y =
+  let c = covariance x y in
+  let sx = Summary.std_dev x and sy = Summary.std_dev y in
+  if sx < 1e-300 || sy < 1e-300 then
+    invalid_arg "Correlation.pearson: zero variance";
+  c /. (sx *. sy)
+
+let column_covariance m =
+  let n = Linalg.Mat.rows m and d = Linalg.Mat.cols m in
+  if n < 2 then invalid_arg "Correlation.column_covariance: needs >= 2 rows";
+  let means = Array.make d 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to d - 1 do
+      means.(j) <- means.(j) +. Linalg.Mat.unsafe_get m i j
+    done
+  done;
+  let nf = float_of_int n in
+  for j = 0 to d - 1 do
+    means.(j) <- means.(j) /. nf
+  done;
+  let cov = Linalg.Mat.create d d in
+  (* accumulate outer products row by row to stay cache-friendly *)
+  let centered = Array.make d 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to d - 1 do
+      centered.(j) <- Linalg.Mat.unsafe_get m i j -. means.(j)
+    done;
+    for j = 0 to d - 1 do
+      let cj = centered.(j) in
+      if cj <> 0.0 then
+        for k = j to d - 1 do
+          Linalg.Mat.unsafe_set cov j k
+            (Linalg.Mat.unsafe_get cov j k +. (cj *. centered.(k)))
+        done
+    done
+  done;
+  let denom = float_of_int (n - 1) in
+  for j = 0 to d - 1 do
+    for k = j to d - 1 do
+      let v = Linalg.Mat.unsafe_get cov j k /. denom in
+      Linalg.Mat.unsafe_set cov j k v;
+      Linalg.Mat.unsafe_set cov k j v
+    done
+  done;
+  cov
+
+let column_correlation m =
+  let cov = column_covariance m in
+  let d = Linalg.Mat.rows cov in
+  let corr = Linalg.Mat.create d d in
+  for j = 0 to d - 1 do
+    for k = 0 to d - 1 do
+      let vj = Linalg.Mat.unsafe_get cov j j in
+      let vk = Linalg.Mat.unsafe_get cov k k in
+      let v =
+        if vj < 1e-300 || vk < 1e-300 then if j = k then 1.0 else 0.0
+        else Linalg.Mat.unsafe_get cov j k /. sqrt (vj *. vk)
+      in
+      Linalg.Mat.unsafe_set corr j k v
+    done
+  done;
+  corr

@@ -1,0 +1,18 @@
+(** Empirical correlation/covariance estimation, used to validate that
+    sampled fields actually follow the prescribed correlation kernel. *)
+
+val pearson : float array -> float array -> float
+(** Sample Pearson correlation of two equal-length arrays. Raises
+    [Invalid_argument] on length mismatch, fewer than two samples, or zero
+    variance. *)
+
+val covariance : float array -> float array -> float
+(** Unbiased sample covariance. *)
+
+val column_covariance : Linalg.Mat.t -> Linalg.Mat.t
+(** [column_covariance m] treats each row of [m] as one multivariate sample
+    and returns the unbiased sample covariance matrix of the columns. *)
+
+val column_correlation : Linalg.Mat.t -> Linalg.Mat.t
+(** Like {!column_covariance}, normalized to unit diagonal. Columns with
+    (near-)zero variance yield zero off-diagonal entries. *)

@@ -1,0 +1,51 @@
+type t = {
+  lo : float;
+  hi : float;
+  bins : int array;
+  mutable underflow : int;
+  mutable overflow : int;
+}
+
+let create ~lo ~hi ~bins =
+  if hi <= lo then invalid_arg "Histogram.create: requires lo < hi";
+  if bins <= 0 then invalid_arg "Histogram.create: requires bins > 0";
+  { lo; hi; bins = Array.make bins 0; underflow = 0; overflow = 0 }
+
+let add t x =
+  if x < t.lo then t.underflow <- t.underflow + 1
+  else if x >= t.hi then t.overflow <- t.overflow + 1
+  else begin
+    let n = Array.length t.bins in
+    let i = int_of_float (float_of_int n *. (x -. t.lo) /. (t.hi -. t.lo)) in
+    let i = min i (n - 1) in
+    t.bins.(i) <- t.bins.(i) + 1
+  end
+
+let of_array ~lo ~hi ~bins a =
+  let t = create ~lo ~hi ~bins in
+  Array.iter (add t) a;
+  t
+
+let counts t = Array.copy t.bins
+let underflow t = t.underflow
+let overflow t = t.overflow
+
+let total t = t.underflow + t.overflow + Array.fold_left ( + ) 0 t.bins
+
+let bin_edges t =
+  let n = Array.length t.bins in
+  Array.init (n + 1) (fun i ->
+      t.lo +. ((t.hi -. t.lo) *. float_of_int i /. float_of_int n))
+
+let to_ascii ?(width = 50) t =
+  let peak = Array.fold_left max 1 t.bins in
+  let edges = bin_edges t in
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun i c ->
+      let bar = c * width / peak in
+      Buffer.add_string buf
+        (Printf.sprintf "%10.4g .. %10.4g | %s %d\n" edges.(i) edges.(i + 1)
+           (String.make bar '#') c))
+    t.bins;
+  Buffer.contents buf

@@ -1,0 +1,23 @@
+(** Fixed-bin histograms for quick distribution inspection in examples and
+    bench output. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** Raises [Invalid_argument] unless [lo < hi] and [bins > 0]. *)
+
+val add : t -> float -> unit
+(** Values outside [lo, hi) are counted in the under/overflow slots. *)
+
+val of_array : lo:float -> hi:float -> bins:int -> float array -> t
+
+val counts : t -> int array
+val underflow : t -> int
+val overflow : t -> int
+val total : t -> int
+
+val bin_edges : t -> float array
+(** [bins + 1] edges. *)
+
+val to_ascii : ?width:int -> t -> string
+(** Simple horizontal-bar rendering for terminals. *)

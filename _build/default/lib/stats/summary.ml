@@ -1,0 +1,46 @@
+type t = {
+  count : int;
+  mean : float;
+  variance : float;
+  std_dev : float;
+  min : float;
+  max : float;
+}
+
+let of_array a =
+  let n = Array.length a in
+  if n < 2 then invalid_arg "Summary.of_array: needs at least two samples";
+  let w = Welford.create () in
+  Array.iter (Welford.add w) a;
+  let mn = Array.fold_left Float.min a.(0) a in
+  let mx = Array.fold_left Float.max a.(0) a in
+  let variance = Welford.variance w in
+  {
+    count = n;
+    mean = Welford.mean w;
+    variance;
+    std_dev = sqrt variance;
+    min = mn;
+    max = mx;
+  }
+
+let quantile a p =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Summary.quantile: empty array";
+  if p < 0.0 || p > 1.0 then invalid_arg "Summary.quantile: p outside [0, 1]";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  if n = 1 then sorted.(0)
+  else begin
+    let pos = p *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    ((1.0 -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
+  end
+
+let mean a =
+  if Array.length a = 0 then invalid_arg "Summary.mean: empty array";
+  Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let std_dev a = (of_array a).std_dev

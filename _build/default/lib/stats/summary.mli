@@ -1,0 +1,21 @@
+(** Batch descriptive statistics over sample arrays. *)
+
+type t = {
+  count : int;
+  mean : float;
+  variance : float; (* unbiased *)
+  std_dev : float;
+  min : float;
+  max : float;
+}
+
+val of_array : float array -> t
+(** Raises [Invalid_argument] on arrays with fewer than two elements. *)
+
+val quantile : float array -> float -> float
+(** [quantile a p] is the linearly interpolated [p]-quantile (0 <= p <= 1) of
+    the data; [a] is not modified. Raises [Invalid_argument] on empty input
+    or [p] outside [0, 1]. *)
+
+val mean : float array -> float
+val std_dev : float array -> float

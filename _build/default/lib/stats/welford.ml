@@ -1,0 +1,36 @@
+type t = { mutable n : int; mutable mean : float; mutable m2 : float }
+
+let create () = { n = 0; mean = 0.0; m2 = 0.0 }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean))
+
+let count t = t.n
+
+let mean t =
+  if t.n = 0 then invalid_arg "Welford.mean: empty accumulator";
+  t.mean
+
+let variance t =
+  if t.n < 2 then invalid_arg "Welford.variance: needs at least two samples";
+  t.m2 /. float_of_int (t.n - 1)
+
+let std_dev t = sqrt (variance t)
+
+let merge a b =
+  if a.n = 0 then { n = b.n; mean = b.mean; m2 = b.m2 }
+  else if b.n = 0 then { n = a.n; mean = a.mean; m2 = a.m2 }
+  else begin
+    let n = a.n + b.n in
+    let delta = b.mean -. a.mean in
+    let nf = float_of_int n in
+    let mean = a.mean +. (delta *. float_of_int b.n /. nf) in
+    let m2 =
+      a.m2 +. b.m2
+      +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. nf)
+    in
+    { n; mean; m2 }
+  end

@@ -1,0 +1,24 @@
+(** Streaming mean/variance accumulation (Welford's algorithm), used to
+    accumulate delay statistics over Monte Carlo runs without storing all
+    samples. *)
+
+type t
+(** Mutable accumulator. *)
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val mean : t -> float
+(** Raises [Invalid_argument] when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance. Raises [Invalid_argument] with fewer than two
+    samples. *)
+
+val std_dev : t -> float
+
+val merge : t -> t -> t
+(** Combine two accumulators (Chan's parallel formula). *)

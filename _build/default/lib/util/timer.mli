@@ -1,0 +1,14 @@
+(** Wall-clock timing helpers for the benchmark harness. *)
+
+type t
+(** A started timer. *)
+
+val start : unit -> t
+(** [start ()] starts a wall-clock timer. *)
+
+val elapsed_s : t -> float
+(** [elapsed_s t] is the wall-clock time in seconds since [start]. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result together with the elapsed
+    wall-clock seconds. *)

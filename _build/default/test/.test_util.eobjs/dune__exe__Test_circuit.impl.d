@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Circuit Filename Float Fun Geometry List Printf QCheck QCheck_alcotest Result Sys

@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Array Float Geometry Kernels List Printf QCheck QCheck_alcotest

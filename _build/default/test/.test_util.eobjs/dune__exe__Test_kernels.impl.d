@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Array Float Geometry Kernels Lazy Linalg List Printf Prng QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_kle.ml: Alcotest Array Float Geometry Kernels Kle Lazy Linalg List Printf Prng QCheck QCheck_alcotest Stats Util

@@ -1,0 +1,1 @@
+test/test_powergrid.ml: Alcotest Array Circuit Float Geometry Lazy Linalg Powergrid Printf Prng Ssta Stats Util

@@ -1,0 +1,1 @@
+test/test_specfun.ml: Alcotest Float List QCheck QCheck_alcotest Specfun

@@ -1,0 +1,1 @@
+test/test_ssta.ml: Alcotest Array Circuit Float Geometry Kernels Lazy Linalg List Printf Prng Result Ssta Sta Stats Util

@@ -1,0 +1,1 @@
+test/test_sta.ml: Alcotest Array Circuit Float List Printf Prng QCheck QCheck_alcotest Sta

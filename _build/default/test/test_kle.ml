@@ -1,0 +1,526 @@
+module K = Kernels.Kernel
+module P = Geometry.Point
+
+let check_close ?(tol = 1e-10) msg expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+(* shared coarse test meshes (structured => fully deterministic) *)
+let mesh_coarse = lazy (Geometry.Mesh.uniform Geometry.Rect.unit_die ~divisions:6)
+let mesh_fine = lazy (Geometry.Mesh.uniform Geometry.Rect.unit_die ~divisions:10)
+
+let gaussian = K.Gaussian { c = 2.8 }
+
+let solve_coarse =
+  lazy (Kle.Galerkin.solve ~solver:Kle.Galerkin.Dense (Lazy.force mesh_coarse) gaussian)
+
+(* ---------- Galerkin ---------- *)
+
+let test_assemble_symmetric () =
+  let c = Kle.Galerkin.assemble (Lazy.force mesh_coarse) gaussian in
+  Alcotest.(check bool) "symmetric" true (Linalg.Mat.is_symmetric c)
+
+let test_trace_equals_area () =
+  (* normalized kernel: K(x,x) = 1 so the Galerkin trace is the die area *)
+  check_close ~tol:1e-9 "trace" 4.0 (Kle.Galerkin.trace (Lazy.force mesh_coarse) gaussian)
+
+let test_eigenvalues_nonnegative_descending () =
+  let s = Lazy.force solve_coarse in
+  let vals = s.Kle.Galerkin.eigenvalues in
+  Array.iter (fun v -> Alcotest.(check bool) "nonneg" true (v >= 0.0)) vals;
+  for i = 1 to Array.length vals - 1 do
+    Alcotest.(check bool) "descending" true (vals.(i) <= vals.(i - 1) +. 1e-12)
+  done
+
+let test_eigenvalue_sum_equals_trace () =
+  (* dense solve computes all n pairs; their sum equals the matrix trace *)
+  let s = Lazy.force solve_coarse in
+  check_close ~tol:1e-8 "sum = trace" 4.0 (Kle.Galerkin.eigenvalue_sum_bound s)
+
+let test_eigenfunctions_l2_orthonormal () =
+  let s = Lazy.force solve_coarse in
+  let mesh = Lazy.force mesh_coarse in
+  let n = Geometry.Mesh.size mesh in
+  let d = s.Kle.Galerkin.coefficients in
+  (* check the first few pairs *)
+  for a = 0 to 5 do
+    for b = a to 5 do
+      let acc = ref 0.0 in
+      for i = 0 to n - 1 do
+        acc :=
+          !acc
+          +. (Linalg.Mat.get d i a *. Linalg.Mat.get d i b *. mesh.Geometry.Mesh.areas.(i))
+      done;
+      check_close ~tol:1e-9
+        (Printf.sprintf "inner (%d, %d)" a b)
+        (if a = b then 1.0 else 0.0)
+        !acc
+    done
+  done
+
+let test_lanczos_solver_matches_dense () =
+  let mesh = Lazy.force mesh_coarse in
+  let dense = Kle.Galerkin.solve ~solver:Kle.Galerkin.Dense mesh gaussian in
+  let lanczos =
+    Kle.Galerkin.solve ~solver:(Kle.Galerkin.Lanczos { count = 20 }) mesh gaussian
+  in
+  for i = 0 to 19 do
+    check_close ~tol:1e-8 "eigenvalue"
+      dense.Kle.Galerkin.eigenvalues.(i)
+      lanczos.Kle.Galerkin.eigenvalues.(i)
+  done
+
+let test_galerkin_vs_analytic_separable () =
+  (* validation against Ghanem-Spanos closed form for exp(-c L1) *)
+  let c = 1.0 in
+  let kernel = K.Separable_exp_l1 { c } in
+  let mesh = Lazy.force mesh_fine in
+  let sol = Kle.Galerkin.solve ~solver:(Kle.Galerkin.Lanczos { count = 10 }) mesh kernel in
+  let analytic = Kernels.Analytic_kle.exp_2d ~c ~rect:Geometry.Rect.unit_die ~count:10 in
+  for i = 0 to 7 do
+    let exact = analytic.(i).Kernels.Analytic_kle.lambda in
+    let got = sol.Kle.Galerkin.eigenvalues.(i) in
+    Alcotest.(check bool)
+      (Printf.sprintf "pair %d: %.4f vs %.4f" i exact got)
+      true
+      (Float.abs (got -. exact) /. exact < 0.05)
+  done
+
+let test_midedge_quadrature_more_accurate () =
+  let c = 1.0 in
+  let kernel = K.Separable_exp_l1 { c } in
+  let mesh = Lazy.force mesh_coarse in
+  let exact =
+    (Kernels.Analytic_kle.exp_2d ~c ~rect:Geometry.Rect.unit_die ~count:1).(0)
+      .Kernels.Analytic_kle.lambda
+  in
+  let err quad =
+    let sol = Kle.Galerkin.solve ~quadrature:quad ~solver:(Kle.Galerkin.Lanczos { count = 1 }) mesh kernel in
+    Float.abs (sol.Kle.Galerkin.eigenvalues.(0) -. exact)
+  in
+  let e_centroid = err Kle.Galerkin.Centroid in
+  let e_midedge = err Kle.Galerkin.Midedge in
+  Alcotest.(check bool)
+    (Printf.sprintf "midedge %.2e <= centroid %.2e" e_midedge e_centroid)
+    true (e_midedge <= e_centroid)
+
+let test_eigenvalue_convergence_with_mesh () =
+  (* Theorem 2: eigenvalue error decreases as h -> 0 *)
+  let c = 1.0 in
+  let kernel = K.Separable_exp_l1 { c } in
+  let exact =
+    (Kernels.Analytic_kle.exp_2d ~c ~rect:Geometry.Rect.unit_die ~count:1).(0)
+      .Kernels.Analytic_kle.lambda
+  in
+  let err divisions =
+    let mesh = Geometry.Mesh.uniform Geometry.Rect.unit_die ~divisions in
+    let sol = Kle.Galerkin.solve ~solver:(Kle.Galerkin.Lanczos { count = 1 }) mesh kernel in
+    Float.abs (sol.Kle.Galerkin.eigenvalues.(0) -. exact)
+  in
+  let e1 = err 3 and e2 = err 9 in
+  Alcotest.(check bool) (Printf.sprintf "converges (%.2e -> %.2e)" e1 e2) true (e2 < e1)
+
+let test_indefinite_kernel_rejected () =
+  (* the 2-D linear cone is indefinite on fine meshes; the solver should
+     refuse rather than silently clamp a large negative spectrum *)
+  let mesh = Lazy.force mesh_fine in
+  let raised =
+    match Kle.Galerkin.solve ~solver:Kle.Galerkin.Dense mesh (K.Linear_cone { rho = 0.5 }) with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "indefinite rejected" true raised
+
+(* ---------- Model ---------- *)
+
+let test_choose_r_rule () =
+  (* eigenvalues 8, 4, 2, 1, ... fast decay: small r *)
+  let vals = [| 8.0; 4.0; 2.0; 1.0; 0.001; 0.0005; 0.0001; 0.00005 |] in
+  let r = Kle.Model.choose_r ~tolerance:0.01 ~n_total:100 vals in
+  Alcotest.(check bool) (Printf.sprintf "r = %d reasonable" r) true (r >= 3 && r <= 8);
+  (* the bound must actually hold at the chosen r *)
+  let m = Array.length vals in
+  let tail = ref (vals.(m - 1) *. float_of_int (100 - m)) in
+  for i = r to m - 1 do
+    tail := !tail +. vals.(i)
+  done;
+  let head = ref 0.0 in
+  for i = 0 to r - 1 do
+    head := !head +. vals.(i)
+  done;
+  Alcotest.(check bool) "bound holds" true (!tail <= 0.01 *. !head)
+
+let test_choose_r_flat_spectrum () =
+  (* flat spectrum: rule cannot satisfy the bound, returns m *)
+  let vals = Array.make 10 1.0 in
+  Alcotest.(check int) "returns m" 10 (Kle.Model.choose_r ~n_total:10 vals)
+
+let test_choose_r_monotone_in_tolerance () =
+  let s = Lazy.force solve_coarse in
+  let n = Geometry.Mesh.size (Lazy.force mesh_coarse) in
+  let r_tight = Kle.Model.choose_r ~tolerance:0.001 ~n_total:n s.Kle.Galerkin.eigenvalues in
+  let r_loose = Kle.Model.choose_r ~tolerance:0.1 ~n_total:n s.Kle.Galerkin.eigenvalues in
+  Alcotest.(check bool)
+    (Printf.sprintf "tight %d >= loose %d" r_tight r_loose)
+    true (r_tight >= r_loose)
+
+let test_model_create_bounds () =
+  let s = Lazy.force solve_coarse in
+  Alcotest.(check bool) "r too large" true
+    (match Kle.Model.create ~r:100000 s with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_eigenfunction_piecewise_constant () =
+  let s = Lazy.force solve_coarse in
+  let model = Kle.Model.create ~r:6 s in
+  let mesh = Lazy.force mesh_coarse in
+  (* two points in the same triangle give the same value *)
+  let tri = Geometry.Mesh.triangle mesh 0 in
+  let c = Geometry.Triangle.centroid tri in
+  let near = P.make (c.x +. 1e-4) (c.y +. 1e-4) in
+  if Geometry.Triangle.contains tri near then
+    check_close ~tol:0.0 "constant on element"
+      (Kle.Model.eval_eigenfunction model 0 c)
+      (Kle.Model.eval_eigenfunction model 0 near)
+
+let test_variance_at_close_to_one () =
+  let s = Lazy.force solve_coarse in
+  let model = Kle.Model.create ~r:40 s in
+  List.iter
+    (fun p ->
+      let v = Kle.Model.variance_at model p in
+      Alcotest.(check bool) (Printf.sprintf "var %.3f in (0.5, 1.01]" v) true
+        (v > 0.5 && v <= 1.01))
+    [ P.make 0.0 0.0; P.make 0.5 (-0.5); P.make (-0.9) 0.9 ]
+
+let test_captured_variance_increases_with_r () =
+  let s = Lazy.force solve_coarse in
+  let f r = Kle.Model.captured_variance_fraction (Kle.Model.create ~r s) in
+  Alcotest.(check bool) "monotone" true (f 5 < f 20 && f 20 <= 1.0 +. 1e-9)
+
+let test_reconstruction_error_decreases_with_r () =
+  let s = Lazy.force solve_coarse in
+  let e r = Kle.Model.reconstruction_error (Kle.Model.create ~r s) in
+  let e5 = e 5 and e30 = e 30 in
+  Alcotest.(check bool) (Printf.sprintf "e(30)=%.4f < e(5)=%.4f" e30 e5) true (e30 < e5)
+
+let test_reconstruction_error_grid_bounded () =
+  let s = Lazy.force solve_coarse in
+  let model = Kle.Model.create ~r:30 s in
+  let e = Kle.Model.reconstruction_error_grid ~grid:15 model in
+  Alcotest.(check bool) (Printf.sprintf "grid err %.3f < 0.5" e) true (e < 0.5)
+
+let test_reconstruction_pairwise_bounded () =
+  let s = Lazy.force solve_coarse in
+  let model = Kle.Model.create ~r:40 s in
+  let e = Kle.Model.reconstruction_error_pairwise ~stride:5 model in
+  Alcotest.(check bool) (Printf.sprintf "pairwise err %.3f < 0.25" e) true (e < 0.25)
+
+let test_d_lambda_shape_and_scale () =
+  let s = Lazy.force solve_coarse in
+  let model = Kle.Model.create ~r:8 s in
+  let d = Kle.Model.d_lambda model in
+  Alcotest.(check int) "rows" (Geometry.Mesh.size (Lazy.force mesh_coarse)) (Linalg.Mat.rows d);
+  Alcotest.(check int) "cols" 8 (Linalg.Mat.cols d);
+  (* column j scaled by sqrt(lambda_j): norm² weighted by areas = lambda_j *)
+  let mesh = Lazy.force mesh_coarse in
+  let acc = ref 0.0 in
+  for i = 0 to Linalg.Mat.rows d - 1 do
+    let v = Linalg.Mat.get d i 0 in
+    acc := !acc +. (v *. v *. mesh.Geometry.Mesh.areas.(i))
+  done;
+  check_close ~tol:1e-9 "column scale" s.Kle.Galerkin.eigenvalues.(0) !acc
+
+(* ---------- Sampler ---------- *)
+
+let sampler_fixture =
+  lazy
+    (let s = Lazy.force solve_coarse in
+     let model = Kle.Model.create ~r:30 s in
+     let locations =
+       Kernels.Validity.random_points ~seed:9 ~n:25 Geometry.Rect.unit_die
+     in
+     (model, locations, Kle.Sampler.create model locations))
+
+let test_sampler_dims () =
+  let model, locations, sampler = Lazy.force sampler_fixture in
+  Alcotest.(check int) "r" model.Kle.Model.r (Kle.Sampler.dim sampler);
+  Alcotest.(check int) "locations" (Array.length locations) (Kle.Sampler.location_count sampler)
+
+let test_sampler_triangles_contain_locations () =
+  let model, locations, sampler = Lazy.force sampler_fixture in
+  let mesh = model.Kle.Model.solution.Kle.Galerkin.mesh in
+  Array.iteri
+    (fun i p ->
+      let tri = Geometry.Mesh.triangle mesh (Kle.Sampler.triangle_of_location sampler i) in
+      Alcotest.(check bool) "contains" true (Geometry.Triangle.contains ~tol:1e-9 tri p))
+    locations
+
+let test_sampler_deterministic () =
+  let _, _, sampler = Lazy.force sampler_fixture in
+  let s1 = Kle.Sampler.sample sampler (Prng.Rng.create ~seed:5) in
+  let s2 = Kle.Sampler.sample sampler (Prng.Rng.create ~seed:5) in
+  Alcotest.(check (array (float 0.0))) "deterministic" s1 s2
+
+let test_sampler_moments () =
+  let _, locations, sampler = Lazy.force sampler_fixture in
+  let rng = Prng.Rng.create ~seed:77 in
+  let n = 30_000 in
+  let m = Kle.Sampler.sample_matrix sampler rng ~n in
+  Alcotest.(check int) "rows" n (Linalg.Mat.rows m);
+  (* per-location mean ~ 0, variance ~ truncated kernel variance (<= 1) *)
+  let cov = Stats.Correlation.column_covariance m in
+  Array.iteri
+    (fun g _ ->
+      let v = Linalg.Mat.get cov g g in
+      Alcotest.(check bool) (Printf.sprintf "var %.3f" v) true (v > 0.6 && v < 1.1))
+    locations
+
+let test_sampler_covariance_matches_kernel () =
+  let _, locations, sampler = Lazy.force sampler_fixture in
+  let rng = Prng.Rng.create ~seed:99 in
+  let n = 30_000 in
+  let m = Kle.Sampler.sample_matrix sampler rng ~n in
+  let corr = Stats.Correlation.column_correlation m in
+  (* compare empirical correlation to the kernel at a handful of pairs *)
+  let pairs = [ (0, 1); (2, 7); (4, 15); (10, 20); (3, 24) ] in
+  List.iter
+    (fun (i, j) ->
+      let expected = K.eval gaussian locations.(i) locations.(j) in
+      let got = Linalg.Mat.get corr i j in
+      Alcotest.(check bool)
+        (Printf.sprintf "pair (%d,%d): kernel %.3f vs sampled %.3f" i j expected got)
+        true
+        (Float.abs (expected -. got) < 0.12))
+    pairs
+
+let test_sample_matrix_variants_agree_statistically () =
+  let _, _, sampler = Lazy.force sampler_fixture in
+  let n = 20_000 in
+  let m1 = Kle.Sampler.sample_matrix sampler (Prng.Rng.create ~seed:1) ~n in
+  let m2 = Kle.Sampler.sample_matrix_direct sampler (Prng.Rng.create ~seed:2) ~n in
+  let c1 = Stats.Correlation.column_covariance m1 in
+  let c2 = Stats.Correlation.column_covariance m2 in
+  Alcotest.(check bool) "same covariance" true (Linalg.Mat.max_abs_diff c1 c2 < 0.1)
+
+let test_sample_with_xi_consistent () =
+  let model, _, sampler = Lazy.force sampler_fixture in
+  let field, xi = Kle.Sampler.sample_with_xi sampler (Prng.Rng.create ~seed:3) in
+  Alcotest.(check int) "xi dim" model.Kle.Model.r (Array.length xi);
+  (* field must equal B xi, i.e. reconstruct from xi manually *)
+  let d = Kle.Model.d_lambda model in
+  let mesh_field = Linalg.Mat.mul_vec d xi in
+  Array.iteri
+    (fun g v ->
+      let tri = Kle.Sampler.triangle_of_location sampler g in
+      check_close ~tol:1e-10 "field matches expansion" mesh_field.(tri) v)
+    field
+
+let test_sample_matrix_with_gaussian_equivalence () =
+  (* feeding i.i.d. gaussians through sample_matrix_with must reproduce the
+     statistics of the built-in samplers *)
+  let _, _, sampler = Lazy.force sampler_fixture in
+  let n = 15_000 in
+  let xi = Prng.Gaussian.matrix (Prng.Rng.create ~seed:8) ~rows:n ~cols:(Kle.Sampler.dim sampler) in
+  let m = Kle.Sampler.sample_matrix_with sampler ~xi in
+  let c1 = Stats.Correlation.column_covariance m in
+  let m2 = Kle.Sampler.sample_matrix_direct sampler (Prng.Rng.create ~seed:9) ~n in
+  let c2 = Stats.Correlation.column_covariance m2 in
+  Alcotest.(check bool) "same covariance" true (Linalg.Mat.max_abs_diff c1 c2 < 0.12)
+
+let test_sample_matrix_with_width_check () =
+  let _, _, sampler = Lazy.force sampler_fixture in
+  let xi = Linalg.Mat.create 4 3 in
+  Alcotest.(check bool) "raises" true
+    (match Kle.Sampler.sample_matrix_with sampler ~xi with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ---------- P1 (piecewise-linear) extension ---------- *)
+
+let p1_fixture =
+  lazy
+    (let mesh = Geometry.Mesh.uniform Geometry.Rect.unit_die ~divisions:6 in
+     (mesh, Kle.P1.solve ~count:12 mesh gaussian))
+
+let test_p1_mass_matrix_tiles_area () =
+  let mesh, _ = Lazy.force p1_fixture in
+  let m = Kle.P1.mass_matrix mesh in
+  (* sum of all entries = integral of (sum of hats)^2 = die area *)
+  let acc = ref 0.0 in
+  for i = 0 to Linalg.Mat.rows m - 1 do
+    for j = 0 to Linalg.Mat.cols m - 1 do
+      acc := !acc +. Linalg.Mat.get m i j
+    done
+  done;
+  check_close ~tol:1e-9 "area" 4.0 !acc;
+  Alcotest.(check bool) "symmetric" true (Linalg.Mat.is_symmetric m)
+
+let test_p1_eigenvalues_close_to_p0 () =
+  let mesh, p1 = Lazy.force p1_fixture in
+  let p0 = Kle.Galerkin.solve ~solver:(Kle.Galerkin.Lanczos { count = 8 }) mesh gaussian in
+  for i = 0 to 7 do
+    let a = p1.Kle.P1.eigenvalues.(i) and b = p0.Kle.Galerkin.eigenvalues.(i) in
+    Alcotest.(check bool)
+      (Printf.sprintf "pair %d: p1 %.4f vs p0 %.4f" i a b)
+      true
+      (Float.abs (a -. b) /. b < 0.05)
+  done
+
+let test_p1_matches_analytic () =
+  let c = 1.0 in
+  let kernel = K.Separable_exp_l1 { c } in
+  let mesh = Geometry.Mesh.uniform Geometry.Rect.unit_die ~divisions:8 in
+  let sol = Kle.P1.solve ~count:6 mesh kernel in
+  let exact = Kernels.Analytic_kle.exp_2d ~c ~rect:Geometry.Rect.unit_die ~count:6 in
+  for i = 0 to 5 do
+    let e = exact.(i).Kernels.Analytic_kle.lambda in
+    Alcotest.(check bool)
+      (Printf.sprintf "pair %d" i)
+      true
+      (Float.abs (sol.Kle.P1.eigenvalues.(i) -. e) /. e < 0.02)
+  done
+
+let test_p1_eigenfunctions_l2_orthonormal () =
+  let mesh, p1 = Lazy.force p1_fixture in
+  (* d^T M d' = delta via the mass matrix *)
+  let m = Kle.P1.mass_matrix mesh in
+  let d = p1.Kle.P1.vertex_coefficients in
+  for a = 0 to 4 do
+    for b = a to 4 do
+      let da = Linalg.Mat.col d a and db = Linalg.Mat.col d b in
+      let mdb = Linalg.Mat.mul_vec m db in
+      let inner = Linalg.Vec.dot da mdb in
+      check_close ~tol:1e-8
+        (Printf.sprintf "inner (%d, %d)" a b)
+        (if a = b then 1.0 else 0.0)
+        inner
+    done
+  done
+
+let test_p1_continuous_across_edges () =
+  let _, p1 = Lazy.force p1_fixture in
+  let ev = Kle.P1.evaluator p1 in
+  (* evaluate at points straddling an interior vertical mesh line x = 0 *)
+  let eps = 1e-9 in
+  List.iter
+    (fun y ->
+      let left = Kle.P1.eval_eigenfunction ev 0 (P.make (-.eps) y) in
+      let right = Kle.P1.eval_eigenfunction ev 0 (P.make eps y) in
+      check_close ~tol:1e-6 "continuous" left right)
+    [ -0.63; -0.21; 0.11; 0.47 ]
+
+let test_p1_grid_reconstruction_beats_p0 () =
+  let mesh, p1 = Lazy.force p1_fixture in
+  let ev = Kle.P1.evaluator p1 in
+  let p0 = Kle.Galerkin.solve ~solver:(Kle.Galerkin.Lanczos { count = 12 }) mesh gaussian in
+  let m0 = Kle.Model.create ~r:12 p0 in
+  let e0 = Kle.Model.reconstruction_error_grid ~grid:21 m0 in
+  let e1 = Kle.P1.reconstruction_error_grid ~grid:21 ev ~r:12 in
+  Alcotest.(check bool)
+    (Printf.sprintf "P1 %.4f < P0 %.4f" e1 e0)
+    true (e1 < e0)
+
+let test_p1_dense_path () =
+  (* count >= vertex count switches to the dense solver *)
+  let mesh = Geometry.Mesh.uniform Geometry.Rect.unit_die ~divisions:6 in
+  let sol = Kle.P1.solve mesh gaussian in
+  let nv = Array.length mesh.Geometry.Mesh.points in
+  Alcotest.(check int) "all pairs" nv (Array.length sol.Kle.P1.eigenvalues);
+  (* the full GEP spectrum approximates the continuous trace
+     integral K(x,x) = 4, up to the mid-edge quadrature error of the mesh
+     (measured: 3.77 at divisions=3, 3.98 at divisions=6) *)
+  check_close ~tol:0.05 "trace" 4.0 (Util.Arrayx.sum sol.Kle.P1.eigenvalues)
+
+let test_p1_index_out_of_range () =
+  let _, p1 = Lazy.force p1_fixture in
+  let ev = Kle.P1.evaluator p1 in
+  Alcotest.(check bool) "raises" true
+    (match Kle.P1.eval_eigenfunction ev 500 (P.make 0.0 0.0) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ---------- qcheck ---------- *)
+
+let prop_choose_r_bound_holds =
+  (* for random decaying spectra, the selection rule's bound truly holds *)
+  let gen =
+    QCheck.Gen.(
+      let* m = int_range 5 30 in
+      let* decay = float_range 1.2 3.0 in
+      let* seed = int_range 0 1000 in
+      return (m, decay, seed))
+  in
+  let arb = QCheck.make gen ~print:(fun (m, d, s) -> Printf.sprintf "(m=%d, decay=%f, seed=%d)" m d s) in
+  QCheck.Test.make ~name:"choose_r bound holds on synthetic spectra" ~count:100 arb
+    (fun (m, decay, _) ->
+      let vals = Array.init m (fun i -> decay ** float_of_int (-i)) in
+      let n_total = m + 50 in
+      let r = Kle.Model.choose_r ~tolerance:0.01 ~n_total vals in
+      r = m
+      ||
+      let tail = ref (vals.(m - 1) *. float_of_int (n_total - m)) in
+      for i = r to m - 1 do
+        tail := !tail +. vals.(i)
+      done;
+      let head = ref 0.0 in
+      for i = 0 to r - 1 do
+        head := !head +. vals.(i)
+      done;
+      !tail <= 0.01 *. !head +. 1e-12)
+
+let () =
+  Alcotest.run "kle"
+    [
+      ( "galerkin",
+        [
+          Alcotest.test_case "assemble symmetric" `Quick test_assemble_symmetric;
+          Alcotest.test_case "trace equals die area" `Quick test_trace_equals_area;
+          Alcotest.test_case "eigenvalues nonneg descending" `Quick test_eigenvalues_nonnegative_descending;
+          Alcotest.test_case "eigenvalue sum = trace" `Quick test_eigenvalue_sum_equals_trace;
+          Alcotest.test_case "eigenfunctions L2-orthonormal" `Quick test_eigenfunctions_l2_orthonormal;
+          Alcotest.test_case "lanczos matches dense" `Quick test_lanczos_solver_matches_dense;
+          Alcotest.test_case "matches analytic separable KLE" `Slow test_galerkin_vs_analytic_separable;
+          Alcotest.test_case "midedge quadrature more accurate" `Quick test_midedge_quadrature_more_accurate;
+          Alcotest.test_case "eigenvalue convergence in h" `Quick test_eigenvalue_convergence_with_mesh;
+          Alcotest.test_case "indefinite kernel rejected" `Quick test_indefinite_kernel_rejected;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "choose_r rule" `Quick test_choose_r_rule;
+          Alcotest.test_case "choose_r flat spectrum" `Quick test_choose_r_flat_spectrum;
+          Alcotest.test_case "choose_r monotone in tolerance" `Quick test_choose_r_monotone_in_tolerance;
+          Alcotest.test_case "create bounds" `Quick test_model_create_bounds;
+          Alcotest.test_case "piecewise-constant eigenfunctions" `Quick test_eigenfunction_piecewise_constant;
+          Alcotest.test_case "variance at points" `Quick test_variance_at_close_to_one;
+          Alcotest.test_case "captured variance monotone" `Quick test_captured_variance_increases_with_r;
+          Alcotest.test_case "reconstruction error decreases in r" `Quick test_reconstruction_error_decreases_with_r;
+          Alcotest.test_case "grid reconstruction bounded" `Quick test_reconstruction_error_grid_bounded;
+          Alcotest.test_case "pairwise reconstruction bounded" `Quick test_reconstruction_pairwise_bounded;
+          Alcotest.test_case "d_lambda shape and scale" `Quick test_d_lambda_shape_and_scale;
+        ] );
+      ( "sampler",
+        [
+          Alcotest.test_case "dimensions" `Quick test_sampler_dims;
+          Alcotest.test_case "locations resolve to containing triangles" `Quick test_sampler_triangles_contain_locations;
+          Alcotest.test_case "deterministic" `Quick test_sampler_deterministic;
+          Alcotest.test_case "per-location variance" `Quick test_sampler_moments;
+          Alcotest.test_case "covariance matches kernel" `Quick test_sampler_covariance_matches_kernel;
+          Alcotest.test_case "matrix variants agree" `Quick test_sample_matrix_variants_agree_statistically;
+          Alcotest.test_case "sample_with_xi consistent" `Quick test_sample_with_xi_consistent;
+          Alcotest.test_case "external xi equivalence" `Quick test_sample_matrix_with_gaussian_equivalence;
+          Alcotest.test_case "external xi width check" `Quick test_sample_matrix_with_width_check;
+        ] );
+      ( "p1",
+        [
+          Alcotest.test_case "mass matrix tiles area" `Quick test_p1_mass_matrix_tiles_area;
+          Alcotest.test_case "eigenvalues close to P0" `Quick test_p1_eigenvalues_close_to_p0;
+          Alcotest.test_case "matches analytic KLE" `Quick test_p1_matches_analytic;
+          Alcotest.test_case "M-orthonormal eigenvectors" `Quick test_p1_eigenfunctions_l2_orthonormal;
+          Alcotest.test_case "continuous across edges" `Quick test_p1_continuous_across_edges;
+          Alcotest.test_case "grid reconstruction beats P0" `Quick test_p1_grid_reconstruction_beats_p0;
+          Alcotest.test_case "dense solver path" `Quick test_p1_dense_path;
+          Alcotest.test_case "index out of range" `Quick test_p1_index_out_of_range;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_choose_r_bound_holds ]);
+    ]

@@ -1,0 +1,250 @@
+let check_close ?(tol = 1e-10) msg expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+let check_rel ?(tol = 1e-6) msg expected actual =
+  let rel = Float.abs ((actual -. expected) /. expected) in
+  if rel > tol then
+    Alcotest.failf "%s: expected %.15g, got %.15g (rel err %.2e)" msg expected actual rel
+
+(* ---------- Gamma ---------- *)
+
+let test_gamma_integers () =
+  check_close "gamma 1" 1.0 (Specfun.Gamma.gamma 1.0);
+  check_close "gamma 2" 1.0 (Specfun.Gamma.gamma 2.0);
+  check_close ~tol:1e-9 "gamma 5" 24.0 (Specfun.Gamma.gamma 5.0);
+  check_rel ~tol:1e-12 "gamma 10" 362880.0 (Specfun.Gamma.gamma 10.0)
+
+let test_gamma_half () =
+  check_rel ~tol:1e-12 "gamma 0.5" (sqrt Float.pi) (Specfun.Gamma.gamma 0.5);
+  check_rel ~tol:1e-12 "gamma 1.5" (0.5 *. sqrt Float.pi) (Specfun.Gamma.gamma 1.5)
+
+let test_gamma_recurrence () =
+  (* Γ(x+1) = x Γ(x) *)
+  List.iter
+    (fun x ->
+      check_rel ~tol:1e-12 "recurrence"
+        (x *. Specfun.Gamma.gamma x)
+        (Specfun.Gamma.gamma (x +. 1.0)))
+    [ 0.3; 1.7; 4.2; 9.9 ]
+
+let test_gamma_reflection_negative () =
+  (* Γ(-0.5) = -2 sqrt(pi) *)
+  check_rel ~tol:1e-10 "gamma -0.5" (-2.0 *. sqrt Float.pi) (Specfun.Gamma.gamma (-0.5))
+
+let test_gamma_pole_raises () =
+  Alcotest.check_raises "pole" (Invalid_argument "Gamma.gamma: pole at non-positive integer")
+    (fun () -> ignore (Specfun.Gamma.gamma (-2.0)))
+
+let test_log_gamma_large () =
+  (* ln Γ(100) from Stirling-exact value ln(99!) *)
+  let expected = ref 0.0 in
+  for k = 1 to 99 do
+    expected := !expected +. log (float_of_int k)
+  done;
+  check_rel ~tol:1e-12 "log_gamma 100" !expected (Specfun.Gamma.log_gamma 100.0)
+
+let test_gamma_p_q_complement () =
+  List.iter
+    (fun (a, x) ->
+      check_close ~tol:1e-12 "P + Q = 1" 1.0
+        (Specfun.Gamma.gamma_p a x +. Specfun.Gamma.gamma_q a x))
+    [ (0.5, 0.3); (2.0, 1.0); (5.0, 10.0); (1.0, 0.0) ]
+
+let test_gamma_p_exponential () =
+  (* P(1, x) = 1 - e^{-x} *)
+  List.iter
+    (fun x -> check_rel ~tol:1e-12 "P(1,x)" (1.0 -. exp (-.x)) (Specfun.Gamma.gamma_p 1.0 x))
+    [ 0.1; 1.0; 3.0; 10.0 ]
+
+(* ---------- Erf ---------- *)
+
+let test_erf_known_values () =
+  check_rel ~tol:1e-13 "erf 1" 0.8427007929497149 (Specfun.Erf.erf 1.0);
+  check_rel ~tol:1e-13 "erf 2" 0.9953222650189527 (Specfun.Erf.erf 2.0);
+  check_rel ~tol:1e-12 "erf 0.5" 0.5204998778130465 (Specfun.Erf.erf 0.5)
+
+let test_erf_odd () =
+  List.iter
+    (fun x -> check_close ~tol:1e-14 "odd" (-.Specfun.Erf.erf x) (Specfun.Erf.erf (-.x)))
+    [ 0.3; 1.0; 2.5 ]
+
+let test_erfc_large_no_cancellation () =
+  check_rel ~tol:1e-12 "erfc 3" 2.209049699858544e-5 (Specfun.Erf.erfc 3.0);
+  check_rel ~tol:1e-10 "erfc 5" 1.5374597944280347e-12 (Specfun.Erf.erfc 5.0)
+
+let test_erf_erfc_complement () =
+  List.iter
+    (fun x ->
+      check_close ~tol:1e-13 "erf + erfc" 1.0 (Specfun.Erf.erf x +. Specfun.Erf.erfc x))
+    [ -2.0; -0.5; 0.0; 0.7; 3.0 ]
+
+let test_normal_cdf () =
+  check_close ~tol:1e-14 "cdf 0" 0.5 (Specfun.Erf.normal_cdf 0.0);
+  check_rel ~tol:1e-12 "cdf 1.96" 0.9750021048517795 (Specfun.Erf.normal_cdf 1.96);
+  check_rel ~tol:1e-10 "cdf mu sigma" 0.9750021048517795
+    (Specfun.Erf.normal_cdf ~mu:10.0 ~sigma:2.0 13.92)
+
+let test_normal_quantile_inverts_cdf () =
+  List.iter
+    (fun p ->
+      check_close ~tol:1e-10 "quantile(cdf)" p
+        (Specfun.Erf.normal_cdf (Specfun.Erf.normal_quantile p)))
+    [ 0.001; 0.025; 0.3; 0.5; 0.7; 0.975; 0.999 ]
+
+let test_normal_quantile_known () =
+  check_rel ~tol:1e-9 "q 0.975" 1.959963984540054 (Specfun.Erf.normal_quantile 0.975);
+  check_close ~tol:1e-12 "q 0.5" 0.0 (Specfun.Erf.normal_quantile 0.5)
+
+let test_normal_quantile_domain () =
+  Alcotest.check_raises "p=0" (Invalid_argument "Erf.normal_quantile: requires 0 < p < 1")
+    (fun () -> ignore (Specfun.Erf.normal_quantile 0.0))
+
+(* ---------- Bessel ---------- *)
+
+(* reference values from Abramowitz & Stegun / standard tables *)
+let test_bessel_k0_k1 () =
+  check_rel ~tol:2e-7 "K0(1)" 0.42102443824070834 (Specfun.Bessel.k0 1.0);
+  check_rel ~tol:2e-7 "K1(1)" 0.6019072301972346 (Specfun.Bessel.k1 1.0);
+  check_rel ~tol:2e-7 "K0(0.1)" 2.4270690247020166 (Specfun.Bessel.k0 0.1);
+  check_rel ~tol:2e-7 "K1(5)" 0.004044613445452164 (Specfun.Bessel.k1 5.0)
+
+let test_bessel_kn_recurrence () =
+  (* K_{n+1}(x) = K_{n-1}(x) + (2n/x) K_n(x) *)
+  List.iter
+    (fun x ->
+      let k1 = Specfun.Bessel.kn 1 x and k2 = Specfun.Bessel.kn 2 x in
+      let k3 = Specfun.Bessel.kn 3 x in
+      check_rel ~tol:1e-10 "recurrence" (k1 +. (4.0 /. x *. k2)) k3)
+    [ 0.5; 1.0; 3.0; 8.0 ]
+
+let test_bessel_half_integer () =
+  (* K_{1/2}(x) = sqrt(pi/(2x)) e^{-x} *)
+  List.iter
+    (fun x ->
+      check_rel ~tol:1e-12 "K_1/2"
+        (sqrt (Float.pi /. (2.0 *. x)) *. exp (-.x))
+        (Specfun.Bessel.k 0.5 x))
+    [ 0.2; 1.0; 4.0 ];
+  (* K_{3/2}(x) = sqrt(pi/(2x)) e^{-x} (1 + 1/x) *)
+  List.iter
+    (fun x ->
+      check_rel ~tol:1e-12 "K_3/2"
+        (sqrt (Float.pi /. (2.0 *. x)) *. exp (-.x) *. (1.0 +. (1.0 /. x)))
+        (Specfun.Bessel.k 1.5 x))
+    [ 0.5; 2.0 ]
+
+let test_bessel_quadrature_vs_closed () =
+  (* force the quadrature path with a slightly off-integer order and compare
+     to the closed form at the integer order; K is smooth in nu *)
+  List.iter
+    (fun (nu, x) ->
+      let q = Specfun.Bessel.k (nu +. 1e-9) x in
+      let c = Specfun.Bessel.k nu x in
+      check_rel ~tol:1e-5 "quad vs closed" c q)
+    [ (1.0, 1.0); (2.0, 3.0); (0.5, 0.7); (1.5, 2.0); (3.0, 0.4) ]
+
+let test_bessel_positive_decreasing () =
+  (* K_nu is positive and decreasing in x *)
+  let nu = 0.75 in
+  let prev = ref infinity in
+  List.iter
+    (fun x ->
+      let v = Specfun.Bessel.k nu x in
+      Alcotest.(check bool) "positive" true (v > 0.0);
+      Alcotest.(check bool) "decreasing" true (v < !prev);
+      prev := v)
+    [ 0.1; 0.5; 1.0; 2.0; 4.0 ]
+
+let test_bessel_domain_errors () =
+  Alcotest.check_raises "x<=0" (Invalid_argument "Bessel.k0: requires x > 0") (fun () ->
+      ignore (Specfun.Bessel.k0 0.0));
+  Alcotest.check_raises "nu<0" (Invalid_argument "Bessel.k: requires nu >= 0") (fun () ->
+      ignore (Specfun.Bessel.k (-1.0) 1.0))
+
+let test_bessel_i0_i1 () =
+  check_rel ~tol:2e-7 "I0(1)" 1.2660658777520082 (Specfun.Bessel.i0 1.0);
+  check_rel ~tol:2e-7 "I1(1)" 0.5651591039924851 (Specfun.Bessel.i1 1.0);
+  check_rel ~tol:3e-7 "I0(5)" 27.239871823604442 (Specfun.Bessel.i0 5.0)
+
+(* wronskian-like identity: I0(x) K1(x) + I1(x) K0(x) = 1/x *)
+let test_bessel_wronskian () =
+  List.iter
+    (fun x ->
+      check_rel ~tol:1e-6 "wronskian" (1.0 /. x)
+        ((Specfun.Bessel.i0 x *. Specfun.Bessel.k1 x)
+        +. (Specfun.Bessel.i1 x *. Specfun.Bessel.k0 x)))
+    [ 0.3; 1.0; 2.0; 6.0 ]
+
+(* ---------- qcheck properties ---------- *)
+
+let arb_pos_float lo hi =
+  QCheck.float_range lo hi
+
+let prop_erf_monotone =
+  QCheck.Test.make ~name:"erf is monotone increasing" ~count:100
+    (QCheck.pair (arb_pos_float (-4.0) 4.0) (arb_pos_float (-4.0) 4.0))
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      lo = hi || Specfun.Erf.erf lo <= Specfun.Erf.erf hi)
+
+let prop_cdf_in_unit_interval =
+  QCheck.Test.make ~name:"normal cdf in [0,1]" ~count:100 (arb_pos_float (-8.0) 8.0)
+    (fun x ->
+      let v = Specfun.Erf.normal_cdf x in
+      v >= 0.0 && v <= 1.0)
+
+let prop_quantile_roundtrip =
+  QCheck.Test.make ~name:"quantile inverts cdf" ~count:100 (arb_pos_float 0.001 0.999)
+    (fun p -> Float.abs (Specfun.Erf.normal_cdf (Specfun.Erf.normal_quantile p) -. p) < 1e-9)
+
+let prop_bessel_recurrence =
+  QCheck.Test.make ~name:"bessel K recurrence holds" ~count:50
+    (QCheck.pair (QCheck.int_range 1 6) (arb_pos_float 0.2 8.0))
+    (fun (n, x) ->
+      let knm1 = Specfun.Bessel.kn (n - 1) x in
+      let kn = Specfun.Bessel.kn n x in
+      let knp1 = Specfun.Bessel.kn (n + 1) x in
+      let expected = knm1 +. (2.0 *. float_of_int n /. x *. kn) in
+      Float.abs ((knp1 -. expected) /. knp1) < 1e-8)
+
+let () =
+  Alcotest.run "specfun"
+    [
+      ( "gamma",
+        [
+          Alcotest.test_case "integer values" `Quick test_gamma_integers;
+          Alcotest.test_case "half-integer values" `Quick test_gamma_half;
+          Alcotest.test_case "recurrence" `Quick test_gamma_recurrence;
+          Alcotest.test_case "reflection (negative)" `Quick test_gamma_reflection_negative;
+          Alcotest.test_case "pole raises" `Quick test_gamma_pole_raises;
+          Alcotest.test_case "log_gamma large arg" `Quick test_log_gamma_large;
+          Alcotest.test_case "P + Q = 1" `Quick test_gamma_p_q_complement;
+          Alcotest.test_case "P(1, x) closed form" `Quick test_gamma_p_exponential;
+        ] );
+      ( "erf",
+        [
+          Alcotest.test_case "known values" `Quick test_erf_known_values;
+          Alcotest.test_case "odd function" `Quick test_erf_odd;
+          Alcotest.test_case "erfc large x" `Quick test_erfc_large_no_cancellation;
+          Alcotest.test_case "erf + erfc = 1" `Quick test_erf_erfc_complement;
+          Alcotest.test_case "normal cdf" `Quick test_normal_cdf;
+          Alcotest.test_case "quantile inverts cdf" `Quick test_normal_quantile_inverts_cdf;
+          Alcotest.test_case "quantile known values" `Quick test_normal_quantile_known;
+          Alcotest.test_case "quantile domain" `Quick test_normal_quantile_domain;
+        ] );
+      ( "bessel",
+        [
+          Alcotest.test_case "K0/K1 table values" `Quick test_bessel_k0_k1;
+          Alcotest.test_case "Kn recurrence" `Quick test_bessel_kn_recurrence;
+          Alcotest.test_case "half-integer closed forms" `Quick test_bessel_half_integer;
+          Alcotest.test_case "quadrature vs closed forms" `Quick test_bessel_quadrature_vs_closed;
+          Alcotest.test_case "positive and decreasing" `Quick test_bessel_positive_decreasing;
+          Alcotest.test_case "domain errors" `Quick test_bessel_domain_errors;
+          Alcotest.test_case "I0/I1 table values" `Quick test_bessel_i0_i1;
+          Alcotest.test_case "wronskian identity" `Quick test_bessel_wronskian;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_erf_monotone; prop_cdf_in_unit_interval; prop_quantile_roundtrip;
+            prop_bessel_recurrence ] );
+    ]

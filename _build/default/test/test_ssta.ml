@@ -1,0 +1,512 @@
+module K = Kernels.Kernel
+
+let check_close ?(tol = 1e-10) msg expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+(* shared fixtures: a small circuit, placed once *)
+let small_netlist =
+  lazy
+    (Circuit.Generator.generate
+       { Circuit.Generator.name = "small"; n_gates = 120; n_inputs = 10;
+         n_outputs = 6; dff_fraction = 0.0; seed = 7 })
+
+let setup = lazy (Ssta.Experiment.setup_circuit (Lazy.force small_netlist))
+
+let process = lazy (Ssta.Process.paper_default ())
+
+(* a coarse KLE config that keeps tests fast *)
+let fast_config =
+  {
+    Ssta.Algorithm2.max_area_fraction = 0.004;
+    min_angle_deg = 28.0;
+    computed_pairs = 80;
+    r = Some 25;
+  }
+
+(* ---------- Process ---------- *)
+
+let test_process_default_valid () =
+  let p = Lazy.force process in
+  Alcotest.(check int) "4 parameters" 4 (Ssta.Process.num_parameters p);
+  Alcotest.(check bool) "valid" true (Ssta.Process.validate p = Ok ())
+
+let test_process_distinct_valid () =
+  let p = Ssta.Process.distinct_kernels () in
+  Alcotest.(check bool) "valid" true (Ssta.Process.validate p = Ok ());
+  (* kernels actually differ *)
+  let k0 = p.Ssta.Process.parameters.(0).Ssta.Process.kernel in
+  let k1 = p.Ssta.Process.parameters.(1).Ssta.Process.kernel in
+  Alcotest.(check bool) "distinct" true (k0 <> k1)
+
+let test_process_invalid_kernel_detected () =
+  let p =
+    {
+      Ssta.Process.parameters =
+        Array.map
+          (fun name -> { Ssta.Process.name; kernel = K.Gaussian { c = -1.0 } })
+          Circuit.Gate.parameter_names;
+    }
+  in
+  Alcotest.(check bool) "invalid" true (Result.is_error (Ssta.Process.validate p))
+
+(* ---------- Experiment setup ---------- *)
+
+let test_setup_locations_match_logic_gates () =
+  let s = Lazy.force setup in
+  Alcotest.(check int) "locations = logic gates"
+    (Circuit.Netlist.logic_gate_count (Lazy.force small_netlist))
+    (Array.length s.Ssta.Experiment.locations);
+  (* all inside the die *)
+  Array.iter
+    (fun p ->
+      Alcotest.(check bool) "inside" true (Geometry.Rect.contains Geometry.Rect.unit_die p))
+    s.Ssta.Experiment.locations
+
+(* ---------- Algorithm 1 ---------- *)
+
+let test_a1_block_shapes () =
+  let s = Lazy.force setup in
+  let a1 = Ssta.Algorithm1.prepare (Lazy.force process) s.Ssta.Experiment.locations in
+  let rng = Prng.Rng.create ~seed:1 in
+  let blocks = Ssta.Algorithm1.sample_block a1 rng ~n:50 in
+  Alcotest.(check int) "4 blocks" 4 (Array.length blocks);
+  Array.iter
+    (fun b ->
+      Alcotest.(check int) "rows" 50 (Linalg.Mat.rows b);
+      Alcotest.(check int) "cols" (Array.length s.Ssta.Experiment.locations) (Linalg.Mat.cols b))
+    blocks
+
+let test_a1_marginals_standard_normal () =
+  let s = Lazy.force setup in
+  let a1 = Ssta.Algorithm1.prepare (Lazy.force process) s.Ssta.Experiment.locations in
+  let rng = Prng.Rng.create ~seed:2 in
+  let blocks = Ssta.Algorithm1.sample_block a1 rng ~n:8000 in
+  let col = Linalg.Mat.col blocks.(0) 3 in
+  let summary = Stats.Summary.of_array col in
+  check_close ~tol:0.06 "mean 0" 0.0 summary.Stats.Summary.mean;
+  check_close ~tol:0.08 "std 1" 1.0 summary.Stats.Summary.std_dev
+
+let test_a1_correlation_follows_kernel () =
+  let s = Lazy.force setup in
+  let proc = Lazy.force process in
+  let a1 = Ssta.Algorithm1.prepare proc s.Ssta.Experiment.locations in
+  let rng = Prng.Rng.create ~seed:3 in
+  let blocks = Ssta.Algorithm1.sample_block a1 rng ~n:8000 in
+  let corr = Stats.Correlation.column_correlation blocks.(2) in
+  let kernel = proc.Ssta.Process.parameters.(2).Ssta.Process.kernel in
+  List.iter
+    (fun (i, j) ->
+      let expected =
+        K.eval kernel s.Ssta.Experiment.locations.(i) s.Ssta.Experiment.locations.(j)
+      in
+      let got = Linalg.Mat.get corr i j in
+      Alcotest.(check bool)
+        (Printf.sprintf "pair (%d,%d): %.3f vs %.3f" i j expected got)
+        true
+        (Float.abs (expected -. got) < 0.08))
+    [ (0, 1); (5, 50); (10, 100); (30, 80) ]
+
+let test_a1_parameters_mutually_independent () =
+  let s = Lazy.force setup in
+  let a1 = Ssta.Algorithm1.prepare (Lazy.force process) s.Ssta.Experiment.locations in
+  let rng = Prng.Rng.create ~seed:4 in
+  let blocks = Ssta.Algorithm1.sample_block a1 rng ~n:8000 in
+  (* same gate, different parameters: near-zero correlation *)
+  let x = Linalg.Mat.col blocks.(0) 7 and y = Linalg.Mat.col blocks.(1) 7 in
+  Alcotest.(check bool) "independent" true (Float.abs (Stats.Correlation.pearson x y) < 0.05)
+
+let test_a1_memory_estimate () =
+  let bytes = Ssta.Algorithm1.memory_bytes ~n_locations:1000 ~n_parameters:4 in
+  Alcotest.(check bool) "about 40MB" true (bytes = 8 * 1000 * 1000 * 5)
+
+(* ---------- Algorithm 2 ---------- *)
+
+let a2_fixture =
+  lazy
+    (let s = Lazy.force setup in
+     Ssta.Algorithm2.prepare ~config:fast_config (Lazy.force process)
+       s.Ssta.Experiment.locations)
+
+let test_a2_structure () =
+  let a2 = Lazy.force a2_fixture in
+  Alcotest.(check int) "r" 25 (Ssta.Algorithm2.r a2);
+  Alcotest.(check bool) "mesh sized" true (Ssta.Algorithm2.mesh_size a2 > 50);
+  Alcotest.(check bool) "setup timed" true (Ssta.Algorithm2.setup_seconds a2 > 0.0)
+
+let test_a2_shared_kernel_shares_model () =
+  let a2 = Lazy.force a2_fixture in
+  let models = Ssta.Algorithm2.models a2 in
+  (* paper_default uses one kernel for all 4 parameters: physical equality *)
+  Alcotest.(check bool) "shared" true (models.(0) == models.(1) && models.(1) == models.(3))
+
+let test_a2_block_shapes () =
+  let s = Lazy.force setup in
+  let a2 = Lazy.force a2_fixture in
+  let rng = Prng.Rng.create ~seed:5 in
+  let blocks = Ssta.Algorithm2.sample_block a2 rng ~n:40 in
+  Alcotest.(check int) "4 blocks" 4 (Array.length blocks);
+  Array.iter
+    (fun b ->
+      Alcotest.(check int) "rows" 40 (Linalg.Mat.rows b);
+      Alcotest.(check int) "cols" (Array.length s.Ssta.Experiment.locations) (Linalg.Mat.cols b))
+    blocks
+
+let test_a2_correlation_follows_kernel () =
+  let s = Lazy.force setup in
+  let proc = Lazy.force process in
+  let a2 = Lazy.force a2_fixture in
+  let rng = Prng.Rng.create ~seed:6 in
+  let blocks = Ssta.Algorithm2.sample_block a2 rng ~n:8000 in
+  let corr = Stats.Correlation.column_correlation blocks.(1) in
+  let kernel = proc.Ssta.Process.parameters.(1).Ssta.Process.kernel in
+  List.iter
+    (fun (i, j) ->
+      let expected =
+        K.eval kernel s.Ssta.Experiment.locations.(i) s.Ssta.Experiment.locations.(j)
+      in
+      let got = Linalg.Mat.get corr i j in
+      Alcotest.(check bool)
+        (Printf.sprintf "pair (%d,%d): %.3f vs %.3f" i j expected got)
+        true
+        (Float.abs (expected -. got) < 0.12))
+    [ (0, 1); (5, 50); (10, 100); (30, 80) ]
+
+(* ---------- Grid PCA baseline ---------- *)
+
+let test_grid_pca_shapes_and_variance () =
+  let s = Lazy.force setup in
+  let g = Ssta.Grid_pca.prepare ~grid:6 ~r:20 (Lazy.force process) s.Ssta.Experiment.locations in
+  Alcotest.(check int) "r" 20 (Ssta.Grid_pca.r g);
+  let ev = Ssta.Grid_pca.explained_variance_fraction g in
+  Alcotest.(check bool) (Printf.sprintf "explained %.3f" ev) true (ev > 0.8 && ev <= 1.0 +. 1e-9);
+  let rng = Prng.Rng.create ~seed:7 in
+  let blocks = Ssta.Grid_pca.sample_block g rng ~n:30 in
+  Alcotest.(check int) "cols" (Array.length s.Ssta.Experiment.locations)
+    (Linalg.Mat.cols blocks.(0))
+
+let test_grid_pca_same_cell_fully_correlated () =
+  let s = Lazy.force setup in
+  let g = Ssta.Grid_pca.prepare ~grid:4 (Lazy.force process) s.Ssta.Experiment.locations in
+  (* find two gates in the same cell *)
+  let n = Array.length s.Ssta.Experiment.locations in
+  let pair = ref None in
+  (try
+     for i = 0 to n - 1 do
+       for j = i + 1 to n - 1 do
+         if Ssta.Grid_pca.cell_of_location g i = Ssta.Grid_pca.cell_of_location g j then begin
+           pair := Some (i, j);
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  match !pair with
+  | None -> Alcotest.fail "no same-cell pair found"
+  | Some (i, j) ->
+      let rng = Prng.Rng.create ~seed:8 in
+      let blocks = Ssta.Grid_pca.sample_block g rng ~n:2000 in
+      let x = Linalg.Mat.col blocks.(0) i and y = Linalg.Mat.col blocks.(0) j in
+      check_close ~tol:1e-6 "same cell corr 1" 1.0 (Stats.Correlation.pearson x y)
+
+let test_grid_pca_r_out_of_range () =
+  let s = Lazy.force setup in
+  Alcotest.(check bool) "raises" true
+    (match Ssta.Grid_pca.prepare ~grid:3 ~r:100 (Lazy.force process) s.Ssta.Experiment.locations with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ---------- run_mc + compare ---------- *)
+
+let test_run_mc_deterministic () =
+  let s = Lazy.force setup in
+  let a2 = Lazy.force a2_fixture in
+  (* same seed and batch size: bit-identical statistics *)
+  let run () =
+    Ssta.Experiment.run_mc ~batch:16 s ~sampler:(Ssta.Algorithm2.sample_block a2) ~seed:9 ~n:64
+  in
+  let r1 = run () and r2 = run () in
+  check_close ~tol:0.0 "same mean" r1.Ssta.Experiment.worst_mean r2.Ssta.Experiment.worst_mean;
+  check_close ~tol:0.0 "same sigma" r1.Ssta.Experiment.worst_sigma r2.Ssta.Experiment.worst_sigma
+
+let test_run_mc_batching_consistent () =
+  (* different batch sizes reshuffle the RNG stream across parameters, so
+     results differ sample-by-sample but must agree statistically *)
+  let s = Lazy.force setup in
+  let a2 = Lazy.force a2_fixture in
+  let r1 =
+    Ssta.Experiment.run_mc ~batch:50 s ~sampler:(Ssta.Algorithm2.sample_block a2) ~seed:9 ~n:1500
+  in
+  let r2 =
+    Ssta.Experiment.run_mc ~batch:1500 s ~sampler:(Ssta.Algorithm2.sample_block a2) ~seed:9 ~n:1500
+  in
+  let rel = Float.abs (r1.Ssta.Experiment.worst_mean -. r2.Ssta.Experiment.worst_mean) /. r1.Ssta.Experiment.worst_mean in
+  Alcotest.(check bool) (Printf.sprintf "means agree (rel %.2e)" rel) true (rel < 0.005)
+
+let test_algorithms_agree () =
+  (* the headline claim at small scale: KLE MC matches Cholesky MC *)
+  let s = Lazy.force setup in
+  let proc = Lazy.force process in
+  let a1 = Ssta.Algorithm1.prepare proc s.Ssta.Experiment.locations in
+  let a2 = Lazy.force a2_fixture in
+  let n = 3000 in
+  let mc1 = Ssta.Experiment.run_mc s ~sampler:(Ssta.Algorithm1.sample_block a1) ~seed:21 ~n in
+  let mc2 = Ssta.Experiment.run_mc s ~sampler:(Ssta.Algorithm2.sample_block a2) ~seed:22 ~n in
+  let cmp =
+    Ssta.Experiment.compare ~reference:mc1 ~reference_setup_seconds:0.0 ~candidate:mc2
+      ~candidate_setup_seconds:0.0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "e_mu %.3f%% < 0.5%%" cmp.Ssta.Experiment.e_mu_pct)
+    true
+    (cmp.Ssta.Experiment.e_mu_pct < 0.5);
+  Alcotest.(check bool)
+    (Printf.sprintf "e_sigma %.2f%% < 15%%" cmp.Ssta.Experiment.e_sigma_pct)
+    true
+    (cmp.Ssta.Experiment.e_sigma_pct < 15.0)
+
+let test_compare_metrics_known () =
+  let mk mean sigma =
+    {
+      Ssta.Experiment.n_samples = 10;
+      worst_mean = mean;
+      worst_sigma = sigma;
+      endpoint_mean = [| mean |];
+      endpoint_sigma = [| sigma |];
+      sample_seconds = 1.0;
+      sta_seconds = 1.0;
+    }
+  in
+  let cmp =
+    Ssta.Experiment.compare ~reference:(mk 100.0 10.0) ~reference_setup_seconds:2.0
+      ~candidate:(mk 101.0 11.0) ~candidate_setup_seconds:0.0
+  in
+  check_close ~tol:1e-9 "e_mu" 1.0 cmp.Ssta.Experiment.e_mu_pct;
+  check_close ~tol:1e-9 "e_sigma" 10.0 cmp.Ssta.Experiment.e_sigma_pct;
+  check_close ~tol:1e-9 "speedup" 2.0 cmp.Ssta.Experiment.speedup;
+  check_close ~tol:1e-9 "sigma avg" 10.0 cmp.Ssta.Experiment.sigma_err_avg_outputs_pct
+
+let test_run_mc_rejects_bad_n () =
+  let s = Lazy.force setup in
+  let a2 = Lazy.force a2_fixture in
+  Alcotest.(check bool) "n=0 raises" true
+    (match
+       Ssta.Experiment.run_mc s ~sampler:(Ssta.Algorithm2.sample_block a2) ~seed:1 ~n:0
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ---------- Canonical forms ---------- *)
+
+let canon ~mean ~sens ~indep = Ssta.Canonical.make ~mean ~sens ~indep
+
+let test_canonical_algebra () =
+  let a = canon ~mean:1.0 ~sens:[| 2.0; 0.0 |] ~indep:1.0 in
+  let b = canon ~mean:3.0 ~sens:[| 1.0; 4.0 |] ~indep:2.0 in
+  let s = Ssta.Canonical.add a b in
+  check_close "mean" 4.0 s.Ssta.Canonical.mean;
+  Alcotest.(check (array (float 1e-12))) "sens" [| 3.0; 4.0 |] s.Ssta.Canonical.sens;
+  check_close "indep rss" (sqrt 5.0) s.Ssta.Canonical.indep;
+  check_close "variance" (9.0 +. 16.0 +. 5.0) (Ssta.Canonical.variance s);
+  let sc = Ssta.Canonical.scale (-2.0) a in
+  check_close "scaled mean" (-2.0) sc.Ssta.Canonical.mean;
+  check_close "scaled indep" 2.0 sc.Ssta.Canonical.indep
+
+let test_canonical_covariance () =
+  let a = canon ~mean:0.0 ~sens:[| 1.0; 2.0 |] ~indep:5.0 in
+  let b = canon ~mean:0.0 ~sens:[| 3.0; -1.0 |] ~indep:7.0 in
+  (* local terms never correlate *)
+  check_close "cov" 1.0 (Ssta.Canonical.covariance a b);
+  check_close "symmetric" (Ssta.Canonical.covariance b a) (Ssta.Canonical.covariance a b)
+
+let test_canonical_mismatch () =
+  let a = canon ~mean:0.0 ~sens:[| 1.0 |] ~indep:0.0 in
+  let b = canon ~mean:0.0 ~sens:[| 1.0; 2.0 |] ~indep:0.0 in
+  Alcotest.(check bool) "raises" true
+    (match Ssta.Canonical.add a b with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_canonical_negative_indep () =
+  Alcotest.(check bool) "raises" true
+    (match canon ~mean:0.0 ~sens:[| 1.0 |] ~indep:(-1.0) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* brute-force MC check of Clark's max on two correlated forms *)
+let mc_max_moments a b n seed =
+  let rng = Prng.Rng.create ~seed in
+  let dim = Ssta.Canonical.dim a in
+  let acc = Stats.Welford.create () in
+  for _ = 1 to n do
+    let xi = Prng.Gaussian.vector rng dim in
+    let la = Prng.Gaussian.draw rng and lb = Prng.Gaussian.draw rng in
+    let va = Ssta.Canonical.eval a ~xi ~local:la in
+    let vb = Ssta.Canonical.eval b ~xi ~local:lb in
+    Stats.Welford.add acc (Float.max va vb)
+  done;
+  (Stats.Welford.mean acc, Stats.Welford.std_dev acc)
+
+let test_clark_max_vs_mc () =
+  List.iteri
+    (fun i (a, b) ->
+      let m = Ssta.Canonical.max_clark a b in
+      let mc_mean, mc_sigma = mc_max_moments a b 100_000 (100 + i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "case %d mean: clark %.4f vs mc %.4f" i
+           m.Ssta.Canonical.mean mc_mean)
+        true
+        (Float.abs (m.Ssta.Canonical.mean -. mc_mean) < 0.02 *. (1.0 +. Float.abs mc_mean));
+      Alcotest.(check bool)
+        (Printf.sprintf "case %d sigma: clark %.4f vs mc %.4f" i
+           (Ssta.Canonical.sigma m) mc_sigma)
+        true
+        (Float.abs (Ssta.Canonical.sigma m -. mc_sigma) < 0.03 *. mc_sigma))
+    [
+      (* overlapping, partially correlated *)
+      ( canon ~mean:10.0 ~sens:[| 1.0; 0.5 |] ~indep:0.5,
+        canon ~mean:10.2 ~sens:[| 0.8; -0.3 |] ~indep:0.7 );
+      (* far apart: max ~ the bigger one *)
+      ( canon ~mean:0.0 ~sens:[| 1.0; 0.0 |] ~indep:0.0,
+        canon ~mean:8.0 ~sens:[| 0.0; 1.0 |] ~indep:0.0 );
+      (* anti-correlated *)
+      ( canon ~mean:5.0 ~sens:[| 2.0; 0.0 |] ~indep:0.1,
+        canon ~mean:5.0 ~sens:[| -2.0; 0.0 |] ~indep:0.1 );
+    ]
+
+let test_clark_max_identical_forms () =
+  let a = canon ~mean:3.0 ~sens:[| 1.0; 2.0 |] ~indep:0.0 in
+  let m = Ssta.Canonical.max_clark a a in
+  check_close "same mean" 3.0 m.Ssta.Canonical.mean;
+  check_close "same sigma" (Ssta.Canonical.sigma a) (Ssta.Canonical.sigma m)
+
+let test_clark_max_dominant () =
+  let a = canon ~mean:0.0 ~sens:[| 1.0 |] ~indep:0.0 in
+  let b = canon ~mean:100.0 ~sens:[| 0.5 |] ~indep:0.0 in
+  let m = Ssta.Canonical.max_clark a b in
+  check_close ~tol:1e-6 "dominant mean" 100.0 m.Ssta.Canonical.mean;
+  check_close ~tol:1e-6 "dominant sens" 0.5 m.Ssta.Canonical.sens.(0)
+
+let test_max_many_empty () =
+  Alcotest.(check bool) "raises" true
+    (match Ssta.Canonical.max_many [] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_canonical_quantile () =
+  let a = canon ~mean:10.0 ~sens:[| 3.0; 4.0 |] ~indep:0.0 in
+  (* sigma 5 *)
+  check_close ~tol:1e-6 "median" 10.0 (Ssta.Canonical.quantile a 0.5);
+  check_close ~tol:1e-4 "+1 sigma" 15.0 (Ssta.Canonical.quantile a 0.8413447460685429)
+
+(* ---------- Block SSTA ---------- *)
+
+let test_block_ssta_matches_mc () =
+  let s = Lazy.force setup in
+  let a2 = Lazy.force a2_fixture in
+  let blk = Ssta.Block_ssta.run s ~models:(Ssta.Algorithm2.models a2) in
+  (* MC with the SAME KLE models isolates the Clark/linearization error *)
+  let mc =
+    Ssta.Experiment.run_mc s ~sampler:(Ssta.Algorithm2.sample_block a2) ~seed:31 ~n:4000
+  in
+  let e_mu, e_sigma = Ssta.Block_ssta.validate_against_mc blk ~reference:mc in
+  Alcotest.(check bool) (Printf.sprintf "e_mu %.3f%% < 1%%" e_mu) true (e_mu < 1.0);
+  Alcotest.(check bool) (Printf.sprintf "e_sigma %.2f%% < 12%%" e_sigma) true (e_sigma < 12.0)
+
+let test_block_ssta_structure () =
+  let s = Lazy.force setup in
+  let a2 = Lazy.force a2_fixture in
+  let blk = Ssta.Block_ssta.run s ~models:(Ssta.Algorithm2.models a2) in
+  Alcotest.(check int) "endpoints" (Array.length s.Ssta.Experiment.sta.Sta.Timing.endpoints)
+    (Array.length blk.Ssta.Block_ssta.endpoint_forms);
+  Alcotest.(check int) "basis dim = 4r" (4 * Ssta.Algorithm2.r a2) blk.Ssta.Block_ssta.basis_dim;
+  Alcotest.(check bool) "sigma positive" true (Ssta.Block_ssta.sigma blk > 0.0);
+  (* worst-form mean must be at least every endpoint mean *)
+  Array.iter
+    (fun (f : Ssta.Canonical.t) ->
+      Alcotest.(check bool) "worst dominates" true
+        (Ssta.Block_ssta.mean blk >= f.Ssta.Canonical.mean -. 1e-9))
+    blk.Ssta.Block_ssta.endpoint_forms
+
+let test_block_ssta_criticalities () =
+  let s = Lazy.force setup in
+  let a2 = Lazy.force a2_fixture in
+  let blk = Ssta.Block_ssta.run s ~models:(Ssta.Algorithm2.models a2) in
+  let crit = Ssta.Block_ssta.criticalities ~samples:5000 ~seed:2 blk in
+  check_close ~tol:1e-9 "sums to 1" 1.0 (Util.Arrayx.sum crit);
+  Array.iter
+    (fun c -> Alcotest.(check bool) "in [0,1]" true (c >= 0.0 && c <= 1.0))
+    crit;
+  (* the endpoint with the largest mean should carry nontrivial criticality *)
+  let means = Array.map (fun (f : Ssta.Canonical.t) -> f.Ssta.Canonical.mean) blk.Ssta.Block_ssta.endpoint_forms in
+  Alcotest.(check bool) "dominant endpoint critical" true
+    (crit.(Util.Arrayx.argmax means) > 0.2)
+
+let test_block_ssta_bad_models () =
+  let s = Lazy.force setup in
+  let a2 = Lazy.force a2_fixture in
+  let models = Ssta.Algorithm2.models a2 in
+  Alcotest.(check bool) "raises" true
+    (match Ssta.Block_ssta.run s ~models:(Array.sub models 0 2) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "ssta"
+    [
+      ( "process",
+        [
+          Alcotest.test_case "paper default valid" `Quick test_process_default_valid;
+          Alcotest.test_case "distinct kernels valid" `Quick test_process_distinct_valid;
+          Alcotest.test_case "invalid kernel detected" `Quick test_process_invalid_kernel_detected;
+        ] );
+      ( "setup",
+        [ Alcotest.test_case "locations match logic gates" `Quick test_setup_locations_match_logic_gates ] );
+      ( "algorithm1",
+        [
+          Alcotest.test_case "block shapes" `Quick test_a1_block_shapes;
+          Alcotest.test_case "standard-normal marginals" `Quick test_a1_marginals_standard_normal;
+          Alcotest.test_case "correlation follows kernel" `Quick test_a1_correlation_follows_kernel;
+          Alcotest.test_case "parameters independent" `Quick test_a1_parameters_mutually_independent;
+          Alcotest.test_case "memory estimate" `Quick test_a1_memory_estimate;
+        ] );
+      ( "algorithm2",
+        [
+          Alcotest.test_case "structure" `Quick test_a2_structure;
+          Alcotest.test_case "kernel sharing" `Quick test_a2_shared_kernel_shares_model;
+          Alcotest.test_case "block shapes" `Quick test_a2_block_shapes;
+          Alcotest.test_case "correlation follows kernel" `Quick test_a2_correlation_follows_kernel;
+        ] );
+      ( "grid_pca",
+        [
+          Alcotest.test_case "shapes and variance" `Quick test_grid_pca_shapes_and_variance;
+          Alcotest.test_case "same cell fully correlated" `Quick test_grid_pca_same_cell_fully_correlated;
+          Alcotest.test_case "r out of range" `Quick test_grid_pca_r_out_of_range;
+        ] );
+      ( "canonical",
+        [
+          Alcotest.test_case "algebra" `Quick test_canonical_algebra;
+          Alcotest.test_case "covariance" `Quick test_canonical_covariance;
+          Alcotest.test_case "dimension mismatch" `Quick test_canonical_mismatch;
+          Alcotest.test_case "negative indep rejected" `Quick test_canonical_negative_indep;
+          Alcotest.test_case "Clark max vs Monte Carlo" `Slow test_clark_max_vs_mc;
+          Alcotest.test_case "max of identical forms" `Quick test_clark_max_identical_forms;
+          Alcotest.test_case "max with dominant input" `Quick test_clark_max_dominant;
+          Alcotest.test_case "max_many empty" `Quick test_max_many_empty;
+          Alcotest.test_case "quantile" `Quick test_canonical_quantile;
+        ] );
+      ( "block_ssta",
+        [
+          Alcotest.test_case "matches MC" `Slow test_block_ssta_matches_mc;
+          Alcotest.test_case "structure" `Quick test_block_ssta_structure;
+          Alcotest.test_case "criticalities" `Quick test_block_ssta_criticalities;
+          Alcotest.test_case "bad model count" `Quick test_block_ssta_bad_models;
+        ] );
+      ( "experiment",
+        [
+          Alcotest.test_case "deterministic" `Quick test_run_mc_deterministic;
+          Alcotest.test_case "batching statistically consistent" `Quick test_run_mc_batching_consistent;
+          Alcotest.test_case "algorithms agree (paper claim)" `Slow test_algorithms_agree;
+          Alcotest.test_case "compare metrics" `Quick test_compare_metrics_known;
+          Alcotest.test_case "bad n rejected" `Quick test_run_mc_rejects_bad_n;
+        ] );
+    ]

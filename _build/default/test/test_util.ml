@@ -1,0 +1,120 @@
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec loop i = i + nn <= nh && (String.sub hay i nn = needle || loop (i + 1)) in
+  nn = 0 || loop 0
+
+let check_float = Alcotest.(check (float 1e-12))
+
+let test_float_range () =
+  let r = Util.Arrayx.float_range ~start:0.0 ~stop:1.0 ~count:5 in
+  Alcotest.(check int) "count" 5 (Array.length r);
+  check_float "first" 0.0 r.(0);
+  check_float "last" 1.0 r.(4);
+  check_float "step" 0.25 r.(1)
+
+let test_float_range_negative () =
+  let r = Util.Arrayx.float_range ~start:(-2.0) ~stop:2.0 ~count:3 in
+  check_float "middle" 0.0 r.(1)
+
+let test_float_range_invalid () =
+  Alcotest.check_raises "count 1" (Invalid_argument "Arrayx.float_range: count must be >= 2")
+    (fun () -> ignore (Util.Arrayx.float_range ~start:0.0 ~stop:1.0 ~count:1))
+
+let test_argmax () =
+  Alcotest.(check int) "argmax" 2 (Util.Arrayx.argmax [| 1.0; 3.0; 7.0; 2.0 |]);
+  Alcotest.(check int) "first max wins" 1 (Util.Arrayx.argmax [| 1.0; 7.0; 7.0 |])
+
+let test_argmin () =
+  Alcotest.(check int) "argmin" 0 (Util.Arrayx.argmin [| -1.0; 3.0; 7.0 |])
+
+let test_arg_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Arrayx: empty array") (fun () ->
+      ignore (Util.Arrayx.argmax [||]))
+
+let test_sum_mean () =
+  check_float "sum" 6.0 (Util.Arrayx.sum [| 1.0; 2.0; 3.0 |]);
+  check_float "sum empty" 0.0 (Util.Arrayx.sum [||]);
+  check_float "mean" 2.0 (Util.Arrayx.mean [| 1.0; 2.0; 3.0 |])
+
+let test_max_abs () =
+  check_float "max_abs" 5.0 (Util.Arrayx.max_abs [| -5.0; 3.0 |]);
+  check_float "max_abs empty" 0.0 (Util.Arrayx.max_abs [||])
+
+let test_sort_desc_with_perm () =
+  let sorted, perm = Util.Arrayx.sort_desc_with_perm [| 1.0; 3.0; 2.0 |] in
+  Alcotest.(check (array (float 0.0))) "sorted" [| 3.0; 2.0; 1.0 |] sorted;
+  Alcotest.(check (array int)) "perm" [| 1; 2; 0 |] perm
+
+let test_sort_perm_roundtrip () =
+  let a = [| 0.3; -1.0; 5.0; 2.0; 2.0 |] in
+  let sorted, perm = Util.Arrayx.sort_desc_with_perm a in
+  Array.iteri (fun i p -> Alcotest.(check (float 0.0)) "perm maps" a.(p) sorted.(i)) perm
+
+let test_timer_positive () =
+  let t = Util.Timer.start () in
+  let acc = ref 0.0 in
+  for i = 1 to 10000 do
+    acc := !acc +. float_of_int i
+  done;
+  ignore !acc;
+  Alcotest.(check bool) "elapsed >= 0" true (Util.Timer.elapsed_s t >= 0.0)
+
+let test_timer_time () =
+  let v, dt = Util.Timer.time (fun () -> 42) in
+  Alcotest.(check int) "result" 42 v;
+  Alcotest.(check bool) "time >= 0" true (dt >= 0.0)
+
+let test_table_renders () =
+  let t = Util.Table.create ~columns:[ ("name", Util.Table.Left); ("x", Util.Table.Right) ] in
+  Util.Table.add_row t [ "alpha"; "1.5" ];
+  Util.Table.add_rule t;
+  Util.Table.add_row t [ "b"; "10.25" ];
+  let s = Util.Table.to_string t in
+  Alcotest.(check bool) "contains header" true (contains_substring s "name");
+  Alcotest.(check bool) "contains cell" true (contains_substring s "alpha")
+
+let test_table_alignment () =
+  let t = Util.Table.create ~columns:[ ("c", Util.Table.Right) ] in
+  Util.Table.add_row t [ "7" ];
+  let s = Util.Table.to_string t in
+  (* right-aligned single char under header width 1: "| 7 |" *)
+  Alcotest.(check bool) "has cell" true (contains_substring s "| 7 |")
+
+let test_table_mismatch () =
+  let t = Util.Table.create ~columns:[ ("a", Util.Table.Left) ] in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Table.add_row: cell count mismatch")
+    (fun () -> Util.Table.add_row t [ "x"; "y" ])
+
+let test_fmt_float () =
+  Alcotest.(check string) "default" "1.500" (Util.Table.fmt_float 1.5);
+  Alcotest.(check string) "digits" "1.50" (Util.Table.fmt_float ~digits:2 1.5)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "arrayx",
+        [
+          Alcotest.test_case "float_range basics" `Quick test_float_range;
+          Alcotest.test_case "float_range negative span" `Quick test_float_range_negative;
+          Alcotest.test_case "float_range rejects count<2" `Quick test_float_range_invalid;
+          Alcotest.test_case "argmax" `Quick test_argmax;
+          Alcotest.test_case "argmin" `Quick test_argmin;
+          Alcotest.test_case "argmax empty raises" `Quick test_arg_empty;
+          Alcotest.test_case "sum and mean" `Quick test_sum_mean;
+          Alcotest.test_case "max_abs" `Quick test_max_abs;
+          Alcotest.test_case "sort_desc_with_perm" `Quick test_sort_desc_with_perm;
+          Alcotest.test_case "sort perm roundtrip" `Quick test_sort_perm_roundtrip;
+        ] );
+      ( "timer",
+        [
+          Alcotest.test_case "elapsed non-negative" `Quick test_timer_positive;
+          Alcotest.test_case "time wraps result" `Quick test_timer_time;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "renders headers" `Quick test_table_renders;
+          Alcotest.test_case "renders cells" `Quick test_table_alignment;
+          Alcotest.test_case "row width mismatch raises" `Quick test_table_mismatch;
+          Alcotest.test_case "fmt_float" `Quick test_fmt_float;
+        ] );
+    ]
