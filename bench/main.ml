@@ -5,7 +5,7 @@
      subcommands: fig1 fig3a fig3b fig4 fig5 fig6a fig6b table1 eigtime
                   ablate-quad ablate-mesh ablate-eig ablate-kernel
                   ablate-recon ablate-basis ablate-qmc blocksta powergrid
-                  micro all  (default: all)
+                  smoke micro all  (default: all)
      options:
        --samples N      Monte Carlo samples per run (default 2000; the paper
                         uses 100K — error columns shrink accordingly)
@@ -14,6 +14,8 @@
        --full           run every Table 1 circuit within the memory guard
        --mesh-frac F    max triangle area fraction (default 0.001 -> n~1546)
        --seed N         master seed (default 1)
+       -j/--jobs N      worker domains for the parallel paths (1 = sequential;
+                        default: available cores). Results do not depend on it.
 *)
 
 module P = Geometry.Point
@@ -26,6 +28,7 @@ type options = {
   mutable full : bool;
   mutable mesh_frac : float;
   mutable seed : int;
+  mutable jobs : int option;
 }
 
 let opts =
@@ -36,6 +39,7 @@ let opts =
     full = false;
     mesh_frac = 0.001;
     seed = 1;
+    jobs = None;
   }
 
 let pf fmt = Printf.printf fmt
@@ -72,7 +76,9 @@ let paper_solution =
      let count = min 200 (Geometry.Mesh.size mesh) in
      let sol, dt =
        Util.Timer.time (fun () ->
-           Kle.Galerkin.solve ~solver:(Kle.Galerkin.Lanczos { count }) mesh kernel)
+           Kle.Galerkin.solve
+             ~solver:(Kle.Galerkin.Lanczos { count })
+             ?jobs:opts.jobs mesh kernel)
      in
      paper_solution_time := dt;
      pf "[lab] KLE eigensolution: first %d pairs in %.2fs (paper: 11.2s in Matlab)\n%!"
@@ -264,10 +270,10 @@ let reference_mc setup ~samples =
   let proc = Ssta.Process.paper_default () in
   let a1, prep_dt =
     Util.Timer.time (fun () ->
-        Ssta.Algorithm1.prepare proc setup.Ssta.Experiment.locations)
+        Ssta.Algorithm1.prepare ?jobs:opts.jobs proc setup.Ssta.Experiment.locations)
   in
   let mc =
-    Ssta.Experiment.run_mc setup
+    Ssta.Experiment.run_mc ?jobs:opts.jobs setup
       ~sampler:(Ssta.Algorithm1.sample_block a1)
       ~seed:(opts.seed + 100) ~n:samples
   in
@@ -277,7 +283,7 @@ let kle_mc setup ~model ~samples ~seed =
   let sample, expansion_dt =
     a2_sampler_of_model model setup.Ssta.Experiment.locations
   in
-  let mc = Ssta.Experiment.run_mc setup ~sampler:sample ~seed ~n:samples in
+  let mc = Ssta.Experiment.run_mc ?jobs:opts.jobs setup ~sampler:sample ~seed ~n:samples in
   (mc, expansion_dt)
 
 let fig6a () =
@@ -415,7 +421,9 @@ let eigtime () =
   header "Eigenpair computation time (paper Sec 5.2: 11.2s in Matlab)";
   let mesh = Lazy.force paper_mesh in
   let kernel = Lazy.force paper_kernel in
-  let _, dt_assemble = Util.Timer.time (fun () -> Kle.Galerkin.assemble mesh kernel) in
+  let _, dt_assemble =
+    Util.Timer.time (fun () -> Kle.Galerkin.assemble ?jobs:opts.jobs mesh kernel)
+  in
   ignore (Lazy.force paper_solution);
   pf "matrix assembly (n = %d): %.2fs\n" (Geometry.Mesh.size mesh) dt_assemble;
   pf "Lanczos top-200 eigensolution: %.2fs (see [lab] line above)\n" !paper_solution_time
@@ -883,8 +891,66 @@ let micro () =
   in
   List.iter
     (fun (name, ns) -> Util.Table.add_row t [ name; human ns ])
-    (List.sort compare !rows);
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) !rows);
   Util.Table.print t
+
+(* ---------------------------------------------------------------- *)
+(* smoke: fast CI check of the domain-parallel paths — asserts that a tiny
+   Galerkin assembly and a small Monte Carlo run are bit-identical at -j 1
+   and -j 2, and prints their timings *)
+
+let smoke () =
+  header "Smoke: parallel paths bit-identical across -j (tiny fixtures)";
+  let mesh = Geometry.Mesh.uniform Geometry.Rect.unit_die ~divisions:6 in
+  let kernel = Lazy.force paper_kernel in
+  let assemble jobs = Kle.Galerkin.assemble ~jobs mesh kernel in
+  let c1, dt1 = Util.Timer.time (fun () -> assemble 1) in
+  let c2, dt2 = Util.Timer.time (fun () -> assemble 2) in
+  let mats_equal x y =
+    let rx = Linalg.Mat.raw x and ry = Linalg.Mat.raw y in
+    let n = Bigarray.Array1.dim rx in
+    assert (n = Bigarray.Array1.dim ry);
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      if Bigarray.Array1.unsafe_get rx i <> Bigarray.Array1.unsafe_get ry i then
+        ok := false
+    done;
+    !ok
+  in
+  if not (mats_equal c1 c2) then begin
+    pf "FAIL: Galerkin assembly differs between -j 1 and -j 2\n";
+    exit 1
+  end;
+  pf "galerkin assemble n=%d: -j 1 %.3fs, -j 2 %.3fs — bit-identical\n"
+    (Geometry.Mesh.size mesh) dt1 dt2;
+  let netlist =
+    Circuit.Generator.generate
+      { Circuit.Generator.name = "smoke"; n_gates = 160; n_inputs = 12;
+        n_outputs = 10; dff_fraction = 0.0; seed = 7 }
+  in
+  let setup = Ssta.Experiment.setup_circuit netlist in
+  let proc = Ssta.Process.paper_default () in
+  let a1s = Ssta.Algorithm1.prepare ~jobs:1 proc setup.Ssta.Experiment.locations in
+  let sampler = Ssta.Algorithm1.sample_block a1s in
+  let run jobs =
+    Util.Timer.time (fun () ->
+        Ssta.Experiment.run_mc ~jobs ~batch:64 setup ~sampler ~seed:opts.seed ~n:200)
+  in
+  let r1, mdt1 = run 1 in
+  let r2, mdt2 = run 2 in
+  let same =
+    r1.Ssta.Experiment.worst_mean = r2.Ssta.Experiment.worst_mean
+    && r1.Ssta.Experiment.worst_sigma = r2.Ssta.Experiment.worst_sigma
+    && r1.Ssta.Experiment.endpoint_mean = r2.Ssta.Experiment.endpoint_mean
+    && r1.Ssta.Experiment.endpoint_sigma = r2.Ssta.Experiment.endpoint_sigma
+  in
+  if not same then begin
+    pf "FAIL: run_mc differs between -j 1 and -j 2\n";
+    exit 1
+  end;
+  pf "run_mc %d gates x 200 samples: -j 1 %.3fs, -j 2 %.3fs — bit-identical\n"
+    (Circuit.Netlist.logic_gate_count netlist) mdt1 mdt2;
+  pf "smoke OK\n"
 
 (* ---------------------------------------------------------------- *)
 
@@ -913,9 +979,9 @@ let usage () =
   pf
     "usage: main.exe [fig1|fig3a|fig3b|fig4|fig5|fig6a|fig6b|table1|eigtime|\n\
     \                 ablate-quad|ablate-mesh|ablate-eig|ablate-kernel|ablate-recon|ablate-basis|\n\
-    \                 micro|all]\n\
+    \                 smoke|micro|all]\n\
     \                [--samples N] [--table-samples N] [--max-gates N] [--full]\n\
-    \                [--mesh-frac F] [--seed N]\n"
+    \                [--mesh-frac F] [--seed N] [-j N]\n"
 
 let () =
   let commands = ref [] in
@@ -938,6 +1004,9 @@ let () =
         parse rest
     | "--seed" :: v :: rest ->
         opts.seed <- int_of_string v;
+        parse rest
+    | ("-j" | "--jobs") :: v :: rest ->
+        opts.jobs <- Some (int_of_string v);
         parse rest
     | ("--help" | "-h") :: _ ->
         usage ();
@@ -966,6 +1035,7 @@ let () =
     | "blocksta" -> blocksta ()
     | "ablate-qmc" -> ablate_qmc ()
     | "powergrid" -> powergrid ()
+    | "smoke" -> smoke ()
     | "micro" -> micro ()
     | "all" -> all ()
     | other ->

@@ -8,7 +8,7 @@
 
 open Cmdliner
 
-let run circuit_name bench_file samples sampler_kind grid r seed verbose =
+let run circuit_name bench_file samples sampler_kind grid r seed jobs verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
@@ -45,7 +45,7 @@ let run circuit_name bench_file samples sampler_kind grid r seed verbose =
   let sampler, label, kle_models =
     match sampler_kind with
     | `Cholesky ->
-        let a1 = Ssta.Algorithm1.prepare process setup.Ssta.Experiment.locations in
+        let a1 = Ssta.Algorithm1.prepare ?jobs process setup.Ssta.Experiment.locations in
         Printf.printf "Algorithm 1 setup: %.2fs\n" (Ssta.Algorithm1.setup_seconds a1);
         (Ssta.Algorithm1.sample_block a1, "cholesky (Algorithm 1)", None)
     | `Kle ->
@@ -53,7 +53,7 @@ let run circuit_name bench_file samples sampler_kind grid r seed verbose =
           { Ssta.Algorithm2.paper_config with r = (if r > 0 then Some r else None) }
         in
         let a2 =
-          Ssta.Algorithm2.prepare ~config process setup.Ssta.Experiment.locations
+          Ssta.Algorithm2.prepare ~config ?jobs process setup.Ssta.Experiment.locations
         in
         Printf.printf "Algorithm 2 setup: %.2fs (mesh n = %d, r = %d)\n"
           (Ssta.Algorithm2.setup_seconds a2)
@@ -72,7 +72,7 @@ let run circuit_name bench_file samples sampler_kind grid r seed verbose =
           (100.0 *. Ssta.Grid_pca.explained_variance_fraction g);
         (Ssta.Grid_pca.sample_block g, "grid + PCA baseline", None)
   in
-  let mc = Ssta.Experiment.run_mc setup ~sampler ~seed ~n:samples in
+  let mc = Ssta.Experiment.run_mc ?jobs setup ~sampler ~seed ~n:samples in
   Printf.printf "\n%s, %d samples:\n" label samples;
   Printf.printf "  worst delay: mu = %.1f ps, sigma = %.2f ps\n"
     mc.Ssta.Experiment.worst_mean mc.Ssta.Experiment.worst_sigma;
@@ -90,7 +90,7 @@ let run circuit_name bench_file samples sampler_kind grid r seed verbose =
         (Ssta.Block_ssta.mean blk) (Ssta.Block_ssta.sigma blk);
       let crit = Ssta.Block_ssta.criticalities ~samples:5000 ~seed blk in
       let order = Array.init (Array.length crit) (fun i -> i) in
-      Array.sort (fun a b -> compare crit.(b) crit.(a)) order;
+      Array.sort (fun a b -> Float.compare crit.(b) crit.(a)) order;
       Printf.printf "most critical endpoints (gate: probability):\n";
       Array.iteri
         (fun rank e ->
@@ -128,6 +128,15 @@ let r_arg =
 
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ]
+        ~doc:
+          "Worker domains for covariance assembly and Monte Carlo timing (1 = \
+           sequential; default: available cores). Results do not depend on it.")
+
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
 
 let cmd =
@@ -136,6 +145,6 @@ let cmd =
     (Cmd.info "ssta_demo" ~doc)
     Term.(
       const run $ circuit_arg $ bench_file_arg $ samples_arg $ sampler_arg $ grid_arg
-      $ r_arg $ seed_arg $ verbose_arg)
+      $ r_arg $ seed_arg $ jobs_arg $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -144,7 +144,7 @@ let generate spec =
     Hashtbl.replace outputs cand ()
   done;
   let outputs = Array.of_seq (Hashtbl.to_seq_keys outputs) in
-  Array.sort compare outputs;
+  Array.sort Int.compare outputs;
   Netlist.make ~name:spec.name ~gates ~outputs
 
 let paper_suite =

@@ -117,7 +117,7 @@ let endpoints t =
     t.gates;
   let l = Hashtbl.fold (fun k () acc -> k :: acc) set [] in
   let a = Array.of_list l in
-  Array.sort compare a;
+  Array.sort Int.compare a;
   a
 
 let levels t =

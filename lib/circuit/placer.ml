@@ -94,7 +94,7 @@ let legalize rng positions members (die : Geometry.Rect.t) locations =
       let sorted = Array.copy members in
       Array.sort
         (fun a b ->
-          match compare key.(a) key.(b) with 0 -> compare a b | c -> c)
+          match Float.compare key.(a) key.(b) with 0 -> Int.compare a b | c -> c)
         sorted;
       let half = m / 2 in
       let left = Array.sub sorted 0 half in

@@ -55,7 +55,7 @@ let exp_1d ~c ~half_width ~count =
     Array.init count (fun i -> make Even (even_root (i + 1)))
     |> Array.append (Array.init count (fun i -> make Odd (odd_root (i + 1))))
   in
-  Array.sort (fun p q -> compare q.lambda p.lambda) pairs;
+  Array.sort (fun p q -> Float.compare q.lambda p.lambda) pairs;
   Array.sub pairs 0 count
 
 let eval_1d p x =
@@ -80,7 +80,7 @@ let exp_2d ~c ~rect ~count =
                { lambda = px.(i).lambda *. q.lambda; fx = px.(i); fy = q })
              py))
   in
-  Array.sort (fun p q -> compare q.lambda p.lambda) all;
+  Array.sort (fun p q -> Float.compare q.lambda p.lambda) all;
   Array.sub all 0 count
 
 let eval_2d ~rect p (pt : Geometry.Point.t) =

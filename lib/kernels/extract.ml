@@ -109,4 +109,4 @@ let extract ~locations ~samples ?(families = default_families) () =
            sse = fit.Fit.sse;
            valid = Validity.is_psd_on fit.Fit.kernel check_pts;
          })
-  |> List.sort (fun a b -> compare a.sse b.sse)
+  |> List.sort (fun a b -> Float.compare a.sse b.sse)

@@ -1,13 +1,18 @@
-let gram k pts =
+let gram ?jobs k pts =
   let n = Array.length pts in
   let m = Linalg.Mat.create n n in
-  for i = 0 to n - 1 do
-    for j = i to n - 1 do
-      let v = Kernel.eval k pts.(i) pts.(j) in
-      Linalg.Mat.unsafe_set m i j v;
-      Linalg.Mat.unsafe_set m j i v
-    done
-  done;
+  (* same upper-triangle row decomposition as Kle.Galerkin.assemble: each
+     row owns its (i, j >= i) pairs, so the fan-out is race-free and
+     bit-identical for any domain count *)
+  Util.Pool.with_jobs ?jobs (fun pool ->
+      Util.Pool.parallel_for pool ~chunk:8 ~n (fun lo hi ->
+          for i = lo to hi - 1 do
+            for j = i to n - 1 do
+              let v = Kernel.eval k pts.(i) pts.(j) in
+              Linalg.Mat.unsafe_set m i j v;
+              Linalg.Mat.unsafe_set m j i v
+            done
+          done));
   m
 
 let min_eigenvalue k pts =

@@ -6,8 +6,10 @@
     suite uses them to confirm e.g. that the Gaussian family is valid while
     the isotropic linear cone in 2-D is not guaranteed to be. *)
 
-val gram : Kernel.t -> Geometry.Point.t array -> Linalg.Mat.t
-(** [gram k pts] is the matrix [K(pts_i, pts_j)]. *)
+val gram : ?jobs:int -> Kernel.t -> Geometry.Point.t array -> Linalg.Mat.t
+(** [gram k pts] is the matrix [K(pts_i, pts_j)]. The O(n²) kernel
+    evaluations fan out over [jobs] domains ({!Util.Pool.with_jobs}
+    semantics); the matrix is bit-identical for every [jobs]. *)
 
 val min_eigenvalue : Kernel.t -> Geometry.Point.t array -> float
 (** Smallest eigenvalue of the Gram matrix on the given points. *)

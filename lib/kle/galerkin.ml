@@ -37,18 +37,24 @@ let mean_kernel_value quadrature mesh kernel =
         done;
         !acc /. 9.0
 
-let assemble ?(quadrature = Centroid) mesh kernel =
+let assemble ?(quadrature = Centroid) ?jobs mesh kernel =
   let n = Mesh.size mesh in
   let mean = mean_kernel_value quadrature mesh kernel in
   let sqrt_area = Array.map sqrt mesh.Mesh.areas in
   let c = Linalg.Mat.create n n in
-  for i = 0 to n - 1 do
-    for k = i to n - 1 do
-      let v = mean i k *. sqrt_area.(i) *. sqrt_area.(k) in
-      Linalg.Mat.unsafe_set c i k v;
-      Linalg.Mat.unsafe_set c k i v
-    done
-  done;
+  (* upper-triangle rows fan out over the pool: pair (i, k) with i <= k is
+     owned by row i alone, and it writes the two distinct cells (i, k) and
+     (k, i) — so any row partition gives a race-free, bit-identical matrix.
+     Small chunks keep the shrinking rows load-balanced. *)
+  Util.Pool.with_jobs ?jobs (fun pool ->
+      Util.Pool.parallel_for pool ~chunk:8 ~n (fun lo hi ->
+          for i = lo to hi - 1 do
+            for k = i to n - 1 do
+              let v = mean i k *. sqrt_area.(i) *. sqrt_area.(k) in
+              Linalg.Mat.unsafe_set c i k v;
+              Linalg.Mat.unsafe_set c k i v
+            done
+          done));
   c
 
 let trace mesh kernel =
@@ -64,10 +70,10 @@ let trace mesh kernel =
 
 let default_solver n = if n <= 600 then Dense else Lanczos { count = min n 200 }
 
-let solve ?(quadrature = Centroid) ?solver mesh kernel =
+let solve ?(quadrature = Centroid) ?solver ?jobs mesh kernel =
   let n = Mesh.size mesh in
   let solver = match solver with Some s -> s | None -> default_solver n in
-  let c = assemble ~quadrature mesh kernel in
+  let c = assemble ~quadrature ?jobs mesh kernel in
   let raw_values, raw_vectors_cols =
     match solver with
     | Dense ->

@@ -34,12 +34,21 @@ type solution = {
          eigenfunction, normalized to L²(D) *)
 }
 
-val assemble : ?quadrature:quadrature -> Geometry.Mesh.t -> Kernels.Kernel.t -> Linalg.Mat.t
-(** [assemble mesh kernel] is the symmetric matrix [C] above (n x n). *)
+val assemble :
+  ?quadrature:quadrature ->
+  ?jobs:int ->
+  Geometry.Mesh.t ->
+  Kernels.Kernel.t ->
+  Linalg.Mat.t
+(** [assemble mesh kernel] is the symmetric matrix [C] above (n x n). The
+    O(n²) kernel evaluations are spread over [jobs] domains
+    ({!Util.Pool.with_jobs} semantics: default = the shared pool, [1] =
+    sequential); the result is bit-identical for every [jobs]. *)
 
 val solve :
   ?quadrature:quadrature ->
   ?solver:solver ->
+  ?jobs:int ->
   Geometry.Mesh.t ->
   Kernels.Kernel.t ->
   solution

@@ -89,41 +89,56 @@ let sub a b =
 
 let scale s m = init m.rows m.cols (fun i j -> s *. unsafe_get m i j)
 
+(* Row blocks above this many flops are fanned out over the domain pool;
+   each output row is produced by exactly one domain, so the result is
+   bit-identical to the sequential loop for any pool size. *)
+let parallel_flops = 1 lsl 20
+
 (* i-k-j loop order keeps the inner loop streaming over contiguous rows of
    both [b] and the accumulator, which matters at covariance-matrix sizes. *)
 let mul a b =
   if a.cols <> b.rows then invalid_arg "Mat.mul: inner dimension mismatch";
   let c = create a.rows b.cols in
   let bc = b.cols in
-  for i = 0 to a.rows - 1 do
-    let ci = i * bc in
-    for k = 0 to a.cols - 1 do
-      let aik = unsafe_get a i k in
-      if aik <> 0.0 then begin
-        let bk = k * bc in
-        for j = 0 to bc - 1 do
-          Bigarray.Array1.unsafe_set c.data (ci + j)
-            (Bigarray.Array1.unsafe_get c.data (ci + j)
-            +. (aik *. Bigarray.Array1.unsafe_get b.data (bk + j)))
-        done
-      end
+  let rows lo hi =
+    for i = lo to hi - 1 do
+      let ci = i * bc in
+      for k = 0 to a.cols - 1 do
+        let aik = unsafe_get a i k in
+        if aik <> 0.0 then begin
+          let bk = k * bc in
+          for j = 0 to bc - 1 do
+            Bigarray.Array1.unsafe_set c.data (ci + j)
+              (Bigarray.Array1.unsafe_get c.data (ci + j)
+              +. (aik *. Bigarray.Array1.unsafe_get b.data (bk + j)))
+          done
+        end
+      done
     done
-  done;
+  in
+  if a.rows > 1 && a.rows * a.cols * bc >= parallel_flops then
+    Util.Pool.parallel_for (Util.Pool.default ()) ~n:a.rows rows
+  else rows 0 a.rows;
   c
 
 let mul_vec m x =
   if Array.length x <> m.cols then invalid_arg "Mat.mul_vec: length mismatch";
   let y = Array.make m.rows 0.0 in
-  for i = 0 to m.rows - 1 do
-    let base = i * m.cols in
-    let acc = ref 0.0 in
-    for j = 0 to m.cols - 1 do
-      acc :=
-        !acc
-        +. (Bigarray.Array1.unsafe_get m.data (base + j) *. Array.unsafe_get x j)
-    done;
-    y.(i) <- !acc
-  done;
+  let rows lo hi =
+    for i = lo to hi - 1 do
+      let base = i * m.cols in
+      let acc = ref 0.0 in
+      for j = 0 to m.cols - 1 do
+        acc :=
+          !acc
+          +. (Bigarray.Array1.unsafe_get m.data (base + j) *. Array.unsafe_get x j)
+      done;
+      y.(i) <- !acc
+    done
+  in
+  if m.rows > 1 && m.rows * m.cols >= parallel_flops then
+    Util.Pool.parallel_for (Util.Pool.default ()) ~n:m.rows rows
+  else rows 0 m.rows;
   y
 
 let mul_vec_transposed m x =

@@ -29,7 +29,7 @@ let of_triplets ~n entries =
   let cols = Array.make nnz 0 in
   let values = Array.make nnz 0.0 in
   for i = 0 to n - 1 do
-    let sorted = List.sort (fun (a, _) (b, _) -> compare a b) per_row.(i) in
+    let sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) per_row.(i) in
     List.iteri
       (fun k (j, v) ->
         cols.(row_start.(i) + k) <- j;

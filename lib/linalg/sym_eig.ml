@@ -205,7 +205,7 @@ let eig_values a =
 
 let tridiag_ql d e =
   tql2 d e;
-  Array.sort compare d;
+  Array.sort Float.compare d;
   d
 
 let tridiag_ql_vectors d e z =

@@ -17,6 +17,21 @@ let create ~seed =
   let s3 = splitmix64 state in
   { s0; s1; s2; s3 }
 
+let substream ~seed ~stream =
+  (* counter-based derivation: hash seed and stream index independently
+     through splitmix64 and combine, so stream k of a run is a fixed
+     function of (seed, k) — no generator state is threaded between
+     streams, which lets batches be sampled in any order or in parallel
+     while staying bit-reproducible *)
+  let a = ref (Int64.of_int seed) in
+  let b = ref (Int64.lognot (Int64.of_int stream)) in
+  let state = ref (Int64.logxor (splitmix64 a) (splitmix64 b)) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
 let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 
 let bits64 t =

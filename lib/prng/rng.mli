@@ -14,6 +14,13 @@ val split : t -> t
 (** [split t] derives an independent generator stream and advances [t];
     used to give each process parameter / circuit its own stream. *)
 
+val substream : seed:int -> stream:int -> t
+(** [substream ~seed ~stream] is the [stream]-th counter-derived generator
+    of master seed [seed]: a pure function of the pair, with no state
+    threaded between substreams. Used to give each Monte Carlo batch its
+    own stream so batches can be generated in any order (or in parallel)
+    while the whole experiment stays bit-reproducible. *)
+
 val copy : t -> t
 (** Snapshot of the current state. *)
 

@@ -3,7 +3,7 @@ type t = {
   setup_seconds : float;
 }
 
-let prepare (process : Process.t) locations =
+let prepare ?jobs (process : Process.t) locations =
   let timer = Util.Timer.start () in
   (* share the Cholesky factor between parameters with identical kernels;
      sample draws stay independent *)
@@ -12,7 +12,7 @@ let prepare (process : Process.t) locations =
     match List.assoc_opt kernel !cache with
     | Some s -> s
     | None ->
-        let cov = Kernels.Validity.gram kernel locations in
+        let cov = Kernels.Validity.gram ?jobs kernel locations in
         let s = Prng.Mvn.of_covariance cov in
         cache := (kernel, s) :: !cache;
         s

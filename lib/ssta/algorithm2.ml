@@ -14,7 +14,7 @@ type t = {
   setup_seconds : float;
 }
 
-let prepare ?(config = paper_config) ?mesh (process : Process.t) locations =
+let prepare ?(config = paper_config) ?mesh ?jobs (process : Process.t) locations =
   let timer = Util.Timer.start () in
   let mesh =
     match mesh with
@@ -37,7 +37,7 @@ let prepare ?(config = paper_config) ?mesh (process : Process.t) locations =
     match List.assoc_opt kernel !cache with
     | Some m -> m
     | None ->
-        let solution = Kle.Galerkin.solve ~solver mesh kernel in
+        let solution = Kle.Galerkin.solve ~solver ?jobs mesh kernel in
         let m = Kle.Model.create ?r:config.r solution in
         cache := (kernel, m) :: !cache;
         m

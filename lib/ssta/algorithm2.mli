@@ -23,12 +23,15 @@ type t
 val prepare :
   ?config:config ->
   ?mesh:Geometry.Mesh.t ->
+  ?jobs:int ->
   Process.t ->
   Geometry.Point.t array ->
   t
 (** [prepare process locations] meshes the die (unless [mesh] is given),
     solves the Galerkin KLE for each distinct kernel, and builds the
-    per-location expansion matrices. *)
+    per-location expansion matrices. [jobs] controls the domain fan-out of
+    the O(n²) Galerkin assembly ({!Util.Pool.with_jobs} semantics); results
+    do not depend on it. *)
 
 val setup_seconds : t -> float
 (** Wall time for meshing + eigensolution + expansion setup. *)

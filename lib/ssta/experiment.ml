@@ -33,57 +33,88 @@ type mc_result = {
   sta_seconds : float;
 }
 
-let run_mc ?(batch = 256) setup ~sampler ~seed ~n =
+(* Samples per accumulator range inside a batch. Fixed (never derived from
+   the pool size) so the Welford merge tree — and therefore every output
+   bit — is identical for any [jobs]. *)
+let sta_chunk = 32
+
+let run_mc ?(batch = 256) ?jobs setup ~sampler ~seed ~n =
   if n <= 0 then invalid_arg "Experiment.run_mc: n must be positive";
-  let rng = Prng.Rng.create ~seed in
+  if batch <= 0 then invalid_arg "Experiment.run_mc: batch must be positive";
   let n_gates_total = Netlist.size setup.netlist in
   let n_logic = Array.length setup.logic_ids in
   let n_endpoints = Array.length setup.sta.Sta.Timing.endpoints in
-  let worst = Stats.Welford.create () in
+  let worst = ref (Stats.Welford.create ()) in
   let endpoint_acc = Array.init n_endpoints (fun _ -> Stats.Welford.create ()) in
   let sample_seconds = ref 0.0 in
   let sta_seconds = ref 0.0 in
-  (* scatter buffers: full-size parameter arrays, zero at Input gates *)
-  let l = Array.make n_gates_total 0.0 in
-  let w = Array.make n_gates_total 0.0 in
-  let vt = Array.make n_gates_total 0.0 in
-  let tox = Array.make n_gates_total 0.0 in
-  let remaining = ref n in
-  while !remaining > 0 do
-    let b = min batch !remaining in
-    remaining := !remaining - b;
-    let blocks, dt = Util.Timer.time (fun () -> sampler rng ~n:b) in
-    sample_seconds := !sample_seconds +. dt;
-    (match blocks with
-    | [| _; _; _; _ |] -> ()
-    | _ -> invalid_arg "Experiment.run_mc: sampler must return 4 parameter blocks");
-    let bl = blocks.(0) and bw = blocks.(1) and bvt = blocks.(2) and btox = blocks.(3) in
-    if Linalg.Mat.cols bl <> n_logic then
-      invalid_arg "Experiment.run_mc: sampler block width mismatch";
-    let rl = Linalg.Mat.raw bl and rw = Linalg.Mat.raw bw in
-    let rvt = Linalg.Mat.raw bvt and rtox = Linalg.Mat.raw btox in
-    let t0 = Util.Timer.start () in
-    for i = 0 to b - 1 do
-      let row = i * n_logic in
-      for g = 0 to n_logic - 1 do
-        let id = Array.unsafe_get setup.logic_ids g in
-        Array.unsafe_set l id (Bigarray.Array1.unsafe_get rl (row + g));
-        Array.unsafe_set w id (Bigarray.Array1.unsafe_get rw (row + g));
-        Array.unsafe_set vt id (Bigarray.Array1.unsafe_get rvt (row + g));
-        Array.unsafe_set tox id (Bigarray.Array1.unsafe_get rtox (row + g))
-      done;
-      let result = Sta.Timing.run setup.sta ~l ~w ~vt ~tox in
-      Stats.Welford.add worst result.Sta.Timing.worst_delay;
-      Array.iteri
-        (fun e a -> Stats.Welford.add endpoint_acc.(e) a)
-        result.Sta.Timing.endpoint_arrivals
-    done;
-    sta_seconds := !sta_seconds +. Util.Timer.elapsed_s t0
-  done;
+  Util.Pool.with_jobs ?jobs (fun pool ->
+      let n_batches = (n + batch - 1) / batch in
+      for bi = 0 to n_batches - 1 do
+        let b = min batch (n - (bi * batch)) in
+        (* each batch draws from its own counter-derived substream, so the
+           sample set is a pure function of (seed, batch) *)
+        let rng = Prng.Rng.substream ~seed ~stream:bi in
+        let blocks, dt = Util.Timer.time (fun () -> sampler rng ~n:b) in
+        sample_seconds := !sample_seconds +. dt;
+        (match blocks with
+        | [| _; _; _; _ |] -> ()
+        | _ -> invalid_arg "Experiment.run_mc: sampler must return 4 parameter blocks");
+        Array.iter
+          (fun blk ->
+            if Linalg.Mat.cols blk <> n_logic then
+              invalid_arg "Experiment.run_mc: sampler block width mismatch";
+            if Linalg.Mat.rows blk <> b then
+              invalid_arg "Experiment.run_mc: sampler block row-count mismatch")
+          blocks;
+        let rl = Linalg.Mat.raw blocks.(0) and rw = Linalg.Mat.raw blocks.(1) in
+        let rvt = Linalg.Mat.raw blocks.(2) and rtox = Linalg.Mat.raw blocks.(3) in
+        let n_ranges = (b + sta_chunk - 1) / sta_chunk in
+        let range_worst = Array.init n_ranges (fun _ -> Stats.Welford.create ()) in
+        let range_endpoints =
+          Array.init n_ranges (fun _ ->
+              Array.init n_endpoints (fun _ -> Stats.Welford.create ()))
+        in
+        let t0 = Util.Timer.start () in
+        Util.Pool.parallel_for pool ~chunk:sta_chunk ~n:b (fun lo hi ->
+            let ri = lo / sta_chunk in
+            let w_acc = range_worst.(ri) and e_acc = range_endpoints.(ri) in
+            (* per-range scatter buffers: full-size parameter arrays, zero
+               at Input gates; never shared across domains *)
+            let l = Array.make n_gates_total 0.0 in
+            let w = Array.make n_gates_total 0.0 in
+            let vt = Array.make n_gates_total 0.0 in
+            let tox = Array.make n_gates_total 0.0 in
+            for i = lo to hi - 1 do
+              let row = i * n_logic in
+              for g = 0 to n_logic - 1 do
+                let id = Array.unsafe_get setup.logic_ids g in
+                Array.unsafe_set l id (Bigarray.Array1.unsafe_get rl (row + g));
+                Array.unsafe_set w id (Bigarray.Array1.unsafe_get rw (row + g));
+                Array.unsafe_set vt id (Bigarray.Array1.unsafe_get rvt (row + g));
+                Array.unsafe_set tox id (Bigarray.Array1.unsafe_get rtox (row + g))
+              done;
+              let result = Sta.Timing.run setup.sta ~l ~w ~vt ~tox in
+              Stats.Welford.add w_acc result.Sta.Timing.worst_delay;
+              Array.iteri
+                (fun e a -> Stats.Welford.add e_acc.(e) a)
+                result.Sta.Timing.endpoint_arrivals
+            done);
+        sta_seconds := !sta_seconds +. Util.Timer.elapsed_s t0;
+        (* combine per-range accumulators in fixed range order — the merge
+           tree depends only on (n, batch, sta_chunk), not on the pool *)
+        for ri = 0 to n_ranges - 1 do
+          worst := Stats.Welford.merge !worst range_worst.(ri);
+          let re = range_endpoints.(ri) in
+          for e = 0 to n_endpoints - 1 do
+            endpoint_acc.(e) <- Stats.Welford.merge endpoint_acc.(e) re.(e)
+          done
+        done
+      done);
   {
     n_samples = n;
-    worst_mean = Stats.Welford.mean worst;
-    worst_sigma = Stats.Welford.std_dev worst;
+    worst_mean = Stats.Welford.mean !worst;
+    worst_sigma = Stats.Welford.std_dev !worst;
     endpoint_mean = Array.map Stats.Welford.mean endpoint_acc;
     endpoint_sigma = Array.map Stats.Welford.std_dev endpoint_acc;
     sample_seconds = !sample_seconds;
@@ -112,14 +143,21 @@ let compare ~reference ~reference_setup_seconds ~candidate ~candidate_setup_seco
   let sigma_err_avg =
     if n_end = 0 || Array.length candidate.endpoint_sigma <> n_end then nan
     else begin
-      let acc = ref 0.0 in
+      (* endpoints with zero reference sigma (e.g. constant arrival times)
+         carry no relative-error information — skip them rather than
+         poisoning the average with inf/nan *)
+      let acc = ref 0.0 and counted = ref 0 in
       for e = 0 to n_end - 1 do
-        acc :=
-          !acc
-          +. Float.abs (candidate.endpoint_sigma.(e) -. reference.endpoint_sigma.(e))
-             /. Float.abs reference.endpoint_sigma.(e)
+        let ref_sigma = Float.abs reference.endpoint_sigma.(e) in
+        if ref_sigma > 0.0 then begin
+          acc :=
+            !acc
+            +. Float.abs (candidate.endpoint_sigma.(e) -. reference.endpoint_sigma.(e))
+               /. ref_sigma;
+          incr counted
+        end
       done;
-      100.0 *. !acc /. float_of_int n_end
+      if !counted = 0 then nan else 100.0 *. !acc /. float_of_int !counted
     end
   in
   let total r setup = setup +. r.sample_seconds +. r.sta_seconds in

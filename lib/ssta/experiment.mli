@@ -31,13 +31,25 @@ type mc_result = {
 
 val run_mc :
   ?batch:int ->
+  ?jobs:int ->
   circuit_setup ->
   sampler:sampler ->
   seed:int ->
   n:int ->
   mc_result
-(** Run [n] Monte Carlo STA samples (generated in batches of [batch],
-    default 256, to bound memory). *)
+(** Run [n] Monte Carlo STA samples, generated in batches of [batch]
+    (default 256, bounds memory). Each batch draws from its own
+    counter-derived RNG substream ({!Prng.Rng.substream} of [(seed, batch
+    index)]), and the per-sample timing runs inside a batch are fanned out
+    over [jobs] domains ({!Util.Pool.with_jobs} semantics). Results are a
+    pure function of [(setup, sampler, seed, n, batch)] — bit-identical for
+    every [jobs] value, including sequential.
+
+    The sampler must return exactly four [b x N_g] blocks (l, w, vt, tox)
+    for a batch of [b]; both dimensions are validated.
+
+    @raise Invalid_argument if [n <= 0], [batch <= 0], or the sampler
+    returns blocks of the wrong shape. *)
 
 type comparison = {
   e_mu_pct : float; (* |Δmean| as % of reference mean *)
@@ -56,4 +68,8 @@ val compare :
 (** Paper metrics. [speedup] compares end-to-end times including each
     sampler's per-circuit setup (Cholesky for Algorithm 1, expansion-matrix
     construction for Algorithm 2) — the KLE eigensolution itself is circuit-
-    independent and reported separately, as in the paper. *)
+    independent and reported separately, as in the paper.
+
+    Endpoints whose reference sigma is exactly zero (constant arrivals)
+    are excluded from [sigma_err_avg_outputs_pct]; if every endpoint is
+    excluded the metric is [nan]. *)

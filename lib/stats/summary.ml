@@ -29,7 +29,7 @@ let quantile a p =
   if n = 0 then invalid_arg "Summary.quantile: empty array";
   if p < 0.0 || p > 1.0 then invalid_arg "Summary.quantile: p outside [0, 1]";
   let sorted = Array.copy a in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   if n = 1 then sorted.(0)
   else begin
     let pos = p *. float_of_int (n - 1) in

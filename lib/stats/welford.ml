@@ -15,8 +15,8 @@ let mean t =
   t.mean
 
 let variance t =
-  if t.n < 2 then invalid_arg "Welford.variance: needs at least two samples";
-  t.m2 /. float_of_int (t.n - 1)
+  if t.n = 0 then invalid_arg "Welford.variance: empty accumulator";
+  if t.n = 1 then 0.0 else t.m2 /. float_of_int (t.n - 1)
 
 let std_dev t = sqrt (variance t)
 

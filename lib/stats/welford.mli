@@ -15,10 +15,11 @@ val mean : t -> float
 (** Raises [Invalid_argument] when empty. *)
 
 val variance : t -> float
-(** Unbiased sample variance. Raises [Invalid_argument] with fewer than two
-    samples. *)
+(** Unbiased sample variance; [0.0] for a single sample (a lone Monte Carlo
+    draw has no observed spread). Raises [Invalid_argument] when empty. *)
 
 val std_dev : t -> float
+(** [sqrt (variance t)] — same single-sample and empty behaviour. *)
 
 val merge : t -> t -> t
 (** Combine two accumulators (Chan's parallel formula). *)

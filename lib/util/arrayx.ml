@@ -25,6 +25,6 @@ let mean a =
 let sort_desc_with_perm a =
   let n = Array.length a in
   let perm = Array.init n (fun i -> i) in
-  Array.sort (fun i j -> compare a.(j) a.(i)) perm;
+  Array.sort (fun i j -> Float.compare a.(j) a.(i)) perm;
   let sorted = Array.map (fun i -> a.(i)) perm in
   (sorted, perm)

@@ -1,0 +1,65 @@
+(** A fixed pool of worker domains for data-parallel loops (OCaml 5
+    [Domain]s, stdlib only).
+
+    The pool executes one chunked parallel-for at a time: the index range
+    [0, n) is cut into fixed-size chunks and worker domains (plus the
+    calling domain) grab chunks from a shared atomic counter until the
+    range is exhausted. Because the {e set} of chunk ranges depends only on
+    [n] and [chunk] — never on how many domains serve them — callers that
+    allocate one result slot per chunk and combine slots in chunk order get
+    results that are bit-identical for any pool size, including the
+    sequential fallback.
+
+    Nested calls (a [parallel_for] body calling [parallel_for], on any
+    pool) run sequentially in the calling domain, so library code can
+    parallelize unconditionally without risking deadlock or domain
+    oversubscription. *)
+
+type t
+(** A pool of worker domains. A pool of size 1 has no workers and runs
+    everything sequentially in the caller. *)
+
+val create : ?num_domains:int -> unit -> t
+(** [create ~num_domains ()] spawns [num_domains] worker domains
+    (clamped at 0). Default: [Domain.recommended_domain_count () - 1].
+    The pool's {!size} is [num_domains + 1]: the submitting domain always
+    participates. *)
+
+val size : t -> int
+(** Number of domains that serve a job: workers + the caller. *)
+
+val seq : t
+(** The statically-allocated sequential pool ([size] = 1, no domains). *)
+
+val default : unit -> t
+(** The shared global pool, created on first use with the default domain
+    count. Never shut down by [with_jobs]. *)
+
+val default_if_created : unit -> t option
+(** The global pool if {!default} has already been forced, without
+    creating it. *)
+
+val with_jobs : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_jobs ?jobs f] runs [f] with a pool of [jobs] total domains:
+    [None] uses {!default}; [jobs <= 1] uses {!seq}; any other count
+    reuses the global pool when the size matches and otherwise creates a
+    dedicated pool that is shut down when [f] returns (or raises). *)
+
+val parallel_for : t -> ?chunk:int -> n:int -> (int -> int -> unit) -> unit
+(** [parallel_for t ~chunk ~n body] calls [body lo hi] for every chunk
+    range [\[lo, hi)] covering [\[0, n)], where [hi - lo <= chunk] and
+    [lo] is always a multiple of [chunk]. Ranges execute concurrently on
+    the pool's domains; each range executes exactly once. [body] must not
+    assume any ordering between ranges and must only write to disjoint
+    state per range (or index). The first exception raised by any [body]
+    is re-raised in the caller after all domains finish.
+
+    Default [chunk] balances ~8 chunks per domain; pass an explicit
+    [chunk] when per-chunk state must be independent of the pool size.
+    Runs sequentially (in increasing range order) when [size t = 1], when
+    called from inside another [parallel_for] body, or when [n <= chunk]. *)
+
+val shutdown : t -> unit
+(** Join the pool's workers. Idempotent. Calling [parallel_for] on a
+    shut-down pool runs sequentially. [shutdown seq] and shutting down the
+    {!default} pool are no-ops. *)

@@ -345,7 +345,7 @@ let test_extract_sorted_by_sse () =
   let _, locations, samples = Lazy.force extraction_fixture in
   let results = Kernels.Extract.extract ~locations ~samples () in
   let sses = List.map (fun (e : Kernels.Extract.extraction) -> e.sse) results in
-  Alcotest.(check bool) "sorted" true (List.sort compare sses = sses)
+  Alcotest.(check bool) "sorted" true (List.sort Float.compare sses = sses)
 
 let test_correlogram_input_validation () =
   let _, locations, _ = Lazy.force extraction_fixture in

@@ -98,7 +98,7 @@ let test_shuffle_permutation () =
   let a = Array.init 50 (fun i -> i) in
   Prng.Rng.shuffle_in_place rng a;
   let sorted = Array.copy a in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
 
 (* ---------- Gaussian ---------- *)
@@ -201,7 +201,7 @@ let test_halton_stratification_beats_random () =
   let n = 512 in
   let max_gap pts =
     let a = Array.copy pts in
-    Array.sort compare a;
+    Array.sort Float.compare a;
     let g = ref a.(0) in
     for i = 1 to n - 1 do
       g := Float.max !g (a.(i) -. a.(i - 1))

@@ -295,6 +295,94 @@ let test_run_mc_rejects_bad_n () =
     | _ -> false
     | exception Invalid_argument _ -> true)
 
+let test_run_mc_rejects_bad_sampler_shape () =
+  (* regression: block width was validated but row count was not, so a
+     misbehaving sampler read stale/garbage rows instead of failing *)
+  let s = Lazy.force setup in
+  let n_logic = Array.length s.Ssta.Experiment.logic_ids in
+  let raises sampler =
+    match Ssta.Experiment.run_mc s ~sampler ~seed:1 ~n:8 with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  let short_rows _rng ~n = Array.init 4 (fun _ -> Linalg.Mat.create (n - 1) n_logic) in
+  Alcotest.(check bool) "short rows raise" true (raises short_rows);
+  let narrow _rng ~n = Array.init 4 (fun _ -> Linalg.Mat.create n (n_logic - 1)) in
+  Alcotest.(check bool) "narrow blocks raise" true (raises narrow);
+  let three_blocks _rng ~n = Array.init 3 (fun _ -> Linalg.Mat.create n n_logic) in
+  Alcotest.(check bool) "3 blocks raise" true (raises three_blocks)
+
+let test_run_mc_single_sample () =
+  (* regression: n = 1 crashed because Welford.std_dev raised for n < 2 *)
+  let s = Lazy.force setup in
+  let a2 = Lazy.force a2_fixture in
+  let r =
+    Ssta.Experiment.run_mc s ~sampler:(Ssta.Algorithm2.sample_block a2) ~seed:5 ~n:1
+  in
+  Alcotest.(check int) "one sample" 1 r.Ssta.Experiment.n_samples;
+  check_close ~tol:0.0 "sigma is 0 for a single sample" 0.0 r.Ssta.Experiment.worst_sigma;
+  Alcotest.(check bool) "mean finite" true (Float.is_finite r.Ssta.Experiment.worst_mean);
+  Array.iter
+    (fun sd -> check_close ~tol:0.0 "endpoint sigma 0" 0.0 sd)
+    r.Ssta.Experiment.endpoint_sigma
+
+let test_run_mc_jobs_bit_identical () =
+  (* the tentpole determinism contract: results are a pure function of
+     (setup, sampler, seed, n, batch) — any jobs count gives the same bits *)
+  let s = Lazy.force setup in
+  let a2 = Lazy.force a2_fixture in
+  let run jobs =
+    Ssta.Experiment.run_mc ~jobs ~batch:48 s
+      ~sampler:(Ssta.Algorithm2.sample_block a2) ~seed:9 ~n:150
+  in
+  let r1 = run 1 and r2 = run 2 and r4 = run 4 in
+  List.iter
+    (fun (label, r) ->
+      check_close ~tol:0.0 (label ^ " mean") r1.Ssta.Experiment.worst_mean
+        r.Ssta.Experiment.worst_mean;
+      check_close ~tol:0.0 (label ^ " sigma") r1.Ssta.Experiment.worst_sigma
+        r.Ssta.Experiment.worst_sigma;
+      Alcotest.(check (array (float 0.0)))
+        (label ^ " endpoint means")
+        r1.Ssta.Experiment.endpoint_mean r.Ssta.Experiment.endpoint_mean;
+      Alcotest.(check (array (float 0.0)))
+        (label ^ " endpoint sigmas")
+        r1.Ssta.Experiment.endpoint_sigma r.Ssta.Experiment.endpoint_sigma)
+    [ ("jobs=2", r2); ("jobs=4", r4) ]
+
+let test_compare_skips_zero_sigma_endpoints () =
+  (* regression: a zero-sigma reference endpoint turned the Fig. 6 average
+     into inf/nan instead of being excluded *)
+  let mk sigmas =
+    {
+      Ssta.Experiment.n_samples = 10;
+      worst_mean = 100.0;
+      worst_sigma = 10.0;
+      endpoint_mean = Array.map (fun _ -> 100.0) sigmas;
+      endpoint_sigma = sigmas;
+      sample_seconds = 1.0;
+      sta_seconds = 1.0;
+    }
+  in
+  let cmp =
+    Ssta.Experiment.compare
+      ~reference:(mk [| 10.0; 0.0; 20.0 |])
+      ~reference_setup_seconds:0.0
+      ~candidate:(mk [| 11.0; 0.5; 22.0 |])
+      ~candidate_setup_seconds:0.0
+  in
+  (* zero-sigma endpoint skipped: average of 10% and 10% over 2 endpoints *)
+  check_close ~tol:1e-9 "zero-sigma endpoint excluded" 10.0
+    cmp.Ssta.Experiment.sigma_err_avg_outputs_pct;
+  let all_zero =
+    Ssta.Experiment.compare
+      ~reference:(mk [| 0.0; 0.0 |])
+      ~reference_setup_seconds:0.0 ~candidate:(mk [| 1.0; 2.0 |])
+      ~candidate_setup_seconds:0.0
+  in
+  Alcotest.(check bool) "all-zero reference gives nan" true
+    (Float.is_nan all_zero.Ssta.Experiment.sigma_err_avg_outputs_pct)
+
 (* ---------- Canonical forms ---------- *)
 
 let canon ~mean ~sens ~indep = Ssta.Canonical.make ~mean ~sens ~indep
@@ -508,5 +596,11 @@ let () =
           Alcotest.test_case "algorithms agree (paper claim)" `Slow test_algorithms_agree;
           Alcotest.test_case "compare metrics" `Quick test_compare_metrics_known;
           Alcotest.test_case "bad n rejected" `Quick test_run_mc_rejects_bad_n;
+          Alcotest.test_case "bad sampler shape rejected" `Quick
+            test_run_mc_rejects_bad_sampler_shape;
+          Alcotest.test_case "single sample" `Quick test_run_mc_single_sample;
+          Alcotest.test_case "jobs bit-identical" `Quick test_run_mc_jobs_bit_identical;
+          Alcotest.test_case "compare skips zero-sigma endpoints" `Quick
+            test_compare_skips_zero_sigma_endpoints;
         ] );
     ]

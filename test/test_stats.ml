@@ -41,6 +41,19 @@ let test_welford_merge_empty () =
   let merged = Stats.Welford.merge a (Stats.Welford.create ()) in
   check_close "mean preserved" 4.0 (Stats.Welford.mean merged)
 
+let test_welford_single_sample () =
+  (* regression: variance/std_dev raised for n = 1, crashing run_mc ~n:1 *)
+  let w = Stats.Welford.create () in
+  Stats.Welford.add w 42.0;
+  check_close "mean" 42.0 (Stats.Welford.mean w);
+  check_close ~tol:0.0 "variance is 0" 0.0 (Stats.Welford.variance w);
+  check_close ~tol:0.0 "std_dev is 0" 0.0 (Stats.Welford.std_dev w);
+  (* the empty accumulator must still raise *)
+  let empty = Stats.Welford.create () in
+  Alcotest.check_raises "empty variance raises"
+    (Invalid_argument "Welford.variance: empty accumulator") (fun () ->
+      ignore (Stats.Welford.variance empty))
+
 (* ---------- Summary ---------- *)
 
 let test_summary_fields () =
@@ -168,6 +181,43 @@ let prop_mean_within_range =
       s.Stats.Summary.mean >= s.Stats.Summary.min -. 1e-9
       && s.Stats.Summary.mean <= s.Stats.Summary.max +. 1e-9)
 
+let welford_of_list l =
+  let w = Stats.Welford.create () in
+  List.iter (Stats.Welford.add w) l;
+  w
+
+let welford_close a b =
+  Stats.Welford.count a = Stats.Welford.count b
+  && Float.abs (Stats.Welford.mean a -. Stats.Welford.mean b) < 1e-9
+  && Float.abs (Stats.Welford.variance a -. Stats.Welford.variance b) < 1e-9
+
+let arb_nonempty =
+  QCheck.(list_of_size Gen.(int_range 1 40) (float_range (-100.0) 100.0))
+
+let prop_merge_associative =
+  QCheck.Test.make ~name:"Welford.merge is associative" ~count:100
+    QCheck.(triple arb_nonempty arb_nonempty arb_nonempty)
+    (fun (la, lb, lc) ->
+      let a () = welford_of_list la
+      and b () = welford_of_list lb
+      and c () = welford_of_list lc in
+      welford_close
+        (Stats.Welford.merge (Stats.Welford.merge (a ()) (b ())) (c ()))
+        (Stats.Welford.merge (a ()) (Stats.Welford.merge (b ()) (c ()))))
+
+let prop_merge_permutation_invariant =
+  QCheck.Test.make ~name:"Welford.merge is order-insensitive" ~count:100
+    QCheck.(triple arb_nonempty arb_nonempty arb_nonempty)
+    (fun (la, lb, lc) ->
+      let merged order =
+        List.fold_left
+          (fun acc l -> Stats.Welford.merge acc (welford_of_list l))
+          (Stats.Welford.create ()) order
+      in
+      let sequential = welford_of_list (la @ lb @ lc) in
+      welford_close (merged [ la; lb; lc ]) (merged [ lc; la; lb ])
+      && welford_close (merged [ la; lb; lc ]) sequential)
+
 let () =
   Alcotest.run "stats"
     [
@@ -178,6 +228,7 @@ let () =
           Alcotest.test_case "empty raises" `Quick test_welford_empty_raises;
           Alcotest.test_case "merge equivalence" `Quick test_welford_merge;
           Alcotest.test_case "merge with empty" `Quick test_welford_merge_empty;
+          Alcotest.test_case "single sample" `Quick test_welford_single_sample;
         ] );
       ( "summary",
         [
@@ -205,5 +256,6 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_quantile_monotone; prop_variance_nonneg; prop_mean_within_range ] );
+          [ prop_quantile_monotone; prop_variance_nonneg; prop_mean_within_range;
+            prop_merge_associative; prop_merge_permutation_invariant ] );
     ]

@@ -85,6 +85,85 @@ let test_table_mismatch () =
   Alcotest.check_raises "mismatch" (Invalid_argument "Table.add_row: cell count mismatch")
     (fun () -> Util.Table.add_row t [ "x"; "y" ])
 
+(* ---------- Pool ---------- *)
+
+let test_pool_covers_all_indices () =
+  let pool = Util.Pool.create ~num_domains:3 () in
+  Fun.protect
+    ~finally:(fun () -> Util.Pool.shutdown pool)
+    (fun () ->
+      let n = 1013 in
+      let hits = Array.make n 0 in
+      let lock = Mutex.create () in
+      Util.Pool.parallel_for pool ~chunk:7 ~n (fun lo hi ->
+          Alcotest.(check bool) "lo chunk-aligned" true (lo mod 7 = 0);
+          Alcotest.(check bool) "range non-empty" true (lo < hi && hi <= n);
+          Mutex.lock lock;
+          for i = lo to hi - 1 do
+            hits.(i) <- hits.(i) + 1
+          done;
+          Mutex.unlock lock);
+      Array.iteri
+        (fun i c -> Alcotest.(check int) (Printf.sprintf "index %d hit once" i) 1 c)
+        hits)
+
+let test_pool_seq_matches_parallel () =
+  let sum_with pool =
+    let acc = Atomic.make 0 in
+    Util.Pool.parallel_for pool ~chunk:16 ~n:500 (fun lo hi ->
+        let s = ref 0 in
+        for i = lo to hi - 1 do
+          s := !s + i
+        done;
+        ignore (Atomic.fetch_and_add acc !s));
+    Atomic.get acc
+  in
+  let pool = Util.Pool.create ~num_domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Util.Pool.shutdown pool)
+    (fun () ->
+      Alcotest.(check int) "seq and parallel sums equal" (sum_with Util.Pool.seq)
+        (sum_with pool);
+      Alcotest.(check int) "expected sum" (500 * 499 / 2) (sum_with pool))
+
+let test_pool_propagates_exception () =
+  let pool = Util.Pool.create ~num_domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Util.Pool.shutdown pool)
+    (fun () ->
+      Alcotest.(check bool) "body exception re-raised in caller" true
+        (match
+           Util.Pool.parallel_for pool ~chunk:1 ~n:64 (fun lo _ ->
+               if lo = 13 then failwith "boom")
+         with
+        | () -> false
+        | exception Failure m -> m = "boom");
+      (* the pool must stay usable after a failed job *)
+      let count = Atomic.make 0 in
+      Util.Pool.parallel_for pool ~chunk:1 ~n:10 (fun lo hi ->
+          ignore (Atomic.fetch_and_add count (hi - lo)));
+      Alcotest.(check int) "pool alive after exception" 10 (Atomic.get count))
+
+let test_pool_nested_runs_sequentially () =
+  let pool = Util.Pool.create ~num_domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Util.Pool.shutdown pool)
+    (fun () ->
+      let inner_total = Atomic.make 0 in
+      Util.Pool.parallel_for pool ~chunk:4 ~n:16 (fun _ _ ->
+          (* a nested parallel_for must degrade to sequential, not deadlock *)
+          Util.Pool.parallel_for pool ~chunk:2 ~n:8 (fun lo hi ->
+              ignore (Atomic.fetch_and_add inner_total (hi - lo))));
+      Alcotest.(check int) "nested bodies all ran" (4 * 8) (Atomic.get inner_total))
+
+let test_pool_with_jobs () =
+  Alcotest.(check int) "jobs:1 gives the sequential pool" 1
+    (Util.Pool.with_jobs ~jobs:1 Util.Pool.size);
+  Alcotest.(check int) "jobs:3 gives 3 lanes" 3
+    (Util.Pool.with_jobs ~jobs:3 Util.Pool.size);
+  Alcotest.(check bool) "jobs:0 clamps to sequential" true
+    (Util.Pool.with_jobs ~jobs:0 Util.Pool.size = 1)
+
 let test_fmt_float () =
   Alcotest.(check string) "default" "1.500" (Util.Table.fmt_float 1.5);
   Alcotest.(check string) "digits" "1.50" (Util.Table.fmt_float ~digits:2 1.5)
@@ -116,5 +195,15 @@ let () =
           Alcotest.test_case "renders cells" `Quick test_table_alignment;
           Alcotest.test_case "row width mismatch raises" `Quick test_table_mismatch;
           Alcotest.test_case "fmt_float" `Quick test_fmt_float;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "covers all indices exactly once" `Quick
+            test_pool_covers_all_indices;
+          Alcotest.test_case "seq matches parallel" `Quick test_pool_seq_matches_parallel;
+          Alcotest.test_case "exception propagates" `Quick test_pool_propagates_exception;
+          Alcotest.test_case "nested call runs sequentially" `Quick
+            test_pool_nested_runs_sequentially;
+          Alcotest.test_case "with_jobs sizes" `Quick test_pool_with_jobs;
         ] );
     ]
