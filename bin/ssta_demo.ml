@@ -4,11 +4,15 @@
    Examples:
      ssta_demo --circuit c1908 --samples 2000
      ssta_demo --circuit c3540 --sampler grid --grid 8 -r 25
-     ssta_demo --bench-file my_netlist.bench --sampler kle *)
+     ssta_demo --bench-file my_netlist.bench --sampler kle
+     ssta_demo --sampler kle --compare               # vs. Algorithm 1
+     ssta_demo --fault sampler-nan --on-nonfinite skip
+     ssta_demo --strict                              # degraded run = failure *)
 
 open Cmdliner
 
-let run circuit_name bench_file samples sampler_kind grid r seed jobs verbose =
+let run circuit_name bench_file samples sampler_kind grid r seed jobs strict fault
+    policy do_compare verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
@@ -29,7 +33,31 @@ let run circuit_name bench_file samples sampler_kind grid r seed jobs verbose =
               (String.concat ", " (List.map fst Circuit.Generator.paper_suite));
             exit 1)
   in
-  let setup = Ssta.Experiment.setup_circuit netlist in
+  let pipeline = Ssta.Pipeline.create ~strict ?jobs () in
+  let diag = Ssta.Pipeline.diagnostics pipeline in
+  let print_diag () =
+    let events = Util.Diag.events diag in
+    let shown =
+      if verbose then events
+      else
+        List.filter
+          (fun e -> Util.Diag.severity_rank e.Util.Diag.severity >= 1)
+          events
+    in
+    if shown <> [] then begin
+      Printf.printf "\ndiagnostics (%d of %d events):\n" (List.length shown)
+        (List.length events);
+      List.iter (fun e -> Printf.printf "  %s\n" (Util.Diag.to_string e)) shown
+    end
+  in
+  let ok = function
+    | Ok v -> v
+    | Error e ->
+        Printf.eprintf "pipeline error: %s\n" (Util.Diag.to_string e);
+        print_diag ();
+        exit 1
+  in
+  let setup = ok (Ssta.Pipeline.setup_circuit pipeline netlist) in
   Printf.printf "%s: %d logic gates, %d endpoints\n" netlist.Circuit.Netlist.name
     (Circuit.Netlist.logic_gate_count netlist)
     (Array.length setup.Ssta.Experiment.sta.Sta.Timing.endpoints);
@@ -41,26 +69,59 @@ let run circuit_name bench_file samples sampler_kind grid r seed jobs verbose =
     netlist.Circuit.Netlist.gates.(slack.Sta.Timing.critical_path.(0)).Circuit.Netlist.name
     netlist.Circuit.Netlist.gates.(
       slack.Sta.Timing.critical_path.(Array.length slack.Sta.Timing.critical_path - 1)).Circuit.Netlist.name;
-  let process = Ssta.Process.paper_default () in
-  let sampler, label, kle_models =
+  (* validate the pristine process first, then (optionally) decorate its
+     kernels with the fault plan so the injected NaN hits the numeric
+     stages — assembly / factorization — rather than the spot check *)
+  let process = ok (Ssta.Pipeline.validate_process pipeline (Ssta.Process.paper_default ())) in
+  let process =
+    match fault with
+    | `Kernel_nan ->
+        Printf.printf "fault injection: NaN at the first kernel evaluation\n";
+        let parameters =
+          Array.map
+            (fun (p : Ssta.Process.parameter) ->
+              { p with kernel = Ssta.Fault_inject.kernel (Util.Fault.plan Util.Fault.Nan) p.kernel })
+            process.Ssta.Process.parameters
+        in
+        { Ssta.Process.parameters }
+    | _ -> process
+  in
+  let prepare_cholesky () =
+    let prepared = ok (Ssta.Pipeline.prepare pipeline Ssta.Pipeline.Cholesky process setup) in
+    (match prepared with
+    | Ssta.Pipeline.Cholesky_prepared a1 ->
+        Printf.printf "Algorithm 1 setup: %.2fs\n" (Ssta.Algorithm1.setup_seconds a1)
+    | _ -> ());
+    prepared
+  in
+  let sampler, setup_seconds, label, kle_models =
     match sampler_kind with
     | `Cholesky ->
-        let a1 = Ssta.Algorithm1.prepare ?jobs process setup.Ssta.Experiment.locations in
-        Printf.printf "Algorithm 1 setup: %.2fs\n" (Ssta.Algorithm1.setup_seconds a1);
-        (Ssta.Algorithm1.sample_block a1, "cholesky (Algorithm 1)", None)
+        let prepared = prepare_cholesky () in
+        ( Ssta.Pipeline.sampler_of prepared,
+          Ssta.Pipeline.setup_seconds_of prepared,
+          "cholesky (Algorithm 1)",
+          None )
     | `Kle ->
         let config =
           { Ssta.Algorithm2.paper_config with r = (if r > 0 then Some r else None) }
         in
-        let a2 =
-          Ssta.Algorithm2.prepare ~config ?jobs process setup.Ssta.Experiment.locations
+        let prepared =
+          ok (Ssta.Pipeline.prepare pipeline (Ssta.Pipeline.Kle config) process setup)
         in
-        Printf.printf "Algorithm 2 setup: %.2fs (mesh n = %d, r = %d)\n"
-          (Ssta.Algorithm2.setup_seconds a2)
-          (Ssta.Algorithm2.mesh_size a2) (Ssta.Algorithm2.r a2);
-        ( Ssta.Algorithm2.sample_block a2,
+        let models =
+          match prepared with
+          | Ssta.Pipeline.Kle_prepared a2 ->
+              Printf.printf "Algorithm 2 setup: %.2fs (mesh n = %d, r = %d)\n"
+                (Ssta.Algorithm2.setup_seconds a2)
+                (Ssta.Algorithm2.mesh_size a2) (Ssta.Algorithm2.r a2);
+              Some (Ssta.Algorithm2.models a2)
+          | _ -> None
+        in
+        ( Ssta.Pipeline.sampler_of prepared,
+          Ssta.Pipeline.setup_seconds_of prepared,
           "covariance-kernel KLE (Algorithm 2)",
-          Some (Ssta.Algorithm2.models a2) )
+          models )
     | `Grid ->
         let g =
           Ssta.Grid_pca.prepare ~grid
@@ -70,18 +131,64 @@ let run circuit_name bench_file samples sampler_kind grid r seed jobs verbose =
         Printf.printf "grid+PCA setup: %dx%d grid, r = %d, %.1f%% variance\n" grid grid
           (Ssta.Grid_pca.r g)
           (100.0 *. Ssta.Grid_pca.explained_variance_fraction g);
-        (Ssta.Grid_pca.sample_block g, "grid + PCA baseline", None)
+        (Ssta.Grid_pca.sample_block g, 0.0, "grid + PCA baseline", None)
   in
-  let mc = Ssta.Experiment.run_mc ?jobs setup ~sampler ~seed ~n:samples in
+  let sampler =
+    match fault with
+    | `Sampler_nan ->
+        Printf.printf "fault injection: NaN in the first sampler batch\n";
+        let faulty, _fired =
+          Ssta.Fault_inject.sampler ~kind:Util.Fault.Nan ~diag ~seed sampler
+        in
+        faulty
+    | _ -> sampler
+  in
+  let run_mc sampler =
+    match Ssta.Experiment.run_mc ?jobs ~policy ~diag setup ~sampler ~seed ~n:samples with
+    | mc -> mc
+    | exception Util.Diag.Failure e ->
+        Printf.eprintf "pipeline error: %s\n" (Util.Diag.to_string e);
+        print_diag ();
+        exit 1
+  in
+  let mc = run_mc sampler in
   Printf.printf "\n%s, %d samples:\n" label samples;
+  if mc.Ssta.Experiment.n_skipped > 0 then
+    Printf.printf "  skipped %d samples with non-finite parameters\n"
+      mc.Ssta.Experiment.n_skipped;
   Printf.printf "  worst delay: mu = %.1f ps, sigma = %.2f ps\n"
     mc.Ssta.Experiment.worst_mean mc.Ssta.Experiment.worst_sigma;
   Printf.printf "  3-sigma corner: %.1f ps\n"
     (mc.Ssta.Experiment.worst_mean +. (3.0 *. mc.Ssta.Experiment.worst_sigma));
   Printf.printf "  time: %.2fs sampling + %.2fs STA\n" mc.Ssta.Experiment.sample_seconds
     mc.Ssta.Experiment.sta_seconds;
+  (if do_compare then
+     match sampler_kind with
+     | `Cholesky ->
+         Printf.printf "\n--compare: the candidate already is the reference sampler\n"
+     | `Kle | `Grid ->
+         let reference_prepared = prepare_cholesky () in
+         let reference = run_mc (Ssta.Pipeline.sampler_of reference_prepared) in
+         let cmp =
+           Ssta.Experiment.compare ~reference
+             ~reference_setup_seconds:(Ssta.Pipeline.setup_seconds_of reference_prepared)
+             ~candidate:mc ~candidate_setup_seconds:setup_seconds
+         in
+         Printf.printf "\nvs. cholesky reference (%d samples):\n"
+           reference.Ssta.Experiment.n_samples;
+         Printf.printf "  e_mu = %.3f%%, e_sigma = %.2f%%\n" cmp.Ssta.Experiment.e_mu_pct
+           cmp.Ssta.Experiment.e_sigma_pct;
+         (let v = cmp.Ssta.Experiment.sigma_err_avg_outputs_pct in
+          let excl = cmp.Ssta.Experiment.excluded_endpoints in
+          if Float.is_nan v then
+            Printf.printf "  per-endpoint sigma error: n/a (%d endpoints excluded)\n" excl
+          else if excl > 0 then
+            Printf.printf "  per-endpoint sigma error: %.2f%% avg (%d endpoints excluded)\n"
+              v excl
+          else Printf.printf "  per-endpoint sigma error: %.2f%% avg\n" v);
+         Printf.printf "  speedup: %.1fx\n" cmp.Ssta.Experiment.speedup);
   (* with the KLE sampler we can also run the single-pass block engine *)
-  match kle_models with
+  (match kle_models with
   | Some models ->
       let blk = Ssta.Block_ssta.run setup ~models in
       Printf.printf
@@ -100,7 +207,12 @@ let run circuit_name bench_file samples sampler_kind grid r seed jobs verbose =
                 setup.Ssta.Experiment.sta.Sta.Timing.endpoints.(e)).Circuit.Netlist.name
               (100.0 *. crit.(e)))
         order
-  | None -> ()
+  | None -> ());
+  print_diag ();
+  if strict && Util.Diag.count ~min_severity:Util.Diag.Warning diag > 0 then begin
+    Printf.eprintf "strict mode: the run degraded (see diagnostics above)\n";
+    exit 1
+  end
 
 let circuit_arg =
   Arg.(value & opt string "c880" & info [ "c"; "circuit" ] ~doc:"Paper benchmark circuit name.")
@@ -137,6 +249,44 @@ let jobs_arg =
           "Worker domains for covariance assembly and Monte Carlo timing (1 = \
            sequential; default: available cores). Results do not depend on it.")
 
+let strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Treat degraded numerics (jittered/repaired factorizations, solver \
+           fallbacks, skipped samples) as errors: fail the pipeline stage, or exit \
+           non-zero if the run only degraded later.")
+
+let fault_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("none", `None); ("kernel-nan", `Kernel_nan); ("sampler-nan", `Sampler_nan) ])
+        `None
+    & info [ "fault" ]
+        ~doc:
+          "Deterministic fault injection (for exercising the guards): corrupt the \
+           first kernel evaluation or the first sampler batch with a NaN.")
+
+let policy_arg =
+  Arg.(
+    value
+    & opt (enum [ ("fail", Ssta.Experiment.Fail); ("skip", Ssta.Experiment.Skip) ])
+        Ssta.Experiment.Fail
+    & info [ "on-nonfinite" ]
+        ~doc:
+          "Monte Carlo policy for non-finite parameter samples: fail with a typed \
+           diagnostic, or skip (and count) the offending samples.")
+
+let compare_arg =
+  Arg.(
+    value & flag
+    & info [ "compare" ]
+        ~doc:
+          "Also run the Algorithm 1 (cholesky) reference with the same seed and \
+           print the paper's comparison metrics.")
+
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
 
 let cmd =
@@ -145,6 +295,7 @@ let cmd =
     (Cmd.info "ssta_demo" ~doc)
     Term.(
       const run $ circuit_arg $ bench_file_arg $ samples_arg $ sampler_arg $ grid_arg
-      $ r_arg $ seed_arg $ jobs_arg $ verbose_arg)
+      $ r_arg $ seed_arg $ jobs_arg $ strict_arg $ fault_arg $ policy_arg $ compare_arg
+      $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

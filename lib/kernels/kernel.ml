@@ -11,6 +11,7 @@ type t =
   | Linear_cone of { rho : float }
   | Spherical of { rho : float }
   | Anisotropic_gaussian of { cx : float; cy : float }
+  | Faulty of { base : t; plan : Util.Fault.plan }
 
 (* Matérn radial profile, eq. (6) of the paper:
    K(v) = 2 (bv/2)^{s-1} B_{s-1}(bv) / Γ(s-1), normalized so K(0) = 1.
@@ -28,8 +29,9 @@ let matern_profile ~b ~s v =
     2.0 *. exp log_term
   end
 
-let profile t v =
+let rec profile t v =
   match t with
+  | Faulty { base; plan } -> Util.Fault.apply plan (profile base v)
   | Gaussian { c } -> exp (-.c *. v *. v)
   | Exponential { c } -> exp (-.c *. v)
   | Matern { b; s } -> matern_profile ~b ~s v
@@ -43,12 +45,14 @@ let profile t v =
   | Separable_exp_l1 _ | Radial_exponential _ | Anisotropic_gaussian _ ->
       invalid_arg "Kernel.profile: kernel is not isotropic"
 
-let is_isotropic = function
+let rec is_isotropic = function
   | Gaussian _ | Exponential _ | Matern _ | Linear_cone _ | Spherical _ -> true
   | Separable_exp_l1 _ | Radial_exponential _ | Anisotropic_gaussian _ -> false
+  | Faulty { base; _ } -> is_isotropic base
 
-let eval t x y =
+let rec eval t x y =
   match t with
+  | Faulty { base; plan } -> Util.Fault.apply plan (eval base x y)
   | Separable_exp_l1 { c } -> exp (-.c *. Point.dist_l1 x y)
   | Radial_exponential { c } ->
       exp (-.c *. Float.abs (Point.norm x -. Point.norm y))
@@ -61,7 +65,8 @@ let eval_distance t v =
   if v < 0.0 then invalid_arg "Kernel.eval_distance: negative distance";
   profile t v
 
-let name = function
+let rec name = function
+  | Faulty { base; _ } -> Printf.sprintf "faulty(%s)" (name base)
   | Gaussian { c } -> Printf.sprintf "gaussian(c=%g)" c
   | Exponential { c } -> Printf.sprintf "exponential(c=%g)" c
   | Separable_exp_l1 { c } -> Printf.sprintf "separable-exp-L1(c=%g)" c
@@ -72,7 +77,8 @@ let name = function
   | Anisotropic_gaussian { cx; cy } ->
       Printf.sprintf "anisotropic-gaussian(cx=%g, cy=%g)" cx cy
 
-let validate = function
+let rec validate = function
+  | Faulty { base; _ } -> validate base
   | Gaussian { c } | Exponential { c } | Separable_exp_l1 { c }
   | Radial_exponential { c } ->
       if c > 0.0 then Ok () else Error "decay rate c must be positive"

@@ -35,6 +35,12 @@ type t =
       (** [exp(-(cx dx² + cy dy²))]: different correlation lengths along the
           die axes (e.g. scan-direction lithography signatures). Valid
           (product of 1-D Gaussian kernels), but not isotropic. *)
+  | Faulty of { base : t; plan : Util.Fault.plan }
+      (** Fault-injection decorator: evaluates [base] and corrupts the
+          counter-selected evaluations per [plan] ({!Util.Fault}). Test-only
+          — lets the robustness suite drive the non-finite guards and PSD
+          fallback chains deterministically. [validate]/[is_isotropic]
+          delegate to [base]. *)
 
 val eval : t -> point -> point -> float
 (** [eval k x y] is K(x, y). *)

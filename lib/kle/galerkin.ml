@@ -70,24 +70,49 @@ let trace mesh kernel =
 
 let default_solver n = if n <= 600 then Dense else Lanczos { count = min n 200 }
 
-let solve ?(quadrature = Centroid) ?solver ?jobs mesh kernel =
+let solve ?(quadrature = Centroid) ?solver ?lanczos_max_dim ?diag ?jobs mesh kernel =
   let n = Mesh.size mesh in
   let solver = match solver with Some s -> s | None -> default_solver n in
   let c = assemble ~quadrature ?jobs mesh kernel in
+  (* stage guard: a NaN/inf anywhere in the Galerkin matrix would silently
+     poison the whole eigensolve — fail here with a typed diagnostic naming
+     the kernel and the offending element pair instead *)
+  (match Linalg.Mat.find_non_finite c with
+  | Some (i, k) ->
+      Util.Diag.fail ?sink:diag `Non_finite ~stage:"galerkin.assemble"
+        (Printf.sprintf
+           "kernel %s produced a non-finite Galerkin entry for element pair \
+            (%d, %d)"
+           (Kernel.name kernel) i k)
+  | None -> ());
+  let dense_cols count =
+    let vals, q = Linalg.Sym_eig.eig c in
+    (Array.sub vals 0 count, fun j -> Linalg.Mat.col q j)
+  in
   let raw_values, raw_vectors_cols =
     match solver with
-    | Dense ->
-        let vals, q = Linalg.Sym_eig.eig c in
-        (vals, fun j -> Linalg.Mat.col q j)
-    | Lanczos { count } ->
+    | Dense -> dense_cols n
+    | Lanczos { count } -> (
         if count <= 0 || count > n then
           invalid_arg "Galerkin.solve: Lanczos count out of range";
-        let r =
+        match
           Linalg.Lanczos.top_k
             ~matvec:(fun x -> Linalg.Mat.sym_mul_vec c x)
-            ~n ~k:count ()
-        in
-        (r.eigenvalues, fun j -> r.eigenvectors.(j))
+            ~n ~k:count ?max_dim:lanczos_max_dim ()
+        with
+        | r -> (r.eigenvalues, fun j -> r.eigenvectors.(j))
+        | exception Linalg.Lanczos.No_convergence { converged; wanted } ->
+            Util.Diag.record ?sink:diag Warning `No_convergence
+              ~stage:"galerkin.solve"
+              (Printf.sprintf "Lanczos converged %d of %d pairs for kernel %s"
+                 converged wanted (Kernel.name kernel));
+            Util.Diag.record ?sink:diag Warning `Degraded_fallback
+              ~stage:"galerkin.solve"
+              (Printf.sprintf
+                 "falling back to the dense QL eigensolver for the leading %d \
+                  pairs (n = %d)"
+                 count n);
+            dense_cols count)
   in
   let k = Array.length raw_values in
   (* validity check: a correct kernel's Galerkin matrix is PSD up to
@@ -96,10 +121,10 @@ let solve ?(quadrature = Centroid) ?solver ?jobs mesh kernel =
   Array.iter
     (fun v ->
       if v < -1e-8 *. scale *. float_of_int n then
-        invalid_arg
+        Util.Diag.fail ?sink:diag `Not_psd ~stage:"galerkin.solve"
           (Printf.sprintf
-             "Galerkin.solve: kernel %s is not non-negative definite on this \
-              mesh (eigenvalue %g)"
+             "kernel %s is not non-negative definite on this mesh (eigenvalue \
+              %g)"
              (Kernel.name kernel) v))
     raw_values;
   let eigenvalues = Array.map (fun v -> Float.max 0.0 v) raw_values in

@@ -48,14 +48,26 @@ val assemble :
 val solve :
   ?quadrature:quadrature ->
   ?solver:solver ->
+  ?lanczos_max_dim:int ->
+  ?diag:Util.Diag.sink ->
   ?jobs:int ->
   Geometry.Mesh.t ->
   Kernels.Kernel.t ->
   solution
 (** Solve the Galerkin eigenproblem. Default solver is [Dense] below 600
     triangles and [Lanczos {count = min n 200}] above. Eigenvalues are
-    clamped at 0 (tiny negative rounding values only; a genuinely indefinite
-    kernel raises [Invalid_argument]). *)
+    clamped at 0 (tiny negative rounding values only).
+
+    Robustness behaviour (all events recorded into [diag] when given):
+    - the assembled matrix is scanned for NaN/inf before the eigensolve;
+      a non-finite entry raises [Util.Diag.Failure] with [`Non_finite]
+      naming the kernel and element pair;
+    - a Lanczos run that fails to converge ([lanczos_max_dim] caps its
+      Krylov dimension, mainly for tests) falls back to the dense QL
+      solver for the same leading [count] pairs, recording
+      [`No_convergence] and [`Degraded_fallback] warnings;
+    - a genuinely indefinite kernel raises [Util.Diag.Failure] with
+      [`Not_psd]. *)
 
 val eigenvalue_sum_bound : solution -> float
 (** [Σ_j λ_j] over the computed pairs — for a normalized kernel the full sum

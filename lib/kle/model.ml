@@ -37,14 +37,29 @@ let create ?r solution =
 
 let eigenvalues t = Array.sub t.solution.Galerkin.eigenvalues 0 t.r
 
-let eval_eigenfunction t j x =
+(* containing triangle, falling back to the nearest triangle (with an
+   [`Out_of_domain] diagnostic) for points on or just outside the die
+   boundary — a gate placed exactly on the die edge must not kill a run *)
+let locate ?diag ~stage t x =
+  match Geometry.Locator.find t.locator x with
+  | Some tri -> tri
+  | None ->
+      let tri = Geometry.Locator.find_nearest t.locator x in
+      Util.Diag.record ?sink:diag Warning `Out_of_domain ~stage
+        (Printf.sprintf
+           "point (%g, %g) is outside the mesh; clamped to nearest triangle %d"
+           x.Geometry.Point.x x.Geometry.Point.y tri);
+      tri
+
+let eval_eigenfunction ?diag t j x =
   if j < 0 || j >= t.r then invalid_arg "Model.eval_eigenfunction: index out of range";
-  let tri = Geometry.Locator.find_exn t.locator x in
+  let tri = locate ?diag ~stage:"model.eval_eigenfunction" t x in
   Linalg.Mat.get t.solution.Galerkin.coefficients tri j
 
-let reconstruct_kernel t x y =
-  let tx = Geometry.Locator.find_exn t.locator x in
-  let ty = Geometry.Locator.find_exn t.locator y in
+let reconstruct_kernel ?diag t x y =
+  let stage = "model.reconstruct_kernel" in
+  let tx = locate ?diag ~stage t x in
+  let ty = locate ?diag ~stage t y in
   let coeffs = t.solution.Galerkin.coefficients in
   let lams = t.solution.Galerkin.eigenvalues in
   let acc = ref 0.0 in
@@ -142,8 +157,8 @@ let reconstruction_error_grid ?(grid = 41) ?fixed t =
       Float.max acc err)
     0.0 pts
 
-let variance_at t x =
-  let tx = Geometry.Locator.find_exn t.locator x in
+let variance_at ?diag t x =
+  let tx = locate ?diag ~stage:"model.variance_at" t x in
   let coeffs = t.solution.Galerkin.coefficients in
   let lams = t.solution.Galerkin.eigenvalues in
   let acc = ref 0.0 in

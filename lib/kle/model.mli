@@ -22,16 +22,21 @@ val choose_r : ?tolerance:float -> n_total:int -> float array -> int
     weight of ALL discarded eigenvalues, because eigenvalues are
     non-increasing. Returns [m] when no such [r] exists. *)
 
-val eval_eigenfunction : t -> int -> Geometry.Point.t -> float
+val eval_eigenfunction : ?diag:Util.Diag.sink -> t -> int -> Geometry.Point.t -> float
 (** [eval_eigenfunction t j x] evaluates the [j]-th (0-based) eigenfunction
     at die location [x] (piecewise constant on the mesh). Raises
-    [Invalid_argument] for [j >= r] and [Not_found] for [x] outside the die. *)
+    [Invalid_argument] for [j >= r]. A point outside the die — including
+    gates placed exactly on the die boundary that fall between boundary
+    triangles — is clamped to the nearest triangle, recording an
+    [`Out_of_domain] warning per clamp into [diag]. *)
 
 val eigenvalues : t -> float array
 (** The retained [r] eigenvalues, descending. *)
 
-val reconstruct_kernel : t -> Geometry.Point.t -> Geometry.Point.t -> float
-(** Truncated-series reconstruction [K̂(x, y) = Σ_{j<r} λ_j f_j(x) f_j(y)]. *)
+val reconstruct_kernel :
+  ?diag:Util.Diag.sink -> t -> Geometry.Point.t -> Geometry.Point.t -> float
+(** Truncated-series reconstruction [K̂(x, y) = Σ_{j<r} λ_j f_j(x) f_j(y)].
+    Out-of-domain points clamp to the nearest triangle (recorded in [diag]). *)
 
 val reconstruction_error : ?fixed:Geometry.Point.t -> t -> float
 (** Max abs error [|K̂(x₀, y) - K(x₀, y)|] with [x₀] the mesh centroid nearest
@@ -51,9 +56,10 @@ val reconstruction_error_pairwise : ?stride:int -> t -> float
     default 7) — the worst case over the whole die, not just from the
     center. *)
 
-val variance_at : t -> Geometry.Point.t -> float
+val variance_at : ?diag:Util.Diag.sink -> t -> Geometry.Point.t -> float
 (** [Σ_{j<r} λ_j f_j(x)²]: the variance the truncated model retains at [x]
-    (1 would be exact for a normalized kernel). *)
+    (1 would be exact for a normalized kernel). Out-of-domain points clamp
+    to the nearest triangle (recorded in [diag]). *)
 
 val captured_variance_fraction : t -> float
 (** [Σ_{j<r} λ_j / trace]: fraction of total field variance retained. *)

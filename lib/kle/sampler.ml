@@ -4,14 +4,28 @@ type t = {
   b : Linalg.Mat.t; (* N_loc x r *)
 }
 
-let create model locations =
+let create ?diag model locations =
   let r = model.Model.r in
   let coeffs = model.Model.solution.Galerkin.coefficients in
   let lams = model.Model.solution.Galerkin.eigenvalues in
   let sqrt_lams = Array.init r (fun j -> sqrt lams.(j)) in
+  let clamped = ref 0 in
   let triangle_index =
-    Array.map (fun p -> Geometry.Locator.find_nearest model.Model.locator p) locations
+    Array.map
+      (fun p ->
+        match Geometry.Locator.find model.Model.locator p with
+        | Some tri -> tri
+        | None ->
+            incr clamped;
+            Geometry.Locator.find_nearest model.Model.locator p)
+      locations
   in
+  if !clamped > 0 then
+    Util.Diag.record ?sink:diag Warning `Out_of_domain ~stage:"kle.sampler.create"
+      (Printf.sprintf
+         "%d of %d locations fell outside the mesh (die-boundary placement); \
+          clamped to their nearest triangles"
+         !clamped (Array.length locations));
   let b =
     Linalg.Mat.init (Array.length locations) r (fun g j ->
         sqrt_lams.(j) *. Linalg.Mat.unsafe_get coeffs triangle_index.(g) j)

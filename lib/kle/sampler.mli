@@ -7,10 +7,11 @@
 
 type t
 
-val create : Model.t -> Geometry.Point.t array -> t
+val create : ?diag:Util.Diag.sink -> Model.t -> Geometry.Point.t array -> t
 (** [create model locations] resolves each location to its containing
     triangle (nearest triangle for locations exactly on the die boundary)
-    and builds [B]. *)
+    and builds [B]. Each clamp to a nearest triangle is counted and reported
+    as one aggregate [`Out_of_domain] warning into [diag]. *)
 
 val model : t -> Model.t
 

@@ -43,6 +43,10 @@ let top_k ~matvec ~n ~k ?(tol = 1e-9) ?max_dim ?(seed = 7) () =
   (* beta.(j) couples basis.(j-1) and basis.(j) *)
   basis.(0) <- start_vector n seed;
   let m = ref 0 in
+  (* norm of the residual from the latest extension step; beta.(dim) is only
+     stored while there is room for another basis vector, so this keeps the
+     residual bound honest when the basis has grown to the full budget *)
+  let last_beta = ref 0.0 in
   (* extend the Krylov basis to dimension [target] *)
   let extend target =
     while !m < target do
@@ -55,6 +59,7 @@ let top_k ~matvec ~n ~k ?(tol = 1e-9) ?max_dim ?(seed = 7) () =
       reorthogonalize basis (j + 1) w;
       let b = Vec.norm2 w in
       m := j + 1;
+      last_beta := b;
       if !m < max_dim then begin
         if b < 1e-13 then begin
           (* invariant subspace found: restart with a fresh orthogonal vector *)
@@ -95,7 +100,7 @@ let top_k ~matvec ~n ~k ?(tol = 1e-9) ?max_dim ?(seed = 7) () =
     extend target;
     let sorted, z, perm = ritz () in
     let dim = !m in
-    let beta_last = if dim < max_dim then beta.(dim) else 0.0 in
+    let beta_last = if dim < max_dim then beta.(dim) else !last_beta in
     let scale_ref = Float.max (Float.abs sorted.(0)) 1e-300 in
     let kk = min k dim in
     let residual i =

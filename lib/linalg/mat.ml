@@ -58,6 +58,17 @@ let of_arrays a =
 let to_arrays m =
   Array.init m.rows (fun i -> Array.init m.cols (fun j -> unsafe_get m i j))
 
+let find_non_finite m =
+  let n = m.rows * m.cols in
+  let rec scan idx =
+    if idx >= n then None
+    else if Float.is_finite (Bigarray.Array1.unsafe_get m.data idx) then scan (idx + 1)
+    else Some (idx / m.cols, idx mod m.cols)
+  in
+  if m.cols = 0 then None else scan 0
+
+let is_finite m = find_non_finite m = None
+
 let row m i =
   if i < 0 || i >= m.rows then invalid_arg "Mat.row: out of bounds";
   Array.init m.cols (fun j -> unsafe_get m i j)

@@ -59,6 +59,13 @@ val sym_mul_vec : t -> float array -> float array
 val trace : t -> float
 (** Sum of diagonal entries of a square matrix. *)
 
+val find_non_finite : t -> (int * int) option
+(** Position [(i, j)] of the first (row-major) NaN/inf entry, if any — the
+    shared primitive behind the pipeline's non-finite guards. *)
+
+val is_finite : t -> bool
+(** [find_non_finite m = None]. *)
+
 val max_abs_diff : t -> t -> float
 (** Maximum entry-wise absolute difference of equal-shaped matrices. *)
 

@@ -1,10 +1,89 @@
-type t = { upper : Linalg.Mat.t; jitter : float }
+type repair =
+  | Exact
+  | Jittered of float
+  | Eig_clipped of { clipped : int; min_eigenvalue : float; jitter : float }
 
-let of_covariance k =
-  let lower, jitter = Linalg.Cholesky.factor_jittered k in
-  { upper = Linalg.Mat.transpose lower; jitter }
+type t = { upper : Linalg.Mat.t; jitter : float; repair : repair }
+
+let stage = "mvn.of_covariance"
+
+(* Higham-style PSD projection: clip negative eigenvalues of the symmetric
+   eigendecomposition at 0 and rebuild Q Λ₊ Qᵀ. *)
+let psd_project k =
+  let n = Linalg.Mat.rows k in
+  let vals, q = Linalg.Sym_eig.eig k in
+  let clipped = ref 0 in
+  let min_eigenvalue = ref infinity in
+  let clamped =
+    Array.map
+      (fun v ->
+        if v < !min_eigenvalue then min_eigenvalue := v;
+        if v < 0.0 then begin
+          incr clipped;
+          0.0
+        end
+        else v)
+      vals
+  in
+  (* (Q Λ₊) Qᵀ, then symmetrize to remove rounding asymmetry *)
+  let scaled =
+    Linalg.Mat.init n n (fun i j -> Linalg.Mat.unsafe_get q i j *. clamped.(j))
+  in
+  let product = Linalg.Mat.mul scaled (Linalg.Mat.transpose q) in
+  let repaired =
+    Linalg.Mat.init n n (fun i j ->
+        0.5
+        *. (Linalg.Mat.unsafe_get product i j +. Linalg.Mat.unsafe_get product j i))
+  in
+  (repaired, !clipped, !min_eigenvalue)
+
+let of_covariance ?diag k =
+  (match Linalg.Mat.find_non_finite k with
+  | Some (i, j) ->
+      Util.Diag.fail ?sink:diag `Non_finite ~stage
+        (Printf.sprintf "covariance entry (%d, %d) is not finite" i j)
+  | None -> ());
+  match Linalg.Cholesky.factor_jittered k with
+  | lower, jitter ->
+      if jitter > 0.0 then
+        Util.Diag.record ?sink:diag Warning `Degraded_fallback ~stage
+          (Printf.sprintf "Cholesky needed diagonal jitter %g (semi-definite input)"
+             jitter);
+      {
+        upper = Linalg.Mat.transpose lower;
+        jitter;
+        repair = (if jitter = 0.0 then Exact else Jittered jitter);
+      }
+  | exception Linalg.Cholesky.Not_positive_definite pivot ->
+      Util.Diag.record ?sink:diag Warning `Not_psd ~stage
+        (Printf.sprintf
+           "covariance indefinite (Cholesky pivot %d failed after jitter \
+            escalation); applying eigenvalue-clip PSD repair"
+           pivot);
+      let repaired, clipped, min_eigenvalue = psd_project k in
+      (match Linalg.Cholesky.factor_jittered repaired with
+      | lower, jitter ->
+          Util.Diag.record ?sink:diag Warning `Degraded_fallback ~stage
+            (Printf.sprintf
+               "PSD repair clipped %d negative eigenvalues (min %g), jitter %g"
+               clipped min_eigenvalue jitter);
+          {
+            upper = Linalg.Mat.transpose lower;
+            jitter;
+            repair = Eig_clipped { clipped; min_eigenvalue; jitter };
+          }
+      | exception Linalg.Cholesky.Not_positive_definite pivot ->
+          Util.Diag.fail ?sink:diag `Not_psd ~stage
+            (Printf.sprintf
+               "eigenvalue-clip repair still indefinite at pivot %d — matrix is \
+                not a covariance"
+               pivot))
 
 let jitter_used t = t.jitter
+
+let repair_used t = t.repair
+
+let degraded t = match t.repair with Exact -> false | Jittered _ | Eig_clipped _ -> true
 
 let dim t = Linalg.Mat.rows t.upper
 

@@ -1,17 +1,38 @@
 (** Correlated multivariate-normal sampling through a Cholesky factor — the
-    sample-generation core of the paper's Algorithm 1. *)
+    sample-generation core of the paper's Algorithm 1.
+
+    Factorization runs a fallback chain with recorded degradation instead of
+    hard failure: plain Cholesky, then exponentially escalating diagonal
+    jitter, then a Higham-style eigenvalue-clip PSD repair (negative
+    eigenvalues of the symmetric eigendecomposition clipped at 0) for
+    genuinely indefinite inputs. Every degraded step emits a
+    {!Util.Diag} event. *)
+
+type repair =
+  | Exact  (** plain Cholesky succeeded *)
+  | Jittered of float  (** diagonal jitter of the given size was needed *)
+  | Eig_clipped of { clipped : int; min_eigenvalue : float; jitter : float }
+      (** eigenvalue-clip PSD repair: [clipped] negative eigenvalues (most
+          negative [min_eigenvalue]) were zeroed, then jittered Cholesky *)
 
 type t
 (** A prepared sampler holding the upper Cholesky factor of the target
     covariance. *)
 
-val of_covariance : Linalg.Mat.t -> t
-(** [of_covariance k] factors the covariance matrix [k] (with automatic
-    diagonal jitter for semi-definite inputs). Raises
-    [Linalg.Cholesky.Not_positive_definite] when [k] is indefinite. *)
+val of_covariance : ?diag:Util.Diag.sink -> Linalg.Mat.t -> t
+(** [of_covariance k] factors the covariance matrix [k] through the fallback
+    chain above, recording degradation into [diag]. Raises
+    [Util.Diag.Failure] with [`Non_finite] when [k] contains NaN/inf and
+    with [`Not_psd] when even the PSD repair cannot produce a factor. *)
 
 val jitter_used : t -> float
 (** Diagonal jitter added during factorization (0 when none). *)
+
+val repair_used : t -> repair
+(** Which step of the fallback chain produced the factor. *)
+
+val degraded : t -> bool
+(** [repair_used t <> Exact]. *)
 
 val dim : t -> int
 

@@ -1,3 +1,5 @@
+exception No_convergence of { fn : string; a : float; x : float }
+
 (* Lanczos approximation with g = 7, n = 9 (Godfrey's coefficients). *)
 let lanczos_g = 7.0
 
@@ -58,7 +60,7 @@ let gamma_p_series a x =
          raise Exit
        end
      done;
-     failwith "Gamma.gamma_p: series did not converge"
+     raise (No_convergence { fn = "Gamma.gamma_p"; a; x })
    with Exit -> ());
   !result
 
@@ -87,7 +89,7 @@ let gamma_q_cf a x =
          raise Exit
        end
      done;
-     failwith "Gamma.gamma_q: continued fraction did not converge"
+     raise (No_convergence { fn = "Gamma.gamma_q"; a; x })
    with Exit -> ());
   !result
 

@@ -1,6 +1,11 @@
 (** Gamma function, needed by the Matérn-class correlation kernel of the
     paper's eq. (6). *)
 
+exception No_convergence of { fn : string; a : float; x : float }
+(** Raised when the incomplete-gamma series or continued fraction fails to
+    converge within its iteration budget; [fn] names the entry point and
+    [(a, x)] are the offending arguments. *)
+
 val log_gamma : float -> float
 (** [log_gamma x] is ln Γ(x) for [x > 0] (Lanczos approximation, ~1e-13
     relative accuracy). Raises [Invalid_argument] for [x <= 0]. *)

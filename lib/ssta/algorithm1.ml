@@ -3,7 +3,7 @@ type t = {
   setup_seconds : float;
 }
 
-let prepare ?jobs (process : Process.t) locations =
+let prepare ?diag ?jobs (process : Process.t) locations =
   let timer = Util.Timer.start () in
   (* share the Cholesky factor between parameters with identical kernels;
      sample draws stay independent *)
@@ -13,7 +13,7 @@ let prepare ?jobs (process : Process.t) locations =
     | Some s -> s
     | None ->
         let cov = Kernels.Validity.gram ?jobs kernel locations in
-        let s = Prng.Mvn.of_covariance cov in
+        let s = Prng.Mvn.of_covariance ?diag cov in
         cache := (kernel, s) :: !cache;
         s
   in

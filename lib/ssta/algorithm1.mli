@@ -9,13 +9,15 @@
 type t
 
 val prepare :
-  ?jobs:int -> Process.t -> Geometry.Point.t array -> t
+  ?diag:Util.Diag.sink -> ?jobs:int -> Process.t -> Geometry.Point.t array -> t
 (** [prepare process locations] builds and factors the covariance of every
     parameter at the gate [locations]. Identical kernels share one factor
     (physically the same spatial process statistics), but the per-parameter
     sample draws remain independent, exactly as in the paper's Algorithm 1.
     [jobs] controls the domain fan-out of the O(N_g²) covariance assembly
-    ({!Util.Pool.with_jobs} semantics); results do not depend on it. *)
+    ({!Util.Pool.with_jobs} semantics); results do not depend on it.
+    Degraded factorizations (jitter, PSD repair — see
+    {!Prng.Mvn.of_covariance}) are reported into [diag]. *)
 
 val setup_seconds : t -> float
 (** Wall-clock time spent building + factoring covariances. *)

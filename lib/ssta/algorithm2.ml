@@ -14,7 +14,7 @@ type t = {
   setup_seconds : float;
 }
 
-let prepare ?(config = paper_config) ?mesh ?jobs (process : Process.t) locations =
+let prepare ?(config = paper_config) ?mesh ?diag ?jobs (process : Process.t) locations =
   let timer = Util.Timer.start () in
   let mesh =
     match mesh with
@@ -37,7 +37,7 @@ let prepare ?(config = paper_config) ?mesh ?jobs (process : Process.t) locations
     match List.assoc_opt kernel !cache with
     | Some m -> m
     | None ->
-        let solution = Kle.Galerkin.solve ~solver ?jobs mesh kernel in
+        let solution = Kle.Galerkin.solve ~solver ?diag ?jobs mesh kernel in
         let m = Kle.Model.create ?r:config.r solution in
         cache := (kernel, m) :: !cache;
         m
@@ -45,7 +45,7 @@ let prepare ?(config = paper_config) ?mesh ?jobs (process : Process.t) locations
   let models =
     Array.map (fun p -> model_for p.Process.kernel) process.Process.parameters
   in
-  let samplers = Array.map (fun m -> Kle.Sampler.create m locations) models in
+  let samplers = Array.map (fun m -> Kle.Sampler.create ?diag m locations) models in
   { samplers; models; setup_seconds = Util.Timer.elapsed_s timer }
 
 let setup_seconds t = t.setup_seconds

@@ -23,6 +23,7 @@ type t
 val prepare :
   ?config:config ->
   ?mesh:Geometry.Mesh.t ->
+  ?diag:Util.Diag.sink ->
   ?jobs:int ->
   Process.t ->
   Geometry.Point.t array ->
@@ -31,7 +32,8 @@ val prepare :
     solves the Galerkin KLE for each distinct kernel, and builds the
     per-location expansion matrices. [jobs] controls the domain fan-out of
     the O(n²) Galerkin assembly ({!Util.Pool.with_jobs} semantics); results
-    do not depend on it. *)
+    do not depend on it. Solver fallbacks (Lanczos → dense) and boundary
+    clamps in the expansion setup are reported into [diag]. *)
 
 val setup_seconds : t -> float
 (** Wall time for meshing + eigensolution + expansion setup. *)

@@ -23,8 +23,11 @@ let setup_circuit ?(placement_seed = 1) netlist =
 
 type sampler = Prng.Rng.t -> n:int -> Linalg.Mat.t array
 
+type nonfinite_policy = Fail | Skip
+
 type mc_result = {
   n_samples : int;
+  n_skipped : int;
   worst_mean : float;
   worst_sigma : float;
   endpoint_mean : float array;
@@ -38,9 +41,10 @@ type mc_result = {
    bit — is identical for any [jobs]. *)
 let sta_chunk = 32
 
-let run_mc ?(batch = 256) ?jobs setup ~sampler ~seed ~n =
+let run_mc ?(batch = 256) ?jobs ?(policy = Fail) ?diag setup ~sampler ~seed ~n =
   if n <= 0 then invalid_arg "Experiment.run_mc: n must be positive";
   if batch <= 0 then invalid_arg "Experiment.run_mc: batch must be positive";
+  let stage = "experiment.run_mc" in
   let n_gates_total = Netlist.size setup.netlist in
   let n_logic = Array.length setup.logic_ids in
   let n_endpoints = Array.length setup.sta.Sta.Timing.endpoints in
@@ -48,6 +52,7 @@ let run_mc ?(batch = 256) ?jobs setup ~sampler ~seed ~n =
   let endpoint_acc = Array.init n_endpoints (fun _ -> Stats.Welford.create ()) in
   let sample_seconds = ref 0.0 in
   let sta_seconds = ref 0.0 in
+  let skipped_total = ref 0 in
   Util.Pool.with_jobs ?jobs (fun pool ->
       let n_batches = (n + batch - 1) / batch in
       for bi = 0 to n_batches - 1 do
@@ -69,6 +74,43 @@ let run_mc ?(batch = 256) ?jobs setup ~sampler ~seed ~n =
           blocks;
         let rl = Linalg.Mat.raw blocks.(0) and rw = Linalg.Mat.raw blocks.(1) in
         let rvt = Linalg.Mat.raw blocks.(2) and rtox = Linalg.Mat.raw blocks.(3) in
+        (* non-finite guard: scan the batch sequentially before the parallel
+           STA fan-out. The skip mask is a pure function of the sampler
+           output (itself a pure function of (seed, batch)), so the set of
+           accumulated samples — and every output bit — stays independent of
+           [jobs]. *)
+        let bad = Array.make b false in
+        let n_bad = ref 0 in
+        Array.iteri
+          (fun p blk ->
+            let raw = Linalg.Mat.raw blk in
+            for i = 0 to b - 1 do
+              let row = i * n_logic in
+              for g = 0 to n_logic - 1 do
+                if not (Float.is_finite (Bigarray.Array1.unsafe_get raw (row + g)))
+                then begin
+                  (match policy with
+                  | Fail ->
+                      Util.Diag.fail ?sink:diag `Non_finite ~stage
+                        (Printf.sprintf
+                           "non-finite sample: batch %d, sample %d (global \
+                            sample %d), parameter block %d, gate column %d"
+                           bi i ((bi * batch) + i) p g)
+                  | Skip -> ());
+                  if not bad.(i) then begin
+                    bad.(i) <- true;
+                    incr n_bad
+                  end
+                end
+              done
+            done)
+          blocks;
+        if !n_bad > 0 then begin
+          skipped_total := !skipped_total + !n_bad;
+          Util.Diag.record ?sink:diag Warning `Skipped_samples ~stage
+            (Printf.sprintf "batch %d: skipped %d of %d samples with non-finite \
+                             parameter values" bi !n_bad b)
+        end;
         let n_ranges = (b + sta_chunk - 1) / sta_chunk in
         let range_worst = Array.init n_ranges (fun _ -> Stats.Welford.create ()) in
         let range_endpoints =
@@ -86,6 +128,7 @@ let run_mc ?(batch = 256) ?jobs setup ~sampler ~seed ~n =
             let vt = Array.make n_gates_total 0.0 in
             let tox = Array.make n_gates_total 0.0 in
             for i = lo to hi - 1 do
+              if not (Array.unsafe_get bad i) then begin
               let row = i * n_logic in
               for g = 0 to n_logic - 1 do
                 let id = Array.unsafe_get setup.logic_ids g in
@@ -99,6 +142,7 @@ let run_mc ?(batch = 256) ?jobs setup ~sampler ~seed ~n =
               Array.iteri
                 (fun e a -> Stats.Welford.add e_acc.(e) a)
                 result.Sta.Timing.endpoint_arrivals
+              end
             done);
         sta_seconds := !sta_seconds +. Util.Timer.elapsed_s t0;
         (* combine per-range accumulators in fixed range order — the merge
@@ -111,8 +155,15 @@ let run_mc ?(batch = 256) ?jobs setup ~sampler ~seed ~n =
           done
         done
       done);
+  if !skipped_total >= n then
+    Util.Diag.fail ?sink:diag `Non_finite ~stage
+      (Printf.sprintf
+         "all %d samples carried non-finite parameter values; no statistics \
+          available"
+         n);
   {
     n_samples = n;
+    n_skipped = !skipped_total;
     worst_mean = Stats.Welford.mean !worst;
     worst_sigma = Stats.Welford.std_dev !worst;
     endpoint_mean = Array.map Stats.Welford.mean endpoint_acc;
@@ -125,6 +176,7 @@ type comparison = {
   e_mu_pct : float;
   e_sigma_pct : float;
   sigma_err_avg_outputs_pct : float;
+  excluded_endpoints : int;
   speedup : float;
 }
 
@@ -140,12 +192,13 @@ let compare ~reference ~reference_setup_seconds ~candidate ~candidate_setup_seco
     /. Float.abs reference.worst_sigma
   in
   let n_end = Array.length reference.endpoint_sigma in
-  let sigma_err_avg =
-    if n_end = 0 || Array.length candidate.endpoint_sigma <> n_end then nan
+  let sigma_err_avg, excluded =
+    if n_end = 0 || Array.length candidate.endpoint_sigma <> n_end then (nan, n_end)
     else begin
       (* endpoints with zero reference sigma (e.g. constant arrival times)
          carry no relative-error information — skip them rather than
-         poisoning the average with inf/nan *)
+         poisoning the average with inf/nan, and report how many were
+         excluded so an all-excluded nan is explainable *)
       let acc = ref 0.0 and counted = ref 0 in
       for e = 0 to n_end - 1 do
         let ref_sigma = Float.abs reference.endpoint_sigma.(e) in
@@ -157,7 +210,8 @@ let compare ~reference ~reference_setup_seconds ~candidate ~candidate_setup_seco
           incr counted
         end
       done;
-      if !counted = 0 then nan else 100.0 *. !acc /. float_of_int !counted
+      let avg = if !counted = 0 then nan else 100.0 *. !acc /. float_of_int !counted in
+      (avg, n_end - !counted)
     end
   in
   let total r setup = setup +. r.sample_seconds +. r.sta_seconds in
@@ -165,6 +219,7 @@ let compare ~reference ~reference_setup_seconds ~candidate ~candidate_setup_seco
     e_mu_pct;
     e_sigma_pct;
     sigma_err_avg_outputs_pct = sigma_err_avg;
+    excluded_endpoints = excluded;
     speedup =
       total reference reference_setup_seconds /. total candidate candidate_setup_seconds;
   }

@@ -19,8 +19,14 @@ type sampler = Prng.Rng.t -> n:int -> Linalg.Mat.t array
 (** Produces, for a batch of [n] Monte Carlo samples, one [n x N_g] matrix
     per statistical parameter (values for the [logic_ids] gates, in order). *)
 
+type nonfinite_policy =
+  | Fail  (** raise a typed diagnostic naming the first bad batch/sample *)
+  | Skip  (** drop offending samples, count them in [n_skipped] *)
+
 type mc_result = {
   n_samples : int;
+  n_skipped : int;
+      (* samples dropped by the [Skip] non-finite policy (0 under [Fail]) *)
   worst_mean : float;
   worst_sigma : float;
   endpoint_mean : float array;
@@ -32,6 +38,8 @@ type mc_result = {
 val run_mc :
   ?batch:int ->
   ?jobs:int ->
+  ?policy:nonfinite_policy ->
+  ?diag:Util.Diag.sink ->
   circuit_setup ->
   sampler:sampler ->
   seed:int ->
@@ -42,11 +50,21 @@ val run_mc :
     counter-derived RNG substream ({!Prng.Rng.substream} of [(seed, batch
     index)]), and the per-sample timing runs inside a batch are fanned out
     over [jobs] domains ({!Util.Pool.with_jobs} semantics). Results are a
-    pure function of [(setup, sampler, seed, n, batch)] — bit-identical for
-    every [jobs] value, including sequential.
+    pure function of [(setup, sampler, seed, n, batch, policy)] —
+    bit-identical for every [jobs] value, including sequential.
 
     The sampler must return exactly four [b x N_g] blocks (l, w, vt, tox)
     for a batch of [b]; both dimensions are validated.
+
+    Every batch is scanned for non-finite parameter values before the
+    timing fan-out. Under [policy = Fail] (default) the first offending
+    entry raises [Util.Diag.Failure] with [`Non_finite], naming the batch,
+    sample, parameter block and gate column. Under [Skip], offending
+    samples are excluded from the statistics and counted in [n_skipped]
+    (one [`Skipped_samples] warning per affected batch goes to [diag]);
+    the skip mask depends only on the sampler output, never on [jobs], so
+    the determinism contract above still holds. If {e every} sample is
+    skipped, [Util.Diag.Failure] with [`Non_finite] is raised.
 
     @raise Invalid_argument if [n <= 0], [batch <= 0], or the sampler
     returns blocks of the wrong shape. *)
@@ -56,6 +74,10 @@ type comparison = {
   e_sigma_pct : float; (* |Δsigma| as % of reference sigma *)
   sigma_err_avg_outputs_pct : float;
       (* Fig. 6 metric: per-endpoint sigma error, averaged over endpoints *)
+  excluded_endpoints : int;
+      (* endpoints excluded from the average (zero reference sigma, or all
+         of them on an endpoint-count mismatch) — lets callers print
+         "n/a (k excluded)" instead of a bare nan *)
   speedup : float; (* reference total time / candidate total time *)
 }
 
@@ -72,4 +94,5 @@ val compare :
 
     Endpoints whose reference sigma is exactly zero (constant arrivals)
     are excluded from [sigma_err_avg_outputs_pct]; if every endpoint is
-    excluded the metric is [nan]. *)
+    excluded the metric is [nan]. [excluded_endpoints] reports how many
+    were dropped, so callers can print the reason instead of the nan. *)

@@ -1,0 +1,46 @@
+let kernel plan k = Kernels.Kernel.Faulty { base = k; plan }
+
+let sampler ?(kind = Util.Fault.Nan) ?(first = 0) ?(period = 0) ?(limit = max_int)
+    ?(entries_per_call = 1) ?diag ~seed (base : Experiment.sampler) =
+  if first < 0 then invalid_arg "Fault_inject.sampler: first must be non-negative";
+  if period < 0 then invalid_arg "Fault_inject.sampler: period must be non-negative";
+  if limit < 0 then invalid_arg "Fault_inject.sampler: limit must be non-negative";
+  if entries_per_call <= 0 then
+    invalid_arg "Fault_inject.sampler: entries_per_call must be positive";
+  let calls = Atomic.make 0 in
+  let selected_calls = Atomic.make 0 in
+  let fired = Atomic.make 0 in
+  let selected i =
+    i >= first && if period = 0 then i = first else (i - first) mod period = 0
+  in
+  let faulty rng ~n =
+    let ci = Atomic.fetch_and_add calls 1 in
+    let blocks = base rng ~n in
+    if selected ci && Atomic.get selected_calls < limit then begin
+      Atomic.incr selected_calls;
+      (* coordinates come from the decorator's own substream, keyed by the
+         call index — independent of the sampling stream, identical on
+         every run *)
+      let frng = Prng.Rng.substream ~seed ~stream:ci in
+      let n_blocks = Array.length blocks in
+      for _ = 1 to entries_per_call do
+        if n_blocks > 0 then begin
+          let b = Prng.Rng.int_below frng n_blocks in
+          let blk = blocks.(b) in
+          let rows = Linalg.Mat.rows blk and cols = Linalg.Mat.cols blk in
+          if rows > 0 && cols > 0 then begin
+            let i = Prng.Rng.int_below frng rows in
+            let j = Prng.Rng.int_below frng cols in
+            Linalg.Mat.set blk i j (Util.Fault.corrupt kind (Linalg.Mat.get blk i j));
+            Atomic.incr fired;
+            Util.Diag.record ?sink:diag Info `Fault_injected
+              ~stage:"fault_inject.sampler"
+              (Printf.sprintf
+                 "corrupted block %d entry (%d, %d) on sampler call %d" b i j ci)
+          end
+        end
+      done
+    end;
+    blocks
+  in
+  (faulty, fun () -> Atomic.get fired)

@@ -1,0 +1,46 @@
+(** Deterministic fault injection for the SSTA pipeline.
+
+    Two decorators let the robustness test-suite (and [ssta_demo --fault])
+    drive every fallback and guard path on demand:
+
+    - {!kernel} wraps a covariance kernel so counter-selected evaluations
+      are corrupted ({!Kernels.Kernel.Faulty} + {!Util.Fault.plan}) — this
+      exercises the Galerkin assembly non-finite guard and the PSD repair
+      chains;
+    - {!sampler} wraps an {!Experiment.sampler} so counter-selected calls
+      corrupt entries of the produced parameter blocks — this exercises
+      {!Experiment.run_mc}'s non-finite policy.
+
+    Both are pure functions of their integer parameters: the corrupted
+    coordinates are drawn from {!Prng.Rng.substream} keyed by the
+    decorator's own call counter, never from the sampling stream, so the
+    faulted sites are identical on every run and for every [jobs] value
+    (run_mc invokes the sampler sequentially, batch by batch). *)
+
+val kernel : Util.Fault.plan -> Kernels.Kernel.t -> Kernels.Kernel.t
+(** [kernel plan k] corrupts the counter-selected evaluations of [k]. *)
+
+val sampler :
+  ?kind:Util.Fault.kind ->
+  ?first:int ->
+  ?period:int ->
+  ?limit:int ->
+  ?entries_per_call:int ->
+  ?diag:Util.Diag.sink ->
+  seed:int ->
+  Experiment.sampler ->
+  Experiment.sampler * (unit -> int)
+(** [sampler ~seed base] is [(faulty, fired)] where [faulty] behaves as
+    [base] except that on counter-selected calls ([first]/[period]/[limit]
+    with {!Util.Fault.plan} semantics: default = first call only,
+    [limit] counts selected calls) it corrupts [entries_per_call]
+    (default 1) entries of the returned blocks in place, at
+    (block, row, column) coordinates drawn from
+    [Prng.Rng.substream ~seed ~stream:call_index]. [kind] defaults to
+    {!Util.Fault.Nan}. Every corrupted entry is recorded as an [Info]
+    [`Fault_injected] event into [diag] and counted by [fired ()].
+
+    The same physical entry can be selected twice by chance; [fired]
+    counts selections, not distinct entries — with [Nan] faults use
+    {!Experiment.run_mc}'s [n_skipped] (which counts distinct samples)
+    for exact-count assertions, or keep [entries_per_call = 1]. *)

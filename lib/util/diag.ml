@@ -1,0 +1,98 @@
+type severity = Info | Warning | Error
+
+type code =
+  [ `Not_psd
+  | `No_convergence
+  | `Non_finite
+  | `Out_of_domain
+  | `Degraded_fallback
+  | `Invalid_input
+  | `Fault_injected
+  | `Skipped_samples ]
+
+type event = {
+  severity : severity;
+  code : code;
+  stage : string;
+  detail : string;
+}
+
+exception Failure of event
+
+type sink = {
+  mutex : Mutex.t;
+  mutable rev_events : event list; (* newest first *)
+  mutable n : int;
+}
+
+let create () = { mutex = Mutex.create (); rev_events = []; n = 0 }
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+
+let severity_name = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let code_name = function
+  | `Not_psd -> "not-psd"
+  | `No_convergence -> "no-convergence"
+  | `Non_finite -> "non-finite"
+  | `Out_of_domain -> "out-of-domain"
+  | `Degraded_fallback -> "degraded-fallback"
+  | `Invalid_input -> "invalid-input"
+  | `Fault_injected -> "fault-injected"
+  | `Skipped_samples -> "skipped-samples"
+
+let to_string e =
+  Printf.sprintf "[%s] %s (%s): %s" (severity_name e.severity) e.stage
+    (code_name e.code) e.detail
+
+let pp_event fmt e = Format.pp_print_string fmt (to_string e)
+
+let locked s f =
+  Mutex.lock s.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.mutex) f
+
+let add sink e =
+  locked sink (fun () ->
+      sink.rev_events <- e :: sink.rev_events;
+      sink.n <- sink.n + 1)
+
+let record ?sink severity code ~stage detail =
+  match sink with
+  | None -> ()
+  | Some s -> add s { severity; code; stage; detail }
+
+let fail ?sink code ~stage detail =
+  let e = { severity = Error; code; stage; detail } in
+  (match sink with None -> () | Some s -> add s e);
+  raise (Failure e)
+
+let events sink = locked sink (fun () -> List.rev sink.rev_events)
+
+let length sink = locked sink (fun () -> sink.n)
+
+let count ?(min_severity = Info) ?code sink =
+  let matches e =
+    severity_rank e.severity >= severity_rank min_severity
+    && match code with None -> true | Some c -> e.code = c
+  in
+  locked sink (fun () ->
+      List.fold_left (fun acc e -> if matches e then acc + 1 else acc) 0 sink.rev_events)
+
+let max_severity sink =
+  locked sink (fun () ->
+      List.fold_left
+        (fun acc e ->
+          match acc with
+          | None -> Some e.severity
+          | Some s ->
+              if severity_rank e.severity > severity_rank s then Some e.severity
+              else acc)
+        None sink.rev_events)
+
+let clear sink =
+  locked sink (fun () ->
+      sink.rev_events <- [];
+      sink.n <- 0)

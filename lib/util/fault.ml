@@ -1,0 +1,47 @@
+type kind =
+  | Nan
+  | Value of float
+  | Scale of float
+  | Offset of float
+
+let corrupt kind v =
+  match kind with
+  | Nan -> Float.nan
+  | Value x -> x
+  | Scale s -> v *. s
+  | Offset d -> v +. d
+
+type plan = {
+  kind : kind;
+  first : int;
+  period : int;
+  limit : int;
+  n_calls : int Atomic.t;
+  n_fired : int Atomic.t;
+}
+
+let plan ?(first = 0) ?(period = 0) ?(limit = max_int) kind =
+  if first < 0 then invalid_arg "Fault.plan: first must be non-negative";
+  if period < 0 then invalid_arg "Fault.plan: period must be non-negative";
+  if limit < 0 then invalid_arg "Fault.plan: limit must be non-negative";
+  { kind; first; period; limit; n_calls = Atomic.make 0; n_fired = Atomic.make 0 }
+
+let selected p i =
+  i >= p.first
+  && (if p.period = 0 then i = p.first else (i - p.first) mod p.period = 0)
+
+let apply p v =
+  let i = Atomic.fetch_and_add p.n_calls 1 in
+  if selected p i && Atomic.get p.n_fired < p.limit then begin
+    Atomic.incr p.n_fired;
+    corrupt p.kind v
+  end
+  else v
+
+let calls p = Atomic.get p.n_calls
+
+let fired p = Atomic.get p.n_fired
+
+let reset p =
+  Atomic.set p.n_calls 0;
+  Atomic.set p.n_fired 0

@@ -1,0 +1,44 @@
+(** Deterministic fault injection for robustness tests.
+
+    A {!plan} selects evaluations by a call counter: the decorated code
+    calls {!apply} on every produced value, and the plan corrupts exactly
+    the counter-selected ones. Because selection depends only on the call
+    index, a fault fires at the same logical evaluation on every run —
+    tests can drive every fallback and guard path on demand and assert the
+    exact diagnostics that come back.
+
+    Counters are atomic, so a plan can sit behind code that runs on a
+    {!Pool}; but note that under a parallel evaluation order the call
+    {e index} of a given logical evaluation is scheduling-dependent — run
+    fault-injection tests sequentially ([jobs = 1]) when the exact faulted
+    site matters. *)
+
+type kind =
+  | Nan  (** replace the value with [nan] *)
+  | Value of float  (** replace the value with a constant *)
+  | Scale of float  (** multiply the value *)
+  | Offset of float  (** add to the value *)
+
+val corrupt : kind -> float -> float
+(** Apply the corruption unconditionally (no plan, no counter). *)
+
+type plan
+
+val plan : ?first:int -> ?period:int -> ?limit:int -> kind -> plan
+(** [plan kind] fires at call index [first] (default 0) and then, when
+    [period > 0], at every [period]-th call after it; [period = 0]
+    (default) fires at [first] only. [limit] caps the total number of
+    faults (default: [first]-and-period selection only). Raises
+    [Invalid_argument] on negative [first]/[period]/[limit]. *)
+
+val apply : plan -> float -> float
+(** Count one call and corrupt the value iff this call is selected. *)
+
+val calls : plan -> int
+(** Total calls seen so far. *)
+
+val fired : plan -> int
+(** Faults actually injected so far. *)
+
+val reset : plan -> unit
+(** Zero both counters (e.g. between test cases sharing a plan). *)

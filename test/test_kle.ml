@@ -123,14 +123,96 @@ let test_indefinite_kernel_rejected () =
   (* the 2-D linear cone is indefinite on fine meshes; the solver should
      refuse rather than silently clamp a large negative spectrum *)
   let mesh = Lazy.force mesh_fine in
+  let diag = Util.Diag.create () in
   let raised =
-    match Kle.Galerkin.solve ~solver:Kle.Galerkin.Dense mesh (K.Linear_cone { rho = 0.5 }) with
+    match
+      Kle.Galerkin.solve ~solver:Kle.Galerkin.Dense ~diag mesh (K.Linear_cone { rho = 0.5 })
+    with
     | _ -> false
-    | exception Invalid_argument _ -> true
+    | exception Util.Diag.Failure e -> e.Util.Diag.code = `Not_psd
   in
-  Alcotest.(check bool) "indefinite rejected" true raised
+  Alcotest.(check bool) "indefinite rejected with `Not_psd" true raised;
+  Alcotest.(check bool) "failure recorded" true (Util.Diag.count ~code:`Not_psd diag > 0)
+
+let test_nan_kernel_caught_at_assembly () =
+  (* an injected NaN in a kernel evaluation must be caught by the Galerkin
+     non-finite guard, not propagate into the eigensolver *)
+  let mesh = Lazy.force mesh_coarse in
+  let plan = Util.Fault.plan ~first:5 Util.Fault.Nan in
+  let faulty = K.Faulty { base = gaussian; plan } in
+  let diag = Util.Diag.create () in
+  let raised =
+    match Kle.Galerkin.solve ~solver:Kle.Galerkin.Dense ~diag mesh faulty with
+    | _ -> false
+    | exception Util.Diag.Failure e ->
+        e.Util.Diag.code = `Non_finite && e.Util.Diag.stage = "galerkin.assemble"
+  in
+  Alcotest.(check bool) "guard raised `Non_finite" true raised;
+  Alcotest.(check bool) "fault actually fired" true (Util.Fault.fired plan >= 1);
+  Alcotest.(check bool) "error recorded" true (Util.Diag.count ~code:`Non_finite diag > 0)
+
+let test_lanczos_no_convergence_falls_back_to_dense () =
+  (* cap the Krylov budget so Lanczos genuinely fails, then check the dense
+     fallback returns the same leading eigenvalues it would have computed.
+     The exponential kernel's polynomially decaying spectrum (unlike the
+     Gaussian's super-exponential one) keeps deep pairs unconverged in a
+     tiny Krylov space. *)
+  let mesh = Lazy.force mesh_coarse in
+  let kernel = K.Exponential { c = 1.5 } in
+  let diag = Util.Diag.create () in
+  let count = 8 in
+  let sol =
+    Kle.Galerkin.solve ~solver:(Kle.Galerkin.Lanczos { count }) ~lanczos_max_dim:9 ~diag
+      mesh kernel
+  in
+  Alcotest.(check bool) "no-convergence recorded" true
+    (Util.Diag.count ~code:`No_convergence diag > 0);
+  Alcotest.(check bool) "fallback recorded" true
+    (Util.Diag.count ~code:`Degraded_fallback diag > 0);
+  Alcotest.(check int) "leading pairs returned" count
+    (Array.length sol.Kle.Galerkin.eigenvalues);
+  let dense = Kle.Galerkin.solve ~solver:Kle.Galerkin.Dense mesh kernel in
+  Array.iteri
+    (fun j v ->
+      check_close ~tol:1e-9
+        (Printf.sprintf "eigenvalue %d matches dense" j)
+        dense.Kle.Galerkin.eigenvalues.(j) v)
+    sol.Kle.Galerkin.eigenvalues
 
 (* ---------- Model ---------- *)
+
+let test_out_of_domain_point_clamps () =
+  (* regression: a point outside the die (or exactly on the boundary,
+     between triangles) used to raise bare Not_found; it must now clamp to
+     the nearest triangle and record a diagnostic *)
+  let model = Kle.Model.create ~r:4 (Lazy.force solve_coarse) in
+  let diag = Util.Diag.create () in
+  let outside = { P.x = 1.75; P.y = 0.4 } in
+  let v = Kle.Model.eval_eigenfunction ~diag model 0 outside in
+  Alcotest.(check bool) "finite value" true (Float.is_finite v);
+  Alcotest.(check int) "clamp recorded" 1 (Util.Diag.count ~code:`Out_of_domain diag);
+  (* the clamped evaluation equals the eigenfunction at the nearest
+     in-domain location *)
+  let inside = { P.x = 0.999; P.y = 0.4 } in
+  let v_in = Kle.Model.eval_eigenfunction model 0 inside in
+  check_close ~tol:1e-12 "clamps to nearest triangle" v_in v;
+  (* the other clamped entry points stay total too *)
+  let kv = Kle.Model.reconstruct_kernel ~diag model outside outside in
+  Alcotest.(check bool) "reconstruct finite" true (Float.is_finite kv);
+  let var = Kle.Model.variance_at ~diag model outside in
+  Alcotest.(check bool) "variance finite" true (Float.is_finite var)
+
+let test_sampler_out_of_domain_location_clamps () =
+  let model = Kle.Model.create ~r:4 (Lazy.force solve_coarse) in
+  let diag = Util.Diag.create () in
+  let locations = [| { P.x = 0.25; P.y = 0.25 }; { P.x = -0.5; P.y = 3.0 } |] in
+  let s = Kle.Sampler.create ~diag model locations in
+  Alcotest.(check int) "all locations resolved" 2 (Kle.Sampler.location_count s);
+  Alcotest.(check int) "one aggregate clamp warning" 1
+    (Util.Diag.count ~code:`Out_of_domain diag);
+  let rng = Prng.Rng.create ~seed:5 in
+  let m = Kle.Sampler.sample_matrix s rng ~n:8 in
+  Alcotest.(check bool) "samples finite" true (Linalg.Mat.is_finite m)
 
 let test_choose_r_rule () =
   (* eigenvalues 8, 4, 2, 1, ... fast decay: small r *)
@@ -484,9 +566,17 @@ let () =
           Alcotest.test_case "midedge quadrature more accurate" `Quick test_midedge_quadrature_more_accurate;
           Alcotest.test_case "eigenvalue convergence in h" `Quick test_eigenvalue_convergence_with_mesh;
           Alcotest.test_case "indefinite kernel rejected" `Quick test_indefinite_kernel_rejected;
+          Alcotest.test_case "NaN kernel caught at assembly" `Quick
+            test_nan_kernel_caught_at_assembly;
+          Alcotest.test_case "lanczos no-convergence falls back to dense" `Quick
+            test_lanczos_no_convergence_falls_back_to_dense;
         ] );
       ( "model",
         [
+          Alcotest.test_case "out-of-domain point clamps" `Quick
+            test_out_of_domain_point_clamps;
+          Alcotest.test_case "out-of-domain sampler location clamps" `Quick
+            test_sampler_out_of_domain_location_clamps;
           Alcotest.test_case "choose_r rule" `Quick test_choose_r_rule;
           Alcotest.test_case "choose_r flat spectrum" `Quick test_choose_r_flat_spectrum;
           Alcotest.test_case "choose_r monotone in tolerance" `Quick test_choose_r_monotone_in_tolerance;

@@ -170,6 +170,24 @@ let test_cholesky_jitter_on_semidefinite () =
   Alcotest.(check bool) "factor close" true
     (Mat.max_abs_diff a (Mat.mul l (Mat.transpose l)) < 1e-5)
 
+let test_cholesky_jittered_rank_deficient () =
+  (* rank-2 PSD 6x6: jitter must rescue the zero pivots of the null space *)
+  let u = [| 1.0; 2.0; 0.0; -1.0; 0.5; 1.5 |] in
+  let v = [| 0.0; 1.0; -1.0; 2.0; 1.0; 0.0 |] in
+  let a = Mat.init 6 6 (fun i j -> (u.(i) *. u.(j)) +. (v.(i) *. v.(j))) in
+  let l, jitter = Linalg.Cholesky.factor_jittered a in
+  Alcotest.(check bool) "jitter applied" true (jitter > 0.0);
+  Alcotest.(check bool) "factor close" true
+    (Mat.max_abs_diff a (Mat.mul l (Mat.transpose l)) < 1e-4)
+
+let test_cholesky_jittered_indefinite_raises () =
+  (* eigenvalues 3, -1: no diagonal jitter in the escalation range fixes it *)
+  let a = Mat.of_arrays [| [| 1.0; 2.0 |]; [| 2.0; 1.0 |] |] in
+  Alcotest.(check bool) "raises after escalation" true
+    (match Linalg.Cholesky.factor_jittered a with
+    | _ -> false
+    | exception Linalg.Cholesky.Not_positive_definite _ -> true)
+
 let test_cholesky_solve () =
   let a = random_spd 29 25 in
   let x0 = Array.init 25 (fun i -> sin (float_of_int i)) in
@@ -525,6 +543,10 @@ let () =
           Alcotest.test_case "upper factor" `Quick test_cholesky_upper_matches;
           Alcotest.test_case "indefinite raises" `Quick test_cholesky_indefinite_raises;
           Alcotest.test_case "jitter on semidefinite" `Quick test_cholesky_jitter_on_semidefinite;
+          Alcotest.test_case "jitter on rank-deficient" `Quick
+            test_cholesky_jittered_rank_deficient;
+          Alcotest.test_case "jittered indefinite raises" `Quick
+            test_cholesky_jittered_indefinite_raises;
           Alcotest.test_case "solve" `Quick test_cholesky_solve;
           Alcotest.test_case "log_det" `Quick test_cholesky_log_det;
         ] );

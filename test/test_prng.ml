@@ -173,6 +173,66 @@ let test_mvn_identity_gives_iid () =
   Alcotest.(check int) "dim" 4 (Array.length s);
   Alcotest.(check int) "dim accessor" 4 (Prng.Mvn.dim mvn)
 
+let test_mvn_fallback_chain () =
+  let diag = Util.Diag.create () in
+  let exact = Prng.Mvn.of_covariance ~diag (Linalg.Mat.identity 4) in
+  Alcotest.(check bool) "exact repair" true (Prng.Mvn.repair_used exact = Prng.Mvn.Exact);
+  Alcotest.(check bool) "exact not degraded" false (Prng.Mvn.degraded exact);
+  Alcotest.(check int) "no events for exact" 0 (Util.Diag.length diag);
+  (* rank-1 positive semidefinite: plain Cholesky fails, jitter rescues *)
+  let ones = Linalg.Mat.init 5 5 (fun _ _ -> 1.0) in
+  let jit = Prng.Mvn.of_covariance ~diag ones in
+  (match Prng.Mvn.repair_used jit with
+  | Prng.Mvn.Jittered j -> Alcotest.(check bool) "jitter positive" true (j > 0.0)
+  | _ -> Alcotest.fail "expected Jittered repair");
+  Alcotest.(check bool) "degraded" true (Prng.Mvn.degraded jit);
+  Alcotest.(check bool) "degradation recorded" true
+    (Util.Diag.count ~code:`Degraded_fallback diag > 0)
+
+let test_mvn_psd_repair_indefinite () =
+  let diag = Util.Diag.create () in
+  (* eigenvalues 3 and -1: genuinely indefinite, beyond any jitter *)
+  let a = Linalg.Mat.of_arrays [| [| 1.0; 2.0 |]; [| 2.0; 1.0 |] |] in
+  let mvn = Prng.Mvn.of_covariance ~diag a in
+  (match Prng.Mvn.repair_used mvn with
+  | Prng.Mvn.Eig_clipped { clipped; min_eigenvalue; _ } ->
+      Alcotest.(check int) "one clipped eigenvalue" 1 clipped;
+      check_close ~tol:1e-9 "most negative eigenvalue" (-1.0) min_eigenvalue
+  | _ -> Alcotest.fail "expected Eig_clipped repair");
+  Alcotest.(check bool) "not-psd recorded" true (Util.Diag.count ~code:`Not_psd diag > 0);
+  Alcotest.(check bool) "fallback recorded" true
+    (Util.Diag.count ~code:`Degraded_fallback diag > 0);
+  (* the repaired sampler targets the clipped projection
+     Q diag(3, 0) Qᵀ = [[1.5, 1.5], [1.5, 1.5]] *)
+  let rng = Prng.Rng.create ~seed:61 in
+  let cov =
+    Stats.Correlation.column_covariance (Prng.Mvn.sample_matrix mvn rng ~n:50_000)
+  in
+  let expected = Linalg.Mat.of_arrays [| [| 1.5; 1.5 |]; [| 1.5; 1.5 |] |] in
+  Alcotest.(check bool) "covariance of repaired target" true
+    (Linalg.Mat.max_abs_diff expected cov < 0.05)
+
+let test_mvn_rank_deficient_recovers () =
+  (* rank-2 PSD 5x5 from two outer products; sampling must still work and
+     reproduce the singular target closely *)
+  let u = [| 1.0; -1.0; 2.0; 0.0; 0.5 |] and v = [| 0.0; 1.0; 1.0; -1.0; 2.0 |] in
+  let a = Linalg.Mat.init 5 5 (fun i j -> (u.(i) *. u.(j)) +. (v.(i) *. v.(j))) in
+  let diag = Util.Diag.create () in
+  let mvn = Prng.Mvn.of_covariance ~diag a in
+  Alcotest.(check bool) "degraded on rank-deficient" true (Prng.Mvn.degraded mvn);
+  let rng = Prng.Rng.create ~seed:67 in
+  let cov =
+    Stats.Correlation.column_covariance (Prng.Mvn.sample_matrix mvn rng ~n:50_000)
+  in
+  Alcotest.(check bool) "covariance recovered" true (Linalg.Mat.max_abs_diff a cov < 0.15)
+
+let test_mvn_non_finite_rejected () =
+  let a = Linalg.Mat.of_arrays [| [| 1.0; Float.nan |]; [| Float.nan; 1.0 |] |] in
+  Alcotest.(check bool) "raises typed failure" true
+    (match Prng.Mvn.of_covariance a with
+    | _ -> false
+    | exception Util.Diag.Failure e -> e.Util.Diag.code = `Non_finite)
+
 (* ---------- Lowdisc (Halton QMC) ---------- *)
 
 let test_primes () =
@@ -291,6 +351,13 @@ let () =
           Alcotest.test_case "recovers target covariance" `Quick test_mvn_covariance_recovery;
           Alcotest.test_case "jitter reporting" `Quick test_mvn_jitter_reporting;
           Alcotest.test_case "identity covariance" `Quick test_mvn_identity_gives_iid;
+          Alcotest.test_case "fallback chain reporting" `Quick test_mvn_fallback_chain;
+          Alcotest.test_case "PSD repair of indefinite input" `Quick
+            test_mvn_psd_repair_indefinite;
+          Alcotest.test_case "rank-deficient covariance recovers" `Quick
+            test_mvn_rank_deficient_recovers;
+          Alcotest.test_case "non-finite covariance rejected" `Quick
+            test_mvn_non_finite_rejected;
         ] );
       ( "lowdisc",
         [

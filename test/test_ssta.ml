@@ -268,6 +268,7 @@ let test_compare_metrics_known () =
   let mk mean sigma =
     {
       Ssta.Experiment.n_samples = 10;
+      n_skipped = 0;
       worst_mean = mean;
       worst_sigma = sigma;
       endpoint_mean = [| mean |];
@@ -356,6 +357,7 @@ let test_compare_skips_zero_sigma_endpoints () =
   let mk sigmas =
     {
       Ssta.Experiment.n_samples = 10;
+      n_skipped = 0;
       worst_mean = 100.0;
       worst_sigma = 10.0;
       endpoint_mean = Array.map (fun _ -> 100.0) sigmas;
@@ -382,6 +384,200 @@ let test_compare_skips_zero_sigma_endpoints () =
   in
   Alcotest.(check bool) "all-zero reference gives nan" true
     (Float.is_nan all_zero.Ssta.Experiment.sigma_err_avg_outputs_pct)
+
+let test_compare_excluded_endpoint_count () =
+  let mk sigmas =
+    {
+      Ssta.Experiment.n_samples = 10;
+      n_skipped = 0;
+      worst_mean = 100.0;
+      worst_sigma = 10.0;
+      endpoint_mean = Array.map (fun _ -> 100.0) sigmas;
+      endpoint_sigma = sigmas;
+      sample_seconds = 1.0;
+      sta_seconds = 1.0;
+    }
+  in
+  let cmp r c =
+    Ssta.Experiment.compare ~reference:(mk r) ~reference_setup_seconds:0.0
+      ~candidate:(mk c) ~candidate_setup_seconds:0.0
+  in
+  Alcotest.(check int) "one zero-sigma endpoint excluded" 1
+    (cmp [| 10.0; 0.0; 20.0 |] [| 11.0; 0.5; 22.0 |]).Ssta.Experiment.excluded_endpoints;
+  Alcotest.(check int) "none excluded" 0
+    (cmp [| 10.0; 20.0 |] [| 11.0; 22.0 |]).Ssta.Experiment.excluded_endpoints;
+  let all = cmp [| 0.0; 0.0 |] [| 1.0; 2.0 |] in
+  Alcotest.(check int) "all excluded" 2 all.Ssta.Experiment.excluded_endpoints;
+  Alcotest.(check bool) "all excluded still nan" true
+    (Float.is_nan all.Ssta.Experiment.sigma_err_avg_outputs_pct);
+  let mismatch = cmp [| 10.0; 20.0 |] [| 10.0; 20.0; 30.0 |] in
+  Alcotest.(check int) "endpoint-count mismatch excludes all" 2
+    mismatch.Ssta.Experiment.excluded_endpoints
+
+(* ---------- non-finite policies + fault injection ---------- *)
+
+let test_run_mc_fail_policy_names_fault () =
+  let s = Lazy.force setup in
+  let a2 = Lazy.force a2_fixture in
+  let diag = Util.Diag.create () in
+  (* corrupt one entry of the second sampler call (batch 1) *)
+  let faulty, fired =
+    Ssta.Fault_inject.sampler ~first:1 ~diag ~seed:77
+      (Ssta.Algorithm2.sample_block a2)
+  in
+  (match Ssta.Experiment.run_mc ~batch:16 ~diag s ~sampler:faulty ~seed:9 ~n:64 with
+  | _ -> Alcotest.fail "expected Util.Diag.Failure"
+  | exception Util.Diag.Failure e ->
+      Alcotest.(check bool) "typed non-finite" true (e.Util.Diag.code = `Non_finite);
+      Alcotest.(check string) "stage" "experiment.run_mc" e.Util.Diag.stage;
+      Alcotest.(check bool) "names the batch" true
+        (let rec has i =
+           i + 7 <= String.length e.Util.Diag.detail
+           && (String.sub e.Util.Diag.detail i 7 = "batch 1" || has (i + 1))
+         in
+         has 0));
+  Alcotest.(check int) "exactly one fault fired" 1 (fired ());
+  Alcotest.(check bool) "fault event recorded" true
+    (Util.Diag.count ~code:`Fault_injected diag > 0)
+
+let test_run_mc_skip_policy_bit_identical_across_jobs () =
+  (* acceptance criterion: Skip policy with the same fault seed stays
+     bit-identical across -j 1 and -j 2, with a deterministic skip count *)
+  let s = Lazy.force setup in
+  let a2 = Lazy.force a2_fixture in
+  let run jobs =
+    (* fresh decorator per run: its call counter is part of the run state *)
+    let faulty, _ =
+      Ssta.Fault_inject.sampler ~first:0 ~period:2 ~entries_per_call:2 ~seed:77
+        (Ssta.Algorithm2.sample_block a2)
+    in
+    let diag = Util.Diag.create () in
+    let r =
+      Ssta.Experiment.run_mc ~jobs ~batch:24 ~policy:Ssta.Experiment.Skip ~diag s
+        ~sampler:faulty ~seed:9 ~n:96
+    in
+    (r, diag)
+  in
+  let r1, d1 = run 1 and r2, d2 = run 2 in
+  Alcotest.(check bool) "samples were skipped" true (r1.Ssta.Experiment.n_skipped > 0);
+  Alcotest.(check int) "same skip count" r1.Ssta.Experiment.n_skipped
+    r2.Ssta.Experiment.n_skipped;
+  Alcotest.(check int) "skip warnings recorded" (Util.Diag.count ~code:`Skipped_samples d1)
+    (Util.Diag.count ~code:`Skipped_samples d2);
+  Alcotest.(check bool) "at least one skip warning" true
+    (Util.Diag.count ~code:`Skipped_samples d1 > 0);
+  check_close ~tol:0.0 "same mean" r1.Ssta.Experiment.worst_mean r2.Ssta.Experiment.worst_mean;
+  check_close ~tol:0.0 "same sigma" r1.Ssta.Experiment.worst_sigma
+    r2.Ssta.Experiment.worst_sigma;
+  Alcotest.(check (array (float 0.0)))
+    "endpoint means" r1.Ssta.Experiment.endpoint_mean r2.Ssta.Experiment.endpoint_mean;
+  Alcotest.(check (array (float 0.0)))
+    "endpoint sigmas" r1.Ssta.Experiment.endpoint_sigma r2.Ssta.Experiment.endpoint_sigma;
+  (* and the whole thing is reproducible run-to-run *)
+  let r1', _ = run 1 in
+  Alcotest.(check int) "reproducible skip count" r1.Ssta.Experiment.n_skipped
+    r1'.Ssta.Experiment.n_skipped;
+  check_close ~tol:0.0 "reproducible mean" r1.Ssta.Experiment.worst_mean
+    r1'.Ssta.Experiment.worst_mean
+
+let test_run_mc_all_skipped_raises () =
+  let s = Lazy.force setup in
+  let n_logic = Array.length s.Ssta.Experiment.logic_ids in
+  let all_nan _rng ~n =
+    Array.init 4 (fun _ -> Linalg.Mat.init n n_logic (fun _ _ -> Float.nan))
+  in
+  Alcotest.(check bool) "raises when every sample is bad" true
+    (match
+       Ssta.Experiment.run_mc ~policy:Ssta.Experiment.Skip s ~sampler:all_nan ~seed:1 ~n:8
+     with
+    | _ -> false
+    | exception Util.Diag.Failure e -> e.Util.Diag.code = `Non_finite)
+
+(* ---------- Pipeline ---------- *)
+
+let test_pipeline_cholesky_end_to_end () =
+  let p = Ssta.Pipeline.create () in
+  match
+    Ssta.Pipeline.run p Ssta.Pipeline.Cholesky (Lazy.force process)
+      (Lazy.force small_netlist) ~seed:3 ~n:40
+  with
+  | Error e -> Alcotest.fail (Util.Diag.to_string e)
+  | Ok (prepared, mc) ->
+      Alcotest.(check int) "n samples" 40 mc.Ssta.Experiment.n_samples;
+      Alcotest.(check int) "no skips" 0 mc.Ssta.Experiment.n_skipped;
+      Alcotest.(check bool) "finite mean" true (Float.is_finite mc.Ssta.Experiment.worst_mean);
+      Alcotest.(check bool) "setup timed" true
+        (Ssta.Pipeline.setup_seconds_of prepared >= 0.0)
+
+let test_pipeline_kle_stages () =
+  let s = Lazy.force setup in
+  let p = Ssta.Pipeline.create () in
+  let proc =
+    match Ssta.Pipeline.validate_process p (Lazy.force process) with
+    | Ok proc -> proc
+    | Error e -> Alcotest.fail (Util.Diag.to_string e)
+  in
+  match Ssta.Pipeline.prepare p (Ssta.Pipeline.Kle fast_config) proc s with
+  | Error e -> Alcotest.fail (Util.Diag.to_string e)
+  | Ok prepared -> (
+      match Ssta.Pipeline.run_mc p s prepared ~seed:11 ~n:32 with
+      | Error e -> Alcotest.fail (Util.Diag.to_string e)
+      | Ok mc ->
+          Alcotest.(check int) "n samples" 32 mc.Ssta.Experiment.n_samples;
+          Alcotest.(check bool) "finite sigma" true
+            (Float.is_finite mc.Ssta.Experiment.worst_sigma))
+
+let test_pipeline_rejects_invalid_kernel () =
+  let p = Ssta.Pipeline.create () in
+  let bad =
+    {
+      Ssta.Process.parameters =
+        Array.map
+          (fun name -> { Ssta.Process.name; kernel = K.Gaussian { c = -1.0 } })
+          Circuit.Gate.parameter_names;
+    }
+  in
+  match Ssta.Pipeline.validate_process p bad with
+  | Ok _ -> Alcotest.fail "invalid kernel accepted"
+  | Error e ->
+      Alcotest.(check bool) "typed invalid-input" true (e.Util.Diag.code = `Invalid_input);
+      Alcotest.(check bool) "recorded" true
+        (Util.Diag.count ~min_severity:Util.Diag.Error (Ssta.Pipeline.diagnostics p) > 0)
+
+let test_pipeline_mesh_angle_floor () =
+  let p = Ssta.Pipeline.create () in
+  let mesh = Geometry.Mesh.uniform Geometry.Rect.unit_die ~divisions:4 in
+  (match Ssta.Pipeline.validate_mesh p mesh with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Util.Diag.to_string e));
+  match Ssta.Pipeline.validate_mesh ~min_angle_deg:60.0 p mesh with
+  | Ok _ -> Alcotest.fail "45-degree mesh passed a 60-degree floor"
+  | Error e -> Alcotest.(check bool) "typed" true (e.Util.Diag.code = `Invalid_input)
+
+let test_pipeline_strict_escalates_degraded_factorization () =
+  (* duplicate gate locations make the Algorithm 1 covariance exactly
+     singular: the jitter fallback rescues it, and strict mode turns the
+     recorded degradation into a stage failure *)
+  let s = Lazy.force setup in
+  let locations = Array.copy s.Ssta.Experiment.locations in
+  locations.(1) <- locations.(0);
+  let s = { s with Ssta.Experiment.locations } in
+  let proc = Lazy.force process in
+  (* lax pipeline: degraded but Ok, with the fallback on record *)
+  let lax = Ssta.Pipeline.create () in
+  (match Ssta.Pipeline.prepare lax Ssta.Pipeline.Cholesky proc s with
+  | Error e -> Alcotest.fail (Util.Diag.to_string e)
+  | Ok _ ->
+      Alcotest.(check bool) "degradation recorded" true
+        (Util.Diag.count ~code:`Degraded_fallback (Ssta.Pipeline.diagnostics lax) > 0));
+  (* strict pipeline: the same degradation fails the stage *)
+  let strict = Ssta.Pipeline.create ~strict:true () in
+  match Ssta.Pipeline.prepare strict Ssta.Pipeline.Cholesky proc s with
+  | Ok _ -> Alcotest.fail "strict mode accepted a degraded factorization"
+  | Error e ->
+      Alcotest.(check bool) "escalated to error" true
+        (e.Util.Diag.severity = Util.Diag.Error);
+      Alcotest.(check bool) "fallback code" true (e.Util.Diag.code = `Degraded_fallback)
 
 (* ---------- Canonical forms ---------- *)
 
@@ -602,5 +798,26 @@ let () =
           Alcotest.test_case "jobs bit-identical" `Quick test_run_mc_jobs_bit_identical;
           Alcotest.test_case "compare skips zero-sigma endpoints" `Quick
             test_compare_skips_zero_sigma_endpoints;
+          Alcotest.test_case "compare reports excluded endpoints" `Quick
+            test_compare_excluded_endpoint_count;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "Fail policy names the faulted batch" `Quick
+            test_run_mc_fail_policy_names_fault;
+          Alcotest.test_case "Skip policy bit-identical across jobs" `Quick
+            test_run_mc_skip_policy_bit_identical_across_jobs;
+          Alcotest.test_case "all samples skipped raises" `Quick
+            test_run_mc_all_skipped_raises;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "cholesky end to end" `Quick test_pipeline_cholesky_end_to_end;
+          Alcotest.test_case "kle staged flow" `Quick test_pipeline_kle_stages;
+          Alcotest.test_case "invalid kernel rejected" `Quick
+            test_pipeline_rejects_invalid_kernel;
+          Alcotest.test_case "mesh angle floor" `Quick test_pipeline_mesh_angle_floor;
+          Alcotest.test_case "strict escalates degraded factorization" `Quick
+            test_pipeline_strict_escalates_degraded_factorization;
         ] );
     ]

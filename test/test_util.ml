@@ -168,6 +168,108 @@ let test_fmt_float () =
   Alcotest.(check string) "default" "1.500" (Util.Table.fmt_float 1.5);
   Alcotest.(check string) "digits" "1.50" (Util.Table.fmt_float ~digits:2 1.5)
 
+(* ---------- Diag ---------- *)
+
+let test_diag_record_and_query () =
+  let sink = Util.Diag.create () in
+  Alcotest.(check int) "empty" 0 (Util.Diag.length sink);
+  Alcotest.(check bool) "no max severity" true (Util.Diag.max_severity sink = None);
+  Util.Diag.record ~sink Util.Diag.Info `Fault_injected ~stage:"t" "a";
+  Util.Diag.record ~sink Util.Diag.Warning `Degraded_fallback ~stage:"t" "b";
+  Util.Diag.record ~sink Util.Diag.Warning `Not_psd ~stage:"t" "c";
+  Alcotest.(check int) "length" 3 (Util.Diag.length sink);
+  Alcotest.(check int) "warnings" 2
+    (Util.Diag.count ~min_severity:Util.Diag.Warning sink);
+  Alcotest.(check int) "by code" 1 (Util.Diag.count ~code:`Not_psd sink);
+  Alcotest.(check bool) "max severity" true
+    (Util.Diag.max_severity sink = Some Util.Diag.Warning);
+  (match Util.Diag.events sink with
+  | [ a; b; c ] ->
+      Alcotest.(check string) "oldest first" "a" a.Util.Diag.detail;
+      Alcotest.(check string) "middle" "b" b.Util.Diag.detail;
+      Alcotest.(check string) "newest last" "c" c.Util.Diag.detail
+  | _ -> Alcotest.fail "expected 3 events");
+  Util.Diag.clear sink;
+  Alcotest.(check int) "cleared" 0 (Util.Diag.length sink)
+
+let test_diag_no_sink_is_noop () =
+  (* library code records unconditionally; without a sink nothing happens *)
+  Util.Diag.record Util.Diag.Warning `Non_finite ~stage:"t" "dropped"
+
+let test_diag_fail_records_and_raises () =
+  let sink = Util.Diag.create () in
+  (match Util.Diag.fail ~sink `No_convergence ~stage:"solver" "budget exhausted" with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Util.Diag.Failure e ->
+      Alcotest.(check bool) "error severity" true (e.Util.Diag.severity = Util.Diag.Error);
+      Alcotest.(check bool) "code" true (e.Util.Diag.code = `No_convergence);
+      Alcotest.(check string) "stage" "solver" e.Util.Diag.stage);
+  Alcotest.(check int) "recorded" 1 (Util.Diag.count ~min_severity:Util.Diag.Error sink)
+
+let test_diag_to_string () =
+  let e =
+    { Util.Diag.severity = Util.Diag.Warning; code = `Not_psd; stage = "mvn"; detail = "x" }
+  in
+  let s = Util.Diag.to_string e in
+  Alcotest.(check bool) "has severity" true (contains_substring s "warning");
+  Alcotest.(check bool) "has code" true (contains_substring s "not-psd");
+  Alcotest.(check bool) "has stage" true (contains_substring s "mvn")
+
+let test_diag_thread_safety () =
+  let sink = Util.Diag.create () in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to 250 do
+              Util.Diag.record ~sink Util.Diag.Info `Fault_injected ~stage:"d"
+                (Printf.sprintf "%d.%d" d i)
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "all events kept" 1000 (Util.Diag.length sink)
+
+(* ---------- Fault ---------- *)
+
+let test_fault_corrupt_kinds () =
+  Alcotest.(check bool) "nan" true (Float.is_nan (Util.Fault.corrupt Util.Fault.Nan 3.0));
+  check_float "value" 7.0 (Util.Fault.corrupt (Util.Fault.Value 7.0) 3.0);
+  check_float "scale" 6.0 (Util.Fault.corrupt (Util.Fault.Scale 2.0) 3.0);
+  check_float "offset" 2.5 (Util.Fault.corrupt (Util.Fault.Offset (-0.5)) 3.0)
+
+let test_fault_plan_selects_first_only () =
+  let p = Util.Fault.plan ~first:2 Util.Fault.Nan in
+  let out = Array.init 5 (fun i -> Util.Fault.apply p (float_of_int i)) in
+  Alcotest.(check int) "calls counted" 5 (Util.Fault.calls p);
+  Alcotest.(check int) "fired once" 1 (Util.Fault.fired p);
+  Array.iteri
+    (fun i v ->
+      if i = 2 then Alcotest.(check bool) "faulted call" true (Float.is_nan v)
+      else check_float "clean call" (float_of_int i) v)
+    out
+
+let test_fault_plan_periodic_with_limit () =
+  let p = Util.Fault.plan ~first:1 ~period:2 ~limit:3 (Util.Fault.Value 0.0) in
+  let out = Array.init 10 (fun _ -> Util.Fault.apply p 1.0) in
+  (* selected: calls 1, 3, 5, 7, 9 — limit caps at 3 *)
+  Alcotest.(check int) "fired" 3 (Util.Fault.fired p);
+  let faulted = Array.to_list out |> List.filteri (fun i _ -> i = 1 || i = 3 || i = 5) in
+  List.iter (fun v -> check_float "zeroed" 0.0 v) faulted;
+  check_float "past limit untouched" 1.0 out.(7);
+  Util.Fault.reset p;
+  Alcotest.(check int) "reset calls" 0 (Util.Fault.calls p);
+  Alcotest.(check int) "reset fired" 0 (Util.Fault.fired p);
+  Alcotest.(check bool) "fires again after reset" true
+    (Float.is_finite (Util.Fault.apply p 1.0) && Util.Fault.apply p 1.0 = 0.0)
+
+let test_fault_plan_invalid_args () =
+  let raises f = match f () with _ -> false | exception Invalid_argument _ -> true in
+  Alcotest.(check bool) "negative first" true
+    (raises (fun () -> Util.Fault.plan ~first:(-1) Util.Fault.Nan));
+  Alcotest.(check bool) "negative period" true
+    (raises (fun () -> Util.Fault.plan ~period:(-2) Util.Fault.Nan));
+  Alcotest.(check bool) "negative limit" true
+    (raises (fun () -> Util.Fault.plan ~limit:(-1) Util.Fault.Nan))
+
 let () =
   Alcotest.run "util"
     [
@@ -205,5 +307,23 @@ let () =
           Alcotest.test_case "nested call runs sequentially" `Quick
             test_pool_nested_runs_sequentially;
           Alcotest.test_case "with_jobs sizes" `Quick test_pool_with_jobs;
+        ] );
+      ( "diag",
+        [
+          Alcotest.test_case "record and query" `Quick test_diag_record_and_query;
+          Alcotest.test_case "no sink is a no-op" `Quick test_diag_no_sink_is_noop;
+          Alcotest.test_case "fail records and raises" `Quick
+            test_diag_fail_records_and_raises;
+          Alcotest.test_case "to_string" `Quick test_diag_to_string;
+          Alcotest.test_case "thread safety" `Quick test_diag_thread_safety;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "corrupt kinds" `Quick test_fault_corrupt_kinds;
+          Alcotest.test_case "plan fires at first only" `Quick
+            test_fault_plan_selects_first_only;
+          Alcotest.test_case "periodic plan with limit" `Quick
+            test_fault_plan_periodic_with_limit;
+          Alcotest.test_case "invalid plan args" `Quick test_fault_plan_invalid_args;
         ] );
     ]

@@ -1,0 +1,50 @@
+#!/bin/sh
+# Grep-based source lint for lib/.
+#
+# Rules:
+#   1. No bare `failwith` in lib/ — library errors must be typed (a dedicated
+#      exception, a `Result`, or a `Util.Diag` code) so callers can build
+#      fallback chains instead of string-matching messages.
+#   2. No polymorphic `compare` / `(=)` on abstract numeric containers via
+#      `Stdlib.compare` — use the monomorphic `Float.compare`, `Int.compare`,
+#      `String.compare`, or a module's own `compare`. (Heuristic: flag any
+#      call of bare `compare` that is not module-qualified and not part of a
+#      longer identifier.)
+#
+# Exits non-zero and prints offending lines when a rule is violated.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+status=0
+
+fail() {
+  echo "lint: $1" >&2
+  echo "$2" >&2
+  status=1
+}
+
+# Rule 1: bare failwith in lib/.
+if matches=$(grep -rn --include='*.ml' --include='*.mli' 'failwith' lib/); then
+  fail "bare failwith in lib/ — raise a typed exception or report through Util.Diag instead" "$matches"
+fi
+
+# Rule 2: unqualified polymorphic compare in lib/.
+# Matches `compare` as a standalone identifier not preceded by a module dot
+# or an identifier character, excluding definitions (`let compare`,
+# `val compare`) and longer names like `compare_foo` / `foo_compare`.
+if matches=$(grep -rnE --include='*.ml' --include='*.mli' \
+  '(^|[^.A-Za-z0-9_])compare[^_A-Za-z0-9]' lib/ \
+  | grep -vE '(let|val|and)[[:space:]]+compare' \
+  | grep -vE '\([[:space:]]*compare[[:space:]]*\)' \
+  | grep -vE '^\s*[^:]*:[0-9]+:\s*\(\*' || true); then
+  if [ -n "$matches" ]; then
+    fail "unqualified polymorphic compare in lib/ — use Float.compare / Int.compare / String.compare or a module compare" "$matches"
+  fi
+fi
+
+if [ "$status" -eq 0 ]; then
+  echo "lint: OK"
+fi
+exit "$status"
