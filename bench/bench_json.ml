@@ -1,0 +1,105 @@
+(* Dependency-free JSON reporter for the benchmark harness: collects one
+   record per measured run and writes them as a JSON array, so BENCH_*.json
+   files accumulate a machine-readable perf trajectory next to the
+   human-readable tables. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of value list
+  | Assoc of (string * value) list
+
+let add_escaped b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let rec add b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f ->
+      (* JSON has no nan/inf literals *)
+      if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.17g" f)
+      else Buffer.add_string b "null"
+  | String s ->
+      Buffer.add_char b '"';
+      add_escaped b s;
+      Buffer.add_char b '"'
+  | List vs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string b ", ";
+          add b v)
+        vs;
+      Buffer.add_char b ']'
+  | Assoc kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string b ", ";
+          Buffer.add_char b '"';
+          add_escaped b k;
+          Buffer.add_string b "\": ";
+          add b v)
+        kvs;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  add b v;
+  Buffer.contents b
+
+type record = {
+  name : string;  (** subcommand / measurement id, e.g. ["scale"] *)
+  params : (string * value) list;  (** free-form inputs (kernel, mesh_frac…) *)
+  wall_s : float;  (** total wall time of the measured work *)
+  per_stage_s : (string * float) list;  (** stage name -> seconds *)
+  mesh_n : int option;  (** mesh triangles, when a mesh is involved *)
+  r : int option;  (** eigenpairs computed/retained, when applicable *)
+  jobs : int option;  (** worker-domain override ([None] = default pool) *)
+  samples : int option;  (** Monte Carlo samples, when applicable *)
+}
+
+let record_value r =
+  let opt f = function Some v -> f v | None -> Null in
+  Assoc
+    [
+      ("name", String r.name);
+      ("params", Assoc r.params);
+      ("wall_s", Float r.wall_s);
+      ( "per_stage_s",
+        Assoc (List.map (fun (k, v) -> (k, Float v)) r.per_stage_s) );
+      ("mesh_n", opt (fun i -> Int i) r.mesh_n);
+      ("r", opt (fun i -> Int i) r.r);
+      ("jobs", opt (fun i -> Int i) r.jobs);
+      ("samples", opt (fun i -> Int i) r.samples);
+    ]
+
+(* one record per line, so diffs between BENCH files stay line-oriented *)
+let write_file path records =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n  ";
+      add b (record_value r))
+    records;
+  Buffer.add_string b "\n]\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc

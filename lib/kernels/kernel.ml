@@ -91,3 +91,89 @@ let rec validate = function
   | Anisotropic_gaussian { cx; cy } ->
       if cx > 0.0 && cy > 0.0 then Ok ()
       else Error "anisotropic decay rates must both be positive"
+
+type profile_table = {
+  vmax : float;
+  inv_step : float;
+  values : float array;
+  max_error : float;
+}
+
+let profile_table_max_error tbl = tbl.max_error
+
+let profile_eval tbl v =
+  let n = Array.length tbl.values in
+  if v <= 0.0 then Array.unsafe_get tbl.values 0
+  else if v >= tbl.vmax then Array.unsafe_get tbl.values (n - 1)
+  else begin
+    let f = v *. tbl.inv_step in
+    let i = int_of_float f in
+    let i = if i >= n - 1 then n - 2 else i in
+    let t = f -. float_of_int i in
+    let v0 = Array.unsafe_get tbl.values i in
+    v0 +. (t *. (Array.unsafe_get tbl.values (i + 1) -. v0))
+  end
+
+(* Fault decorators must stay on the exact path: tabulating would freeze the
+   plan's counter at build time and the injected faults would never reach the
+   consumers the plan targets. Only the top constructor can be [Faulty]. *)
+let has_fault = function Faulty _ -> true | _ -> false
+
+let radial_profile ?(points = 1 lsl 17) ?(tol = 1e-9) ?diag t ~vmax =
+  if points < 2 then invalid_arg "Kernel.radial_profile: need >= 2 points";
+  if not (vmax > 0.0) then
+    invalid_arg "Kernel.radial_profile: vmax must be positive";
+  if (not (is_isotropic t)) || has_fault t then None
+  else begin
+    let step = vmax /. float_of_int (points - 1) in
+    let values = Array.init points (fun i -> profile t (float_of_int i *. step)) in
+    if not (Array.for_all Float.is_finite values) then begin
+      Util.Diag.record ?sink:diag Warning `Non_finite
+        ~stage:"kernel.radial_profile"
+        (Printf.sprintf "non-finite table entry for %s; exact evaluation retained"
+           (name t));
+      None
+    end
+    else begin
+      let tbl = { vmax; inv_step = 1.0 /. step; values; max_error = 0.0 } in
+      (* Guard: measure the interpolation error at uniformly strided interval
+         midpoints, plus the midpoints of the intervals with the largest
+         second differences — [h² f''/8] is the lerp error bound, so those are
+         where a kink (Linear_cone, Spherical at rho) or a sharp profile
+         actually bites, and a uniform stride alone would miss the one bad
+         interval out of 2^17. *)
+      let err = ref 0.0 in
+      let probe v =
+        let d = Float.abs (profile_eval tbl v -. profile t v) in
+        if d > !err then err := d
+      in
+      let uniform_probes = 4096 in
+      for i = 0 to uniform_probes - 1 do
+        probe ((float_of_int i +. 0.5) /. float_of_int uniform_probes *. vmax)
+      done;
+      let d2 = Array.make points 0.0 in
+      for i = 1 to points - 2 do
+        d2.(i) <-
+          Float.abs (values.(i - 1) -. (2.0 *. values.(i)) +. values.(i + 1))
+      done;
+      let order = Array.init points (fun i -> i) in
+      Array.sort (fun a b -> Float.compare d2.(b) d2.(a)) order;
+      for r = 0 to min 63 (points - 1) do
+        let i = order.(r) in
+        if d2.(i) > 0.0 then begin
+          if i > 0 then probe ((float_of_int i -. 0.5) *. step);
+          if i < points - 1 then probe ((float_of_int i +. 0.5) *. step)
+        end
+      done;
+      if !err > tol then begin
+        Util.Diag.record ?sink:diag Warning `Degraded_fallback
+          ~stage:"kernel.radial_profile"
+          (Printf.sprintf
+             "measured interpolation error %.3g exceeds tol %.3g for %s; \
+              exact evaluation retained"
+             !err tol (name t));
+        None
+      end
+      else Some { tbl with max_error = !err }
+    end
+  end

@@ -58,3 +58,43 @@ val name : t -> string
 
 val validate : t -> (unit, string) result
 (** Static parameter validation (positive decay rates, Matérn [s > 1], …). *)
+
+(** {2 Radial profile tables}
+
+    Isotropy means [K(x, y)] depends only on [v = ‖x - y‖], so an n²-entry
+    correlation operator can be driven from a 1-D table of K(v) over
+    [[0, vmax]] — each entry becomes one linear interpolation instead of an
+    [exp]/Bessel/[Γ] evaluation. This is what makes the matrix-free Galerkin
+    apply cheap ({!Kle.Operator}). *)
+
+type profile_table
+(** A uniformly spaced tabulation of an isotropic kernel's radial profile,
+    with the interpolation error measured at build time. *)
+
+val radial_profile :
+  ?points:int ->
+  ?tol:float ->
+  ?diag:Util.Diag.sink ->
+  t ->
+  vmax:float ->
+  profile_table option
+(** [radial_profile k ~vmax] tabulates K(v) at [points] (default [2^17])
+    uniform nodes on [[0, vmax]] and measures the max absolute linear
+    interpolation error against exact evaluation — at uniformly strided
+    probe points and at the midpoints of the intervals with the largest
+    second differences, so a single kinked interval (e.g. [Linear_cone] at
+    [rho]) cannot slip past the guard.
+
+    Returns [None] — callers must then evaluate exactly — when the kernel is
+    not isotropic, when it is a [Faulty] decorator (tabulation would bypass
+    the fault plan), when a table entry is non-finite, or when the measured
+    error exceeds [tol] (default 1e-9). The two failure modes record a
+    [`Non_finite] / [`Degraded_fallback] warning on [diag]. Raises
+    [Invalid_argument] when [points < 2] or [vmax <= 0]. *)
+
+val profile_eval : profile_table -> float -> float
+(** Linear interpolation of the tabulated profile; [v] is clamped to
+    [[0, vmax]]. *)
+
+val profile_table_max_error : profile_table -> float
+(** The interpolation error measured by the build-time guard. *)

@@ -1,9 +1,11 @@
 module Mesh = Geometry.Mesh
 module Kernel = Kernels.Kernel
 
-type quadrature = Centroid | Midedge
+type quadrature = Operator.quadrature = Centroid | Midedge
 
 type solver = Dense | Lanczos of { count : int }
+
+type mode = Auto | Assembled | Matrix_free
 
 type solution = {
   mesh : Mesh.t;
@@ -13,33 +15,9 @@ type solution = {
   coefficients : Linalg.Mat.t;
 }
 
-(* K̃_ik: quadrature approximation of (1/(a_i a_k)) ∫∫ K — i.e. the mean of K
-   over the element pair. Centroid rule: K(c_i, c_k). Mid-edge rule: mean of
-   the 3x3 mid-edge evaluations (each triangle's 3-point rule has equal
-   weights a/3). *)
-let mean_kernel_value quadrature mesh kernel =
-  match quadrature with
-  | Centroid ->
-      let centroids = mesh.Mesh.centroids in
-      fun i k -> Kernel.eval kernel centroids.(i) centroids.(k)
-  | Midedge ->
-      let midpoints =
-        Array.init (Mesh.size mesh) (fun i ->
-            Geometry.Triangle.edge_midpoints (Mesh.triangle mesh i))
-      in
-      fun i k ->
-        let mi = midpoints.(i) and mk = midpoints.(k) in
-        let acc = ref 0.0 in
-        for p = 0 to 2 do
-          for q = 0 to 2 do
-            acc := !acc +. Kernel.eval kernel mi.(p) mk.(q)
-          done
-        done;
-        !acc /. 9.0
-
 let assemble ?(quadrature = Centroid) ?jobs mesh kernel =
   let n = Mesh.size mesh in
-  let mean = mean_kernel_value quadrature mesh kernel in
+  let mean = Operator.mean_kernel_value quadrature mesh kernel in
   let sqrt_area = Array.map sqrt mesh.Mesh.areas in
   let c = Linalg.Mat.create n n in
   (* upper-triangle rows fan out over the pool: pair (i, k) with i <= k is
@@ -70,50 +48,15 @@ let trace mesh kernel =
 
 let default_solver n = if n <= 600 then Dense else Lanczos { count = min n 200 }
 
-let solve ?(quadrature = Centroid) ?solver ?lanczos_max_dim ?diag ?jobs mesh kernel =
+(* Auto switches to matrix-free at the same size at which [default_solver]
+   switches to Lanczos: below it the dense QL solver needs the assembled
+   matrix anyway, above it the O(n²) assembly is the avoidable cost. *)
+let matrix_free_threshold = 600
+
+(* PSD validity check + eigenvector rescale shared by every solve path.
+   [raw_vectors_cols j] must return the j-th unit-norm eigenvector of C. *)
+let finalize ?diag mesh kernel quadrature raw_values raw_vectors_cols =
   let n = Mesh.size mesh in
-  let solver = match solver with Some s -> s | None -> default_solver n in
-  let c = assemble ~quadrature ?jobs mesh kernel in
-  (* stage guard: a NaN/inf anywhere in the Galerkin matrix would silently
-     poison the whole eigensolve — fail here with a typed diagnostic naming
-     the kernel and the offending element pair instead *)
-  (match Linalg.Mat.find_non_finite c with
-  | Some (i, k) ->
-      Util.Diag.fail ?sink:diag `Non_finite ~stage:"galerkin.assemble"
-        (Printf.sprintf
-           "kernel %s produced a non-finite Galerkin entry for element pair \
-            (%d, %d)"
-           (Kernel.name kernel) i k)
-  | None -> ());
-  let dense_cols count =
-    let vals, q = Linalg.Sym_eig.eig c in
-    (Array.sub vals 0 count, fun j -> Linalg.Mat.col q j)
-  in
-  let raw_values, raw_vectors_cols =
-    match solver with
-    | Dense -> dense_cols n
-    | Lanczos { count } -> (
-        if count <= 0 || count > n then
-          invalid_arg "Galerkin.solve: Lanczos count out of range";
-        match
-          Linalg.Lanczos.top_k
-            ~matvec:(fun x -> Linalg.Mat.sym_mul_vec c x)
-            ~n ~k:count ?max_dim:lanczos_max_dim ()
-        with
-        | r -> (r.eigenvalues, fun j -> r.eigenvectors.(j))
-        | exception Linalg.Lanczos.No_convergence { converged; wanted } ->
-            Util.Diag.record ?sink:diag Warning `No_convergence
-              ~stage:"galerkin.solve"
-              (Printf.sprintf "Lanczos converged %d of %d pairs for kernel %s"
-                 converged wanted (Kernel.name kernel));
-            Util.Diag.record ?sink:diag Warning `Degraded_fallback
-              ~stage:"galerkin.solve"
-              (Printf.sprintf
-                 "falling back to the dense QL eigensolver for the leading %d \
-                  pairs (n = %d)"
-                 count n);
-            dense_cols count)
-  in
   let k = Array.length raw_values in
   (* validity check: a correct kernel's Galerkin matrix is PSD up to
      rounding. Tolerate only tiny negative values. *)
@@ -147,5 +90,98 @@ let solve ?(quadrature = Centroid) ?solver ?lanczos_max_dim ?diag ?jobs mesh ker
     done
   done;
   { mesh; kernel; quadrature; eigenvalues; coefficients }
+
+(* [keep] truncates the dense QL spectrum (used when Dense is a fallback for
+   a Lanczos request that only wanted the leading [count] pairs) *)
+let solve_assembled ~quadrature ~solver ?keep ?lanczos_max_dim ?diag ?jobs mesh
+    kernel =
+  let n = Mesh.size mesh in
+  let c = assemble ~quadrature ?jobs mesh kernel in
+  (* stage guard: a NaN/inf anywhere in the Galerkin matrix would silently
+     poison the whole eigensolve — fail here with a typed diagnostic naming
+     the kernel and the offending element pair instead *)
+  (match Linalg.Mat.find_non_finite c with
+  | Some (i, k) ->
+      Util.Diag.fail ?sink:diag `Non_finite ~stage:"galerkin.assemble"
+        (Printf.sprintf
+           "kernel %s produced a non-finite Galerkin entry for element pair \
+            (%d, %d)"
+           (Kernel.name kernel) i k)
+  | None -> ());
+  let dense_cols count =
+    let vals, q = Linalg.Sym_eig.eig c in
+    (Array.sub vals 0 count, fun j -> Linalg.Mat.col q j)
+  in
+  let raw_values, raw_vectors_cols =
+    match solver with
+    | Dense -> dense_cols (match keep with Some k -> min k n | None -> n)
+    | Lanczos { count } -> (
+        match
+          Linalg.Lanczos.top_k_op ~op:(Linalg.Operator.of_mat c) ~k:count
+            ?max_dim:lanczos_max_dim ()
+        with
+        | r -> (r.eigenvalues, fun j -> r.eigenvectors.(j))
+        | exception Linalg.Lanczos.No_convergence { converged; wanted } ->
+            Util.Diag.record ?sink:diag Warning `No_convergence
+              ~stage:"galerkin.solve"
+              (Printf.sprintf "Lanczos converged %d of %d pairs for kernel %s"
+                 converged wanted (Kernel.name kernel));
+            Util.Diag.record ?sink:diag Warning `Degraded_fallback
+              ~stage:"galerkin.solve"
+              (Printf.sprintf
+                 "falling back to the dense QL eigensolver for the leading %d \
+                  pairs (n = %d)"
+                 count n);
+            dense_cols count)
+  in
+  finalize ?diag mesh kernel quadrature raw_values raw_vectors_cols
+
+let solve ?(quadrature = Centroid) ?(mode = Auto) ?solver ?lanczos_max_dim
+    ?diag ?jobs mesh kernel =
+  let n = Mesh.size mesh in
+  let solver = match solver with Some s -> s | None -> default_solver n in
+  (match solver with
+  | Lanczos { count } when count <= 0 || count > n ->
+      invalid_arg "Galerkin.solve: Lanczos count out of range"
+  | _ -> ());
+  let mode =
+    match (mode, solver) with
+    | Auto, Lanczos _ when n > matrix_free_threshold -> Matrix_free
+    | Auto, _ -> Assembled
+    | Matrix_free, Dense ->
+        invalid_arg
+          "Galerkin.solve: Matrix_free mode requires the Lanczos solver \
+           (the dense QL solver factorizes the assembled matrix)"
+    | (Assembled | Matrix_free), _ -> mode
+  in
+  match mode with
+  | Auto | Assembled ->
+      solve_assembled ~quadrature ~solver ?lanczos_max_dim ?diag ?jobs mesh
+        kernel
+  | Matrix_free -> (
+      let count =
+        match solver with Lanczos { count } -> count | Dense -> assert false
+      in
+      let op = Operator.galerkin ~quadrature ?diag ?jobs mesh kernel in
+      match
+        Linalg.Lanczos.top_k_op ~op ~k:count ?max_dim:lanczos_max_dim ()
+      with
+      | r ->
+          finalize ?diag mesh kernel quadrature r.eigenvalues (fun j ->
+              r.eigenvectors.(j))
+      | exception Linalg.Lanczos.No_convergence { converged; wanted } ->
+          Util.Diag.record ?sink:diag Warning `No_convergence
+            ~stage:"galerkin.solve"
+            (Printf.sprintf
+               "matrix-free Lanczos converged %d of %d pairs for kernel %s"
+               converged wanted (Kernel.name kernel));
+          Util.Diag.record ?sink:diag Warning `Degraded_fallback
+            ~stage:"galerkin.solve"
+            (Printf.sprintf
+               "falling back to assembly and the dense QL eigensolver for the \
+                leading %d pairs (n = %d)"
+               count n);
+          solve_assembled ~quadrature ~solver:(Dense : solver) ~keep:count
+            ?lanczos_max_dim ?diag ?jobs mesh kernel)
 
 let eigenvalue_sum_bound solution = Util.Arrayx.sum solution.eigenvalues

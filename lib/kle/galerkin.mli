@@ -13,7 +13,7 @@
     numerics. Eigenvectors are normalized so the corresponding
     eigen{e functions} are orthonormal in L²(D): [Σ_i d_i² a_i = 1]. *)
 
-type quadrature =
+type quadrature = Operator.quadrature =
   | Centroid  (** paper eq. (21): one-point rule, degree-1 exact *)
   | Midedge  (** three mid-edge points per triangle, degree-2 exact — the
                  "higher order" extension the paper mentions in Sec. 4.2 *)
@@ -23,6 +23,15 @@ type solver =
   | Lanczos of { count : int }
       (** leading [count] eigenpairs by Lanczos iteration (the paper computes
           "only the first 200") *)
+
+type mode =
+  | Auto
+      (** matrix-free when the solver is Lanczos and
+          [n > matrix_free_threshold], assembled otherwise *)
+  | Assembled  (** materialize the n×n Galerkin matrix, then eigensolve *)
+  | Matrix_free
+      (** never materialize the matrix: Lanczos over {!Operator.galerkin}
+          (requires a Lanczos solver) *)
 
 type solution = {
   mesh : Geometry.Mesh.t;
@@ -45,8 +54,13 @@ val assemble :
     ({!Util.Pool.with_jobs} semantics: default = the shared pool, [1] =
     sequential); the result is bit-identical for every [jobs]. *)
 
+val matrix_free_threshold : int
+(** The [Auto] switchover size (600 triangles — the same size at which
+    {!solve}'s default solver switches from dense QL to Lanczos). *)
+
 val solve :
   ?quadrature:quadrature ->
+  ?mode:mode ->
   ?solver:solver ->
   ?lanczos_max_dim:int ->
   ?diag:Util.Diag.sink ->
@@ -55,17 +69,26 @@ val solve :
   Kernels.Kernel.t ->
   solution
 (** Solve the Galerkin eigenproblem. Default solver is [Dense] below 600
-    triangles and [Lanczos {count = min n 200}] above. Eigenvalues are
-    clamped at 0 (tiny negative rounding values only).
+    triangles and [Lanczos {count = min n 200}] above; default [mode] is
+    [Auto]. Eigenvalues are clamped at 0 (tiny negative rounding values
+    only). [Matrix_free] with an explicit [Dense] solver raises
+    [Invalid_argument].
 
     Robustness behaviour (all events recorded into [diag] when given):
-    - the assembled matrix is scanned for NaN/inf before the eigensolve;
-      a non-finite entry raises [Util.Diag.Failure] with [`Non_finite]
-      naming the kernel and element pair;
-    - a Lanczos run that fails to converge ([lanczos_max_dim] caps its
-      Krylov dimension, mainly for tests) falls back to the dense QL
-      solver for the same leading [count] pairs, recording
-      [`No_convergence] and [`Degraded_fallback] warnings;
+    - on the assembled path the matrix is scanned for NaN/inf before the
+      eigensolve; a non-finite entry raises [Util.Diag.Failure] with
+      [`Non_finite] naming the kernel and element pair — on the matrix-free
+      path each apply result is scanned instead ([`Non_finite], stage
+      ["kle.operator.apply"]);
+    - an assembled Lanczos run that fails to converge ([lanczos_max_dim]
+      caps its Krylov dimension, mainly for tests) falls back to the dense
+      QL solver for the same leading [count] pairs, recording
+      [`No_convergence] and [`Degraded_fallback] warnings; a matrix-free
+      run that fails to converge falls back to assembly + dense QL, same
+      two warnings, preserving the audit trail;
+    - a radial profile table that fails its accuracy guard falls back to
+      exact evaluation inside the operator ([`Degraded_fallback] recorded
+      by {!Kernels.Kernel.radial_profile});
     - a genuinely indefinite kernel raises [Util.Diag.Failure] with
       [`Not_psd]. *)
 

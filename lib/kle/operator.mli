@@ -1,0 +1,64 @@
+(** The Galerkin correlation operator [C = Φ^{1/2} K̃ Φ^{1/2}] as a
+    {!Linalg.Operator.t} — in particular {e matrix-free}: the Krylov
+    eigensolver only needs [C·x], and every entry
+    [C_ik = K̃(c_i, c_k) √(a_i a_k)] is recomputable on the fly, so the
+    O(n²) assembly (memory {e and} kernel evaluations) can be skipped
+    entirely.
+
+    Recomputing entries is only a win when an entry is cheap. All of the
+    paper's kernel families are isotropic, so the apply evaluates
+    [K(v = ‖c_i - c_k‖)] through a precomputed radial profile table
+    ({!Kernels.Kernel.radial_profile}) — one distance and one linear
+    interpolation per unordered pair instead of [exp]/Bessel/[Γ] calls —
+    falling back to exact evaluation when the kernel is anisotropic, wraps a
+    fault plan, or fails the table's measured-error guard.
+
+    The apply is parallelized over {!Util.Pool} with a pool-size-independent
+    panel decomposition: results are bit-identical for every [jobs],
+    matching the repo-wide determinism contract. Each matvec costs
+    [n²/2] pair evaluations (the symmetric half is exploited) and the
+    operator holds O(128·n) scratch words — no n×n allocation anywhere. *)
+
+type t = Linalg.Operator.t =
+  | Dense of Linalg.Mat.t
+  | Matrix_free of { apply : float array -> float array; dim : int }
+
+type quadrature =
+  | Centroid  (** paper eq. (21): one-point rule, degree-1 exact *)
+  | Midedge  (** three mid-edge points per triangle, degree-2 exact *)
+
+val mean_kernel_value :
+  quadrature -> Geometry.Mesh.t -> Kernels.Kernel.t -> int -> int -> float
+(** [mean_kernel_value q mesh kernel i k] is K̃_ik, the quadrature
+    approximation of the mean of [K] over element pair [(i, k)] — the shared
+    entry rule behind both {!Galerkin.assemble} and the matrix-free apply. *)
+
+val dim : t -> int
+val apply : t -> float array -> float array
+
+val galerkin :
+  ?quadrature:quadrature ->
+  ?exact:bool ->
+  ?table_points:int ->
+  ?table_tol:float ->
+  ?diag:Util.Diag.sink ->
+  ?jobs:int ->
+  Geometry.Mesh.t ->
+  Kernels.Kernel.t ->
+  t
+(** [galerkin mesh kernel] is the matrix-free Galerkin operator.
+
+    [exact] (default false) forces exact kernel evaluation even when a
+    radial table would qualify — the table path is used when the kernel is
+    isotropic, carries no fault plan, and passes the build-time
+    interpolation-error guard ([table_points]/[table_tol] forwarded to
+    {!Kernels.Kernel.radial_profile}, which records [`Degraded_fallback] /
+    [`Non_finite] warnings on [diag] when the table is rejected).
+
+    [jobs] has {!Util.Pool.with_jobs} semantics, resolved per matvec.
+    A non-finite entry in an apply result raises [Util.Diag.Failure] with
+    [`Non_finite] (recorded on [diag]).
+
+    The returned closure reuses internal scratch across calls and is not
+    re-entrant: one matvec at a time (the Lanczos driver is sequential
+    between matvecs, so this is the natural contract). *)

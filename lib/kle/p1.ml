@@ -87,11 +87,10 @@ let solve ?count mesh kernel =
      C c = lambda c with C = L^-1 K L^-T, d = L^-T c *)
   let l = Linalg.Cholesky.factor_lower m in
   (* forward-substitute on columns: X = L^-1 K *)
-  let forward_all mat =
-    let n = Linalg.Mat.rows mat in
+  let forward_all get_col n =
     let out = Linalg.Mat.create n n in
     for col = 0 to n - 1 do
-      let b = Linalg.Mat.col mat col in
+      let b = get_col col in
       (* L y = b *)
       let y = Array.make n 0.0 in
       for i = 0 to n - 1 do
@@ -107,9 +106,10 @@ let solve ?count mesh kernel =
     done;
     out
   in
-  let x = forward_all k in
-  (* C = (L^-1 (L^-1 K)^T)^T; C symmetric so the final transpose is free *)
-  let c = forward_all (Linalg.Mat.transpose x) in
+  let x = forward_all (Linalg.Mat.col k) nv in
+  (* C = (L^-1 (L^-1 K)^T)^T; C symmetric so the final transpose is free, and
+     column [col] of Xᵀ is just row [col] of X — no transpose materialized *)
+  let c = forward_all (Linalg.Mat.row x) nv in
   let raw_values, column =
     if count >= nv then begin
       let vals, q = Linalg.Sym_eig.eig c in

@@ -51,29 +51,39 @@ let sample t rng = fst (sample_with_xi t rng)
 let sample_matrix_with t ~xi =
   if Linalg.Mat.cols xi <> dim t then
     invalid_arg "Sampler.sample_matrix_with: xi width mismatch";
-  Linalg.Mat.mul xi (Linalg.Mat.transpose t.b)
+  Linalg.Mat.mul_nt xi t.b
 
-let sample_matrix t rng ~n =
+(* The paper-literal Algorithm 2 expands over ALL mesh triangles and then
+   gathers the location rows — O(n·r·n_triangles) for an O(n·r·N_loc)
+   answer. Since B_gj = D_λ(t(g), j) by construction, routing through the
+   precomputed N_loc×r expansion is the same floating-point product for each
+   kept cell (bit-identical), just without computing the thrown-away rows;
+   [paper_literal] keeps the original path as an ablation. *)
+let sample_matrix ?(paper_literal = false) t rng ~n =
   let r = dim t in
   let xi = Prng.Gaussian.matrix rng ~rows:n ~cols:r in
-  (* paper-literal Algorithm 2: P_Δ = Ξ D_λᵀ over all triangles ... *)
-  let d_lambda = Model.d_lambda t.model in
-  let p_delta = Linalg.Mat.mul xi (Linalg.Mat.transpose d_lambda) in
-  (* ... then Row(i, P) <- Row(IndexOfContainingTriangle(g_i), P_Δ) *)
-  let n_loc = location_count t in
-  let n_tri = Linalg.Mat.cols p_delta in
-  let p = Linalg.Mat.create n n_loc in
-  let src = Linalg.Mat.raw p_delta and dst = Linalg.Mat.raw p in
-  for i = 0 to n - 1 do
-    let src_row = i * n_tri and dst_row = i * n_loc in
-    for g = 0 to n_loc - 1 do
-      Bigarray.Array1.unsafe_set dst (dst_row + g)
-        (Bigarray.Array1.unsafe_get src (src_row + Array.unsafe_get t.triangle_index g))
-    done
-  done;
-  p
+  if not paper_literal then sample_matrix_with t ~xi
+  else begin
+    (* paper-literal Algorithm 2: P_Δ = Ξ D_λᵀ over all triangles ... *)
+    let d_lambda = Model.d_lambda t.model in
+    let p_delta = Linalg.Mat.mul_nt xi d_lambda in
+    (* ... then Row(i, P) <- Row(IndexOfContainingTriangle(g_i), P_Δ) *)
+    let n_loc = location_count t in
+    let n_tri = Linalg.Mat.cols p_delta in
+    let p = Linalg.Mat.create n n_loc in
+    let src = Linalg.Mat.raw p_delta and dst = Linalg.Mat.raw p in
+    for i = 0 to n - 1 do
+      let src_row = i * n_tri and dst_row = i * n_loc in
+      for g = 0 to n_loc - 1 do
+        Bigarray.Array1.unsafe_set dst (dst_row + g)
+          (Bigarray.Array1.unsafe_get src
+             (src_row + Array.unsafe_get t.triangle_index g))
+      done
+    done;
+    p
+  end
 
 let sample_matrix_direct t rng ~n =
   let xi = Prng.Gaussian.matrix rng ~rows:n ~cols:(dim t) in
   (* P = Ξ Bᵀ, expanding only at the precomputed location rows *)
-  Linalg.Mat.mul xi (Linalg.Mat.transpose t.b)
+  Linalg.Mat.mul_nt xi t.b

@@ -35,12 +35,16 @@ val sample : t -> Prng.Rng.t -> float array
 val sample_with_xi : t -> Prng.Rng.t -> float array * float array
 (** [(field, xi)] — also exposes the reduced-space Gaussian sample. *)
 
-val sample_matrix : t -> Prng.Rng.t -> n:int -> Linalg.Mat.t
-(** [n] independent realizations as rows, computed exactly as the paper's
-    Algorithm 2: expand to {e all mesh triangles} ([P_Δ = D_λ Ξ], eq. 28),
-    then gather each location's containing-triangle row. Cost
-    [O(n · r · n_triangles + n · N_loc)] — the overhead the paper attributes
-    to "the reconstruction in (28)". *)
+val sample_matrix : ?paper_literal:bool -> t -> Prng.Rng.t -> n:int -> Linalg.Mat.t
+(** [n] independent realizations as rows. By default the expansion goes
+    through the precomputed [N_loc x r] matrix [B] ([O(n · r · N_loc)]);
+    [~paper_literal:true] instead computes the paper's Algorithm 2 verbatim:
+    expand to {e all mesh triangles} ([P_Δ = Ξ D_λᵀ], eq. 28), then gather
+    each location's containing-triangle row —
+    [O(n · r · n_triangles + n · N_loc)], the overhead the paper attributes
+    to "the reconstruction in (28)". Both paths consume the same random
+    stream and produce bit-identical matrices; the literal path exists as a
+    cost ablation. *)
 
 val sample_matrix_with : t -> xi:Linalg.Mat.t -> Linalg.Mat.t
 (** Expand externally supplied reduced-space samples (rows of [xi], width

@@ -149,3 +149,7 @@ let top_k ~matvec ~n ~k ?(tol = 1e-9) ?max_dim ?(seed = 7) () =
     end
   done;
   match !finished with Some r -> r | None -> assert false
+
+let top_k_op ~op ~k ?tol ?max_dim ?seed () =
+  top_k ~matvec:(Operator.apply op) ~n:(Operator.dim op) ~k ?tol ?max_dim ?seed
+    ()

@@ -33,3 +33,15 @@ val top_k :
     [min n (4k + 80)]); the basis is grown adaptively until the wanted pairs
     converge. [seed] fixes the deterministic pseudo-random start vector.
     Raises [Invalid_argument] when [k > n] or [k <= 0]. *)
+
+val top_k_op :
+  op:Operator.t ->
+  k:int ->
+  ?tol:float ->
+  ?max_dim:int ->
+  ?seed:int ->
+  unit ->
+  result
+(** {!top_k} over an {!Operator.t}: the matvec and dimension are taken from
+    the operator, so assembled and matrix-free consumers share one entry
+    point. *)

@@ -132,6 +132,44 @@ let mul a b =
   else rows 0 a.rows;
   c
 
+(* [a * bᵀ] without materializing the transpose: both operands are scanned
+   along contiguous rows, k-blocked so the active row panels stay
+   cache-resident at covariance sizes. Per-cell additions run in the same
+   ascending-k order as [mul a (transpose b)] (zero [a] entries skipped the
+   same way), so the two spellings are bit-identical. *)
+let mul_nt_block = 256
+
+let mul_nt a b =
+  if a.cols <> b.cols then invalid_arg "Mat.mul_nt: inner dimension mismatch";
+  let c = create a.rows b.rows in
+  let kk = a.cols in
+  let bn = b.rows in
+  let rows lo hi =
+    for i = lo to hi - 1 do
+      let ai = i * kk in
+      let ci = i * bn in
+      let k0 = ref 0 in
+      while !k0 < kk do
+        let k1 = min kk (!k0 + mul_nt_block) in
+        for j = 0 to bn - 1 do
+          let bj = j * kk in
+          let acc = ref (Bigarray.Array1.unsafe_get c.data (ci + j)) in
+          for k = !k0 to k1 - 1 do
+            let aik = Bigarray.Array1.unsafe_get a.data (ai + k) in
+            if aik <> 0.0 then
+              acc := !acc +. (aik *. Bigarray.Array1.unsafe_get b.data (bj + k))
+          done;
+          Bigarray.Array1.unsafe_set c.data (ci + j) !acc
+        done;
+        k0 := k1
+      done
+    done
+  in
+  if a.rows > 1 && a.rows * kk * bn >= parallel_flops then
+    Util.Pool.parallel_for (Util.Pool.default ()) ~n:a.rows rows
+  else rows 0 a.rows;
+  c
+
 let mul_vec m x =
   if Array.length x <> m.cols then invalid_arg "Mat.mul_vec: length mismatch";
   let y = Array.make m.rows 0.0 in

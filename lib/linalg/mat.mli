@@ -46,6 +46,13 @@ val scale : float -> t -> t
 val mul : t -> t -> t
 (** Matrix product. Raises [Invalid_argument] on dimension mismatch. *)
 
+val mul_nt : t -> t -> t
+(** [mul_nt a b] is [a * bᵀ] without materializing the transpose: both
+    operands stream along contiguous rows (k-blocked), which is the
+    cache-friendly orientation for the sampler's [Ξ·D_λᵀ] products.
+    Bit-identical to [mul a (transpose b)]. Raises [Invalid_argument] when
+    [cols a <> cols b]. *)
+
 val mul_vec : t -> float array -> float array
 (** [mul_vec m x] is [m * x]. *)
 

@@ -20,6 +20,9 @@ val i1 : float -> float
 val k : float -> float -> float
 (** [k nu x] is K_ν(x) for real order [nu >= 0] and [x > 0]. Integer and
     half-integer orders dispatch to closed forms; general real orders use
-    adaptive Simpson quadrature on the integral representation
-    K_ν(x) = ∫₀^∞ exp(-x cosh t) cosh(νt) dt (~1e-10 relative).
-    Raises [Invalid_argument] for [x <= 0] or [nu < 0]. *)
+    the trapezoid rule on the integral representation
+    K_ν(x) = ∫₀^∞ exp(-x cosh t) cosh(νt) dt, halving the step until two
+    successive estimates agree to 1e-13 relative — the integrand is entire
+    with double-exponential decay, so the trapezoid error shrinks
+    geometrically in the step count and each refinement reuses all previous
+    evaluations. Raises [Invalid_argument] for [x <= 0] or [nu < 0]. *)

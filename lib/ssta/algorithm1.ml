@@ -5,12 +5,13 @@ type t = {
 
 let prepare ?diag ?jobs (process : Process.t) locations =
   let timer = Util.Timer.start () in
-  (* share the Cholesky factor between parameters with identical kernels;
-     sample draws stay independent *)
+  (* share the Cholesky factor between parameters with the same (physically
+     equal) kernel; sample draws stay independent. Physical equality because
+     kernels can carry closures, on which Stdlib.compare raises. *)
   let cache : (Kernels.Kernel.t * Prng.Mvn.t) list ref = ref [] in
   let sampler_for kernel =
-    match List.assoc_opt kernel !cache with
-    | Some s -> s
+    match List.find_opt (fun (k, _) -> k == kernel) !cache with
+    | Some (_, s) -> s
     | None ->
         let cov = Kernels.Validity.gram ?jobs kernel locations in
         let s = Prng.Mvn.of_covariance ?diag cov in

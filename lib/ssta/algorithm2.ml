@@ -3,10 +3,17 @@ type config = {
   min_angle_deg : float;
   computed_pairs : int;
   r : int option;
+  mode : Kle.Galerkin.mode;
 }
 
 let paper_config =
-  { max_area_fraction = 0.001; min_angle_deg = 28.0; computed_pairs = 200; r = None }
+  {
+    max_area_fraction = 0.001;
+    min_angle_deg = 28.0;
+    computed_pairs = 200;
+    r = None;
+    mode = Kle.Galerkin.Auto;
+  }
 
 type t = {
   samplers : Kle.Sampler.t array;
@@ -33,11 +40,18 @@ let prepare ?(config = paper_config) ?mesh ?diag ?jobs (process : Process.t) loc
     else Kle.Galerkin.Lanczos { count = config.computed_pairs }
   in
   let cache : (Kernels.Kernel.t * Kle.Model.t) list ref = ref [] in
+  (* cache key by PHYSICAL equality: [Kernel.t] can carry closures (a
+     [Faulty] plan with a [Transform] corruption), on which
+     Stdlib.compare raises. Physical sharing is also the right notion here — two
+     structurally equal kernels built separately still mean separate
+     fault-plan state. *)
   let model_for kernel =
-    match List.assoc_opt kernel !cache with
-    | Some m -> m
+    match List.find_opt (fun (k, _) -> k == kernel) !cache with
+    | Some (_, m) -> m
     | None ->
-        let solution = Kle.Galerkin.solve ~solver ?diag ?jobs mesh kernel in
+        let solution =
+          Kle.Galerkin.solve ~mode:config.mode ~solver ?diag ?jobs mesh kernel
+        in
         let m = Kle.Model.create ?r:config.r solution in
         cache := (kernel, m) :: !cache;
         m

@@ -12,11 +12,12 @@ type config = {
   min_angle_deg : float; (* mesh quality; paper: 28 *)
   computed_pairs : int; (* eigenpairs computed by the solver; paper: 200 *)
   r : int option; (* retained pairs; None = paper's automatic rule *)
+  mode : Kle.Galerkin.mode; (* eigensolve path; Auto = size-based switch *)
 }
 
 val paper_config : config
 (** max_area_fraction = 0.001, min_angle_deg = 28, computed_pairs = 200,
-    r = None (automatic rule; picks 25 on the paper kernel). *)
+    r = None (automatic rule; picks 25 on the paper kernel), mode = Auto. *)
 
 type t
 

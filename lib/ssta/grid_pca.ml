@@ -34,10 +34,12 @@ let prepare ?(grid = 8) ?r (process : Process.t) locations =
   let centers = Array.init n_cells (cell_center ~grid die) in
   let cell_index = Array.map (cell_of ~grid die) locations in
   let explained = ref 1.0 in
+  (* physical-equality cache: kernels can carry closures, on which
+     Stdlib.compare raises *)
   let cache : (Kernels.Kernel.t * Linalg.Mat.t) list ref = ref [] in
   let expansion_for kernel =
-    match List.assoc_opt kernel !cache with
-    | Some e -> e
+    match List.find_opt (fun (k, _) -> k == kernel) !cache with
+    | Some (_, e) -> e
     | None ->
         let cov = Kernels.Validity.gram kernel centers in
         let vals, vecs = Linalg.Sym_eig.eig cov in

@@ -60,7 +60,7 @@ let validate_process t (process : Process.t) =
       let seen = ref [] in
       Array.iter
         (fun (p : Process.parameter) ->
-          if not (List.mem p.kernel !seen) then begin
+          if not (List.memq p.kernel !seen) then begin
             seen := p.kernel :: !seen;
             let pts =
               Kernels.Validity.random_points ~seed:7 ~n:40 Geometry.Rect.unit_die

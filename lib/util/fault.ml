@@ -3,6 +3,7 @@ type kind =
   | Value of float
   | Scale of float
   | Offset of float
+  | Transform of (float -> float)
 
 let corrupt kind v =
   match kind with
@@ -10,6 +11,7 @@ let corrupt kind v =
   | Value x -> x
   | Scale s -> v *. s
   | Offset d -> v +. d
+  | Transform f -> f v
 
 type plan = {
   kind : kind;

@@ -18,6 +18,11 @@ type kind =
   | Value of float  (** replace the value with a constant *)
   | Scale of float  (** multiply the value *)
   | Offset of float  (** add to the value *)
+  | Transform of (float -> float)
+      (** replace the value with [f value] — arbitrary corruption. Note that
+          a plan carrying a closure makes any structure containing it (e.g. a
+          [Kernels.Kernel.Faulty] decorator) unusable with polymorphic
+          [Stdlib.compare]/[(=)]; consumers must key caches by physical equality. *)
 
 val corrupt : kind -> float -> float
 (** Apply the corruption unconditionally (no plan, no counter). *)

@@ -117,6 +117,76 @@ let test_anisotropic_gaussian () =
     (Kernels.Validity.is_psd_on k
        (Kernels.Validity.random_points ~seed:6 ~n:40 Geometry.Rect.unit_die))
 
+(* ---------- Radial profile tables ---------- *)
+
+let die_diameter = 2.0 *. sqrt 2.0
+
+let test_profile_table_accuracy () =
+  (* the table must stay inside its advertised error bound across the whole
+     domain diameter, probed densely at points incommensurate with the grid *)
+  List.iter
+    (fun kernel ->
+      match K.radial_profile kernel ~vmax:die_diameter with
+      | None -> Alcotest.failf "no table for %s" (K.name kernel)
+      | Some tbl ->
+          let budget = K.profile_table_max_error tbl in
+          Alcotest.(check bool) "budget within tolerance" true (budget <= 1e-9);
+          let worst = ref 0.0 in
+          for i = 0 to 9999 do
+            let v = die_diameter *. (float_of_int i +. 0.618034) /. 10000.0 in
+            let err = Float.abs (K.profile_eval tbl v -. K.eval_distance kernel v) in
+            worst := Float.max !worst err
+          done;
+          (* the guard measures on finitely many probes; allow 5x slack *)
+          Alcotest.(check bool)
+            (Printf.sprintf "%s worst %.2e within 5x budget" (K.name kernel) !worst)
+            true
+            (!worst <= 5.0 *. Float.max budget 1e-12))
+    [
+      K.Gaussian { c = 2.8 };
+      K.Exponential { c = 1.5 };
+      K.Matern { b = 2.0; s = 2.5 };
+      K.Matern { b = 2.0; s = 2.3 };
+      K.Spherical { rho = 1.3 };
+    ]
+
+let test_profile_table_clamps () =
+  match K.radial_profile (K.Gaussian { c = 2.8 }) ~vmax:die_diameter with
+  | None -> Alcotest.fail "no table"
+  | Some tbl ->
+      check_close ~tol:1e-15 "v=0" 1.0 (K.profile_eval tbl 0.0);
+      check_close ~tol:1e-12 "beyond vmax clamps"
+        (K.profile_eval tbl die_diameter)
+        (K.profile_eval tbl (2.0 *. die_diameter))
+
+let test_profile_table_rejects_kink () =
+  (* the linear cone's slope kink at rho lives inside a single table
+     interval; the curvature-targeted guard must find it and reject *)
+  let diag = Util.Diag.create () in
+  (match K.radial_profile ~diag (K.Linear_cone { rho = 1.0 }) ~vmax:die_diameter with
+  | Some _ -> Alcotest.fail "kinked profile must be rejected"
+  | None -> ());
+  Alcotest.(check bool) "degraded fallback recorded" true
+    (Util.Diag.count ~code:`Degraded_fallback diag > 0)
+
+let test_profile_table_none_for_non_isotropic_or_faulty () =
+  Alcotest.(check bool) "separable" true
+    (K.radial_profile (K.Separable_exp_l1 { c = 1.0 }) ~vmax:die_diameter = None);
+  let faulty =
+    K.Faulty { base = K.Gaussian { c = 2.8 }; plan = Util.Fault.plan ~first:max_int Util.Fault.Nan }
+  in
+  Alcotest.(check bool) "faulty" true (K.radial_profile faulty ~vmax:die_diameter = None)
+
+let test_profile_table_invalid_args () =
+  Alcotest.(check bool) "bad vmax" true
+    (match K.radial_profile (K.Gaussian { c = 1.0 }) ~vmax:0.0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad points" true
+    (match K.radial_profile ~points:1 (K.Gaussian { c = 1.0 }) ~vmax:1.0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
 (* ---------- Validity (PSD) ---------- *)
 
 let die_points seed n = Kernels.Validity.random_points ~seed ~n Geometry.Rect.unit_die
@@ -397,6 +467,16 @@ let () =
           Alcotest.test_case "anisotropic gaussian" `Quick test_anisotropic_gaussian;
           Alcotest.test_case "eval_distance domain" `Quick test_eval_distance_domain;
           Alcotest.test_case "validate" `Quick test_validate;
+        ] );
+      ( "profile_table",
+        [
+          Alcotest.test_case "accuracy across the die diameter" `Quick
+            test_profile_table_accuracy;
+          Alcotest.test_case "clamps at 0 and vmax" `Quick test_profile_table_clamps;
+          Alcotest.test_case "rejects kinked profile" `Quick test_profile_table_rejects_kink;
+          Alcotest.test_case "none for non-isotropic or faulty" `Quick
+            test_profile_table_none_for_non_isotropic_or_faulty;
+          Alcotest.test_case "invalid arguments" `Quick test_profile_table_invalid_args;
         ] );
       ( "validity",
         [

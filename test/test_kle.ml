@@ -418,6 +418,152 @@ let test_sample_matrix_with_width_check () =
     | _ -> false
     | exception Invalid_argument _ -> true)
 
+(* ---------- matrix-free operator ---------- *)
+
+(* every shipped kernel family, isotropic and not (Faulty excluded: a fault
+   plan's internal counter advances per evaluation, so the assembled and
+   matrix-free paths would see different fault sites by construction) *)
+let operator_kernels =
+  [
+    gaussian;
+    K.Exponential { c = 1.5 };
+    K.Separable_exp_l1 { c = 1.0 };
+    K.Radial_exponential { c = 1.2 };
+    K.Matern { b = 2.0; s = 2.5 };
+    K.Linear_cone { rho = 1.0 };
+    K.Spherical { rho = 1.0 };
+    K.Anisotropic_gaussian { cx = 2.0; cy = 0.7 };
+  ]
+
+let random_vec seed n =
+  let rng = Prng.Rng.create ~seed in
+  Array.init n (fun _ -> Prng.Rng.uniform rng -. 0.5)
+
+let test_operator_exact_apply_matches_assembled () =
+  (* property: in exact mode the matrix-free apply is the same linear map as
+     the assembled matrix, for every shipped kernel, to 1e-12 (the paths sum
+     the same products in different orders) *)
+  let mesh = Lazy.force mesh_fine in
+  let n = Geometry.Mesh.size mesh in
+  List.iter
+    (fun kernel ->
+      let c = Kle.Galerkin.assemble mesh kernel in
+      let op = Kle.Operator.galerkin ~exact:true mesh kernel in
+      Alcotest.(check int) "dim" n (Kle.Operator.dim op);
+      for trial = 0 to 2 do
+        let x = random_vec ((31 * trial) + 7) n in
+        let y_dense = Linalg.Mat.mul_vec c x in
+        let y_free = Kle.Operator.apply op x in
+        Array.iteri
+          (fun i v ->
+            check_close ~tol:1e-12
+              (Printf.sprintf "%s row %d trial %d" (K.name kernel) i trial)
+              y_dense.(i) v)
+          y_free
+      done)
+    operator_kernels
+
+let test_operator_table_apply_close_to_assembled () =
+  (* with the radial profile table on (default), isotropic kernels stay
+     within the table's error budget of the assembled map *)
+  let mesh = Lazy.force mesh_fine in
+  let n = Geometry.Mesh.size mesh in
+  List.iter
+    (fun kernel ->
+      let c = Kle.Galerkin.assemble mesh kernel in
+      let op = Kle.Operator.galerkin mesh kernel in
+      let x = random_vec 11 n in
+      let y_dense = Linalg.Mat.mul_vec c x in
+      let y_free = Kle.Operator.apply op x in
+      Array.iteri
+        (fun i v ->
+          check_close ~tol:1e-7
+            (Printf.sprintf "%s row %d" (K.name kernel) i)
+            y_dense.(i) v)
+        y_free)
+    [ gaussian; K.Exponential { c = 1.5 }; K.Matern { b = 2.0; s = 2.5 } ]
+
+let test_operator_apply_jobs_independent () =
+  (* repo invariant: results do not depend on worker count *)
+  let mesh = Lazy.force mesh_fine in
+  let n = Geometry.Mesh.size mesh in
+  let x = random_vec 3 n in
+  let y1 = Kle.Operator.apply (Kle.Operator.galerkin ~jobs:1 mesh gaussian) x in
+  let y2 = Kle.Operator.apply (Kle.Operator.galerkin ~jobs:2 mesh gaussian) x in
+  Alcotest.(check (array (float 0.0))) "bit-identical across jobs" y1 y2
+
+let test_operator_midedge_quadrature () =
+  let mesh = Lazy.force mesh_coarse in
+  let n = Geometry.Mesh.size mesh in
+  let c = Kle.Galerkin.assemble ~quadrature:Kle.Galerkin.Midedge mesh gaussian in
+  let op = Kle.Operator.galerkin ~quadrature:Kle.Operator.Midedge ~exact:true mesh gaussian in
+  let x = random_vec 19 n in
+  let y_dense = Linalg.Mat.mul_vec c x in
+  let y_free = Kle.Operator.apply op x in
+  Array.iteri
+    (fun i v -> check_close ~tol:1e-12 (Printf.sprintf "row %d" i) y_dense.(i) v)
+    y_free
+
+let test_matrix_free_solve_matches_assembled () =
+  let mesh = Lazy.force mesh_fine in
+  let solver = Kle.Galerkin.Lanczos { count = 10 } in
+  let a = Kle.Galerkin.solve ~mode:Kle.Galerkin.Assembled ~solver mesh gaussian in
+  let m = Kle.Galerkin.solve ~mode:Kle.Galerkin.Matrix_free ~solver mesh gaussian in
+  Array.iteri
+    (fun j v ->
+      let rel = Float.abs (v -. m.Kle.Galerkin.eigenvalues.(j)) /. v in
+      Alcotest.(check bool)
+        (Printf.sprintf "eigenvalue %d rel err %.2e <= 1e-8" j rel)
+        true (rel <= 1e-8))
+    a.Kle.Galerkin.eigenvalues
+
+let test_matrix_free_fallback_chain () =
+  (* Matrix_free + starved Krylov budget -> No_convergence -> assembled
+     dense fallback, with both diagnostics on record *)
+  let mesh = Lazy.force mesh_coarse in
+  let kernel = K.Exponential { c = 1.5 } in
+  let diag = Util.Diag.create () in
+  let count = 8 in
+  let sol =
+    Kle.Galerkin.solve ~mode:Kle.Galerkin.Matrix_free
+      ~solver:(Kle.Galerkin.Lanczos { count })
+      ~lanczos_max_dim:9 ~diag mesh kernel
+  in
+  Alcotest.(check bool) "no-convergence recorded" true
+    (Util.Diag.count ~code:`No_convergence diag > 0);
+  Alcotest.(check bool) "fallback recorded" true
+    (Util.Diag.count ~code:`Degraded_fallback diag > 0);
+  Alcotest.(check int) "leading pairs returned" count
+    (Array.length sol.Kle.Galerkin.eigenvalues);
+  let dense = Kle.Galerkin.solve ~solver:Kle.Galerkin.Dense mesh kernel in
+  Array.iteri
+    (fun j v ->
+      check_close ~tol:1e-9
+        (Printf.sprintf "eigenvalue %d matches dense" j)
+        dense.Kle.Galerkin.eigenvalues.(j) v)
+    sol.Kle.Galerkin.eigenvalues
+
+let test_matrix_free_dense_solver_rejected () =
+  let mesh = Lazy.force mesh_coarse in
+  Alcotest.(check bool) "raises" true
+    (match
+       Kle.Galerkin.solve ~mode:Kle.Galerkin.Matrix_free ~solver:Kle.Galerkin.Dense
+         mesh gaussian
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_sample_matrix_paper_literal_bit_identical () =
+  (* the default (gathered-expansion) path and the paper-literal path draw
+     the same gaussians and multiply them in the same order: bit-identical *)
+  let _, _, sampler = Lazy.force sampler_fixture in
+  let m1 = Kle.Sampler.sample_matrix sampler (Prng.Rng.create ~seed:4) ~n:64 in
+  let m2 =
+    Kle.Sampler.sample_matrix ~paper_literal:true sampler (Prng.Rng.create ~seed:4)
+      ~n:64
+  in
+  Alcotest.(check bool) "bit-identical" true (Linalg.Mat.max_abs_diff m1 m2 = 0.0)
+
 (* ---------- P1 (piecewise-linear) extension ---------- *)
 
 let p1_fixture =
@@ -600,6 +746,24 @@ let () =
           Alcotest.test_case "sample_with_xi consistent" `Quick test_sample_with_xi_consistent;
           Alcotest.test_case "external xi equivalence" `Quick test_sample_matrix_with_gaussian_equivalence;
           Alcotest.test_case "external xi width check" `Quick test_sample_matrix_with_width_check;
+          Alcotest.test_case "paper-literal path bit-identical" `Quick
+            test_sample_matrix_paper_literal_bit_identical;
+        ] );
+      ( "operator",
+        [
+          Alcotest.test_case "exact apply matches assembled (all kernels)" `Quick
+            test_operator_exact_apply_matches_assembled;
+          Alcotest.test_case "table apply within error budget" `Quick
+            test_operator_table_apply_close_to_assembled;
+          Alcotest.test_case "apply independent of jobs" `Quick
+            test_operator_apply_jobs_independent;
+          Alcotest.test_case "mid-edge quadrature" `Quick test_operator_midedge_quadrature;
+          Alcotest.test_case "matrix-free solve matches assembled" `Quick
+            test_matrix_free_solve_matches_assembled;
+          Alcotest.test_case "matrix-free fallback chain" `Quick
+            test_matrix_free_fallback_chain;
+          Alcotest.test_case "matrix-free + dense solver rejected" `Quick
+            test_matrix_free_dense_solver_rejected;
         ] );
       ( "p1",
         [

@@ -129,6 +129,35 @@ let test_mat_row_col () =
   Alcotest.(check (array (float 0.0))) "row" [| 3.0; 4.0 |] (Mat.row a 1);
   Alcotest.(check (array (float 0.0))) "col" [| 2.0; 4.0 |] (Mat.col a 1)
 
+let test_mat_mul_nt_matches_transpose () =
+  (* odd shapes exercise the partial trailing k-block *)
+  let a = random_mat 17 13 19 and b = random_mat 23 11 19 in
+  let c1 = Mat.mul_nt a b in
+  let c2 = Mat.mul a (Mat.transpose b) in
+  Alcotest.(check bool) "bit-identical" true (Mat.max_abs_diff c1 c2 = 0.0)
+
+let test_mat_mul_nt_blocked_and_parallel () =
+  (* k = 600 spans multiple 256-wide blocks, and the flop count crosses the
+     parallel threshold; the result must still match bit-for-bit *)
+  let a = random_mat 29 48 600 and b = random_mat 31 40 600 in
+  let c1 = Mat.mul_nt a b in
+  let c2 = Mat.mul a (Mat.transpose b) in
+  Alcotest.(check bool) "bit-identical" true (Mat.max_abs_diff c1 c2 = 0.0)
+
+let test_mat_mul_nt_with_zeros () =
+  (* the zero-skip in both kernels must fire on the same entries *)
+  let next = lcg_stream 41 in
+  let a = Mat.init 9 33 (fun _ _ -> if next () < 0.0 then 0.0 else next ()) in
+  let b = random_mat 43 7 33 in
+  let c1 = Mat.mul_nt a b in
+  let c2 = Mat.mul a (Mat.transpose b) in
+  Alcotest.(check bool) "bit-identical" true (Mat.max_abs_diff c1 c2 = 0.0)
+
+let test_mat_mul_nt_mismatch () =
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Mat.mul_nt: inner dimension mismatch") (fun () ->
+      ignore (Mat.mul_nt (random_mat 1 2 3) (random_mat 2 2 4)))
+
 (* ---------- Cholesky ---------- *)
 
 let test_cholesky_reconstructs () =
@@ -535,6 +564,12 @@ let () =
           Alcotest.test_case "to/of arrays roundtrip" `Quick test_mat_rows_cols_roundtrip;
           Alcotest.test_case "is_symmetric" `Quick test_mat_is_symmetric;
           Alcotest.test_case "row and col" `Quick test_mat_row_col;
+          Alcotest.test_case "mul_nt matches mul (transpose)" `Quick
+            test_mat_mul_nt_matches_transpose;
+          Alcotest.test_case "mul_nt blocked and parallel" `Quick
+            test_mat_mul_nt_blocked_and_parallel;
+          Alcotest.test_case "mul_nt zero-skip parity" `Quick test_mat_mul_nt_with_zeros;
+          Alcotest.test_case "mul_nt mismatch raises" `Quick test_mat_mul_nt_mismatch;
         ] );
       ( "cholesky",
         [

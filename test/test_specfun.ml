@@ -143,6 +143,24 @@ let test_bessel_quadrature_vs_closed () =
       check_rel ~tol:1e-5 "quad vs closed" c q)
     [ (1.0, 1.0); (2.0, 3.0); (0.5, 0.7); (1.5, 2.0); (3.0, 0.4) ]
 
+let test_bessel_quadrature_small_x () =
+  (* regression: non-half-integer nu at small x used to drive the adaptive
+     quadrature into the integrand's underflow tail, where it effectively
+     never terminated; the trapezoid rule must return promptly and match the
+     small-x asymptote K_nu(x) ~ Gamma(nu) 2^(nu-1) x^(-nu) *)
+  List.iter
+    (fun (nu, x) ->
+      let v = Specfun.Bessel.k nu x in
+      Alcotest.(check bool) "finite positive" true (Float.is_finite v && v > 0.0);
+      let asym =
+        exp
+          (Specfun.Gamma.log_gamma nu
+          +. ((nu -. 1.0) *. log 2.0)
+          -. (nu *. log x))
+      in
+      check_rel ~tol:0.02 (Printf.sprintf "K_%g(%g) near asymptote" nu x) asym v)
+    [ (1.3, 0.002); (0.75, 0.01); (2.3, 0.005) ]
+
 let test_bessel_positive_decreasing () =
   (* K_nu is positive and decreasing in x *)
   let nu = 0.75 in
@@ -238,6 +256,8 @@ let () =
           Alcotest.test_case "Kn recurrence" `Quick test_bessel_kn_recurrence;
           Alcotest.test_case "half-integer closed forms" `Quick test_bessel_half_integer;
           Alcotest.test_case "quadrature vs closed forms" `Quick test_bessel_quadrature_vs_closed;
+          Alcotest.test_case "quadrature small x (regression)" `Quick
+            test_bessel_quadrature_small_x;
           Alcotest.test_case "positive and decreasing" `Quick test_bessel_positive_decreasing;
           Alcotest.test_case "domain errors" `Quick test_bessel_domain_errors;
           Alcotest.test_case "I0/I1 table values" `Quick test_bessel_i0_i1;

@@ -21,6 +21,7 @@ let fast_config =
     min_angle_deg = 28.0;
     computed_pairs = 80;
     r = Some 25;
+    mode = Kle.Galerkin.Auto;
   }
 
 (* ---------- Process ---------- *)
@@ -138,6 +139,33 @@ let test_a2_shared_kernel_shares_model () =
   let models = Ssta.Algorithm2.models a2 in
   (* paper_default uses one kernel for all 4 parameters: physical equality *)
   Alcotest.(check bool) "shared" true (models.(0) == models.(1) && models.(1) == models.(3))
+
+let test_a2_prepare_closure_kernels () =
+  (* regression: the per-kernel model cache used to key on structural
+     equality, and polymorphic compare raises on kernels carrying closures
+     (a [Util.Fault.Transform] plan); the cache now keys on physical
+     equality.  All four parameters share one kernel value, so they must
+     also share one model. *)
+  let plan = Util.Fault.plan ~first:max_int (Util.Fault.Transform (fun v -> v)) in
+  let kernel = K.Faulty { base = K.Gaussian { c = 2.8 }; plan } in
+  let p =
+    {
+      Ssta.Process.parameters =
+        Array.map
+          (fun name -> { Ssta.Process.name; kernel })
+          Circuit.Gate.parameter_names;
+    }
+  in
+  (* the pipeline's distinct-kernel scan walks the same closure-carrying
+     values and must not fall back to structural membership either *)
+  (match Ssta.Pipeline.validate_process (Ssta.Pipeline.create ()) p with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "validate_process failed: %s" e.Util.Diag.detail);
+  let s = Lazy.force setup in
+  let a2 = Ssta.Algorithm2.prepare ~config:fast_config p s.Ssta.Experiment.locations in
+  let models = Ssta.Algorithm2.models a2 in
+  Alcotest.(check bool) "one model shared via physical equality" true
+    (models.(0) == models.(1) && models.(1) == models.(2) && models.(2) == models.(3))
 
 let test_a2_block_shapes () =
   let s = Lazy.force setup in
@@ -757,6 +785,8 @@ let () =
         [
           Alcotest.test_case "structure" `Quick test_a2_structure;
           Alcotest.test_case "kernel sharing" `Quick test_a2_shared_kernel_shares_model;
+          Alcotest.test_case "closure-carrying kernels (regression)" `Quick
+            test_a2_prepare_closure_kernels;
           Alcotest.test_case "block shapes" `Quick test_a2_block_shapes;
           Alcotest.test_case "correlation follows kernel" `Quick test_a2_correlation_follows_kernel;
         ] );

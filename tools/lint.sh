@@ -10,6 +10,9 @@
 #      `String.compare`, or a module's own `compare`. (Heuristic: flag any
 #      call of bare `compare` that is not module-qualified and not part of a
 #      longer identifier.)
+#   3. No `Mat.transpose` in lib/kle/ — the KLE hot paths must use
+#      `Mat.mul_nt` (A·Bᵀ without materialising the transpose) or the
+#      matrix-free operator instead of allocating an explicit transpose.
 #
 # Exits non-zero and prints offending lines when a rule is violated.
 
@@ -42,6 +45,11 @@ if matches=$(grep -rnE --include='*.ml' --include='*.mli' \
   if [ -n "$matches" ]; then
     fail "unqualified polymorphic compare in lib/ — use Float.compare / Int.compare / String.compare or a module compare" "$matches"
   fi
+fi
+
+# Rule 3: no Mat.transpose in lib/kle/.
+if matches=$(grep -rn --include='*.ml' --include='*.mli' 'Mat\.transpose' lib/kle/); then
+  fail "Mat.transpose in lib/kle/ — use Mat.mul_nt or the matrix-free operator instead of materialising a transpose" "$matches"
 fi
 
 if [ "$status" -eq 0 ]; then
