@@ -68,37 +68,56 @@ type record = {
   params : (string * value) list;  (** free-form inputs (kernel, mesh_frac…) *)
   wall_s : float;  (** total wall time of the measured work *)
   per_stage_s : (string * float) list;  (** stage name -> seconds *)
+  counters : (string * int) list;
+      (** Util.Trace work-counter deltas over the measured work (kernel
+          evals, matvecs, …); empty when tracing was off *)
   mesh_n : int option;  (** mesh triangles, when a mesh is involved *)
   r : int option;  (** eigenpairs computed/retained, when applicable *)
   jobs : int option;  (** worker-domain override ([None] = default pool) *)
   samples : int option;  (** Monte Carlo samples, when applicable *)
 }
 
+(* A file is a list of entries discriminated by a ["kind"] field: [Row] is
+   a timed measurement; [Meta] carries derived results or run config
+   (crossover points, harness options) without abusing the row schema
+   (wall_s = 0, null measurement fields). *)
+type entry =
+  | Row of record
+  | Meta of { name : string; params : (string * value) list }
+
 let record_value r =
   let opt f = function Some v -> f v | None -> Null in
   Assoc
     [
+      ("kind", String "row");
       ("name", String r.name);
       ("params", Assoc r.params);
       ("wall_s", Float r.wall_s);
       ( "per_stage_s",
         Assoc (List.map (fun (k, v) -> (k, Float v)) r.per_stage_s) );
+      ("counters", Assoc (List.map (fun (k, v) -> (k, Int v)) r.counters));
       ("mesh_n", opt (fun i -> Int i) r.mesh_n);
       ("r", opt (fun i -> Int i) r.r);
       ("jobs", opt (fun i -> Int i) r.jobs);
       ("samples", opt (fun i -> Int i) r.samples);
     ]
 
-(* one record per line, so diffs between BENCH files stay line-oriented *)
-let write_file path records =
+let entry_value = function
+  | Row r -> record_value r
+  | Meta { name; params } ->
+      Assoc
+        [ ("kind", String "meta"); ("name", String name); ("params", Assoc params) ]
+
+(* one entry per line, so diffs between BENCH files stay line-oriented *)
+let write_file path entries =
   let b = Buffer.create 4096 in
   Buffer.add_string b "[";
   List.iteri
     (fun i r ->
       if i > 0 then Buffer.add_char b ',';
       Buffer.add_string b "\n  ";
-      add b (record_value r))
-    records;
+      add b (entry_value r))
+    entries;
   Buffer.add_string b "\n]\n";
   let oc = open_out path in
   output_string oc (Buffer.contents b);

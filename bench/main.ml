@@ -32,6 +32,8 @@ type options = {
   mutable seed : int;
   mutable jobs : int option;
   mutable json : string option;
+  mutable trace : string option;
+  mutable metrics : bool;
 }
 
 let opts =
@@ -44,6 +46,8 @@ let opts =
     seed = 1;
     jobs = None;
     json = None;
+    trace = None;
+    metrics = false;
   }
 
 let pf fmt = Printf.printf fmt
@@ -53,21 +57,36 @@ let fmt_f = Util.Table.fmt_float
 
 (* machine-readable records behind --json; collected unconditionally (it is
    cheap), written at exit when a path was given *)
-let json_records : Bench_json.record list ref = ref []
+let json_records : Bench_json.entry list ref = ref []
 
-let emit ?(params = []) ?(stages = []) ?mesh_n ?r ?samples name ~wall_s =
+let emit ?(params = []) ?(stages = []) ?(counters = []) ?mesh_n ?r ?samples name
+    ~wall_s =
   json_records :=
-    {
-      Bench_json.name;
-      params;
-      wall_s;
-      per_stage_s = stages;
-      mesh_n;
-      r;
-      jobs = opts.jobs;
-      samples;
-    }
+    Bench_json.Row
+      {
+        Bench_json.name;
+        params;
+        wall_s;
+        per_stage_s = stages;
+        counters;
+        mesh_n;
+        r;
+        jobs = opts.jobs;
+        samples;
+      }
     :: !json_records
+
+let emit_meta ?(params = []) name =
+  json_records := Bench_json.Meta { name; params } :: !json_records
+
+(* Util.Trace counter deltas since [c0] (a [Util.Trace.counters] snapshot);
+   zero deltas are dropped so rows only carry the counters they moved. *)
+let counters_since c0 =
+  List.filter_map
+    (fun (k, v) ->
+      let v0 = match List.assoc_opt k c0 with Some x -> x | None -> 0 in
+      if v > v0 then Some (k, v - v0) else None)
+    (Util.Trace.counters ())
 
 (* ---------------------------------------------------------------- *)
 (* shared lab fixtures, built lazily so each subcommand only pays for
@@ -443,6 +462,7 @@ let eigtime () =
   header "Eigenpair computation time (paper Sec 5.2: 11.2s in Matlab)";
   let mesh = Lazy.force paper_mesh in
   let kernel = Lazy.force paper_kernel in
+  let c0 = Util.Trace.counters () in
   let _, dt_assemble =
     Util.Timer.time (fun () -> Kle.Galerkin.assemble ?jobs:opts.jobs mesh kernel)
   in
@@ -452,6 +472,7 @@ let eigtime () =
   emit "eigtime"
     ~params:[ ("mesh_frac", Bench_json.Float opts.mesh_frac) ]
     ~stages:[ ("assemble", dt_assemble); ("lanczos", !paper_solution_time) ]
+    ~counters:(counters_since c0)
     ~mesh_n:(Geometry.Mesh.size mesh)
     ~r:(min 200 (Geometry.Mesh.size mesh))
     ~wall_s:(dt_assemble +. !paper_solution_time)
@@ -488,6 +509,7 @@ let scale () =
       let n = Geometry.Mesh.size mesh in
       let count = min count_cap n in
       let solver = Kle.Galerkin.Lanczos { count } in
+      let c0 = Util.Trace.counters () in
       let asm, t_asm =
         Util.Timer.time (fun () ->
             Kle.Galerkin.solve ~mode:Kle.Galerkin.Assembled ~solver ?jobs:opts.jobs
@@ -520,6 +542,7 @@ let scale () =
             ("mesh_frac", Bench_json.Float frac);
             ("max_rel_dlambda", Bench_json.Float !rel) ]
         ~stages:[ ("assembled", t_asm); ("matrix_free", t_mf) ]
+        ~counters:(counters_since c0)
         ~mesh_n:n ~r:count ~wall_s:(t_asm +. t_mf))
     (* sweep starts above n = 4k+80, where the Lanczos Krylov budget stops
        covering the whole space: at full dimension the recurrence breaks down
@@ -530,10 +553,10 @@ let scale () =
   (match !crossover with
   | Some n ->
       pf "crossover: matrix-free beats the assembled path from n = %d onwards\n" n;
-      emit "scale-crossover" ~params:[ ("crossover_n", Bench_json.Int n) ] ~wall_s:0.0
+      emit_meta "scale-crossover" ~params:[ ("crossover_n", Bench_json.Int n) ]
   | None ->
       pf "no crossover in this sweep: the assembled path won at every n\n";
-      emit "scale-crossover" ~params:[ ("crossover_n", Bench_json.Null) ] ~wall_s:0.0);
+      emit_meta "scale-crossover" ~params:[ ("crossover_n", Bench_json.Null) ]);
   pf "eigenvalue agreement <= 1e-8 checked at every sweep point\n"
 
 (* ---------------------------------------------------------------- *)
@@ -1011,6 +1034,7 @@ let micro () =
 
 let smoke () =
   header "Smoke: parallel paths bit-identical across -j (tiny fixtures)";
+  let c0 = Util.Trace.counters () in
   let mesh = Geometry.Mesh.uniform Geometry.Rect.unit_die ~divisions:6 in
   let kernel = Lazy.force paper_kernel in
   let assemble jobs = Kle.Galerkin.assemble ~jobs mesh kernel in
@@ -1064,6 +1088,7 @@ let smoke () =
     ~stages:
       [ ("assemble_j1", dt1); ("assemble_j2", dt2); ("run_mc_j1", mdt1);
         ("run_mc_j2", mdt2) ]
+    ~counters:(counters_since c0)
     ~mesh_n:(Geometry.Mesh.size mesh) ~samples:200
     ~wall_s:(dt1 +. dt2 +. mdt1 +. mdt2);
   pf "smoke OK\n"
@@ -1097,7 +1122,8 @@ let usage () =
     \                 ablate-quad|ablate-mesh|ablate-eig|ablate-kernel|ablate-recon|ablate-basis|\n\
     \                 smoke|micro|all]\n\
     \                [--samples N] [--table-samples N] [--max-gates N] [--full]\n\
-    \                [--mesh-frac F] [--seed N] [-j N] [--json PATH]\n"
+    \                [--mesh-frac F] [--seed N] [-j N] [--json PATH]\n\
+    \                [--trace PATH] [--metrics]\n"
 
 let () =
   let commands = ref [] in
@@ -1127,6 +1153,12 @@ let () =
     | "--json" :: v :: rest ->
         opts.json <- Some v;
         parse rest
+    | "--trace" :: v :: rest ->
+        opts.trace <- Some v;
+        parse rest
+    | "--metrics" :: rest ->
+        opts.metrics <- true;
+        parse rest
     | ("--help" | "-h") :: _ ->
         usage ();
         exit 0
@@ -1135,6 +1167,10 @@ let () =
         parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
+  (* tracing also powers the --json counter columns, so any reporting flag
+     turns it on; the fast no-reporting path stays a single branch *)
+  if opts.json <> None || opts.trace <> None || opts.metrics then
+    Util.Trace.enable ();
   let run = function
     | "fig1" -> fig1 ()
     | "fig3a" -> fig3a ()
@@ -1164,8 +1200,36 @@ let () =
         exit 2
   in
   (match List.rev !commands with [] -> all () | cmds -> List.iter run cmds);
-  match opts.json with
+  (match opts.json with
   | None -> ()
   | Some path ->
-      Bench_json.write_file path (List.rev !json_records);
-      pf "wrote %d benchmark record(s) to %s\n" (List.length !json_records) path
+      let opt_int = function
+        | Some i -> Bench_json.Int i
+        | None -> Bench_json.Null
+      in
+      let config =
+        Bench_json.Meta
+          {
+            name = "config";
+            params =
+              [
+                ("samples", Bench_json.Int opts.samples);
+                ("table_samples", Bench_json.Int opts.table_samples);
+                ("mesh_frac", Bench_json.Float opts.mesh_frac);
+                ("seed", Bench_json.Int opts.seed);
+                ("jobs", opt_int opts.jobs);
+                ( "argv",
+                  Bench_json.String
+                    (String.concat " " (List.tl (Array.to_list Sys.argv))) );
+              ];
+          }
+      in
+      let entries = config :: List.rev !json_records in
+      Bench_json.write_file path entries;
+      pf "wrote %d benchmark record(s) to %s\n" (List.length entries) path);
+  (match opts.trace with
+  | None -> ()
+  | Some path ->
+      Util.Trace.write_chrome_trace path;
+      pf "wrote Chrome trace to %s (load in chrome://tracing or Perfetto)\n" path);
+  if opts.metrics then print_string (Util.Trace.summary ())

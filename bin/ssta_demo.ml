@@ -12,11 +12,28 @@
 open Cmdliner
 
 let run circuit_name bench_file samples sampler_kind grid r kle_mode seed jobs
-    strict fault policy do_compare verbose =
+    strict fault policy do_compare trace_file metrics verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
   end;
+  if trace_file <> None || metrics then begin
+    Util.Trace.enable ();
+    (* at_exit so the trace/summary survive the early `exit 1` paths
+       (pipeline errors, strict mode); the exporter flushes spans still
+       open on this domain *)
+    at_exit (fun () ->
+        (match trace_file with
+        | Some path ->
+            Util.Trace.write_chrome_trace path;
+            Printf.printf
+              "wrote Chrome trace to %s (load in chrome://tracing or Perfetto)\n"
+              path
+        | None -> ());
+        if metrics then print_string (Util.Trace.summary ()))
+  end;
+  Util.Trace.with_span ~attrs:[ ("circuit", circuit_name) ] "ssta_demo"
+  @@ fun () ->
   let netlist =
     match bench_file with
     | Some path -> (
@@ -47,7 +64,7 @@ let run circuit_name bench_file samples sampler_kind grid r kle_mode seed jobs
     if shown <> [] then begin
       Printf.printf "\ndiagnostics (%d of %d events):\n" (List.length shown)
         (List.length events);
-      List.iter (fun e -> Printf.printf "  %s\n" (Util.Diag.to_string e)) shown
+      List.iter (fun e -> Format.printf "  %a@." Util.Diag.pp_event e) shown
     end
   in
   let ok = function
@@ -214,7 +231,12 @@ let run circuit_name bench_file samples sampler_kind grid r kle_mode seed jobs
   | None -> ());
   print_diag ();
   if strict && Util.Diag.count ~min_severity:Util.Diag.Warning diag > 0 then begin
-    Printf.eprintf "strict mode: the run degraded (see diagnostics above)\n";
+    Printf.eprintf "strict mode: the run degraded; offending events:\n";
+    List.iter
+      (fun e ->
+        if Util.Diag.severity_rank e.Util.Diag.severity >= 1 then
+          Printf.eprintf "%s\n" (Util.Diag.to_json e))
+      (Util.Diag.events diag);
     exit 1
   end
 
@@ -308,6 +330,24 @@ let compare_arg =
           "Also run the Algorithm 1 (cholesky) reference with the same seed and \
            print the paper's comparison metrics.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ]
+        ~doc:
+          "Write a Chrome trace_event JSON file of the run (hierarchical \
+           spans, one track per worker domain; load in chrome://tracing or \
+           Perfetto).")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print the span-tree timing summary and work counters (kernel \
+           evaluations, matvecs, Monte Carlo samples, …) after the run.")
+
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
 
 let cmd =
@@ -317,6 +357,6 @@ let cmd =
     Term.(
       const run $ circuit_arg $ bench_file_arg $ samples_arg $ sampler_arg $ grid_arg
       $ r_arg $ kle_mode_arg $ seed_arg $ jobs_arg $ strict_arg $ fault_arg
-      $ policy_arg $ compare_arg $ verbose_arg)
+      $ policy_arg $ compare_arg $ trace_arg $ metrics_arg $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -125,8 +125,13 @@ let radial_profile ?(points = 1 lsl 17) ?(tol = 1e-9) ?diag t ~vmax =
     invalid_arg "Kernel.radial_profile: vmax must be positive";
   if (not (is_isotropic t)) || has_fault t then None
   else begin
+    Util.Trace.with_span
+      ~attrs:[ ("kernel", name t); ("points", string_of_int points) ]
+      "kernel.radial_profile"
+    @@ fun () ->
     let step = vmax /. float_of_int (points - 1) in
     let values = Array.init points (fun i -> profile t (float_of_int i *. step)) in
+    Util.Trace.add Util.Trace.kernel_evals points;
     if not (Array.for_all Float.is_finite values) then begin
       Util.Diag.record ?sink:diag Warning `Non_finite
         ~stage:"kernel.radial_profile"
@@ -144,6 +149,7 @@ let radial_profile ?(points = 1 lsl 17) ?(tol = 1e-9) ?diag t ~vmax =
          interval out of 2^17. *)
       let err = ref 0.0 in
       let probe v =
+        Util.Trace.incr Util.Trace.kernel_evals;
         let d = Float.abs (profile_eval tbl v -. profile t v) in
         if d > !err then err := d
       in

@@ -1,5 +1,9 @@
 let gram ?jobs k pts =
   let n = Array.length pts in
+  Util.Trace.with_span ~attrs:[ ("n", string_of_int n) ] "validity.gram"
+  @@ fun () ->
+  (* every (i, j >= i) pair is evaluated exactly once *)
+  Util.Trace.add Util.Trace.kernel_evals (n * (n + 1) / 2);
   let m = Linalg.Mat.create n n in
   (* same upper-triangle row decomposition as Kle.Galerkin.assemble: each
      row owns its (i, j >= i) pairs, so the fan-out is race-free and

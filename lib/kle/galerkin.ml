@@ -17,6 +17,20 @@ type solution = {
 
 let assemble ?(quadrature = Centroid) ?jobs mesh kernel =
   let n = Mesh.size mesh in
+  Util.Trace.with_span
+    ~attrs:
+      [
+        ("n", string_of_int n);
+        ( "quadrature",
+          match quadrature with Centroid -> "centroid" | Midedge -> "midedge"
+        );
+      ]
+    "galerkin.assemble"
+  @@ fun () ->
+  (* n(n+1)/2 element pairs, 1 (centroid) or 9 (midedge) kernel
+     evaluations each — counted in bulk so the total is jobs-independent *)
+  Util.Trace.add Util.Trace.kernel_evals
+    (n * (n + 1) / 2 * (match quadrature with Centroid -> 1 | Midedge -> 9));
   let mean = Operator.mean_kernel_value quadrature mesh kernel in
   let sqrt_area = Array.map sqrt mesh.Mesh.areas in
   let c = Linalg.Mat.create n n in
@@ -140,6 +154,14 @@ let solve ?(quadrature = Centroid) ?(mode = Auto) ?solver ?lanczos_max_dim
     ?diag ?jobs mesh kernel =
   let n = Mesh.size mesh in
   let solver = match solver with Some s -> s | None -> default_solver n in
+  Util.Trace.with_span
+    ~attrs:
+      [
+        ("n", string_of_int n);
+        ("solver", match solver with Dense -> "dense" | Lanczos _ -> "lanczos");
+      ]
+    "galerkin.solve"
+  @@ fun () ->
   (match solver with
   | Lanczos { count } when count <= 0 || count > n ->
       invalid_arg "Galerkin.solve: Lanczos count out of range"

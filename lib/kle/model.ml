@@ -25,6 +25,10 @@ let choose_r ?(tolerance = 0.01) ~n_total eigenvalues =
 let create ?r solution =
   let m = Array.length solution.Galerkin.eigenvalues in
   let n = Mesh.size solution.Galerkin.mesh in
+  Util.Trace.with_span
+    ~attrs:[ ("n", string_of_int n); ("computed", string_of_int m) ]
+    "model.create"
+  @@ fun () ->
   let r =
     match r with
     | Some r ->

@@ -52,13 +52,16 @@ let panel_target = 128
    the coordinate arrays L1-resident while a row panel streams over k *)
 let col_block = 256
 
-let make_apply ~n ?jobs ?diag ~process_row () =
+let make_apply ~n ?jobs ?diag ?(evals_per_apply = 0) ~process_row () =
   let panels = max 1 (min panel_target n) in
   let psize = (n + panels - 1) / panels in
   let scratch = Array.init panels (fun _ -> Array.make n 0.0) in
   fun x ->
     if Array.length x <> n then
       invalid_arg "Kle.Operator.apply: vector length mismatch";
+    (* exact-evaluation applies do the full pair sweep every matvec; table
+       applies only interpolate (0) — bulk add keeps totals jobs-independent *)
+    Util.Trace.add Util.Trace.kernel_evals evals_per_apply;
     Util.Pool.with_jobs ?jobs (fun pool ->
         Util.Pool.parallel_for pool ~chunk:1 ~n:panels (fun plo phi ->
             for p = plo to phi - 1 do
@@ -175,4 +178,12 @@ let galerkin ?(quadrature = Centroid) ?(exact = false) ?table_points ?table_tol
     | (Centroid | Midedge), None ->
         generic_row ~n ~s ~pair:(mean_kernel_value quadrature mesh kernel)
   in
-  Matrix_free { apply = make_apply ~n ?jobs ?diag ~process_row (); dim = n }
+  let evals_per_apply =
+    match table with
+    | Some _ -> 0
+    | None ->
+        n * (n + 1) / 2
+        * (match quadrature with Centroid -> 1 | Midedge -> 9)
+  in
+  Matrix_free
+    { apply = make_apply ~n ?jobs ?diag ~evals_per_apply ~process_row (); dim = n }

@@ -6,6 +6,14 @@ type t = {
 
 let create ?diag model locations =
   let r = model.Model.r in
+  Util.Trace.with_span
+    ~attrs:
+      [
+        ("locations", string_of_int (Array.length locations));
+        ("r", string_of_int r);
+      ]
+    "sampler.create"
+  @@ fun () ->
   let coeffs = model.Model.solution.Galerkin.coefficients in
   let lams = model.Model.solution.Galerkin.eigenvalues in
   let sqrt_lams = Array.init r (fun j -> sqrt lams.(j)) in
@@ -60,6 +68,10 @@ let sample_matrix_with t ~xi =
    kept cell (bit-identical), just without computing the thrown-away rows;
    [paper_literal] keeps the original path as an ablation. *)
 let sample_matrix ?(paper_literal = false) t rng ~n =
+  Util.Trace.with_span
+    ~attrs:[ ("n", string_of_int n) ]
+    "sampler.sample_matrix"
+  @@ fun () ->
   let r = dim t in
   let xi = Prng.Gaussian.matrix rng ~rows:n ~cols:r in
   if not paper_literal then sample_matrix_with t ~xi

@@ -34,6 +34,10 @@ let factor_upper a = Mat.transpose (factor_lower a)
 
 let factor_jittered ?(max_tries = 12) a =
   let n = Mat.rows a in
+  Util.Trace.with_span
+    ~attrs:[ ("n", string_of_int n) ]
+    "cholesky.factor_jittered"
+  @@ fun () ->
   (* scale jitter by the largest diagonal entry so it is meaningful for both
      unit-variance correlation matrices and raw covariances *)
   let diag_max = ref 0.0 in
@@ -57,6 +61,7 @@ let factor_jittered ?(max_tries = 12) a =
     | exception Not_positive_definite j ->
         if tries >= max_tries then raise (Not_positive_definite j)
         else begin
+          Util.Trace.incr Util.Trace.cholesky_jitter_retries;
           let jitter' = if jitter = 0.0 then base *. 1e-12 else jitter *. 10.0 in
           attempt (tries + 1) jitter'
         end

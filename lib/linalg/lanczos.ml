@@ -34,6 +34,14 @@ let reorthogonalize basis m v =
 
 let top_k ~matvec ~n ~k ?(tol = 1e-9) ?max_dim ?(seed = 7) () =
   if k <= 0 || k > n then invalid_arg "Lanczos.top_k: need 0 < k <= n";
+  Util.Trace.with_span
+    ~attrs:[ ("n", string_of_int n); ("k", string_of_int k) ]
+    "lanczos.top_k"
+  @@ fun () ->
+  let matvec v =
+    Util.Trace.incr Util.Trace.matvecs;
+    matvec v
+  in
   let max_dim =
     match max_dim with Some m -> min m n | None -> min n ((4 * k) + 80)
   in
@@ -97,8 +105,8 @@ let top_k ~matvec ~n ~k ?(tol = 1e-9) ?max_dim ?(seed = 7) () =
   let grow_step = max 16 (k / 2) in
   while !finished = None do
     let target = min max_dim (max (!m + grow_step) (min max_dim (2 * k))) in
-    extend target;
-    let sorted, z, perm = ritz () in
+    Util.Trace.with_span "lanczos.extend" (fun () -> extend target);
+    let sorted, z, perm = Util.Trace.with_span "lanczos.ritz" ritz in
     let dim = !m in
     let beta_last = if dim < max_dim then beta.(dim) else !last_beta in
     let scale_ref = Float.max (Float.abs sorted.(0)) 1e-300 in
@@ -148,7 +156,11 @@ let top_k ~matvec ~n ~k ?(tol = 1e-9) ?max_dim ?(seed = 7) () =
           }
     end
   done;
-  match !finished with Some r -> r | None -> assert false
+  match !finished with
+  | Some r ->
+      Util.Trace.add Util.Trace.lanczos_iterations r.iterations;
+      r
+  | None -> assert false
 
 let top_k_op ~op ~k ?tol ?max_dim ?seed () =
   top_k ~matvec:(Operator.apply op) ~n:(Operator.dim op) ~k ?tol ?max_dim ?seed

@@ -105,10 +105,25 @@ let scale s m = init m.rows m.cols (fun i j -> s *. unsafe_get m i j)
    bit-identical to the sequential loop for any pool size. *)
 let parallel_flops = 1 lsl 20
 
+(* Products below this many multiply-adds only bump the flop counter;
+   above it they also get their own span, so traces stay readable while
+   the covariance-sized products remain visible. *)
+let traced_work = 4_000_000
+
+let traced_mul name ~m ~n ~k f =
+  let work = m * n * k in
+  Util.Trace.add Util.Trace.matmul_flops (2 * work);
+  if work >= traced_work && Util.Trace.enabled () then
+    Util.Trace.with_span
+      ~attrs:[ ("dims", Printf.sprintf "%dx%dx%d" m n k) ]
+      name f
+  else f ()
+
 (* i-k-j loop order keeps the inner loop streaming over contiguous rows of
    both [b] and the accumulator, which matters at covariance-matrix sizes. *)
 let mul a b =
   if a.cols <> b.rows then invalid_arg "Mat.mul: inner dimension mismatch";
+  traced_mul "mat.mul" ~m:a.rows ~n:b.cols ~k:a.cols @@ fun () ->
   let c = create a.rows b.cols in
   let bc = b.cols in
   let rows lo hi =
@@ -141,6 +156,7 @@ let mul_nt_block = 256
 
 let mul_nt a b =
   if a.cols <> b.cols then invalid_arg "Mat.mul_nt: inner dimension mismatch";
+  traced_mul "mat.mul_nt" ~m:a.rows ~n:b.rows ~k:a.cols @@ fun () ->
   let c = create a.rows b.rows in
   let kk = a.cols in
   let bn = b.rows in

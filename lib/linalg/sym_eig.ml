@@ -181,6 +181,8 @@ let tql2 ?z d e =
 let eig a =
   let n = Mat.rows a in
   if Mat.cols a <> n then invalid_arg "Sym_eig.eig: not square";
+  Util.Trace.with_span ~attrs:[ ("n", string_of_int n) ] "sym_eig.eig"
+  @@ fun () ->
   (* work on the symmetric part to be robust against tiny asymmetries *)
   let z = Mat.init n n (fun i j -> 0.5 *. (Mat.get a i j +. Mat.get a j i)) in
   let d = Array.make n 0.0 in

@@ -4,6 +4,10 @@ type t = {
 }
 
 let prepare ?diag ?jobs (process : Process.t) locations =
+  Util.Trace.with_span
+    ~attrs:[ ("locations", string_of_int (Array.length locations)) ]
+    "algorithm1.prepare"
+  @@ fun () ->
   let timer = Util.Timer.start () in
   (* share the Cholesky factor between parameters with the same (physically
      equal) kernel; sample draws stay independent. Physical equality because

@@ -22,6 +22,10 @@ type t = {
 }
 
 let prepare ?(config = paper_config) ?mesh ?diag ?jobs (process : Process.t) locations =
+  Util.Trace.with_span
+    ~attrs:[ ("locations", string_of_int (Array.length locations)) ]
+    "algorithm2.prepare"
+  @@ fun () ->
   let timer = Util.Timer.start () in
   let mesh =
     match mesh with

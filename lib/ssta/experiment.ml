@@ -53,14 +53,29 @@ let run_mc ?(batch = 256) ?jobs ?(policy = Fail) ?diag setup ~sampler ~seed ~n =
   let sample_seconds = ref 0.0 in
   let sta_seconds = ref 0.0 in
   let skipped_total = ref 0 in
+  Util.Trace.with_span
+    ~attrs:[ ("n", string_of_int n); ("batch", string_of_int batch) ]
+    "run_mc"
+  @@ fun () ->
   Util.Pool.with_jobs ?jobs (fun pool ->
       let n_batches = (n + batch - 1) / batch in
       for bi = 0 to n_batches - 1 do
+        Util.Trace.with_span
+          ~attrs:
+            [
+              ("batch", string_of_int bi);
+              ("domain", string_of_int (Domain.self () :> int));
+            ]
+          "mc.batch"
+        @@ fun () ->
         let b = min batch (n - (bi * batch)) in
         (* each batch draws from its own counter-derived substream, so the
            sample set is a pure function of (seed, batch) *)
         let rng = Prng.Rng.substream ~seed ~stream:bi in
-        let blocks, dt = Util.Timer.time (fun () -> sampler rng ~n:b) in
+        let blocks, dt =
+          Util.Timer.time (fun () ->
+              Util.Trace.with_span "mc.sample" (fun () -> sampler rng ~n:b))
+        in
         sample_seconds := !sample_seconds +. dt;
         (match blocks with
         | [| _; _; _; _ |] -> ()
@@ -117,7 +132,10 @@ let run_mc ?(batch = 256) ?jobs ?(policy = Fail) ?diag setup ~sampler ~seed ~n =
           Array.init n_ranges (fun _ ->
               Array.init n_endpoints (fun _ -> Stats.Welford.create ()))
         in
+        Util.Trace.add Util.Trace.mc_samples (b - !n_bad);
+        Util.Trace.add Util.Trace.mc_skipped !n_bad;
         let t0 = Util.Timer.start () in
+        Util.Trace.with_span "mc.sta" (fun () ->
         Util.Pool.parallel_for pool ~chunk:sta_chunk ~n:b (fun lo hi ->
             let ri = lo / sta_chunk in
             let w_acc = range_worst.(ri) and e_acc = range_endpoints.(ri) in
@@ -143,7 +161,7 @@ let run_mc ?(batch = 256) ?jobs ?(policy = Fail) ?diag setup ~sampler ~seed ~n =
                 (fun e a -> Stats.Welford.add e_acc.(e) a)
                 result.Sta.Timing.endpoint_arrivals
               end
-            done);
+            done));
         sta_seconds := !sta_seconds +. Util.Timer.elapsed_s t0;
         (* combine per-range accumulators in fixed range order — the merge
            tree depends only on (n, batch, sta_chunk), not on the pool *)

@@ -25,7 +25,7 @@ let guard t ~stage f =
     Util.Diag.record ~sink:t.diag Error code ~stage detail;
     Error { Util.Diag.severity = Error; code; stage; detail }
   in
-  match f () with
+  match Util.Trace.with_span stage f with
   | v ->
       if t.strict_mode then begin
         let fresh = drop before (Util.Diag.events t.diag) in

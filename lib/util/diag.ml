@@ -50,6 +50,41 @@ let to_string e =
 
 let pp_event fmt e = Format.pp_print_string fmt (to_string e)
 
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json e =
+  Printf.sprintf
+    {|{"severity": "%s", "code": "%s", "stage": "%s", "detail": "%s"}|}
+    (severity_name e.severity) (code_name e.code) (json_escape e.stage)
+    (json_escape e.detail)
+
+(* Put the event on the trace timeline as an instant under the active
+   span, so degraded fallbacks are visible in chrome://tracing. *)
+let bridge e =
+  if Trace.enabled () then
+    Trace.instant
+      ~attrs:
+        [
+          ("severity", severity_name e.severity);
+          ("stage", e.stage);
+          ("detail", e.detail);
+        ]
+      ("diag:" ^ code_name e.code)
+
 let locked s f =
   Mutex.lock s.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock s.mutex) f
@@ -60,12 +95,15 @@ let add sink e =
       sink.n <- sink.n + 1)
 
 let record ?sink severity code ~stage detail =
-  match sink with
-  | None -> ()
-  | Some s -> add s { severity; code; stage; detail }
+  if Trace.enabled () || sink <> None then begin
+    let e = { severity; code; stage; detail } in
+    bridge e;
+    match sink with None -> () | Some s -> add s e
+  end
 
 let fail ?sink code ~stage detail =
   let e = { severity = Error; code; stage; detail } in
+  bridge e;
   (match sink with None -> () | Some s -> add s e);
   raise (Failure e)
 

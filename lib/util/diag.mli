@@ -71,3 +71,7 @@ val to_string : event -> string
 (** ["[warning] mvn.of_covariance (not-psd): ..."] *)
 
 val pp_event : Format.formatter -> event -> unit
+
+val to_json : event -> string
+(** One-line JSON object with [severity]/[code]/[stage]/[detail] fields,
+    for machine-readable strict-mode reports. *)

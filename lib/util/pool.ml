@@ -10,6 +10,7 @@ type job = {
   chunk : int;
   next : int Atomic.t; (* next chunk index to hand out *)
   error : exn option Atomic.t; (* first exception raised by any body *)
+  parent : string; (* submitting span path, for worker-side trace events *)
 }
 
 type t = {
@@ -52,10 +53,12 @@ let worker_loop t () =
   let last_gen = ref 0 in
   let running = ref true in
   while !running do
+    let t_wait = Trace.now_ns () in
     Mutex.lock t.mutex;
     while (not t.stop) && t.generation = !last_gen do
       Condition.wait t.has_work t.mutex
     done;
+    Trace.add Trace.pool_wait_ns (Trace.now_ns () - t_wait);
     if t.stop then begin
       Mutex.unlock t.mutex;
       running := false
@@ -64,7 +67,9 @@ let worker_loop t () =
       last_gen := t.generation;
       let job = match t.job with Some j -> j | None -> assert false in
       Mutex.unlock t.mutex;
-      run_job job;
+      let t_run = Trace.now_ns () in
+      Trace.with_pool_job ~parent:job.parent (fun () -> run_job job);
+      Trace.add Trace.pool_run_ns (Trace.now_ns () - t_run);
       Mutex.lock t.mutex;
       t.unfinished <- t.unfinished - 1;
       if t.unfinished = 0 then Condition.broadcast t.work_done;
@@ -143,6 +148,36 @@ let shutdown t =
   let is_default = match default_if_created () with Some d -> d == t | None -> false in
   if not (t == seq || is_default) then force_shutdown t
 
+(* Explicitly-sized pools are cached and reused across calls: spawning
+   domains is ~ms-scale, and callers like the matrix-free operator request
+   the same size once per apply (hundreds of times per eigensolve). One
+   pool per distinct size, joined at exit. *)
+let sized_pools : (int * t) list ref = ref []
+let sized_lock = Mutex.create ()
+
+let is_stopped p =
+  Mutex.lock p.mutex;
+  let s = p.stop in
+  Mutex.unlock p.mutex;
+  s
+
+let sized_pool j =
+  Mutex.lock sized_lock;
+  let p =
+    match
+      List.find_opt (fun (s, p) -> s = j && not (is_stopped p)) !sized_pools
+    with
+    | Some (_, p) -> p
+    | None ->
+        let p = create ~num_domains:(j - 1) () in
+        sized_pools :=
+          (j, p) :: List.filter (fun (_, q) -> not (is_stopped q)) !sized_pools;
+        at_exit (fun () -> force_shutdown p);
+        p
+  in
+  Mutex.unlock sized_lock;
+  p
+
 let with_jobs ?jobs f =
   match jobs with
   | None -> f (default ())
@@ -150,9 +185,7 @@ let with_jobs ?jobs f =
   | Some j -> (
       match default_if_created () with
       | Some d when size d = j -> f d
-      | _ ->
-          let p = create ~num_domains:(j - 1) () in
-          Fun.protect ~finally:(fun () -> force_shutdown p) (fun () -> f p))
+      | _ -> f (sized_pool j))
 
 let sequential_run body n chunk =
   let n_chunks = (n + chunk - 1) / chunk in
@@ -182,7 +215,16 @@ let parallel_for t ?chunk ~n body =
         sequential_run body n chunk
       end
       else begin
-        let job = { body; n; chunk; next = Atomic.make 0; error = Atomic.make None } in
+        let job =
+          {
+            body;
+            n;
+            chunk;
+            next = Atomic.make 0;
+            error = Atomic.make None;
+            parent = (if Trace.enabled () then Trace.current_path () else "");
+          }
+        in
         Mutex.lock t.mutex;
         t.job <- Some job;
         t.generation <- t.generation + 1;

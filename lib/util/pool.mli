@@ -42,8 +42,11 @@ val default_if_created : unit -> t option
 val with_jobs : ?jobs:int -> (t -> 'a) -> 'a
 (** [with_jobs ?jobs f] runs [f] with a pool of [jobs] total domains:
     [None] uses {!default}; [jobs <= 1] uses {!seq}; any other count
-    reuses the global pool when the size matches and otherwise creates a
-    dedicated pool that is shut down when [f] returns (or raises). *)
+    reuses the global pool when the size matches and otherwise a cached
+    pool of that size (created on first request, reused by every later
+    [with_jobs] with the same count, joined at process exit — spawning
+    domains is expensive, and hot paths request the same size per
+    operator apply). *)
 
 val parallel_for : t -> ?chunk:int -> n:int -> (int -> int -> unit) -> unit
 (** [parallel_for t ~chunk ~n body] calls [body lo hi] for every chunk

@@ -1,8 +1,11 @@
-type t = float
+(* Thin veneer over Trace's monotonic clock so the whole repo shares one
+   clock source (CLOCK_MONOTONIC, immune to wall-clock adjustments). *)
 
-let start () = Unix.gettimeofday ()
+type t = int (* Trace.now_ns at start *)
 
-let elapsed_s t = Unix.gettimeofday () -. t
+let start () = Trace.now_ns ()
+
+let elapsed_s t = float_of_int (Trace.now_ns () - t) *. 1e-9
 
 let time f =
   let t = start () in

@@ -261,6 +261,345 @@ let test_fault_plan_periodic_with_limit () =
   Alcotest.(check bool) "fires again after reset" true
     (Float.is_finite (Util.Fault.apply p 1.0) && Util.Fault.apply p 1.0 = 0.0)
 
+(* ---------- minimal JSON parser (for exporter round-trip checks) ---------- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let bad msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then s.[!pos] else bad "unexpected end" in
+    let next () =
+      let c = peek () in
+      incr pos;
+      c
+    in
+    let skip_ws () =
+      while
+        !pos < n
+        && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+      do
+        incr pos
+      done
+    in
+    let expect c =
+      let g = next () in
+      if g <> c then bad (Printf.sprintf "expected '%c', got '%c'" c g)
+    in
+    let literal lit v =
+      let l = String.length lit in
+      if !pos + l <= n && String.sub s !pos l = lit then begin
+        pos := !pos + l;
+        v
+      end
+      else bad ("bad literal, wanted " ^ lit)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec loop () =
+        match next () with
+        | '"' -> Buffer.contents b
+        | '\\' ->
+            (match next () with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | '/' -> Buffer.add_char b '/'
+            | 'n' -> Buffer.add_char b '\n'
+            | 'r' -> Buffer.add_char b '\r'
+            | 't' -> Buffer.add_char b '\t'
+            | 'b' -> Buffer.add_char b '\b'
+            | 'f' -> Buffer.add_char b '\012'
+            | 'u' ->
+                if !pos + 4 > n then bad "truncated \\u escape";
+                let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+                pos := !pos + 4;
+                (* ASCII is all the exporters emit; keep others symbolic *)
+                if code < 0x80 then Buffer.add_char b (Char.chr code)
+                else Buffer.add_string b (Printf.sprintf "\\u%04x" code)
+            | c -> bad (Printf.sprintf "bad escape '%c'" c));
+            loop ()
+        | c -> Buffer.add_char b c; loop ()
+      in
+      loop ()
+    in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | '"' -> Str (parse_string ())
+      | '{' ->
+          incr pos;
+          skip_ws ();
+          if peek () = '}' then begin
+            incr pos;
+            Obj []
+          end
+          else
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              (match next () with
+              | ',' -> members ((k, v) :: acc)
+              | '}' -> Obj (List.rev ((k, v) :: acc))
+              | c -> bad (Printf.sprintf "bad object separator '%c'" c))
+            in
+            members []
+      | '[' ->
+          incr pos;
+          skip_ws ();
+          if peek () = ']' then begin
+            incr pos;
+            Arr []
+          end
+          else
+            let rec elems acc =
+              let v = parse_value () in
+              skip_ws ();
+              (match next () with
+              | ',' -> elems (v :: acc)
+              | ']' -> Arr (List.rev (v :: acc))
+              | c -> bad (Printf.sprintf "bad array separator '%c'" c))
+            in
+            elems []
+      | 't' -> literal "true" (Bool true)
+      | 'f' -> literal "false" (Bool false)
+      | 'n' -> literal "null" Null
+      | c when is_num_char c ->
+          let start = !pos in
+          while !pos < n && is_num_char s.[!pos] do
+            incr pos
+          done;
+          Num (float_of_string (String.sub s start (!pos - start)))
+      | c -> bad (Printf.sprintf "unexpected '%c'" c)
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then bad "trailing garbage";
+    v
+end
+
+let obj_field name j =
+  match j with
+  | Json.Obj kvs -> (
+      match List.assoc_opt name kvs with
+      | Some v -> v
+      | None -> Alcotest.fail ("missing JSON field: " ^ name))
+  | _ -> Alcotest.fail ("expected JSON object when reading field: " ^ name)
+
+let get_string = function
+  | Json.Str s -> s
+  | _ -> Alcotest.fail "expected JSON string"
+
+let get_num = function
+  | Json.Num f -> f
+  | _ -> Alcotest.fail "expected JSON number"
+
+let get_list = function
+  | Json.Arr l -> l
+  | _ -> Alcotest.fail "expected JSON array"
+
+(* ---------- Diag JSON ---------- *)
+
+let test_diag_to_json () =
+  let e =
+    {
+      Util.Diag.severity = Util.Diag.Warning;
+      code = `Not_psd;
+      stage = "mvn";
+      detail = "alpha \"quoted\"\nline2";
+    }
+  in
+  let json = Json.parse (Util.Diag.to_json e) in
+  Alcotest.(check string) "severity" "warning"
+    (get_string (obj_field "severity" json));
+  Alcotest.(check string) "code" "not-psd" (get_string (obj_field "code" json));
+  Alcotest.(check string) "stage" "mvn" (get_string (obj_field "stage" json));
+  Alcotest.(check string) "detail escaping round-trips" "alpha \"quoted\"\nline2"
+    (get_string (obj_field "detail" json))
+
+(* ---------- Trace ---------- *)
+
+(* Each test owns the (global) tracer: enable + reset on entry, disable on
+   exit even when the assertion raises. *)
+let with_tracer f =
+  Util.Trace.enable ();
+  Util.Trace.reset ();
+  Fun.protect ~finally:(fun () -> Util.Trace.disable ()) f
+
+let test_trace_now_ns_monotonic () =
+  let a = Util.Trace.now_ns () in
+  let b = Util.Trace.now_ns () in
+  Alcotest.(check bool) "positive and monotonic" true (a > 0 && b >= a)
+
+let test_trace_span_paths_and_exceptions () =
+  with_tracer @@ fun () ->
+  Alcotest.(check string) "top-level path empty" "" (Util.Trace.current_path ());
+  let v =
+    Util.Trace.with_span "outer" (fun () ->
+        Util.Trace.with_span "inner" (fun () -> Util.Trace.current_path ()))
+  in
+  Alcotest.(check string) "nested path" "outer;inner" v;
+  (match Util.Trace.with_span "boom" (fun () -> failwith "payload") with
+  | () -> Alcotest.fail "expected Failure"
+  | exception Stdlib.Failure m -> Alcotest.(check string) "re-raised" "payload" m);
+  Alcotest.(check string) "stack unwound after raise" ""
+    (Util.Trace.current_path ());
+  Alcotest.(check (list (pair string int))) "all spans recorded"
+    [ ("boom", 1); ("outer", 1); ("outer;inner", 1) ]
+    (Util.Trace.structure ());
+  let tree = Util.Trace.span_tree () in
+  let outer = List.find (fun n -> n.Util.Trace.name = "outer") tree in
+  match outer.Util.Trace.children with
+  | [ inner ] ->
+      Alcotest.(check string) "child path" "outer;inner" inner.Util.Trace.path;
+      Alcotest.(check int) "self + child = total" outer.Util.Trace.total_ns
+        (outer.Util.Trace.self_ns + inner.Util.Trace.total_ns)
+  | _ -> Alcotest.fail "expected exactly one child under outer"
+
+(* The pipeline's instrumentation pattern: structural spans on the
+   submitting domain, parallel_for bodies inside them, work counters
+   bulk-added from the problem shape. *)
+let run_traced_workload ~jobs =
+  with_tracer @@ fun () ->
+  let work = Util.Trace.counter "test.work" in
+  Util.Pool.with_jobs ~jobs @@ fun pool ->
+  Util.Trace.with_span "prepare" (fun () ->
+      Util.Trace.with_span "assemble" (fun () -> Util.Trace.add work 7));
+  Util.Trace.with_span "run" (fun () ->
+      for _batch = 1 to 3 do
+        Util.Trace.with_span "batch" (fun () ->
+            let acc = Atomic.make 0 in
+            Util.Pool.parallel_for pool ~chunk:4 ~n:64 (fun lo hi ->
+                ignore (Atomic.fetch_and_add acc (hi - lo)));
+            Util.Trace.add work (Atomic.get acc))
+      done);
+  (Util.Trace.structure (), Util.Trace.value work)
+
+let test_trace_structure_jobs_invariant () =
+  let s1, w1 = run_traced_workload ~jobs:1 in
+  let s2, w2 = run_traced_workload ~jobs:2 in
+  Alcotest.(check (list (pair string int))) "structure identical -j1 vs -j2" s1 s2;
+  Alcotest.(check int) "work counter identical -j1 vs -j2" w1 w2;
+  Alcotest.(check (list (pair string int))) "expected shape"
+    [ ("prepare", 1); ("prepare;assemble", 1); ("run", 1); ("run;batch", 3) ]
+    s1
+
+let test_trace_counter_atomicity () =
+  with_tracer @@ fun () ->
+  let c = Util.Trace.counter "test.atomic" in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 25_000 do
+              Util.Trace.incr c
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "no lost updates across domains" 100_000
+    (Util.Trace.value c);
+  Alcotest.(check bool) "visible in counters ()" true
+    (List.mem_assoc "test.atomic" (Util.Trace.counters ()))
+
+let test_trace_chrome_export_wellformed () =
+  let path = Filename.temp_file "trace_test" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path)
+  @@ fun () ->
+  (with_tracer @@ fun () ->
+   Util.Trace.with_span ~attrs:[ ("k", "v") ] "outer" (fun () ->
+       Util.Trace.with_span "inner" (fun () ->
+           Util.Diag.record Util.Diag.Warning `Non_finite ~stage:"test"
+             "bridged instant");
+       Util.Trace.add (Util.Trace.counter "test.export") 11);
+   Util.Trace.write_chrome_trace path);
+  let ic = open_in_bin path in
+  let raw =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let json = Json.parse raw in
+  Alcotest.(check string) "displayTimeUnit" "ms"
+    (get_string (obj_field "displayTimeUnit" json));
+  let events = get_list (obj_field "traceEvents" json) in
+  Alcotest.(check bool) "has events" true (List.length events >= 5);
+  List.iter
+    (fun e ->
+      ignore (get_string (obj_field "name" e));
+      ignore (get_string (obj_field "ph" e));
+      ignore (get_num (obj_field "pid" e));
+      ignore (get_num (obj_field "tid" e)))
+    events;
+  let ph e = get_string (obj_field "ph" e) in
+  let name e = get_string (obj_field "name" e) in
+  Alcotest.(check bool) "process_name metadata" true
+    (List.exists (fun e -> ph e = "M" && name e = "process_name") events);
+  let inner = List.find (fun e -> ph e = "X" && name e = "inner") events in
+  Alcotest.(check string) "nested path arg" "outer;inner"
+    (get_string (obj_field "path" (obj_field "args" inner)));
+  Alcotest.(check bool) "dur non-negative" true
+    (get_num (obj_field "dur" inner) >= 0.0);
+  Alcotest.(check bool) "diag event bridged as instant" true
+    (List.exists (fun e -> ph e = "i" && name e = "diag:non-finite") events);
+  let counters_evt = List.find (fun e -> name e = "counters") events in
+  Alcotest.(check string) "counter total travels with trace" "11"
+    (get_string (obj_field "test.export" (obj_field "args" counters_evt)))
+
+let test_trace_summary_json_parses () =
+  with_tracer @@ fun () ->
+  Util.Trace.with_span "s" (fun () -> Util.Trace.incr Util.Trace.matvecs);
+  let json = Json.parse (Util.Trace.summary_json ()) in
+  (match get_list (obj_field "spans" json) with
+  | [ span ] ->
+      Alcotest.(check string) "span path" "s" (get_string (obj_field "path" span));
+      Alcotest.(check bool) "count" true
+        (get_num (obj_field "count" span) = 1.0)
+  | _ -> Alcotest.fail "expected exactly one span");
+  Alcotest.(check bool) "matvecs counted" true
+    (get_num (obj_field "matvecs" (obj_field "counters" json)) = 1.0);
+  ignore (obj_field "gc_minor_words" (obj_field "gc" json))
+
+let noop () = ()
+
+let test_trace_disabled_overhead () =
+  Util.Trace.disable ();
+  let c = Util.Trace.counter "test.disabled" in
+  let body () =
+    for _ = 1 to 100_000 do
+      Util.Trace.with_span "noop" noop;
+      Util.Trace.add c 3;
+      Util.Trace.instant "nothing"
+    done
+  in
+  body ();
+  (* warmed up *)
+  let w0 = Gc.minor_words () in
+  body ();
+  let dw = Gc.minor_words () -. w0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "allocation-free when disabled (%.0f words)" dw)
+    true (dw < 1000.0);
+  Alcotest.(check int) "counter untouched when disabled" 0 (Util.Trace.value c);
+  Alcotest.(check string) "no path tracked when disabled" ""
+    (Util.Trace.with_span "x" Util.Trace.current_path)
+
 let test_fault_plan_invalid_args () =
   let raises f = match f () with _ -> false | exception Invalid_argument _ -> true in
   Alcotest.(check bool) "negative first" true
@@ -315,7 +654,24 @@ let () =
           Alcotest.test_case "fail records and raises" `Quick
             test_diag_fail_records_and_raises;
           Alcotest.test_case "to_string" `Quick test_diag_to_string;
+          Alcotest.test_case "to_json" `Quick test_diag_to_json;
           Alcotest.test_case "thread safety" `Quick test_diag_thread_safety;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "now_ns monotonic" `Quick test_trace_now_ns_monotonic;
+          Alcotest.test_case "span paths and exception safety" `Quick
+            test_trace_span_paths_and_exceptions;
+          Alcotest.test_case "structure identical for -j1 and -j2" `Quick
+            test_trace_structure_jobs_invariant;
+          Alcotest.test_case "counter atomicity across domains" `Quick
+            test_trace_counter_atomicity;
+          Alcotest.test_case "chrome exporter well-formed" `Quick
+            test_trace_chrome_export_wellformed;
+          Alcotest.test_case "summary_json parses" `Quick
+            test_trace_summary_json_parses;
+          Alcotest.test_case "disabled tracer allocates nothing" `Quick
+            test_trace_disabled_overhead;
         ] );
       ( "fault",
         [

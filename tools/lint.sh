@@ -13,6 +13,10 @@
 #   3. No `Mat.transpose` in lib/kle/ — the KLE hot paths must use
 #      `Mat.mul_nt` (A·Bᵀ without materialising the transpose) or the
 #      matrix-free operator instead of allocating an explicit transpose.
+#   4. No `Unix.gettimeofday` / `Sys.time` in lib/ outside lib/util/trace.ml —
+#      all timing goes through the single monotonic clock behind
+#      `Util.Trace.now_ns` (and `Util.Timer` on top of it), so spans, timers
+#      and counters are mutually comparable and immune to wall-clock jumps.
 #
 # Exits non-zero and prints offending lines when a rule is violated.
 
@@ -50,6 +54,15 @@ fi
 # Rule 3: no Mat.transpose in lib/kle/.
 if matches=$(grep -rn --include='*.ml' --include='*.mli' 'Mat\.transpose' lib/kle/); then
   fail "Mat.transpose in lib/kle/ — use Mat.mul_nt or the matrix-free operator instead of materialising a transpose" "$matches"
+fi
+
+# Rule 4: non-monotonic clocks in lib/ (trace.ml owns the clock).
+if matches=$(grep -rnE --include='*.ml' --include='*.mli' \
+  'Unix\.gettimeofday|Sys\.time[^a-z_]|Sys\.time$' lib/ \
+  | grep -v '^lib/util/trace\.ml:' || true); then
+  if [ -n "$matches" ]; then
+    fail "wall-clock timing in lib/ — use Util.Trace.now_ns / Util.Timer (monotonic) instead of Unix.gettimeofday or Sys.time" "$matches"
+  fi
 fi
 
 if [ "$status" -eq 0 ]; then
