@@ -108,7 +108,9 @@ let entry_value = function
       Assoc
         [ ("kind", String "meta"); ("name", String name); ("params", Assoc params) ]
 
-(* one entry per line, so diffs between BENCH files stay line-oriented *)
+(* one entry per line, so diffs between BENCH files stay line-oriented; the
+   write is atomic (tmp+rename) so an interrupted run can never leave a
+   truncated, unparsable BENCH file *)
 let write_file path entries =
   let b = Buffer.create 4096 in
   Buffer.add_string b "[";
@@ -119,6 +121,4 @@ let write_file path entries =
       add b (entry_value r))
     entries;
   Buffer.add_string b "\n]\n";
-  let oc = open_out path in
-  output_string oc (Buffer.contents b);
-  close_out oc
+  Util.Fileio.write_atomic path (Buffer.contents b)

@@ -1095,6 +1095,131 @@ let smoke () =
 
 (* ---------------------------------------------------------------- *)
 
+(* load generator for the serving stack: cold vs. warm prepare latency
+   through the persistent model store, then a concurrent run_mc load with
+   latency percentiles — all in-process against Serve.Server, the same
+   engine bin/ssta_serve.exe exposes over stdio/socket *)
+let serve_bench () =
+  header "Serving: persistent KLE model store + concurrent analysis server";
+  let module J = Serve.Jsonx in
+  let c0 = Util.Trace.counters () in
+  let store_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "kle-serve-bench.%d" (Unix.getpid ()))
+  in
+  let config =
+    {
+      Serve.Server.default_config with
+      Serve.Server.store_dir = Some store_dir;
+      workers = 4;
+      queue_capacity = 256;
+      jobs = Some 1;
+    }
+  in
+  let request id meth params =
+    J.to_string
+      (J.Obj
+         [ ("id", J.Num (float_of_int id)); ("method", J.Str meth); ("params", J.Obj params) ])
+  in
+  let c880 = ("circuit", J.Obj [ ("name", J.Str "c880") ]) in
+  let sync_call server line =
+    let lock = Mutex.create () and cond = Condition.create () in
+    let result = ref None in
+    Serve.Server.submit server line ~reply:(fun resp ->
+        Mutex.lock lock;
+        result := Some resp;
+        Condition.signal cond;
+        Mutex.unlock lock);
+    Mutex.lock lock;
+    while !result = None do
+      Condition.wait cond lock
+    done;
+    Mutex.unlock lock;
+    Option.get !result
+  in
+  let must_ok line resp =
+    match J.parse resp with
+    | Ok j when J.member "ok" j <> None -> ()
+    | _ ->
+        pf "FAIL: request %s -> %s\n" line resp;
+        exit 1
+  in
+  (* cold: fresh store, the prepare pays meshing + the KLE eigensolution *)
+  let server = Serve.Server.create config in
+  let prepare_line = request 0 "prepare" [ c880 ] in
+  let resp, cold_s = Util.Timer.time (fun () -> sync_call server prepare_line) in
+  must_ok prepare_line resp;
+  Serve.Server.drain server;
+  (* warm: a fresh server (empty memory tier) over the now-populated store *)
+  let server = Serve.Server.create config in
+  let resp, warm_s = Util.Timer.time (fun () -> sync_call server prepare_line) in
+  must_ok prepare_line resp;
+  pf "prepare c880: cold %.2fs, warm (store hit) %.4fs -> %.0fx faster\n" cold_s warm_s
+    (cold_s /. warm_s);
+  (* load phase: concurrent run_mc requests against the warm server *)
+  let n_requests = 32 and n_mc = 200 in
+  let lock = Mutex.create () and cond = Condition.create () in
+  let finished = ref 0 and failures = ref 0 in
+  let latencies = Array.make n_requests nan in
+  let t_all = Util.Timer.start () in
+  for i = 0 to n_requests - 1 do
+    let timer = Util.Timer.start () in
+    let line =
+      request (i + 1) "run_mc"
+        [ c880; ("sampler", J.Str (if i mod 2 = 0 then "kle" else "kle-qmc"));
+          ("seed", J.Num (float_of_int (opts.seed + i))); ("n", J.Num (float_of_int n_mc)) ]
+    in
+    Serve.Server.submit server line ~reply:(fun resp ->
+        let dt = Util.Timer.elapsed_s timer in
+        Mutex.lock lock;
+        latencies.(i) <- dt;
+        (match J.parse resp with
+        | Ok j when J.member "ok" j <> None -> ()
+        | _ -> incr failures);
+        incr finished;
+        Condition.signal cond;
+        Mutex.unlock lock)
+  done;
+  Mutex.lock lock;
+  while !finished < n_requests do
+    Condition.wait cond lock
+  done;
+  Mutex.unlock lock;
+  let total_s = Util.Timer.elapsed_s t_all in
+  if !failures > 0 then begin
+    pf "FAIL: %d serve requests errored\n" !failures;
+    exit 1
+  end;
+  let sorted = Array.copy latencies in
+  Array.sort Float.compare sorted;
+  let pct p =
+    let n = Array.length sorted in
+    sorted.(max 0 (min (n - 1) (int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1)))
+  in
+  let stats_resp = sync_call server (request 99 "stats" []) in
+  Serve.Server.drain server;
+  pf "%d concurrent run_mc(n=%d) requests on %d workers: %.2fs total, %.1f req/s\n" n_requests
+    n_mc config.Serve.Server.workers total_s
+    (float_of_int n_requests /. total_s);
+  pf "latency: p50 %.3fs, p90 %.3fs, p99 %.3fs\n" (pct 50.) (pct 90.) (pct 99.);
+  pf "final stats: %s\n" stats_resp;
+  emit "serve"
+    ~params:
+      [ ("circuit", Bench_json.String "c880");
+        ("workers", Bench_json.Int config.Serve.Server.workers);
+        ("requests", Bench_json.Int n_requests) ]
+    ~stages:
+      [ ("prepare_cold", cold_s); ("prepare_warm", warm_s); ("load_total", total_s);
+        ("latency_p50", pct 50.); ("latency_p90", pct 90.); ("latency_p99", pct 99.) ]
+    ~counters:(counters_since c0) ~samples:n_mc
+    ~wall_s:(cold_s +. warm_s +. total_s);
+  (* leave no bench droppings in TMPDIR *)
+  (try
+     Array.iter (fun f -> Sys.remove (Filename.concat store_dir f)) (Sys.readdir store_dir);
+     Unix.rmdir store_dir
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  pf "serve OK\n"
+
 let all () =
   fig1 ();
   fig3a ();
@@ -1114,13 +1239,14 @@ let all () =
   ablate_qmc ();
   blocksta ();
   powergrid ();
+  serve_bench ();
   micro ()
 
 let usage () =
   pf
     "usage: main.exe [fig1|fig3a|fig3b|fig4|fig5|fig6a|fig6b|table1|eigtime|scale|\n\
     \                 ablate-quad|ablate-mesh|ablate-eig|ablate-kernel|ablate-recon|ablate-basis|\n\
-    \                 smoke|micro|all]\n\
+    \                 serve|smoke|micro|all]\n\
     \                [--samples N] [--table-samples N] [--max-gates N] [--full]\n\
     \                [--mesh-frac F] [--seed N] [-j N] [--json PATH]\n\
     \                [--trace PATH] [--metrics]\n"
@@ -1191,6 +1317,7 @@ let () =
     | "blocksta" -> blocksta ()
     | "ablate-qmc" -> ablate_qmc ()
     | "powergrid" -> powergrid ()
+    | "serve" -> serve_bench ()
     | "smoke" -> smoke ()
     | "micro" -> micro ()
     | "all" -> all ()

@@ -119,7 +119,7 @@ let run circuit_name bench_file samples sampler_kind grid r kle_mode seed jobs
           Ssta.Pipeline.setup_seconds_of prepared,
           "cholesky (Algorithm 1)",
           None )
-    | `Kle ->
+    | (`Kle | `Kle_qmc) as kind ->
         let config =
           {
             Ssta.Algorithm2.paper_config with
@@ -139,9 +139,39 @@ let run circuit_name bench_file samples sampler_kind grid r kle_mode seed jobs
               Some (Ssta.Algorithm2.models a2)
           | _ -> None
         in
-        ( Ssta.Pipeline.sampler_of prepared,
+        let sampler =
+          match kind with
+          | `Kle_qmc ->
+              (* quasi-Monte Carlo in the reduced KLE space: one stateful
+                 randomized-Halton sequence per parameter, consumed batch by
+                 batch (run_mc generates batches in order, so this stays
+                 deterministic in the seed) *)
+              let samplers =
+                Array.map
+                  (fun m -> Kle.Sampler.create ~diag m setup.Ssta.Experiment.locations)
+                  (Option.get models)
+              in
+              let seqs =
+                Array.mapi
+                  (fun i s ->
+                    Prng.Lowdisc.create
+                      ~shift_rng:(Prng.Rng.substream ~seed ~stream:(0x51C0 + i))
+                      ~dim:(Kle.Sampler.dim s) ())
+                  samplers
+              in
+              fun _rng ~n ->
+                Array.mapi
+                  (fun i s ->
+                    Kle.Sampler.sample_matrix_with s
+                      ~xi:(Prng.Lowdisc.normal_matrix seqs.(i) ~rows:n))
+                  samplers
+          | `Kle -> Ssta.Pipeline.sampler_of prepared
+        in
+        ( sampler,
           Ssta.Pipeline.setup_seconds_of prepared,
-          "covariance-kernel KLE (Algorithm 2)",
+          (match kind with
+          | `Kle -> "covariance-kernel KLE (Algorithm 2)"
+          | `Kle_qmc -> "covariance-kernel KLE + randomized-Halton QMC"),
           models )
     | `Grid ->
         let g =
@@ -187,7 +217,7 @@ let run circuit_name bench_file samples sampler_kind grid r kle_mode seed jobs
      match sampler_kind with
      | `Cholesky ->
          Printf.printf "\n--compare: the candidate already is the reference sampler\n"
-     | `Kle | `Grid ->
+     | `Kle | `Kle_qmc | `Grid ->
          let reference_prepared = prepare_cholesky () in
          let reference = run_mc (Ssta.Pipeline.sampler_of reference_prepared) in
          let cmp =
@@ -255,8 +285,14 @@ let samples_arg =
 let sampler_arg =
   Arg.(
     value
-    & opt (enum [ ("cholesky", `Cholesky); ("kle", `Kle); ("grid", `Grid) ]) `Kle
-    & info [ "sampler" ] ~doc:"Correlation sampler: cholesky, kle or grid.")
+    & opt
+        (enum
+           [ ("cholesky", `Cholesky); ("kle", `Kle); ("kle-qmc", `Kle_qmc); ("grid", `Grid) ])
+        `Kle
+    & info [ "sampler" ]
+        ~doc:
+          "Correlation sampler: cholesky, kle, kle-qmc (randomized-Halton quasi-Monte Carlo \
+           in the reduced KLE space) or grid.")
 
 let grid_arg =
   Arg.(value & opt int 8 & info [ "grid" ] ~doc:"Grid resolution for the grid sampler.")

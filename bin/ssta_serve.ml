@@ -1,0 +1,222 @@
+(* JSON-lines SSTA analysis server over stdin/stdout or a Unix-domain
+   socket, backed by the persistent KLE model store.
+
+   Examples:
+     ssta_serve --store /tmp/kle-store            # serve stdin/stdout
+     ssta_serve --socket /tmp/ssta.sock &         # daemon on a socket
+     ssta_serve --client /tmp/ssta.sock           # pipe stdin lines to it
+     echo '{"id":1,"method":"stats"}' | ssta_serve
+
+   Protocol (one JSON object per line, responses correlated by "id"):
+     {"id":1,"method":"prepare","params":{"circuit":{"name":"c880"}}}
+     {"id":2,"method":"run_mc","deadline_ms":60000,
+      "params":{"circuit":{"name":"c880"},"sampler":"kle","seed":42,"n":1000}}
+     {"id":3,"method":"compare","params":{"circuit":{"name":"c880"},"n":500}}
+     {"id":4,"method":"stats"}
+     {"id":5,"method":"shutdown"} *)
+
+open Cmdliner
+
+(* replies may arrive from any worker domain; serialize writes per channel
+   and flush per line, so concurrent responses never interleave *)
+let line_writer oc =
+  let lock = Mutex.create () in
+  fun line ->
+    Mutex.lock lock;
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    Mutex.unlock lock
+
+let serve_channels server ic oc =
+  let reply = line_writer oc in
+  (try
+     while not (Serve.Server.shutdown_requested server) do
+       let line = input_line ic in
+       if String.trim line <> "" then Serve.Server.submit server line ~reply
+     done
+   with End_of_file -> ());
+  Serve.Server.drain server
+
+let serve_socket server path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 16;
+  Printf.printf "ssta_serve: listening on %s\n%!" path;
+  (* one lightweight thread per connection reads lines; all execution
+     happens on the server's worker domains *)
+  let handle conn =
+    let ic = Unix.in_channel_of_descr conn in
+    let oc = Unix.out_channel_of_descr conn in
+    let reply = line_writer oc in
+    (try
+       while not (Serve.Server.shutdown_requested server) do
+         let line = input_line ic in
+         if String.trim line <> "" then Serve.Server.submit server line ~reply
+       done
+     with End_of_file | Sys_error _ -> ());
+    (try Unix.close conn with Unix.Unix_error _ -> ())
+  in
+  let threads = ref [] in
+  (try
+     while not (Serve.Server.shutdown_requested server) do
+       (* wake up periodically so a shutdown request also stops accept *)
+       match Unix.select [ sock ] [] [] 0.2 with
+       | [], _, _ -> ()
+       | _ ->
+           let conn, _ = Unix.accept sock in
+           threads := Thread.create handle conn :: !threads
+     done
+   with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+  (* stop intake first so late lines get typed shutting_down replies,
+     then let queued work finish *)
+  Serve.Server.begin_drain server;
+  List.iter Thread.join !threads;
+  Serve.Server.drain server;
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  (try Unix.unlink path with Unix.Unix_error _ -> ())
+
+(* client mode: connect to a serving socket, forward stdin lines, print
+   every response line — enough for scripted smoke tests without a real
+   JSON client *)
+let run_client path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect sock (Unix.ADDR_UNIX path)
+   with Unix.Unix_error (e, _, _) ->
+     Printf.eprintf "ssta_serve --client: cannot connect to %s: %s\n" path
+       (Unix.error_message e);
+     exit 1);
+  let ic = Unix.in_channel_of_descr sock in
+  let oc = Unix.out_channel_of_descr sock in
+  let pending = ref 0 in
+  let printer =
+    Thread.create
+      (fun () ->
+        try
+          while true do
+            print_endline (input_line ic);
+            flush stdout;
+            decr pending
+          done
+        with End_of_file | Sys_error _ -> ())
+      ()
+  in
+  (try
+     while true do
+       let line = input_line stdin in
+       if String.trim line <> "" then begin
+         incr pending;
+         output_string oc line;
+         output_char oc '\n';
+         flush oc
+       end
+     done
+   with End_of_file -> ());
+  (* wait (bounded) for the responses to the lines we sent *)
+  let rec wait tries = if !pending > 0 && tries > 0 then (Thread.delay 0.05; wait (tries - 1)) in
+  wait 1200;
+  (try Unix.shutdown sock Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+  (try Thread.join printer with _ -> ());
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  if !pending > 0 then exit 1
+
+let run store_dir socket client cache_entries queue_capacity workers jobs seed
+    max_area_fraction trace_file stats_file =
+  match client with
+  | Some path -> run_client path
+  | None ->
+      if trace_file <> None then Util.Trace.enable ();
+      let config =
+        {
+          Serve.Server.store_dir;
+          cache_entries;
+          queue_capacity;
+          workers;
+          jobs;
+          placement_seed = seed;
+          kle =
+            { Ssta.Algorithm2.paper_config with Ssta.Algorithm2.max_area_fraction };
+        }
+      in
+      let server = Serve.Server.create config in
+      (match socket with
+      | Some path -> serve_socket server path
+      | None -> serve_channels server stdin stdout);
+      (match stats_file with
+      | Some path ->
+          Util.Fileio.write_atomic path
+            (Serve.Jsonx.to_string (Serve.Server.stats_payload server) ^ "\n")
+      | None -> ());
+      (match trace_file with
+      | Some path -> Util.Trace.write_chrome_trace path
+      | None -> ());
+      let diag = Serve.Server.diagnostics server in
+      if Util.Diag.count ~min_severity:Util.Diag.Warning diag > 0 then begin
+        Printf.eprintf "diagnostics:\n";
+        List.iter
+          (fun e ->
+            if Util.Diag.severity_rank e.Util.Diag.severity >= 1 then
+              Printf.eprintf "  %s\n" (Util.Diag.to_string e))
+          (Util.Diag.events diag)
+      end
+
+let store_arg =
+  let doc = "Persist prepared artifacts (circuit setups, KLE models) under $(docv)." in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+
+let socket_arg =
+  let doc = "Serve connections on a Unix-domain socket at $(docv) instead of stdin/stdout." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let client_arg =
+  let doc =
+    "Client mode: connect to the serving socket at $(docv), forward stdin lines, print responses."
+  in
+  Arg.(value & opt (some string) None & info [ "client" ] ~docv:"PATH" ~doc)
+
+let cache_arg =
+  let doc = "In-memory model cache capacity (entries)." in
+  Arg.(value & opt int 32 & info [ "cache-entries" ] ~docv:"N" ~doc)
+
+let queue_arg =
+  let doc = "Bounded job-queue capacity; beyond it requests are rejected as overloaded." in
+  Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+
+let workers_arg =
+  let doc = "Worker domains executing requests concurrently." in
+  Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+
+let jobs_arg =
+  let doc = "Compute fan-out within one request (domains); default sequential." in
+  Arg.(value & opt (some int) (Some 1) & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Placement seed for circuit setups." in
+  Arg.(value & opt int 1 & info [ "placement-seed" ] ~docv:"N" ~doc)
+
+let mesh_area_arg =
+  let doc =
+    "Maximum triangle area as a fraction of the die (mesh resolution). The paper's \
+     experiments use 0.001; larger values give a coarser, much cheaper eigensolve \
+     (useful for smoke tests)."
+  in
+  Arg.(value & opt float 0.001 & info [ "max-area-fraction" ] ~docv:"F" ~doc)
+
+let trace_arg =
+  let doc = "Write a Chrome trace of the serving run to $(docv) on exit." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PATH" ~doc)
+
+let stats_arg =
+  let doc = "Write final server statistics (JSON) to $(docv) on exit." in
+  Arg.(value & opt (some string) None & info [ "stats-file" ] ~docv:"PATH" ~doc)
+
+let cmd =
+  let doc = "concurrent SSTA analysis server with a persistent KLE model store" in
+  Cmd.v
+    (Cmd.info "ssta_serve" ~doc)
+    Term.(
+      const run $ store_arg $ socket_arg $ client_arg $ cache_arg $ queue_arg $ workers_arg
+      $ jobs_arg $ seed_arg $ mesh_area_arg $ trace_arg $ stats_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,186 @@
+let format_version = 1
+let magic = "KLST"
+
+type t = {
+  dir : string;
+  diag : Util.Diag.sink option;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  recovered : int Atomic.t;
+  writes : int Atomic.t;
+}
+
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_ ?diag ~dir () =
+  mkdir_p dir;
+  {
+    dir;
+    diag;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    recovered = Atomic.make 0;
+    writes = Atomic.make 0;
+  }
+
+let dir t = t.dir
+let key ~spec = Codec.fnv64_hex spec
+
+let path t (entity : _ Entity.t) ~spec =
+  Filename.concat t.dir (Printf.sprintf "%s-%s.bin" entity.Entity.kind (key ~spec))
+
+(* file = magic, format_version, kind, entity version, spec,
+   length-prefixed payload, FNV-1a 64 checksum of the payload *)
+let encode_file (entity : _ Entity.t) ~spec v =
+  let payload =
+    let b = Codec.writer () in
+    entity.Entity.encode b v;
+    Codec.contents b
+  in
+  let b = Codec.writer () in
+  String.iter (fun c -> Codec.write_u8 b (Char.code c)) magic;
+  Codec.write_uint b format_version;
+  Codec.write_string b entity.Entity.kind;
+  Codec.write_uint b entity.Entity.version;
+  Codec.write_string b spec;
+  Codec.write_string b payload;
+  Codec.write_fixed64 b (Codec.fnv64 payload);
+  Codec.contents b
+
+let put t entity ~spec v =
+  Util.Fileio.write_atomic (path t entity ~spec) (encode_file entity ~spec v);
+  Atomic.incr t.writes
+
+let decode_file (entity : _ Entity.t) ~spec data =
+  match
+    let r = Codec.reader data in
+    if Codec.remaining r < String.length magic then Codec.(raise (Error "truncated header"));
+    let m = Bytes.create (String.length magic) in
+    for i = 0 to Bytes.length m - 1 do
+      Bytes.set m i (Char.chr (Codec.read_u8 r))
+    done;
+    if Bytes.to_string m <> magic then Codec.(raise (Error "bad magic"));
+    let fmt = Codec.read_uint r in
+    if fmt <> format_version then `Stale (Printf.sprintf "format version %d (want %d)" fmt format_version)
+    else begin
+      let kind = Codec.read_string r in
+      if kind <> entity.Entity.kind then
+        `Corrupt (Printf.sprintf "entry kind %S (want %S)" kind entity.Entity.kind)
+      else begin
+        let version = Codec.read_uint r in
+        if version <> entity.Entity.version then
+          `Stale (Printf.sprintf "entity version %d (want %d)" version entity.Entity.version)
+        else begin
+          let stored_spec = Codec.read_string r in
+          if stored_spec <> spec then
+            (* same 64-bit hash, different spec: treat as stale, not corrupt *)
+            `Stale "spec mismatch (hash collision)"
+          else begin
+            let payload = Codec.read_string r in
+            let checksum = Codec.read_fixed64 r in
+            Codec.expect_end r;
+            if Codec.fnv64 payload <> checksum then `Corrupt "checksum mismatch"
+            else begin
+              let pr = Codec.reader payload in
+              let v = entity.Entity.decode pr in
+              Codec.expect_end pr;
+              `Ok v
+            end
+          end
+        end
+      end
+    end
+  with
+  | result -> result
+  | exception Codec.Error msg -> `Corrupt msg
+
+let record t severity ~file msg =
+  Util.Diag.record ?sink:t.diag severity `Degraded_fallback ~stage:"persist.store"
+    (Printf.sprintf "%s: %s — falling back to recompute" file msg)
+
+let load t entity ~spec =
+  let file = path t entity ~spec in
+  match
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error _ -> `Absent
+  | data -> (
+      match decode_file entity ~spec data with
+      | `Ok v -> `Ok v
+      | `Stale msg ->
+          record t Util.Diag.Info ~file msg;
+          `Stale msg
+      | `Corrupt msg ->
+          record t Util.Diag.Warning ~file msg;
+          (try Sys.remove file with Sys_error _ -> ());
+          `Corrupt msg)
+
+let get t entity ~spec =
+  match load t entity ~spec with
+  | `Ok v ->
+      Atomic.incr t.hits;
+      Some v
+  | `Absent | `Stale _ | `Corrupt _ -> None
+
+type outcome = [ `Hit | `Miss | `Recovered ]
+
+let find_or_add t entity ~spec compute =
+  match load t entity ~spec with
+  | `Ok v ->
+      Atomic.incr t.hits;
+      (v, `Hit)
+  | (`Absent | `Stale _ | `Corrupt _) as miss ->
+      let outcome =
+        match miss with
+        | `Absent ->
+            Atomic.incr t.misses;
+            `Miss
+        | `Stale _ | `Corrupt _ ->
+            Atomic.incr t.recovered;
+            `Recovered
+      in
+      let v = compute () in
+      put t entity ~spec v;
+      (v, outcome)
+
+let remove t entity ~spec =
+  try Sys.remove (path t entity ~spec) with Sys_error _ -> ()
+
+type stats = {
+  hits : int;
+  misses : int;
+  recovered : int;
+  writes : int;
+  entries : int;
+  bytes : int;
+}
+
+let stats t =
+  let entries = ref 0 and bytes = ref 0 in
+  (try
+     Array.iter
+       (fun name ->
+         if Filename.check_suffix name ".bin" then begin
+           incr entries;
+           match (Unix.stat (Filename.concat t.dir name)).Unix.st_size with
+           | size -> bytes := !bytes + size
+           | exception Unix.Unix_error _ -> ()
+         end)
+       (Sys.readdir t.dir)
+   with Sys_error _ -> ());
+  {
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    recovered = Atomic.get t.recovered;
+    writes = Atomic.get t.writes;
+    entries = !entries;
+    bytes = !bytes;
+  }

@@ -1,0 +1,76 @@
+(** Content-addressed on-disk store for prepared pipeline artifacts.
+
+    Each entry is one file under the store directory, named
+    [<kind>-<fnv64(spec)>.bin], where [spec] is the caller's canonical
+    description of everything the artifact is a pure function of (kernel
+    spec, mesh parameters, retained pairs, …). The file carries a magic
+    tag, the store
+    {!format_version}, the entity kind + version, the full spec string
+    (so a 64-bit hash collision is detected, not silently served), the
+    payload, and an FNV-1a checksum of the payload.
+
+    Writes are atomic (tmp + rename via {!Util.Fileio}); a crash mid-write
+    can never leave a half entry. Reads verify everything written:
+
+    - a {e missing} entry is a plain miss;
+    - a {e stale} entry (format or entity version mismatch, spec-hash
+      collision) is skipped with an [Info]-severity [`Degraded_fallback]
+      diagnostic and recomputed — expected after a codec upgrade;
+    - a {e corrupt} entry (bad magic, checksum mismatch, decode failure)
+      is deleted, reported as a [Warning]-severity [`Degraded_fallback]
+      diagnostic, and recomputed — the store degrades to a recompute,
+      never to wrong results.
+
+    All operations are safe to call concurrently from multiple domains:
+    statistics are atomic and file replacement is atomic-rename. *)
+
+val format_version : int
+(** Bumped when the header layout changes; part of every entry's identity
+    (a mismatch makes the entry stale). *)
+
+type t
+
+val open_ : ?diag:Util.Diag.sink -> dir:string -> unit -> t
+(** Create [dir] (and parents) if needed. [diag] receives the
+    degraded-fallback events described above. *)
+
+val dir : t -> string
+
+val key : spec:string -> string
+(** The content address: FNV-1a 64 of the spec, as 16 hex digits. *)
+
+val path : t -> 'a Entity.t -> spec:string -> string
+(** The file an entry lives at (exposed for tests and corruption
+    injection). *)
+
+val put : t -> 'a Entity.t -> spec:string -> 'a -> unit
+(** Encode and atomically write the entry. *)
+
+val get : t -> 'a Entity.t -> spec:string -> 'a option
+(** Load and fully verify an entry; [None] on missing / stale / corrupt
+    (with the per-case handling described above). *)
+
+type outcome =
+  [ `Hit  (** served from disk *)
+  | `Miss  (** no entry; computed and stored *)
+  | `Recovered  (** entry was stale or corrupt; recomputed and replaced *) ]
+
+val find_or_add : t -> 'a Entity.t -> spec:string -> (unit -> 'a) -> 'a * outcome
+(** The store's main loop: serve the verified entry, or compute, store and
+    return the fresh value. The recompute path stores its result even when
+    the entry was merely stale, upgrading the store in place. *)
+
+val remove : t -> 'a Entity.t -> spec:string -> unit
+(** Delete an entry if present. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  recovered : int;  (** stale or corrupt entries replaced by recompute *)
+  writes : int;
+  entries : int;  (** files currently in the store directory *)
+  bytes : int;  (** their total size *)
+}
+
+val stats : t -> stats
+(** Counters since {!open_} plus a directory scan for entries/bytes. *)

@@ -1,0 +1,23 @@
+(** Mutex-protected in-memory LRU cache, string-keyed.
+
+    The server's hot tier over {!Persist.Store}: bounded by entry count,
+    least-recently-{e used} eviction (reads refresh recency). Lookups and
+    inserts are O(1) amortized; eviction scans for the oldest stamp (O(n)
+    in capacity, which is small). Safe to share across domains. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val capacity : 'a t -> int
+val find : 'a t -> string -> 'a option
+val add : 'a t -> string -> 'a -> unit
+(** Insert or refresh; evicts the least-recently-used entry when full. *)
+
+val remove : 'a t -> string -> unit
+val length : 'a t -> int
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+val stats : 'a t -> stats

@@ -1,0 +1,174 @@
+type circuit = Named of string | Bench_text of string
+type sampler_kind = Cholesky | Kle | Kle_qmc
+
+type call =
+  | Prepare of { circuit : circuit; r : int option }
+  | Run_mc of {
+      circuit : circuit;
+      sampler : sampler_kind;
+      r : int option;
+      seed : int;
+      n : int;
+      batch : int option;
+    }
+  | Compare of { circuit : circuit; r : int option; seed : int; n : int }
+  | Stats
+  | Shutdown
+
+type request = { id : Jsonx.t; deadline_ms : float option; call : call }
+
+type error_code =
+  | Parse_error
+  | Invalid_request
+  | Unknown_method
+  | Bad_params
+  | Netlist_error
+  | Overloaded
+  | Deadline_exceeded
+  | Shutting_down
+  | Internal_error
+
+let error_code_name = function
+  | Parse_error -> "parse_error"
+  | Invalid_request -> "invalid_request"
+  | Unknown_method -> "unknown_method"
+  | Bad_params -> "bad_params"
+  | Netlist_error -> "netlist_error"
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Shutting_down -> "shutting_down"
+  | Internal_error -> "internal_error"
+
+(* ---------------------------------------------------------------- *)
+(* decoding *)
+
+exception Reject of error_code * string
+
+let reject code fmt = Printf.ksprintf (fun m -> raise (Reject (code, m))) fmt
+
+let params_of json =
+  match Jsonx.member "params" json with
+  | None -> Jsonx.Obj []
+  | Some (Jsonx.Obj _ as p) -> p
+  | Some _ -> reject Bad_params "params must be an object"
+
+let circuit_of params =
+  match Jsonx.member "circuit" params with
+  | None -> reject Bad_params "missing params.circuit"
+  | Some c -> (
+      match (Jsonx.member "name" c, Jsonx.member "bench" c) with
+      | Some name, None -> (
+          match Jsonx.as_str name with
+          | Some s when s <> "" -> Named s
+          | _ -> reject Bad_params "circuit.name must be a non-empty string")
+      | None, Some bench -> (
+          match Jsonx.as_str bench with
+          | Some s when s <> "" -> Bench_text s
+          | _ -> reject Bad_params "circuit.bench must be a non-empty string")
+      | _ -> reject Bad_params "circuit must have exactly one of name, bench")
+
+let int_field ?default params key ~min =
+  match Jsonx.member key params with
+  | None -> (
+      match default with
+      | Some v -> v
+      | None -> reject Bad_params "missing params.%s" key)
+  | Some v -> (
+      match Jsonx.as_int v with
+      | Some i when i >= min -> i
+      | Some i -> reject Bad_params "params.%s = %d out of range (min %d)" key i min
+      | None -> reject Bad_params "params.%s must be an integer" key)
+
+let opt_int_field params key ~min =
+  match Jsonx.member key params with
+  | None -> None
+  | Some v -> (
+      match Jsonx.as_int v with
+      | Some i when i >= min -> Some i
+      | Some i -> reject Bad_params "params.%s = %d out of range (min %d)" key i min
+      | None -> reject Bad_params "params.%s must be an integer" key)
+
+let sampler_of params =
+  match Jsonx.member "sampler" params with
+  | None -> Kle
+  | Some v -> (
+      match Jsonx.as_str v with
+      | Some "cholesky" -> Cholesky
+      | Some "kle" -> Kle
+      | Some "kle-qmc" -> Kle_qmc
+      | Some s -> reject Bad_params "unknown sampler %S (cholesky|kle|kle-qmc)" s
+      | None -> reject Bad_params "params.sampler must be a string")
+
+let call_of ~method_ params =
+  match method_ with
+  | "prepare" -> Prepare { circuit = circuit_of params; r = opt_int_field params "r" ~min:1 }
+  | "run_mc" ->
+      Run_mc
+        {
+          circuit = circuit_of params;
+          sampler = sampler_of params;
+          r = opt_int_field params "r" ~min:1;
+          seed = int_field params "seed" ~default:42 ~min:min_int;
+          n = int_field params "n" ~min:1;
+          batch = opt_int_field params "batch" ~min:1;
+        }
+  | "compare" ->
+      Compare
+        {
+          circuit = circuit_of params;
+          r = opt_int_field params "r" ~min:1;
+          seed = int_field params "seed" ~default:42 ~min:min_int;
+          n = int_field params "n" ~min:1;
+        }
+  | "stats" -> Stats
+  | "shutdown" -> Shutdown
+  | m -> reject Unknown_method "unknown method %S" m
+
+let decode line =
+  match Jsonx.parse line with
+  | Error msg -> Error (Jsonx.Null, Parse_error, msg)
+  | Ok json -> (
+      let id = Option.value (Jsonx.member "id" json) ~default:Jsonx.Null in
+      match Jsonx.as_obj json with
+      | None -> Error (id, Invalid_request, "request must be a JSON object")
+      | Some _ -> (
+          match
+            let method_ =
+              match Jsonx.member "method" json with
+              | Some m -> (
+                  match Jsonx.as_str m with
+                  | Some s -> s
+                  | None -> reject Invalid_request "method must be a string")
+              | None -> reject Invalid_request "missing method"
+            in
+            let deadline_ms =
+              match Jsonx.member "deadline_ms" json with
+              | None -> None
+              | Some v -> (
+                  match Jsonx.as_num v with
+                  | Some ms when ms > 0. -> Some ms
+                  | Some _ -> reject Bad_params "deadline_ms must be positive"
+                  | None -> reject Bad_params "deadline_ms must be a number")
+            in
+            { id; deadline_ms; call = call_of ~method_ (params_of json) }
+          with
+          | request -> Ok request
+          | exception Reject (code, msg) -> Error (id, code, msg)))
+
+(* ---------------------------------------------------------------- *)
+(* encoding *)
+
+let ok_response ~id payload = Jsonx.to_string (Jsonx.Obj [ ("id", id); ("ok", payload) ])
+
+let error_response ~id code message =
+  Jsonx.to_string
+    (Jsonx.Obj
+       [
+         ("id", id);
+         ( "error",
+           Jsonx.Obj
+             [ ("code", Jsonx.Str (error_code_name code)); ("message", Jsonx.Str message) ] );
+       ])
+
+let response_id line =
+  match Jsonx.parse line with Error _ -> None | Ok json -> Jsonx.member "id" json

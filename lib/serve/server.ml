@@ -1,0 +1,545 @@
+type config = {
+  store_dir : string option;
+  cache_entries : int;
+  queue_capacity : int;
+  workers : int;
+  jobs : int option;
+  placement_seed : int;
+  kle : Ssta.Algorithm2.config;
+}
+
+let default_config =
+  {
+    store_dir = None;
+    cache_entries = 32;
+    queue_capacity = 64;
+    workers = 2;
+    jobs = Some 1;
+    placement_seed = 1;
+    kle = Ssta.Algorithm2.paper_config;
+  }
+
+(* trace counters: per-request attribution when tracing is enabled; the
+   always-on stats live in the [t] atomics below *)
+let c_requests = Util.Trace.counter "serve_requests"
+let c_errors = Util.Trace.counter "serve_errors"
+let c_rejected = Util.Trace.counter "serve_rejected"
+let c_deadline = Util.Trace.counter "serve_deadline_missed"
+let c_hits_mem = Util.Trace.counter "serve_cache_hits_mem"
+let c_hits_disk = Util.Trace.counter "serve_cache_hits_disk"
+let c_misses = Util.Trace.counter "serve_cache_misses"
+
+type artifact = A_setup of Ssta.Experiment.circuit_setup | A_model of Kle.Model.t
+
+type job = {
+  request : Protocol.request;
+  reply : string -> unit;
+  deadline_ns : int option;  (* absolute, on the Util.Trace.now_ns clock *)
+}
+
+type t = {
+  config : config;
+  diag : Util.Diag.sink;
+  store : Persist.Store.t option;
+  cache : artifact Lru.t;
+  queue : job Queue.t;
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  mutable draining : bool;
+  mutable joined : bool;
+  mutable domains : unit Domain.t list;
+  shutdown_flag : bool Atomic.t;
+  n_requests : int Atomic.t;
+  n_errors : int Atomic.t;
+  n_rejected : int Atomic.t;
+  n_deadline : int Atomic.t;
+  n_hits_mem : int Atomic.t;
+  n_hits_disk : int Atomic.t;
+  n_misses : int Atomic.t;
+  n_recovered : int Atomic.t;
+}
+
+let diagnostics t = t.diag
+
+(* ---------------------------------------------------------------- *)
+(* cached artifact resolution *)
+
+type tier = Hit_mem | Hit_disk | Miss | Recovered
+
+let tier_name = function
+  | Hit_mem -> "hit-mem"
+  | Hit_disk -> "hit-disk"
+  | Miss -> "miss"
+  | Recovered -> "recovered"
+
+(* coldest tier wins when one request touches several artifacts *)
+let tier_rank = function Miss -> 0 | Recovered -> 1 | Hit_disk -> 2 | Hit_mem -> 3
+let coldest a b = if tier_rank a <= tier_rank b then a else b
+
+let count_tier t tier =
+  match tier with
+  | Hit_mem ->
+      Atomic.incr t.n_hits_mem;
+      Util.Trace.incr c_hits_mem
+  | Hit_disk ->
+      Atomic.incr t.n_hits_disk;
+      Util.Trace.incr c_hits_disk
+  | Miss ->
+      Atomic.incr t.n_misses;
+      Util.Trace.incr c_misses
+  | Recovered ->
+      Atomic.incr t.n_recovered;
+      Util.Trace.incr c_misses
+
+(* memory LRU over the optional disk store over [compute] *)
+let cached t (entity : 'a Persist.Entity.t) ~spec ~(inject : 'a -> artifact)
+    ~(project : artifact -> 'a option) compute =
+  let key = entity.Persist.Entity.kind ^ ":" ^ spec in
+  match Option.bind (Lru.find t.cache key) project with
+  | Some v ->
+      count_tier t Hit_mem;
+      (v, Hit_mem)
+  | None ->
+      let v, tier =
+        match t.store with
+        | None -> (compute (), Miss)
+        | Some store -> (
+            match Persist.Store.find_or_add store entity ~spec compute with
+            | v, `Hit -> (v, Hit_disk)
+            | v, `Miss -> (v, Miss)
+            | v, `Recovered -> (v, Recovered))
+      in
+      Lru.add t.cache key (inject v);
+      count_tier t tier;
+      (v, tier)
+
+let resolve_netlist circuit =
+  match circuit with
+  | Protocol.Named name -> (
+      match Circuit.Generator.generate_paper name with
+      | netlist -> Ok (netlist, Printf.sprintf "name=%s" name)
+      | exception Not_found ->
+          Error (Protocol.Netlist_error, Printf.sprintf "unknown circuit %S" name))
+  | Protocol.Bench_text text -> (
+      match Circuit.Bench_format.parse ~name:"inline" text with
+      | Ok netlist -> Ok (netlist, "bench=" ^ Persist.Codec.fnv64_hex text)
+      | Error msg -> Error (Protocol.Netlist_error, msg))
+
+let get_setup t circuit =
+  match resolve_netlist circuit with
+  | Error _ as e -> e
+  | Ok (netlist, token) ->
+      let spec = Printf.sprintf "circuit(%s,placement_seed=%d)" token t.config.placement_seed in
+      Ok
+        (cached t Persist.Entity.circuit_setup ~spec
+           ~inject:(fun s -> A_setup s)
+           ~project:(function A_setup s -> Some s | _ -> None)
+           (fun () ->
+             Ssta.Experiment.setup_circuit ~placement_seed:t.config.placement_seed netlist))
+
+let mode_name = function
+  | Kle.Galerkin.Auto -> "auto"
+  | Kle.Galerkin.Assembled -> "assembled"
+  | Kle.Galerkin.Matrix_free -> "matrix-free"
+
+let model_spec t kernel ~r =
+  let cfg = t.config.kle in
+  Printf.sprintf "kle-model(kernel=%s;die=unit;maf=%.17g;angle=%.17g;pairs=%d;mode=%s;r=%s)"
+    (Persist.Entity.kernel_spec kernel)
+    cfg.Ssta.Algorithm2.max_area_fraction cfg.Ssta.Algorithm2.min_angle_deg
+    cfg.Ssta.Algorithm2.computed_pairs (mode_name cfg.Ssta.Algorithm2.mode)
+    (match r with None -> "auto" | Some r -> string_of_int r)
+
+(* mirrors Algorithm2.prepare: unit-die mesh, Lanczos unless the mesh is
+   small, Model.create truncation — so a cached model is bit-identical to
+   the uncached pipeline's *)
+let compute_model t kernel ~r () =
+  let cfg = t.config.kle in
+  let mesh =
+    (Geometry.Refine.mesh Geometry.Rect.unit_die
+       ~max_area_fraction:cfg.Ssta.Algorithm2.max_area_fraction
+       ~min_angle_deg:cfg.Ssta.Algorithm2.min_angle_deg)
+      .Geometry.Geometry_intf.mesh
+  in
+  let solver =
+    if cfg.Ssta.Algorithm2.computed_pairs >= Geometry.Mesh.size mesh then Kle.Galerkin.Dense
+    else Kle.Galerkin.Lanczos { count = cfg.Ssta.Algorithm2.computed_pairs }
+  in
+  let solution =
+    Kle.Galerkin.solve ~mode:cfg.Ssta.Algorithm2.mode ~solver ~diag:t.diag
+      ?jobs:t.config.jobs mesh kernel
+  in
+  Kle.Model.create ?r solution
+
+let get_model t kernel ~r =
+  let spec = model_spec t kernel ~r in
+  cached t Persist.Entity.model ~spec
+    ~inject:(fun m -> A_model m)
+    ~project:(function A_model m -> Some m | _ -> None)
+    (compute_model t kernel ~r)
+
+(* one model per process parameter; same kernel spec -> same model (the
+   first parameter computes, the rest hit the memory tier) *)
+let get_models t process ~r =
+  let tier = ref Hit_mem in
+  let models =
+    Array.map
+      (fun (p : Ssta.Process.parameter) ->
+        let m, tr = get_model t p.Ssta.Process.kernel ~r in
+        tier := coldest !tier tr;
+        m)
+      process.Ssta.Process.parameters
+  in
+  (models, !tier)
+
+(* ---------------------------------------------------------------- *)
+(* request execution *)
+
+exception Reject of Protocol.error_code * string
+
+let process () = Ssta.Process.paper_default ()
+
+let kle_samplers t models (setup : Ssta.Experiment.circuit_setup) =
+  Array.map
+    (fun m -> Kle.Sampler.create ~diag:t.diag m setup.Ssta.Experiment.locations)
+    models
+
+let mc_sampler_of t (setup : Ssta.Experiment.circuit_setup) kind ~r ~seed :
+    Ssta.Experiment.sampler * float * tier =
+  match (kind : Protocol.sampler_kind) with
+  | Protocol.Cholesky ->
+      let timer = Util.Timer.start () in
+      let a1 = Ssta.Algorithm1.prepare ~diag:t.diag ?jobs:t.config.jobs (process ()) setup.Ssta.Experiment.locations in
+      ((fun rng ~n -> Ssta.Algorithm1.sample_block a1 rng ~n), Util.Timer.elapsed_s timer, Miss)
+  | Protocol.Kle ->
+      let timer = Util.Timer.start () in
+      let models, tier = get_models t (process ()) ~r in
+      let samplers = kle_samplers t models setup in
+      ( (fun rng ~n -> Array.map (fun s -> Kle.Sampler.sample_matrix s rng ~n) samplers),
+        Util.Timer.elapsed_s timer,
+        tier )
+  | Protocol.Kle_qmc ->
+      let timer = Util.Timer.start () in
+      let models, tier = get_models t (process ()) ~r in
+      let samplers = kle_samplers t models setup in
+      (* stateful randomized-Halton sequences, one per parameter; run_mc
+         calls the sampler batch by batch in order on one domain, so the
+         sequence position advances deterministically *)
+      let seqs =
+        Array.mapi
+          (fun i s ->
+            Prng.Lowdisc.create
+              ~shift_rng:(Prng.Rng.substream ~seed ~stream:(0x51C0 + i))
+              ~dim:(Kle.Sampler.dim s) ())
+          samplers
+      in
+      ( (fun _rng ~n ->
+          Array.mapi
+            (fun i s ->
+              Kle.Sampler.sample_matrix_with s ~xi:(Prng.Lowdisc.normal_matrix seqs.(i) ~rows:n))
+            samplers),
+        Util.Timer.elapsed_s timer,
+        tier )
+
+let mc_payload (mc : Ssta.Experiment.mc_result) =
+  Jsonx.Obj
+    [
+      ("n_samples", Jsonx.Num (float_of_int mc.Ssta.Experiment.n_samples));
+      ("n_skipped", Jsonx.Num (float_of_int mc.Ssta.Experiment.n_skipped));
+      ("worst_mean", Jsonx.Num mc.Ssta.Experiment.worst_mean);
+      ("worst_sigma", Jsonx.Num mc.Ssta.Experiment.worst_sigma);
+      ("endpoints", Jsonx.Num (float_of_int (Array.length mc.Ssta.Experiment.endpoint_mean)));
+      ("sample_seconds", Jsonx.Num mc.Ssta.Experiment.sample_seconds);
+      ("sta_seconds", Jsonx.Num mc.Ssta.Experiment.sta_seconds);
+    ]
+
+let lru_stats_payload (s : Lru.stats) =
+  Jsonx.Obj
+    [
+      ("hits", Jsonx.Num (float_of_int s.Lru.hits));
+      ("misses", Jsonx.Num (float_of_int s.Lru.misses));
+      ("evictions", Jsonx.Num (float_of_int s.Lru.evictions));
+      ("entries", Jsonx.Num (float_of_int s.Lru.entries));
+    ]
+
+let store_stats_payload store =
+  let s = Persist.Store.stats store in
+  Jsonx.Obj
+    [
+      ("dir", Jsonx.Str (Persist.Store.dir store));
+      ("hits", Jsonx.Num (float_of_int s.Persist.Store.hits));
+      ("misses", Jsonx.Num (float_of_int s.Persist.Store.misses));
+      ("recovered", Jsonx.Num (float_of_int s.Persist.Store.recovered));
+      ("writes", Jsonx.Num (float_of_int s.Persist.Store.writes));
+      ("entries", Jsonx.Num (float_of_int s.Persist.Store.entries));
+      ("bytes", Jsonx.Num (float_of_int s.Persist.Store.bytes));
+    ]
+
+let stats_payload t =
+  let queue_len = Mutex.protect t.lock (fun () -> Queue.length t.queue) in
+  Jsonx.Obj
+    ([
+       ("requests", Jsonx.Num (float_of_int (Atomic.get t.n_requests)));
+       ("errors", Jsonx.Num (float_of_int (Atomic.get t.n_errors)));
+       ("rejected", Jsonx.Num (float_of_int (Atomic.get t.n_rejected)));
+       ("deadline_missed", Jsonx.Num (float_of_int (Atomic.get t.n_deadline)));
+       ("cache_hits_mem", Jsonx.Num (float_of_int (Atomic.get t.n_hits_mem)));
+       ("cache_hits_disk", Jsonx.Num (float_of_int (Atomic.get t.n_hits_disk)));
+       ("cache_misses", Jsonx.Num (float_of_int (Atomic.get t.n_misses)));
+       ("cache_recovered", Jsonx.Num (float_of_int (Atomic.get t.n_recovered)));
+       ("queue_length", Jsonx.Num (float_of_int queue_len));
+       ("queue_capacity", Jsonx.Num (float_of_int t.config.queue_capacity));
+       ("workers", Jsonx.Num (float_of_int t.config.workers));
+       ("draining", Jsonx.Bool t.draining);
+       ("lru", lru_stats_payload (Lru.stats t.cache));
+     ]
+    @ match t.store with None -> [] | Some store -> [ ("store", store_stats_payload store) ])
+
+let execute t (request : Protocol.request) : Jsonx.t =
+  match request.Protocol.call with
+  | Protocol.Prepare { circuit; r } -> (
+      match get_setup t circuit with
+      | Error (code, msg) -> raise (Reject (code, msg))
+      | Ok (setup, setup_tier) ->
+          let timer = Util.Timer.start () in
+          let models, model_tier = get_models t (process ()) ~r in
+          let setup_seconds = Util.Timer.elapsed_s timer in
+          Jsonx.Obj
+            [
+              ("circuit", Jsonx.Str setup.Ssta.Experiment.netlist.Circuit.Netlist.name);
+              ( "gates",
+                Jsonx.Num
+                  (float_of_int (Array.length setup.Ssta.Experiment.netlist.Circuit.Netlist.gates)) );
+              ( "logic_gates",
+                Jsonx.Num (float_of_int (Array.length setup.Ssta.Experiment.logic_ids)) );
+              ("r", Jsonx.Num (float_of_int models.(0).Kle.Model.r));
+              ( "mesh_size",
+                Jsonx.Num
+                  (float_of_int
+                     (Geometry.Mesh.size
+                        models.(0).Kle.Model.solution.Kle.Galerkin.mesh)) );
+              ("cache_setup", Jsonx.Str (tier_name setup_tier));
+              ("cache_models", Jsonx.Str (tier_name model_tier));
+              ("setup_seconds", Jsonx.Num setup_seconds);
+            ])
+  | Protocol.Run_mc { circuit; sampler; r; seed; n; batch } -> (
+      match get_setup t circuit with
+      | Error (code, msg) -> raise (Reject (code, msg))
+      | Ok (setup, setup_tier) ->
+          let sampler_fn, setup_seconds, tier = mc_sampler_of t setup sampler ~r ~seed in
+          let mc =
+            Ssta.Experiment.run_mc ?batch ?jobs:t.config.jobs ~diag:t.diag setup
+              ~sampler:sampler_fn ~seed ~n
+          in
+          let fields = match mc_payload mc with Jsonx.Obj f -> f | _ -> [] in
+          Jsonx.Obj
+            (fields
+            @ [
+                ("cache_setup", Jsonx.Str (tier_name setup_tier));
+                ("cache_models", Jsonx.Str (tier_name tier));
+                ("sampler_setup_seconds", Jsonx.Num setup_seconds);
+              ]))
+  | Protocol.Compare { circuit; r; seed; n } -> (
+      match get_setup t circuit with
+      | Error (code, msg) -> raise (Reject (code, msg))
+      | Ok (setup, _) ->
+          let ref_sampler, ref_setup_s, _ = mc_sampler_of t setup Protocol.Cholesky ~r ~seed in
+          let reference =
+            Ssta.Experiment.run_mc ?jobs:t.config.jobs ~diag:t.diag setup ~sampler:ref_sampler
+              ~seed ~n
+          in
+          let cand_sampler, cand_setup_s, _ = mc_sampler_of t setup Protocol.Kle ~r ~seed in
+          let candidate =
+            Ssta.Experiment.run_mc ?jobs:t.config.jobs ~diag:t.diag setup ~sampler:cand_sampler
+              ~seed ~n
+          in
+          let cmp =
+            Ssta.Experiment.compare ~reference ~reference_setup_seconds:ref_setup_s ~candidate
+              ~candidate_setup_seconds:cand_setup_s
+          in
+          Jsonx.Obj
+            [
+              ("reference", mc_payload reference);
+              ("candidate", mc_payload candidate);
+              ("e_mu_pct", Jsonx.Num cmp.Ssta.Experiment.e_mu_pct);
+              ("e_sigma_pct", Jsonx.Num cmp.Ssta.Experiment.e_sigma_pct);
+              ( "sigma_err_avg_outputs_pct",
+                Jsonx.Num cmp.Ssta.Experiment.sigma_err_avg_outputs_pct );
+              ( "excluded_endpoints",
+                Jsonx.Num (float_of_int cmp.Ssta.Experiment.excluded_endpoints) );
+              ("speedup", Jsonx.Num cmp.Ssta.Experiment.speedup);
+            ])
+  | Protocol.Stats -> stats_payload t
+  | Protocol.Shutdown ->
+      Atomic.set t.shutdown_flag true;
+      Jsonx.Obj [ ("shutting_down", Jsonx.Bool true) ]
+
+let method_name (request : Protocol.request) =
+  match request.Protocol.call with
+  | Protocol.Prepare _ -> "prepare"
+  | Protocol.Run_mc _ -> "run_mc"
+  | Protocol.Compare _ -> "compare"
+  | Protocol.Stats -> "stats"
+  | Protocol.Shutdown -> "shutdown"
+
+let run_job t job =
+  let request = job.request in
+  let id = request.Protocol.id in
+  let expired =
+    match job.deadline_ns with
+    | Some deadline -> Util.Trace.now_ns () > deadline
+    | None -> false
+  in
+  if expired then begin
+    Atomic.incr t.n_deadline;
+    Util.Trace.incr c_deadline;
+    job.reply
+      (Protocol.error_response ~id Protocol.Deadline_exceeded
+         "deadline elapsed before the request was executed")
+  end
+  else begin
+    Atomic.incr t.n_requests;
+    Util.Trace.incr c_requests;
+    let response =
+      Util.Trace.with_span
+        ~attrs:[ ("method", method_name request) ]
+        "serve.request"
+      @@ fun () ->
+      match execute t request with
+      | payload -> Protocol.ok_response ~id payload
+      | exception Reject (code, msg) ->
+          Atomic.incr t.n_errors;
+          Util.Trace.incr c_errors;
+          Protocol.error_response ~id code msg
+      | exception Util.Diag.Failure event ->
+          Atomic.incr t.n_errors;
+          Util.Trace.incr c_errors;
+          Protocol.error_response ~id Protocol.Internal_error (Util.Diag.to_string event)
+      | exception Invalid_argument msg ->
+          Atomic.incr t.n_errors;
+          Util.Trace.incr c_errors;
+          Protocol.error_response ~id Protocol.Bad_params msg
+      | exception e ->
+          Atomic.incr t.n_errors;
+          Util.Trace.incr c_errors;
+          Protocol.error_response ~id Protocol.Internal_error (Printexc.to_string e)
+    in
+    job.reply response;
+    (* shutdown begins its drain only after the ok reply is on the wire *)
+    if Atomic.get t.shutdown_flag && not t.draining then begin
+      Mutex.lock t.lock;
+      t.draining <- true;
+      Condition.broadcast t.not_empty;
+      Mutex.unlock t.lock
+    end
+  end
+
+let worker_loop t () =
+  let rec next () =
+    Mutex.lock t.lock;
+    let rec wait () =
+      if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+      else if t.draining then None
+      else begin
+        Condition.wait t.not_empty t.lock;
+        wait ()
+      end
+    in
+    let job = wait () in
+    Mutex.unlock t.lock;
+    match job with
+    | None -> ()
+    | Some job ->
+        run_job t job;
+        next ()
+  in
+  next ()
+
+(* ---------------------------------------------------------------- *)
+(* lifecycle *)
+
+let create ?diag config =
+  if config.workers < 1 then invalid_arg "Server.create: workers < 1";
+  if config.queue_capacity < 1 then invalid_arg "Server.create: queue_capacity < 1";
+  let diag = match diag with Some d -> d | None -> Util.Diag.create () in
+  let store =
+    Option.map (fun dir -> Persist.Store.open_ ~diag ~dir ()) config.store_dir
+  in
+  let t =
+    {
+      config;
+      diag;
+      store;
+      cache = Lru.create ~capacity:config.cache_entries;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      not_empty = Condition.create ();
+      draining = false;
+      joined = false;
+      domains = [];
+      shutdown_flag = Atomic.make false;
+      n_requests = Atomic.make 0;
+      n_errors = Atomic.make 0;
+      n_rejected = Atomic.make 0;
+      n_deadline = Atomic.make 0;
+      n_hits_mem = Atomic.make 0;
+      n_hits_disk = Atomic.make 0;
+      n_misses = Atomic.make 0;
+      n_recovered = Atomic.make 0;
+    }
+  in
+  t.domains <- List.init config.workers (fun _ -> Domain.spawn (worker_loop t));
+  t
+
+let shutdown_requested t = Atomic.get t.shutdown_flag
+
+let submit t line ~reply =
+  match Protocol.decode line with
+  | Error (id, code, msg) ->
+      Atomic.incr t.n_errors;
+      Util.Trace.incr c_errors;
+      reply (Protocol.error_response ~id code msg)
+  | Ok request ->
+      let deadline_ns =
+        Option.map
+          (fun ms -> Util.Trace.now_ns () + int_of_float (ms *. 1e6))
+          request.Protocol.deadline_ms
+      in
+      let job = { request; reply; deadline_ns } in
+      let verdict =
+        Mutex.protect t.lock (fun () ->
+            if t.draining then `Draining
+            else if Queue.length t.queue >= t.config.queue_capacity then `Full
+            else begin
+              Queue.push job t.queue;
+              Condition.signal t.not_empty;
+              `Queued
+            end)
+      in
+      (match verdict with
+      | `Queued -> ()
+      | `Draining ->
+          Atomic.incr t.n_rejected;
+          Util.Trace.incr c_rejected;
+          reply
+            (Protocol.error_response ~id:request.Protocol.id Protocol.Shutting_down
+               "server is draining")
+      | `Full ->
+          Atomic.incr t.n_rejected;
+          Util.Trace.incr c_rejected;
+          reply
+            (Protocol.error_response ~id:request.Protocol.id Protocol.Overloaded
+               (Printf.sprintf "queue full (%d pending)" t.config.queue_capacity)))
+
+let begin_drain t =
+  Mutex.lock t.lock;
+  t.draining <- true;
+  Condition.broadcast t.not_empty;
+  Mutex.unlock t.lock
+
+let drain t =
+  begin_drain t;
+  if not t.joined then begin
+    t.joined <- true;
+    List.iter Domain.join t.domains
+  end

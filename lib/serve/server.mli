@@ -1,0 +1,68 @@
+(** Concurrent SSTA analysis server: the engine behind [ssta_serve] and
+    [bench serve].
+
+    Requests (decoded by {!Protocol}) are executed on a fixed pool of
+    worker domains fed by a {e bounded} job queue:
+
+    - {b Backpressure}: when the queue is full, {!submit} replies
+      immediately with a typed [overloaded] error instead of buffering
+      unboundedly — clients see load instead of latency.
+    - {b Deadlines}: a request's [deadline_ms] is converted to an absolute
+      monotonic deadline at submission and checked when a worker dequeues
+      it; an expired request is answered [deadline_exceeded] without
+      doing the work.
+    - {b Caching}: prepared artifacts (circuit setups, KLE models) are
+      served from an in-memory {!Lru} over the optional on-disk
+      {!Persist.Store}; responses report which tier answered
+      ([hit-mem] / [hit-disk] / [miss] / [recovered]).
+    - {b Draining}: {!begin_drain} stops intake (new submissions are
+      answered [shutting_down]) while queued requests still complete;
+      {!drain} additionally joins the workers. A [shutdown] request
+      replies ok and then begins the drain.
+
+    Each executed request runs inside a [serve.request] {!Util.Trace} span
+    (attributes: method, cache tier) and bumps the [serve_*] counters, so
+    a traced serving run attributes time and cache behaviour per request. *)
+
+type config = {
+  store_dir : string option;  (** [None] disables the disk tier *)
+  cache_entries : int;  (** in-memory LRU capacity *)
+  queue_capacity : int;  (** bounded queue length; beyond it, [overloaded] *)
+  workers : int;  (** worker domains executing requests *)
+  jobs : int option;  (** per-request compute fan-out ({!Util.Pool.with_jobs}) *)
+  placement_seed : int;  (** placement seed for circuit setups *)
+  kle : Ssta.Algorithm2.config;  (** mesh + eigensolve configuration *)
+}
+
+val default_config : config
+(** No disk store, 32 cache entries, queue of 64, 2 workers, sequential
+    compute ([jobs = Some 1]), placement seed 1,
+    {!Ssta.Algorithm2.paper_config}. *)
+
+type t
+
+val create : ?diag:Util.Diag.sink -> config -> t
+(** Spawns the worker domains; opens the store when [store_dir] is set. *)
+
+val diagnostics : t -> Util.Diag.sink
+
+val submit : t -> string -> reply:(string -> unit) -> unit
+(** Decode one request line and enqueue it. [reply] is called exactly once
+    per submission — possibly synchronously (decode errors, backpressure,
+    draining) or later from a worker domain. [reply] must be thread-safe. *)
+
+val shutdown_requested : t -> bool
+(** True once a [shutdown] request has been executed (the transport loop
+    should stop reading and call {!drain}). *)
+
+val begin_drain : t -> unit
+(** Stop accepting new requests; queued work still completes. Idempotent. *)
+
+val drain : t -> unit
+(** {!begin_drain}, then wait for the queue to empty and join the workers.
+    Idempotent; must not be called from a worker (i.e. from inside
+    [reply]). *)
+
+val stats_payload : t -> Jsonx.t
+(** The same JSON object a [stats] request returns: request/reject/deadline
+    counters, queue occupancy, LRU and store statistics. *)

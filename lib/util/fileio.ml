@@ -1,0 +1,29 @@
+(* Unique-enough temporary names: same directory as the target (rename must
+   not cross filesystems), disambiguated by pid and a process-local counter
+   so concurrent writers in one process never collide. *)
+let tmp_counter = Atomic.make 0
+
+let tmp_path_for path =
+  Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ()) (Atomic.fetch_and_add tmp_counter 1)
+
+let with_atomic_out path f =
+  let tmp = tmp_path_for path in
+  let oc = open_out_bin tmp in
+  let commit () =
+    flush oc;
+    (* fsync before rename: otherwise a power loss can leave the rename
+       durable but the data not, which is exactly the truncated-file state
+       this module exists to rule out *)
+    (try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ());
+    close_out oc;
+    Sys.rename tmp path
+  in
+  match f oc with
+  | () -> commit ()
+  | exception e ->
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
+
+let write_atomic path contents =
+  with_atomic_out path (fun oc -> output_string oc contents)

@@ -1,0 +1,20 @@
+(** Crash-safe file emission.
+
+    Every file the pipeline writes for a consumer — bench JSON records,
+    Chrome traces, persisted models — goes through the same atomic
+    tmp+rename protocol: the content is written to a unique temporary file
+    in the {e same directory} as the target, flushed and fsync'd, and then
+    renamed over the target. POSIX rename within a directory is atomic, so
+    a reader (or a crash / SIGKILL mid-write) can observe either the old
+    complete file or the new complete file — never a truncated mix. *)
+
+val write_atomic : string -> string -> unit
+(** [write_atomic path contents] atomically replaces [path] with
+    [contents]. The temporary file is cleaned up on failure. Raises
+    [Sys_error] / [Unix.Unix_error] on I/O errors. *)
+
+val with_atomic_out : string -> (out_channel -> unit) -> unit
+(** [with_atomic_out path f] runs [f] on an output channel backed by the
+    temporary file, then commits it to [path] as in {!write_atomic} — for
+    writers that stream instead of building one string. If [f] raises, the
+    temporary file is removed and [path] is left untouched. *)

@@ -522,7 +522,6 @@ let write_chrome_trace path =
     Buffer.add_char b '}'
   end;
   Buffer.add_string b "\n]}\n";
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> Buffer.output_buffer oc b)
+  (* atomic tmp+rename: an interrupted export must never leave a truncated
+     trace that chrome://tracing refuses to load *)
+  Fileio.with_atomic_out path (fun oc -> Buffer.output_buffer oc b)

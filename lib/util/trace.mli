@@ -143,4 +143,6 @@ val summary_json : unit -> string
 val write_chrome_trace : string -> unit
 (** Write all recorded events as Chrome [trace_event] JSON ("X" complete
     events, "i" instants, one [tid] per domain). Spans still open on the
-    calling domain are flushed with their current duration. *)
+    calling domain are flushed with their current duration. The file is
+    committed atomically ({!Fileio.with_atomic_out}), so an interrupted
+    run never leaves a truncated trace. *)

@@ -248,6 +248,32 @@ let test_bench_parse_errors () =
     (Result.is_error
        (Circuit.Bench_format.parse ~name:"x" "INPUT(a)\nx = NOT(y)\ny = NOT(x)\n"))
 
+(* one check per parser error path, asserting the exact message text the
+   server relies on when it maps these to typed [netlist_error] replies *)
+let check_parse_error text expected_substr =
+  match Circuit.Bench_format.parse ~name:"x" text with
+  | Ok _ -> Alcotest.failf "parse %S unexpectedly succeeded" text
+  | Error msg ->
+      let contains sub s =
+        let n = String.length sub and m = String.length s in
+        let rec scan i = i + n <= m && (String.sub s i n = sub || scan (i + 1)) in
+        n = 0 || scan 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%S reports %S (got %S)" text expected_substr msg)
+        true (contains expected_substr msg)
+
+let test_bench_error_messages () =
+  check_parse_error "OUTPUT(y)\ny = NOT(ghost)\n" {|undefined signal "ghost"|};
+  check_parse_error "OUTPUT(y)\n" {|undefined signal "y"|};
+  check_parse_error "INPUT(a)\nx = NOT(y)\ny = NOT(x)\n" "combinational loop through";
+  check_parse_error "INPUT(a)\nINPUT(b)\ny = NOT(a, b)\n" "unsupported function NOT/2";
+  check_parse_error "INPUT(a)\nINPUT(b)\ny = DFF(a, b)\n" "unsupported function DFF/2";
+  check_parse_error "INPUT(a)\ny = FROB(a)\n" "unsupported function FROB/1";
+  check_parse_error "INPUT(a)\ny = NOT a\n" "line 2: malformed gate definition";
+  check_parse_error "INPUT(a)\nthis is not bench\n"
+    "line 2: expected INPUT(..), OUTPUT(..) or assignment"
+
 let test_bench_file_roundtrip () =
   let t = Circuit.Generator.generate_paper "c880" in
   let path = Filename.temp_file "kle_ssta_test" ".bench" in
@@ -404,6 +430,7 @@ let () =
           Alcotest.test_case "wide NAND decomposition" `Quick test_bench_parse_wide_nand;
           Alcotest.test_case "dff" `Quick test_bench_parse_dff;
           Alcotest.test_case "error reporting" `Quick test_bench_parse_errors;
+          Alcotest.test_case "error messages per path" `Quick test_bench_error_messages;
           Alcotest.test_case "file roundtrip" `Quick test_bench_file_roundtrip;
         ] );
       ( "placer",

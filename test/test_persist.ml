@@ -1,0 +1,393 @@
+(* Persistence layer: explicit binary codec, typed entities, and the
+   content-addressed store — including the two contract-critical
+   properties: store round-trips are bit-identical under run_mc for every
+   jobs count, and corrupt entries degrade to a recorded recompute. *)
+
+module Codec = Persist.Codec
+module Entity = Persist.Entity
+module Store = Persist.Store
+
+let with_tmp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "persist-test.%d.%d" (Unix.getpid ()) (Random.int 1_000_000))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir)
+       with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+(* ---------- codec primitives ---------- *)
+
+let test_codec_ints () =
+  let values =
+    [ 0; 1; -1; 63; 64; -64; -65; 127; 128; 255; 1_000_000; -1_000_000; max_int; min_int ]
+  in
+  let w = Codec.writer () in
+  List.iter (fun v -> Codec.write_int w v) values;
+  let r = Codec.reader (Codec.contents w) in
+  List.iter
+    (fun v -> Alcotest.(check int) (Printf.sprintf "int %d" v) v (Codec.read_int r))
+    values;
+  Codec.expect_end r
+
+let test_codec_uints () =
+  let values = [ 0; 1; 127; 128; 16384; max_int ] in
+  let w = Codec.writer () in
+  List.iter (fun v -> Codec.write_uint w v) values;
+  let r = Codec.reader (Codec.contents w) in
+  List.iter
+    (fun v -> Alcotest.(check int) (Printf.sprintf "uint %d" v) v (Codec.read_uint r))
+    values;
+  Alcotest.check_raises "negative uint" (Invalid_argument "Codec.write_uint: negative")
+    (fun () -> Codec.write_uint (Codec.writer ()) (-1))
+
+let test_codec_floats_bit_exact () =
+  let values =
+    [ 0.0; -0.0; 1.0; -1.5; Float.pi; 1e-308; 1e308; Float.infinity; Float.neg_infinity;
+      Float.nan; Float.min_float; Float.max_float; 0x1.fffffffffffffp-2 ]
+  in
+  let w = Codec.writer () in
+  List.iter (fun v -> Codec.write_float w v) values;
+  let r = Codec.reader (Codec.contents w) in
+  List.iter
+    (fun v ->
+      let got = Codec.read_float r in
+      Alcotest.(check int64)
+        (Printf.sprintf "float %h bits" v)
+        (Int64.bits_of_float v) (Int64.bits_of_float got))
+    values
+
+let test_codec_strings_arrays_options () =
+  let w = Codec.writer () in
+  Codec.write_string w "";
+  Codec.write_string w "hello\x00world\xff";
+  Codec.write_option w Codec.write_string None;
+  Codec.write_option w Codec.write_string (Some "x");
+  Codec.write_float_array w [| 1.5; -2.25 |];
+  Codec.write_int_array w [| 3; -4; 0 |];
+  let r = Codec.reader (Codec.contents w) in
+  Alcotest.(check string) "empty" "" (Codec.read_string r);
+  Alcotest.(check string) "binary" "hello\x00world\xff" (Codec.read_string r);
+  Alcotest.(check (option string)) "none" None (Codec.read_option r Codec.read_string);
+  Alcotest.(check (option string)) "some" (Some "x") (Codec.read_option r Codec.read_string);
+  Alcotest.(check (array (float 0.0))) "floats" [| 1.5; -2.25 |] (Codec.read_float_array r);
+  Alcotest.(check (array int)) "ints" [| 3; -4; 0 |] (Codec.read_int_array r);
+  Codec.expect_end r
+
+let expect_codec_error f =
+  match f () with
+  | _ -> Alcotest.fail "expected Codec.Error"
+  | exception Codec.Error _ -> ()
+
+let test_codec_corrupt_input () =
+  expect_codec_error (fun () -> Codec.read_float (Codec.reader "abc"));
+  expect_codec_error (fun () -> Codec.read_string (Codec.reader "\x05ab"));
+  expect_codec_error (fun () -> Codec.read_bool (Codec.reader "\x07"));
+  (* array length larger than the remaining input must not allocate *)
+  expect_codec_error (fun () -> Codec.read_float_array (Codec.reader "\xff\xff\x7f"));
+  expect_codec_error (fun () ->
+      let r = Codec.reader "\x00\x00" in
+      ignore (Codec.read_u8 r);
+      Codec.expect_end r)
+
+let test_fnv64 () =
+  (* published FNV-1a 64 test vectors *)
+  Alcotest.(check int64) "empty" 0xcbf29ce484222325L (Codec.fnv64 "");
+  Alcotest.(check int64) "a" 0xaf63dc4c8601ec8cL (Codec.fnv64 "a");
+  Alcotest.(check string) "hex" "af63dc4c8601ec8c" (Codec.fnv64_hex "a")
+
+(* ---------- entities ---------- *)
+
+let small_mesh () =
+  (Geometry.Refine.mesh Geometry.Rect.unit_die ~max_area_fraction:0.05 ~min_angle_deg:28.0)
+    .Geometry.Geometry_intf.mesh
+
+let paper_kernel () = Kernels.Fit.paper_gaussian ()
+
+let small_solution () = Kle.Galerkin.solve (small_mesh ()) (paper_kernel ())
+
+let small_netlist () =
+  Circuit.Generator.generate
+    { Circuit.Generator.name = "persist-test"; n_gates = 60; n_inputs = 6; n_outputs = 4;
+      dff_fraction = 0.0; seed = 11 }
+
+let roundtrip entity v = Entity.of_string entity (Entity.to_string entity v)
+
+let check_mat msg a b =
+  let ra = Linalg.Mat.raw a and rb = Linalg.Mat.raw b in
+  Alcotest.(check int) (msg ^ " size") (Bigarray.Array1.dim ra) (Bigarray.Array1.dim rb);
+  for i = 0 to Bigarray.Array1.dim ra - 1 do
+    let x = Bigarray.Array1.unsafe_get ra i and y = Bigarray.Array1.unsafe_get rb i in
+    if Int64.bits_of_float x <> Int64.bits_of_float y then
+      Alcotest.failf "%s: element %d differs (%h vs %h)" msg i x y
+  done
+
+let test_entity_kernel () =
+  List.iter
+    (fun k ->
+      let k' = roundtrip Entity.kernel k in
+      Alcotest.(check string) "spec" (Entity.kernel_spec k) (Entity.kernel_spec k'))
+    [ paper_kernel (); Kernels.Kernel.Exponential { c = 0.3 };
+      Kernels.Kernel.Matern { b = 1.0; s = 2.5 }; Kernels.Kernel.Linear_cone { rho = 0.4 } ]
+
+let test_entity_mesh () =
+  let mesh = small_mesh () in
+  let mesh' = roundtrip Entity.mesh mesh in
+  Alcotest.(check int) "size" (Geometry.Mesh.size mesh) (Geometry.Mesh.size mesh');
+  Alcotest.(check (float 0.0)) "min angle" (Geometry.Mesh.min_angle_deg mesh)
+    (Geometry.Mesh.min_angle_deg mesh')
+
+let test_entity_solution_and_model () =
+  let solution = small_solution () in
+  let solution' = roundtrip Entity.solution solution in
+  Alcotest.(check (array (float 0.0)))
+    "eigenvalues" solution.Kle.Galerkin.eigenvalues solution'.Kle.Galerkin.eigenvalues;
+  check_mat "coefficients" solution.Kle.Galerkin.coefficients solution'.Kle.Galerkin.coefficients;
+  let model = Kle.Model.create ~r:5 solution in
+  let model' = roundtrip Entity.model model in
+  Alcotest.(check int) "r" model.Kle.Model.r model'.Kle.Model.r
+
+let test_entity_netlist () =
+  let nl = small_netlist () in
+  let nl' = roundtrip Entity.netlist nl in
+  Alcotest.(check string) "name" nl.Circuit.Netlist.name nl'.Circuit.Netlist.name;
+  Alcotest.(check int) "gates" (Array.length nl.Circuit.Netlist.gates)
+    (Array.length nl'.Circuit.Netlist.gates);
+  Alcotest.(check (array int)) "outputs" nl.Circuit.Netlist.outputs nl'.Circuit.Netlist.outputs;
+  Array.iteri
+    (fun i (g : Circuit.Netlist.gate) ->
+      let g' = nl'.Circuit.Netlist.gates.(i) in
+      Alcotest.(check string) "gate name" g.Circuit.Netlist.name g'.Circuit.Netlist.name;
+      Alcotest.(check (array int)) "fanins" g.Circuit.Netlist.fanins g'.Circuit.Netlist.fanins)
+    nl.Circuit.Netlist.gates
+
+let test_entity_circuit_setup () =
+  let setup = Ssta.Experiment.setup_circuit (small_netlist ()) in
+  let setup' = roundtrip Entity.circuit_setup setup in
+  Alcotest.(check (array int)) "logic ids" setup.Ssta.Experiment.logic_ids
+    setup'.Ssta.Experiment.logic_ids;
+  Array.iteri
+    (fun i (p : Geometry.Point.t) ->
+      let p' = setup'.Ssta.Experiment.locations.(i) in
+      Alcotest.(check (float 0.0)) "x" p.Geometry.Point.x p'.Geometry.Point.x;
+      Alcotest.(check (float 0.0)) "y" p.Geometry.Point.y p'.Geometry.Point.y)
+    setup.Ssta.Experiment.locations
+
+let test_entity_sampler () =
+  let model = Kle.Model.create ~r:5 (small_solution ()) in
+  let setup = Ssta.Experiment.setup_circuit (small_netlist ()) in
+  let sampler = Kle.Sampler.create model setup.Ssta.Experiment.locations in
+  let sampler' = roundtrip Entity.sampler sampler in
+  check_mat "expansion" (Kle.Sampler.expansion sampler) (Kle.Sampler.expansion sampler')
+
+(* ---------- store ---------- *)
+
+let test_store_roundtrip_and_outcomes () =
+  with_tmp_dir @@ fun dir ->
+  let diag = Util.Diag.create () in
+  let store = Store.open_ ~diag ~dir () in
+  let nl = small_netlist () in
+  Alcotest.(check bool) "absent" true (Store.get store Entity.netlist ~spec:"nl" = None);
+  let v, outcome = Store.find_or_add store Entity.netlist ~spec:"nl" (fun () -> nl) in
+  Alcotest.(check bool) "miss outcome" true (outcome = `Miss);
+  Alcotest.(check string) "computed" nl.Circuit.Netlist.name v.Circuit.Netlist.name;
+  let v, outcome =
+    Store.find_or_add store Entity.netlist ~spec:"nl" (fun () ->
+        Alcotest.fail "must not recompute on hit")
+  in
+  Alcotest.(check bool) "hit outcome" true (outcome = `Hit);
+  Alcotest.(check string) "loaded" nl.Circuit.Netlist.name v.Circuit.Netlist.name;
+  let stats = Store.stats store in
+  Alcotest.(check int) "one write" 1 stats.Store.writes;
+  Alcotest.(check int) "one entry" 1 stats.Store.entries;
+  Alcotest.(check int) "no diagnostics" 0 (Util.Diag.length diag)
+
+let flip_byte path offset =
+  let ic = open_in_bin path in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let b = Bytes.of_string data in
+  let i = Bytes.length b - 1 - offset in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+let test_store_corrupt_entry_falls_back () =
+  with_tmp_dir @@ fun dir ->
+  let diag = Util.Diag.create () in
+  let store = Store.open_ ~diag ~dir () in
+  let nl = small_netlist () in
+  Store.put store Entity.netlist ~spec:"nl" nl;
+  let path = Store.path store Entity.netlist ~spec:"nl" in
+  (* flip a payload byte: the checksum must catch it *)
+  flip_byte path 20;
+  let recomputed = ref false in
+  let v, outcome =
+    Store.find_or_add store Entity.netlist ~spec:"nl" (fun () ->
+        recomputed := true;
+        nl)
+  in
+  Alcotest.(check bool) "recovered outcome" true (outcome = `Recovered);
+  Alcotest.(check bool) "recomputed" true !recomputed;
+  Alcotest.(check string) "value" nl.Circuit.Netlist.name v.Circuit.Netlist.name;
+  Alcotest.(check int) "degraded-fallback warning" 1
+    (Util.Diag.count ~min_severity:Util.Diag.Warning ~code:`Degraded_fallback diag);
+  (* the recompute path re-wrote the entry, so the next read is a hit *)
+  let _, outcome =
+    Store.find_or_add store Entity.netlist ~spec:"nl" (fun () -> Alcotest.fail "hit expected")
+  in
+  Alcotest.(check bool) "hit after repair" true (outcome = `Hit)
+
+let test_store_truncated_entry_falls_back () =
+  with_tmp_dir @@ fun dir ->
+  let diag = Util.Diag.create () in
+  let store = Store.open_ ~diag ~dir () in
+  let nl = small_netlist () in
+  Store.put store Entity.netlist ~spec:"nl" nl;
+  let path = Store.path store Entity.netlist ~spec:"nl" in
+  let ic = open_in_bin path in
+  let data = really_input_string ic (in_channel_length ic / 2) in
+  close_in ic;
+  Util.Fileio.write_atomic path data;
+  Alcotest.(check bool) "corrupt -> None" true (Store.get store Entity.netlist ~spec:"nl" = None);
+  Alcotest.(check bool) "corrupt file removed" false (Sys.file_exists path);
+  Alcotest.(check int) "warning recorded" 1
+    (Util.Diag.count ~min_severity:Util.Diag.Warning ~code:`Degraded_fallback diag)
+
+let test_store_stale_version_falls_back () =
+  with_tmp_dir @@ fun dir ->
+  let diag = Util.Diag.create () in
+  let store = Store.open_ ~diag ~dir () in
+  let nl = small_netlist () in
+  Store.put store Entity.netlist ~spec:"nl" nl;
+  (* the same entry read through a bumped codec version is stale, not corrupt *)
+  let bumped = { Entity.netlist with Entity.version = Entity.netlist.Entity.version + 1 } in
+  let recomputed = ref false in
+  let _, outcome =
+    Store.find_or_add store bumped ~spec:"nl" (fun () ->
+        recomputed := true;
+        nl)
+  in
+  Alcotest.(check bool) "recovered" true (outcome = `Recovered);
+  Alcotest.(check bool) "recomputed" true !recomputed;
+  Alcotest.(check int) "info event, not warning" 0
+    (Util.Diag.count ~min_severity:Util.Diag.Warning diag);
+  Alcotest.(check int) "info recorded" 1 (Util.Diag.count ~code:`Degraded_fallback diag)
+
+let test_store_spec_collision_is_safe () =
+  with_tmp_dir @@ fun dir ->
+  let store = Store.open_ ~dir () in
+  let nl = small_netlist () in
+  Store.put store Entity.netlist ~spec:"spec-a" nl;
+  (* forge a colliding file: same path as another spec would never happen
+     with fnv64, so simulate by copying the entry to spec-b's path *)
+  let a = Store.path store Entity.netlist ~spec:"spec-a" in
+  let b = Store.path store Entity.netlist ~spec:"spec-b" in
+  let ic = open_in_bin a in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Util.Fileio.write_atomic b data;
+  (* the stored spec string no longer matches: must not be served *)
+  Alcotest.(check bool) "collision not served" true
+    (Store.get store Entity.netlist ~spec:"spec-b" = None)
+
+(* ---------- the bit-identity acceptance criterion ---------- *)
+
+let test_store_roundtrip_run_mc_bit_identical () =
+  with_tmp_dir @@ fun dir ->
+  let store = Store.open_ ~dir () in
+  let setup_fresh = Ssta.Experiment.setup_circuit (small_netlist ()) in
+  let setup_loaded, _ =
+    Store.find_or_add store Entity.circuit_setup ~spec:"setup" (fun () ->
+        Ssta.Experiment.setup_circuit (small_netlist ()))
+  in
+  let setup_loaded, _ =
+    ignore setup_loaded;
+    Store.find_or_add store Entity.circuit_setup ~spec:"setup" (fun () ->
+        Alcotest.fail "setup must load from disk")
+  in
+  let model_fresh = Kle.Model.create ~r:8 (small_solution ()) in
+  let model_loaded, _ =
+    Store.find_or_add store Entity.model ~spec:"model" (fun () -> model_fresh)
+  in
+  let model_loaded, _ =
+    ignore model_loaded;
+    Store.find_or_add store Entity.model ~spec:"model" (fun () ->
+        Alcotest.fail "model must load from disk")
+  in
+  let run setup model ~jobs =
+    let samplers =
+      Array.init 4 (fun _ -> Kle.Sampler.create model setup.Ssta.Experiment.locations)
+    in
+    let sampler rng ~n = Array.map (fun s -> Kle.Sampler.sample_matrix s rng ~n) samplers in
+    Ssta.Experiment.run_mc ~jobs ~batch:32 setup ~sampler ~seed:5 ~n:96
+  in
+  List.iter
+    (fun jobs ->
+      let fresh = run setup_fresh model_fresh ~jobs in
+      let loaded = run setup_loaded model_loaded ~jobs in
+      let tag = Printf.sprintf "-j %d" jobs in
+      Alcotest.(check int) (tag ^ " bits mean") 0
+        (Int64.compare
+           (Int64.bits_of_float fresh.Ssta.Experiment.worst_mean)
+           (Int64.bits_of_float loaded.Ssta.Experiment.worst_mean));
+      Alcotest.(check int) (tag ^ " bits sigma") 0
+        (Int64.compare
+           (Int64.bits_of_float fresh.Ssta.Experiment.worst_sigma)
+           (Int64.bits_of_float loaded.Ssta.Experiment.worst_sigma));
+      Array.iteri
+        (fun i m ->
+          if
+            Int64.bits_of_float m
+            <> Int64.bits_of_float loaded.Ssta.Experiment.endpoint_mean.(i)
+          then Alcotest.failf "%s endpoint mean %d differs" tag i)
+        fresh.Ssta.Experiment.endpoint_mean;
+      Array.iteri
+        (fun i s ->
+          if
+            Int64.bits_of_float s
+            <> Int64.bits_of_float loaded.Ssta.Experiment.endpoint_sigma.(i)
+          then Alcotest.failf "%s endpoint sigma %d differs" tag i)
+        fresh.Ssta.Experiment.endpoint_sigma)
+    [ 1; 2 ]
+
+let () =
+  Alcotest.run "persist"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "signed varints" `Quick test_codec_ints;
+          Alcotest.test_case "unsigned varints" `Quick test_codec_uints;
+          Alcotest.test_case "floats bit-exact" `Quick test_codec_floats_bit_exact;
+          Alcotest.test_case "strings/arrays/options" `Quick test_codec_strings_arrays_options;
+          Alcotest.test_case "corrupt input raises" `Quick test_codec_corrupt_input;
+          Alcotest.test_case "fnv-1a 64 vectors" `Quick test_fnv64;
+        ] );
+      ( "entity",
+        [
+          Alcotest.test_case "kernel" `Quick test_entity_kernel;
+          Alcotest.test_case "mesh" `Quick test_entity_mesh;
+          Alcotest.test_case "solution + model" `Quick test_entity_solution_and_model;
+          Alcotest.test_case "netlist" `Quick test_entity_netlist;
+          Alcotest.test_case "circuit setup" `Quick test_entity_circuit_setup;
+          Alcotest.test_case "sampler" `Quick test_entity_sampler;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "roundtrip + outcomes" `Quick test_store_roundtrip_and_outcomes;
+          Alcotest.test_case "corrupt entry falls back" `Quick
+            test_store_corrupt_entry_falls_back;
+          Alcotest.test_case "truncated entry falls back" `Quick
+            test_store_truncated_entry_falls_back;
+          Alcotest.test_case "stale version falls back" `Quick
+            test_store_stale_version_falls_back;
+          Alcotest.test_case "spec collision not served" `Quick
+            test_store_spec_collision_is_safe;
+          Alcotest.test_case "run_mc bit-identical after roundtrip" `Quick
+            test_store_roundtrip_run_mc_bit_identical;
+        ] );
+    ]

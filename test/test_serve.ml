@@ -1,0 +1,436 @@
+(* Serving layer: JSON reader/writer, protocol decode (every typed error
+   code), the LRU hot tier, and the concurrent server end-to-end —
+   including the satellite contract that Bench_format parse errors surface
+   as typed [netlist_error] protocol errors. *)
+
+module Jsonx = Serve.Jsonx
+module Protocol = Serve.Protocol
+module Lru = Serve.Lru
+module Server = Serve.Server
+
+(* ---------- jsonx ---------- *)
+
+let parse_ok s =
+  match Jsonx.parse s with
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "parse %S failed: %s" s msg
+
+let test_jsonx_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (Jsonx.to_string (parse_ok s)))
+    [
+      "null"; "true"; "false"; "0"; "-7"; "123456789"; "1.5"; "-0.25";
+      "\"\""; "\"abc\""; "[]"; "[1,2,3]"; "{}";
+      {|{"a":1,"b":[true,null],"c":{"d":"e"}}|};
+    ]
+
+let test_jsonx_escapes () =
+  Alcotest.(check (option string)) "basic escapes" (Some "a\"b\\c/\n\t\r\b\012")
+    (Jsonx.as_str (parse_ok {|"a\"b\\c\/\n\t\r\b\f"|}));
+  Alcotest.(check (option string)) "bmp escape" (Some "\xe2\x82\xac")
+    (Jsonx.as_str (parse_ok {|"\u20ac"|}));
+  Alcotest.(check (option string)) "surrogate pair" (Some "\xf0\x9d\x84\x9e")
+    (Jsonx.as_str (parse_ok {|"\ud834\udd1e"|}));
+  (* output escapes control characters and quotes back to parseable form *)
+  let s = "line1\nline2\t\"q\"" in
+  Alcotest.(check (option string)) "escape roundtrip" (Some s)
+    (Jsonx.as_str (parse_ok (Jsonx.to_string (Jsonx.Str s))))
+
+let test_jsonx_numbers () =
+  Alcotest.(check (option int)) "int" (Some 42) (Jsonx.as_int (parse_ok "42"));
+  Alcotest.(check (option int)) "exp" (Some 1200) (Jsonx.as_int (parse_ok "1.2e3"));
+  Alcotest.(check (option int)) "not integral" None (Jsonx.as_int (parse_ok "1.5"));
+  Alcotest.(check string) "integral prints as int" "7" (Jsonx.to_string (Jsonx.Num 7.0));
+  Alcotest.(check string) "fraction keeps point" "0.5" (Jsonx.to_string (Jsonx.Num 0.5));
+  Alcotest.(check string) "nan is null" "null" (Jsonx.to_string (Jsonx.Num Float.nan))
+
+let test_jsonx_errors () =
+  List.iter
+    (fun s ->
+      match Jsonx.parse s with
+      | Ok v -> Alcotest.failf "parse %S should fail, got %s" s (Jsonx.to_string v)
+      | Error _ -> ())
+    [
+      ""; "{"; "["; "tru"; "nul"; "{\"a\"}"; "{\"a\":}"; "[1,]"; "{,}"; "\"unterminated";
+      "\"bad \\x escape\""; "+1"; "1 2"; "{\"a\":1} trailing"; "\"\\ud834\"";
+    ]
+
+let test_jsonx_member () =
+  let v = parse_ok {|{"a":1,"b":"x"}|} in
+  Alcotest.(check (option int)) "a" (Some 1) (Option.bind (Jsonx.member "a" v) Jsonx.as_int);
+  Alcotest.(check bool) "missing" true (Jsonx.member "zz" v = None);
+  Alcotest.(check bool) "non-object" true (Jsonx.member "a" (Jsonx.Num 1.0) = None)
+
+(* ---------- protocol ---------- *)
+
+let decode_err line =
+  match Protocol.decode line with
+  | Ok _ -> Alcotest.failf "decode %S should fail" line
+  | Error (id, code, msg) -> (id, code, msg)
+
+let test_protocol_decode_ok () =
+  (match Protocol.decode {|{"id":1,"method":"stats"}|} with
+  | Ok { id = Jsonx.Num 1.0; deadline_ms = None; call = Protocol.Stats } -> ()
+  | _ -> Alcotest.fail "stats decode");
+  (match
+     Protocol.decode
+       {|{"id":"x","deadline_ms":250,"method":"run_mc","params":{"circuit":{"name":"c17"},"sampler":"kle-qmc","n":100,"seed":7,"r":12,"batch":64}}|}
+   with
+  | Ok
+      {
+        id = Jsonx.Str "x";
+        deadline_ms = Some 250.0;
+        call =
+          Protocol.Run_mc
+            { circuit = Protocol.Named "c17"; sampler = Protocol.Kle_qmc;
+              r = Some 12; seed = 7; n = 100; batch = Some 64 };
+      } -> ()
+  | _ -> Alcotest.fail "run_mc decode");
+  (match
+     Protocol.decode {|{"id":2,"method":"prepare","params":{"circuit":{"bench":"INPUT(a)\n"}}}|}
+   with
+  | Ok { call = Protocol.Prepare { circuit = Protocol.Bench_text _; r = None }; _ } -> ()
+  | _ -> Alcotest.fail "prepare bench decode")
+
+let test_protocol_decode_errors () =
+  let check_code line expected =
+    let _, code, _ = decode_err line in
+    Alcotest.(check string) line
+      (Protocol.error_code_name expected)
+      (Protocol.error_code_name code)
+  in
+  check_code "{not json" Protocol.Parse_error;
+  check_code "[1,2]" Protocol.Invalid_request;
+  check_code "\"hi\"" Protocol.Invalid_request;
+  check_code {|{"id":1}|} Protocol.Invalid_request;
+  check_code {|{"id":1,"method":"frobnicate"}|} Protocol.Unknown_method;
+  check_code {|{"id":1,"method":"run_mc"}|} Protocol.Bad_params;
+  check_code {|{"id":1,"method":"run_mc","params":{"circuit":{"name":"c17"}}}|} Protocol.Bad_params;
+  check_code {|{"id":1,"method":"run_mc","params":{"circuit":{"name":"c17"},"n":0}}|}
+    Protocol.Bad_params;
+  check_code {|{"id":1,"method":"run_mc","params":{"circuit":{"name":"c17"},"n":10,"sampler":"bogus"}}|}
+    Protocol.Bad_params;
+  check_code {|{"id":1,"method":"prepare","params":{}}|} Protocol.Bad_params;
+  check_code {|{"id":1,"deadline_ms":-5,"method":"stats"}|} Protocol.Bad_params;
+  (* the id is still recovered for correlation whenever the line parses *)
+  let id, _, _ = decode_err {|{"id":77,"method":"frobnicate"}|} in
+  Alcotest.(check (option int)) "id recovered" (Some 77) (Jsonx.as_int id);
+  let id, _, _ = decode_err "{not json" in
+  Alcotest.(check bool) "unparseable id is null" true (id = Jsonx.Null)
+
+let test_protocol_responses () =
+  let ok = Protocol.ok_response ~id:(Jsonx.Num 3.0) (Jsonx.Obj [ ("x", Jsonx.Num 1.0) ]) in
+  Alcotest.(check string) "ok" {|{"id":3,"ok":{"x":1}}|} ok;
+  let err = Protocol.error_response ~id:(Jsonx.Str "a") Protocol.Overloaded "queue full" in
+  Alcotest.(check string) "error"
+    {|{"id":"a","error":{"code":"overloaded","message":"queue full"}}|} err;
+  Alcotest.(check bool) "response_id" true
+    (Protocol.response_id ok = Some (Jsonx.Num 3.0))
+
+(* ---------- lru ---------- *)
+
+let test_lru_eviction_order () =
+  let c = Lru.create ~capacity:2 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  (* touch a so b is the oldest *)
+  Alcotest.(check (option int)) "find a" (Some 1) (Lru.find c "a");
+  Lru.add c "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Lru.find c "b");
+  Alcotest.(check (option int)) "a kept" (Some 1) (Lru.find c "a");
+  Alcotest.(check (option int)) "c kept" (Some 3) (Lru.find c "c");
+  Alcotest.(check int) "length" 2 (Lru.length c);
+  let s = Lru.stats c in
+  Alcotest.(check int) "evictions" 1 s.Lru.evictions;
+  Alcotest.(check int) "misses" 1 s.Lru.misses
+
+let test_lru_overwrite_and_remove () =
+  let c = Lru.create ~capacity:2 in
+  Lru.add c "a" 1;
+  Lru.add c "a" 10;
+  Alcotest.(check int) "overwrite keeps one entry" 1 (Lru.length c);
+  Alcotest.(check (option int)) "new value" (Some 10) (Lru.find c "a");
+  Lru.remove c "a";
+  Alcotest.(check (option int)) "removed" None (Lru.find c "a");
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Lru.create: capacity < 1") (fun () ->
+      ignore (Lru.create ~capacity:0 : int Lru.t))
+
+(* ---------- server end-to-end ---------- *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec scan i = i + n <= m && (String.sub s i n = sub || scan (i + 1)) in
+  n = 0 || scan 0
+
+(* tiny inline netlist so server tests stay fast *)
+let tiny_bench = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nx = NAND(a, b)\ny = NOT(x)\n"
+
+let escape_bench s =
+  String.concat "" (List.map (function '\n' -> "\\n" | c -> String.make 1 c)
+      (List.init (String.length s) (String.get s)))
+
+(* fast KLE config: coarse mesh, dense eigensolve *)
+let test_config =
+  {
+    Server.default_config with
+    Server.kle =
+      { Ssta.Algorithm2.paper_config with Ssta.Algorithm2.max_area_fraction = 0.05 };
+  }
+
+(* synchronous call helper: submit and wait for the single reply *)
+let sync_call server line =
+  let m = Mutex.create () and c = Condition.create () in
+  let slot = ref None in
+  Server.submit server line ~reply:(fun r ->
+      Mutex.protect m (fun () ->
+          slot := Some r;
+          Condition.signal c));
+  Mutex.protect m (fun () ->
+      while !slot = None do
+        Condition.wait c m
+      done;
+      Option.get !slot)
+
+let reply_json line =
+  match Jsonx.parse line with
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "reply not JSON: %s (%s)" line msg
+
+let expect_error line expected =
+  let v = reply_json line in
+  match Option.bind (Jsonx.member "error" v) (Jsonx.member "code") with
+  | Some (Jsonx.Str code) ->
+      Alcotest.(check string) "error code" (Protocol.error_code_name expected) code;
+      Option.value ~default:""
+        (Option.bind
+           (Option.bind (Jsonx.member "error" v) (Jsonx.member "message"))
+           Jsonx.as_str)
+  | _ -> Alcotest.failf "expected %s error, got %s" (Protocol.error_code_name expected) line
+
+let expect_ok line =
+  let v = reply_json line in
+  match Jsonx.member "ok" v with
+  | Some payload -> payload
+  | None -> Alcotest.failf "expected ok, got %s" line
+
+let with_server ?(config = test_config) f =
+  let server = Server.create config in
+  Fun.protect ~finally:(fun () -> Server.drain server) (fun () -> f server)
+
+let run_mc_line ?(id = 1) ?(sampler = "cholesky") ?(n = 32) () =
+  Printf.sprintf
+    {|{"id":%d,"method":"run_mc","params":{"circuit":{"bench":"%s"},"sampler":"%s","n":%d,"seed":3}}|}
+    id (escape_bench tiny_bench) sampler n
+
+let float_exact =
+  Alcotest.testable
+    (fun ppf v -> Format.fprintf ppf "%h" v)
+    (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+
+let test_server_run_mc_ok () =
+  with_server @@ fun server ->
+  let payload = expect_ok (sync_call server (run_mc_line ())) in
+  Alcotest.(check (option int)) "n_samples" (Some 32)
+    (Option.bind (Jsonx.member "n_samples" payload) Jsonx.as_int);
+  (match Option.bind (Jsonx.member "worst_mean" payload) Jsonx.as_num with
+  | Some m when Float.is_finite m && m > 0.0 -> ()
+  | _ -> Alcotest.fail "finite positive worst_mean expected");
+  (* the reply is deterministic: same request, same numbers (cache hit path) *)
+  let payload2 = expect_ok (sync_call server (run_mc_line ())) in
+  Alcotest.(check (option float_exact)) "deterministic worst_mean"
+    (Option.bind (Jsonx.member "worst_mean" payload) Jsonx.as_num)
+    (Option.bind (Jsonx.member "worst_mean" payload2) Jsonx.as_num)
+
+let test_server_cache_tiers () =
+  with_server @@ fun server ->
+  let line =
+    Printf.sprintf
+      {|{"id":9,"method":"run_mc","params":{"circuit":{"bench":"%s"},"sampler":"kle","n":16,"seed":1}}|}
+      (escape_bench tiny_bench)
+  in
+  let first = expect_ok (sync_call server line) in
+  let tier j = Option.bind (Jsonx.member j first) Jsonx.as_str in
+  Alcotest.(check (option string)) "first setup is a miss" (Some "miss")
+    (tier "cache_setup");
+  let second = expect_ok (sync_call server line) in
+  Alcotest.(check (option string)) "second setup from memory" (Some "hit-mem")
+    (Option.bind (Jsonx.member "cache_setup" second) Jsonx.as_str);
+  Alcotest.(check (option string)) "second models from memory" (Some "hit-mem")
+    (Option.bind (Jsonx.member "cache_models" second) Jsonx.as_str)
+
+let test_server_typed_errors () =
+  with_server @@ fun server ->
+  ignore (expect_error (sync_call server "{nope") Protocol.Parse_error);
+  ignore (expect_error (sync_call server {|{"id":1,"method":"warp"}|}) Protocol.Unknown_method);
+  ignore
+    (expect_error
+       (sync_call server {|{"id":1,"method":"run_mc","params":{"circuit":{"name":"c17"}}}|})
+       Protocol.Bad_params);
+  let msg =
+    expect_error
+      (sync_call server
+         {|{"id":1,"method":"run_mc","params":{"circuit":{"name":"no-such-circuit"},"n":8}}|})
+      Protocol.Netlist_error
+  in
+  Alcotest.(check bool) "names the circuit" true (contains ~sub:"no-such-circuit" msg)
+
+(* satellite contract: every Bench_format parse-error path maps to a typed
+   [netlist_error] protocol error carrying the parser's message *)
+let test_server_bench_errors_are_typed () =
+  with_server @@ fun server ->
+  let cases =
+    [
+      ("y = NOT(ghost)\n", "undefined signal \"ghost\"");
+      ("x = NOT(y)\ny = NOT(x)\n", "combinational loop through");
+      ("INPUT(a)\nINPUT(b)\ny = NOT(a, b)\n", "unsupported function NOT/2");
+      ("INPUT(a)\ny = FROB(a)\n", "unsupported function FROB/1");
+      ("INPUT(a)\ny = NOT a\n", "malformed gate definition");
+      ("what is this line\n", "expected INPUT(..), OUTPUT(..) or assignment");
+    ]
+  in
+  List.iter
+    (fun (bench, expected_substr) ->
+      let line =
+        Printf.sprintf
+          {|{"id":1,"method":"prepare","params":{"circuit":{"bench":"%s"}}}|} (escape_bench bench)
+      in
+      let msg = expect_error (sync_call server line) Protocol.Netlist_error in
+      Alcotest.(check bool)
+        (Printf.sprintf "%S carries %S (got %S)" bench expected_substr msg)
+        true (contains ~sub:expected_substr msg))
+    cases
+
+let test_server_overload_backpressure () =
+  let config = { test_config with Server.workers = 1; Server.queue_capacity = 1 } in
+  let server = Server.create config in
+  let m = Mutex.create () and c = Condition.create () in
+  let replies = ref [] and expected = 6 in
+  let reply r =
+    Mutex.protect m (fun () ->
+        replies := r :: !replies;
+        Condition.signal c)
+  in
+  (* a burst: one request occupies the worker, one fits the queue, the rest
+     must be rejected immediately with [overloaded] *)
+  for i = 1 to expected do
+    Server.submit server (run_mc_line ~id:i ~n:256 ()) ~reply
+  done;
+  Mutex.protect m (fun () ->
+      while List.length !replies < expected do
+        Condition.wait c m
+      done);
+  Server.drain server;
+  let overloaded =
+    List.length
+      (List.filter
+         (fun r ->
+           match Option.bind (Jsonx.member "error" (reply_json r)) (Jsonx.member "code") with
+           | Some (Jsonx.Str "overloaded") -> true
+           | _ -> false)
+         !replies)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "some of the burst rejected (got %d)" overloaded)
+    true (overloaded >= 1);
+  Alcotest.(check bool) "but not all" true (overloaded < expected)
+
+let test_server_deadline_exceeded () =
+  let config = { test_config with Server.workers = 1 } in
+  with_server ~config @@ fun server ->
+  let m = Mutex.create () and c = Condition.create () in
+  let replies = ref [] in
+  let reply r =
+    Mutex.protect m (fun () ->
+        replies := r :: !replies;
+        Condition.signal c)
+  in
+  (* occupy the single worker, then submit a request whose deadline expires
+     while it waits in the queue *)
+  Server.submit server (run_mc_line ~id:1 ~n:512 ()) ~reply;
+  Server.submit server {|{"id":2,"deadline_ms":0.001,"method":"stats"}|} ~reply;
+  Mutex.protect m (fun () ->
+      while List.length !replies < 2 do
+        Condition.wait c m
+      done);
+  let deadline_reply =
+    List.find
+      (fun r -> Protocol.response_id r = Some (Jsonx.Num 2.0))
+      !replies
+  in
+  ignore (expect_error deadline_reply Protocol.Deadline_exceeded)
+
+let test_server_shutdown_drains () =
+  let server = Server.create test_config in
+  let ok = expect_ok (sync_call server {|{"id":1,"method":"shutdown"}|}) in
+  Alcotest.(check (option bool)) "shutdown acknowledged" (Some true)
+    (Option.bind (Jsonx.member "shutting_down" ok) Jsonx.as_bool);
+  Alcotest.(check bool) "shutdown flagged" true (Server.shutdown_requested server);
+  (* the worker closes intake just after delivering the shutdown reply; a
+     request racing that window may still be accepted (and completes under
+     drain semantics), but intake must close shortly after *)
+  let rec await_closed tries =
+    if tries = 0 then Alcotest.fail "intake never closed after shutdown"
+    else
+      let reply = sync_call server {|{"id":2,"method":"stats"}|} in
+      match Option.bind (Jsonx.member "error" (reply_json reply)) (Jsonx.member "code") with
+      | Some (Jsonx.Str code) ->
+          Alcotest.(check string) "error code"
+            (Protocol.error_code_name Protocol.Shutting_down) code
+      | _ ->
+          Thread.delay 0.01;
+          await_closed (tries - 1)
+  in
+  await_closed 100;
+  Server.drain server;
+  (* drain is idempotent *)
+  Server.drain server
+
+let test_server_stats_payload () =
+  with_server @@ fun server ->
+  ignore (expect_ok (sync_call server (run_mc_line ())));
+  let stats = expect_ok (sync_call server {|{"id":5,"method":"stats"}|}) in
+  let int_field f = Option.bind (Jsonx.member f stats) Jsonx.as_int in
+  (match int_field "requests" with
+  | Some n when n >= 1 -> ()
+  | _ -> Alcotest.fail "requests counter");
+  Alcotest.(check (option int)) "no rejects" (Some 0) (int_field "rejected");
+  Alcotest.(check bool) "lru stats present" true (Jsonx.member "lru" stats <> None);
+  Alcotest.(check bool) "store absent without dir" true
+    (match Jsonx.member "store" stats with Some Jsonx.Null | None -> true | _ -> false)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "jsonx",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_jsonx_roundtrip;
+          Alcotest.test_case "escapes" `Quick test_jsonx_escapes;
+          Alcotest.test_case "numbers" `Quick test_jsonx_numbers;
+          Alcotest.test_case "errors" `Quick test_jsonx_errors;
+          Alcotest.test_case "member" `Quick test_jsonx_member;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "decode ok" `Quick test_protocol_decode_ok;
+          Alcotest.test_case "decode errors" `Quick test_protocol_decode_errors;
+          Alcotest.test_case "responses" `Quick test_protocol_responses;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "overwrite + remove" `Quick test_lru_overwrite_and_remove;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "run_mc ok" `Quick test_server_run_mc_ok;
+          Alcotest.test_case "cache tiers" `Quick test_server_cache_tiers;
+          Alcotest.test_case "typed errors" `Quick test_server_typed_errors;
+          Alcotest.test_case "bench errors are typed" `Quick
+            test_server_bench_errors_are_typed;
+          Alcotest.test_case "overload backpressure" `Quick test_server_overload_backpressure;
+          Alcotest.test_case "deadline exceeded" `Quick test_server_deadline_exceeded;
+          Alcotest.test_case "shutdown drains" `Quick test_server_shutdown_drains;
+          Alcotest.test_case "stats payload" `Quick test_server_stats_payload;
+        ] );
+    ]

@@ -17,6 +17,10 @@
 #      all timing goes through the single monotonic clock behind
 #      `Util.Trace.now_ns` (and `Util.Timer` on top of it), so spans, timers
 #      and counters are mutually comparable and immune to wall-clock jumps.
+#   5. No `Marshal` in lib/ — persisted artifacts go through the explicit,
+#      versioned, checksummed codec in lib/persist (`Persist.Codec` /
+#      `Persist.Entity`). Marshal's format is compiler-dependent and a
+#      corrupt blob can crash the reader instead of degrading to recompute.
 #
 # Exits non-zero and prints offending lines when a rule is violated.
 
@@ -45,6 +49,7 @@ if matches=$(grep -rnE --include='*.ml' --include='*.mli' \
   '(^|[^.A-Za-z0-9_])compare[^_A-Za-z0-9]' lib/ \
   | grep -vE '(let|val|and)[[:space:]]+compare' \
   | grep -vE '\([[:space:]]*compare[[:space:]]*\)' \
+  | grep -vE '"compare"' \
   | grep -vE '^\s*[^:]*:[0-9]+:\s*\(\*' || true); then
   if [ -n "$matches" ]; then
     fail "unqualified polymorphic compare in lib/ — use Float.compare / Int.compare / String.compare or a module compare" "$matches"
@@ -63,6 +68,11 @@ if matches=$(grep -rnE --include='*.ml' --include='*.mli' \
   if [ -n "$matches" ]; then
     fail "wall-clock timing in lib/ — use Util.Trace.now_ns / Util.Timer (monotonic) instead of Unix.gettimeofday or Sys.time" "$matches"
   fi
+fi
+
+# Rule 5: no Marshal in lib/ (persisted data uses Persist.Codec).
+if matches=$(grep -rn --include='*.ml' --include='*.mli' 'Marshal\.' lib/); then
+  fail "Marshal in lib/ — encode through Persist.Codec / Persist.Entity (explicit, versioned, checksummed) instead" "$matches"
 fi
 
 if [ "$status" -eq 0 ]; then
