@@ -18,25 +18,68 @@
 open Cmdliner
 
 (* replies may arrive from any worker domain; serialize writes per channel
-   and flush per line, so concurrent responses never interleave *)
+   and flush per line, so concurrent responses never interleave. A write to
+   a disconnected client raises (Sys_error on EPIPE/EBADF, with SIGPIPE
+   ignored at startup) — the lock must be released on that path or every
+   other worker replying on the connection deadlocks. *)
 let line_writer oc =
   let lock = Mutex.create () in
   fun line ->
     Mutex.lock lock;
-    output_string oc line;
-    output_char oc '\n';
-    flush oc;
-    Mutex.unlock lock
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock lock)
+      (fun () ->
+        output_string oc line;
+        output_char oc '\n';
+        flush oc)
 
 let serve_channels server ic oc =
   let reply = line_writer oc in
+  let reader_done = Atomic.make false in
+  (* a shutdown request is executed on a worker domain while this thread
+     blocks in input_line; closing the input fd is what unblocks it (the
+     read fails) so the drain below can actually start *)
+  let watcher =
+    Thread.create
+      (fun () ->
+        while
+          not (Atomic.get reader_done || Serve.Server.shutdown_requested server)
+        do
+          Thread.delay 0.1
+        done;
+        if not (Atomic.get reader_done) then
+          try Unix.close (Unix.descr_of_in_channel ic)
+          with Unix.Unix_error _ | Sys_error _ -> ())
+      ()
+  in
   (try
      while not (Serve.Server.shutdown_requested server) do
        let line = input_line ic in
        if String.trim line <> "" then Serve.Server.submit server line ~reply
      done
-   with End_of_file -> ());
-  Serve.Server.drain server
+   with End_of_file | Sys_error _ -> ());
+  Atomic.set reader_done true;
+  Serve.Server.drain server;
+  Thread.join watcher
+
+(* a connection's fd, with close/shutdown serialized so the drain-time
+   nudge below can never race the handler's own close (or hit a recycled
+   fd number) *)
+type conn = { fd : Unix.file_descr; lock : Mutex.t; mutable closed : bool }
+
+let conn_close c =
+  Mutex.protect c.lock (fun () ->
+      if not c.closed then begin
+        c.closed <- true;
+        try Unix.close c.fd with Unix.Unix_error _ -> ()
+      end)
+
+(* unblock a reader stuck in input_line: half-close the read side so the
+   blocked read returns EOF, leaving the write side usable for replies *)
+let conn_nudge c =
+  Mutex.protect c.lock (fun () ->
+      if not c.closed then
+        try Unix.shutdown c.fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
 
 let serve_socket server path =
   (try Unix.unlink path with Unix.Unix_error _ -> ());
@@ -46,9 +89,9 @@ let serve_socket server path =
   Printf.printf "ssta_serve: listening on %s\n%!" path;
   (* one lightweight thread per connection reads lines; all execution
      happens on the server's worker domains *)
-  let handle conn =
-    let ic = Unix.in_channel_of_descr conn in
-    let oc = Unix.out_channel_of_descr conn in
+  let handle c =
+    let ic = Unix.in_channel_of_descr c.fd in
+    let oc = Unix.out_channel_of_descr c.fd in
     let reply = line_writer oc in
     (try
        while not (Serve.Server.shutdown_requested server) do
@@ -56,24 +99,30 @@ let serve_socket server path =
          if String.trim line <> "" then Serve.Server.submit server line ~reply
        done
      with End_of_file | Sys_error _ -> ());
-    (try Unix.close conn with Unix.Unix_error _ -> ())
+    conn_close c
   in
   let threads = ref [] in
+  let conns = ref [] in
   (try
      while not (Serve.Server.shutdown_requested server) do
        (* wake up periodically so a shutdown request also stops accept *)
        match Unix.select [ sock ] [] [] 0.2 with
        | [], _, _ -> ()
        | _ ->
-           let conn, _ = Unix.accept sock in
-           threads := Thread.create handle conn :: !threads
+           let fd, _ = Unix.accept sock in
+           let c = { fd; lock = Mutex.create (); closed = false } in
+           conns := c :: !conns;
+           threads := Thread.create handle c :: !threads
      done
    with Unix.Unix_error (Unix.EINTR, _, _) -> ());
-  (* stop intake first so late lines get typed shutting_down replies,
-     then let queued work finish *)
+  (* stop intake first so late lines get typed shutting_down replies, then
+     unblock handlers parked in input_line on idle connections so the join
+     below terminates, then let queued work finish *)
   Serve.Server.begin_drain server;
+  List.iter conn_nudge !conns;
   List.iter Thread.join !threads;
   Serve.Server.drain server;
+  List.iter conn_close !conns;
   (try Unix.close sock with Unix.Unix_error _ -> ());
   (try Unix.unlink path with Unix.Unix_error _ -> ())
 
@@ -123,6 +172,9 @@ let run_client path =
 
 let run store_dir socket client cache_entries queue_capacity workers jobs seed
     max_area_fraction trace_file stats_file =
+  (* a client that disconnects mid-reply must surface as a write error on
+     that connection, not kill the process with SIGPIPE *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   match client with
   | Some path -> run_client path
   | None ->

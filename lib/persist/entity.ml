@@ -48,9 +48,18 @@ let write_mat b m =
 let read_mat r =
   let rows = Codec.read_uint r in
   let cols = Codec.read_uint r in
-  if rows * cols * 8 > Codec.remaining r then
-    corrupt "matrix %dx%d exceeds remaining input" rows cols;
-  let m = Mat.create rows cols in
+  (* bound each dimension separately: the product rows*cols*8 can overflow
+     for adversarial headers and wrap past a single multiplied check *)
+  let budget = Codec.remaining r / 8 in
+  let fits =
+    rows >= 0 && cols >= 0
+    && (rows = 0 || cols = 0 || (rows <= budget && cols <= budget / rows))
+  in
+  if not fits then corrupt "matrix %dx%d exceeds remaining input" rows cols;
+  let m =
+    try Mat.create rows cols
+    with Invalid_argument msg -> corrupt "invalid matrix shape %dx%d: %s" rows cols msg
+  in
   let raw = Mat.raw m in
   for i = 0 to (rows * cols) - 1 do
     Bigarray.Array1.unsafe_set raw i (Codec.read_float r)

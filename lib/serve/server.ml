@@ -45,7 +45,13 @@ type t = {
   queue : job Queue.t;
   lock : Mutex.t;
   not_empty : Condition.t;
-  mutable draining : bool;
+  (* single-flight: keys whose compute is running on some domain; a second
+     requester for the same key waits on [inflight_done] instead of paying
+     the eigensolve again *)
+  inflight : (string, unit) Hashtbl.t;
+  inflight_lock : Mutex.t;
+  inflight_done : Condition.t;
+  draining : bool Atomic.t;
   mutable joined : bool;
   mutable domains : unit Domain.t list;
   shutdown_flag : bool Atomic.t;
@@ -91,27 +97,58 @@ let count_tier t tier =
       Atomic.incr t.n_recovered;
       Util.Trace.incr c_misses
 
-(* memory LRU over the optional disk store over [compute] *)
+(* memory LRU over the optional disk store over [compute], with per-key
+   single-flight: concurrent misses on the same key run [compute] once —
+   the leader computes and fills the caches, followers block on
+   [inflight_done] and pick the result up from the memory tier *)
 let cached t (entity : 'a Persist.Entity.t) ~spec ~(inject : 'a -> artifact)
     ~(project : artifact -> 'a option) compute =
   let key = entity.Persist.Entity.kind ^ ":" ^ spec in
-  match Option.bind (Lru.find t.cache key) project with
+  let from_mem () = Option.bind (Lru.find t.cache key) project in
+  match from_mem () with
   | Some v ->
       count_tier t Hit_mem;
       (v, Hit_mem)
-  | None ->
-      let v, tier =
-        match t.store with
-        | None -> (compute (), Miss)
-        | Some store -> (
-            match Persist.Store.find_or_add store entity ~spec compute with
-            | v, `Hit -> (v, Hit_disk)
-            | v, `Miss -> (v, Miss)
-            | v, `Recovered -> (v, Recovered))
+  | None -> (
+      let role =
+        Mutex.protect t.inflight_lock (fun () ->
+            let rec acquire () =
+              if not (Hashtbl.mem t.inflight key) then begin
+                Hashtbl.add t.inflight key ();
+                `Lead
+              end
+              else begin
+                Condition.wait t.inflight_done t.inflight_lock;
+                (* the leader finished (or failed): take its result from the
+                   memory tier, or become the new leader and recompute *)
+                match from_mem () with Some v -> `Done v | None -> acquire ()
+              end
+            in
+            acquire ())
       in
-      Lru.add t.cache key (inject v);
-      count_tier t tier;
-      (v, tier)
+      match role with
+      | `Done v ->
+          count_tier t Hit_mem;
+          (v, Hit_mem)
+      | `Lead ->
+          Fun.protect
+            ~finally:(fun () ->
+              Mutex.protect t.inflight_lock (fun () ->
+                  Hashtbl.remove t.inflight key;
+                  Condition.broadcast t.inflight_done))
+            (fun () ->
+              let v, tier =
+                match t.store with
+                | None -> (compute (), Miss)
+                | Some store -> (
+                    match Persist.Store.find_or_add store entity ~spec compute with
+                    | v, `Hit -> (v, Hit_disk)
+                    | v, `Miss -> (v, Miss)
+                    | v, `Recovered -> (v, Recovered))
+              in
+              Lru.add t.cache key (inject v);
+              count_tier t tier;
+              (v, tier)))
 
 let resolve_netlist circuit =
   match circuit with
@@ -290,7 +327,7 @@ let stats_payload t =
        ("queue_length", Jsonx.Num (float_of_int queue_len));
        ("queue_capacity", Jsonx.Num (float_of_int t.config.queue_capacity));
        ("workers", Jsonx.Num (float_of_int t.config.workers));
-       ("draining", Jsonx.Bool t.draining);
+       ("draining", Jsonx.Bool (Atomic.get t.draining));
        ("lru", lru_stats_payload (Lru.stats t.cache));
      ]
     @ match t.store with None -> [] | Some store -> [ ("store", store_stats_payload store) ])
@@ -382,6 +419,17 @@ let method_name (request : Protocol.request) =
   | Protocol.Stats -> "stats"
   | Protocol.Shutdown -> "shutdown"
 
+(* a reply can fail mid-write when the client has disconnected (broken
+   pipe / closed fd); that must never take down the worker domain *)
+let safe_reply t job response =
+  try job.reply response
+  with e ->
+    Util.Diag.record ~sink:t.diag Util.Diag.Warning `Degraded_fallback
+      ~stage:"serve.reply"
+      (Printf.sprintf "reply for request id=%s dropped: %s"
+         (Jsonx.to_string job.request.Protocol.id)
+         (Printexc.to_string e))
+
 let run_job t job =
   let request = job.request in
   let id = request.Protocol.id in
@@ -393,7 +441,7 @@ let run_job t job =
   if expired then begin
     Atomic.incr t.n_deadline;
     Util.Trace.incr c_deadline;
-    job.reply
+    safe_reply t job
       (Protocol.error_response ~id Protocol.Deadline_exceeded
          "deadline elapsed before the request was executed")
   end
@@ -424,11 +472,11 @@ let run_job t job =
           Util.Trace.incr c_errors;
           Protocol.error_response ~id Protocol.Internal_error (Printexc.to_string e)
     in
-    job.reply response;
+    safe_reply t job response;
     (* shutdown begins its drain only after the ok reply is on the wire *)
-    if Atomic.get t.shutdown_flag && not t.draining then begin
+    if Atomic.get t.shutdown_flag && not (Atomic.get t.draining) then begin
       Mutex.lock t.lock;
-      t.draining <- true;
+      Atomic.set t.draining true;
       Condition.broadcast t.not_empty;
       Mutex.unlock t.lock
     end
@@ -439,7 +487,7 @@ let worker_loop t () =
     Mutex.lock t.lock;
     let rec wait () =
       if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
-      else if t.draining then None
+      else if Atomic.get t.draining then None
       else begin
         Condition.wait t.not_empty t.lock;
         wait ()
@@ -474,7 +522,10 @@ let create ?diag config =
       queue = Queue.create ();
       lock = Mutex.create ();
       not_empty = Condition.create ();
-      draining = false;
+      inflight = Hashtbl.create 8;
+      inflight_lock = Mutex.create ();
+      inflight_done = Condition.create ();
+      draining = Atomic.make false;
       joined = false;
       domains = [];
       shutdown_flag = Atomic.make false;
@@ -508,7 +559,7 @@ let submit t line ~reply =
       let job = { request; reply; deadline_ns } in
       let verdict =
         Mutex.protect t.lock (fun () ->
-            if t.draining then `Draining
+            if Atomic.get t.draining then `Draining
             else if Queue.length t.queue >= t.config.queue_capacity then `Full
             else begin
               Queue.push job t.queue;
@@ -533,7 +584,7 @@ let submit t line ~reply =
 
 let begin_drain t =
   Mutex.lock t.lock;
-  t.draining <- true;
+  Atomic.set t.draining true;
   Condition.broadcast t.not_empty;
   Mutex.unlock t.lock
 

@@ -150,6 +150,28 @@ let test_entity_solution_and_model () =
   let model' = roundtrip Entity.model model in
   Alcotest.(check int) "r" model.Kle.Model.r model'.Kle.Model.r
 
+(* adversarial matrix header: dims whose byte count rows*cols*8 overflows
+   int (2^31 * 2^31 * 8 ≡ 0 mod 2^63) must be rejected as corrupt before
+   any allocation is attempted, not slip past a wrapped size check *)
+let test_entity_mat_dims_overflow () =
+  let solution = small_solution () in
+  let full = Entity.to_string Entity.solution solution in
+  (* the coefficient matrix is the encoding's final field: replace it with
+     a crafted [rows; cols] header and no payload *)
+  let coeff = solution.Kle.Galerkin.coefficients in
+  let varint_len v =
+    let rec go v n = if v < 0x80 then n else go (v lsr 7) (n + 1) in
+    go v 1
+  in
+  let rows = Linalg.Mat.rows coeff and cols = Linalg.Mat.cols coeff in
+  let mat_len = varint_len rows + varint_len cols + (8 * rows * cols) in
+  let prefix = String.sub full 0 (String.length full - mat_len) in
+  let b = Codec.writer () in
+  Codec.write_uint b (1 lsl 31);
+  Codec.write_uint b (1 lsl 31);
+  expect_codec_error (fun () ->
+      ignore (Entity.of_string Entity.solution (prefix ^ Codec.contents b)))
+
 let test_entity_netlist () =
   let nl = small_netlist () in
   let nl' = roundtrip Entity.netlist nl in
@@ -372,6 +394,7 @@ let () =
           Alcotest.test_case "kernel" `Quick test_entity_kernel;
           Alcotest.test_case "mesh" `Quick test_entity_mesh;
           Alcotest.test_case "solution + model" `Quick test_entity_solution_and_model;
+          Alcotest.test_case "matrix dims overflow" `Quick test_entity_mat_dims_overflow;
           Alcotest.test_case "netlist" `Quick test_entity_netlist;
           Alcotest.test_case "circuit setup" `Quick test_entity_circuit_setup;
           Alcotest.test_case "sampler" `Quick test_entity_sampler;

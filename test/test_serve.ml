@@ -399,6 +399,57 @@ let test_server_stats_payload () =
   Alcotest.(check bool) "store absent without dir" true
     (match Jsonx.member "store" stats with Some Jsonx.Null | None -> true | _ -> false)
 
+(* single-flight: workers racing the same cold key must compute it once.
+   Four concurrent prepares of one circuit leave exactly two misses in the
+   stats (circuit setup + KLE model) — without deduplication each racer
+   would pay its own eigensolve and the miss counter would exceed that. *)
+let test_server_single_flight () =
+  let config = { test_config with Server.workers = 4 } in
+  with_server ~config @@ fun server ->
+  let m = Mutex.create () and c = Condition.create () in
+  let replies = ref [] and expected = 4 in
+  let reply r =
+    Mutex.protect m (fun () ->
+        replies := r :: !replies;
+        Condition.signal c)
+  in
+  let line =
+    Printf.sprintf {|{"id":1,"method":"prepare","params":{"circuit":{"bench":"%s"}}}|}
+      (escape_bench tiny_bench)
+  in
+  for _ = 1 to expected do
+    Server.submit server line ~reply
+  done;
+  Mutex.protect m (fun () ->
+      while List.length !replies < expected do
+        Condition.wait c m
+      done);
+  List.iter (fun r -> ignore (expect_ok r)) !replies;
+  let stats = expect_ok (sync_call server {|{"id":2,"method":"stats"}|}) in
+  Alcotest.(check (option int)) "one compute per key" (Some 2)
+    (Option.bind (Jsonx.member "cache_misses" stats) Jsonx.as_int)
+
+(* a reply that raises (client disconnected mid-write) must not take down
+   the worker domain: with a single worker, the next request only gets an
+   answer if that worker survived the failed write *)
+let test_server_reply_failure_survives () =
+  let config = { test_config with Server.workers = 1 } in
+  with_server ~config @@ fun server ->
+  let m = Mutex.create () and c = Condition.create () in
+  let fired = ref false in
+  Server.submit server {|{"id":1,"method":"stats"}|} ~reply:(fun _ ->
+      Mutex.protect m (fun () ->
+          fired := true;
+          Condition.signal c);
+      raise (Sys_error "Broken pipe"));
+  Mutex.protect m (fun () ->
+      while not !fired do
+        Condition.wait c m
+      done);
+  ignore (expect_ok (sync_call server {|{"id":2,"method":"stats"}|}));
+  Alcotest.(check bool) "dropped reply recorded" true
+    (Util.Diag.count ~code:`Degraded_fallback (Server.diagnostics server) >= 1)
+
 let () =
   Alcotest.run "serve"
     [
@@ -432,5 +483,8 @@ let () =
           Alcotest.test_case "deadline exceeded" `Quick test_server_deadline_exceeded;
           Alcotest.test_case "shutdown drains" `Quick test_server_shutdown_drains;
           Alcotest.test_case "stats payload" `Quick test_server_stats_payload;
+          Alcotest.test_case "single-flight dedup" `Quick test_server_single_flight;
+          Alcotest.test_case "reply failure survives" `Quick
+            test_server_reply_failure_survives;
         ] );
     ]
