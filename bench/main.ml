@@ -478,27 +478,42 @@ let eigtime () =
     ~wall_s:(dt_assemble +. !paper_solution_time)
 
 (* ---------------------------------------------------------------- *)
-(* scale: sweep the mesh size until the matrix-free Krylov path beats
-   assembling the n x n Galerkin matrix first.  Uses a Matern kernel with
-   non-half-integer smoothness, whose exact evaluation goes through Bessel-K
-   quadrature — the expensive-kernel regime the radial profile table targets.
-   The assembled path pays ~n^2/2 exact evaluations; the matrix-free path pays
-   a fixed table build plus cheap table lookups per matvec, so it wins once n
-   grows past the table's fixed cost. *)
+(* scale: sweep the mesh size across all three apply strategies.  Uses a
+   Matern kernel with non-half-integer smoothness, whose exact evaluation
+   goes through Bessel-K quadrature — the expensive-kernel regime the
+   radial profile table targets.  The assembled path pays ~n^2/2 exact
+   evaluations; the table (matrix-free) path pays a fixed table build plus
+   O(n^2) cheap lookups per matvec; the hierarchical path pays an
+   O(n log n) ACA build once and O(n log n) per matvec after, so it is the
+   only strategy that survives past n ~ 10^4.  Expensive references are
+   dropped as n grows (assembled above [asm_cap], table above [table_cap]);
+   accuracy is checked against the best reference still standing. *)
 
 let scale () =
-  header "Scale: assembled vs matrix-free eigensolve (crossover sweep)";
+  header "Scale: assembled vs table vs hierarchical eigensolve";
   let kernel = K.Matern { b = 2.0; s = 2.3 } in
   let count_cap = 25 in
+  (* ACA block tolerance 1e-8; the eigenvalue gate is 1e-6 — two orders of
+     margin absorb the Frobenius-to-spectral slack of the block bound *)
+  let hier = { Kle.Hmatrix.default_params with Kle.Hmatrix.tol = 1e-8 } in
+  let gate = 1e-6 in
+  let asm_cap = 3500 and table_cap = 7000 in
   pf "kernel: %s (exact evaluation via Bessel-K quadrature)\n" (K.name kernel);
+  pf "ACA tol %.0e, eta %g, leaf %d; gate %.0e on the leading k-2 eigenvalues\n"
+    hier.Kle.Hmatrix.tol hier.Kle.Hmatrix.eta hier.Kle.Hmatrix.leaf_size gate;
   let t =
     Util.Table.create
       ~columns:
         [ ("n (triangles)", Util.Table.Right); ("k", Util.Table.Right);
-          ("assembled (s)", Util.Table.Right); ("matrix-free (s)", Util.Table.Right);
-          ("speedup", Util.Table.Right); ("max rel dlambda", Util.Table.Right) ]
+          ("assembled (s)", Util.Table.Right); ("table (s)", Util.Table.Right);
+          ("hier build (s)", Util.Table.Right); ("hier solve (s)", Util.Table.Right);
+          ("entry evals", Util.Table.Right); ("mem vs dense", Util.Table.Right);
+          ("max rel dlambda", Util.Table.Right) ]
   in
   let crossover = ref None in
+  (* (n, entry_evals, words) of the hierarchical builds, for the
+     growth-exponent fit and the large-n extrapolation *)
+  let hpoints = ref [] in
   List.iter
     (fun frac ->
       let mesh =
@@ -509,55 +524,143 @@ let scale () =
       let n = Geometry.Mesh.size mesh in
       let count = min count_cap n in
       let solver = Kle.Galerkin.Lanczos { count } in
+      let asm =
+        if n > asm_cap then None
+        else
+          Some
+            (Util.Timer.time (fun () ->
+                 Kle.Galerkin.solve ~mode:Kle.Galerkin.Assembled ~solver
+                   ?jobs:opts.jobs mesh kernel))
+      in
+      let tab =
+        if n > table_cap then None
+        else
+          Some
+            (Util.Timer.time (fun () ->
+                 Kle.Galerkin.solve ~mode:Kle.Galerkin.Matrix_free ~solver
+                   ?jobs:opts.jobs mesh kernel))
+      in
+      (* hierarchical: build and solve timed apart, so the one-off
+         compression cost is visible next to the per-solve payoff *)
       let c0 = Util.Trace.counters () in
-      let asm, t_asm =
+      let hm, t_build =
         Util.Timer.time (fun () ->
-            Kle.Galerkin.solve ~mode:Kle.Galerkin.Assembled ~solver ?jobs:opts.jobs
-              mesh kernel)
+            Kle.Operator.hmatrix_galerkin ~hier ?jobs:opts.jobs mesh kernel)
       in
-      let mf, t_mf =
+      let hm =
+        match hm with
+        | Ok h -> h
+        | Error msg ->
+            pf "FAIL: hierarchical build stalled at n=%d: %s\n" n msg;
+            exit 1
+      in
+      let hsol, t_hsolve =
         Util.Timer.time (fun () ->
-            Kle.Galerkin.solve ~mode:Kle.Galerkin.Matrix_free ~solver ?jobs:opts.jobs
-              mesh kernel)
+            Kle.Galerkin.solve_with_operator ~solver ?jobs:opts.jobs
+              ~op:(Kle.Operator.of_hmatrix hm) mesh kernel)
       in
-      let rel = ref 0.0 in
-      for j = 0 to count - 1 do
-        let a = asm.Kle.Galerkin.eigenvalues.(j)
-        and m = mf.Kle.Galerkin.eigenvalues.(j) in
-        rel := Float.max !rel (Float.abs (a -. m) /. Float.max (Float.abs a) 1e-300)
-      done;
-      if !rel > 1e-8 then begin
-        pf "FAIL: assembled and matrix-free eigenvalues disagree (%.2e > 1e-8) at n=%d\n"
-          !rel n;
-        exit 1
-      end;
-      if t_mf < t_asm && !crossover = None then crossover := Some n;
+      let stats = hm.Kle.Hmatrix.stats in
+      let words = Kle.Hmatrix.words hm in
+      let dense_words = n * n in
+      hpoints := (n, stats.Kle.Hmatrix.entry_evals, words) :: !hpoints;
+      (* accuracy vs the best exact-apply reference still standing; the
+         leading k-2 values only — at the Krylov-budget edge the last pair
+         is loose_ok territory, where near-degenerate tail eigenvalues may
+         index-shift between operators differing by the ACA tolerance *)
+      let reference = match asm with Some (s, _) -> Some s | None -> Option.map fst tab in
+      let rel =
+        Option.map
+          (fun (rsol : Kle.Galerkin.solution) ->
+            let acc = ref 0.0 in
+            for j = 0 to count - 3 do
+              let a = rsol.Kle.Galerkin.eigenvalues.(j)
+              and h = hsol.Kle.Galerkin.eigenvalues.(j) in
+              acc :=
+                Float.max !acc
+                  (Float.abs (a -. h) /. Float.max (Float.abs a) 1e-300)
+            done;
+            !acc)
+          reference
+      in
+      (match rel with
+      | Some r when r > gate ->
+          pf "FAIL: hierarchical eigenvalues off by %.2e (> %.0e) at n=%d\n" r gate n;
+          exit 1
+      | _ -> ());
+      let t_hier = t_build +. t_hsolve in
+      (match tab with
+      | Some (_, t_tab) when t_hier < t_tab && Option.is_none !crossover ->
+          crossover := Some n
+      | _ -> ());
+      let opt_time = function Some (_, dt) -> fmt_f ~digits:3 dt | None -> "—" in
       Util.Table.add_row t
-        [ string_of_int n; string_of_int count; fmt_f ~digits:3 t_asm;
-          fmt_f ~digits:3 t_mf; fmt_f ~digits:2 (t_asm /. t_mf);
-          Printf.sprintf "%.2e" !rel ];
+        [ string_of_int n; string_of_int count; opt_time asm; opt_time tab;
+          fmt_f ~digits:3 t_build; fmt_f ~digits:3 t_hsolve;
+          string_of_int stats.Kle.Hmatrix.entry_evals;
+          Printf.sprintf "%.1f%%" (100.0 *. float_of_int words /. float_of_int dense_words);
+          (match rel with Some r -> Printf.sprintf "%.2e" r | None -> "—") ];
+      let stages =
+        List.concat
+          [ (match asm with Some (_, dt) -> [ ("assembled", dt) ] | None -> []);
+            (match tab with Some (_, dt) -> [ ("table", dt) ] | None -> []);
+            [ ("hier_build", t_build); ("hier_solve", t_hsolve) ] ]
+      in
       emit "scale"
         ~params:
           [ ("kernel", Bench_json.String (K.name kernel));
             ("mesh_frac", Bench_json.Float frac);
-            ("max_rel_dlambda", Bench_json.Float !rel) ]
-        ~stages:[ ("assembled", t_asm); ("matrix_free", t_mf) ]
+            ("aca_tol", Bench_json.Float hier.Kle.Hmatrix.tol);
+            ( "max_rel_dlambda",
+              match rel with Some r -> Bench_json.Float r | None -> Bench_json.Null );
+            ("hier_words", Bench_json.Int words);
+            ("dense_words", Bench_json.Int dense_words);
+            ("near_blocks", Bench_json.Int stats.Kle.Hmatrix.near_blocks);
+            ("far_blocks", Bench_json.Int stats.Kle.Hmatrix.far_blocks);
+            ("aca_rank_sum", Bench_json.Int stats.Kle.Hmatrix.rank_sum) ]
+        ~stages
         ~counters:(counters_since c0)
-        ~mesh_n:n ~r:count ~wall_s:(t_asm +. t_mf))
+        ~mesh_n:n ~r:count
+        ~wall_s:
+          (List.fold_left (fun a (_, dt) -> a +. dt) 0.0 stages))
     (* sweep starts above n = 4k+80, where the Lanczos Krylov budget stops
        covering the whole space: at full dimension the recurrence breaks down
        and can emit ghost duplicate eigenvalues, which would fail the
-       agreement gate for reasons unrelated to the matrix-free operator *)
-    [ 0.005; 0.0025; 0.00125; 0.001 ];
+       agreement gate for reasons unrelated to the apply strategy *)
+    [ 0.005; 0.0025; 0.00125; 0.001; 0.0005; 0.00025; 0.0001 ];
   Util.Table.print t;
   (match !crossover with
   | Some n ->
-      pf "crossover: matrix-free beats the assembled path from n = %d onwards\n" n;
+      pf "crossover: hierarchical (build + solve) beats the table apply from n = %d onwards\n" n;
       emit_meta "scale-crossover" ~params:[ ("crossover_n", Bench_json.Int n) ]
   | None ->
-      pf "no crossover in this sweep: the assembled path won at every n\n";
+      pf "no crossover in this sweep: the table apply won at every measured n\n";
       emit_meta "scale-crossover" ~params:[ ("crossover_n", Bench_json.Null) ]);
-  pf "eigenvalue agreement <= 1e-8 checked at every sweep point\n"
+  (* growth exponent from the last two hierarchical points, and the n = 10^5
+     extrapolation the quadratic strategies cannot reach *)
+  (match !hpoints with
+  | (n2, e2, w2) :: (n1, e1, _) :: _ when n2 > n1 ->
+      let exponent =
+        log (float_of_int e2 /. float_of_int e1)
+        /. log (float_of_int n2 /. float_of_int n1)
+      in
+      let nx = 100_000 in
+      let scale_to v =
+        float_of_int v *. ((float_of_int nx /. float_of_int n2) ** exponent)
+      in
+      pf "entry-eval growth exponent over the last doubling: n^%.2f (dense: n^2)\n"
+        exponent;
+      pf "extrapolated to n = %d: %.2e entry evals / %.2e words (dense: %.2e / %.2e)\n"
+        nx (scale_to e2) (scale_to w2)
+        (0.5 *. float_of_int nx *. float_of_int nx)
+        (float_of_int nx *. float_of_int nx);
+      emit_meta "scale-extrapolation"
+        ~params:
+          [ ("exponent", Bench_json.Float exponent);
+            ("n", Bench_json.Int nx);
+            ("entry_evals", Bench_json.Float (scale_to e2));
+            ("words", Bench_json.Float (scale_to w2)) ]
+  | _ -> ());
+  pf "eigenvalue agreement <= %.0e checked wherever an exact reference ran\n" gate
 
 (* ---------------------------------------------------------------- *)
 (* Ablations *)

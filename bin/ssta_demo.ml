@@ -309,13 +309,15 @@ let kle_mode_arg =
              ("auto", Kle.Galerkin.Auto);
              ("assembled", Kle.Galerkin.Assembled);
              ("matrix-free", Kle.Galerkin.Matrix_free);
+             ("hierarchical", Kle.Galerkin.Hierarchical);
            ])
         Kle.Galerkin.Auto
     & info [ "kle-mode" ]
         ~doc:
           "Galerkin eigensolve path for the KLE sampler: auto (matrix-free \
            above the size threshold), assembled (materialize the n x n \
-           matrix), or matrix-free (never materialize it).")
+           matrix), matrix-free (never materialize it), or hierarchical \
+           (ACA-compressed H-matrix apply, O(n log n) per matvec).")
 
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
 

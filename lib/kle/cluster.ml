@@ -1,0 +1,116 @@
+module Point = Geometry.Point
+
+(* Binary cluster tree over a point set (triangle centroids), built by
+   median-split bisection along the longer bounding-box axis. Nodes own
+   contiguous ranges [lo, hi) of [perm]; [perm.(p)] is the original point
+   index stored at permuted position [p]. The split sorts each subrange by
+   the chosen coordinate with the point index as tie-break, so the tree —
+   and everything derived from it — is fully deterministic. *)
+
+type node = {
+  lo : int;
+  hi : int;
+  xmin : float;
+  xmax : float;
+  ymin : float;
+  ymax : float;
+  left : int;  (* node index, -1 for a leaf *)
+  right : int;
+}
+
+type t = {
+  perm : int array;
+  nodes : node array;
+  root : int;
+  leaf_size : int;
+  depth : int;
+}
+
+let default_leaf_size = 48
+
+let is_leaf node = node.left < 0
+
+let size node = node.hi - node.lo
+
+let diameter node =
+  Float.hypot (node.xmax -. node.xmin) (node.ymax -. node.ymin)
+
+(* Euclidean distance between the two bounding boxes (0 when they touch
+   or overlap) *)
+let distance a b =
+  let gap lo1 hi1 lo2 hi2 = Float.max 0.0 (Float.max (lo2 -. hi1) (lo1 -. hi2)) in
+  let dx = gap a.xmin a.xmax b.xmin b.xmax in
+  let dy = gap a.ymin a.ymax b.ymin b.ymax in
+  Float.hypot dx dy
+
+(* Standard η-admissibility: the smaller cluster is far enough away that
+   the kernel restricted to the block a×b is numerically smooth, hence
+   low-rank. Boxes at distance 0 (touching or overlapping) never pass. *)
+let admissible ~eta a b =
+  let d = distance a b in
+  d > 0.0 && Float.min (diameter a) (diameter b) <= eta *. d
+
+let build ?(leaf_size = default_leaf_size) (points : Point.t array) =
+  if leaf_size < 1 then invalid_arg "Cluster.build: leaf_size < 1";
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Cluster.build: empty point set";
+  let perm = Array.init n Fun.id in
+  let nodes = ref [] in
+  let n_nodes = ref 0 in
+  let depth = ref 0 in
+  let push node =
+    nodes := node :: !nodes;
+    incr n_nodes;
+    !n_nodes - 1
+  in
+  let bbox lo hi =
+    let p0 = points.(perm.(lo)) in
+    let xmin = ref p0.Point.x and xmax = ref p0.Point.x in
+    let ymin = ref p0.Point.y and ymax = ref p0.Point.y in
+    for p = lo + 1 to hi - 1 do
+      let pt = points.(perm.(p)) in
+      if pt.Point.x < !xmin then xmin := pt.Point.x;
+      if pt.Point.x > !xmax then xmax := pt.Point.x;
+      if pt.Point.y < !ymin then ymin := pt.Point.y;
+      if pt.Point.y > !ymax then ymax := pt.Point.y
+    done;
+    (!xmin, !xmax, !ymin, !ymax)
+  in
+  let rec split lo hi level =
+    if level > !depth then depth := level;
+    let xmin, xmax, ymin, ymax = bbox lo hi in
+    if hi - lo <= leaf_size then
+      push { lo; hi; xmin; xmax; ymin; ymax; left = -1; right = -1 }
+    else begin
+      let coord =
+        if xmax -. xmin >= ymax -. ymin then fun (p : Point.t) -> p.Point.x
+        else fun p -> p.Point.y
+      in
+      let sub = Array.sub perm lo (hi - lo) in
+      Array.sort
+        (fun i k ->
+          let c = Float.compare (coord points.(i)) (coord points.(k)) in
+          if c <> 0 then c else Int.compare i k)
+        sub;
+      Array.blit sub 0 perm lo (hi - lo);
+      let mid = lo + ((hi - lo) / 2) in
+      let left = split lo mid (level + 1) in
+      let right = split mid hi (level + 1) in
+      push { lo; hi; xmin; xmax; ymin; ymax; left; right }
+    end
+  in
+  let root = split 0 n 0 in
+  {
+    perm;
+    nodes = Array.of_list (List.rev !nodes);
+    root;
+    leaf_size;
+    depth = !depth;
+  }
+
+let node t i = t.nodes.(i)
+let root t = t.nodes.(t.root)
+let root_index t = t.root
+let n_nodes t = Array.length t.nodes
+let depth t = t.depth
+let perm t = t.perm

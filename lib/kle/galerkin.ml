@@ -5,7 +5,7 @@ type quadrature = Operator.quadrature = Centroid | Midedge
 
 type solver = Dense | Lanczos of { count : int }
 
-type mode = Auto | Assembled | Matrix_free
+type mode = Auto | Assembled | Matrix_free | Hierarchical
 
 type solution = {
   mesh : Mesh.t;
@@ -150,8 +150,43 @@ let solve_assembled ~quadrature ~solver ?keep ?lanczos_max_dim ?diag ?jobs mesh
   in
   finalize ?diag mesh kernel quadrature raw_values raw_vectors_cols
 
-let solve ?(quadrature = Centroid) ?(mode = Auto) ?solver ?lanczos_max_dim
-    ?diag ?jobs mesh kernel =
+(* Lanczos over an already-built matrix-free operator, with the standard
+   No_convergence fallback to assembly + dense QL. Public so callers that
+   build (or load from a {!Persist.Store}) the operator themselves — the
+   analysis server caching hierarchical factors — reuse the exact solve
+   path of {!solve}. *)
+let solve_with_operator ?(quadrature = Centroid) ~solver ?lanczos_max_dim ?diag
+    ?jobs ~op mesh kernel =
+  let n = Mesh.size mesh in
+  let count =
+    match solver with
+    | Lanczos { count } -> count
+    | Dense ->
+        invalid_arg
+          "Galerkin.solve_with_operator: requires the Lanczos solver (the \
+           dense QL solver factorizes the assembled matrix)"
+  in
+  match Linalg.Lanczos.top_k_op ~op ~k:count ?max_dim:lanczos_max_dim () with
+  | r ->
+      finalize ?diag mesh kernel quadrature r.eigenvalues (fun j ->
+          r.eigenvectors.(j))
+  | exception Linalg.Lanczos.No_convergence { converged; wanted } ->
+      Util.Diag.record ?sink:diag Warning `No_convergence
+        ~stage:"galerkin.solve"
+        (Printf.sprintf
+           "matrix-free Lanczos converged %d of %d pairs for kernel %s"
+           converged wanted (Kernel.name kernel));
+      Util.Diag.record ?sink:diag Warning `Degraded_fallback
+        ~stage:"galerkin.solve"
+        (Printf.sprintf
+           "falling back to assembly and the dense QL eigensolver for the \
+            leading %d pairs (n = %d)"
+           count n);
+      solve_assembled ~quadrature ~solver:(Dense : solver) ~keep:count
+        ?lanczos_max_dim ?diag ?jobs mesh kernel
+
+let solve ?(quadrature = Centroid) ?(mode = Auto) ?solver ?hier
+    ?lanczos_max_dim ?diag ?jobs mesh kernel =
   let n = Mesh.size mesh in
   let solver = match solver with Some s -> s | None -> default_solver n in
   Util.Trace.with_span
@@ -170,40 +205,27 @@ let solve ?(quadrature = Centroid) ?(mode = Auto) ?solver ?lanczos_max_dim
     match (mode, solver) with
     | Auto, Lanczos _ when n > matrix_free_threshold -> Matrix_free
     | Auto, _ -> Assembled
-    | Matrix_free, Dense ->
+    | (Matrix_free | Hierarchical), Dense ->
         invalid_arg
-          "Galerkin.solve: Matrix_free mode requires the Lanczos solver \
+          "Galerkin.solve: matrix-free modes require the Lanczos solver \
            (the dense QL solver factorizes the assembled matrix)"
-    | (Assembled | Matrix_free), _ -> mode
+    | (Assembled | Matrix_free | Hierarchical), _ -> mode
   in
   match mode with
   | Auto | Assembled ->
       solve_assembled ~quadrature ~solver ?lanczos_max_dim ?diag ?jobs mesh
         kernel
-  | Matrix_free -> (
-      let count =
-        match solver with Lanczos { count } -> count | Dense -> assert false
+  | Matrix_free | Hierarchical ->
+      let op_mode =
+        match mode with
+        | Hierarchical -> Operator.Hierarchical
+        | _ -> Operator.Table
       in
-      let op = Operator.galerkin ~quadrature ?diag ?jobs mesh kernel in
-      match
-        Linalg.Lanczos.top_k_op ~op ~k:count ?max_dim:lanczos_max_dim ()
-      with
-      | r ->
-          finalize ?diag mesh kernel quadrature r.eigenvalues (fun j ->
-              r.eigenvectors.(j))
-      | exception Linalg.Lanczos.No_convergence { converged; wanted } ->
-          Util.Diag.record ?sink:diag Warning `No_convergence
-            ~stage:"galerkin.solve"
-            (Printf.sprintf
-               "matrix-free Lanczos converged %d of %d pairs for kernel %s"
-               converged wanted (Kernel.name kernel));
-          Util.Diag.record ?sink:diag Warning `Degraded_fallback
-            ~stage:"galerkin.solve"
-            (Printf.sprintf
-               "falling back to assembly and the dense QL eigensolver for the \
-                leading %d pairs (n = %d)"
-               count n);
-          solve_assembled ~quadrature ~solver:(Dense : solver) ~keep:count
-            ?lanczos_max_dim ?diag ?jobs mesh kernel)
+      let op =
+        Operator.galerkin ~quadrature ~mode:op_mode ?hier ?diag ?jobs mesh
+          kernel
+      in
+      solve_with_operator ~quadrature ~solver ?lanczos_max_dim ?diag ?jobs ~op
+        mesh kernel
 
 let eigenvalue_sum_bound solution = Util.Arrayx.sum solution.eigenvalues

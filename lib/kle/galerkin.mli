@@ -32,6 +32,12 @@ type mode =
   | Matrix_free
       (** never materialize the matrix: Lanczos over {!Operator.galerkin}
           (requires a Lanczos solver) *)
+  | Hierarchical
+      (** Lanczos over the O(n log n) H-matrix apply
+          ({!Operator.galerkin} with [mode = Hierarchical]: cluster tree +
+          ACA far field, {!Hmatrix}); requires a Lanczos solver.
+          Eigenvalues carry a controlled relative error of order
+          [hier.tol] *)
 
 type solution = {
   mesh : Geometry.Mesh.t;
@@ -62,6 +68,7 @@ val solve :
   ?quadrature:quadrature ->
   ?mode:mode ->
   ?solver:solver ->
+  ?hier:Hmatrix.params ->
   ?lanczos_max_dim:int ->
   ?diag:Util.Diag.sink ->
   ?jobs:int ->
@@ -71,8 +78,11 @@ val solve :
 (** Solve the Galerkin eigenproblem. Default solver is [Dense] below 600
     triangles and [Lanczos {count = min n 200}] above; default [mode] is
     [Auto]. Eigenvalues are clamped at 0 (tiny negative rounding values
-    only). [Matrix_free] with an explicit [Dense] solver raises
-    [Invalid_argument].
+    only). [Matrix_free] or [Hierarchical] with an explicit [Dense] solver
+    raises [Invalid_argument]. [hier] tunes the [Hierarchical] operator
+    build ({!Hmatrix.default_params} otherwise); a hierarchical build
+    whose ACA stalls degrades to the [Table] flat apply with a
+    [`Degraded_fallback] warning (see {!Operator.galerkin}).
 
     Robustness behaviour (all events recorded into [diag] when given):
     - on the assembled path the matrix is scanned for NaN/inf before the
@@ -91,6 +101,24 @@ val solve :
       by {!Kernels.Kernel.radial_profile});
     - a genuinely indefinite kernel raises [Util.Diag.Failure] with
       [`Not_psd]. *)
+
+val solve_with_operator :
+  ?quadrature:quadrature ->
+  solver:solver ->
+  ?lanczos_max_dim:int ->
+  ?diag:Util.Diag.sink ->
+  ?jobs:int ->
+  op:Linalg.Operator.t ->
+  Geometry.Mesh.t ->
+  Kernels.Kernel.t ->
+  solution
+(** Lanczos over a caller-supplied operator, with {!solve}'s
+    No_convergence fallback (assembly + dense QL) and finalization. For
+    callers that build — or load from a {!Persist.Store} — the operator
+    themselves, e.g. the analysis server reusing cached hierarchical
+    factors. Requires a [Lanczos] solver ([Invalid_argument] otherwise);
+    [op] must be the Galerkin operator of [mesh]/[kernel]/[quadrature]
+    or the returned solution is meaningless. *)
 
 val eigenvalue_sum_bound : solution -> float
 (** [Σ_j λ_j] over the computed pairs — for a normalized kernel the full sum

@@ -7,6 +7,8 @@ type t = Linalg.Operator.t =
 
 type quadrature = Centroid | Midedge
 
+type mode = Exact | Table | Hierarchical
+
 let dim = Linalg.Operator.dim
 let apply = Linalg.Operator.apply
 
@@ -38,14 +40,22 @@ let domain_diameter mesh =
   let d = mesh.Mesh.domain in
   Float.hypot (Geometry.Rect.width d) (Geometry.Rect.height d)
 
+let check_finite ?diag ~stage n out =
+  let rec check i =
+    if i < n then
+      if Float.is_finite (Array.unsafe_get out i) then check (i + 1)
+      else
+        Util.Diag.fail ?sink:diag `Non_finite ~stage
+          (Printf.sprintf "apply produced a non-finite entry at row %d" i)
+  in
+  check 0
+
 (* The apply is tiled over a FIXED number of row panels — fixed so the work
    decomposition (and hence the floating-point result) depends only on [n],
    never on how many domains serve the panels. Each panel owns the pairs
    (i, k >= i) for its rows and accumulates both sides of the symmetric
    contribution into a private length-n vector; the panel vectors are then
-   combined in panel order. Scratch is O(panels * n) words, allocated once
-   per operator and reused across matvecs (Lanczos calls apply hundreds of
-   times). *)
+   combined in panel order. *)
 let panel_target = 128
 
 (* column-block width of the pair loops: keeps the active slices of x, y and
@@ -55,13 +65,37 @@ let col_block = 256
 let make_apply ~n ?jobs ?diag ?(evals_per_apply = 0) ~process_row () =
   let panels = max 1 (min panel_target n) in
   let psize = (n + panels - 1) / panels in
-  let scratch = Array.init panels (fun _ -> Array.make n 0.0) in
+  (* re-entrancy: scratch panel sets are pooled and checked out per call,
+     never shared between in-flight matvecs — concurrent applies of one
+     operator (ssta_serve worker domains hitting a cached model) each get
+     private panels and produce the same bits as sequential applies. The
+     free list caps steady-state allocation at one O(panels·n) set per
+     concurrently running matvec instead of one per matvec (Lanczos calls
+     apply hundreds of times). *)
+  let free : float array array list ref = ref [] in
+  let free_lock = Mutex.create () in
+  let acquire () =
+    let pooled =
+      Mutex.protect free_lock (fun () ->
+          match !free with
+          | s :: tl ->
+              free := tl;
+              Some s
+          | [] -> None)
+    in
+    match pooled with
+    | Some s -> s
+    | None -> Array.init panels (fun _ -> Array.make n 0.0)
+  in
+  let release s = Mutex.protect free_lock (fun () -> free := s :: !free) in
   fun x ->
     if Array.length x <> n then
       invalid_arg "Kle.Operator.apply: vector length mismatch";
     (* exact-evaluation applies do the full pair sweep every matvec; table
        applies only interpolate (0) — bulk add keeps totals jobs-independent *)
     Util.Trace.add Util.Trace.kernel_evals evals_per_apply;
+    let scratch = acquire () in
+    Fun.protect ~finally:(fun () -> release scratch) @@ fun () ->
     Util.Pool.with_jobs ?jobs (fun pool ->
         Util.Pool.parallel_for pool ~chunk:1 ~n:panels (fun plo phi ->
             for p = plo to phi - 1 do
@@ -79,15 +113,7 @@ let make_apply ~n ?jobs ?diag ?(evals_per_apply = 0) ~process_row () =
         Array.unsafe_set out i (Array.unsafe_get out i +. Array.unsafe_get yp i)
       done
     done;
-    let rec check i =
-      if i < n then
-        if Float.is_finite (Array.unsafe_get out i) then check (i + 1)
-        else
-          Util.Diag.fail ?sink:diag `Non_finite ~stage:"kle.operator.apply"
-            (Printf.sprintf "matrix-free apply produced a non-finite entry at \
-                             row %d" i)
-    in
-    check 0;
+    check_finite ?diag ~stage:"kle.operator.apply" n out;
     out
 
 (* row processor over an arbitrary pair-value closure (exact evaluation,
@@ -136,8 +162,36 @@ let table_row ~n ~s ~cx ~cy ~tbl y x i =
     k0 := k1
   done
 
-let galerkin ?(quadrature = Centroid) ?(exact = false) ?table_points ?table_tol
-    ?diag ?jobs mesh kernel =
+(* the mid-edge K̃_ik through a radial table: 9 midpoint distances per pair *)
+let midedge_table_pair ~n mesh tbl =
+  let midpoints =
+    Array.init n (fun i ->
+        Geometry.Triangle.edge_midpoints (Mesh.triangle mesh i))
+  in
+  let mx =
+    Array.init (3 * n) (fun q -> midpoints.(q / 3).(q mod 3).Geometry.Point.x)
+  in
+  let my =
+    Array.init (3 * n) (fun q -> midpoints.(q / 3).(q mod 3).Geometry.Point.y)
+  in
+  fun i k ->
+    let acc = ref 0.0 in
+    for p = 0 to 2 do
+      let xp = Array.unsafe_get mx ((3 * i) + p) in
+      let yp = Array.unsafe_get my ((3 * i) + p) in
+      for q = 0 to 2 do
+        let dx = xp -. Array.unsafe_get mx ((3 * k) + q) in
+        let dy = yp -. Array.unsafe_get my ((3 * k) + q) in
+        acc := !acc +. Kernel.profile_eval tbl (sqrt ((dx *. dx) +. (dy *. dy)))
+      done
+    done;
+    !acc /. 9.0
+
+(* flat O(n²)-per-matvec apply: the Table path when a radial table
+   qualifies, exact evaluation otherwise — also the fallback when a
+   hierarchical build fails *)
+let flat_galerkin ~quadrature ~exact ?table_points ?table_tol ?diag ?jobs mesh
+    kernel =
   let n = Mesh.size mesh in
   let s = Array.map sqrt mesh.Mesh.areas in
   let table =
@@ -153,28 +207,7 @@ let galerkin ?(quadrature = Centroid) ?(exact = false) ?table_points ?table_tol
         let cx = Array.map (fun p -> p.Geometry.Point.x) centroids in
         let cy = Array.map (fun p -> p.Geometry.Point.y) centroids in
         table_row ~n ~s ~cx ~cy ~tbl
-    | Midedge, Some tbl ->
-        let midpoints =
-          Array.init n (fun i ->
-              Geometry.Triangle.edge_midpoints (Mesh.triangle mesh i))
-        in
-        let mx = Array.init (3 * n) (fun q -> midpoints.(q / 3).(q mod 3).Geometry.Point.x) in
-        let my = Array.init (3 * n) (fun q -> midpoints.(q / 3).(q mod 3).Geometry.Point.y) in
-        let pair i k =
-          let acc = ref 0.0 in
-          for p = 0 to 2 do
-            let xp = Array.unsafe_get mx ((3 * i) + p) in
-            let yp = Array.unsafe_get my ((3 * i) + p) in
-            for q = 0 to 2 do
-              let dx = xp -. Array.unsafe_get mx ((3 * k) + q) in
-              let dy = yp -. Array.unsafe_get my ((3 * k) + q) in
-              acc :=
-                !acc +. Kernel.profile_eval tbl (sqrt ((dx *. dx) +. (dy *. dy)))
-            done
-          done;
-          !acc /. 9.0
-        in
-        generic_row ~n ~s ~pair
+    | Midedge, Some tbl -> generic_row ~n ~s ~pair:(midedge_table_pair ~n mesh tbl)
     | (Centroid | Midedge), None ->
         generic_row ~n ~s ~pair:(mean_kernel_value quadrature mesh kernel)
   in
@@ -182,8 +215,66 @@ let galerkin ?(quadrature = Centroid) ?(exact = false) ?table_points ?table_tol
     match table with
     | Some _ -> 0
     | None ->
-        n * (n + 1) / 2
-        * (match quadrature with Centroid -> 1 | Midedge -> 9)
+        n * (n + 1) / 2 * (match quadrature with Centroid -> 1 | Midedge -> 9)
   in
   Matrix_free
     { apply = make_apply ~n ?jobs ?diag ~evals_per_apply ~process_row (); dim = n }
+
+let hmatrix_galerkin ?(quadrature = Centroid) ?hier ?table_points ?table_tol
+    ?diag ?jobs mesh kernel =
+  let n = Mesh.size mesh in
+  let s = Array.map sqrt mesh.Mesh.areas in
+  let table =
+    Kernel.radial_profile ?points:table_points ?tol:table_tol ?diag kernel
+      ~vmax:(domain_diameter mesh)
+  in
+  let pair =
+    match (quadrature, table) with
+    | Centroid, Some tbl ->
+        let centroids = mesh.Mesh.centroids in
+        let cx = Array.map (fun p -> p.Geometry.Point.x) centroids in
+        let cy = Array.map (fun p -> p.Geometry.Point.y) centroids in
+        fun i k ->
+          let dx = Array.unsafe_get cx i -. Array.unsafe_get cx k in
+          let dy = Array.unsafe_get cy i -. Array.unsafe_get cy k in
+          Kernel.profile_eval tbl (sqrt ((dx *. dx) +. (dy *. dy)))
+    | Midedge, Some tbl -> midedge_table_pair ~n mesh tbl
+    | (Centroid | Midedge), None -> mean_kernel_value quadrature mesh kernel
+  in
+  let entry i k = pair i k *. Array.unsafe_get s i *. Array.unsafe_get s k in
+  Hmatrix.build ?params:hier ?jobs ~entry mesh.Mesh.centroids
+
+let of_hmatrix ?diag h =
+  let n = Hmatrix.dim h in
+  Matrix_free
+    {
+      apply =
+        (fun x ->
+          let y = Hmatrix.apply h x in
+          check_finite ?diag ~stage:"kle.operator.apply" n y;
+          y);
+      dim = n;
+    }
+
+let galerkin ?(quadrature = Centroid) ?(mode = Table) ?hier ?table_points
+    ?table_tol ?diag ?jobs mesh kernel =
+  match mode with
+  | Exact | Table ->
+      flat_galerkin ~quadrature
+        ~exact:(match mode with Exact -> true | _ -> false)
+        ?table_points ?table_tol ?diag ?jobs mesh kernel
+  | Hierarchical -> (
+      match
+        hmatrix_galerkin ~quadrature ?hier ?table_points ?table_tol ?diag ?jobs
+          mesh kernel
+      with
+      | Ok h -> of_hmatrix ?diag h
+      | Error detail ->
+          Util.Diag.record ?sink:diag Warning `Degraded_fallback
+            ~stage:"kle.operator.galerkin"
+            (Printf.sprintf
+               "hierarchical build failed for kernel %s (n = %d): %s — falling \
+                back to the flat apply"
+               (Kernel.name kernel) (Mesh.size mesh) detail);
+          flat_galerkin ~quadrature ~exact:false ?table_points ?table_tol ?diag
+            ?jobs mesh kernel)

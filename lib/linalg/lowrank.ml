@@ -1,0 +1,70 @@
+(* Helpers for rank-revealing UVᵀ factorizations (ACA and friends).
+
+   A rank-k factor pair is stored as two tall matrices u (m×k) and
+   v (n×k), so the represented block is u·vᵀ. The helpers below are the
+   pieces a cross-approximation loop needs: applying the factored block
+   to (a slice of) a vector without materialising it, and tracking
+   ‖u·vᵀ‖_F incrementally as columns are appended. *)
+
+let apply_into ~u ~v ~x ~xoff ~y ~yoff =
+  let m = Mat.rows u and n = Mat.rows v in
+  let k = Mat.cols u in
+  if Mat.cols v <> k then invalid_arg "Lowrank.apply_into: rank mismatch";
+  if k > 0 then begin
+    (* t = vᵀ · x[xoff .. xoff+n) — k temporaries, then y += u·t *)
+    let t = Array.make k 0.0 in
+    for j = 0 to n - 1 do
+      let xj = Array.unsafe_get x (xoff + j) in
+      if xj <> 0.0 then
+        for c = 0 to k - 1 do
+          Array.unsafe_set t c
+            (Array.unsafe_get t c +. (Mat.unsafe_get v j c *. xj))
+        done
+    done;
+    for i = 0 to m - 1 do
+      let acc = ref 0.0 in
+      for c = 0 to k - 1 do
+        acc := !acc +. (Mat.unsafe_get u i c *. Array.unsafe_get t c)
+      done;
+      Array.unsafe_set y (yoff + i) (Array.unsafe_get y (yoff + i) +. !acc)
+    done
+  end
+
+let apply ~u ~v x =
+  let y = Array.make (Mat.rows u) 0.0 in
+  apply_into ~u ~v ~x ~xoff:0 ~y ~yoff:0;
+  y
+
+let dot a b =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (Array.unsafe_get a i *. Array.unsafe_get b i)
+  done;
+  !acc
+
+let norm2 a = dot a a
+
+(* ‖Σ u_c v_cᵀ + u·vᵀ‖² = ‖Σ u_c v_cᵀ‖² + ‖u‖²‖v‖² + 2 Σ_c (u·u_c)(v·v_c):
+   the incremental Frobenius update a cross-approximation stopping rule
+   needs, without touching the m×n block *)
+let cross_norm2_increment ~us ~vs ~u ~v =
+  let acc = ref (norm2 u *. norm2 v) in
+  List.iter2
+    (fun uc vc -> acc := !acc +. (2.0 *. dot u uc *. dot v vc))
+    us vs;
+  !acc
+
+let of_columns ~rows cols =
+  let k = List.length cols in
+  let m = Mat.create rows k in
+  List.iteri
+    (fun c col ->
+      if Array.length col <> rows then
+        invalid_arg "Lowrank.of_columns: column length mismatch";
+      for i = 0 to rows - 1 do
+        Mat.unsafe_set m i c (Array.unsafe_get col i)
+      done)
+    cols;
+  m
+
+let words ~u ~v = (Mat.rows u + Mat.rows v) * Mat.cols u

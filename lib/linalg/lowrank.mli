@@ -1,0 +1,37 @@
+(** Rank-revealing UVᵀ factor helpers.
+
+    A rank-k block factorization is a pair of tall matrices [u] (m×k) and
+    [v] (n×k) representing [u·vᵀ] without ever materialising the m×n
+    block — the storage and matvec shape produced by adaptive cross
+    approximation ({!Kle.Aca}) and consumed by the hierarchical operator
+    ({!Kle.Hmatrix}). *)
+
+val apply : u:Mat.t -> v:Mat.t -> float array -> float array
+(** [apply ~u ~v x] is [u·(vᵀ·x)]: length [rows v] input, length [rows u]
+    output, [2k(m+n)] flops for rank [k]. *)
+
+val apply_into :
+  u:Mat.t -> v:Mat.t -> x:float array -> xoff:int -> y:float array -> yoff:int -> unit
+(** [apply_into ~u ~v ~x ~xoff ~y ~yoff] accumulates
+    [y[yoff..yoff+m) += u·(vᵀ·x[xoff..xoff+n))] — the slice-to-slice form
+    used when the factored block sits inside a larger permuted vector.
+    Raises [Invalid_argument] when [u] and [v] disagree on rank. *)
+
+val dot : float array -> float array -> float
+val norm2 : float array -> float
+(** Squared Euclidean norm. *)
+
+val cross_norm2_increment :
+  us:float array list -> vs:float array list -> u:float array -> v:float array -> float
+(** The exact increase of [‖Σ_c u_c v_cᵀ‖²_F] when appending the rank-one
+    term [u·vᵀ] to the columns [us]/[vs]:
+    [‖u‖²‖v‖² + 2 Σ_c (u·u_c)(v·v_c)]. Lets an ACA loop maintain the
+    Frobenius norm of its running approximation in O(k(m+n)) per step. *)
+
+val of_columns : rows:int -> float array list -> Mat.t
+(** [of_columns ~rows cols] packs the column list (each of length [rows],
+    oldest first) into a [rows × length cols] matrix. Raises
+    [Invalid_argument] on a length mismatch. *)
+
+val words : u:Mat.t -> v:Mat.t -> int
+(** Stored floats of the factor pair: [(m + n)·k]. *)

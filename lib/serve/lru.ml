@@ -1,9 +1,22 @@
-type 'a entry = { value : 'a; mutable stamp : int }
+(* Intrusive doubly-linked recency list threaded through the hash table's
+   entries: the list head is the most recently used entry, the tail the
+   eviction victim. Every operation — find (refresh), add (insert or
+   overwrite), evict, remove — is O(1) under the lock; eviction no longer
+   scans the table, so a full cache stalls its users for a pointer splice
+   instead of O(entries) work per insert. *)
+
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;  (* towards the head (more recent) *)
+  mutable next : 'a node option;  (* towards the tail (older) *)
+}
 
 type 'a t = {
   capacity : int;
-  table : (string, 'a entry) Hashtbl.t;
-  mutable clock : int;  (* logical recency clock; monotone under the lock *)
+  table : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
@@ -15,7 +28,8 @@ let create ~capacity =
   {
     capacity;
     table = Hashtbl.create (2 * capacity);
-    clock = 0;
+    head = None;
+    tail = None;
     hits = 0;
     misses = 0;
     evictions = 0;
@@ -28,47 +42,80 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let tick t =
-  t.clock <- t.clock + 1;
-  t.clock
+(* list surgery — all under the lock *)
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some nx -> nx.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.prev <- None;
+  node.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let touch t node =
+  match t.head with
+  | Some h when h == node -> ()
+  | _ ->
+      unlink t node;
+      push_front t node
 
 let find t key =
   locked t @@ fun () ->
   match Hashtbl.find_opt t.table key with
-  | Some e ->
-      e.stamp <- tick t;
+  | Some node ->
+      touch t node;
       t.hits <- t.hits + 1;
-      Some e.value
+      Some node.value
   | None ->
       t.misses <- t.misses + 1;
       None
 
 let evict_oldest t =
-  let victim = ref None in
-  Hashtbl.iter
-    (fun key e ->
-      match !victim with
-      | Some (_, stamp) when stamp <= e.stamp -> ()
-      | _ -> victim := Some (key, e.stamp))
-    t.table;
-  match !victim with
-  | Some (key, _) ->
-      Hashtbl.remove t.table key;
+  match t.tail with
+  | Some victim ->
+      unlink t victim;
+      Hashtbl.remove t.table victim.key;
       t.evictions <- t.evictions + 1
   | None -> ()
 
 let add t key value =
   locked t @@ fun () ->
-  (match Hashtbl.find_opt t.table key with
-  | Some _ -> Hashtbl.remove t.table key
-  | None -> if Hashtbl.length t.table >= t.capacity then evict_oldest t);
-  Hashtbl.replace t.table key { value; stamp = tick t }
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+      (* overwrite refreshes recency, like a write-through hit *)
+      node.value <- value;
+      touch t node
+  | None ->
+      if Hashtbl.length t.table >= t.capacity then evict_oldest t;
+      let node = { key; value; prev = None; next = None } in
+      push_front t node;
+      Hashtbl.replace t.table key node
 
-let remove t key = locked t @@ fun () -> Hashtbl.remove t.table key
+let remove t key =
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table key
+  | None -> ()
+
 let length t = locked t @@ fun () -> Hashtbl.length t.table
 
 type stats = { hits : int; misses : int; evictions : int; entries : int }
 
 let stats t =
   locked t @@ fun () ->
-  { hits = t.hits; misses = t.misses; evictions = t.evictions; entries = Hashtbl.length t.table }
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    entries = Hashtbl.length t.table;
+  }

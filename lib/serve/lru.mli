@@ -1,9 +1,11 @@
 (** Mutex-protected in-memory LRU cache, string-keyed.
 
     The server's hot tier over {!Persist.Store}: bounded by entry count,
-    least-recently-{e used} eviction (reads refresh recency). Lookups and
-    inserts are O(1) amortized; eviction scans for the oldest stamp (O(n)
-    in capacity, which is small). Safe to share across domains. *)
+    least-recently-{e used} eviction (reads refresh recency; overwriting
+    [add] refreshes too). An intrusive recency list threaded through the
+    table's entries makes every operation — lookup, insert, eviction,
+    removal — O(1) under the lock, so a full cache never stalls its users
+    on an eviction scan. Safe to share across domains. *)
 
 type 'a t
 

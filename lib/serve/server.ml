@@ -29,7 +29,10 @@ let c_hits_mem = Util.Trace.counter "serve_cache_hits_mem"
 let c_hits_disk = Util.Trace.counter "serve_cache_hits_disk"
 let c_misses = Util.Trace.counter "serve_cache_misses"
 
-type artifact = A_setup of Ssta.Experiment.circuit_setup | A_model of Kle.Model.t
+type artifact =
+  | A_setup of Ssta.Experiment.circuit_setup
+  | A_model of Kle.Model.t
+  | A_hmatrix of Kle.Hmatrix.t
 
 type job = {
   request : Protocol.request;
@@ -178,6 +181,7 @@ let mode_name = function
   | Kle.Galerkin.Auto -> "auto"
   | Kle.Galerkin.Assembled -> "assembled"
   | Kle.Galerkin.Matrix_free -> "matrix-free"
+  | Kle.Galerkin.Hierarchical -> "hierarchical"
 
 let model_spec t kernel ~r =
   let cfg = t.config.kle in
@@ -186,6 +190,48 @@ let model_spec t kernel ~r =
     cfg.Ssta.Algorithm2.max_area_fraction cfg.Ssta.Algorithm2.min_angle_deg
     cfg.Ssta.Algorithm2.computed_pairs (mode_name cfg.Ssta.Algorithm2.mode)
     (match r with None -> "auto" | Some r -> string_of_int r)
+
+let hmatrix_spec t kernel =
+  let cfg = t.config.kle in
+  let p = Kle.Hmatrix.default_params in
+  Printf.sprintf
+    "kle-hmatrix(kernel=%s;die=unit;maf=%.17g;angle=%.17g;tol=%.17g;eta=%.17g;leaf=%d;max_rank=%d)"
+    (Persist.Entity.kernel_spec kernel)
+    cfg.Ssta.Algorithm2.max_area_fraction cfg.Ssta.Algorithm2.min_angle_deg
+    p.Kle.Hmatrix.tol p.Kle.Hmatrix.eta p.Kle.Hmatrix.leaf_size
+    p.Kle.Hmatrix.max_rank
+
+exception Hmatrix_failed of string
+
+(* hierarchical-mode eigensolves reuse the cluster tree + ACA factors
+   through the same cache tiers as every other artifact: a warm store (or
+   memory hit) skips the O(n log n) entry evaluations of the build and goes
+   straight to the Lanczos sweep. An ACA stall escapes as [Hmatrix_failed]
+   and degrades to the flat matrix-free apply with a diagnostic, mirroring
+   [Kle.Operator.galerkin]'s own fallback. *)
+let hierarchical_solution t kernel mesh solver =
+  match
+    cached t Persist.Entity.hmatrix ~spec:(hmatrix_spec t kernel)
+      ~inject:(fun h -> A_hmatrix h)
+      ~project:(function A_hmatrix h -> Some h | _ -> None)
+      (fun () ->
+        match
+          Kle.Operator.hmatrix_galerkin ~diag:t.diag ?jobs:t.config.jobs mesh
+            kernel
+        with
+        | Ok h -> h
+        | Error detail -> raise (Hmatrix_failed detail))
+  with
+  | h, _tier ->
+      Kle.Galerkin.solve_with_operator ~solver ~diag:t.diag ?jobs:t.config.jobs
+        ~op:(Kle.Operator.of_hmatrix ~diag:t.diag h) mesh kernel
+  | exception Hmatrix_failed detail ->
+      Util.Diag.record ~sink:t.diag Util.Diag.Warning `Degraded_fallback
+        ~stage:"serve.model"
+        (Printf.sprintf
+           "hierarchical build failed: %s — solving with the flat apply" detail);
+      Kle.Galerkin.solve ~mode:Kle.Galerkin.Matrix_free ~solver ~diag:t.diag
+        ?jobs:t.config.jobs mesh kernel
 
 (* mirrors Algorithm2.prepare: unit-die mesh, Lanczos unless the mesh is
    small, Model.create truncation — so a cached model is bit-identical to
@@ -203,8 +249,12 @@ let compute_model t kernel ~r () =
     else Kle.Galerkin.Lanczos { count = cfg.Ssta.Algorithm2.computed_pairs }
   in
   let solution =
-    Kle.Galerkin.solve ~mode:cfg.Ssta.Algorithm2.mode ~solver ~diag:t.diag
-      ?jobs:t.config.jobs mesh kernel
+    match (cfg.Ssta.Algorithm2.mode, solver) with
+    | Kle.Galerkin.Hierarchical, Kle.Galerkin.Lanczos _ ->
+        hierarchical_solution t kernel mesh solver
+    | _ ->
+        Kle.Galerkin.solve ~mode:cfg.Ssta.Algorithm2.mode ~solver ~diag:t.diag
+          ?jobs:t.config.jobs mesh kernel
   in
   Kle.Model.create ?r solution
 
@@ -433,6 +483,9 @@ let safe_reply t job response =
 let run_job t job =
   let request = job.request in
   let id = request.Protocol.id in
+  (* Util.Trace.now_ns reads the raw monotonic clock — it is NOT gated by
+     the tracing flag, so deadlines stay live when tracing is disabled
+     (test_serve pins this down) *)
   let expired =
     match job.deadline_ns with
     | Some deadline -> Util.Trace.now_ns () > deadline

@@ -61,6 +61,11 @@ let mc_samples = counter "mc_samples"
 let mc_skipped = counter "mc_skipped"
 let pool_wait_ns = counter "pool_wait_ns"
 let pool_run_ns = counter "pool_run_ns"
+let nearfield_evals = counter "nearfield_evals"
+let aca_rank_sum = counter "aca_rank_sum"
+let htree_nodes = counter "htree_nodes"
+let hmatrix_near_blocks = counter "hmatrix_near_blocks"
+let hmatrix_far_blocks = counter "hmatrix_far_blocks"
 
 (* GC gauge baseline: words at the last enable/reset. *)
 let gc_base = Atomic.make (0.0, 0.0, 0.0)

@@ -113,6 +113,22 @@ val pool_wait_ns : counter
 val pool_run_ns : counter
 (** Nanoseconds pool workers spent executing job bodies. *)
 
+val nearfield_evals : counter
+(** Entry evaluations spent on dense near-field blocks of a hierarchical
+    operator build. *)
+
+val aca_rank_sum : counter
+(** Sum of ACA ranks over all admissible far-field blocks built. *)
+
+val htree_nodes : counter
+(** Cluster-tree nodes created by hierarchical operator builds. *)
+
+val hmatrix_near_blocks : counter
+(** Dense near-field blocks in built hierarchical operators. *)
+
+val hmatrix_far_blocks : counter
+(** Low-rank far-field blocks in built hierarchical operators. *)
+
 (** {1 Aggregation and export} *)
 
 type node = {

@@ -448,7 +448,7 @@ let test_operator_exact_apply_matches_assembled () =
   List.iter
     (fun kernel ->
       let c = Kle.Galerkin.assemble mesh kernel in
-      let op = Kle.Operator.galerkin ~exact:true mesh kernel in
+      let op = Kle.Operator.galerkin ~mode:Kle.Operator.Exact mesh kernel in
       Alcotest.(check int) "dim" n (Kle.Operator.dim op);
       for trial = 0 to 2 do
         let x = random_vec ((31 * trial) + 7) n in
@@ -496,7 +496,7 @@ let test_operator_midedge_quadrature () =
   let mesh = Lazy.force mesh_coarse in
   let n = Geometry.Mesh.size mesh in
   let c = Kle.Galerkin.assemble ~quadrature:Kle.Galerkin.Midedge mesh gaussian in
-  let op = Kle.Operator.galerkin ~quadrature:Kle.Operator.Midedge ~exact:true mesh gaussian in
+  let op = Kle.Operator.galerkin ~quadrature:Kle.Operator.Midedge ~mode:Kle.Operator.Exact mesh gaussian in
   let x = random_vec 19 n in
   let y_dense = Linalg.Mat.mul_vec c x in
   let y_free = Kle.Operator.apply op x in
@@ -552,6 +552,185 @@ let test_matrix_free_dense_solver_rejected () =
      with
     | _ -> false
     | exception Invalid_argument _ -> true)
+
+(* ---------- hierarchical (H-matrix) operator ---------- *)
+
+(* small leaves so even the test meshes produce genuine far-field blocks *)
+let hier_params =
+  {
+    Kle.Hmatrix.tol = 1e-8;
+    eta = 2.0;
+    leaf_size = 16;
+    max_rank = 64;
+  }
+
+let test_cluster_tree_invariants () =
+  let mesh = Lazy.force mesh_fine in
+  let points = mesh.Geometry.Mesh.centroids in
+  let n = Array.length points in
+  let tree = Kle.Cluster.build ~leaf_size:16 points in
+  let perm = Kle.Cluster.perm tree in
+  let seen = Array.make n false in
+  Array.iter (fun p -> seen.(p) <- true) perm;
+  Alcotest.(check bool) "perm is a permutation" true (Array.for_all Fun.id seen);
+  let rec walk idx =
+    let node = Kle.Cluster.node tree idx in
+    let size = node.Kle.Cluster.hi - node.Kle.Cluster.lo in
+    for q = node.Kle.Cluster.lo to node.Kle.Cluster.hi - 1 do
+      let p = points.(perm.(q)) in
+      Alcotest.(check bool) "point inside bbox" true
+        (p.P.x >= node.Kle.Cluster.xmin
+        && p.P.x <= node.Kle.Cluster.xmax
+        && p.P.y >= node.Kle.Cluster.ymin
+        && p.P.y <= node.Kle.Cluster.ymax)
+    done;
+    if node.Kle.Cluster.left < 0 then
+      Alcotest.(check bool) "leaf within leaf_size" true (size <= 16)
+    else begin
+      let l = Kle.Cluster.node tree node.Kle.Cluster.left in
+      let r = Kle.Cluster.node tree node.Kle.Cluster.right in
+      Alcotest.(check int) "children tile the range" size
+        ((l.Kle.Cluster.hi - l.Kle.Cluster.lo) + (r.Kle.Cluster.hi - r.Kle.Cluster.lo));
+      walk node.Kle.Cluster.left;
+      walk node.Kle.Cluster.right
+    end
+  in
+  walk (Kle.Cluster.root_index tree)
+
+let test_aca_recovers_low_rank () =
+  (* an exactly rank-2 matrix must be reproduced at rank <= 2 + the
+     tolerance-check overshoot, to near machine precision *)
+  let m = 30 and n = 25 in
+  let entry i j =
+    ((1.0 +. float_of_int i) *. (2.0 +. (0.1 *. float_of_int j)))
+    +. (sin (float_of_int i) *. cos (float_of_int j))
+  in
+  match Kle.Aca.approximate ~entry ~m ~n ~tol:1e-12 ~max_rank:10 with
+  | None -> Alcotest.fail "ACA stalled on a rank-2 matrix"
+  | Some r ->
+      Alcotest.(check bool) "rank <= 3" true (r.Kle.Aca.rank <= 3);
+      for i = 0 to m - 1 do
+        for j = 0 to n - 1 do
+          let acc = ref 0.0 in
+          for c = 0 to r.Kle.Aca.rank - 1 do
+            acc :=
+              !acc +. (Linalg.Mat.get r.Kle.Aca.u i c *. Linalg.Mat.get r.Kle.Aca.v j c)
+          done;
+          check_close ~tol:1e-8 (Printf.sprintf "entry (%d, %d)" i j) (entry i j) !acc
+        done
+      done
+
+let test_hmatrix_apply_matches_exact () =
+  (* the compressed apply agrees with the assembled matrix to the ACA
+     tolerance (scaled by the operator norm) on every shipped isotropic
+     kernel *)
+  let mesh = Lazy.force mesh_fine in
+  let n = Geometry.Mesh.size mesh in
+  List.iter
+    (fun kernel ->
+      let c = Kle.Galerkin.assemble mesh kernel in
+      match Kle.Operator.hmatrix_galerkin ~hier:hier_params mesh kernel with
+      | Error msg -> Alcotest.fail ("hierarchical build stalled: " ^ msg)
+      | Ok hm ->
+          Alcotest.(check bool) "some far-field compression happened" true
+            (hm.Kle.Hmatrix.stats.Kle.Hmatrix.far_blocks > 0);
+          let op = Kle.Operator.of_hmatrix hm in
+          let x = random_vec 23 n in
+          let y_dense = Linalg.Mat.mul_vec c x in
+          let y_h = Kle.Operator.apply op x in
+          let scale =
+            Array.fold_left (fun a v -> Float.max a (Float.abs v)) 1e-300 y_dense
+          in
+          Array.iteri
+            (fun i v ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s row %d" (K.name kernel) i)
+                true
+                (Float.abs (v -. y_dense.(i)) /. scale <= 1e-6))
+            y_h)
+    [ gaussian; K.Exponential { c = 1.5 }; K.Matern { b = 2.0; s = 2.5 } ]
+
+let test_hmatrix_build_jobs_independent () =
+  (* repo invariant: the compressed operator is bit-identical for any
+     worker count (fixed partition, per-block slots, sequential apply) *)
+  let mesh = Lazy.force mesh_fine in
+  let n = Geometry.Mesh.size mesh in
+  let build jobs =
+    match Kle.Operator.hmatrix_galerkin ~hier:hier_params ~jobs mesh gaussian with
+    | Ok hm -> hm
+    | Error msg -> Alcotest.fail ("build stalled: " ^ msg)
+  in
+  let h1 = build 1 and h4 = build 4 in
+  let x = random_vec 5 n in
+  Alcotest.(check (array (float 0.0)))
+    "bit-identical across jobs"
+    (Kle.Hmatrix.apply h1 x) (Kle.Hmatrix.apply h4 x)
+
+let test_hierarchical_solve_matches_assembled () =
+  (* property: hierarchical-mode eigenvalues match the assembled solve
+     within the requested ACA tolerance budget, across kernel families and
+     mesh sizes *)
+  List.iter
+    (fun kernel ->
+      List.iter
+        (fun divisions ->
+          let mesh = Geometry.Mesh.uniform Geometry.Rect.unit_die ~divisions in
+          let solver = Kle.Galerkin.Lanczos { count = 12 } in
+          let a = Kle.Galerkin.solve ~mode:Kle.Galerkin.Assembled ~solver mesh kernel in
+          let h =
+            Kle.Galerkin.solve ~mode:Kle.Galerkin.Hierarchical ~hier:hier_params
+              ~solver mesh kernel
+          in
+          Array.iteri
+            (fun j v ->
+              let rel = Float.abs (v -. h.Kle.Galerkin.eigenvalues.(j)) /. v in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s div %d eigenvalue %d rel err %.2e <= 1e-6"
+                   (K.name kernel) divisions j rel)
+                true (rel <= 1e-6))
+            a.Kle.Galerkin.eigenvalues)
+        [ 8; 10; 12 ])
+    [ gaussian; K.Exponential { c = 1.5 }; K.Matern { b = 2.0; s = 2.5 } ]
+
+let test_hierarchical_fallback_on_aca_stall () =
+  (* max_rank 1 at tol 1e-12 cannot converge on a genuine far-field block:
+     the build must fail over to the table apply and say so *)
+  let mesh = Lazy.force mesh_fine in
+  let n = Geometry.Mesh.size mesh in
+  let diag = Util.Diag.create () in
+  let hier = { hier_params with Kle.Hmatrix.tol = 1e-12; max_rank = 1 } in
+  let op =
+    Kle.Operator.galerkin ~mode:Kle.Operator.Hierarchical ~hier ~diag mesh gaussian
+  in
+  Alcotest.(check bool) "fallback recorded" true
+    (Util.Diag.count ~code:`Degraded_fallback diag > 0);
+  (* the degraded operator is the table apply: still within its budget *)
+  let c = Kle.Galerkin.assemble mesh gaussian in
+  let x = random_vec 29 n in
+  let y_dense = Linalg.Mat.mul_vec c x in
+  Array.iteri
+    (fun i v -> check_close ~tol:1e-7 (Printf.sprintf "row %d" i) y_dense.(i) v)
+    (Kle.Operator.apply op x)
+
+let test_operator_concurrent_applies_bit_identical () =
+  (* two domains hammering one operator must see exactly the results of
+     sequential applies: scratch panels are per-call, never shared *)
+  let mesh = Lazy.force mesh_fine in
+  let n = Geometry.Mesh.size mesh in
+  let op = Kle.Operator.galerkin ~jobs:2 mesh gaussian in
+  let xs = Array.init 2 (fun i -> random_vec (100 + i) n) in
+  let seq = Array.map (Kle.Operator.apply op) xs in
+  let domains =
+    Array.map
+      (fun x -> Domain.spawn (fun () -> Array.init 8 (fun _ -> Kle.Operator.apply op x)))
+      xs
+  in
+  Array.iteri
+    (fun i d ->
+      Array.iter
+        (fun y -> Alcotest.(check (array (float 0.0))) "bit-identical" seq.(i) y)
+        (Domain.join d))
+    domains
 
 let test_sample_matrix_paper_literal_bit_identical () =
   (* the default (gathered-expansion) path and the paper-literal path draw
@@ -764,6 +943,22 @@ let () =
             test_matrix_free_fallback_chain;
           Alcotest.test_case "matrix-free + dense solver rejected" `Quick
             test_matrix_free_dense_solver_rejected;
+          Alcotest.test_case "concurrent applies bit-identical" `Quick
+            test_operator_concurrent_applies_bit_identical;
+        ] );
+      ( "hierarchical",
+        [
+          Alcotest.test_case "cluster tree invariants" `Quick test_cluster_tree_invariants;
+          Alcotest.test_case "ACA recovers a low-rank matrix" `Quick
+            test_aca_recovers_low_rank;
+          Alcotest.test_case "H-matrix apply matches assembled" `Quick
+            test_hmatrix_apply_matches_exact;
+          Alcotest.test_case "build independent of jobs" `Quick
+            test_hmatrix_build_jobs_independent;
+          Alcotest.test_case "hierarchical solve matches assembled" `Quick
+            test_hierarchical_solve_matches_assembled;
+          Alcotest.test_case "ACA stall falls back to table" `Quick
+            test_hierarchical_fallback_on_aca_stall;
         ] );
       ( "p1",
         [

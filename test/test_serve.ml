@@ -156,6 +156,66 @@ let test_lru_overwrite_and_remove () =
     (Invalid_argument "Lru.create: capacity < 1") (fun () ->
       ignore (Lru.create ~capacity:0 : int Lru.t))
 
+let test_lru_recency_sequence () =
+  (* exercises the intrusive recency list: overwrites refresh recency,
+     removes unlink interior nodes, and every eviction takes the true LRU
+     entry *)
+  let c = Lru.create ~capacity:3 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Lru.add c "c" 3;
+  (* recency c > b > a; overwriting a moves it to the front *)
+  Lru.add c "a" 10;
+  Lru.add c "d" 4;
+  Alcotest.(check (option int)) "b was the LRU entry" None (Lru.find c "b");
+  Alcotest.(check (option int)) "refreshed a survives" (Some 10) (Lru.find c "a");
+  (* recency a > d > c; unlink the middle node, then refill *)
+  Lru.remove c "d";
+  Lru.add c "e" 5;
+  Alcotest.(check int) "free slot reused without eviction" 3 (Lru.length c);
+  Lru.add c "f" 6;
+  Alcotest.(check (option int)) "c was the LRU entry" None (Lru.find c "c");
+  Alcotest.(check (option int)) "e kept" (Some 5) (Lru.find c "e");
+  Alcotest.(check (option int)) "a kept" (Some 10) (Lru.find c "a");
+  Alcotest.(check int) "two evictions" 2 (Lru.stats c).Lru.evictions
+
+let test_lru_matches_reference_model () =
+  (* drive the cache and a naive most-recent-first assoc list through the
+     same deterministic op sequence; they must agree at every step *)
+  let cap = 4 in
+  let c = Lru.create ~capacity:cap in
+  let model = ref ([] : (string * int) list) in
+  let m_remove k = model := List.filter (fun (k', _) -> not (String.equal k' k)) !model in
+  for step = 0 to 999 do
+    let k = "k" ^ string_of_int (step * 7 mod 6) in
+    (match step * 13 mod 3 with
+    | 0 ->
+        Lru.add c k step;
+        if not (List.mem_assoc k !model) && List.length !model >= cap then
+          model := List.filteri (fun i _ -> i < cap - 1) !model;
+        m_remove k;
+        model := (k, step) :: !model
+    | 1 ->
+        let got = Lru.find c k in
+        let expect = List.assoc_opt k !model in
+        Alcotest.(check (option int)) (Printf.sprintf "find at step %d" step) expect got;
+        (match expect with
+        | Some v ->
+            m_remove k;
+            model := (k, v) :: !model
+        | None -> ())
+    | _ ->
+        Lru.remove c k;
+        m_remove k);
+    Alcotest.(check int)
+      (Printf.sprintf "length at step %d" step)
+      (List.length !model) (Lru.length c)
+  done;
+  (* final state: every model entry is present with the model's value *)
+  List.iter
+    (fun (k, v) -> Alcotest.(check (option int)) ("final " ^ k) (Some v) (Lru.find c k))
+    !model
+
 (* ---------- server end-to-end ---------- *)
 
 let contains ~sub s =
@@ -336,6 +396,9 @@ let test_server_overload_backpressure () =
   Alcotest.(check bool) "but not all" true (overloaded < expected)
 
 let test_server_deadline_exceeded () =
+  (* the deadline clock is Util.Trace.now_ns, which reads the raw monotonic
+     clock: deadlines must fire even though tracing is disabled here *)
+  Alcotest.(check bool) "tracing is off" false (Util.Trace.enabled ());
   let config = { test_config with Server.workers = 1 } in
   with_server ~config @@ fun server ->
   let m = Mutex.create () and c = Condition.create () in
@@ -429,6 +492,41 @@ let test_server_single_flight () =
   Alcotest.(check (option int)) "one compute per key" (Some 2)
     (Option.bind (Jsonx.member "cache_misses" stats) Jsonx.as_int)
 
+(* hierarchical mode: the cluster-tree + ACA factors are a cached artifact
+   of their own, keyed by kernel + mesh + build params but NOT by the model
+   truncation r — so re-preparing with a different r re-runs only the
+   eigensolve, never the compression.  Miss arithmetic: the first prepare
+   pays setup + model + factors (3), the second only a model (4 total). *)
+let test_server_hierarchical_factor_reuse () =
+  let config =
+    {
+      test_config with
+      Server.kle =
+        {
+          test_config.Server.kle with
+          Ssta.Algorithm2.mode = Kle.Galerkin.Hierarchical;
+          Ssta.Algorithm2.computed_pairs = 12;
+        };
+    }
+  in
+  with_server ~config @@ fun server ->
+  let prep id r =
+    Printf.sprintf
+      {|{"id":%d,"method":"prepare","params":{"circuit":{"bench":"%s"},"r":%d}}|}
+      id (escape_bench tiny_bench) r
+  in
+  ignore (expect_ok (sync_call server (prep 1 4)));
+  let misses () =
+    Option.bind
+      (Jsonx.member "cache_misses" (expect_ok (sync_call server {|{"id":9,"method":"stats"}|})))
+      Jsonx.as_int
+  in
+  Alcotest.(check (option int)) "cold prepare: setup + model + factors" (Some 3)
+    (misses ());
+  ignore (expect_ok (sync_call server (prep 2 5)));
+  Alcotest.(check (option int)) "new truncation recomputes only the model" (Some 4)
+    (misses ())
+
 (* a reply that raises (client disconnected mid-write) must not take down
    the worker domain: with a single worker, the next request only gets an
    answer if that worker survived the failed write *)
@@ -471,6 +569,9 @@ let () =
         [
           Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
           Alcotest.test_case "overwrite + remove" `Quick test_lru_overwrite_and_remove;
+          Alcotest.test_case "recency sequence" `Quick test_lru_recency_sequence;
+          Alcotest.test_case "matches reference model" `Quick
+            test_lru_matches_reference_model;
         ] );
       ( "server",
         [
@@ -484,6 +585,8 @@ let () =
           Alcotest.test_case "shutdown drains" `Quick test_server_shutdown_drains;
           Alcotest.test_case "stats payload" `Quick test_server_stats_payload;
           Alcotest.test_case "single-flight dedup" `Quick test_server_single_flight;
+          Alcotest.test_case "hierarchical factor reuse" `Quick
+            test_server_hierarchical_factor_reuse;
           Alcotest.test_case "reply failure survives" `Quick
             test_server_reply_failure_survives;
         ] );

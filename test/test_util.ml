@@ -609,9 +609,65 @@ let test_fault_plan_invalid_args () =
   Alcotest.(check bool) "negative limit" true
     (raises (fun () -> Util.Fault.plan ~limit:(-1) Util.Fault.Nan))
 
+(* ---------- lint rules ---------- *)
+
+let rec repo_root dir =
+  if Sys.file_exists (Filename.concat dir "tools/lint.sh") then Some dir
+  else
+    let parent = Filename.dirname dir in
+    if String.equal parent dir then None else repo_root parent
+
+(* rule 6: a scratch allocation without a re-entrancy comment must fail the
+   lint; the same file with the comment must pass.  Runs the real script
+   against a throwaway fixture tree. *)
+let test_lint_scratch_needs_reentrancy_comment () =
+  match repo_root (Sys.getcwd ()) with
+  | None -> Alcotest.fail "tools/lint.sh not found above the test cwd"
+  | Some root ->
+      let lint = Filename.concat root "tools/lint.sh" in
+      let dir =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "lint-test.%d" (Unix.getpid ()))
+      in
+      let libdir = Filename.concat dir "lib" in
+      Unix.mkdir dir 0o755;
+      Unix.mkdir libdir 0o755;
+      let file = Filename.concat libdir "probe.ml" in
+      let write body =
+        let oc = open_out file in
+        output_string oc body;
+        close_out oc
+      in
+      let run () =
+        Sys.command
+          (Printf.sprintf "sh %s %s >/dev/null 2>&1" (Filename.quote lint)
+             (Filename.quote dir))
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Sys.remove file with Sys_error _ -> ());
+          (try Unix.rmdir libdir with Unix.Unix_error _ -> ());
+          try Unix.rmdir dir with Unix.Unix_error _ -> ())
+      @@ fun () ->
+      let scratch_closure =
+        "let make () =\n  let scratch = Array.make 4 0.0 in\n  fun x -> scratch.(0) <- x\n"
+      in
+      write scratch_closure;
+      Alcotest.(check bool) "undocumented scratch rejected" true (run () <> 0);
+      write ("(* re-entrancy: probe buffers are checked out per call *)\n" ^ scratch_closure);
+      Alcotest.(check int) "documented scratch accepted" 0 (run ());
+      (* a file with no scratch at all is untouched by rule 6 *)
+      write "let id x = x\n";
+      Alcotest.(check int) "scratch-free file accepted" 0 (run ())
+
 let () =
   Alcotest.run "util"
     [
+      ( "lint",
+        [
+          Alcotest.test_case "scratch needs a re-entrancy comment" `Quick
+            test_lint_scratch_needs_reentrancy_comment;
+        ] );
       ( "arrayx",
         [
           Alcotest.test_case "float_range basics" `Quick test_float_range;

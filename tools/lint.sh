@@ -21,12 +21,22 @@
 #      versioned, checksummed codec in lib/persist (`Persist.Codec` /
 #      `Persist.Entity`). Marshal's format is compiler-dependent and a
 #      corrupt blob can crash the reader instead of degrading to recompute.
+#   6. Any file in lib/ that allocates named `scratch`/`workspace` buffers
+#      (mutable state captured by a returned closure) must carry a
+#      `re-entrancy:` comment explaining why concurrent calls are safe.
+#      A shared scratch silently corrupts results when two domains call the
+#      same closure — exactly the bug class the pooled-scratch apply fixed —
+#      so the safety argument has to live next to the allocation.
 #
 # Exits non-zero and prints offending lines when a rule is violated.
+#
+# Usage: lint.sh [root]  — lints `root`/lib (default: the repo checkout
+# containing this script); the argument exists so the test suite can point
+# the rules at fixture trees.
 
 set -eu
 
-cd "$(dirname "$0")/.."
+cd "${1:-$(dirname "$0")/..}"
 
 status=0
 
@@ -73,6 +83,25 @@ fi
 # Rule 5: no Marshal in lib/ (persisted data uses Persist.Codec).
 if matches=$(grep -rn --include='*.ml' --include='*.mli' 'Marshal\.' lib/); then
   fail "Marshal in lib/ — encode through Persist.Codec / Persist.Entity (explicit, versioned, checksummed) instead" "$matches"
+fi
+
+# Rule 6: scratch buffers need a documented re-entrancy story.
+# A file that binds a `scratch` / `workspace` buffer must also contain a
+# `re-entrancy:` comment; the pattern only looks at allocation sites
+# (ref / Array.* / Mat.create) so loop-local reads of a scratch don't trip it.
+if files=$(grep -rlE --include='*.ml' \
+  'let[[:space:]]+(scratch|workspace)[A-Za-z0-9_]*[[:space:]:].*(ref[[:space:]]|Array\.(make|init|create_float)|Mat\.create)' \
+  lib/ || true); then
+  offenders=""
+  for f in $files; do
+    if ! grep -q 're-entrancy:' "$f"; then
+      offenders="$offenders$f
+"
+    fi
+  done
+  if [ -n "$offenders" ]; then
+    fail "scratch buffer without a re-entrancy comment — document why concurrent calls of the enclosing closure are safe (see lib/kle/operator.ml)" "$offenders"
+  fi
 fi
 
 if [ "$status" -eq 0 ]; then
