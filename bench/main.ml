@@ -1225,72 +1225,63 @@ let serve_bench () =
          [ ("id", J.Num (float_of_int id)); ("method", J.Str meth); ("params", J.Obj params) ])
   in
   let c880 = ("circuit", J.Obj [ ("name", J.Str "c880") ]) in
-  let sync_call server line =
-    let lock = Mutex.create () and cond = Condition.create () in
-    let result = ref None in
-    Serve.Server.submit server line ~reply:(fun resp ->
-        Mutex.lock lock;
-        result := Some resp;
-        Condition.signal cond;
-        Mutex.unlock lock);
-    Mutex.lock lock;
-    while !result = None do
-      Condition.wait cond lock
-    done;
-    Mutex.unlock lock;
-    Option.get !result
+  (* all traffic goes through the retrying client — the same policy layer
+     ssta_serve --client uses (per-request timeout, bounded retries,
+     circuit breaker); in-process Server.submit is the transport *)
+  let client_for server =
+    Serve.Client.create
+      ~policy:
+        { Serve.Client.default_policy with Serve.Client.timeout_s = Some 600.0 }
+      (Serve.Server.submit server)
   in
-  let must_ok line resp =
-    match J.parse resp with
-    | Ok j when J.member "ok" j <> None -> ()
-    | _ ->
-        pf "FAIL: request %s -> %s\n" line resp;
+  let must_ok client line =
+    match Serve.Client.call client line with
+    | Ok payload -> J.to_string payload
+    | Error f ->
+        pf "FAIL: request %s -> %s\n" line (Serve.Client.failure_to_string f);
         exit 1
   in
   (* cold: fresh store, the prepare pays meshing + the KLE eigensolution *)
   let server = Serve.Server.create config in
+  let client = client_for server in
   let prepare_line = request 0 "prepare" [ c880 ] in
-  let resp, cold_s = Util.Timer.time (fun () -> sync_call server prepare_line) in
-  must_ok prepare_line resp;
+  let _, cold_s = Util.Timer.time (fun () -> must_ok client prepare_line) in
   Serve.Server.drain server;
   (* warm: a fresh server (empty memory tier) over the now-populated store *)
   let server = Serve.Server.create config in
-  let resp, warm_s = Util.Timer.time (fun () -> sync_call server prepare_line) in
-  must_ok prepare_line resp;
+  let client = client_for server in
+  let _, warm_s = Util.Timer.time (fun () -> must_ok client prepare_line) in
   pf "prepare c880: cold %.2fs, warm (store hit) %.4fs -> %.0fx faster\n" cold_s warm_s
     (cold_s /. warm_s);
-  (* load phase: concurrent run_mc requests against the warm server *)
-  let n_requests = 32 and n_mc = 200 in
-  let lock = Mutex.create () and cond = Condition.create () in
-  let finished = ref 0 and failures = ref 0 in
+  (* load phase: concurrent run_mc requests against the warm server — the
+     shared client is thread-safe, so each submitter thread calls through
+     the same breaker/stats *)
+  let n_requests = 32 and n_mc = 200 and n_threads = 8 in
+  let failures = Atomic.make 0 in
   let latencies = Array.make n_requests nan in
   let t_all = Util.Timer.start () in
-  for i = 0 to n_requests - 1 do
-    let timer = Util.Timer.start () in
-    let line =
-      request (i + 1) "run_mc"
-        [ c880; ("sampler", J.Str (if i mod 2 = 0 then "kle" else "kle-qmc"));
-          ("seed", J.Num (float_of_int (opts.seed + i))); ("n", J.Num (float_of_int n_mc)) ]
-    in
-    Serve.Server.submit server line ~reply:(fun resp ->
-        let dt = Util.Timer.elapsed_s timer in
-        Mutex.lock lock;
-        latencies.(i) <- dt;
-        (match J.parse resp with
-        | Ok j when J.member "ok" j <> None -> ()
-        | _ -> incr failures);
-        incr finished;
-        Condition.signal cond;
-        Mutex.unlock lock)
-  done;
-  Mutex.lock lock;
-  while !finished < n_requests do
-    Condition.wait cond lock
-  done;
-  Mutex.unlock lock;
+  let submitter tid =
+    let i = ref tid in
+    while !i < n_requests do
+      let idx = !i in
+      let line =
+        request (idx + 1) "run_mc"
+          [ c880; ("sampler", J.Str (if idx mod 2 = 0 then "kle" else "kle-qmc"));
+            ("seed", J.Num (float_of_int (opts.seed + idx))); ("n", J.Num (float_of_int n_mc)) ]
+      in
+      let timer = Util.Timer.start () in
+      (match Serve.Client.call client line with
+      | Ok _ -> ()
+      | Error _ -> Atomic.incr failures);
+      latencies.(idx) <- Util.Timer.elapsed_s timer;
+      i := !i + n_threads
+    done
+  in
+  let threads = List.init n_threads (fun tid -> Thread.create submitter tid) in
+  List.iter Thread.join threads;
   let total_s = Util.Timer.elapsed_s t_all in
-  if !failures > 0 then begin
-    pf "FAIL: %d serve requests errored\n" !failures;
+  if Atomic.get failures > 0 then begin
+    pf "FAIL: %d serve requests errored\n" (Atomic.get failures);
     exit 1
   end;
   let sorted = Array.copy latencies in
@@ -1299,7 +1290,10 @@ let serve_bench () =
     let n = Array.length sorted in
     sorted.(max 0 (min (n - 1) (int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1)))
   in
-  let stats_resp = sync_call server (request 99 "stats" []) in
+  let stats_resp = must_ok client (request 99 "stats" []) in
+  let cstats = Serve.Client.stats client in
+  pf "client: %d calls, %d retries, %d breaker opens\n" cstats.Serve.Client.calls
+    cstats.Serve.Client.retries cstats.Serve.Client.breaker_opens;
   Serve.Server.drain server;
   pf "%d concurrent run_mc(n=%d) requests on %d workers: %.2fs total, %.1f req/s\n" n_requests
     n_mc config.Serve.Server.workers total_s
@@ -1322,6 +1316,47 @@ let serve_bench () =
      Unix.rmdir store_dir
    with Sys_error _ | Unix.Unix_error _ -> ());
   pf "serve OK\n"
+
+(* fault-injection storm against the serving tier: worker crashes, store
+   read errors, torn writes and latency, with the Chaos module's
+   self-healing invariants asserted (zero wrong results, all failures
+   typed, recovery to healthy). Exits non-zero on any violation. *)
+let chaos_bench () =
+  header "Chaos: fault-injected serving (supervision, store faults, recovery)";
+  let c0 = Util.Trace.counters () in
+  let store_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "kle-chaos-bench.%d" (Unix.getpid ()))
+  in
+  let cfg = Serve.Chaos.default_config in
+  let report, wall_s =
+    Util.Timer.time (fun () ->
+        Serve.Chaos.run ~log:(fun s -> pf "%s\n" s) ~store_dir cfg)
+  in
+  pf "%s\n" (Serve.Chaos.report_to_string report);
+  emit "chaos"
+    ~params:
+      [ ("requests", Bench_json.Int report.Serve.Chaos.requests);
+        ("workers", Bench_json.Int cfg.Serve.Chaos.workers) ]
+    ~counters:
+      (counters_since c0
+      @ List.map
+          (fun f ->
+            ("fault_" ^ f.Serve.Chaos.fault, f.Serve.Chaos.fired))
+          report.Serve.Chaos.fault_counts
+      @ [ ("worker_restarts", report.Serve.Chaos.worker_restarts);
+          ("quarantined", report.Serve.Chaos.quarantined);
+          ("typed_errors", report.Serve.Chaos.typed_errors) ])
+    ~samples:cfg.Serve.Chaos.mc_samples ~wall_s;
+  (try
+     Array.iter (fun f -> Sys.remove (Filename.concat store_dir f)) (Sys.readdir store_dir);
+     Unix.rmdir store_dir
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  (match Serve.Chaos.violations report with
+  | [] -> pf "chaos OK\n"
+  | viols ->
+      List.iter (fun v -> pf "CHAOS VIOLATION: %s\n" v) viols;
+      exit 1)
 
 let all () =
   fig1 ();
@@ -1349,7 +1384,7 @@ let usage () =
   pf
     "usage: main.exe [fig1|fig3a|fig3b|fig4|fig5|fig6a|fig6b|table1|eigtime|scale|\n\
     \                 ablate-quad|ablate-mesh|ablate-eig|ablate-kernel|ablate-recon|ablate-basis|\n\
-    \                 serve|smoke|micro|all]\n\
+    \                 serve|chaos|smoke|micro|all]\n\
     \                [--samples N] [--table-samples N] [--max-gates N] [--full]\n\
     \                [--mesh-frac F] [--seed N] [-j N] [--json PATH]\n\
     \                [--trace PATH] [--metrics]\n"
@@ -1421,6 +1456,7 @@ let () =
     | "ablate-qmc" -> ablate_qmc ()
     | "powergrid" -> powergrid ()
     | "serve" -> serve_bench ()
+    | "chaos" -> chaos_bench ()
     | "smoke" -> smoke ()
     | "micro" -> micro ()
     | "all" -> all ()

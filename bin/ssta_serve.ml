@@ -13,7 +13,13 @@
       "params":{"circuit":{"name":"c880"},"sampler":"kle","seed":42,"n":1000}}
      {"id":3,"method":"compare","params":{"circuit":{"name":"c880"},"n":500}}
      {"id":4,"method":"stats"}
-     {"id":5,"method":"shutdown"} *)
+     {"id":5,"method":"health"}
+     {"id":6,"method":"shutdown"}
+
+   Maintenance:
+     ssta_serve --fsck DIR            # verify the store, report problems
+     ssta_serve --fsck DIR --repair   # also delete corrupt entries, sweep
+                                      # orphaned tmp files, GC to --gc-max-bytes *)
 
 open Cmdliner
 
@@ -126,10 +132,11 @@ let serve_socket server path =
   (try Unix.close sock with Unix.Unix_error _ -> ());
   (try Unix.unlink path with Unix.Unix_error _ -> ())
 
-(* client mode: connect to a serving socket, forward stdin lines, print
-   every response line — enough for scripted smoke tests without a real
-   JSON client *)
-let run_client path =
+(* client mode: connect to a serving socket, forward stdin lines through
+   the retrying Serve.Client (per-request timeout, bounded retries with
+   backoff, circuit breaker), print one response line per request in
+   request order *)
+let run_client path timeout_s =
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.connect sock (Unix.ADDR_UNIX path)
    with Unix.Unix_error (e, _, _) ->
@@ -138,49 +145,112 @@ let run_client path =
      exit 1);
   let ic = Unix.in_channel_of_descr sock in
   let oc = Unix.out_channel_of_descr sock in
-  let pending = ref 0 in
-  let printer =
+  let write = line_writer oc in
+  (* the socket delivers replies in completion order; correlate them back
+     to the waiting call by id *)
+  let pending : (string, string -> unit) Hashtbl.t = Hashtbl.create 8 in
+  let pending_lock = Mutex.create () in
+  let key_of_request line =
+    match Serve.Jsonx.parse line with
+    | Ok json ->
+        Serve.Jsonx.to_string
+          (Option.value (Serve.Jsonx.member "id" json) ~default:Serve.Jsonx.Null)
+    | Error _ -> "null" (* the server echoes id null for unparseable lines *)
+  in
+  let reader =
     Thread.create
       (fun () ->
         try
           while true do
-            print_endline (input_line ic);
-            flush stdout;
-            decr pending
+            let line = input_line ic in
+            let key =
+              match Serve.Protocol.response_id line with
+              | Some id -> Serve.Jsonx.to_string id
+              | None -> "null"
+            in
+            let cb =
+              Mutex.protect pending_lock (fun () ->
+                  match Hashtbl.find_opt pending key with
+                  | Some cb ->
+                      Hashtbl.remove pending key;
+                      Some cb
+                  | None -> None)
+            in
+            match cb with Some cb -> cb line | None -> ()
           done
         with End_of_file | Sys_error _ -> ())
       ()
   in
+  let transport line ~reply =
+    Mutex.protect pending_lock (fun () ->
+        Hashtbl.replace pending (key_of_request line) reply);
+    write line
+  in
+  let client =
+    Serve.Client.create
+      ~policy:{ Serve.Client.default_policy with Serve.Client.timeout_s = Some timeout_s }
+      transport
+  in
+  let failures = ref 0 in
   (try
      while true do
        let line = input_line stdin in
        if String.trim line <> "" then begin
-         incr pending;
-         output_string oc line;
-         output_char oc '\n';
-         flush oc
+         let id =
+           match Serve.Jsonx.parse line with
+           | Ok json -> Option.value (Serve.Jsonx.member "id" json) ~default:Serve.Jsonx.Null
+           | Error _ -> Serve.Jsonx.Null
+         in
+         match Serve.Client.call client line with
+         | Ok payload ->
+             print_endline (Serve.Protocol.ok_response ~id payload);
+             flush stdout
+         | Error (Serve.Client.Protocol_error (code, msg)) ->
+             print_endline (Serve.Protocol.error_response ~id code msg);
+             flush stdout
+         | Error f ->
+             incr failures;
+             Printf.eprintf "ssta_serve --client: request id=%s failed: %s\n%!"
+               (Serve.Jsonx.to_string id)
+               (Serve.Client.failure_to_string f)
        end
      done
    with End_of_file -> ());
-  (* wait (bounded) for the responses to the lines we sent *)
-  let rec wait tries = if !pending > 0 && tries > 0 then (Thread.delay 0.05; wait (tries - 1)) in
-  wait 1200;
   (try Unix.shutdown sock Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
-  (try Thread.join printer with _ -> ());
+  (try Thread.join reader with _ -> ());
   (try Unix.close sock with Unix.Unix_error _ -> ());
-  if !pending > 0 then exit 1
+  if !failures > 0 then exit 1
 
-let run store_dir socket client cache_entries queue_capacity workers jobs seed
-    max_area_fraction trace_file stats_file =
+(* offline store verification / repair *)
+let run_fsck dir repair gc_max_bytes =
+  let diag = Util.Diag.create () in
+  let report = Persist.Store.fsck ~diag ~repair ?max_bytes:gc_max_bytes ~dir () in
+  List.iter
+    (fun e -> Printf.printf "%s\n" (Util.Diag.to_string e))
+    (Util.Diag.events diag);
+  Printf.printf "fsck %s: %s%s\n" dir
+    (Persist.Store.fsck_report_to_string report)
+    (if repair then "" else " (dry run; use --repair to fix)");
+  let problems =
+    report.Persist.Store.corrupt + report.Persist.Store.tmp_files
+    + report.Persist.Store.gc_evicted
+  in
+  if problems > 0 && not repair then exit 1
+
+let run store_dir socket client fsck repair gc_max_bytes timeout_s cache_entries
+    queue_capacity workers jobs seed max_area_fraction drain_timeout trace_file
+    stats_file =
   (* a client that disconnects mid-reply must surface as a write error on
      that connection, not kill the process with SIGPIPE *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  match client with
-  | Some path -> run_client path
-  | None ->
+  match (fsck, client) with
+  | Some dir, _ -> run_fsck dir repair gc_max_bytes
+  | None, Some path -> run_client path timeout_s
+  | None, None ->
       if trace_file <> None then Util.Trace.enable ();
       let config =
         {
+          Serve.Server.default_config with
           Serve.Server.store_dir;
           cache_entries;
           queue_capacity;
@@ -189,6 +259,7 @@ let run store_dir socket client cache_entries queue_capacity workers jobs seed
           placement_seed = seed;
           kle =
             { Ssta.Algorithm2.paper_config with Ssta.Algorithm2.max_area_fraction };
+          drain_timeout_s = drain_timeout;
         }
       in
       let server = Serve.Server.create config in
@@ -223,9 +294,35 @@ let socket_arg =
 
 let client_arg =
   let doc =
-    "Client mode: connect to the serving socket at $(docv), forward stdin lines, print responses."
+    "Client mode: connect to the serving socket at $(docv), forward stdin lines, print responses. \
+     Requests go through the retrying client (per-request timeout, bounded retries with backoff \
+     and jitter, circuit breaker); responses print in request order."
   in
   Arg.(value & opt (some string) None & info [ "client" ] ~docv:"PATH" ~doc)
+
+let fsck_arg =
+  let doc =
+    "Verify the store at $(docv): header magic, filename/kind/spec-hash consistency, payload \
+     checksums, entity-version currency, orphaned temporary files. Dry run unless --repair is \
+     given; exits 1 when problems are found in a dry run."
+  in
+  Arg.(value & opt (some string) None & info [ "fsck" ] ~docv:"DIR" ~doc)
+
+let repair_arg =
+  let doc =
+    "With --fsck: delete corrupt entries, sweep orphaned tmp files, and apply --gc-max-bytes."
+  in
+  Arg.(value & flag & info [ "repair" ] ~doc)
+
+let gc_arg =
+  let doc =
+    "With --fsck: evict verified entries oldest-first until the store fits under $(docv) bytes."
+  in
+  Arg.(value & opt (some int) None & info [ "gc-max-bytes" ] ~docv:"BYTES" ~doc)
+
+let timeout_arg =
+  let doc = "With --client: per-attempt reply timeout in seconds." in
+  Arg.(value & opt float 600.0 & info [ "timeout" ] ~docv:"SECONDS" ~doc)
 
 let cache_arg =
   let doc = "In-memory model cache capacity (entries)." in
@@ -255,6 +352,13 @@ let mesh_area_arg =
   in
   Arg.(value & opt float 0.001 & info [ "max-area-fraction" ] ~docv:"F" ~doc)
 
+let drain_timeout_arg =
+  let doc =
+    "Bound the shutdown drain: if the workers have not finished within $(docv) seconds they are \
+     detached with a warning diagnostic instead of hanging shutdown forever."
+  in
+  Arg.(value & opt (some float) (Some 30.0) & info [ "drain-timeout" ] ~docv:"SECONDS" ~doc)
+
 let trace_arg =
   let doc = "Write a Chrome trace of the serving run to $(docv) on exit." in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PATH" ~doc)
@@ -268,7 +372,8 @@ let cmd =
   Cmd.v
     (Cmd.info "ssta_serve" ~doc)
     Term.(
-      const run $ store_arg $ socket_arg $ client_arg $ cache_arg $ queue_arg $ workers_arg
-      $ jobs_arg $ seed_arg $ mesh_area_arg $ trace_arg $ stats_arg)
+      const run $ store_arg $ socket_arg $ client_arg $ fsck_arg $ repair_arg $ gc_arg
+      $ timeout_arg $ cache_arg $ queue_arg $ workers_arg $ jobs_arg $ seed_arg
+      $ mesh_area_arg $ drain_timeout_arg $ trace_arg $ stats_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -13,6 +13,7 @@ type call =
     }
   | Compare of { circuit : circuit; r : int option; seed : int; n : int }
   | Stats
+  | Health
   | Shutdown
 
 type request = { id : Jsonx.t; deadline_ms : float option; call : call }
@@ -121,6 +122,7 @@ let call_of ~method_ params =
           n = int_field params "n" ~min:1;
         }
   | "stats" -> Stats
+  | "health" -> Health
   | "shutdown" -> Shutdown
   | m -> reject Unknown_method "unknown method %S" m
 

@@ -6,6 +6,10 @@ type config = {
   jobs : int option;
   placement_seed : int;
   kle : Ssta.Algorithm2.config;
+  drain_timeout_s : float option;
+  store_io_faults : Util.Fault.io_plan list;
+  chaos_crash : Util.Fault.io_plan option;
+  chaos_crash_after : Util.Fault.io_plan option;
 }
 
 let default_config =
@@ -17,6 +21,10 @@ let default_config =
     jobs = Some 1;
     placement_seed = 1;
     kle = Ssta.Algorithm2.paper_config;
+    drain_timeout_s = Some 30.0;
+    store_io_faults = [];
+    chaos_crash = None;
+    chaos_crash_after = None;
   }
 
 (* trace counters: per-request attribution when tracing is enabled; the
@@ -28,6 +36,7 @@ let c_deadline = Util.Trace.counter "serve_deadline_missed"
 let c_hits_mem = Util.Trace.counter "serve_cache_hits_mem"
 let c_hits_disk = Util.Trace.counter "serve_cache_hits_disk"
 let c_misses = Util.Trace.counter "serve_cache_misses"
+let c_worker_restarts = Util.Trace.counter "serve_worker_restarts"
 
 type artifact =
   | A_setup of Ssta.Experiment.circuit_setup
@@ -38,6 +47,8 @@ type job = {
   request : Protocol.request;
   reply : string -> unit;
   deadline_ns : int option;  (* absolute, on the Util.Trace.now_ns clock *)
+  replied : bool Atomic.t;  (* exactly-once reply guard *)
+  attempts : int Atomic.t;  (* worker crashes this job has caused *)
 }
 
 type t = {
@@ -56,8 +67,14 @@ type t = {
   inflight_done : Condition.t;
   draining : bool Atomic.t;
   mutable joined : bool;
-  mutable domains : unit Domain.t list;
+  mutable worker_handles : Supervisor.handle list;
+  (* the joiner thread + its done flag, created once by the first timed
+     drain so a retry after a timeout never double-joins a domain *)
+  mutable joiner : (Thread.t * bool Atomic.t) option;
   shutdown_flag : bool Atomic.t;
+  busy : int Atomic.t;  (* workers currently executing a job *)
+  n_worker_restarts : int Atomic.t;
+  n_quarantined : int Atomic.t;
   n_requests : int Atomic.t;
   n_errors : int Atomic.t;
   n_rejected : int Atomic.t;
@@ -358,6 +375,7 @@ let store_stats_payload store =
       ("misses", Jsonx.Num (float_of_int s.Persist.Store.misses));
       ("recovered", Jsonx.Num (float_of_int s.Persist.Store.recovered));
       ("writes", Jsonx.Num (float_of_int s.Persist.Store.writes));
+      ("read_failures", Jsonx.Num (float_of_int s.Persist.Store.read_failures));
       ("entries", Jsonx.Num (float_of_int s.Persist.Store.entries));
       ("bytes", Jsonx.Num (float_of_int s.Persist.Store.bytes));
     ]
@@ -377,10 +395,42 @@ let stats_payload t =
        ("queue_length", Jsonx.Num (float_of_int queue_len));
        ("queue_capacity", Jsonx.Num (float_of_int t.config.queue_capacity));
        ("workers", Jsonx.Num (float_of_int t.config.workers));
+       ("worker_restarts", Jsonx.Num (float_of_int (Atomic.get t.n_worker_restarts)));
+       ("quarantined", Jsonx.Num (float_of_int (Atomic.get t.n_quarantined)));
        ("draining", Jsonx.Bool (Atomic.get t.draining));
        ("lru", lru_stats_payload (Lru.stats t.cache));
      ]
     @ match t.store with None -> [] | Some store -> [ ("store", store_stats_payload store) ])
+
+(* the chaos harness's recovery probe: counters, queue state and a
+   directory scan — explicit about what "healthy" means: accepting work
+   and not draining. Idle recovery shows as workers_busy=0, queue_depth=0 *)
+let health_payload t =
+  let queue_depth = Mutex.protect t.lock (fun () -> Queue.length t.queue) in
+  let draining = Atomic.get t.draining in
+  Jsonx.Obj
+    ([
+       ("healthy", Jsonx.Bool (not draining));
+       ("draining", Jsonx.Bool draining);
+       ("workers", Jsonx.Num (float_of_int t.config.workers));
+       ("workers_busy", Jsonx.Num (float_of_int (Atomic.get t.busy)));
+       ("worker_restarts", Jsonx.Num (float_of_int (Atomic.get t.n_worker_restarts)));
+       ("quarantined", Jsonx.Num (float_of_int (Atomic.get t.n_quarantined)));
+       ("queue_depth", Jsonx.Num (float_of_int queue_depth));
+       ("queue_capacity", Jsonx.Num (float_of_int t.config.queue_capacity));
+       ("cache_entries", Jsonx.Num (float_of_int (Lru.stats t.cache).Lru.entries));
+     ]
+    @
+    match t.store with
+    | None -> [ ("store", Jsonx.Str "none") ]
+    | Some store ->
+        let s = Persist.Store.stats store in
+        [
+          ("store", Jsonx.Str "open");
+          ("store_entries", Jsonx.Num (float_of_int s.Persist.Store.entries));
+          ( "store_read_failures",
+            Jsonx.Num (float_of_int s.Persist.Store.read_failures) );
+        ])
 
 let execute t (request : Protocol.request) : Jsonx.t =
   match request.Protocol.call with
@@ -457,6 +507,7 @@ let execute t (request : Protocol.request) : Jsonx.t =
               ("speedup", Jsonx.Num cmp.Ssta.Experiment.speedup);
             ])
   | Protocol.Stats -> stats_payload t
+  | Protocol.Health -> health_payload t
   | Protocol.Shutdown ->
       Atomic.set t.shutdown_flag true;
       Jsonx.Obj [ ("shutting_down", Jsonx.Bool true) ]
@@ -467,18 +518,30 @@ let method_name (request : Protocol.request) =
   | Protocol.Run_mc _ -> "run_mc"
   | Protocol.Compare _ -> "compare"
   | Protocol.Stats -> "stats"
+  | Protocol.Health -> "health"
   | Protocol.Shutdown -> "shutdown"
 
-(* a reply can fail mid-write when the client has disconnected (broken
-   pipe / closed fd); that must never take down the worker domain *)
+(* Exactly-once reply: the atomic exchange makes the first caller the
+   only one that touches the wire. A second attempt (e.g. a restarted
+   worker re-running a job that had already replied before the crash
+   point) is suppressed into a [serve.reply] diagnostic — never a
+   duplicated line for the same id. A reply can also fail mid-write when
+   the client has disconnected (broken pipe / closed fd); that must never
+   take down the worker domain either. *)
 let safe_reply t job response =
-  try job.reply response
-  with e ->
+  if Atomic.exchange job.replied true then
     Util.Diag.record ~sink:t.diag Util.Diag.Warning `Degraded_fallback
       ~stage:"serve.reply"
-      (Printf.sprintf "reply for request id=%s dropped: %s"
-         (Jsonx.to_string job.request.Protocol.id)
-         (Printexc.to_string e))
+      (Printf.sprintf "duplicate reply for request id=%s suppressed"
+         (Jsonx.to_string job.request.Protocol.id))
+  else
+    try job.reply response
+    with e ->
+      Util.Diag.record ~sink:t.diag Util.Diag.Warning `Degraded_fallback
+        ~stage:"serve.reply"
+        (Printf.sprintf "reply for request id=%s dropped: %s"
+           (Jsonx.to_string job.request.Protocol.id)
+           (Printexc.to_string e))
 
 let run_job t job =
   let request = job.request in
@@ -535,7 +598,22 @@ let run_job t job =
     end
   end
 
-let worker_loop t () =
+(* deterministic scheduling failure, injected between dequeue and
+   execution (or, for [chaos_crash_after], between the reply and the
+   slot release) — it escapes [run_job]'s catch-all on purpose, so the
+   only thing standing between it and a silently dead domain is the
+   supervision barrier *)
+exception Crash_injected
+
+let maybe_crash plan =
+  match plan with
+  | Some p when Util.Fault.fires p -> raise Crash_injected
+  | Some _ | None -> ()
+
+(* [slot] is the worker's in-flight job, visible to the crash handler:
+   when the body dies the supervisor must know which request was being
+   executed to re-queue or quarantine it *)
+let worker_loop t (slot : job option ref) () =
   let rec next () =
     Mutex.lock t.lock;
     let rec wait () =
@@ -551,10 +629,61 @@ let worker_loop t () =
     match job with
     | None -> ()
     | Some job ->
+        slot := Some job;
+        Atomic.incr t.busy;
+        maybe_crash t.config.chaos_crash;
         run_job t job;
+        maybe_crash t.config.chaos_crash_after;
+        slot := None;
+        Atomic.decr t.busy;
         next ()
   in
   next ()
+
+(* the supervision policy: account for the in-flight job (retry once on a
+   restarted worker, quarantine after a second kill), then restart unless
+   the pool is draining *)
+let on_worker_crash t (slot : job option ref) e ~restarts =
+  (* restart accounting first, so any reply sent below (quarantine,
+     draining) observes up-to-date counters on the client side *)
+  let outcome =
+    if Atomic.get t.draining then `Stop
+    else begin
+      Atomic.incr t.n_worker_restarts;
+      Util.Trace.incr c_worker_restarts;
+      Util.Diag.record ~sink:t.diag Util.Diag.Warning `Degraded_fallback
+        ~stage:"serve.worker"
+        (Printf.sprintf "worker crashed (%s) — restart #%d" (Printexc.to_string e)
+           (restarts + 1));
+      `Restart
+    end
+  in
+  (match !slot with
+  | None -> ()
+  | Some job ->
+      slot := None;
+      Atomic.decr t.busy;
+      let attempts = 1 + Atomic.fetch_and_add job.attempts 1 in
+      if attempts >= 2 then begin
+        Atomic.incr t.n_quarantined;
+        Util.Diag.record ~sink:t.diag Util.Diag.Warning `Degraded_fallback
+          ~stage:"serve.worker"
+          (Printf.sprintf "request id=%s quarantined after crashing %d workers"
+             (Jsonx.to_string job.request.Protocol.id)
+             attempts);
+        safe_reply t job
+          (Protocol.error_response ~id:job.request.Protocol.id Protocol.Internal_error
+             (Printf.sprintf "request crashed the worker %d times — quarantined" attempts))
+      end
+      else if Atomic.get t.draining then
+        safe_reply t job
+          (Protocol.error_response ~id:job.request.Protocol.id Protocol.Shutting_down
+             "worker crashed while draining; request not retried")
+      else
+        Mutex.protect t.lock (fun () ->
+            Queue.push job t.queue;
+            Condition.signal t.not_empty));
+  outcome
 
 (* ---------------------------------------------------------------- *)
 (* lifecycle *)
@@ -564,7 +693,10 @@ let create ?diag config =
   if config.queue_capacity < 1 then invalid_arg "Server.create: queue_capacity < 1";
   let diag = match diag with Some d -> d | None -> Util.Diag.create () in
   let store =
-    Option.map (fun dir -> Persist.Store.open_ ~diag ~dir ()) config.store_dir
+    Option.map
+      (fun dir ->
+        Persist.Store.open_ ~diag ~io_faults:config.store_io_faults ~dir ())
+      config.store_dir
   in
   let t =
     {
@@ -580,8 +712,12 @@ let create ?diag config =
       inflight_done = Condition.create ();
       draining = Atomic.make false;
       joined = false;
-      domains = [];
+      worker_handles = [];
+      joiner = None;
       shutdown_flag = Atomic.make false;
+      busy = Atomic.make 0;
+      n_worker_restarts = Atomic.make 0;
+      n_quarantined = Atomic.make 0;
       n_requests = Atomic.make 0;
       n_errors = Atomic.make 0;
       n_rejected = Atomic.make 0;
@@ -592,7 +728,10 @@ let create ?diag config =
       n_recovered = Atomic.make 0;
     }
   in
-  t.domains <- List.init config.workers (fun _ -> Domain.spawn (worker_loop t));
+  t.worker_handles <-
+    List.init config.workers (fun _ ->
+        let slot = ref None in
+        Supervisor.spawn ~on_crash:(on_worker_crash t slot) (worker_loop t slot));
   t
 
 let shutdown_requested t = Atomic.get t.shutdown_flag
@@ -609,7 +748,9 @@ let submit t line ~reply =
           (fun ms -> Util.Trace.now_ns () + int_of_float (ms *. 1e6))
           request.Protocol.deadline_ms
       in
-      let job = { request; reply; deadline_ns } in
+      let job =
+        { request; reply; deadline_ns; replied = Atomic.make false; attempts = Atomic.make 0 }
+      in
       let verdict =
         Mutex.protect t.lock (fun () ->
             if Atomic.get t.draining then `Draining
@@ -641,9 +782,52 @@ let begin_drain t =
   Condition.broadcast t.not_empty;
   Mutex.unlock t.lock
 
-let drain t =
+let worker_restarts t = Atomic.get t.n_worker_restarts
+let quarantined t = Atomic.get t.n_quarantined
+
+let drain ?timeout_s t =
   begin_drain t;
   if not t.joined then begin
-    t.joined <- true;
-    List.iter Domain.join t.domains
+    (* joins happen on a dedicated thread so a stuck worker can only cost
+       us the timeout, never hang the caller forever; the thread is
+       created once — a drain retry after a timeout waits on the same
+       join, it never double-joins a domain *)
+    let joiner_thread, joined_flag =
+      match t.joiner with
+      | Some j -> j
+      | None ->
+          let flag = Atomic.make false in
+          let th =
+            Thread.create
+              (fun () ->
+                List.iter Supervisor.join t.worker_handles;
+                Atomic.set flag true)
+              ()
+          in
+          let j = (th, flag) in
+          t.joiner <- Some j;
+          j
+    in
+    let timeout_s =
+      match timeout_s with Some _ as s -> s | None -> t.config.drain_timeout_s
+    in
+    match timeout_s with
+    | None ->
+        Thread.join joiner_thread;
+        t.joined <- true
+    | Some limit ->
+        let deadline = Util.Trace.now_ns () + int_of_float (limit *. 1e9) in
+        while (not (Atomic.get joined_flag)) && Util.Trace.now_ns () < deadline do
+          Thread.delay 0.002
+        done;
+        if Atomic.get joined_flag then begin
+          Thread.join joiner_thread;
+          t.joined <- true
+        end
+        else
+          Util.Diag.record ~sink:t.diag Util.Diag.Warning `Degraded_fallback
+            ~stage:"serve.drain"
+            (Printf.sprintf
+               "worker join timed out after %gs (%d worker(s) still busy) — detaching"
+               limit (Atomic.get t.busy))
   end

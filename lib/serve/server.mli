@@ -19,6 +19,14 @@
       answered [shutting_down]) while queued requests still complete;
       {!drain} additionally joins the workers. A [shutdown] request
       replies ok and then begins the drain.
+    - {b Supervision}: every worker domain runs under {!Supervisor.spawn}.
+      An exception that escapes the per-request barrier (a genuine bug, or
+      an injected [chaos_crash]) restarts the worker with capped
+      exponential backoff, bumps the [serve_worker_restarts] trace counter
+      and a [Warning] [serve.worker] diagnostic, and re-queues the
+      in-flight request for one retry; a request that kills a worker
+      {e twice} is quarantined — answered with a typed [internal_error]
+      instead of being retried forever.
 
     Each executed request runs inside a [serve.request] {!Util.Trace} span
     (attributes: method, cache tier) and bumps the [serve_*] counters, so
@@ -32,12 +40,24 @@ type config = {
   jobs : int option;  (** per-request compute fan-out ({!Util.Pool.with_jobs}) *)
   placement_seed : int;  (** placement seed for circuit setups *)
   kle : Ssta.Algorithm2.config;  (** mesh + eigensolve configuration *)
+  drain_timeout_s : float option;
+      (** default join timeout for {!drain}; [None] waits forever *)
+  store_io_faults : Util.Fault.io_plan list;
+      (** chaos testing: I/O fault plans passed to {!Persist.Store.open_} *)
+  chaos_crash : Util.Fault.io_plan option;
+      (** chaos testing: when the plan fires, the worker that just dequeued
+          a request dies {e before} executing it *)
+  chaos_crash_after : Util.Fault.io_plan option;
+      (** chaos testing: the worker dies {e after} replying but before
+          releasing the request — the re-run exercises the exactly-once
+          reply guard *)
 }
 
 val default_config : config
 (** No disk store, 32 cache entries, queue of 64, 2 workers, sequential
     compute ([jobs = Some 1]), placement seed 1,
-    {!Ssta.Algorithm2.paper_config}. *)
+    {!Ssta.Algorithm2.paper_config}, 30 s drain timeout, no fault
+    injection. *)
 
 type t
 
@@ -58,11 +78,28 @@ val shutdown_requested : t -> bool
 val begin_drain : t -> unit
 (** Stop accepting new requests; queued work still completes. Idempotent. *)
 
-val drain : t -> unit
+val drain : ?timeout_s:float -> t -> unit
 (** {!begin_drain}, then wait for the queue to empty and join the workers.
-    Idempotent; must not be called from a worker (i.e. from inside
-    [reply]). *)
+    The join is bounded by [timeout_s] (default: the config's
+    [drain_timeout_s]); when it expires — a worker stuck in a compute or a
+    blocked [reply] — a [Warning] [serve.drain] diagnostic is recorded and
+    the workers are detached instead of hanging the caller forever. A
+    later [drain] call waits on the same join. Idempotent; must not be
+    called from a worker (i.e. from inside [reply]). *)
+
+val worker_restarts : t -> int
+(** Workers restarted by the supervisor since {!create}. *)
+
+val quarantined : t -> int
+(** Requests quarantined after repeatedly crashing workers. *)
 
 val stats_payload : t -> Jsonx.t
 (** The same JSON object a [stats] request returns: request/reject/deadline
-    counters, queue occupancy, LRU and store statistics. *)
+    counters, queue occupancy, worker restart/quarantine counts, LRU and
+    store statistics. *)
+
+val health_payload : t -> Jsonx.t
+(** The same JSON object a [health] request returns: [healthy] (accepting
+    work), worker liveness ([workers], [workers_busy], [worker_restarts],
+    [quarantined]), queue depth, cache entries and store status — the
+    chaos harness's recovery probe. *)

@@ -1,0 +1,35 @@
+(* The only Domain.spawn site in lib/serve (enforced by lint rule 7):
+   every worker domain runs under this catch-all restart barrier. *)
+
+type outcome = [ `Restart | `Stop ]
+
+type handle = { domain : unit Domain.t }
+
+let spawn ?(backoff_base_s = 0.001) ?(backoff_cap_s = 0.1) ~on_crash body =
+  let domain =
+    Domain.spawn (fun () ->
+        (* restart loop runs *inside* the domain: a crashed worker is
+           "restarted" by looping, so the domain handle stays joinable and
+           the pool never leaks domains *)
+        let restarts = ref 0 in
+        let running = ref true in
+        while !running do
+          match body () with
+          | () -> running := false
+          | exception e -> (
+              match (on_crash e ~restarts:!restarts : outcome) with
+              | `Stop -> running := false
+              | `Restart ->
+                  (* capped exponential backoff: a hot crash loop (e.g. a
+                     persistent environment failure) must not spin *)
+                  let backoff =
+                    Float.min backoff_cap_s
+                      (backoff_base_s *. Float.pow 2.0 (float_of_int !restarts))
+                  in
+                  incr restarts;
+                  Thread.delay backoff)
+        done)
+  in
+  { domain }
+
+let join h = Domain.join h.domain

@@ -1,0 +1,36 @@
+(** Supervised worker domains.
+
+    A raw [Domain.spawn] whose body raises takes the domain down silently:
+    the exception surfaces only at [Domain.join], and until then the pool
+    has simply lost capacity. Every worker in [lib/serve] therefore goes
+    through {!spawn} (lint rule 7 forbids bare [Domain.spawn] here), which
+    wraps the body in a catch-all restart barrier {e inside} the domain:
+    on an escaped exception the supervisor consults [on_crash] and either
+    re-enters the body (after a capped exponential backoff so a hot crash
+    loop cannot spin the CPU) or lets the domain exit. Restarting by
+    looping inside the domain — rather than spawning a replacement — keeps
+    the original handle joinable, so {!Server.drain} still joins exactly
+    the domains it created. *)
+
+type outcome = [ `Restart | `Stop ]
+
+type handle
+
+val spawn :
+  ?backoff_base_s:float ->
+  ?backoff_cap_s:float ->
+  on_crash:(exn -> restarts:int -> outcome) ->
+  (unit -> unit) ->
+  handle
+(** [spawn ~on_crash body] runs [body ()] in a new domain. A normal return
+    ends the domain. On an escaped exception the supervisor calls
+    [on_crash e ~restarts] ([restarts] = crashes before this one); on
+    [`Restart] it sleeps [min backoff_cap_s (backoff_base_s * 2^restarts)]
+    (defaults 1 ms, capped at 100 ms) and re-enters [body]. [on_crash]
+    runs on the crashed domain and must not raise; it typically records a
+    diagnostic, re-queues or quarantines the in-flight work, and returns
+    [`Stop] when the pool is draining. *)
+
+val join : handle -> unit
+(** Wait for the domain to exit (i.e. for [body] to return normally or
+    [on_crash] to return [`Stop]). *)

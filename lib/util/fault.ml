@@ -13,8 +13,25 @@ let corrupt kind v =
   | Offset d -> v +. d
   | Transform f -> f v
 
-type plan = {
-  kind : kind;
+type io_kind =
+  | Read_error
+  | Short_read
+  | Torn_write
+  | Latency of float
+  | Crash
+
+let io_kind_name = function
+  | Read_error -> "read-error"
+  | Short_read -> "short-read"
+  | Torn_write -> "torn-write"
+  | Latency ms -> Printf.sprintf "latency(%gms)" ms
+  | Crash -> "crash"
+
+(* one counter-selection mechanism for every fault family: value plans
+   corrupt floats, I/O plans fire read/write/scheduling failures — both
+   select by the same deterministic call index *)
+type 'k plan_of = {
+  kind : 'k;
   first : int;
   period : int;
   limit : int;
@@ -22,23 +39,35 @@ type plan = {
   n_fired : int Atomic.t;
 }
 
-let plan ?(first = 0) ?(period = 0) ?(limit = max_int) kind =
+type plan = kind plan_of
+type io_plan = io_kind plan_of
+
+let make ?(first = 0) ?(period = 0) ?(limit = max_int) kind =
   if first < 0 then invalid_arg "Fault.plan: first must be non-negative";
   if period < 0 then invalid_arg "Fault.plan: period must be non-negative";
   if limit < 0 then invalid_arg "Fault.plan: limit must be non-negative";
   { kind; first; period; limit; n_calls = Atomic.make 0; n_fired = Atomic.make 0 }
 
+let plan ?first ?period ?limit kind = make ?first ?period ?limit kind
+let io_plan ?first ?period ?limit kind = make ?first ?period ?limit kind
+
+let kind p = p.kind
+
 let selected p i =
   i >= p.first
   && (if p.period = 0 then i = p.first else (i - p.first) mod p.period = 0)
 
-let apply p v =
+let fire p =
   let i = Atomic.fetch_and_add p.n_calls 1 in
   if selected p i && Atomic.get p.n_fired < p.limit then begin
     Atomic.incr p.n_fired;
-    corrupt p.kind v
+    Some p.kind
   end
-  else v
+  else None
+
+let fires p = fire p <> None
+
+let apply p v = match fire p with Some k -> corrupt k v | None -> v
 
 let calls p = Atomic.get p.n_calls
 

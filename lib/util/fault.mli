@@ -1,7 +1,8 @@
 (** Deterministic fault injection for robustness tests.
 
-    A {!plan} selects evaluations by a call counter: the decorated code
-    calls {!apply} on every produced value, and the plan corrupts exactly
+    A plan selects evaluations by a call counter: the decorated code
+    calls {!apply} (value plans) or {!fire} (I/O plans) on every
+    produced value / attempted operation, and the plan corrupts exactly
     the counter-selected ones. Because selection depends only on the call
     index, a fault fires at the same logical evaluation on every run —
     tests can drive every fallback and guard path on demand and assert the
@@ -27,7 +28,25 @@ type kind =
 val corrupt : kind -> float -> float
 (** Apply the corruption unconditionally (no plan, no counter). *)
 
-type plan
+type io_kind =
+  | Read_error  (** the read fails outright (simulated EIO) *)
+  | Short_read  (** only a prefix of the data arrives (truncation) *)
+  | Torn_write  (** only a prefix of the data lands on disk (non-atomic write) *)
+  | Latency of float  (** the operation stalls for the given milliseconds *)
+  | Crash  (** the executing worker dies at this point (scheduling failure) *)
+
+val io_kind_name : io_kind -> string
+(** Stable short name for diagnostics, e.g. ["torn-write"]. *)
+
+type 'k plan_of
+(** The generic counter-selected plan; ['k] is the fault family. *)
+
+type plan = kind plan_of
+(** Value-corruption plan (the original {!apply} family). *)
+
+type io_plan = io_kind plan_of
+(** I/O / scheduling fault plan, consumed with {!fire} by
+    {!Persist.Store} and the serving tier's chaos hooks. *)
 
 val plan : ?first:int -> ?period:int -> ?limit:int -> kind -> plan
 (** [plan kind] fires at call index [first] (default 0) and then, when
@@ -36,14 +55,28 @@ val plan : ?first:int -> ?period:int -> ?limit:int -> kind -> plan
     faults (default: [first]-and-period selection only). Raises
     [Invalid_argument] on negative [first]/[period]/[limit]. *)
 
+val io_plan : ?first:int -> ?period:int -> ?limit:int -> io_kind -> io_plan
+(** Same selection semantics as {!plan}, for the I/O fault family. *)
+
+val kind : 'k plan_of -> 'k
+(** The plan's fault kind (lets consumers route a plan to the operations
+    it applies to without firing its counter). *)
+
+val fire : 'k plan_of -> 'k option
+(** Count one call; [Some kind] iff this call is selected (the injection
+    site must then act the fault out). *)
+
+val fires : 'k plan_of -> bool
+(** [fire p <> None] — for sites that only need the boolean. *)
+
 val apply : plan -> float -> float
 (** Count one call and corrupt the value iff this call is selected. *)
 
-val calls : plan -> int
+val calls : 'k plan_of -> int
 (** Total calls seen so far. *)
 
-val fired : plan -> int
+val fired : 'k plan_of -> int
 (** Faults actually injected so far. *)
 
-val reset : plan -> unit
+val reset : 'k plan_of -> unit
 (** Zero both counters (e.g. between test cases sharing a plan). *)

@@ -359,6 +359,201 @@ let test_store_spec_collision_is_safe () =
   Alcotest.(check bool) "collision not served" true
     (Store.get store Entity.netlist ~spec:"spec-b" = None)
 
+(* ---------- deterministic I/O fault injection ---------- *)
+
+(* an injected read error is transient: the entry must NOT be deleted —
+   the file is intact, only this read failed *)
+let test_store_injected_read_error () =
+  with_tmp_dir @@ fun dir ->
+  let diag = Util.Diag.create () in
+  let store =
+    Store.open_ ~diag
+      ~io_faults:[ Util.Fault.io_plan ~limit:1 Util.Fault.Read_error ]
+      ~dir ()
+  in
+  let nl = small_netlist () in
+  Store.put store Entity.netlist ~spec:"nl" nl;
+  let path = Store.path store Entity.netlist ~spec:"nl" in
+  Alcotest.(check bool) "failed read is a miss" true
+    (Store.get store Entity.netlist ~spec:"nl" = None);
+  Alcotest.(check bool) "file survives the read failure" true (Sys.file_exists path);
+  Alcotest.(check int) "read_failures counted" 1 (Store.stats store).Store.read_failures;
+  Alcotest.(check bool) "fault event recorded" true
+    (Util.Diag.count ~code:`Fault_injected diag >= 1);
+  (* the plan is exhausted: the intact entry is served again *)
+  Alcotest.(check bool) "served once the fault clears" true
+    (Store.get store Entity.netlist ~spec:"nl" <> None)
+
+(* a short read yields a truncated image: detected as corrupt by the
+   checksum, deleted, recomputed *)
+let test_store_injected_short_read () =
+  with_tmp_dir @@ fun dir ->
+  let diag = Util.Diag.create () in
+  let store =
+    Store.open_ ~diag
+      ~io_faults:[ Util.Fault.io_plan ~limit:1 Util.Fault.Short_read ]
+      ~dir ()
+  in
+  let nl = small_netlist () in
+  Store.put store Entity.netlist ~spec:"nl" nl;
+  let path = Store.path store Entity.netlist ~spec:"nl" in
+  Alcotest.(check bool) "short read detected as corrupt" true
+    (Store.get store Entity.netlist ~spec:"nl" = None);
+  Alcotest.(check bool) "corrupt image removed" false (Sys.file_exists path)
+
+(* a torn write lands a prefix at the final path (bypassing the atomic
+   protocol); the next access detects it and recovers *)
+let test_store_injected_torn_write () =
+  with_tmp_dir @@ fun dir ->
+  let diag = Util.Diag.create () in
+  let store =
+    Store.open_ ~diag
+      ~io_faults:[ Util.Fault.io_plan ~limit:1 Util.Fault.Torn_write ]
+      ~dir ()
+  in
+  let nl = small_netlist () in
+  Store.put store Entity.netlist ~spec:"nl" nl;
+  Alcotest.(check bool) "torn prefix landed" true
+    (Sys.file_exists (Store.path store Entity.netlist ~spec:"nl"));
+  let recomputed = ref false in
+  let _, outcome =
+    Store.find_or_add store Entity.netlist ~spec:"nl" (fun () ->
+        recomputed := true;
+        nl)
+  in
+  Alcotest.(check bool) "recovered" true (outcome = `Recovered);
+  Alcotest.(check bool) "recomputed" true !recomputed;
+  (* the clean re-write (plan exhausted) is a hit afterwards *)
+  let _, outcome =
+    Store.find_or_add store Entity.netlist ~spec:"nl" (fun () -> Alcotest.fail "hit expected")
+  in
+  Alcotest.(check bool) "hit after recovery" true (outcome = `Hit)
+
+(* latency faults only delay; results stay correct and each firing is
+   recorded *)
+let test_store_injected_latency () =
+  with_tmp_dir @@ fun dir ->
+  let diag = Util.Diag.create () in
+  let store =
+    Store.open_ ~diag
+      ~io_faults:[ Util.Fault.io_plan ~period:1 ~limit:2 (Util.Fault.Latency 1.0) ]
+      ~dir ()
+  in
+  let nl = small_netlist () in
+  Store.put store Entity.netlist ~spec:"nl" nl;
+  (match Store.get store Entity.netlist ~spec:"nl" with
+  | Some v -> Alcotest.(check string) "value intact" nl.Circuit.Netlist.name v.Circuit.Netlist.name
+  | None -> Alcotest.fail "latency must not lose the entry");
+  Alcotest.(check int) "both firings recorded" 2 (Util.Diag.count ~code:`Fault_injected diag)
+
+(* ---------- fsck ---------- *)
+
+let write_raw path data = Util.Fileio.write_atomic path data
+
+let test_store_fsck_classification () =
+  with_tmp_dir @@ fun dir ->
+  let store = Store.open_ ~dir () in
+  let nl = small_netlist () in
+  Store.put store Entity.netlist ~spec:"good" nl;
+  Store.put store Entity.netlist ~spec:"bad" nl;
+  flip_byte (Store.path store Entity.netlist ~spec:"bad") 20;
+  (* a stale entry: same codec, bumped entity version *)
+  let bumped = { Entity.netlist with Entity.version = Entity.netlist.Entity.version + 1 } in
+  Store.put store bumped ~spec:"old" nl;
+  (* an orphaned atomic-write temporary *)
+  write_raw (Filename.concat dir "netlist-deadbeef.bin.tmp.123.4") "partial";
+  let diag = Util.Diag.create () in
+  let r = Store.fsck ~diag ~dir () in
+  Alcotest.(check int) "scanned" 3 r.Store.scanned;
+  Alcotest.(check int) "ok" 1 r.Store.ok;
+  Alcotest.(check int) "corrupt" 1 r.Store.corrupt;
+  Alcotest.(check int) "stale" 1 r.Store.stale;
+  Alcotest.(check int) "tmp files" 1 r.Store.tmp_files;
+  Alcotest.(check int) "nothing GC'd without a cap" 0 r.Store.gc_evicted;
+  (* dry run: nothing was deleted *)
+  Alcotest.(check int) "dry run leaves all files" 4 (Array.length (Sys.readdir dir));
+  Alcotest.(check bool) "events recorded" true (Util.Diag.length diag >= 3)
+
+let test_store_fsck_repair () =
+  with_tmp_dir @@ fun dir ->
+  let store = Store.open_ ~dir () in
+  let nl = small_netlist () in
+  Store.put store Entity.netlist ~spec:"good" nl;
+  Store.put store Entity.netlist ~spec:"bad" nl;
+  flip_byte (Store.path store Entity.netlist ~spec:"bad") 20;
+  let bumped = { Entity.netlist with Entity.version = Entity.netlist.Entity.version + 1 } in
+  Store.put store bumped ~spec:"old" nl;
+  write_raw (Filename.concat dir "netlist-deadbeef.bin.tmp.123.4") "partial";
+  let r = Store.fsck ~repair:true ~dir () in
+  Alcotest.(check int) "corrupt found" 1 r.Store.corrupt;
+  Alcotest.(check int) "tmp swept" 1 r.Store.tmp_files;
+  (* repair removes the corrupt entry and the orphan; the good entry stays
+     and the stale one is left to self-heal on next access *)
+  Alcotest.(check bool) "corrupt gone" false
+    (Sys.file_exists (Store.path store Entity.netlist ~spec:"bad"));
+  Alcotest.(check bool) "good kept" true
+    (Sys.file_exists (Store.path store Entity.netlist ~spec:"good"));
+  Alcotest.(check bool) "stale kept" true
+    (Sys.file_exists (Store.path store Entity.netlist ~spec:"old"));
+  Alcotest.(check int) "two files remain" 2 (Array.length (Sys.readdir dir));
+  (* idempotent: a second repair finds a clean store *)
+  let r2 = Store.fsck ~repair:true ~dir () in
+  Alcotest.(check int) "second pass clean" 0 (r2.Store.corrupt + r2.Store.tmp_files)
+
+let test_store_fsck_gc_oldest_first () =
+  with_tmp_dir @@ fun dir ->
+  let store = Store.open_ ~dir () in
+  let nl = small_netlist () in
+  List.iter (fun spec -> Store.put store Entity.netlist ~spec nl) [ "a"; "b"; "c" ];
+  let path spec = Store.path store Entity.netlist ~spec in
+  let size = (Unix.stat (path "a")).Unix.st_size in
+  (* pin distinct mtimes: a oldest, c newest *)
+  List.iteri
+    (fun i spec ->
+      let t = Unix.time () -. 3600.0 +. (float_of_int i *. 60.0) in
+      Unix.utimes (path spec) t t)
+    [ "a"; "b"; "c" ];
+  (* cap fits two entries: only the oldest is evicted *)
+  let r = Store.fsck ~repair:true ~max_bytes:(2 * size) ~dir () in
+  Alcotest.(check int) "one eviction" 1 r.Store.gc_evicted;
+  Alcotest.(check bool) "oldest evicted" false (Sys.file_exists (path "a"));
+  Alcotest.(check bool) "b kept" true (Sys.file_exists (path "b"));
+  Alcotest.(check bool) "c kept" true (Sys.file_exists (path "c"));
+  Alcotest.(check bool) "bytes_after under cap" true (r.Store.bytes_after <= 2 * size);
+  (* dry run projects the same eviction without deleting *)
+  let store2 = Store.open_ ~dir () in
+  Store.put store2 Entity.netlist ~spec:"a" nl;
+  Unix.utimes (path "a") 1.0 1.0;
+  let dry = Store.fsck ~max_bytes:(2 * size) ~dir () in
+  Alcotest.(check int) "dry-run projects eviction" 1 dry.Store.gc_evicted;
+  Alcotest.(check bool) "dry run deletes nothing" true (Sys.file_exists (path "a"))
+
+(* satellite: two domains racing find_or_add over the same corrupt entry.
+   Whichever loses the unlink race sees ENOENT on open — that must be a
+   plain miss (recompute), never an error surfaced to the caller. *)
+let test_store_concurrent_corrupt_delete_race () =
+  with_tmp_dir @@ fun dir ->
+  let nl = small_netlist () in
+  for round = 0 to 9 do
+    let store = Store.open_ ~dir () in
+    let spec = Printf.sprintf "race-%d" round in
+    Store.put store Entity.netlist ~spec nl;
+    flip_byte (Store.path store Entity.netlist ~spec) 20;
+    let work () =
+      let v, outcome = Store.find_or_add store Entity.netlist ~spec (fun () -> nl) in
+      (v.Circuit.Netlist.name, outcome)
+    in
+    let d = Domain.spawn work in
+    let here = work () in
+    let there = Domain.join d in
+    List.iter
+      (fun (name, outcome) ->
+        Alcotest.(check string) "value correct" nl.Circuit.Netlist.name name;
+        Alcotest.(check bool) "typed outcome" true
+          (match outcome with `Recovered | `Miss | `Hit -> true))
+      [ here; there ]
+  done
+
 (* ---------- the bit-identity acceptance criterion ---------- *)
 
 let test_store_roundtrip_run_mc_bit_identical () =
@@ -455,6 +650,15 @@ let () =
             test_store_stale_version_falls_back;
           Alcotest.test_case "spec collision not served" `Quick
             test_store_spec_collision_is_safe;
+          Alcotest.test_case "injected read error" `Quick test_store_injected_read_error;
+          Alcotest.test_case "injected short read" `Quick test_store_injected_short_read;
+          Alcotest.test_case "injected torn write" `Quick test_store_injected_torn_write;
+          Alcotest.test_case "injected latency" `Quick test_store_injected_latency;
+          Alcotest.test_case "fsck classification" `Quick test_store_fsck_classification;
+          Alcotest.test_case "fsck repair" `Quick test_store_fsck_repair;
+          Alcotest.test_case "fsck GC oldest-first" `Quick test_store_fsck_gc_oldest_first;
+          Alcotest.test_case "concurrent corrupt-delete race" `Quick
+            test_store_concurrent_corrupt_delete_race;
           Alcotest.test_case "run_mc bit-identical after roundtrip" `Quick
             test_store_roundtrip_run_mc_bit_identical;
         ] );

@@ -548,6 +548,164 @@ let test_server_reply_failure_survives () =
   Alcotest.(check bool) "dropped reply recorded" true
     (Util.Diag.count ~code:`Degraded_fallback (Server.diagnostics server) >= 1)
 
+(* ---------- supervision, health, chaos ---------- *)
+
+let test_server_health_payload () =
+  with_server @@ fun server ->
+  let h = expect_ok (sync_call server {|{"id":1,"method":"health"}|}) in
+  let int_field f = Option.bind (Jsonx.member f h) Jsonx.as_int in
+  Alcotest.(check (option bool)) "healthy" (Some true)
+    (Option.bind (Jsonx.member "healthy" h) Jsonx.as_bool);
+  Alcotest.(check (option bool)) "not draining" (Some false)
+    (Option.bind (Jsonx.member "draining" h) Jsonx.as_bool);
+  Alcotest.(check (option int)) "workers" (Some test_config.Server.workers)
+    (int_field "workers");
+  Alcotest.(check (option int)) "no restarts" (Some 0) (int_field "worker_restarts");
+  Alcotest.(check (option int)) "no quarantine" (Some 0) (int_field "quarantined");
+  Alcotest.(check (option int)) "queue empty" (Some 0) (int_field "queue_depth");
+  (* the probe itself occupies one worker while it is being answered *)
+  Alcotest.(check (option int)) "busy = this request" (Some 1) (int_field "workers_busy");
+  Alcotest.(check (option string)) "no store configured" (Some "none")
+    (Option.bind (Jsonx.member "store" h) Jsonx.as_str)
+
+(* a crashed worker restarts and the in-flight request is retried once:
+   the client still sees a plain ok *)
+let test_server_worker_restart_retries () =
+  let config =
+    {
+      test_config with
+      Server.workers = 1;
+      chaos_crash = Some (Util.Fault.io_plan ~limit:1 Util.Fault.Crash);
+    }
+  in
+  with_server ~config @@ fun server ->
+  ignore (expect_ok (sync_call server (run_mc_line ())));
+  Alcotest.(check int) "one restart" 1 (Server.worker_restarts server);
+  Alcotest.(check int) "no quarantine" 0 (Server.quarantined server);
+  let h = expect_ok (sync_call server {|{"id":2,"method":"health"}|}) in
+  Alcotest.(check (option int)) "health reports the restart" (Some 1)
+    (Option.bind (Jsonx.member "worker_restarts" h) Jsonx.as_int)
+
+(* a poison request that kills a second worker is quarantined with a typed
+   internal_error instead of crash-looping the pool *)
+let test_server_poison_quarantine () =
+  let config =
+    {
+      test_config with
+      Server.workers = 1;
+      chaos_crash = Some (Util.Fault.io_plan ~period:1 ~limit:2 Util.Fault.Crash);
+    }
+  in
+  with_server ~config @@ fun server ->
+  let msg = expect_error (sync_call server (run_mc_line ())) Protocol.Internal_error in
+  Alcotest.(check bool) "names the quarantine" true (contains ~sub:"quarantined" msg);
+  Alcotest.(check int) "one request quarantined" 1 (Server.quarantined server);
+  Alcotest.(check int) "two restarts" 2 (Server.worker_restarts server);
+  (* the pool survived: the next request is answered normally *)
+  ignore (expect_ok (sync_call server {|{"id":3,"method":"stats"}|}))
+
+(* a worker that crashes after replying re-runs the job on restart; the
+   second reply must be suppressed, not written to the wire *)
+let test_server_exactly_once_reply () =
+  let config =
+    {
+      test_config with
+      Server.workers = 1;
+      chaos_crash_after = Some (Util.Fault.io_plan ~limit:1 Util.Fault.Crash);
+    }
+  in
+  with_server ~config @@ fun server ->
+  let m = Mutex.create () and c = Condition.create () in
+  let replies = ref 0 in
+  Server.submit server {|{"id":1,"method":"stats"}|} ~reply:(fun _ ->
+      Mutex.protect m (fun () ->
+          incr replies;
+          Condition.signal c));
+  Mutex.protect m (fun () ->
+      while !replies < 1 do
+        Condition.wait c m
+      done);
+  (* the retried job re-runs (FIFO) before this request is answered *)
+  ignore (expect_ok (sync_call server {|{"id":2,"method":"stats"}|}));
+  Thread.delay 0.05;
+  Alcotest.(check int) "exactly one reply" 1 (Mutex.protect m (fun () -> !replies));
+  let dups =
+    List.filter
+      (fun e ->
+        e.Util.Diag.stage = "serve.reply" && contains ~sub:"duplicate" e.Util.Diag.detail)
+      (Util.Diag.events (Server.diagnostics server))
+  in
+  Alcotest.(check bool) "duplicate-reply diagnostic recorded" true (dups <> [])
+
+(* satellite: a bounded drain against a wedged worker warns and detaches
+   instead of hanging; a later drain re-waits the same joiner and wins *)
+let test_server_drain_timeout () =
+  let config = { test_config with Server.workers = 1 } in
+  let server = Server.create config in
+  let started = Atomic.make false and release = Atomic.make false in
+  Server.submit server {|{"id":1,"method":"stats"}|} ~reply:(fun _ ->
+      Atomic.set started true;
+      while not (Atomic.get release) do
+        Thread.delay 0.005
+      done);
+  while not (Atomic.get started) do
+    Thread.delay 0.002
+  done;
+  Server.drain ~timeout_s:0.05 server;
+  let timed_out =
+    List.exists
+      (fun e -> e.Util.Diag.stage = "serve.drain")
+      (Util.Diag.events (Server.diagnostics server))
+  in
+  Alcotest.(check bool) "drain-timeout diagnostic" true timed_out;
+  Atomic.set release true;
+  Server.drain server
+
+(* the acceptance bar: a fault storm (worker crashes, read errors, torn
+   writes, latency; >= 50 injected) completes with zero wrong results,
+   every failure typed, and the server back to healthy *)
+let test_server_chaos_invariants () =
+  let store_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "kle-test-chaos.%d" (Unix.getpid ()))
+  in
+  let cfg =
+    {
+      Serve.Chaos.default_config with
+      Serve.Chaos.requests = 60;
+      mc_samples = 8;
+      crash_period = 10;
+      crash_limit = 4;
+      read_error_period = 4;
+      short_read_period = 6;
+      torn_write_period = 2;
+      latency_period = 2;
+      latency_ms = 0.05;
+    }
+  in
+  let report =
+    Fun.protect
+      ~finally:(fun () ->
+        try
+          Array.iter
+            (fun f -> Sys.remove (Filename.concat store_dir f))
+            (Sys.readdir store_dir);
+          Unix.rmdir store_dir
+        with Sys_error _ | Unix.Unix_error _ -> ())
+      (fun () -> Serve.Chaos.run ~store_dir cfg)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "fault floor (got %d)" report.Serve.Chaos.faults_injected)
+    true
+    (report.Serve.Chaos.faults_injected >= 50);
+  Alcotest.(check bool) "workers were crashed" true
+    (report.Serve.Chaos.worker_restarts >= 1);
+  (match Serve.Chaos.violations ~min_faults:50 report with
+  | [] -> ()
+  | v ->
+      Alcotest.failf "chaos violations: %s (report: %s)" (String.concat "; " v)
+        (Serve.Chaos.report_to_string report))
+
 let () =
   Alcotest.run "serve"
     [
@@ -589,5 +747,15 @@ let () =
             test_server_hierarchical_factor_reuse;
           Alcotest.test_case "reply failure survives" `Quick
             test_server_reply_failure_survives;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "health payload" `Quick test_server_health_payload;
+          Alcotest.test_case "worker restart retries" `Quick
+            test_server_worker_restart_retries;
+          Alcotest.test_case "poison quarantine" `Quick test_server_poison_quarantine;
+          Alcotest.test_case "exactly-once reply" `Quick test_server_exactly_once_reply;
+          Alcotest.test_case "drain timeout" `Quick test_server_drain_timeout;
+          Alcotest.test_case "chaos invariants" `Slow test_server_chaos_invariants;
         ] );
     ]

@@ -261,6 +261,31 @@ let test_fault_plan_periodic_with_limit () =
   Alcotest.(check bool) "fires again after reset" true
     (Float.is_finite (Util.Fault.apply p 1.0) && Util.Fault.apply p 1.0 = 0.0)
 
+(* the I/O fault plans behind Persist.Store and the chaos harness share
+   the same counter/selection engine as the numeric plans *)
+let test_fault_io_plan_selection () =
+  let p = Util.Fault.io_plan ~first:1 ~period:3 ~limit:2 Util.Fault.Read_error in
+  let fired = Array.init 10 (fun _ -> Util.Fault.fires p) in
+  (* selected: calls 1, 4, 7, ... — limit caps at 2 *)
+  Array.iteri
+    (fun i f -> Alcotest.(check bool) (Printf.sprintf "call %d" i) (i = 1 || i = 4) f)
+    fired;
+  Alcotest.(check int) "calls counted" 10 (Util.Fault.calls p);
+  Alcotest.(check int) "fired capped by limit" 2 (Util.Fault.fired p);
+  Alcotest.(check bool) "kind preserved" true (Util.Fault.kind p = Util.Fault.Read_error)
+
+let test_fault_io_plan_one_shot_and_fire () =
+  (* period 0 = one-shot at [first]; [fire] returns the kind exactly there *)
+  let p = Util.Fault.io_plan ~first:2 (Util.Fault.Latency 5.0) in
+  Alcotest.(check bool) "call 0 clean" true (Util.Fault.fire p = None);
+  Alcotest.(check bool) "call 1 clean" true (Util.Fault.fire p = None);
+  (match Util.Fault.fire p with
+  | Some (Util.Fault.Latency ms) -> check_float "latency payload" 5.0 ms
+  | _ -> Alcotest.fail "expected the latency fault at call 2");
+  Alcotest.(check bool) "call 3 clean" true (Util.Fault.fire p = None);
+  Alcotest.(check string) "io_kind_name" "latency(5ms)"
+    (Util.Fault.io_kind_name (Util.Fault.Latency 5.0))
+
 (* ---------- minimal JSON parser (for exporter round-trip checks) ---------- *)
 
 module Json = struct
@@ -660,6 +685,51 @@ let test_lint_scratch_needs_reentrancy_comment () =
       write "let id x = x\n";
       Alcotest.(check int) "scratch-free file accepted" 0 (run ())
 
+(* rule 7: worker domains in lib/serve/ must be spawned through
+   Supervisor.spawn — the same text is allowed only inside supervisor.ml,
+   the module that implements the policy *)
+let test_lint_domain_spawn_confined_to_supervisor () =
+  match repo_root (Sys.getcwd ()) with
+  | None -> Alcotest.fail "tools/lint.sh not found above the test cwd"
+  | Some root ->
+      let lint = Filename.concat root "tools/lint.sh" in
+      let dir =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "lint7-test.%d" (Unix.getpid ()))
+      in
+      let libdir = Filename.concat dir "lib" in
+      let servedir = Filename.concat libdir "serve" in
+      Unix.mkdir dir 0o755;
+      Unix.mkdir libdir 0o755;
+      Unix.mkdir servedir 0o755;
+      let bad_file = Filename.concat servedir "pool.ml" in
+      let sup_file = Filename.concat servedir "supervisor.ml" in
+      let write path body =
+        let oc = open_out path in
+        output_string oc body;
+        close_out oc
+      in
+      let run () =
+        Sys.command
+          (Printf.sprintf "sh %s %s >/dev/null 2>&1" (Filename.quote lint)
+             (Filename.quote dir))
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter
+            (fun f -> try Sys.remove f with Sys_error _ -> ())
+            [ bad_file; sup_file ];
+          List.iter
+            (fun d -> try Unix.rmdir d with Unix.Unix_error _ -> ())
+            [ servedir; libdir; dir ])
+      @@ fun () ->
+      let body = "let start f = Domain.spawn f\n" in
+      write bad_file body;
+      Alcotest.(check bool) "bare Domain.spawn rejected" true (run () <> 0);
+      Sys.remove bad_file;
+      write sup_file body;
+      Alcotest.(check int) "supervisor.ml is the allowed site" 0 (run ())
+
 let () =
   Alcotest.run "util"
     [
@@ -667,6 +737,8 @@ let () =
         [
           Alcotest.test_case "scratch needs a re-entrancy comment" `Quick
             test_lint_scratch_needs_reentrancy_comment;
+          Alcotest.test_case "Domain.spawn confined to supervisor" `Quick
+            test_lint_domain_spawn_confined_to_supervisor;
         ] );
       ( "arrayx",
         [
@@ -737,5 +809,8 @@ let () =
           Alcotest.test_case "periodic plan with limit" `Quick
             test_fault_plan_periodic_with_limit;
           Alcotest.test_case "invalid plan args" `Quick test_fault_plan_invalid_args;
+          Alcotest.test_case "io plan selection" `Quick test_fault_io_plan_selection;
+          Alcotest.test_case "io plan one-shot + fire" `Quick
+            test_fault_io_plan_one_shot_and_fire;
         ] );
     ]

@@ -27,6 +27,10 @@
 #      A shared scratch silently corrupts results when two domains call the
 #      same closure — exactly the bug class the pooled-scratch apply fixed —
 #      so the safety argument has to live next to the allocation.
+#   7. No bare `Domain.spawn` in lib/serve/ outside supervisor.ml — worker
+#      domains must be started through `Serve.Supervisor.spawn` so every
+#      crash hits the restart/backoff/quarantine policy. A domain spawned
+#      directly dies silently on an uncaught exception and its jobs hang.
 #
 # Exits non-zero and prints offending lines when a rule is violated.
 #
@@ -101,6 +105,14 @@ if files=$(grep -rlE --include='*.ml' \
   done
   if [ -n "$offenders" ]; then
     fail "scratch buffer without a re-entrancy comment — document why concurrent calls of the enclosing closure are safe (see lib/kle/operator.ml)" "$offenders"
+  fi
+fi
+
+# Rule 7: worker domains in lib/serve/ go through Supervisor.spawn.
+if matches=$(grep -rn --include='*.ml' --include='*.mli' 'Domain\.spawn' lib/serve/ \
+  | grep -v '^lib/serve/supervisor\.mli\?:' || true); then
+  if [ -n "$matches" ]; then
+    fail "bare Domain.spawn in lib/serve/ — start worker domains through Serve.Supervisor.spawn so crashes hit the restart/quarantine policy" "$matches"
   fi
 fi
 
