@@ -59,6 +59,17 @@ let fmt_f = Util.Table.fmt_float
    cheap), written at exit when a path was given *)
 let json_records : Bench_json.entry list ref = ref []
 
+(* the worker-domain count a run actually used: an explicit -j as given,
+   otherwise the default pool's size, resolved at report time — so rows
+   never carry "jobs": null when -j was left to default *)
+let effective_jobs () =
+  match opts.jobs with
+  | Some j -> j
+  | None -> (
+      match Util.Pool.default_if_created () with
+      | Some pool -> Util.Pool.size pool
+      | None -> Domain.recommended_domain_count ())
+
 let emit ?(params = []) ?(stages = []) ?(counters = []) ?mesh_n ?r ?samples name
     ~wall_s =
   json_records :=
@@ -71,7 +82,7 @@ let emit ?(params = []) ?(stages = []) ?(counters = []) ?mesh_n ?r ?samples name
         counters;
         mesh_n;
         r;
-        jobs = opts.jobs;
+        jobs = Some (effective_jobs ());
         samples;
       }
     :: !json_records
@@ -635,30 +646,39 @@ let scale () =
   | None ->
       pf "no crossover in this sweep: the table apply won at every measured n\n";
       emit_meta "scale-crossover" ~params:[ ("crossover_n", Bench_json.Null) ]);
-  (* growth exponent from the last two hierarchical points, and the n = 10^5
-     extrapolation the quadratic strategies cannot reach *)
+  (* growth exponents from the last two hierarchical points, and the n = 10^5
+     extrapolation the quadratic strategies cannot reach. Work and memory are
+     fitted separately: entry evaluations and stored words grow at different
+     rates, so sharing one exponent would overstate whichever is flatter. *)
   (match !hpoints with
-  | (n2, e2, w2) :: (n1, e1, _) :: _ when n2 > n1 ->
-      let exponent =
-        log (float_of_int e2 /. float_of_int e1)
+  | (n2, e2, w2) :: (n1, e1, w1) :: _ when n2 > n1 ->
+      let fit_exponent v1 v2 =
+        log (float_of_int v2 /. float_of_int v1)
         /. log (float_of_int n2 /. float_of_int n1)
       in
+      let work_exponent = fit_exponent e1 e2 in
+      let mem_exponent = fit_exponent w1 w2 in
       let nx = 100_000 in
-      let scale_to v =
+      let scale_to exponent v =
         float_of_int v *. ((float_of_int nx /. float_of_int n2) ** exponent)
       in
-      pf "entry-eval growth exponent over the last doubling: n^%.2f (dense: n^2)\n"
-        exponent;
+      pf
+        "growth exponents over the last doubling: entry evals n^%.2f, words n^%.2f \
+         (dense: n^2)\n"
+        work_exponent mem_exponent;
       pf "extrapolated to n = %d: %.2e entry evals / %.2e words (dense: %.2e / %.2e)\n"
-        nx (scale_to e2) (scale_to w2)
+        nx
+        (scale_to work_exponent e2)
+        (scale_to mem_exponent w2)
         (0.5 *. float_of_int nx *. float_of_int nx)
         (float_of_int nx *. float_of_int nx);
       emit_meta "scale-extrapolation"
         ~params:
-          [ ("exponent", Bench_json.Float exponent);
+          [ ("exponent", Bench_json.Float work_exponent);
+            ("mem_exponent", Bench_json.Float mem_exponent);
             ("n", Bench_json.Int nx);
-            ("entry_evals", Bench_json.Float (scale_to e2));
-            ("words", Bench_json.Float (scale_to w2)) ]
+            ("entry_evals", Bench_json.Float (scale_to work_exponent e2));
+            ("words", Bench_json.Float (scale_to mem_exponent w2)) ]
   | _ -> ());
   pf "eigenvalue agreement <= %.0e checked wherever an exact reference ran\n" gate
 
@@ -1198,10 +1218,20 @@ let smoke () =
 
 (* ---------------------------------------------------------------- *)
 
-(* load generator for the serving stack: cold vs. warm prepare latency
-   through the persistent model store, then a concurrent run_mc load with
-   latency percentiles — all in-process against Serve.Server, the same
-   engine bin/ssta_serve.exe exposes over stdio/socket *)
+(* load generator for the serving stack.
+
+   Phase 1 (store): cold vs. warm prepare latency through the persistent
+   model store — unchanged from the original serving bench.
+
+   Phase 2 (wire/shard sweep): payload-heavy run_mc traffic (an inline
+   bench circuit with many endpoints, [full] per-endpoint statistics in
+   every response) swept over {json, binary} wire x {1, 2} shards x a
+   rising concurrency ladder, reporting p50/p99/p999 latency and
+   saturation throughput per configuration. The same fixed reference
+   request is answered once per configuration and compared bit-for-bit:
+   responses must be identical across wires and shard counts, or the
+   bench exits non-zero. All in-process against Serve.Server /
+   Serve.Router — the same engines bin/ssta_serve.exe exposes. *)
 let serve_bench () =
   header "Serving: persistent KLE model store + concurrent analysis server";
   let module J = Serve.Jsonx in
@@ -1225,9 +1255,6 @@ let serve_bench () =
          [ ("id", J.Num (float_of_int id)); ("method", J.Str meth); ("params", J.Obj params) ])
   in
   let c880 = ("circuit", J.Obj [ ("name", J.Str "c880") ]) in
-  (* all traffic goes through the retrying client — the same policy layer
-     ssta_serve --client uses (per-request timeout, bounded retries,
-     circuit breaker); in-process Server.submit is the transport *)
   let client_for server =
     Serve.Client.create
       ~policy:
@@ -1253,63 +1280,233 @@ let serve_bench () =
   let _, warm_s = Util.Timer.time (fun () -> must_ok client prepare_line) in
   pf "prepare c880: cold %.2fs, warm (store hit) %.4fs -> %.0fx faster\n" cold_s warm_s
     (cold_s /. warm_s);
-  (* load phase: concurrent run_mc requests against the warm server — the
-     shared client is thread-safe, so each submitter thread calls through
-     the same breaker/stats *)
-  let n_requests = 32 and n_mc = 200 and n_threads = 8 in
-  let failures = Atomic.make 0 in
-  let latencies = Array.make n_requests nan in
-  let t_all = Util.Timer.start () in
-  let submitter tid =
-    let i = ref tid in
-    while !i < n_requests do
-      let idx = !i in
-      let line =
-        request (idx + 1) "run_mc"
-          [ c880; ("sampler", J.Str (if idx mod 2 = 0 then "kle" else "kle-qmc"));
-            ("seed", J.Num (float_of_int (opts.seed + idx))); ("n", J.Num (float_of_int n_mc)) ]
-      in
-      let timer = Util.Timer.start () in
-      (match Serve.Client.call client line with
-      | Ok _ -> ()
-      | Error _ -> Atomic.incr failures);
-      latencies.(idx) <- Util.Timer.elapsed_s timer;
-      i := !i + n_threads
-    done
-  in
-  let threads = List.init n_threads (fun tid -> Thread.create submitter tid) in
-  List.iter Thread.join threads;
-  let total_s = Util.Timer.elapsed_s t_all in
-  if Atomic.get failures > 0 then begin
-    pf "FAIL: %d serve requests errored\n" (Atomic.get failures);
-    exit 1
-  end;
-  let sorted = Array.copy latencies in
-  Array.sort Float.compare sorted;
-  let pct p =
-    let n = Array.length sorted in
-    sorted.(max 0 (min (n - 1) (int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1)))
-  in
-  let stats_resp = must_ok client (request 99 "stats" []) in
-  let cstats = Serve.Client.stats client in
-  pf "client: %d calls, %d retries, %d breaker opens\n" cstats.Serve.Client.calls
-    cstats.Serve.Client.retries cstats.Serve.Client.breaker_opens;
   Serve.Server.drain server;
-  pf "%d concurrent run_mc(n=%d) requests on %d workers: %.2fs total, %.1f req/s\n" n_requests
-    n_mc config.Serve.Server.workers total_s
-    (float_of_int n_requests /. total_s);
-  pf "latency: p50 %.3fs, p90 %.3fs, p99 %.3fs\n" (pct 50.) (pct 90.) (pct 99.);
-  pf "final stats: %s\n" stats_resp;
   emit "serve"
-    ~params:
-      [ ("circuit", Bench_json.String "c880");
-        ("workers", Bench_json.Int config.Serve.Server.workers);
-        ("requests", Bench_json.Int n_requests) ]
-    ~stages:
-      [ ("prepare_cold", cold_s); ("prepare_warm", warm_s); ("load_total", total_s);
-        ("latency_p50", pct 50.); ("latency_p90", pct 90.); ("latency_p99", pct 99.) ]
-    ~counters:(counters_since c0) ~samples:n_mc
-    ~wall_s:(cold_s +. warm_s +. total_s);
+    ~params:[ ("circuit", Bench_json.String "c880") ]
+    ~stages:[ ("prepare_cold", cold_s); ("prepare_warm", warm_s) ]
+    ~counters:(counters_since c0)
+    ~wall_s:(cold_s +. warm_s);
+  (* ---- wire/shard sweep ------------------------------------------- *)
+  (* a generated netlist with many endpoints, so [full] responses carry
+     two per-endpoint float arrays — the payload-heavy shape the binary
+     wire exists for *)
+  let bench_text =
+    let inputs = 8 and outputs = 96 in
+    let b = Buffer.create 8192 in
+    for i = 0 to inputs - 1 do
+      Buffer.add_string b (Printf.sprintf "INPUT(i%d)\n" i)
+    done;
+    for o = 0 to outputs - 1 do
+      Buffer.add_string b (Printf.sprintf "OUTPUT(o%d)\n" o)
+    done;
+    for o = 0 to outputs - 1 do
+      Buffer.add_string b
+        (Printf.sprintf "g%d = NAND(i%d, i%d)\n" o (o mod inputs)
+           ((o + 1) mod inputs));
+      Buffer.add_string b (Printf.sprintf "o%d = NOT(g%d)\n" o o)
+    done;
+    Buffer.contents b
+  in
+  (* the load spreads over several distinct model-spec keys so a multi-shard
+     router actually fans out (one key would pin every request to its owning
+     shard — shed-not-spread by design). The variants differ only by a
+     comment line the parser strips, so every response stays bit-comparable
+     to one reference while hashing to a different key *)
+  let key_variants = 4 in
+  let variant_text k =
+    if k = 0 then bench_text else Printf.sprintf "%s# key variant %d\n" bench_text k
+  in
+  let n_mc = 64 in
+  let mc_request ~id ~variant ~seed =
+    {
+      Serve.Protocol.id = J.Num (float_of_int id);
+      deadline_ms = None;
+      call =
+        Serve.Protocol.Run_mc
+          {
+            circuit = Serve.Protocol.Bench_text (variant_text (variant mod key_variants));
+            sampler = Serve.Protocol.Kle;
+            r = None;
+            seed;
+            n = n_mc;
+            batch = None;
+            full = true;
+          };
+    }
+  in
+  (* the sweep's serving config: a coarse mesh (the serving layers under
+     test are wire, batching and routing — not the eigensolver), a short
+     coalescing window, shared store *)
+  let sweep_config =
+    {
+      config with
+      Serve.Server.kle =
+        { Ssta.Algorithm2.paper_config with Ssta.Algorithm2.max_area_fraction = 0.05 };
+      workers = 2;
+      batch_window_s = 0.001;
+      batch_max = 8;
+    }
+  in
+  let payload_bits payload =
+    let num key =
+      Option.map Int64.bits_of_float (Option.bind (J.member key payload) J.as_num)
+    in
+    let arr key =
+      match J.member key payload with
+      | Some (J.List items) ->
+          List.map
+            (function J.Num f -> Int64.bits_of_float f | _ -> Int64.minus_one)
+            items
+      | _ -> []
+    in
+    (num "worst_mean", num "worst_sigma", arr "endpoint_mean", arr "endpoint_sigma")
+  in
+  let reference = ref None in
+  let saturation = ref [] in
+  List.iter
+    (fun (wire_name, wire, shards) ->
+      (* fresh servers per configuration (clean memory tiers); the store
+         stays warm after the first configuration's first request *)
+      let submit, shutdown =
+        if shards = 1 then begin
+          let server = Serve.Server.create sweep_config in
+          ( (fun ~wire payload ~reply ->
+              Serve.Server.submit_wire server ~wire payload ~reply),
+            fun () -> Serve.Server.drain server )
+        end
+        else begin
+          let servers = List.init shards (fun _ -> Serve.Server.create sweep_config) in
+          let backends =
+            List.mapi
+              (fun i s ->
+                Serve.Router.backend_of_server
+                  ~describe:(Printf.sprintf "shard-%d" i) s)
+              servers
+          in
+          let router = Serve.Router.create backends in
+          ( (fun ~wire payload ~reply -> Serve.Router.submit router ~wire payload ~reply),
+            fun () -> List.iter Serve.Server.drain servers )
+        end
+      in
+      (* a client transport carries a whole message: a JSON line, or a full
+         binary frame whose header Server/Router.submit does not expect *)
+      let transport message ~reply =
+        match wire with
+        | `Json -> submit ~wire:`Json message ~reply
+        | `Binary -> (
+            match Serve.Wire.unframe message with
+            | Ok payload -> submit ~wire:`Binary payload ~reply
+            | Error _ -> pf "FAIL: client emitted an unframeable request\n"; exit 1)
+      in
+      let client =
+        Serve.Client.create
+          ~policy:
+            { Serve.Client.default_policy with Serve.Client.timeout_s = Some 600.0 }
+          ~wire transport
+      in
+      (* warm every key variant (cache tiers, sampler artifacts), then take a
+         bit-identity reference probe per key: all variants, wires and shard
+         counts must agree on every bit *)
+      for variant = 0 to key_variants - 1 do
+        (match
+           Serve.Client.call_request client (mc_request ~id:variant ~variant ~seed:opts.seed)
+         with
+        | Ok _ -> ()
+        | Error f ->
+            pf "FAIL: warmup (%s, %d shard%s): %s\n" wire_name shards
+              (if shards = 1 then "" else "s")
+              (Serve.Client.failure_to_string f);
+            exit 1);
+        match
+          Serve.Client.call_request client
+            (mc_request ~id:(100 + variant) ~variant ~seed:(opts.seed + 777))
+        with
+        | Error f ->
+            pf "FAIL: reference probe: %s\n" (Serve.Client.failure_to_string f);
+            exit 1
+        | Ok payload -> (
+            let bits = payload_bits payload in
+            match !reference with
+            | None -> reference := Some bits
+            | Some want when want = bits -> ()
+            | Some _ ->
+                pf
+                  "FAIL: WRONG RESULT — response over %s wire with %d shard(s) (key \
+                   variant %d) is not bit-identical to the reference\n"
+                  wire_name shards variant;
+                exit 1)
+      done;
+      let best_rps = ref 0.0 in
+      List.iter
+        (fun concurrency ->
+          let n_requests = 8 * concurrency in
+          let failures = Atomic.make 0 in
+          let latencies = Array.make n_requests nan in
+          let t_all = Util.Timer.start () in
+          let submitter tid =
+            let i = ref tid in
+            while !i < n_requests do
+              let idx = !i in
+              let timer = Util.Timer.start () in
+              (match
+                 Serve.Client.call_request client
+                   (mc_request ~id:(idx + 200) ~variant:idx ~seed:(opts.seed + idx))
+               with
+              | Ok _ -> ()
+              | Error _ -> Atomic.incr failures);
+              latencies.(idx) <- Util.Timer.elapsed_s timer;
+              i := !i + concurrency
+            done
+          in
+          let threads = List.init concurrency (fun tid -> Thread.create submitter tid) in
+          List.iter Thread.join threads;
+          let total_s = Util.Timer.elapsed_s t_all in
+          if Atomic.get failures > 0 then begin
+            pf "FAIL: %d serve requests errored (%s wire, %d shard(s), concurrency %d)\n"
+              (Atomic.get failures) wire_name shards concurrency;
+            exit 1
+          end;
+          let sorted = Array.copy latencies in
+          Array.sort Float.compare sorted;
+          let pct p =
+            let n = Array.length sorted in
+            sorted.(max 0
+                      (min (n - 1) (int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1)))
+          in
+          let rps = float_of_int n_requests /. total_s in
+          if rps > !best_rps then best_rps := rps;
+          pf
+            "%-6s wire, %d shard(s), concurrency %2d: %3d reqs in %6.2fs — %6.1f req/s, \
+             p50 %.4fs p99 %.4fs p99.9 %.4fs\n"
+            wire_name shards concurrency n_requests total_s rps (pct 50.) (pct 99.)
+            (pct 99.9);
+          emit "serve-load"
+            ~params:
+              [ ("wire", Bench_json.String wire_name);
+                ("shards", Bench_json.Int shards);
+                ("concurrency", Bench_json.Int concurrency);
+                ("requests", Bench_json.Int n_requests);
+                ("endpoints", Bench_json.Int 96);
+                ("key_variants", Bench_json.Int key_variants) ]
+            ~stages:
+              [ ("latency_p50", pct 50.); ("latency_p90", pct 90.);
+                ("latency_p99", pct 99.); ("latency_p999", pct 99.9);
+                ("throughput_rps", rps) ]
+            ~samples:n_mc ~wall_s:total_s)
+        [ 1; 4; 12 ];
+      saturation := (wire_name, shards, !best_rps) :: !saturation;
+      shutdown ())
+    [ ("json", `Json, 1); ("binary", `Binary, 1); ("json", `Json, 2); ("binary", `Binary, 2) ];
+  List.iter
+    (fun (wire_name, shards, rps) ->
+      pf "saturation: %s wire, %d shard(s): %.1f req/s\n" wire_name shards rps;
+      emit_meta "serve-saturation"
+        ~params:
+          [ ("wire", Bench_json.String wire_name);
+            ("shards", Bench_json.Int shards);
+            ("throughput_rps", Bench_json.Float rps) ])
+    (List.rev !saturation);
+  pf "bit-identity: responses identical across both wires and shard counts\n";
   (* leave no bench droppings in TMPDIR *)
   (try
      Array.iter (fun f -> Sys.remove (Filename.concat store_dir f)) (Sys.readdir store_dir);
@@ -1323,40 +1520,50 @@ let serve_bench () =
    typed, recovery to healthy). Exits non-zero on any violation. *)
 let chaos_bench () =
   header "Chaos: fault-injected serving (supervision, store faults, recovery)";
-  let c0 = Util.Trace.counters () in
-  let store_dir =
-    Filename.concat (Filename.get_temp_dir_name ())
-      (Printf.sprintf "kle-chaos-bench.%d" (Unix.getpid ()))
+  (* two storms with the same invariants: direct against one server, then
+     through the consistent-hash router over two fault-injected shards
+     (with shard-connection blackouts driving replica failover on top) *)
+  let storm label cfg =
+    let c0 = Util.Trace.counters () in
+    let store_dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "kle-chaos-bench-%s.%d" label (Unix.getpid ()))
+    in
+    let report, wall_s =
+      Util.Timer.time (fun () ->
+          Serve.Chaos.run ~log:(fun s -> pf "%s\n" s) ~store_dir cfg)
+    in
+    pf "[%s] %s\n" label (Serve.Chaos.report_to_string report);
+    emit
+      (if cfg.Serve.Chaos.router_shards > 0 then "chaos-router" else "chaos")
+      ~params:
+        [ ("requests", Bench_json.Int report.Serve.Chaos.requests);
+          ("workers", Bench_json.Int cfg.Serve.Chaos.workers);
+          ("router_shards", Bench_json.Int cfg.Serve.Chaos.router_shards) ]
+      ~counters:
+        (counters_since c0
+        @ List.map
+            (fun f ->
+              ("fault_" ^ f.Serve.Chaos.fault, f.Serve.Chaos.fired))
+            report.Serve.Chaos.fault_counts
+        @ [ ("worker_restarts", report.Serve.Chaos.worker_restarts);
+            ("quarantined", report.Serve.Chaos.quarantined);
+            ("typed_errors", report.Serve.Chaos.typed_errors) ])
+      ~samples:cfg.Serve.Chaos.mc_samples ~wall_s;
+    (try
+       Array.iter (fun f -> Sys.remove (Filename.concat store_dir f)) (Sys.readdir store_dir);
+       Unix.rmdir store_dir
+     with Sys_error _ | Unix.Unix_error _ -> ());
+    match Serve.Chaos.violations report with
+    | [] -> pf "chaos (%s) OK\n" label
+    | viols ->
+        List.iter (fun v -> pf "CHAOS VIOLATION (%s): %s\n" label v) viols;
+        exit 1
   in
-  let cfg = Serve.Chaos.default_config in
-  let report, wall_s =
-    Util.Timer.time (fun () ->
-        Serve.Chaos.run ~log:(fun s -> pf "%s\n" s) ~store_dir cfg)
-  in
-  pf "%s\n" (Serve.Chaos.report_to_string report);
-  emit "chaos"
-    ~params:
-      [ ("requests", Bench_json.Int report.Serve.Chaos.requests);
-        ("workers", Bench_json.Int cfg.Serve.Chaos.workers) ]
-    ~counters:
-      (counters_since c0
-      @ List.map
-          (fun f ->
-            ("fault_" ^ f.Serve.Chaos.fault, f.Serve.Chaos.fired))
-          report.Serve.Chaos.fault_counts
-      @ [ ("worker_restarts", report.Serve.Chaos.worker_restarts);
-          ("quarantined", report.Serve.Chaos.quarantined);
-          ("typed_errors", report.Serve.Chaos.typed_errors) ])
-    ~samples:cfg.Serve.Chaos.mc_samples ~wall_s;
-  (try
-     Array.iter (fun f -> Sys.remove (Filename.concat store_dir f)) (Sys.readdir store_dir);
-     Unix.rmdir store_dir
-   with Sys_error _ | Unix.Unix_error _ -> ());
-  (match Serve.Chaos.violations report with
-  | [] -> pf "chaos OK\n"
-  | viols ->
-      List.iter (fun v -> pf "CHAOS VIOLATION: %s\n" v) viols;
-      exit 1)
+  storm "direct" Serve.Chaos.default_config;
+  storm "router"
+    { Serve.Chaos.default_config with Serve.Chaos.router_shards = 2 };
+  pf "chaos OK\n"
 
 let all () =
   fig1 ();
@@ -1469,10 +1676,6 @@ let () =
   (match opts.json with
   | None -> ()
   | Some path ->
-      let opt_int = function
-        | Some i -> Bench_json.Int i
-        | None -> Bench_json.Null
-      in
       let config =
         Bench_json.Meta
           {
@@ -1483,7 +1686,7 @@ let () =
                 ("table_samples", Bench_json.Int opts.table_samples);
                 ("mesh_frac", Bench_json.Float opts.mesh_frac);
                 ("seed", Bench_json.Int opts.seed);
-                ("jobs", opt_int opts.jobs);
+                ("jobs", Bench_json.Int (effective_jobs ()));
                 ( "argv",
                   Bench_json.String
                     (String.concat " " (List.tl (Array.to_list Sys.argv))) );

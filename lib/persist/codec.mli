@@ -33,6 +33,12 @@ val write_int : writer -> int -> unit
 val write_bool : writer -> bool -> unit
 val write_float : writer -> float -> unit
 val write_fixed64 : writer -> int64 -> unit
+
+val write_fixed32 : writer -> int -> unit
+(** Fixed-width unsigned 32-bit little-endian — the wire framing's length
+    field, where a self-delimiting varint would complicate header reads;
+    raises [Invalid_argument] outside [0, 2^32). *)
+
 val write_string : writer -> string -> unit
 
 val write_option : writer -> (writer -> 'a -> unit) -> 'a option -> unit
@@ -56,6 +62,7 @@ val read_int : reader -> int
 val read_bool : reader -> bool
 val read_float : reader -> float
 val read_fixed64 : reader -> int64
+val read_fixed32 : reader -> int
 val read_string : reader -> string
 
 val read_option : reader -> (reader -> 'a) -> 'a option

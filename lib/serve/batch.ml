@@ -1,0 +1,150 @@
+type stats = { appended : int; flushed_groups : int; max_group : int }
+
+type 'a bucket = { id : int; mutable items : 'a list; mutable count : int; deadline_ns : int }
+
+type 'a t = {
+  window_s : float;
+  max_batch : int;
+  flush : string -> 'a list -> unit;
+  lock : Mutex.t;
+  wake : Condition.t;
+  buckets : (string, 'a bucket) Hashtbl.t;
+  order : (int * string * int) Queue.t;  (* (bucket id, key, deadline_ns), FIFO = deadline order *)
+  mutable next_id : int;
+  mutable stopped : bool;
+  mutable appended : int;
+  mutable flushed_groups : int;
+  mutable max_group : int;
+  mutable timer : Thread.t option;
+}
+
+let record_flush t n =
+  t.flushed_groups <- t.flushed_groups + 1;
+  if n > t.max_group then t.max_group <- n
+
+(* Pop every due (or all, when [~all]) groups under the lock; flush outside it
+   so the flush callback can take downstream locks freely. *)
+let drain_due t ~all =
+  let due = ref [] in
+  Mutex.lock t.lock;
+  (try
+     let continue = ref true in
+     while !continue do
+       match Queue.peek_opt t.order with
+       | None -> continue := false
+       | Some (bid, key, deadline) ->
+           if all || deadline <= Util.Trace.now_ns () then begin
+             ignore (Queue.pop t.order);
+             match Hashtbl.find_opt t.buckets key with
+             | Some b when b.id = bid ->
+                 Hashtbl.remove t.buckets key;
+                 record_flush t b.count;
+                 due := (key, List.rev b.items) :: !due
+             | _ -> ()  (* stale entry: that bucket already flushed via max_batch *)
+           end
+           else continue := false
+     done
+   with e ->
+     Mutex.unlock t.lock;
+     raise e);
+  Mutex.unlock t.lock;
+  List.iter (fun (key, items) -> t.flush key items) (List.rev !due)
+
+let timer_loop t () =
+  let rec loop () =
+    Mutex.lock t.lock;
+    let action =
+      if t.stopped then `Exit
+      else
+        match Queue.peek_opt t.order with
+        | None ->
+            Condition.wait t.wake t.lock;
+            `Recheck
+        | Some (_, _, deadline) ->
+            let now = Util.Trace.now_ns () in
+            if deadline <= now then `Drain else `Sleep (float_of_int (deadline - now) *. 1e-9)
+    in
+    Mutex.unlock t.lock;
+    match action with
+    | `Exit -> ()
+    | `Recheck -> loop ()
+    | `Drain ->
+        drain_due t ~all:false;
+        loop ()
+    | `Sleep s ->
+        Thread.delay s;
+        loop ()
+  in
+  loop ()
+
+let create ~window_s ~max_batch ~flush =
+  let t =
+    {
+      window_s;
+      max_batch;
+      flush;
+      lock = Mutex.create ();
+      wake = Condition.create ();
+      buckets = Hashtbl.create 16;
+      order = Queue.create ();
+      next_id = 0;
+      stopped = false;
+      appended = 0;
+      flushed_groups = 0;
+      max_group = 1;
+      timer = None;
+    }
+  in
+  if window_s > 0. && max_batch > 1 then t.timer <- Some (Thread.create (timer_loop t) ());
+  t
+
+let add t ~key v =
+  Mutex.lock t.lock;
+  t.appended <- t.appended + 1;
+  if t.stopped || not (t.window_s > 0.) || t.max_batch <= 1 then begin
+    record_flush t 1;
+    Mutex.unlock t.lock;
+    t.flush key [ v ]
+  end
+  else
+    match Hashtbl.find_opt t.buckets key with
+    | Some b ->
+        b.items <- v :: b.items;
+        b.count <- b.count + 1;
+        if b.count >= t.max_batch then begin
+          (* full group flushes on the adding thread: no latency at saturation *)
+          Hashtbl.remove t.buckets key;
+          record_flush t b.count;
+          Mutex.unlock t.lock;
+          t.flush key (List.rev b.items)
+        end
+        else Mutex.unlock t.lock
+    | None ->
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        let deadline_ns = Util.Trace.now_ns () + int_of_float (t.window_s *. 1e9) in
+        Hashtbl.replace t.buckets key { id; items = [ v ]; count = 1; deadline_ns };
+        Queue.push (id, key, deadline_ns) t.order;
+        Condition.signal t.wake;
+        Mutex.unlock t.lock
+
+let flush_all t = drain_due t ~all:true
+
+let shutdown t =
+  Mutex.lock t.lock;
+  let was_stopped = t.stopped in
+  t.stopped <- true;
+  Condition.signal t.wake;
+  let timer = t.timer in
+  t.timer <- None;
+  Mutex.unlock t.lock;
+  if not was_stopped then begin
+    (match timer with Some th -> Thread.join th | None -> ());
+    drain_due t ~all:true
+  end
+
+let stats t =
+  Mutex.lock t.lock;
+  let s = { appended = t.appended; flushed_groups = t.flushed_groups; max_group = t.max_group } in
+  Mutex.unlock t.lock;
+  s

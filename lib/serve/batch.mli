@@ -1,0 +1,39 @@
+(** Request accumulation windows: group compatible items arriving within a
+    short window under the same key, then flush the whole group at once.
+
+    The server uses this on top of the per-key single-flight cache: [run_mc]
+    requests that share a model-spec key but differ in seed/sample-count
+    accumulate for [window_s], then run as {e one} pipeline invocation that
+    resolves the circuit, cache tiers, and samplers once and fans the group
+    out — amortizing cache lookups and pool dispatch across the group.
+
+    Ordering within a key is preserved (items flush in arrival order). A
+    group flushes when its window expires, when it reaches [max_batch]
+    (flushed on the {e adding} thread — no extra latency at saturation), or
+    on {!flush_all}/{!shutdown}. One timer thread per collector. *)
+
+type 'a t
+
+type stats = {
+  appended : int;  (** items accepted by {!add} *)
+  flushed_groups : int;
+  max_group : int;  (** largest group flushed so far *)
+}
+
+val create : window_s:float -> max_batch:int -> flush:(string -> 'a list -> unit) -> 'a t
+(** [flush key items] is called outside the collector lock, on the timer
+    thread or the adding thread — it must not call back into {!add}. A
+    non-positive [window_s] or [max_batch <= 1] makes every add flush
+    immediately as a singleton group. *)
+
+val add : 'a t -> key:string -> 'a -> unit
+(** After {!shutdown}, an add flushes immediately as a singleton (the
+    server's draining check replies [shutting_down] downstream). *)
+
+val flush_all : 'a t -> unit
+(** Synchronously flush every open group (drain choreography). *)
+
+val shutdown : 'a t -> unit
+(** Flush everything and stop the timer thread; idempotent. *)
+
+val stats : 'a t -> stats

@@ -34,6 +34,13 @@ type config = {
   latency_ms : float;
   client_timeout_s : float;  (** per-attempt client timeout *)
   recovery_probes : int;  (** health probes before declaring no recovery *)
+  router_shards : int;
+      (** 0 (default) storms a single server directly. [n > 0] storms a
+          consistent-hash {!Router} over [n] shard servers sharing one
+          store, each with its own fault plans; shard 0's backend also
+          blacks out periodically so replica failover is exercised. The
+          zero-wrong-results check then also asserts cross-shard
+          bit-identity against the single-server baseline. *)
 }
 
 val default_config : config

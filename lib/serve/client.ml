@@ -49,6 +49,7 @@ type breaker_state = Closed | Open of int (* reopen probe deadline, now_ns *) | 
 type t = {
   transport : transport;
   policy : policy;
+  wire : [ `Json | `Binary ];
   diag : Util.Diag.sink option;
   lock : Mutex.t;
   mutable breaker : breaker_state;
@@ -61,11 +62,12 @@ type t = {
   n_breaker_opens : int Atomic.t;
 }
 
-let create ?diag ?(policy = default_policy) ?(seed = 1) transport =
+let create ?diag ?(policy = default_policy) ?(seed = 1) ?(wire = `Json) transport =
   if policy.max_attempts < 1 then invalid_arg "Client.create: max_attempts < 1";
   {
     transport;
     policy;
+    wire;
     diag;
     lock = Mutex.create ();
     breaker = Closed;
@@ -140,6 +142,20 @@ let classify_reply line =
               Error (Protocol_error (code, msg))
           | None -> Error (Transport_failed ("reply has neither ok nor error: " ^ line))))
 
+(* binary replies arrive as whole frames (header included) *)
+let classify_frame frame =
+  match Wire.unframe frame with
+  | Error `Eof -> Error (Transport_failed "empty reply frame")
+  | Error (`Corrupt msg) -> Error (Transport_failed ("corrupt reply frame: " ^ msg))
+  | Ok payload -> (
+      match Wire.decode_response payload with
+      | Error msg -> Error (Transport_failed ("unparseable reply: " ^ msg))
+      | Ok (_id, Ok payload) -> Ok payload
+      | Ok (_id, Error (code, msg)) -> Error (Protocol_error (code, msg)))
+
+let classify t reply =
+  match t.wire with `Json -> classify_reply reply | `Binary -> classify_frame reply
+
 (* one attempt: send, then poll for the reply up to the per-attempt
    timeout. Each attempt gets a fresh cell, so a late reply from a timed-out
    attempt lands in an abandoned cell instead of satisfying the retry. *)
@@ -155,7 +171,7 @@ let attempt t line =
       in
       let rec await () =
         match Atomic.get cell with
-        | Some reply -> classify_reply reply
+        | Some reply -> classify t reply
         | None -> (
             match deadline_ns with
             | Some d when Util.Trace.now_ns () > d ->
@@ -241,3 +257,13 @@ let call t line =
     in
     go 1 t.policy.backoff_s
   end
+
+let wire t = t.wire
+
+let call_request t request =
+  let message =
+    match t.wire with
+    | `Json -> Protocol.encode_request request
+    | `Binary -> Wire.encode_request request
+  in
+  call t message

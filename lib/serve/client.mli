@@ -24,8 +24,10 @@
     thread-safe. *)
 
 type transport = string -> reply:(string -> unit) -> unit
-(** Send one request line; [reply] is invoked (possibly on another thread)
-    with the response line. [Server.submit server] is a transport. *)
+(** Send one wire message; [reply] is invoked (possibly on another thread)
+    with the response message. On the [`Json] wire a message is one
+    request/response line ([Server.submit server] is a transport); on
+    [`Binary] it is one whole {!Wire} frame, header included. *)
 
 type policy = {
   timeout_s : float option;  (** per-attempt reply timeout; [None] waits forever *)
@@ -62,12 +64,27 @@ type stats = {
 type t
 
 val create :
-  ?diag:Util.Diag.sink -> ?policy:policy -> ?seed:int -> transport -> t
+  ?diag:Util.Diag.sink ->
+  ?policy:policy ->
+  ?seed:int ->
+  ?wire:[ `Json | `Binary ] ->
+  transport ->
+  t
 (** [diag] receives [serve.client] events: [Info] per retry, [Warning]
-    when the breaker opens. [seed] fixes the jitter schedule. *)
+    when the breaker opens. [seed] fixes the jitter schedule. [wire]
+    (default [`Json]) selects how requests are encoded and replies decoded;
+    the transport must speak the same wire. *)
+
+val wire : t -> [ `Json | `Binary ]
 
 val call : t -> string -> (Jsonx.t, failure) result
-(** Send one request line and block for the final outcome: the [ok]
-    payload, or the failure that exhausted the policy. *)
+(** Send one pre-encoded request (a JSON line, or a whole binary frame on
+    the [`Binary] wire) and block for the final outcome: the [ok] payload,
+    or the failure that exhausted the policy. *)
+
+val call_request : t -> Protocol.request -> (Jsonx.t, failure) result
+(** Build the message for this client's wire ({!Protocol.encode_request} or
+    {!Wire.encode_request}) and {!call} it — the wire-agnostic entry point;
+    the payload for a given request is bit-identical on both wires. *)
 
 val stats : t -> stats

@@ -10,6 +10,7 @@ type call =
       seed : int;
       n : int;
       batch : int option;
+      full : bool;
     }
   | Compare of { circuit : circuit; r : int option; seed : int; n : int }
   | Stats
@@ -89,6 +90,14 @@ let opt_int_field params key ~min =
       | Some i -> reject Bad_params "params.%s = %d out of range (min %d)" key i min
       | None -> reject Bad_params "params.%s must be an integer" key)
 
+let bool_field params key ~default =
+  match Jsonx.member key params with
+  | None -> default
+  | Some v -> (
+      match Jsonx.as_bool v with
+      | Some b -> b
+      | None -> reject Bad_params "params.%s must be a boolean" key)
+
 let sampler_of params =
   match Jsonx.member "sampler" params with
   | None -> Kle
@@ -112,6 +121,7 @@ let call_of ~method_ params =
           seed = int_field params "seed" ~default:42 ~min:min_int;
           n = int_field params "n" ~min:1;
           batch = opt_int_field params "batch" ~min:1;
+          full = bool_field params "full" ~default:false;
         }
   | "compare" ->
       Compare
@@ -159,6 +169,49 @@ let decode line =
 
 (* ---------------------------------------------------------------- *)
 (* encoding *)
+
+let sampler_name = function
+  | Cholesky -> "cholesky"
+  | Kle -> "kle"
+  | Kle_qmc -> "kle-qmc"
+
+let circuit_json = function
+  | Named name -> Jsonx.Obj [ ("name", Jsonx.Str name) ]
+  | Bench_text text -> Jsonx.Obj [ ("bench", Jsonx.Str text) ]
+
+let num_i v = Jsonx.Num (float_of_int v)
+
+let opt_num_i key = function None -> [] | Some v -> [ (key, num_i v) ]
+
+let encode_request { id; deadline_ms; call } =
+  let method_, params =
+    match call with
+    | Prepare { circuit; r } ->
+        ("prepare", [ ("circuit", circuit_json circuit) ] @ opt_num_i "r" r)
+    | Run_mc { circuit; sampler; r; seed; n; batch; full } ->
+        ( "run_mc",
+          [ ("circuit", circuit_json circuit); ("sampler", Jsonx.Str (sampler_name sampler)) ]
+          @ opt_num_i "r" r
+          @ [ ("seed", num_i seed); ("n", num_i n) ]
+          @ opt_num_i "batch" batch
+          @ if full then [ ("full", Jsonx.Bool true) ] else [] )
+    | Compare { circuit; r; seed; n } ->
+        ( "compare",
+          [ ("circuit", circuit_json circuit) ]
+          @ opt_num_i "r" r
+          @ [ ("seed", num_i seed); ("n", num_i n) ] )
+    | Stats -> ("stats", [])
+    | Health -> ("health", [])
+    | Shutdown -> ("shutdown", [])
+  in
+  Jsonx.to_string
+    (Jsonx.Obj
+       ([ ("id", id) ]
+       @ (match deadline_ms with
+         | Some ms -> [ ("deadline_ms", Jsonx.Num ms) ]
+         | None -> [])
+       @ [ ("method", Jsonx.Str method_) ]
+       @ match params with [] -> [] | ps -> [ ("params", Jsonx.Obj ps) ]))
 
 let ok_response ~id payload = Jsonx.to_string (Jsonx.Obj [ ("id", id); ("ok", payload) ])
 

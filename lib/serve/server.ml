@@ -10,6 +10,8 @@ type config = {
   store_io_faults : Util.Fault.io_plan list;
   chaos_crash : Util.Fault.io_plan option;
   chaos_crash_after : Util.Fault.io_plan option;
+  batch_window_s : float;
+  batch_max : int;
 }
 
 let default_config =
@@ -25,6 +27,8 @@ let default_config =
     store_io_faults = [];
     chaos_crash = None;
     chaos_crash_after = None;
+    batch_window_s = 0.0;
+    batch_max = 8;
   }
 
 (* trace counters: per-request attribution when tracing is enabled; the
@@ -43,9 +47,19 @@ type artifact =
   | A_model of Kle.Model.t
   | A_hmatrix of Kle.Hmatrix.t
 
+(* per-connection response codec: a job answers on the wire it arrived on *)
+type rcodec = {
+  rc_ok : id:Jsonx.t -> Jsonx.t -> string;
+  rc_error : id:Jsonx.t -> Protocol.error_code -> string -> string;
+}
+
+let json_codec = { rc_ok = Protocol.ok_response; rc_error = Protocol.error_response }
+let binary_codec = { rc_ok = Wire.ok_response; rc_error = Wire.error_response }
+
 type job = {
   request : Protocol.request;
   reply : string -> unit;
+  codec : rcodec;  (* response encoder for the wire the request arrived on *)
   deadline_ns : int option;  (* absolute, on the Util.Trace.now_ns clock *)
   replied : bool Atomic.t;  (* exactly-once reply guard *)
   attempts : int Atomic.t;  (* worker crashes this job has caused *)
@@ -56,7 +70,11 @@ type t = {
   diag : Util.Diag.sink;
   store : Persist.Store.t option;
   cache : artifact Lru.t;
-  queue : job Queue.t;
+  (* the queue holds job *groups*: singletons for ordinary requests, larger
+     lists for coalesced run_mc batches that execute with shared prep *)
+  queue : job list Queue.t;
+  mutable queued : int;  (* total jobs across queued groups; guarded by [lock] *)
+  mutable batcher : job Batch.t option;  (* set once in [create], never again *)
   lock : Mutex.t;
   not_empty : Condition.t;
   (* single-flight: keys whose compute is running on some domain; a second
@@ -308,27 +326,38 @@ let kle_samplers t models (setup : Ssta.Experiment.circuit_setup) =
     (fun m -> Kle.Sampler.create ~diag:t.diag m setup.Ssta.Experiment.locations)
     models
 
-let mc_sampler_of t (setup : Ssta.Experiment.circuit_setup) kind ~r ~seed :
-    Ssta.Experiment.sampler * float * tier =
+(* The seed-independent half of sampler construction: the expensive shared
+   resources (Cholesky factor / KLE samplers) that a coalesced batch pays
+   for once. [sampler_fn_of] then binds a member's seed, so a batched
+   request and the equivalent unbatched one draw bit-identical samples. *)
+let sampler_resources t (setup : Ssta.Experiment.circuit_setup) kind ~r =
   match (kind : Protocol.sampler_kind) with
   | Protocol.Cholesky ->
       let timer = Util.Timer.start () in
       let a1 = Ssta.Algorithm1.prepare ~diag:t.diag ?jobs:t.config.jobs (process ()) setup.Ssta.Experiment.locations in
-      ((fun rng ~n -> Ssta.Algorithm1.sample_block a1 rng ~n), Util.Timer.elapsed_s timer, Miss)
+      (`Cholesky a1, Util.Timer.elapsed_s timer, Miss)
   | Protocol.Kle ->
       let timer = Util.Timer.start () in
       let models, tier = get_models t (process ()) ~r in
       let samplers = kle_samplers t models setup in
-      ( (fun rng ~n -> Array.map (fun s -> Kle.Sampler.sample_matrix s rng ~n) samplers),
-        Util.Timer.elapsed_s timer,
-        tier )
+      (`Kle samplers, Util.Timer.elapsed_s timer, tier)
   | Protocol.Kle_qmc ->
       let timer = Util.Timer.start () in
       let models, tier = get_models t (process ()) ~r in
       let samplers = kle_samplers t models setup in
+      (`Qmc samplers, Util.Timer.elapsed_s timer, tier)
+
+let sampler_fn_of resources ~seed : Ssta.Experiment.sampler =
+  match resources with
+  | `Cholesky a1 -> fun rng ~n -> Ssta.Algorithm1.sample_block a1 rng ~n
+  | `Kle samplers ->
+      fun rng ~n -> Array.map (fun s -> Kle.Sampler.sample_matrix s rng ~n) samplers
+  | `Qmc samplers ->
       (* stateful randomized-Halton sequences, one per parameter; run_mc
          calls the sampler batch by batch in order on one domain, so the
-         sequence position advances deterministically *)
+         sequence position advances deterministically. Sequences are bound
+         per seed (not shared across a batch group), keeping every member's
+         draws identical to its unbatched run. *)
       let seqs =
         Array.mapi
           (fun i s ->
@@ -337,25 +366,37 @@ let mc_sampler_of t (setup : Ssta.Experiment.circuit_setup) kind ~r ~seed :
               ~dim:(Kle.Sampler.dim s) ())
           samplers
       in
-      ( (fun _rng ~n ->
-          Array.mapi
-            (fun i s ->
-              Kle.Sampler.sample_matrix_with s ~xi:(Prng.Lowdisc.normal_matrix seqs.(i) ~rows:n))
-            samplers),
-        Util.Timer.elapsed_s timer,
-        tier )
+      fun _rng ~n ->
+        Array.mapi
+          (fun i s ->
+            Kle.Sampler.sample_matrix_with s ~xi:(Prng.Lowdisc.normal_matrix seqs.(i) ~rows:n))
+          samplers
 
-let mc_payload (mc : Ssta.Experiment.mc_result) =
+let mc_sampler_of t (setup : Ssta.Experiment.circuit_setup) kind ~r ~seed :
+    Ssta.Experiment.sampler * float * tier =
+  let resources, seconds, tier = sampler_resources t setup kind ~r in
+  (sampler_fn_of resources ~seed, seconds, tier)
+
+let float_list a = Jsonx.List (Array.to_list (Array.map (fun v -> Jsonx.Num v) a))
+
+let mc_payload ?(full = false) (mc : Ssta.Experiment.mc_result) =
   Jsonx.Obj
-    [
-      ("n_samples", Jsonx.Num (float_of_int mc.Ssta.Experiment.n_samples));
-      ("n_skipped", Jsonx.Num (float_of_int mc.Ssta.Experiment.n_skipped));
-      ("worst_mean", Jsonx.Num mc.Ssta.Experiment.worst_mean);
-      ("worst_sigma", Jsonx.Num mc.Ssta.Experiment.worst_sigma);
-      ("endpoints", Jsonx.Num (float_of_int (Array.length mc.Ssta.Experiment.endpoint_mean)));
-      ("sample_seconds", Jsonx.Num mc.Ssta.Experiment.sample_seconds);
-      ("sta_seconds", Jsonx.Num mc.Ssta.Experiment.sta_seconds);
-    ]
+    ([
+       ("n_samples", Jsonx.Num (float_of_int mc.Ssta.Experiment.n_samples));
+       ("n_skipped", Jsonx.Num (float_of_int mc.Ssta.Experiment.n_skipped));
+       ("worst_mean", Jsonx.Num mc.Ssta.Experiment.worst_mean);
+       ("worst_sigma", Jsonx.Num mc.Ssta.Experiment.worst_sigma);
+       ("endpoints", Jsonx.Num (float_of_int (Array.length mc.Ssta.Experiment.endpoint_mean)));
+       ("sample_seconds", Jsonx.Num mc.Ssta.Experiment.sample_seconds);
+       ("sta_seconds", Jsonx.Num mc.Ssta.Experiment.sta_seconds);
+     ]
+    @
+    if full then
+      [
+        ("endpoint_mean", float_list mc.Ssta.Experiment.endpoint_mean);
+        ("endpoint_sigma", float_list mc.Ssta.Experiment.endpoint_sigma);
+      ]
+    else [])
 
 let lru_stats_payload (s : Lru.stats) =
   Jsonx.Obj
@@ -380,8 +421,16 @@ let store_stats_payload store =
       ("bytes", Jsonx.Num (float_of_int s.Persist.Store.bytes));
     ]
 
+let batch_stats_payload (s : Batch.stats) =
+  Jsonx.Obj
+    [
+      ("appended", Jsonx.Num (float_of_int s.Batch.appended));
+      ("flushed_groups", Jsonx.Num (float_of_int s.Batch.flushed_groups));
+      ("max_group", Jsonx.Num (float_of_int s.Batch.max_group));
+    ]
+
 let stats_payload t =
-  let queue_len = Mutex.protect t.lock (fun () -> Queue.length t.queue) in
+  let queue_len = Mutex.protect t.lock (fun () -> t.queued) in
   Jsonx.Obj
     ([
        ("requests", Jsonx.Num (float_of_int (Atomic.get t.n_requests)));
@@ -400,13 +449,16 @@ let stats_payload t =
        ("draining", Jsonx.Bool (Atomic.get t.draining));
        ("lru", lru_stats_payload (Lru.stats t.cache));
      ]
+    @ (match t.batcher with
+      | None -> []
+      | Some b -> [ ("batch", batch_stats_payload (Batch.stats b)) ])
     @ match t.store with None -> [] | Some store -> [ ("store", store_stats_payload store) ])
 
 (* the chaos harness's recovery probe: counters, queue state and a
    directory scan — explicit about what "healthy" means: accepting work
    and not draining. Idle recovery shows as workers_busy=0, queue_depth=0 *)
 let health_payload t =
-  let queue_depth = Mutex.protect t.lock (fun () -> Queue.length t.queue) in
+  let queue_depth = Mutex.protect t.lock (fun () -> t.queued) in
   let draining = Atomic.get t.draining in
   Jsonx.Obj
     ([
@@ -459,7 +511,7 @@ let execute t (request : Protocol.request) : Jsonx.t =
               ("cache_models", Jsonx.Str (tier_name model_tier));
               ("setup_seconds", Jsonx.Num setup_seconds);
             ])
-  | Protocol.Run_mc { circuit; sampler; r; seed; n; batch } -> (
+  | Protocol.Run_mc { circuit; sampler; r; seed; n; batch; full } -> (
       match get_setup t circuit with
       | Error (code, msg) -> raise (Reject (code, msg))
       | Ok (setup, setup_tier) ->
@@ -468,7 +520,7 @@ let execute t (request : Protocol.request) : Jsonx.t =
             Ssta.Experiment.run_mc ?batch ?jobs:t.config.jobs ~diag:t.diag setup
               ~sampler:sampler_fn ~seed ~n
           in
-          let fields = match mc_payload mc with Jsonx.Obj f -> f | _ -> [] in
+          let fields = match mc_payload ~full mc with Jsonx.Obj f -> f | _ -> [] in
           Jsonx.Obj
             (fields
             @ [
@@ -543,12 +595,21 @@ let safe_reply t job response =
            (Jsonx.to_string job.request.Protocol.id)
            (Printexc.to_string e))
 
-let run_job t job =
-  let request = job.request in
-  let id = request.Protocol.id in
-  (* Util.Trace.now_ns reads the raw monotonic clock — it is NOT gated by
-     the tracing flag, so deadlines stay live when tracing is disabled
-     (test_serve pins this down) *)
+(* Entering the drain flushes the accumulation windows on both sides of the
+   flag flip: groups flushed before it still execute; adds racing the flip
+   are flushed into the [`Draining] verdict and answered [shutting_down]. *)
+let enter_draining t =
+  (match t.batcher with Some b -> Batch.flush_all b | None -> ());
+  Mutex.lock t.lock;
+  Atomic.set t.draining true;
+  Condition.broadcast t.not_empty;
+  Mutex.unlock t.lock;
+  match t.batcher with Some b -> Batch.flush_all b | None -> ()
+
+(* Util.Trace.now_ns reads the raw monotonic clock — it is NOT gated by
+   the tracing flag, so deadlines stay live when tracing is disabled
+   (test_serve pins this down). Returns false (and replies) when expired. *)
+let check_deadline t job =
   let expired =
     match job.deadline_ns with
     | Some deadline -> Util.Trace.now_ns () > deadline
@@ -558,10 +619,20 @@ let run_job t job =
     Atomic.incr t.n_deadline;
     Util.Trace.incr c_deadline;
     safe_reply t job
-      (Protocol.error_response ~id Protocol.Deadline_exceeded
+      (job.codec.rc_error ~id:job.request.Protocol.id Protocol.Deadline_exceeded
          "deadline elapsed before the request was executed")
-  end
-  else begin
+  end;
+  not expired
+
+let reply_error t job code msg =
+  Atomic.incr t.n_errors;
+  Util.Trace.incr c_errors;
+  safe_reply t job (job.codec.rc_error ~id:job.request.Protocol.id code msg)
+
+let run_job t job =
+  let request = job.request in
+  let id = request.Protocol.id in
+  if check_deadline t job then begin
     Atomic.incr t.n_requests;
     Util.Trace.incr c_requests;
     let response =
@@ -570,33 +641,122 @@ let run_job t job =
         "serve.request"
       @@ fun () ->
       match execute t request with
-      | payload -> Protocol.ok_response ~id payload
+      | payload -> job.codec.rc_ok ~id payload
       | exception Reject (code, msg) ->
           Atomic.incr t.n_errors;
           Util.Trace.incr c_errors;
-          Protocol.error_response ~id code msg
+          job.codec.rc_error ~id code msg
       | exception Util.Diag.Failure event ->
           Atomic.incr t.n_errors;
           Util.Trace.incr c_errors;
-          Protocol.error_response ~id Protocol.Internal_error (Util.Diag.to_string event)
+          job.codec.rc_error ~id Protocol.Internal_error (Util.Diag.to_string event)
       | exception Invalid_argument msg ->
           Atomic.incr t.n_errors;
           Util.Trace.incr c_errors;
-          Protocol.error_response ~id Protocol.Bad_params msg
+          job.codec.rc_error ~id Protocol.Bad_params msg
       | exception e ->
           Atomic.incr t.n_errors;
           Util.Trace.incr c_errors;
-          Protocol.error_response ~id Protocol.Internal_error (Printexc.to_string e)
+          job.codec.rc_error ~id Protocol.Internal_error (Printexc.to_string e)
     in
     safe_reply t job response;
     (* shutdown begins its drain only after the ok reply is on the wire *)
-    if Atomic.get t.shutdown_flag && not (Atomic.get t.draining) then begin
-      Mutex.lock t.lock;
-      Atomic.set t.draining true;
-      Condition.broadcast t.not_empty;
-      Mutex.unlock t.lock
-    end
+    if Atomic.get t.shutdown_flag && not (Atomic.get t.draining) then enter_draining t
   end
+
+(* A coalesced run_mc group: every member shares the model-spec key, so the
+   circuit setup and sampler resources are resolved once and each member
+   only pays its own sampling + STA sweep. Seeds are bound per member
+   ([sampler_fn_of]), keeping results bit-identical to unbatched runs. *)
+let run_group t jobs =
+  let live = List.filter (check_deadline t) jobs in
+  match live with
+  | [] -> ()
+  | first :: _ -> (
+      List.iter
+        (fun _ ->
+          Atomic.incr t.n_requests;
+          Util.Trace.incr c_requests)
+        live;
+      match first.request.Protocol.call with
+      | Protocol.Run_mc { circuit; sampler; r; _ } -> (
+          let shared =
+            Util.Trace.with_span
+              ~attrs:[ ("method", "run_mc"); ("group", string_of_int (List.length live)) ]
+              "serve.batch"
+            @@ fun () ->
+            match
+              match get_setup t circuit with
+              | Error (code, msg) -> Error (code, msg)
+              | Ok (setup, setup_tier) ->
+                  let resources, seconds, tier = sampler_resources t setup sampler ~r in
+                  Ok (setup, setup_tier, resources, seconds, tier)
+            with
+            | v -> v
+            | exception Reject (code, msg) -> Error (code, msg)
+            | exception Util.Diag.Failure event ->
+                Error (Protocol.Internal_error, Util.Diag.to_string event)
+            | exception Invalid_argument msg -> Error (Protocol.Bad_params, msg)
+            | exception e -> Error (Protocol.Internal_error, Printexc.to_string e)
+          in
+          match shared with
+          | Error (code, msg) -> List.iter (fun job -> reply_error t job code msg) live
+          | Ok (setup, setup_tier, resources, setup_seconds, tier) ->
+              List.iter
+                (fun job ->
+                  match job.request.Protocol.call with
+                  | Protocol.Run_mc { seed; n; batch; full; _ } ->
+                      let response =
+                        Util.Trace.with_span
+                          ~attrs:[ ("method", "run_mc") ]
+                          "serve.request"
+                        @@ fun () ->
+                        match
+                          let sampler_fn = sampler_fn_of resources ~seed in
+                          let mc =
+                            Ssta.Experiment.run_mc ?batch ?jobs:t.config.jobs ~diag:t.diag
+                              setup ~sampler:sampler_fn ~seed ~n
+                          in
+                          let fields =
+                            match mc_payload ~full mc with Jsonx.Obj f -> f | _ -> []
+                          in
+                          Jsonx.Obj
+                            (fields
+                            @ [
+                                ("cache_setup", Jsonx.Str (tier_name setup_tier));
+                                ("cache_models", Jsonx.Str (tier_name tier));
+                                ("sampler_setup_seconds", Jsonx.Num setup_seconds);
+                              ])
+                        with
+                        | payload -> job.codec.rc_ok ~id:job.request.Protocol.id payload
+                        | exception Util.Diag.Failure event ->
+                            Atomic.incr t.n_errors;
+                            Util.Trace.incr c_errors;
+                            job.codec.rc_error ~id:job.request.Protocol.id
+                              Protocol.Internal_error (Util.Diag.to_string event)
+                        | exception Invalid_argument msg ->
+                            Atomic.incr t.n_errors;
+                            Util.Trace.incr c_errors;
+                            job.codec.rc_error ~id:job.request.Protocol.id Protocol.Bad_params
+                              msg
+                        | exception e ->
+                            Atomic.incr t.n_errors;
+                            Util.Trace.incr c_errors;
+                            job.codec.rc_error ~id:job.request.Protocol.id
+                              Protocol.Internal_error (Printexc.to_string e)
+                      in
+                      safe_reply t job response
+                  | _ ->
+                      (* the batch key admits only run_mc; anything else here
+                         is a collector bug, answered typed not crashed *)
+                      reply_error t job Protocol.Internal_error
+                        "non-run_mc request in a coalesced group")
+                live)
+      | _ ->
+          List.iter
+            (fun job ->
+              reply_error t job Protocol.Internal_error "non-run_mc request in a coalesced group")
+            live)
 
 (* deterministic scheduling failure, injected between dequeue and
    execution (or, for [chaos_crash_after], between the reply and the
@@ -613,37 +773,43 @@ let maybe_crash plan =
 (* [slot] is the worker's in-flight job, visible to the crash handler:
    when the body dies the supervisor must know which request was being
    executed to re-queue or quarantine it *)
-let worker_loop t (slot : job option ref) () =
+let worker_loop t (slot : job list ref) () =
   let rec next () =
     Mutex.lock t.lock;
     let rec wait () =
-      if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+      if not (Queue.is_empty t.queue) then begin
+        let group = Queue.pop t.queue in
+        t.queued <- t.queued - List.length group;
+        Some group
+      end
       else if Atomic.get t.draining then None
       else begin
         Condition.wait t.not_empty t.lock;
         wait ()
       end
     in
-    let job = wait () in
+    let group = wait () in
     Mutex.unlock t.lock;
-    match job with
+    match group with
     | None -> ()
-    | Some job ->
-        slot := Some job;
+    | Some group ->
+        slot := group;
         Atomic.incr t.busy;
         maybe_crash t.config.chaos_crash;
-        run_job t job;
+        (match group with [ job ] -> run_job t job | jobs -> run_group t jobs);
         maybe_crash t.config.chaos_crash_after;
-        slot := None;
+        slot := [];
         Atomic.decr t.busy;
         next ()
   in
   next ()
 
-(* the supervision policy: account for the in-flight job (retry once on a
-   restarted worker, quarantine after a second kill), then restart unless
-   the pool is draining *)
-let on_worker_crash t (slot : job option ref) e ~restarts =
+(* the supervision policy: account for the in-flight group (retry each
+   unreplied member once on a restarted worker, quarantine after a second
+   kill), then restart unless the pool is draining. Retries re-queue as
+   singletons — a member that crashed a worker never rides in a group
+   again, so one poison member can't take its groupmates down twice. *)
+let on_worker_crash t (slot : job list ref) e ~restarts =
   (* restart accounting first, so any reply sent below (quarantine,
      draining) observes up-to-date counters on the client side *)
   let outcome =
@@ -659,31 +825,74 @@ let on_worker_crash t (slot : job option ref) e ~restarts =
     end
   in
   (match !slot with
-  | None -> ()
-  | Some job ->
-      slot := None;
+  | [] -> ()
+  | inflight ->
+      slot := [];
       Atomic.decr t.busy;
-      let attempts = 1 + Atomic.fetch_and_add job.attempts 1 in
-      if attempts >= 2 then begin
-        Atomic.incr t.n_quarantined;
-        Util.Diag.record ~sink:t.diag Util.Diag.Warning `Degraded_fallback
-          ~stage:"serve.worker"
-          (Printf.sprintf "request id=%s quarantined after crashing %d workers"
-             (Jsonx.to_string job.request.Protocol.id)
-             attempts);
-        safe_reply t job
-          (Protocol.error_response ~id:job.request.Protocol.id Protocol.Internal_error
-             (Printf.sprintf "request crashed the worker %d times — quarantined" attempts))
-      end
-      else if Atomic.get t.draining then
-        safe_reply t job
-          (Protocol.error_response ~id:job.request.Protocol.id Protocol.Shutting_down
-             "worker crashed while draining; request not retried")
-      else
-        Mutex.protect t.lock (fun () ->
-            Queue.push job t.queue;
-            Condition.signal t.not_empty));
+      List.iter
+        (fun job ->
+          (* jobs that replied before the crash point are retried too: the
+             re-run's reply is suppressed by the [safe_reply] guard (and a
+             duplicate-reply diagnostic recorded), never written twice *)
+          let attempts = 1 + Atomic.fetch_and_add job.attempts 1 in
+          if attempts >= 2 then begin
+            Atomic.incr t.n_quarantined;
+            Util.Diag.record ~sink:t.diag Util.Diag.Warning `Degraded_fallback
+              ~stage:"serve.worker"
+              (Printf.sprintf "request id=%s quarantined after crashing %d workers"
+                 (Jsonx.to_string job.request.Protocol.id)
+                 attempts);
+            safe_reply t job
+              (job.codec.rc_error ~id:job.request.Protocol.id Protocol.Internal_error
+                 (Printf.sprintf "request crashed the worker %d times — quarantined"
+                    attempts))
+          end
+          else if Atomic.get t.draining then
+            safe_reply t job
+              (job.codec.rc_error ~id:job.request.Protocol.id Protocol.Shutting_down
+                 "worker crashed while draining; request not retried")
+          else
+            Mutex.protect t.lock (fun () ->
+                Queue.push [ job ] t.queue;
+                t.queued <- t.queued + 1;
+                Condition.signal t.not_empty))
+        inflight);
   outcome
+
+let reject_job t job verdict =
+  Atomic.incr t.n_rejected;
+  Util.Trace.incr c_rejected;
+  match verdict with
+  | `Draining ->
+      safe_reply t job
+        (job.codec.rc_error ~id:job.request.Protocol.id Protocol.Shutting_down
+           "server is draining")
+  | `Full ->
+      safe_reply t job
+        (job.codec.rc_error ~id:job.request.Protocol.id Protocol.Overloaded
+           (Printf.sprintf "queue full (%d pending)" t.config.queue_capacity))
+
+(* The single enqueue point: a group is admitted whole or rejected whole,
+   with per-member typed replies on rejection (shed, not collapse). *)
+let enqueue_group t jobs =
+  match jobs with
+  | [] -> ()
+  | _ -> (
+      let size = List.length jobs in
+      let verdict =
+        Mutex.protect t.lock (fun () ->
+            if Atomic.get t.draining then `Draining
+            else if t.queued >= t.config.queue_capacity then `Full
+            else begin
+              Queue.push jobs t.queue;
+              t.queued <- t.queued + size;
+              Condition.signal t.not_empty;
+              `Queued
+            end)
+      in
+      match verdict with
+      | `Queued -> ()
+      | (`Draining | `Full) as v -> List.iter (fun job -> reject_job t job v) jobs)
 
 (* ---------------------------------------------------------------- *)
 (* lifecycle *)
@@ -705,6 +914,8 @@ let create ?diag config =
       store;
       cache = Lru.create ~capacity:config.cache_entries;
       queue = Queue.create ();
+      queued = 0;
+      batcher = None;
       lock = Mutex.create ();
       not_empty = Condition.create ();
       inflight = Hashtbl.create 8;
@@ -730,63 +941,93 @@ let create ?diag config =
   in
   t.worker_handles <-
     List.init config.workers (fun _ ->
-        let slot = ref None in
+        let slot = ref [] in
         Supervisor.spawn ~on_crash:(on_worker_crash t slot) (worker_loop t slot));
+  if config.batch_window_s > 0. && config.batch_max > 1 then
+    t.batcher <-
+      Some
+        (Batch.create ~window_s:config.batch_window_s ~max_batch:config.batch_max
+           ~flush:(fun _key jobs -> enqueue_group t jobs));
   t
 
 let shutdown_requested t = Atomic.get t.shutdown_flag
 
-let submit t line ~reply =
-  match Protocol.decode line with
+(* Coalescing key: requests that share it run as one group with shared
+   circuit-setup and sampler-resource resolution. Cheap on purpose (no
+   netlist parse — inline bench text keys by content hash); only run_mc is
+   coalescable, and the seed/n/batch/full members may differ freely. *)
+let batch_key (request : Protocol.request) =
+  match request.Protocol.call with
+  | Protocol.Run_mc { circuit; sampler; r; _ } ->
+      let circuit_token =
+        match circuit with
+        | Protocol.Named name -> "name:" ^ name
+        | Protocol.Bench_text text -> "bench:" ^ Persist.Codec.fnv64_hex text
+      in
+      Some
+        (Printf.sprintf "%s;sampler=%s;r=%s" circuit_token
+           (match sampler with
+           | Protocol.Cholesky -> "cholesky"
+           | Protocol.Kle -> "kle"
+           | Protocol.Kle_qmc -> "kle-qmc")
+           (match r with None -> "auto" | Some r -> string_of_int r))
+  | _ -> None
+
+let submit_wire t ~wire payload ~reply =
+  let codec = match wire with `Json -> json_codec | `Binary -> binary_codec in
+  let decoded =
+    match wire with
+    | `Json -> Protocol.decode payload
+    | `Binary -> Wire.decode_request payload
+  in
+  match decoded with
   | Error (id, code, msg) ->
       Atomic.incr t.n_errors;
       Util.Trace.incr c_errors;
-      reply (Protocol.error_response ~id code msg)
-  | Ok request ->
+      reply (codec.rc_error ~id code msg)
+  | Ok request -> (
       let deadline_ns =
         Option.map
           (fun ms -> Util.Trace.now_ns () + int_of_float (ms *. 1e6))
           request.Protocol.deadline_ms
       in
       let job =
-        { request; reply; deadline_ns; replied = Atomic.make false; attempts = Atomic.make 0 }
+        {
+          request;
+          reply;
+          codec;
+          deadline_ns;
+          replied = Atomic.make false;
+          attempts = Atomic.make 0;
+        }
       in
-      let verdict =
-        Mutex.protect t.lock (fun () ->
-            if Atomic.get t.draining then `Draining
-            else if Queue.length t.queue >= t.config.queue_capacity then `Full
-            else begin
-              Queue.push job t.queue;
-              Condition.signal t.not_empty;
-              `Queued
-            end)
-      in
-      (match verdict with
-      | `Queued -> ()
-      | `Draining ->
-          Atomic.incr t.n_rejected;
-          Util.Trace.incr c_rejected;
-          reply
-            (Protocol.error_response ~id:request.Protocol.id Protocol.Shutting_down
-               "server is draining")
-      | `Full ->
-          Atomic.incr t.n_rejected;
-          Util.Trace.incr c_rejected;
-          reply
-            (Protocol.error_response ~id:request.Protocol.id Protocol.Overloaded
-               (Printf.sprintf "queue full (%d pending)" t.config.queue_capacity)))
+      match (t.batcher, batch_key request) with
+      | Some batcher, Some key ->
+          (* backpressure is still checked here (fail fast under overload)
+             and re-checked at flush by [enqueue_group] *)
+          let verdict =
+            Mutex.protect t.lock (fun () ->
+                if Atomic.get t.draining then `Draining
+                else if t.queued >= t.config.queue_capacity then `Full
+                else `Queued)
+          in
+          (match verdict with
+          | `Queued -> Batch.add batcher ~key job
+          | (`Draining | `Full) as v -> reject_job t job v)
+      | _ -> enqueue_group t [ job ])
 
-let begin_drain t =
-  Mutex.lock t.lock;
-  Atomic.set t.draining true;
-  Condition.broadcast t.not_empty;
-  Mutex.unlock t.lock
+let submit t line ~reply = submit_wire t ~wire:`Json line ~reply
+
+let begin_drain t = enter_draining t
 
 let worker_restarts t = Atomic.get t.n_worker_restarts
 let quarantined t = Atomic.get t.n_quarantined
 
 let drain ?timeout_s t =
   begin_drain t;
+  (* stop the batch timer thread; any still-open groups flush into the
+     draining verdict and are answered shutting_down *)
+  (match t.batcher with Some b -> Batch.shutdown b | None -> ());
   if not t.joined then begin
     (* joins happen on a dedicated thread so a stuck worker can only cost
        us the timeout, never hang the caller forever; the thread is

@@ -15,6 +15,12 @@
       served from an in-memory {!Lru} over the optional on-disk
       {!Persist.Store}; responses report which tier answered
       ([hit-mem] / [hit-disk] / [miss] / [recovered]).
+    - {b Coalescing}: with [batch_window_s > 0], compatible [run_mc]
+      requests (same model-spec key, different seeds/sample counts)
+      accumulate in a {!Batch} window and execute as one group with shared
+      circuit-setup + sampler-resource resolution — amortizing cache
+      lookups and pool dispatch — while seeds bind per member, so every
+      response is bit-identical to its unbatched run.
     - {b Draining}: {!begin_drain} stops intake (new submissions are
       answered [shutting_down]) while queued requests still complete;
       {!drain} additionally joins the workers. A [shutdown] request
@@ -51,13 +57,23 @@ type config = {
       (** chaos testing: the worker dies {e after} replying but before
           releasing the request — the re-run exercises the exactly-once
           reply guard *)
+  batch_window_s : float;
+      (** accumulation window for coalescing compatible [run_mc] requests
+          (same circuit/sampler/truncation, any seed/n) into one group that
+          shares circuit-setup and sampler-resource resolution; [<= 0.]
+          disables coalescing. Results are bit-identical to unbatched
+          execution — seeds bind per member. *)
+  batch_max : int;
+      (** flush a group early when it reaches this size (on the submitting
+          thread — no added latency at saturation); [<= 1] disables
+          coalescing *)
 }
 
 val default_config : config
 (** No disk store, 32 cache entries, queue of 64, 2 workers, sequential
     compute ([jobs = Some 1]), placement seed 1,
     {!Ssta.Algorithm2.paper_config}, 30 s drain timeout, no fault
-    injection. *)
+    injection, coalescing off ([batch_window_s = 0.], [batch_max = 8]). *)
 
 type t
 
@@ -67,9 +83,18 @@ val create : ?diag:Util.Diag.sink -> config -> t
 val diagnostics : t -> Util.Diag.sink
 
 val submit : t -> string -> reply:(string -> unit) -> unit
-(** Decode one request line and enqueue it. [reply] is called exactly once
-    per submission — possibly synchronously (decode errors, backpressure,
-    draining) or later from a worker domain. [reply] must be thread-safe. *)
+(** Decode one JSON request line and enqueue it. [reply] is called exactly
+    once per submission — possibly synchronously (decode errors,
+    backpressure, draining) or later from a worker domain. [reply] must be
+    thread-safe. Equivalent to [submit_wire ~wire:`Json]. *)
+
+val submit_wire :
+  t -> wire:[ `Json | `Binary ] -> string -> reply:(string -> unit) -> unit
+(** Like {!submit}, but the payload is decoded — and the response encoded —
+    on the given wire: [`Json] takes a request line, [`Binary] takes one
+    {!Wire} frame {e payload} (header already stripped by the transport)
+    and replies with full binary frames. A connection's wire is sniffed
+    once from its first byte ({!Wire.magic0}) by the transport layer. *)
 
 val shutdown_requested : t -> bool
 (** True once a [shutdown] request has been executed (the transport loop

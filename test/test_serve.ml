@@ -83,7 +83,7 @@ let test_protocol_decode_ok () =
         call =
           Protocol.Run_mc
             { circuit = Protocol.Named "c17"; sampler = Protocol.Kle_qmc;
-              r = Some 12; seed = 7; n = 100; batch = Some 64 };
+              r = Some 12; seed = 7; n = 100; batch = Some 64; full = false };
       } -> ()
   | _ -> Alcotest.fail "run_mc decode");
   (match
@@ -661,6 +661,652 @@ let test_server_drain_timeout () =
   Atomic.set release true;
   Server.drain server
 
+(* ---------- jsonx escaping (satellite) ---------- *)
+
+(* control characters must leave the writer escaped (named or \uXXXX) and
+   parse back byte-identically; bytes >= 0x20 — including raw UTF-8 and
+   arbitrary high bytes — pass through unescaped and round-trip *)
+let test_jsonx_control_and_bytes () =
+  let ctl = String.init 0x20 Char.chr in
+  let out = Jsonx.to_string (Jsonx.Str ctl) in
+  Alcotest.(check bool) "no raw control byte in the output" true
+    (String.for_all (fun ch -> Char.code ch >= 0x20) out);
+  Alcotest.(check bool) "uses \\u escapes" true (contains ~sub:{|\u0000|} out);
+  Alcotest.(check (option string)) "control chars roundtrip" (Some ctl)
+    (Jsonx.as_str (parse_ok out));
+  List.iter
+    (fun s ->
+      let printed = Jsonx.to_string (Jsonx.Str s) in
+      Alcotest.(check bool) ("raw passthrough: " ^ String.escaped s) true
+        (contains ~sub:s printed);
+      Alcotest.(check (option string)) ("roundtrip: " ^ String.escaped s) (Some s)
+        (Jsonx.as_str (parse_ok printed)))
+    [ "\xe2\x82\xac euro"; "caf\xc3\xa9"; "\xf0\x9d\x84\x9e"; "raw \xff\x80 bytes" ]
+
+(* ---------- binary wire ---------- *)
+
+module Wire = Serve.Wire
+module Codec = Persist.Codec
+module Router = Serve.Router
+module Batch = Serve.Batch
+
+let test_wire_frame_roundtrip () =
+  List.iter
+    (fun payload ->
+      let framed = Wire.frame payload in
+      Alcotest.(check char) "magic0 leads the frame" Wire.magic0 framed.[0];
+      match Wire.unframe framed with
+      | Ok p -> Alcotest.(check string) "payload survives" payload p
+      | Error `Eof -> Alcotest.fail "unexpected Eof"
+      | Error (`Corrupt msg) -> Alcotest.failf "corrupt: %s" msg)
+    [ ""; "x"; String.make 4096 '\xB5'; "\x00\x01\xff" ];
+  match Wire.frame (String.make (Wire.max_payload + 1) 'a') with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "oversized payload framed"
+
+let expect_corrupt ?sub s =
+  match Wire.unframe s with
+  | Error (`Corrupt msg) -> (
+      match sub with
+      | Some sub -> Alcotest.(check bool) ("mentions " ^ sub) true (contains ~sub msg)
+      | None -> ())
+  | Error `Eof -> Alcotest.fail "Eof where Corrupt expected"
+  | Ok _ -> Alcotest.fail "adversarial frame accepted"
+
+let test_wire_adversarial_headers () =
+  let good = Wire.frame "hello" in
+  expect_corrupt ~sub:"magic" ("XX" ^ String.sub good 2 (String.length good - 2));
+  let bad_version = Bytes.of_string good in
+  Bytes.set bad_version 2 '\x7f';
+  expect_corrupt ~sub:"version" (Bytes.to_string bad_version);
+  (* declared length disagreeing with the bytes present, either way *)
+  expect_corrupt (String.sub good 0 (String.length good - 1));
+  expect_corrupt (good ^ "!");
+  (* a ~4 GiB length claim is refused before any allocation — the framing
+     analogue of the persist read_mat header guard *)
+  let w = Codec.writer () in
+  Codec.write_u8 w (Char.code Wire.magic0);
+  Codec.write_u8 w (Char.code Wire.magic1);
+  Codec.write_u8 w Wire.version;
+  Codec.write_fixed32 w 0xFFFF_FFFF;
+  expect_corrupt ~sub:"cap" (Codec.contents w);
+  (* a buffer that ends inside the header is corrupt, not a crash *)
+  expect_corrupt (String.make 2 Wire.magic0)
+
+let test_wire_read_frame () =
+  let rd_fd, wr_fd = Unix.pipe () in
+  let ic = Unix.in_channel_of_descr rd_fd and oc = Unix.out_channel_of_descr wr_fd in
+  output_string oc (Wire.frame "alpha");
+  output_string oc (Wire.frame "");
+  (* a stream where the auto-detect sniffer already consumed the magic byte *)
+  let sniffed = Wire.frame "sniffed" in
+  output_string oc (String.sub sniffed 1 (String.length sniffed - 1));
+  flush oc;
+  (match Wire.read_frame ic with
+  | Ok "alpha" -> ()
+  | _ -> Alcotest.fail "first frame");
+  (match Wire.read_frame ic with Ok "" -> () | _ -> Alcotest.fail "empty frame");
+  (match Wire.read_frame ~magic_consumed:true ic with
+  | Ok "sniffed" -> ()
+  | _ -> Alcotest.fail "magic_consumed frame");
+  close_out oc;
+  (match Wire.read_frame ic with Error `Eof -> () | _ -> Alcotest.fail "eof expected");
+  close_in ic;
+  (* a stream cut mid-frame surfaces as corrupt, not a hang or crash *)
+  let rd_fd, wr_fd = Unix.pipe () in
+  let ic = Unix.in_channel_of_descr rd_fd and oc = Unix.out_channel_of_descr wr_fd in
+  let cut = Wire.frame "cut short" in
+  output_string oc (String.sub cut 0 (String.length cut - 3));
+  close_out oc;
+  (match Wire.read_frame ic with
+  | Error (`Corrupt msg) ->
+      Alcotest.(check bool) "says truncated" true (contains ~sub:"truncated" msg)
+  | _ -> Alcotest.fail "truncated stream accepted");
+  close_in ic
+
+let test_wire_jsonx_codec () =
+  let roundtrip v =
+    let w = Codec.writer () in
+    Wire.encode_jsonx w v;
+    let rd = Codec.reader (Codec.contents w) in
+    let back = Wire.decode_jsonx rd in
+    Alcotest.(check string) "codec roundtrip" (Jsonx.to_string v) (Jsonx.to_string back)
+  in
+  List.iter roundtrip
+    [
+      Jsonx.Null; Jsonx.Bool true; Jsonx.Bool false; Jsonx.Num 0.0; Jsonx.Num (-1.5);
+      Jsonx.Num 1e300; Jsonx.Str ""; Jsonx.Str "caf\xc3\xa9 \n\000"; Jsonx.List [];
+      Jsonx.List [ Jsonx.Num 1.0; Jsonx.Num 2.5; Jsonx.Num (-3.0) ];
+      Jsonx.List [ Jsonx.Num 1.0; Jsonx.Str "mixed" ]; Jsonx.Obj [];
+      Jsonx.Obj [ ("a", Jsonx.Num 1.0); ("b", Jsonx.List [ Jsonx.Bool false; Jsonx.Null ]) ];
+    ];
+  (* the numeric-vector fast path actually packs: tag 7, ~8 bytes/element *)
+  let w = Codec.writer () in
+  Wire.encode_jsonx w (Jsonx.List (List.init 100 (fun i -> Jsonx.Num (float_of_int i))));
+  let bytes = Codec.contents w in
+  Alcotest.(check int) "packed float-array tag" 7 (Char.code bytes.[0]);
+  Alcotest.(check bool) "packed, not per-element tagged" true
+    (String.length bytes < (100 * 9) + 16)
+
+let test_wire_jsonx_adversarial () =
+  let expect_err what bytes =
+    let rd = Codec.reader bytes in
+    match Wire.decode_jsonx rd with
+    | exception Codec.Error _ -> ()
+    | v -> Alcotest.failf "%s accepted as %s" what (Jsonx.to_string v)
+  in
+  (* hostile collection counts with no bytes behind them: rejected before
+     any allocation proportional to the claim *)
+  let w = Codec.writer () in
+  Codec.write_u8 w 5;
+  Codec.write_uint w (1 lsl 30);
+  expect_err "huge list count" (Codec.contents w);
+  let w = Codec.writer () in
+  Codec.write_u8 w 6;
+  Codec.write_uint w (1 lsl 30);
+  expect_err "huge object count" (Codec.contents w);
+  (* nesting beyond the depth cap raises, it does not blow the stack *)
+  let w = Codec.writer () in
+  for _ = 1 to 1100 do
+    Codec.write_u8 w 5;
+    Codec.write_uint w 1
+  done;
+  Codec.write_u8 w 0;
+  expect_err "depth bomb" (Codec.contents w);
+  let w = Codec.writer () in
+  Codec.write_u8 w 42;
+  expect_err "unknown tag" (Codec.contents w)
+
+let wire_requests =
+  [
+    { Protocol.id = Jsonx.Num 1.0; deadline_ms = None; call = Protocol.Stats };
+    { Protocol.id = Jsonx.Num 2.0; deadline_ms = None; call = Protocol.Health };
+    { Protocol.id = Jsonx.Str "s"; deadline_ms = None; call = Protocol.Shutdown };
+    {
+      Protocol.id = Jsonx.Str "x";
+      deadline_ms = Some 250.0;
+      call =
+        Protocol.Run_mc
+          { circuit = Protocol.Named "c17"; sampler = Protocol.Kle_qmc; r = Some 12;
+            seed = 7; n = 100; batch = Some 64; full = true };
+    };
+    {
+      Protocol.id = Jsonx.Null;
+      deadline_ms = None;
+      call = Protocol.Prepare { circuit = Protocol.Bench_text tiny_bench; r = None };
+    };
+    {
+      Protocol.id = Jsonx.List [ Jsonx.Num 1.0; Jsonx.Str "b" ];
+      deadline_ms = None;
+      call = Protocol.Compare { circuit = Protocol.Named "c432"; r = Some 3; seed = -2; n = 9 };
+    };
+  ]
+
+let test_wire_request_roundtrip () =
+  List.iter
+    (fun request ->
+      (match Wire.unframe (Wire.encode_request request) with
+      | Error _ -> Alcotest.fail "self-unframe failed"
+      | Ok payload -> (
+          match Wire.decode_request payload with
+          | Ok back -> Alcotest.(check bool) "binary roundtrip" true (back = request)
+          | Error (_, code, msg) ->
+              Alcotest.failf "binary decode failed: %s %s"
+                (Protocol.error_code_name code) msg));
+      (* and the JSON encoder agrees with the JSON decoder *)
+      match Protocol.decode (Protocol.encode_request request) with
+      | Ok back -> Alcotest.(check bool) "json roundtrip" true (back = request)
+      | Error (_, code, msg) ->
+          Alcotest.failf "json decode failed: %s %s" (Protocol.error_code_name code) msg)
+    wire_requests
+
+let test_wire_request_adversarial () =
+  let payload_of request =
+    match Wire.unframe (Wire.encode_request request) with
+    | Ok p -> p
+    | Error _ -> Alcotest.fail "self-frame failed"
+  in
+  let code_of payload =
+    match Wire.decode_request payload with
+    | Ok _ -> Alcotest.fail "malformed request accepted"
+    | Error (_, code, _) -> Protocol.error_code_name code
+  in
+  let stats_req =
+    { Protocol.id = Jsonx.Num 1.0; deadline_ms = None; call = Protocol.Stats }
+  in
+  let stats = payload_of stats_req in
+  (* unknown method tag (the method tag is the last payload byte) *)
+  let b = Bytes.of_string stats in
+  Bytes.set b (Bytes.length b - 1) '\xee';
+  Alcotest.(check string) "unknown method"
+    (Protocol.error_code_name Protocol.Unknown_method)
+    (code_of (Bytes.to_string b));
+  Alcotest.(check string) "truncated body"
+    (Protocol.error_code_name Protocol.Invalid_request)
+    (code_of (String.sub stats 0 (String.length stats - 1)));
+  Alcotest.(check string) "trailing bytes"
+    (Protocol.error_code_name Protocol.Invalid_request)
+    (code_of (stats ^ "zz"));
+  Alcotest.(check string) "undecodable id"
+    (Protocol.error_code_name Protocol.Invalid_request)
+    (code_of "\xee");
+  (* params are validated on the binary wire too *)
+  let run_mc n =
+    {
+      Protocol.id = Jsonx.Num 1.0;
+      deadline_ms = None;
+      call =
+        Protocol.Run_mc
+          { circuit = Protocol.Named "c17"; sampler = Protocol.Kle; r = None; seed = 0;
+            n; batch = None; full = false };
+    }
+  in
+  Alcotest.(check string) "n = 0 rejected"
+    (Protocol.error_code_name Protocol.Bad_params)
+    (code_of (payload_of (run_mc 0)))
+
+let test_wire_response_roundtrip () =
+  let payload =
+    Jsonx.Obj
+      [
+        ("worst_mean", Jsonx.Num 1.5);
+        ("endpoint_mean", Jsonx.List [ Jsonx.Num 0.25; Jsonx.Num 2.0 ]);
+      ]
+  in
+  (match Wire.unframe (Wire.ok_response ~id:(Jsonx.Num 3.0) payload) with
+  | Ok p -> (
+      match Wire.decode_response p with
+      | Ok (Jsonx.Num 3.0, Ok back) ->
+          Alcotest.(check string) "ok payload" (Jsonx.to_string payload)
+            (Jsonx.to_string back)
+      | _ -> Alcotest.fail "ok response decode")
+  | Error _ -> Alcotest.fail "ok response unframe");
+  (match
+     Wire.unframe (Wire.error_response ~id:(Jsonx.Str "a") Protocol.Overloaded "queue full")
+   with
+  | Ok p -> (
+      match Wire.decode_response p with
+      | Ok (Jsonx.Str "a", Error (Protocol.Overloaded, "queue full")) -> ()
+      | _ -> Alcotest.fail "error response decode")
+  | Error _ -> Alcotest.fail "error response unframe");
+  match Wire.decode_response "\xee" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage response accepted"
+
+(* ---------- cross-wire / cross-shard helpers ---------- *)
+
+let mc_request ?(id = 1.0) ?(seed = 3) ?(n = 24) ?(full = false) () =
+  {
+    Protocol.id = Jsonx.Num id;
+    deadline_ms = None;
+    call =
+      Protocol.Run_mc
+        { circuit = Protocol.Bench_text tiny_bench; sampler = Protocol.Kle; r = None;
+          seed; n; batch = None; full };
+  }
+
+(* the statistics of an mc payload as IEEE-754 bit patterns (cache-tier and
+   timing fields vary run to run; the numbers must not) *)
+let mc_stat_bits payload =
+  let bits name =
+    Option.map Int64.bits_of_float (Option.bind (Jsonx.member name payload) Jsonx.as_num)
+  in
+  let vec name =
+    match Jsonx.member name payload with
+    | Some (Jsonx.List l) ->
+        List.map (function Jsonx.Num v -> Int64.bits_of_float v | _ -> Int64.minus_one) l
+    | _ -> []
+  in
+  (bits "worst_mean", bits "worst_sigma", vec "endpoint_mean", vec "endpoint_sigma")
+
+let sync_call_binary server request =
+  let payload =
+    match Wire.unframe (Wire.encode_request request) with
+    | Ok p -> p
+    | Error _ -> Alcotest.fail "self-frame failed"
+  in
+  let m = Mutex.create () and c = Condition.create () in
+  let slot = ref None in
+  Server.submit_wire server ~wire:`Binary payload ~reply:(fun r ->
+      Mutex.protect m (fun () ->
+          slot := Some r;
+          Condition.signal c));
+  let frame =
+    Mutex.protect m (fun () ->
+        while !slot = None do
+          Condition.wait c m
+        done;
+        Option.get !slot)
+  in
+  match Wire.unframe frame with
+  | Error _ -> Alcotest.fail "binary reply is not a frame"
+  | Ok p -> (
+      match Wire.decode_response p with
+      | Error msg -> Alcotest.failf "binary reply decode: %s" msg
+      | Ok (id, result) -> (id, result))
+
+let test_wire_cross_identity () =
+  with_server @@ fun server ->
+  let request = mc_request ~full:true () in
+  let json_payload = expect_ok (sync_call server (Protocol.encode_request request)) in
+  let id, result = sync_call_binary server request in
+  Alcotest.(check bool) "id echoed" true (id = Jsonx.Num 1.0);
+  let binary_payload =
+    match result with
+    | Ok p -> p
+    | Error (code, msg) ->
+        Alcotest.failf "binary call failed: %s %s" (Protocol.error_code_name code) msg
+  in
+  (match mc_stat_bits json_payload with
+  | Some _, Some _, _ :: _, _ :: _ -> ()
+  | _ -> Alcotest.fail "expected a full mc payload");
+  Alcotest.(check bool) "bit-identical statistics across wires" true
+    (mc_stat_bits json_payload = mc_stat_bits binary_payload);
+  (* typed errors survive the binary wire too *)
+  let _, err =
+    sync_call_binary server
+      {
+        Protocol.id = Jsonx.Num 9.0;
+        deadline_ms = None;
+        call =
+          Protocol.Run_mc
+            { circuit = Protocol.Named "no-such-circuit"; sampler = Protocol.Cholesky;
+              r = None; seed = 1; n = 8; batch = None; full = false };
+      }
+  in
+  match err with
+  | Error (Protocol.Netlist_error, msg) ->
+      Alcotest.(check bool) "names the circuit" true (contains ~sub:"no-such-circuit" msg)
+  | _ -> Alcotest.fail "expected netlist_error over the binary wire"
+
+(* ---------- batching ---------- *)
+
+let test_batch_collector () =
+  let lock = Mutex.create () in
+  let flushed = ref [] in
+  let record key items = Mutex.protect lock (fun () -> flushed := (key, items) :: !flushed) in
+  let snapshot () = Mutex.protect lock (fun () -> List.rev !flushed) in
+  let groups = Alcotest.(list (pair string (list int))) in
+  let b = Batch.create ~window_s:0.2 ~max_batch:3 ~flush:record in
+  Batch.add b ~key:"a" 1;
+  Batch.add b ~key:"a" 2;
+  Alcotest.(check groups) "window still open" [] (snapshot ());
+  Batch.add b ~key:"a" 3;
+  (* a full group flushes synchronously on the adding thread *)
+  Alcotest.(check groups) "full group flushed" [ ("a", [ 1; 2; 3 ]) ] (snapshot ());
+  Batch.add b ~key:"a" 4;
+  Batch.add b ~key:"b" 5;
+  (* window expiry flushes on the timer thread, oldest group first *)
+  let rec wait n =
+    if List.length (snapshot ()) >= 3 then ()
+    else if n = 0 then Alcotest.fail "window never flushed"
+    else begin
+      Thread.delay 0.01;
+      wait (n - 1)
+    end
+  in
+  wait 600;
+  Alcotest.(check groups) "expired groups in arrival order"
+    [ ("a", [ 1; 2; 3 ]); ("a", [ 4 ]); ("b", [ 5 ]) ]
+    (snapshot ());
+  Batch.add b ~key:"c" 6;
+  Batch.flush_all b;
+  Alcotest.(check groups) "flush_all drains open groups"
+    [ ("a", [ 1; 2; 3 ]); ("a", [ 4 ]); ("b", [ 5 ]); ("c", [ 6 ]) ]
+    (snapshot ());
+  Batch.shutdown b;
+  Batch.shutdown b;
+  (* after shutdown an add degrades to an immediate singleton flush *)
+  Batch.add b ~key:"d" 7;
+  Alcotest.(check groups) "post-shutdown singleton"
+    [ ("a", [ 1; 2; 3 ]); ("a", [ 4 ]); ("b", [ 5 ]); ("c", [ 6 ]); ("d", [ 7 ]) ]
+    (snapshot ());
+  let s = Batch.stats b in
+  Alcotest.(check int) "appended" 7 s.Batch.appended;
+  Alcotest.(check int) "flushed groups" 5 s.Batch.flushed_groups;
+  Alcotest.(check int) "max group" 3 s.Batch.max_group;
+  (* window_s = 0 disables coalescing: every add is an immediate singleton *)
+  let direct = ref [] in
+  let b0 =
+    Batch.create ~window_s:0.0 ~max_batch:8 ~flush:(fun k items ->
+        direct := (k, items) :: !direct)
+  in
+  Batch.add b0 ~key:"x" 1;
+  Batch.add b0 ~key:"x" 2;
+  Alcotest.(check groups) "disabled window" [ ("x", [ 2 ]); ("x", [ 1 ]) ] !direct;
+  Batch.shutdown b0
+
+let test_server_batching_bit_identity () =
+  let seeds = [ 11; 12; 13; 14 ] in
+  let request seed = mc_request ~id:(float_of_int seed) ~seed ~full:true () in
+  let reference =
+    with_server @@ fun plain ->
+    List.map
+      (fun s ->
+        mc_stat_bits (expect_ok (sync_call plain (Protocol.encode_request (request s)))))
+      seeds
+  in
+  let config =
+    { test_config with Server.batch_window_s = 0.05; Server.batch_max = List.length seeds }
+  in
+  with_server ~config @@ fun batched ->
+  let m = Mutex.create () and c = Condition.create () in
+  let replies = Hashtbl.create 8 in
+  List.iter
+    (fun seed ->
+      Server.submit batched (Protocol.encode_request (request seed)) ~reply:(fun line ->
+          Mutex.protect m (fun () ->
+              Hashtbl.replace replies seed line;
+              Condition.signal c)))
+    seeds;
+  Mutex.protect m (fun () ->
+      while Hashtbl.length replies < List.length seeds do
+        Condition.wait c m
+      done);
+  let got = List.map (fun s -> mc_stat_bits (expect_ok (Hashtbl.find replies s))) seeds in
+  Alcotest.(check bool) "batched results bit-identical to unbatched" true (got = reference);
+  (* the collector actually grouped: four same-key submits with batch_max = 4
+     flush as one group of four (on the fourth submit's thread) *)
+  let stats = expect_ok (sync_call batched {|{"id":0,"method":"stats"}|}) in
+  match Option.bind (Jsonx.member "batch" stats) (Jsonx.member "max_group") with
+  | Some (Jsonx.Num g) when g >= 2.0 -> ()
+  | v ->
+      Alcotest.failf "expected grouped batch stats, got %s"
+        (match v with Some j -> Jsonx.to_string j | None -> "absent")
+
+(* ---------- router ---------- *)
+
+let sync_router_call router line =
+  let m = Mutex.create () and c = Condition.create () in
+  let slot = ref None in
+  Router.submit router ~wire:`Json line ~reply:(fun r ->
+      Mutex.protect m (fun () ->
+          slot := Some r;
+          Condition.signal c));
+  Mutex.protect m (fun () ->
+      while !slot = None do
+        Condition.wait c m
+      done;
+      Option.get !slot)
+
+let test_router_routing_key () =
+  let req call = { Protocol.id = Jsonx.Null; deadline_ms = None; call } in
+  let run_mc r =
+    req
+      (Protocol.Run_mc
+         { circuit = Protocol.Named "c17"; sampler = Protocol.Kle; r; seed = 99; n = 4;
+           batch = None; full = false })
+  in
+  let k_prepare =
+    Router.routing_key (req (Protocol.Prepare { circuit = Protocol.Named "c17"; r = Some 3 }))
+  in
+  let k_run = Router.routing_key (run_mc (Some 3)) in
+  Alcotest.(check bool) "prepare and run_mc share the model-spec key" true
+    (k_prepare <> None && k_prepare = k_run);
+  Alcotest.(check bool) "truncation is part of the key" true
+    (k_run <> Router.routing_key (run_mc (Some 4)));
+  let k_bench call = Router.routing_key (req call) in
+  Alcotest.(check bool) "bench text keys by content hash" true
+    (k_bench (Protocol.Prepare { circuit = Protocol.Bench_text tiny_bench; r = None })
+     = k_bench
+         (Protocol.Compare
+            { circuit = Protocol.Bench_text tiny_bench; r = None; seed = 1; n = 2 }));
+  List.iter
+    (fun call ->
+      Alcotest.(check bool) "control calls are unrouted" true
+        (Router.routing_key (req call) = None))
+    [ Protocol.Stats; Protocol.Health; Protocol.Shutdown ]
+
+let test_router_ring () =
+  with_server @@ fun s1 ->
+  with_server @@ fun s2 ->
+  let router = Router.create [ Router.backend_of_server s1; Router.backend_of_server s2 ] in
+  let counts = Array.make 2 0 in
+  for i = 0 to 499 do
+    let key = Printf.sprintf "name:c%d;r=auto" i in
+    let shard = Router.shard_of router key in
+    Alcotest.(check int) "stable assignment" shard (Router.shard_of router key);
+    counts.(shard) <- counts.(shard) + 1
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "balanced (%d/%d)" counts.(0) counts.(1))
+    true
+    (counts.(0) > 100 && counts.(1) > 100)
+
+let test_router_cross_shard_identity () =
+  with_server @@ fun direct ->
+  with_server @@ fun s1 ->
+  with_server @@ fun s2 ->
+  let router =
+    Router.create
+      [
+        Router.backend_of_server ~describe:"shard-0" s1;
+        Router.backend_of_server ~describe:"shard-1" s2;
+      ]
+  in
+  let line = Protocol.encode_request (mc_request ~full:true ()) in
+  let want = mc_stat_bits (expect_ok (sync_call direct line)) in
+  let got = mc_stat_bits (expect_ok (sync_router_call router line)) in
+  Alcotest.(check bool) "bit-identical through the router" true (got = want);
+  (* health and stats aggregate every shard plus router counters *)
+  let health = expect_ok (sync_router_call router {|{"id":0,"method":"health"}|}) in
+  Alcotest.(check (option bool)) "healthy" (Some true)
+    (Option.bind (Jsonx.member "healthy" health) Jsonx.as_bool);
+  Alcotest.(check (option int)) "shards" (Some 2)
+    (Option.bind (Jsonx.member "shards" health) Jsonx.as_int);
+  (match Jsonx.member "shard_health" health with
+  | Some (Jsonx.List [ _; _ ]) -> ()
+  | _ -> Alcotest.fail "expected a per-shard health list");
+  let stats = expect_ok (sync_router_call router {|{"id":0,"method":"stats"}|}) in
+  (match Option.bind (Jsonx.member "router" stats) (Jsonx.member "forwarded") with
+  | Some (Jsonx.Num f) when f >= 1.0 -> ()
+  | _ -> Alcotest.fail "router counters missing from stats");
+  (* shutdown broadcasts to every shard and drains the router *)
+  let bye = expect_ok (sync_router_call router {|{"id":0,"method":"shutdown"}|}) in
+  Alcotest.(check (option bool)) "shutting down" (Some true)
+    (Option.bind (Jsonx.member "shutting_down" bye) Jsonx.as_bool);
+  Alcotest.(check bool) "router drains" true (Router.shutdown_requested router);
+  ignore (expect_error (sync_router_call router line) Protocol.Shutting_down);
+  Alcotest.(check bool) "shards saw the shutdown" true
+    (Server.shutdown_requested s1 && Server.shutdown_requested s2)
+
+let test_router_shed_and_failover () =
+  let request = mc_request () in
+  let line = Protocol.encode_request request in
+  let key = Option.get (Router.routing_key request) in
+  (* failover: the key's owner is unhealthy, so its replica serves *)
+  let down = [| false; false |] in
+  let backend i =
+    {
+      Router.send =
+        (fun _request ~reply ->
+          reply (Ok (Jsonx.Obj [ ("served_by", Jsonx.Num (float_of_int i)) ])));
+      healthy = (fun () -> not down.(i));
+      describe = Printf.sprintf "shard-%d" i;
+    }
+  in
+  let router = Router.create [ backend 0; backend 1 ] in
+  let owner = Router.shard_of router key in
+  down.(owner) <- true;
+  let payload = expect_ok (sync_router_call router line) in
+  Alcotest.(check (option int)) "replica served" (Some (1 - owner))
+    (Option.bind (Jsonx.member "served_by" payload) Jsonx.as_int);
+  Alcotest.(check bool) "retry counted" true ((Router.stats router).Router.retried >= 1);
+  (* both replicas down: a typed internal error, never a hang *)
+  down.(0) <- true;
+  down.(1) <- true;
+  ignore (expect_error (sync_router_call router line) Protocol.Internal_error);
+  (* a backend whose send raises also fails over to the replica *)
+  let raised = ref 0 in
+  let backend2 i =
+    if i = owner then
+      {
+        Router.send =
+          (fun _request ~reply:_ ->
+            incr raised;
+            failwith "shard connection lost");
+        healthy = (fun () -> true);
+        describe = "raiser";
+      }
+    else backend i
+  in
+  down.(0) <- false;
+  down.(1) <- false;
+  let router2 = Router.create [ backend2 0; backend2 1 ] in
+  let payload2 = expect_ok (sync_router_call router2 line) in
+  Alcotest.(check (option int)) "failover after raise" (Some (1 - owner))
+    (Option.bind (Jsonx.member "served_by" payload2) Jsonx.as_int);
+  Alcotest.(check bool) "raise recorded" true
+    ((Router.stats router2).Router.shard_errors >= 1 && !raised = 1);
+  (* shed, not spread: the owner at capacity answers overloaded immediately
+     instead of spilling the key onto the other shard *)
+  let parked = ref [] in
+  let slow i =
+    if i = owner then
+      {
+        Router.send = (fun _request ~reply -> parked := reply :: !parked);
+        healthy = (fun () -> true);
+        describe = "parked";
+      }
+    else backend i
+  in
+  let config = { Router.default_config with Router.max_inflight_per_shard = 1 } in
+  let router3 = Router.create ~config [ slow 0; slow 1 ] in
+  let first = ref None in
+  Router.submit router3 ~wire:`Json line ~reply:(fun r -> first := Some r);
+  Alcotest.(check int) "first request forwarded and parked" 1 (List.length !parked);
+  let msg = expect_error (sync_router_call router3 line) Protocol.Overloaded in
+  Alcotest.(check bool) "names the capacity" true (contains ~sub:"capacity" msg);
+  Alcotest.(check bool) "shed counted" true ((Router.stats router3).Router.shed >= 1);
+  (* releasing the parked request completes the first call normally *)
+  (match !parked with
+  | [ release ] -> release (Ok (Jsonx.Obj [ ("served_by", Jsonx.Num (float_of_int owner)) ]))
+  | _ -> Alcotest.fail "expected exactly one parked request");
+  match !first with
+  | Some reply_line -> ignore (expect_ok reply_line)
+  | None -> Alcotest.fail "parked reply never delivered"
+
+let test_client_binary_wire () =
+  with_server @@ fun server ->
+  let transport message ~reply =
+    (* the client ships whole frames; Server.submit_wire takes the payload *)
+    match Wire.unframe message with
+    | Ok payload -> Server.submit_wire server ~wire:`Binary payload ~reply
+    | Error _ -> Alcotest.fail "client sent a malformed frame"
+  in
+  let bclient = Serve.Client.create ~wire:`Binary transport in
+  Alcotest.(check bool) "wire knob" true (Serve.Client.wire bclient = `Binary);
+  let jclient = Serve.Client.create (fun line ~reply -> Server.submit server line ~reply) in
+  let request = mc_request ~full:true () in
+  let call client =
+    match Serve.Client.call_request client request with
+    | Ok payload -> payload
+    | Error e -> Alcotest.failf "call failed: %s" (Serve.Client.failure_to_string e)
+  in
+  ignore (call jclient) (* warm, so both measured calls hit the same tier *);
+  Alcotest.(check bool) "bit-identical payload across client wires" true
+    (mc_stat_bits (call jclient) = mc_stat_bits (call bclient))
+
 (* the acceptance bar: a fault storm (worker crashes, read errors, torn
    writes, latency; >= 50 injected) completes with zero wrong results,
    every failure typed, and the server back to healthy *)
@@ -706,6 +1352,56 @@ let test_server_chaos_invariants () =
       Alcotest.failf "chaos violations: %s (report: %s)" (String.concat "; " v)
         (Serve.Chaos.report_to_string report))
 
+(* the same storm through the router path: two shards sharing one store,
+   shard 0's backend blacking out periodically — crash + restart + replica
+   failover all covered by the zero-wrong-results invariant *)
+let test_router_chaos_invariants () =
+  let store_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "kle-test-chaos-router.%d" (Unix.getpid ()))
+  in
+  let cfg =
+    {
+      Serve.Chaos.default_config with
+      Serve.Chaos.requests = 60;
+      mc_samples = 8;
+      crash_period = 10;
+      crash_limit = 4;
+      read_error_period = 4;
+      short_read_period = 6;
+      torn_write_period = 2;
+      latency_period = 2;
+      latency_ms = 0.05;
+      router_shards = 2;
+    }
+  in
+  let report =
+    Fun.protect
+      ~finally:(fun () ->
+        try
+          Array.iter
+            (fun f -> Sys.remove (Filename.concat store_dir f))
+            (Sys.readdir store_dir);
+          Unix.rmdir store_dir
+        with Sys_error _ | Unix.Unix_error _ -> ())
+      (fun () -> Serve.Chaos.run ~store_dir cfg)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "fault floor (got %d)" report.Serve.Chaos.faults_injected)
+    true
+    (report.Serve.Chaos.faults_injected >= 50);
+  let blackouts =
+    List.fold_left
+      (fun acc c -> if c.Serve.Chaos.fault = "blackout" then acc + c.Serve.Chaos.fired else acc)
+      0 report.Serve.Chaos.fault_counts
+  in
+  Alcotest.(check bool) "shard 0 blacked out" true (blackouts >= 1);
+  match Serve.Chaos.violations ~min_faults:50 report with
+  | [] -> ()
+  | v ->
+      Alcotest.failf "router chaos violations: %s (report: %s)" (String.concat "; " v)
+        (Serve.Chaos.report_to_string report)
+
 let () =
   Alcotest.run "serve"
     [
@@ -714,6 +1410,8 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_jsonx_roundtrip;
           Alcotest.test_case "escapes" `Quick test_jsonx_escapes;
           Alcotest.test_case "numbers" `Quick test_jsonx_numbers;
+          Alcotest.test_case "control chars + raw bytes" `Quick
+            test_jsonx_control_and_bytes;
           Alcotest.test_case "errors" `Quick test_jsonx_errors;
           Alcotest.test_case "member" `Quick test_jsonx_member;
         ] );
@@ -722,6 +1420,34 @@ let () =
           Alcotest.test_case "decode ok" `Quick test_protocol_decode_ok;
           Alcotest.test_case "decode errors" `Quick test_protocol_decode_errors;
           Alcotest.test_case "responses" `Quick test_protocol_responses;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "frame roundtrip" `Quick test_wire_frame_roundtrip;
+          Alcotest.test_case "adversarial headers" `Quick test_wire_adversarial_headers;
+          Alcotest.test_case "read_frame" `Quick test_wire_read_frame;
+          Alcotest.test_case "jsonx codec" `Quick test_wire_jsonx_codec;
+          Alcotest.test_case "jsonx adversarial" `Quick test_wire_jsonx_adversarial;
+          Alcotest.test_case "request roundtrip" `Quick test_wire_request_roundtrip;
+          Alcotest.test_case "request adversarial" `Quick test_wire_request_adversarial;
+          Alcotest.test_case "response roundtrip" `Quick test_wire_response_roundtrip;
+          Alcotest.test_case "cross-wire bit identity" `Quick test_wire_cross_identity;
+          Alcotest.test_case "client binary wire" `Quick test_client_binary_wire;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "collector semantics" `Quick test_batch_collector;
+          Alcotest.test_case "batched bit identity" `Quick
+            test_server_batching_bit_identity;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "routing key" `Quick test_router_routing_key;
+          Alcotest.test_case "ring balance + stability" `Quick test_router_ring;
+          Alcotest.test_case "cross-shard bit identity" `Quick
+            test_router_cross_shard_identity;
+          Alcotest.test_case "shed + failover" `Quick test_router_shed_and_failover;
+          Alcotest.test_case "chaos invariants" `Slow test_router_chaos_invariants;
         ] );
       ( "lru",
         [
