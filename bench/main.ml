@@ -1320,6 +1320,7 @@ let serve_bench () =
   let mc_request ~id ~variant ~seed =
     {
       Serve.Protocol.id = J.Num (float_of_int id);
+      req_id = None;
       deadline_ms = None;
       call =
         Serve.Protocol.Run_mc
@@ -1367,10 +1368,11 @@ let serve_bench () =
     (fun (wire_name, wire, shards) ->
       (* fresh servers per configuration (clean memory tiers); the store
          stays warm after the first configuration's first request *)
-      let submit, shutdown =
+      let servers, submit, shutdown =
         if shards = 1 then begin
           let server = Serve.Server.create sweep_config in
-          ( (fun ~wire payload ~reply ->
+          ( [ server ],
+            (fun ~wire payload ~reply ->
               Serve.Server.submit_wire server ~wire payload ~reply),
             fun () -> Serve.Server.drain server )
         end
@@ -1384,10 +1386,33 @@ let serve_bench () =
               servers
           in
           let router = Serve.Router.create backends in
-          ( (fun ~wire payload ~reply -> Serve.Router.submit router ~wire payload ~reply),
+          ( servers,
+            (fun ~wire payload ~reply -> Serve.Router.submit router ~wire payload ~reply),
             fun () -> List.iter Serve.Server.drain servers )
         end
       in
+      (* server-side view of one sweep row: merge the named stage histogram
+         across every shard's telemetry (the cross-shard merge the router's
+         [metrics] method performs, done here directly) *)
+      let server_stage_hist stage =
+        let merged = Util.Histogram.create () in
+        List.iter
+          (fun s ->
+            Util.Histogram.merge_into ~dst:merged
+              (Serve.Telemetry.stage_histogram (Serve.Server.telemetry s) stage))
+          servers;
+        merged
+      in
+      let server_total_hist () =
+        let merged = Util.Histogram.create () in
+        List.iter
+          (fun s ->
+            Util.Histogram.merge_into ~dst:merged
+              (Serve.Telemetry.total_histogram (Serve.Server.telemetry s)))
+          servers;
+        merged
+      in
+      let hist_quantile_s h p = float_of_int (Util.Histogram.quantile h p) /. 1e9 in
       (* a client transport carries a whole message: a JSON line, or a full
          binary frame whose header Server/Router.submit does not expect *)
       let transport message ~reply =
@@ -1440,6 +1465,9 @@ let serve_bench () =
       List.iter
         (fun concurrency ->
           let n_requests = 8 * concurrency in
+          (* each row starts from clean server-side histograms, so the
+             scraped quantiles describe exactly this row's requests *)
+          List.iter (fun s -> Serve.Telemetry.reset (Serve.Server.telemetry s)) servers;
           let failures = Atomic.make 0 in
           let latencies = Array.make n_requests nan in
           let t_all = Util.Timer.start () in
@@ -1475,11 +1503,24 @@ let serve_bench () =
           in
           let rps = float_of_int n_requests /. total_s in
           if rps > !best_rps then best_rps := rps;
+          (* scrape the server-side histograms for this row and compare with
+             the client-observed latencies: the delta is time spent outside
+             the server proper (client queueing, wire encode/decode) *)
+          let total_h = server_total_hist () in
+          let queue_h = server_stage_hist Serve.Telemetry.Queue_wait in
+          let srv_p50 = hist_quantile_s total_h 0.5 in
+          let srv_p99 = hist_quantile_s total_h 0.99 in
           pf
             "%-6s wire, %d shard(s), concurrency %2d: %3d reqs in %6.2fs — %6.1f req/s, \
              p50 %.4fs p99 %.4fs p99.9 %.4fs\n"
             wire_name shards concurrency n_requests total_s rps (pct 50.) (pct 99.)
             (pct 99.9);
+          pf
+            "       server-side: p50 %.4fs p99 %.4fs, queue_wait p99 %.4fs, \
+             client-server delta p50 %+.4fs\n"
+            srv_p50 srv_p99
+            (hist_quantile_s queue_h 0.99)
+            (pct 50. -. srv_p50);
           emit "serve-load"
             ~params:
               [ ("wire", Bench_json.String wire_name);
@@ -1487,10 +1528,15 @@ let serve_bench () =
                 ("concurrency", Bench_json.Int concurrency);
                 ("requests", Bench_json.Int n_requests);
                 ("endpoints", Bench_json.Int 96);
-                ("key_variants", Bench_json.Int key_variants) ]
+                ("key_variants", Bench_json.Int key_variants);
+                ( "batch_window_ms",
+                  Bench_json.Float (sweep_config.Serve.Server.batch_window_s *. 1e3) ) ]
             ~stages:
               [ ("latency_p50", pct 50.); ("latency_p90", pct 90.);
                 ("latency_p99", pct 99.); ("latency_p999", pct 99.9);
+                ("server_p50", srv_p50); ("server_p99", srv_p99);
+                ("server_queue_wait_p99", hist_quantile_s queue_h 0.99);
+                ("client_server_delta_p50", pct 50. -. srv_p50);
                 ("throughput_rps", rps) ]
             ~samples:n_mc ~wall_s:total_s)
         [ 1; 4; 12 ];
@@ -1506,6 +1552,70 @@ let serve_bench () =
             ("shards", Bench_json.Int shards);
             ("throughput_rps", Bench_json.Float rps) ])
     (List.rev !saturation);
+  (* telemetry overhead: the same steady-state load with recording on vs.
+     off (histograms, ring admission and counters all gated by one flag);
+     the design target is under 2% of throughput *)
+  let overhead_rps enabled =
+    let server = Serve.Server.create sweep_config in
+    Serve.Telemetry.set_enabled (Serve.Server.telemetry server) enabled;
+    let client =
+      Serve.Client.create
+        ~policy:
+          { Serve.Client.default_policy with Serve.Client.timeout_s = Some 600.0 }
+        (Serve.Server.submit server)
+    in
+    (match
+       Serve.Client.call_request client (mc_request ~id:900 ~variant:0 ~seed:opts.seed)
+     with
+    | Ok _ -> ()
+    | Error f ->
+        pf "FAIL: telemetry-overhead warmup: %s\n" (Serve.Client.failure_to_string f);
+        exit 1);
+    let concurrency = 4 in
+    let n_requests = 8 * concurrency in
+    let failures = Atomic.make 0 in
+    let timer = Util.Timer.start () in
+    let submitter tid =
+      let i = ref tid in
+      while !i < n_requests do
+        (match
+           Serve.Client.call_request client
+             (mc_request ~id:(1000 + !i) ~variant:!i ~seed:(opts.seed + !i))
+         with
+        | Ok _ -> ()
+        | Error _ -> Atomic.incr failures);
+        i := !i + concurrency
+      done
+    in
+    let threads = List.init concurrency (fun tid -> Thread.create submitter tid) in
+    List.iter Thread.join threads;
+    let total_s = Util.Timer.elapsed_s timer in
+    Serve.Server.drain server;
+    if Atomic.get failures > 0 then begin
+      pf "FAIL: %d requests errored in the telemetry-overhead run\n"
+        (Atomic.get failures);
+      exit 1
+    end;
+    float_of_int n_requests /. total_s
+  in
+  (* a single pass per arm is noise-dominated (each request is ~15 ms of
+     MC compute, so 32 requests resolve only coarse differences);
+     alternate the arms across rounds and keep each arm's best pass, so a
+     transient load spike cannot masquerade as telemetry overhead *)
+  let rps_on = ref 0.0 and rps_off = ref 0.0 in
+  for _ = 1 to 3 do
+    rps_on := Float.max !rps_on (overhead_rps true);
+    rps_off := Float.max !rps_off (overhead_rps false)
+  done;
+  let rps_on = !rps_on and rps_off = !rps_off in
+  let overhead_pct = (rps_off -. rps_on) /. rps_off *. 100.0 in
+  pf "telemetry overhead: %.1f req/s on vs %.1f req/s off (%+.2f%% of throughput)\n"
+    rps_on rps_off overhead_pct;
+  emit_meta "serve-telemetry-overhead"
+    ~params:
+      [ ("rps_on", Bench_json.Float rps_on);
+        ("rps_off", Bench_json.Float rps_off);
+        ("overhead_pct", Bench_json.Float overhead_pct) ];
   pf "bit-identity: responses identical across both wires and shard counts\n";
   (* leave no bench droppings in TMPDIR *)
   (try

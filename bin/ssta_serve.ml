@@ -255,7 +255,7 @@ let shard_reader shard link () =
        | Ok payload -> (
            match Serve.Wire.decode_response payload with
            | Error _ -> ()  (* one bad payload; framing is still intact *)
-           | Ok (id_json, result) -> (
+           | Ok (id_json, _req_id, result) -> (
                let cb =
                  Mutex.protect shard.slock (fun () ->
                      match Serve.Jsonx.as_num id_json with
@@ -469,7 +469,7 @@ let run_client path timeout_s binary =
               | Ok payload -> (
                   match Serve.Wire.decode_response payload with
                   | Error _ -> ()
-                  | Ok (id, _result) -> (
+                  | Ok (id, _req_id, _result) -> (
                       match take (Serve.Jsonx.to_string id) with
                       | Some cb -> cb (Serve.Wire.frame payload)
                       | None -> ()))
@@ -510,12 +510,15 @@ let run_client path timeout_s binary =
       transport
   in
   let failures = ref 0 in
-  let print_result id = function
+  (* re-encoding for stdout must not strip the correlation ID the server
+     echoed: a caller that tagged its request with req_id grep's for it in
+     our output *)
+  let print_result id ?req_id = function
     | Ok payload ->
-        print_endline (Serve.Protocol.ok_response ~id payload);
+        print_endline (Serve.Protocol.ok_response ~id ?req_id payload);
         flush stdout
     | Error (Serve.Client.Protocol_error (code, msg)) ->
-        print_endline (Serve.Protocol.error_response ~id code msg);
+        print_endline (Serve.Protocol.error_response ~id ?req_id code msg);
         flush stdout
     | Error f ->
         incr failures;
@@ -535,15 +538,19 @@ let run_client path timeout_s binary =
                flush stdout
            | Ok request ->
                print_result request.Serve.Protocol.id
+                 ?req_id:request.Serve.Protocol.req_id
                  (Serve.Client.call_request client request)
          else begin
-           let id =
+           let id, req_id =
              match Serve.Jsonx.parse line with
              | Ok json ->
-                 Option.value (Serve.Jsonx.member "id" json) ~default:Serve.Jsonx.Null
-             | Error _ -> Serve.Jsonx.Null
+                 ( Option.value (Serve.Jsonx.member "id" json)
+                     ~default:Serve.Jsonx.Null,
+                   Option.bind (Serve.Jsonx.member "req_id" json)
+                     Serve.Jsonx.as_str )
+             | Error _ -> (Serve.Jsonx.Null, None)
            in
-           print_result id (Serve.Client.call client line)
+           print_result id ?req_id (Serve.Client.call client line)
          end
      done
    with End_of_file -> ());
@@ -568,9 +575,19 @@ let run_fsck dir repair gc_max_bytes =
   in
   if problems > 0 && not repair then exit 1
 
+(* one JSON object per executed request on stderr; worker domains share
+   the sink, so writes are serialized and flushed per line *)
+let json_log_sink () =
+  let lock = Mutex.create () in
+  fun json ->
+    Mutex.protect lock (fun () ->
+        output_string stderr (Serve.Jsonx.to_string json);
+        output_char stderr '\n';
+        flush stderr)
+
 let run store_dir socket client fsck repair gc_max_bytes timeout_s binary
     cache_entries queue_capacity workers jobs seed max_area_fraction drain_timeout
-    trace_file stats_file router_shards batch_window_ms batch_max =
+    trace_file stats_file router_shards batch_window_ms batch_max slow_ms log_json =
   (* a client that disconnects mid-reply must surface as a write error on
      that connection, not kill the process with SIGPIPE *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -602,7 +619,10 @@ let run store_dir socket client fsck repair gc_max_bytes timeout_s binary
                   string_of_float batch_window_ms;
                   "--batch-max";
                   string_of_int batch_max;
+                  "--slow-ms";
+                  string_of_float slow_ms;
                 ]
+              @ (if log_json then [ "--log-json" ] else [])
               @ (match jobs with Some j -> [ "--jobs"; string_of_int j ] | None -> [])
               @
               match drain_timeout with
@@ -626,6 +646,8 @@ let run store_dir socket client fsck repair gc_max_bytes timeout_s binary
           drain_timeout_s = drain_timeout;
           batch_window_s = batch_window_ms /. 1000.0;
           batch_max;
+          slow_ms;
+          request_log = (if log_json then Some (json_log_sink ()) else None);
         }
       in
       let server = Serve.Server.create config in
@@ -774,6 +796,17 @@ let batch_max_arg =
   let doc = "Maximum requests coalesced into one batch (with --batch-window-ms)." in
   Arg.(value & opt int 8 & info [ "batch-max" ] ~docv:"N" ~doc)
 
+let slow_ms_arg =
+  let doc =
+    "Slow-request threshold in milliseconds for the $(b,debug) ring buffer; 0 admits every \
+     request (the ring keeps the most recent)."
+  in
+  Arg.(value & opt float 0.0 & info [ "slow-ms" ] ~docv:"MS" ~doc)
+
+let log_json_arg =
+  let doc = "Emit one structured JSON log line per executed request on stderr." in
+  Arg.(value & flag & info [ "log-json" ] ~doc)
+
 let cmd =
   let doc = "concurrent SSTA analysis server with a persistent KLE model store" in
   Cmd.v
@@ -782,6 +815,6 @@ let cmd =
       const run $ store_arg $ socket_arg $ client_arg $ fsck_arg $ repair_arg $ gc_arg
       $ timeout_arg $ binary_arg $ cache_arg $ queue_arg $ workers_arg $ jobs_arg
       $ seed_arg $ mesh_area_arg $ drain_timeout_arg $ trace_arg $ stats_arg
-      $ router_arg $ batch_window_arg $ batch_max_arg)
+      $ router_arg $ batch_window_arg $ batch_max_arg $ slow_ms_arg $ log_json_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -42,6 +42,7 @@ type report = {
   wrong_results : int;
   typed_errors : int;
   transport_failures : int;
+  id_violations : int;
   faults_injected : int;
   fault_counts : fault_count list;
   worker_restarts : int;
@@ -53,10 +54,11 @@ type report = {
 let report_to_string r =
   Printf.sprintf
     "%d requests: %d ok (%d checked, %d wrong), %d typed errors, %d transport \
-     failures; %d faults injected (%s); %d worker restarts, %d quarantined; \
-     recovered=%b; client: %d attempts, %d retries, %d breaker opens"
+     failures, %d req_id violations; %d faults injected (%s); %d worker \
+     restarts, %d quarantined; recovered=%b; client: %d attempts, %d retries, \
+     %d breaker opens"
     r.requests r.ok r.checked r.wrong_results r.typed_errors r.transport_failures
-    r.faults_injected
+    r.id_violations r.faults_injected
     (String.concat ", "
        (List.map (fun f -> Printf.sprintf "%s=%d" f.fault f.fired) r.fault_counts))
     r.worker_restarts r.quarantined r.recovered r.client.Client.attempts
@@ -76,17 +78,26 @@ let violations ?(min_faults = 50) r =
       (not r.recovered, "server did not recover to healthy");
       ( r.typed_errors > r.requests / 4,
         Printf.sprintf "typed-error rate too high: %d/%d" r.typed_errors r.requests );
+      ( r.id_violations > 0,
+        Printf.sprintf
+          "%d replies did not echo their request ID exactly once (must be 0)"
+          r.id_violations );
     ]
 
 (* ---------------------------------------------------------------- *)
 
 let tiny_bench = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nx = NAND(a, b)\ny = NOT(x)\n"
 
+(* every chaos request carries a correlation ID so the harness can assert
+   end-to-end propagation — including through retries and router failover *)
+let chaos_req_id id = "chaos-" ^ string_of_int id
+
 let run_mc_line ~id ~sampler ~n ~seed =
   Jsonx.to_string
     (Jsonx.Obj
        [
          ("id", Jsonx.Num (float_of_int id));
+         ("req_id", Jsonx.Str (chaos_req_id id));
          ("method", Jsonx.Str "run_mc");
          ( "params",
            Jsonx.Obj
@@ -103,13 +114,19 @@ let prepare_line ~id =
     (Jsonx.Obj
        [
          ("id", Jsonx.Num (float_of_int id));
+         ("req_id", Jsonx.Str (chaos_req_id id));
          ("method", Jsonx.Str "prepare");
          ("params", Jsonx.Obj [ ("circuit", Jsonx.Obj [ ("bench", Jsonx.Str tiny_bench) ]) ]);
        ])
 
 let health_line ~id =
   Jsonx.to_string
-    (Jsonx.Obj [ ("id", Jsonx.Num (float_of_int id)); ("method", Jsonx.Str "health") ])
+    (Jsonx.Obj
+       [
+         ("id", Jsonx.Num (float_of_int id));
+         ("req_id", Jsonx.Str (chaos_req_id id));
+         ("method", Jsonx.Str "health");
+       ])
 
 (* the request mix: three distinct MC workloads whose results are checked
    bit-for-bit against the fault-free baseline, plus prepare and health
@@ -169,6 +186,24 @@ let health_ok payload =
 (* the router-mode "shard connection dies mid-send" fault: raised from a
    wrapped backend so the router's replica failover path gets exercised *)
 exception Blackout
+
+let count_occurrences ~needle hay =
+  let n = String.length needle in
+  if n = 0 then 0
+  else begin
+    let acc = ref 0 in
+    let i = ref 0 in
+    let limit = String.length hay - n in
+    while !i <= limit do
+      (match String.index_from_opt hay !i needle.[0] with
+      | Some j when j <= limit ->
+          if String.equal (String.sub hay j n) needle then incr acc;
+          i := j + 1
+      | Some _ | None -> i := limit + 1);
+      ()
+    done;
+    !acc
+  end
 
 let run ?diag ?(log = fun _ -> ()) ~store_dir cfg =
   let diag = match diag with Some d -> d | None -> Util.Diag.create () in
@@ -256,10 +291,43 @@ let run ?diag ?(log = fun _ -> ()) ~store_dir cfg =
              { Router.default_config with Router.replicas = min 2 cfg.router_shards }
            backends)
   in
-  let transport =
+  let base_transport =
     match router with
     | Some r -> fun line ~reply -> Router.submit r ~wire:`Json line ~reply
     | None -> Server.submit (List.hd servers)
+  in
+  (* the propagation assertion: every reply — including replies to retried
+     and failed-over sends — must echo the originating request's [req_id]
+     exactly once. The substring count catches duplicated fields that a
+     JSON parser would silently collapse. *)
+  let id_violations = Atomic.make 0 in
+  let sent_req_id line =
+    match Jsonx.parse line with
+    | Ok json -> Option.bind (Jsonx.member "req_id" json) Jsonx.as_str
+    | Error _ -> None
+  in
+  let check_echo ~want reply =
+    let echoed =
+      match Jsonx.parse reply with
+      | Ok json -> Option.bind (Jsonx.member "req_id" json) Jsonx.as_str
+      | Error _ -> None
+    in
+    let count = count_occurrences ~needle:"\"req_id\"" reply in
+    if count <> 1 || not (Option.equal String.equal echoed (Some want)) then begin
+      Atomic.incr id_violations;
+      log
+        (Printf.sprintf
+           "chaos: req_id VIOLATION (want %s, %d occurrence(s)) in reply %s" want
+           count reply)
+    end
+  in
+  let transport line ~reply =
+    match sent_req_id line with
+    | None -> base_transport line ~reply
+    | Some want ->
+        base_transport line ~reply:(fun r ->
+            check_echo ~want r;
+            reply r)
   in
   let client =
     Client.create ~diag
@@ -347,6 +415,7 @@ let run ?diag ?(log = fun _ -> ()) ~store_dir cfg =
     wrong_results = !wrong;
     typed_errors = !typed;
     transport_failures = !transport;
+    id_violations = Atomic.get id_violations;
     faults_injected = List.fold_left (fun acc f -> acc + f.fired) 0 fault_counts;
     fault_counts;
     worker_restarts;

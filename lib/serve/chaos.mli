@@ -15,7 +15,11 @@
       run must actually have been stressed);
     - {b recovery}: after the storm, the server answers [health] as
       healthy — workers alive, queue empty — within a bounded number of
-      probes.
+      probes;
+    - {b correlation-ID propagation}: every chaos request carries a
+      [req_id], and every reply — including replies to retried and
+      failed-over sends — must echo it exactly once (a raw substring count
+      catches duplicated fields a JSON parser would collapse).
 
     Both [bench chaos] and the [test_serve] chaos test drive this module,
     so CI and [dune runtest] assert the same invariants. *)
@@ -56,6 +60,9 @@ type report = {
   wrong_results : int;  (** bit-level mismatches — the invariant is 0 *)
   typed_errors : int;  (** requests answered with a typed protocol error *)
   transport_failures : int;  (** timeouts / lost replies — the invariant is 0 *)
+  id_violations : int;
+      (** replies that did not echo their request's [req_id] exactly once —
+          the invariant is 0 *)
   faults_injected : int;
   fault_counts : fault_count list;  (** per-family injection counts *)
   worker_restarts : int;

@@ -51,6 +51,8 @@ type t = {
   policy : policy;
   wire : [ `Json | `Binary ];
   diag : Util.Diag.sink option;
+  seed : int;  (* also namespaces generated correlation IDs *)
+  req_seq : int Atomic.t;
   lock : Mutex.t;
   mutable breaker : breaker_state;
   mutable consecutive_failures : int;
@@ -69,6 +71,8 @@ let create ?diag ?(policy = default_policy) ?(seed = 1) ?(wire = `Json) transpor
     policy;
     wire;
     diag;
+    seed;
+    req_seq = Atomic.make 0;
     lock = Mutex.create ();
     breaker = Closed;
     consecutive_failures = 0;
@@ -110,13 +114,17 @@ let retryable = function
   | Timed_out _ | Transport_failed _ -> true
   | Protocol_error _ | Circuit_open -> false
 
+(* classification also surfaces the reply's echoed correlation ID so
+   [call] can pin each reply to the attempt that asked for it *)
 let classify_reply line =
   match Jsonx.parse line with
-  | Error msg -> Error (Transport_failed ("unparseable reply: " ^ msg))
+  | Error msg -> (None, Error (Transport_failed ("unparseable reply: " ^ msg)))
   | Ok json -> (
-      match Jsonx.member "ok" json with
-      | Some payload -> Ok payload
-      | None -> (
+      let req_id = Option.bind (Jsonx.member "req_id" json) Jsonx.as_str in
+      ( req_id,
+        match Jsonx.member "ok" json with
+        | Some payload -> Ok payload
+        | None -> (
           match Jsonx.member "error" json with
           | Some err ->
               let msg =
@@ -140,21 +148,33 @@ let classify_reply line =
                 | Some "internal_error" | Some _ | None -> Protocol.Internal_error
               in
               Error (Protocol_error (code, msg))
-          | None -> Error (Transport_failed ("reply has neither ok nor error: " ^ line))))
+          | None -> Error (Transport_failed ("reply has neither ok nor error: " ^ line)))))
 
 (* binary replies arrive as whole frames (header included) *)
 let classify_frame frame =
   match Wire.unframe frame with
-  | Error `Eof -> Error (Transport_failed "empty reply frame")
-  | Error (`Corrupt msg) -> Error (Transport_failed ("corrupt reply frame: " ^ msg))
+  | Error `Eof -> (None, Error (Transport_failed "empty reply frame"))
+  | Error (`Corrupt msg) -> (None, Error (Transport_failed ("corrupt reply frame: " ^ msg)))
   | Ok payload -> (
       match Wire.decode_response payload with
-      | Error msg -> Error (Transport_failed ("unparseable reply: " ^ msg))
-      | Ok (_id, Ok payload) -> Ok payload
-      | Ok (_id, Error (code, msg)) -> Error (Protocol_error (code, msg)))
+      | Error msg -> (None, Error (Transport_failed ("unparseable reply: " ^ msg)))
+      | Ok (_id, req_id, Ok payload) -> (req_id, Ok payload)
+      | Ok (_id, req_id, Error (code, msg)) -> (req_id, Error (Protocol_error (code, msg))))
 
 let classify t reply =
   match t.wire with `Json -> classify_reply reply | `Binary -> classify_frame reply
+
+(* An echoed correlation ID that contradicts the one we sent means the
+   transport delivered someone else's reply (crossed wires, a buggy
+   proxy); surface it as a retryable transport failure. A reply {e
+   without} an echo stays acceptable — error replies minted before the
+   request was decoded (parse errors) and older servers carry none. *)
+let verify_echo expect (got, result) =
+  match (expect, got) with
+  | Some e, Some g when not (String.equal e g) ->
+      Error
+        (Transport_failed (Printf.sprintf "reply req_id mismatch: sent %S, got %S" e g))
+  | _ -> result
 
 (* one attempt: send, then poll for the reply up to the per-attempt
    timeout. Each attempt gets a fresh cell, so a late reply from a timed-out
@@ -162,7 +182,7 @@ let classify t reply =
 let attempt t line =
   let cell = Atomic.make None in
   match t.transport line ~reply:(fun r -> Atomic.set cell (Some r)) with
-  | exception e -> Error (Transport_failed (Printexc.to_string e))
+  | exception e -> (None, Error (Transport_failed (Printexc.to_string e)))
   | () -> (
       let deadline_ns =
         Option.map
@@ -175,7 +195,7 @@ let attempt t line =
         | None -> (
             match deadline_ns with
             | Some d when Util.Trace.now_ns () > d ->
-                Error (Timed_out (Option.get t.policy.timeout_s))
+                (None, Error (Timed_out (Option.get t.policy.timeout_s)))
             | _ ->
                 Thread.delay 0.0005;
                 await ())
@@ -219,7 +239,7 @@ let breaker_failure t =
       end
       else None)
 
-let call t line =
+let call ?expect t line =
   Atomic.incr t.n_calls;
   if not (breaker_admit t) then begin
     Atomic.incr t.n_failures;
@@ -228,7 +248,7 @@ let call t line =
   else begin
     let rec go attempt_no backoff =
       Atomic.incr t.n_attempts;
-      match attempt t line with
+      match verify_echo expect (attempt t line) with
       | Ok payload ->
           breaker_success t;
           Ok payload
@@ -261,9 +281,21 @@ let call t line =
 let wire t = t.wire
 
 let call_request t request =
+  (* every client call carries a correlation ID: the caller's if it set
+     one, else a generated [cli-<seed>-<n>]; the echo is verified either
+     way, so a crossed-wires reply can never satisfy the wrong call *)
+  let request, expect =
+    match request.Protocol.req_id with
+    | Some r -> (request, r)
+    | None ->
+        let r =
+          Printf.sprintf "cli-%x-%d" t.seed (Atomic.fetch_and_add t.req_seq 1)
+        in
+        ({ request with Protocol.req_id = Some r }, r)
+  in
   let message =
     match t.wire with
     | `Json -> Protocol.encode_request request
     | `Binary -> Wire.encode_request request
   in
-  call t message
+  call ~expect t message

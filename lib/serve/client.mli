@@ -77,14 +77,20 @@ val create :
 
 val wire : t -> [ `Json | `Binary ]
 
-val call : t -> string -> (Jsonx.t, failure) result
+val call : ?expect:string -> t -> string -> (Jsonx.t, failure) result
 (** Send one pre-encoded request (a JSON line, or a whole binary frame on
     the [`Binary] wire) and block for the final outcome: the [ok] payload,
-    or the failure that exhausted the policy. *)
+    or the failure that exhausted the policy. [expect] is the request's
+    correlation ID: a reply echoing a {e different} [req_id] is a crossed
+    wire, classified as a retryable [Transport_failed] (a reply with no
+    echo — an old server, or an error minted before request decode — is
+    accepted). *)
 
 val call_request : t -> Protocol.request -> (Jsonx.t, failure) result
 (** Build the message for this client's wire ({!Protocol.encode_request} or
     {!Wire.encode_request}) and {!call} it — the wire-agnostic entry point;
-    the payload for a given request is bit-identical on both wires. *)
+    the payload for a given request is bit-identical on both wires. When
+    the request carries no [req_id], one is generated ([cli-<seed>-<n>])
+    and its echo verified, so every call is traceable end-to-end. *)
 
 val stats : t -> stats

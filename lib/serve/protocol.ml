@@ -14,10 +14,17 @@ type call =
     }
   | Compare of { circuit : circuit; r : int option; seed : int; n : int }
   | Stats
+  | Metrics
+  | Debug
   | Health
   | Shutdown
 
-type request = { id : Jsonx.t; deadline_ms : float option; call : call }
+type request = {
+  id : Jsonx.t;
+  req_id : string option;
+  deadline_ms : float option;
+  call : call;
+}
 
 type error_code =
   | Parse_error
@@ -132,6 +139,8 @@ let call_of ~method_ params =
           n = int_field params "n" ~min:1;
         }
   | "stats" -> Stats
+  | "metrics" -> Metrics
+  | "debug" -> Debug
   | "health" -> Health
   | "shutdown" -> Shutdown
   | m -> reject Unknown_method "unknown method %S" m
@@ -162,7 +171,16 @@ let decode line =
                   | Some _ -> reject Bad_params "deadline_ms must be positive"
                   | None -> reject Bad_params "deadline_ms must be a number")
             in
-            { id; deadline_ms; call = call_of ~method_ (params_of json) }
+            let req_id =
+              match Jsonx.member "req_id" json with
+              | None -> None
+              | Some v -> (
+                  match Jsonx.as_str v with
+                  | Some s when s <> "" -> Some s
+                  | Some _ -> reject Bad_params "req_id must be non-empty"
+                  | None -> reject Bad_params "req_id must be a string")
+            in
+            { id; req_id; deadline_ms; call = call_of ~method_ (params_of json) }
           with
           | request -> Ok request
           | exception Reject (code, msg) -> Error (id, code, msg)))
@@ -183,7 +201,7 @@ let num_i v = Jsonx.Num (float_of_int v)
 
 let opt_num_i key = function None -> [] | Some v -> [ (key, num_i v) ]
 
-let encode_request { id; deadline_ms; call } =
+let encode_request { id; req_id; deadline_ms; call } =
   let method_, params =
     match call with
     | Prepare { circuit; r } ->
@@ -201,29 +219,47 @@ let encode_request { id; deadline_ms; call } =
           @ opt_num_i "r" r
           @ [ ("seed", num_i seed); ("n", num_i n) ] )
     | Stats -> ("stats", [])
+    | Metrics -> ("metrics", [])
+    | Debug -> ("debug", [])
     | Health -> ("health", [])
     | Shutdown -> ("shutdown", [])
   in
   Jsonx.to_string
     (Jsonx.Obj
        ([ ("id", id) ]
+       @ (match req_id with
+         | Some r -> [ ("req_id", Jsonx.Str r) ]
+         | None -> [])
        @ (match deadline_ms with
          | Some ms -> [ ("deadline_ms", Jsonx.Num ms) ]
          | None -> [])
        @ [ ("method", Jsonx.Str method_) ]
        @ match params with [] -> [] | ps -> [ ("params", Jsonx.Obj ps) ]))
 
-let ok_response ~id payload = Jsonx.to_string (Jsonx.Obj [ ("id", id); ("ok", payload) ])
+(* [req_id] is echoed only when the request carried one, so replies to
+   clients predating the field are byte-identical to before *)
+let req_id_fields = function
+  | None -> []
+  | Some r -> [ ("req_id", Jsonx.Str r) ]
 
-let error_response ~id code message =
+let ok_response ~id ?req_id payload =
+  Jsonx.to_string (Jsonx.Obj ([ ("id", id) ] @ req_id_fields req_id @ [ ("ok", payload) ]))
+
+let error_response ~id ?req_id code message =
   Jsonx.to_string
     (Jsonx.Obj
-       [
-         ("id", id);
-         ( "error",
-           Jsonx.Obj
-             [ ("code", Jsonx.Str (error_code_name code)); ("message", Jsonx.Str message) ] );
-       ])
+       ([ ("id", id) ]
+       @ req_id_fields req_id
+       @ [
+           ( "error",
+             Jsonx.Obj
+               [ ("code", Jsonx.Str (error_code_name code)); ("message", Jsonx.Str message) ] );
+         ]))
 
 let response_id line =
   match Jsonx.parse line with Error _ -> None | Ok json -> Jsonx.member "id" json
+
+let response_req_id line =
+  match Jsonx.parse line with
+  | Error _ -> None
+  | Ok json -> Option.bind (Jsonx.member "req_id" json) Jsonx.as_str

@@ -22,7 +22,7 @@ let backend_of_server ?(describe = "in-process") server =
             | Ok resp -> (
                 match Wire.decode_response resp with
                 | Error msg -> reply (Error (Protocol.Internal_error, msg))
-                | Ok (_id, result) -> reply result))
+                | Ok (_id, _req_id, result) -> reply result))
   in
   { send; healthy = (fun () -> not (Server.shutdown_requested server)); describe }
 
@@ -88,7 +88,9 @@ let routing_key (request : Protocol.request) =
   | Protocol.Prepare { circuit; r } -> key circuit r
   | Protocol.Run_mc { circuit; r; _ } -> key circuit r
   | Protocol.Compare { circuit; r; _ } -> key circuit r
-  | Protocol.Stats | Protocol.Health | Protocol.Shutdown -> None
+  | Protocol.Stats | Protocol.Health | Protocol.Metrics | Protocol.Debug
+  | Protocol.Shutdown ->
+      None
 
 (* first ring slot with hash >= h (unsigned), wrapping to slot 0 *)
 let ring_position t h =
@@ -142,7 +144,9 @@ let fanout t call =
                 decr remaining;
                 Condition.signal done_)
       in
-      let request = { Protocol.id = Jsonx.Num (float_of_int i); deadline_ms = None; call } in
+      let request =
+        { Protocol.id = Jsonx.Num (float_of_int i); req_id = None; deadline_ms = None; call }
+      in
       match shard.backend.send request ~reply:deliver with
       | () -> ()
       | exception e -> deliver (Error (Protocol.Internal_error, Printexc.to_string e)))
@@ -193,11 +197,14 @@ let aggregate t call =
           ("shard_health", shard_list);
         ]
   | _ ->
+      let list_name =
+        match call with Protocol.Debug -> "shard_debug" | _ -> "shard_stats"
+      in
       Jsonx.Obj
         [
           ("shards", Jsonx.Num (float_of_int (Array.length t.shards)));
           ("router", router_stats_payload t);
-          ("shard_stats", shard_list);
+          (list_name, shard_list);
         ]
 
 (* ---------------------------------------------------------------- *)
@@ -218,13 +225,14 @@ let submit t ~wire payload ~reply =
   | Error (id, code, msg) -> reply (encode_error ~id code msg)
   | Ok request -> (
       let id = request.Protocol.id in
+      let req_id = request.Protocol.req_id in
       let replied = Atomic.make false in
       let respond result =
         if not (Atomic.exchange replied true) then
           reply
             (match result with
-            | Ok payload -> encode_ok ~id payload
-            | Error (code, msg) -> encode_error ~id code msg)
+            | Ok payload -> encode_ok ~id ?req_id payload
+            | Error (code, msg) -> encode_error ~id ?req_id code msg)
       in
       match routing_key request with
       | None -> (
@@ -233,7 +241,31 @@ let submit t ~wire payload ~reply =
               Atomic.set t.shutdown_flag true;
               let _ = fanout t Protocol.Shutdown in
               respond (Ok (Jsonx.Obj [ ("shutting_down", Jsonx.Bool true) ]))
-          | (Protocol.Stats | Protocol.Health) as call -> respond (Ok (aggregate t call))
+          | Protocol.Metrics ->
+              (* the cluster view: every shard's registry merged into one —
+                 counters summed, histograms merged bucket-by-bucket under
+                 the shared fixed layout, quantiles and the Prometheus text
+                 recomputed from the merged buckets *)
+              let results = fanout t Protocol.Metrics in
+              let payloads =
+                Array.to_list results
+                |> List.filter_map (function Ok p -> Some p | Error _ -> None)
+              in
+              let merged_fields =
+                match Telemetry.merge_metrics payloads with Jsonx.Obj f -> f | _ -> []
+              in
+              respond
+                (Ok
+                   (Jsonx.Obj
+                      ([
+                         ("shards", Jsonx.Num (float_of_int (Array.length t.shards)));
+                         ( "shards_reporting",
+                           Jsonx.Num (float_of_int (List.length payloads)) );
+                         ("router", router_stats_payload t);
+                       ]
+                      @ merged_fields)))
+          | (Protocol.Stats | Protocol.Health | Protocol.Debug) as call ->
+              respond (Ok (aggregate t call))
           | _ -> respond (Error (Protocol.Internal_error, "unroutable request")))
       | Some key ->
           if Atomic.get t.shutdown_flag then

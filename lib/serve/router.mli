@@ -22,9 +22,13 @@
       error is final (retrying it could duplicate side effects; the
       client's retry policy owns that decision).
 
-    [stats]/[health] aggregate over all shards (plus router counters);
-    [shutdown] broadcasts. Responses are re-encoded on the wire the request
-    arrived on, echoing its original id. *)
+    [stats]/[health]/[debug] aggregate over all shards (plus router
+    counters); [metrics] goes further and {e merges}: every shard's
+    histogram snapshots are combined bucket-by-bucket
+    ({!Telemetry.merge_metrics}) into one cluster-wide view with
+    recomputed quantiles and Prometheus text. [shutdown] broadcasts.
+    Responses are re-encoded on the wire the request arrived on, echoing
+    its original id and — when the client sent one — its [req_id]. *)
 
 type backend = {
   send :
@@ -62,7 +66,8 @@ val create : ?config:config -> backend list -> t
 val routing_key : Protocol.request -> string option
 (** The model-spec key a request hashes on — circuit identity (inline bench
     text keys by content hash) plus truncation [r]. [None] for
-    [stats]/[health]/[shutdown], which the router handles itself. *)
+    [stats]/[health]/[metrics]/[debug]/[shutdown], which the router
+    handles itself. *)
 
 val shard_of : t -> string -> int
 (** Ring lookup: the owning shard index for a key (exposed for tests —

@@ -12,6 +12,9 @@ type config = {
   chaos_crash_after : Util.Fault.io_plan option;
   batch_window_s : float;
   batch_max : int;
+  slow_ms : float;
+  slow_ring : int;
+  request_log : (Jsonx.t -> unit) option;
 }
 
 let default_config =
@@ -29,6 +32,9 @@ let default_config =
     chaos_crash_after = None;
     batch_window_s = 0.0;
     batch_max = 8;
+    slow_ms = 0.0;
+    slow_ring = 64;
+    request_log = None;
   }
 
 (* trace counters: per-request attribution when tracing is enabled; the
@@ -47,14 +53,25 @@ type artifact =
   | A_model of Kle.Model.t
   | A_hmatrix of Kle.Hmatrix.t
 
-(* per-connection response codec: a job answers on the wire it arrived on *)
+(* per-connection response codec: a job answers on the wire it arrived on.
+   [req_id] is the echoed correlation ID — [None] when the request carried
+   none, keeping replies to old clients byte-identical *)
 type rcodec = {
-  rc_ok : id:Jsonx.t -> Jsonx.t -> string;
-  rc_error : id:Jsonx.t -> Protocol.error_code -> string -> string;
+  rc_ok : id:Jsonx.t -> req_id:string option -> Jsonx.t -> string;
+  rc_error : id:Jsonx.t -> req_id:string option -> Protocol.error_code -> string -> string;
 }
 
-let json_codec = { rc_ok = Protocol.ok_response; rc_error = Protocol.error_response }
-let binary_codec = { rc_ok = Wire.ok_response; rc_error = Wire.error_response }
+let json_codec =
+  {
+    rc_ok = (fun ~id ~req_id payload -> Protocol.ok_response ~id ?req_id payload);
+    rc_error = (fun ~id ~req_id code msg -> Protocol.error_response ~id ?req_id code msg);
+  }
+
+let binary_codec =
+  {
+    rc_ok = (fun ~id ~req_id payload -> Wire.ok_response ~id ?req_id payload);
+    rc_error = (fun ~id ~req_id code msg -> Wire.error_response ~id ?req_id code msg);
+  }
 
 type job = {
   request : Protocol.request;
@@ -63,7 +80,13 @@ type job = {
   deadline_ns : int option;  (* absolute, on the Util.Trace.now_ns clock *)
   replied : bool Atomic.t;  (* exactly-once reply guard *)
   attempts : int Atomic.t;  (* worker crashes this job has caused *)
+  req_id : string;  (* effective correlation ID: client-sent or ingress-generated *)
+  submitted_ns : int;  (* decoded at ingress, on the Util.Trace.now_ns clock *)
+  mutable enqueued_ns : int;  (* entered the worker queue (post batch window) *)
+  mutable reply_write_ns : int;  (* wall time spent inside [reply] *)
 }
+
+let echo_req_id job = job.request.Protocol.req_id
 
 type t = {
   config : config;
@@ -101,9 +124,16 @@ type t = {
   n_hits_disk : int Atomic.t;
   n_misses : int Atomic.t;
   n_recovered : int Atomic.t;
+  n_singleflight : int Atomic.t;  (* misses answered by another domain's compute *)
+  n_replies_dropped : int Atomic.t;  (* replies that raised mid-write (dead client) *)
+  n_requeued : int Atomic.t;  (* jobs re-queued after a worker crash *)
+  telemetry : Telemetry.t;
+  instance : int;  (* ingress req_id namespace, unique per server *)
+  req_seq : int Atomic.t;
 }
 
 let diagnostics t = t.diag
+let telemetry t = t.telemetry
 
 (* ---------------------------------------------------------------- *)
 (* cached artifact resolution *)
@@ -135,12 +165,43 @@ let count_tier t tier =
       Atomic.incr t.n_recovered;
       Util.Trace.incr c_misses
 
+(* Per-domain cache-stage clock: [cached] accumulates its wall time here so
+   the worker can split a request's execution into cache_lookup vs compute.
+   Only the outermost [cached] frame adds to [frame_ns] (a model compute
+   that resolves a nested hmatrix artifact is not double-counted), and
+   every leader's [compute] body adds to [exclude_ns]; the worker reads
+   cache_lookup = frame_ns - exclude_ns, so an eigensolve behind a cache
+   miss counts as compute, not as cache time. *)
+type cache_clock = { mutable depth : int; mutable frame_ns : int; mutable exclude_ns : int }
+
+let cache_clock_key = Domain.DLS.new_key (fun () -> { depth = 0; frame_ns = 0; exclude_ns = 0 })
+
+let cache_clock_reset clk =
+  clk.frame_ns <- 0;
+  clk.exclude_ns <- 0
+
+let cache_clock_read clk = max 0 (clk.frame_ns - clk.exclude_ns)
+
 (* memory LRU over the optional disk store over [compute], with per-key
    single-flight: concurrent misses on the same key run [compute] once —
    the leader computes and fills the caches, followers block on
    [inflight_done] and pick the result up from the memory tier *)
 let cached t (entity : 'a Persist.Entity.t) ~spec ~(inject : 'a -> artifact)
     ~(project : artifact -> 'a option) compute =
+  let clk = Domain.DLS.get cache_clock_key in
+  let compute () =
+    let c0 = Util.Trace.now_ns () in
+    Fun.protect
+      ~finally:(fun () -> clk.exclude_ns <- clk.exclude_ns + (Util.Trace.now_ns () - c0))
+      compute
+  in
+  let t0 = Util.Trace.now_ns () in
+  clk.depth <- clk.depth + 1;
+  Fun.protect
+    ~finally:(fun () ->
+      clk.depth <- clk.depth - 1;
+      if clk.depth = 0 then clk.frame_ns <- clk.frame_ns + (Util.Trace.now_ns () - t0))
+  @@ fun () ->
   let key = entity.Persist.Entity.kind ^ ":" ^ spec in
   let from_mem () = Option.bind (Lru.find t.cache key) project in
   match from_mem () with
@@ -166,6 +227,8 @@ let cached t (entity : 'a Persist.Entity.t) ~spec ~(inject : 'a -> artifact)
       in
       match role with
       | `Done v ->
+          (* a miss answered by another domain's in-flight compute *)
+          Atomic.incr t.n_singleflight;
           count_tier t Hit_mem;
           (v, Hit_mem)
       | `Lead ->
@@ -437,10 +500,13 @@ let stats_payload t =
        ("errors", Jsonx.Num (float_of_int (Atomic.get t.n_errors)));
        ("rejected", Jsonx.Num (float_of_int (Atomic.get t.n_rejected)));
        ("deadline_missed", Jsonx.Num (float_of_int (Atomic.get t.n_deadline)));
+       ("replies_dropped", Jsonx.Num (float_of_int (Atomic.get t.n_replies_dropped)));
+       ("requeued", Jsonx.Num (float_of_int (Atomic.get t.n_requeued)));
        ("cache_hits_mem", Jsonx.Num (float_of_int (Atomic.get t.n_hits_mem)));
        ("cache_hits_disk", Jsonx.Num (float_of_int (Atomic.get t.n_hits_disk)));
        ("cache_misses", Jsonx.Num (float_of_int (Atomic.get t.n_misses)));
        ("cache_recovered", Jsonx.Num (float_of_int (Atomic.get t.n_recovered)));
+       ("singleflight_dedup", Jsonx.Num (float_of_int (Atomic.get t.n_singleflight)));
        ("queue_length", Jsonx.Num (float_of_int queue_len));
        ("queue_capacity", Jsonx.Num (float_of_int t.config.queue_capacity));
        ("workers", Jsonx.Num (float_of_int t.config.workers));
@@ -451,7 +517,15 @@ let stats_payload t =
      ]
     @ (match t.batcher with
       | None -> []
-      | Some b -> [ ("batch", batch_stats_payload (Batch.stats b)) ])
+      | Some b ->
+          let fields =
+            match batch_stats_payload (Batch.stats b) with Jsonx.Obj f -> f | _ -> []
+          in
+          [
+            ( "batch",
+              Jsonx.Obj
+                (("window_ms", Jsonx.Num (t.config.batch_window_s *. 1e3)) :: fields) );
+          ])
     @ match t.store with None -> [] | Some store -> [ ("store", store_stats_payload store) ])
 
 (* the chaos harness's recovery probe: counters, queue state and a
@@ -483,6 +557,42 @@ let health_payload t =
           ( "store_read_failures",
             Jsonx.Num (float_of_int s.Persist.Store.read_failures) );
         ])
+
+(* The unified counter list for the metrics surface: the server's own
+   always-on atomics first (stable names, stable order — CI greps them),
+   then whatever {!Util.Trace} counters the process has registered
+   (tracing-gated request attribution, pool/kernel work counters).
+   Trace names are prefixed to keep the two namespaces from colliding. *)
+let unified_counters t =
+  let queue_depth = Mutex.protect t.lock (fun () -> t.queued) in
+  [
+    ("requests", Atomic.get t.n_requests);
+    ("errors", Atomic.get t.n_errors);
+    ("rejected", Atomic.get t.n_rejected);
+    ("deadline_missed", Atomic.get t.n_deadline);
+    ("replies_dropped", Atomic.get t.n_replies_dropped);
+    ("requeued", Atomic.get t.n_requeued);
+    ("cache_hits_mem", Atomic.get t.n_hits_mem);
+    ("cache_hits_disk", Atomic.get t.n_hits_disk);
+    ("cache_misses", Atomic.get t.n_misses);
+    ("cache_recovered", Atomic.get t.n_recovered);
+    ("singleflight_dedup", Atomic.get t.n_singleflight);
+    ("worker_restarts", Atomic.get t.n_worker_restarts);
+    ("quarantined", Atomic.get t.n_quarantined);
+    ("queue_depth", queue_depth);
+    ("workers_busy", Atomic.get t.busy);
+    ("workers", t.config.workers);
+  ]
+  @ (match t.batcher with
+    | None -> []
+    | Some b ->
+        let s = Batch.stats b in
+        [
+          ("batch_appended", s.Batch.appended);
+          ("batch_flushed_groups", s.Batch.flushed_groups);
+          ("batch_max_group", s.Batch.max_group);
+        ])
+  @ List.map (fun (name, v) -> ("trace_" ^ name, v)) (Util.Trace.counters ())
 
 let execute t (request : Protocol.request) : Jsonx.t =
   match request.Protocol.call with
@@ -560,6 +670,8 @@ let execute t (request : Protocol.request) : Jsonx.t =
             ])
   | Protocol.Stats -> stats_payload t
   | Protocol.Health -> health_payload t
+  | Protocol.Metrics -> Telemetry.metrics_payload t.telemetry ~counters:(unified_counters t)
+  | Protocol.Debug -> Telemetry.debug_payload t.telemetry
   | Protocol.Shutdown ->
       Atomic.set t.shutdown_flag true;
       Jsonx.Obj [ ("shutting_down", Jsonx.Bool true) ]
@@ -571,6 +683,8 @@ let method_name (request : Protocol.request) =
   | Protocol.Compare _ -> "compare"
   | Protocol.Stats -> "stats"
   | Protocol.Health -> "health"
+  | Protocol.Metrics -> "metrics"
+  | Protocol.Debug -> "debug"
   | Protocol.Shutdown -> "shutdown"
 
 (* Exactly-once reply: the atomic exchange makes the first caller the
@@ -586,14 +700,18 @@ let safe_reply t job response =
       ~stage:"serve.reply"
       (Printf.sprintf "duplicate reply for request id=%s suppressed"
          (Jsonx.to_string job.request.Protocol.id))
-  else
-    try job.reply response
-    with e ->
-      Util.Diag.record ~sink:t.diag Util.Diag.Warning `Degraded_fallback
-        ~stage:"serve.reply"
-        (Printf.sprintf "reply for request id=%s dropped: %s"
-           (Jsonx.to_string job.request.Protocol.id)
-           (Printexc.to_string e))
+  else begin
+    let t0 = Util.Trace.now_ns () in
+    (try job.reply response
+     with e ->
+       Atomic.incr t.n_replies_dropped;
+       Util.Diag.record ~sink:t.diag Util.Diag.Warning `Degraded_fallback
+         ~stage:"serve.reply"
+         (Printf.sprintf "reply for request id=%s dropped: %s"
+            (Jsonx.to_string job.request.Protocol.id)
+            (Printexc.to_string e)));
+    job.reply_write_ns <- Util.Trace.now_ns () - t0
+  end
 
 (* Entering the drain flushes the accumulation windows on both sides of the
    flag flip: groups flushed before it still execute; adds racing the flip
@@ -619,47 +737,79 @@ let check_deadline t job =
     Atomic.incr t.n_deadline;
     Util.Trace.incr c_deadline;
     safe_reply t job
-      (job.codec.rc_error ~id:job.request.Protocol.id Protocol.Deadline_exceeded
-         "deadline elapsed before the request was executed")
+      (job.codec.rc_error ~id:job.request.Protocol.id ~req_id:(echo_req_id job)
+         Protocol.Deadline_exceeded "deadline elapsed before the request was executed")
   end;
   not expired
 
 let reply_error t job code msg =
   Atomic.incr t.n_errors;
   Util.Trace.incr c_errors;
-  safe_reply t job (job.codec.rc_error ~id:job.request.Protocol.id code msg)
+  safe_reply t job
+    (job.codec.rc_error ~id:job.request.Protocol.id ~req_id:(echo_req_id job) code msg)
+
+(* Per-member stage breakdown, recorded after the reply is on the wire:
+   batch_wait (submission -> queue admission; ~0 on the direct path, so
+   every stage histogram is always populated), queue_wait (admission ->
+   dequeue), cache_lookup (the per-domain cache clock), compute (execution
+   net of cache time), reply_write (inside [safe_reply]). Deadline-expired
+   requests are not recorded — they never executed, and their zeros would
+   drag every stage quantile down. *)
+let record_stages t job ~method_ ~ok ~dequeue_ns ~exec_ns ~cache_ns =
+  let total_ns = max 0 (Util.Trace.now_ns () - job.submitted_ns) in
+  Telemetry.record_request t.telemetry ~req_id:job.req_id ~method_ ~ok
+    ~stages:
+      [
+        (Telemetry.Batch_wait, max 0 (job.enqueued_ns - job.submitted_ns));
+        (Telemetry.Queue_wait, max 0 (dequeue_ns - job.enqueued_ns));
+        (Telemetry.Cache_lookup, cache_ns);
+        (Telemetry.Compute, max 0 (exec_ns - cache_ns));
+        (Telemetry.Reply_write, job.reply_write_ns);
+      ]
+    ~total_ns
 
 let run_job t job =
   let request = job.request in
   let id = request.Protocol.id in
+  let req_id = echo_req_id job in
   if check_deadline t job then begin
+    let dequeue_ns = Util.Trace.now_ns () in
     Atomic.incr t.n_requests;
     Util.Trace.incr c_requests;
+    let clk = Domain.DLS.get cache_clock_key in
+    cache_clock_reset clk;
+    let ok = ref true in
+    let fail () =
+      ok := false;
+      Atomic.incr t.n_errors;
+      Util.Trace.incr c_errors
+    in
+    let x0 = Util.Trace.now_ns () in
     let response =
       Util.Trace.with_span
-        ~attrs:[ ("method", method_name request) ]
+        ~attrs:[ ("method", method_name request); ("req_id", job.req_id) ]
         "serve.request"
       @@ fun () ->
       match execute t request with
-      | payload -> job.codec.rc_ok ~id payload
+      | payload -> job.codec.rc_ok ~id ~req_id payload
       | exception Reject (code, msg) ->
-          Atomic.incr t.n_errors;
-          Util.Trace.incr c_errors;
-          job.codec.rc_error ~id code msg
+          fail ();
+          job.codec.rc_error ~id ~req_id code msg
       | exception Util.Diag.Failure event ->
-          Atomic.incr t.n_errors;
-          Util.Trace.incr c_errors;
-          job.codec.rc_error ~id Protocol.Internal_error (Util.Diag.to_string event)
+          fail ();
+          job.codec.rc_error ~id ~req_id Protocol.Internal_error (Util.Diag.to_string event)
       | exception Invalid_argument msg ->
-          Atomic.incr t.n_errors;
-          Util.Trace.incr c_errors;
-          job.codec.rc_error ~id Protocol.Bad_params msg
+          fail ();
+          job.codec.rc_error ~id ~req_id Protocol.Bad_params msg
       | exception e ->
-          Atomic.incr t.n_errors;
-          Util.Trace.incr c_errors;
-          job.codec.rc_error ~id Protocol.Internal_error (Printexc.to_string e)
+          fail ();
+          job.codec.rc_error ~id ~req_id Protocol.Internal_error (Printexc.to_string e)
     in
+    let exec_ns = Util.Trace.now_ns () - x0 in
+    let cache_ns = cache_clock_read clk in
     safe_reply t job response;
+    record_stages t job ~method_:(method_name request) ~ok:!ok ~dequeue_ns ~exec_ns
+      ~cache_ns;
     (* shutdown begins its drain only after the ok reply is on the wire *)
     if Atomic.get t.shutdown_flag && not (Atomic.get t.draining) then enter_draining t
   end
@@ -673,16 +823,28 @@ let run_group t jobs =
   match live with
   | [] -> ()
   | first :: _ -> (
+      let dequeue_ns = Util.Trace.now_ns () in
       List.iter
         (fun _ ->
           Atomic.incr t.n_requests;
           Util.Trace.incr c_requests)
         live;
+      let req_ids = String.concat "," (List.map (fun job -> job.req_id) live) in
+      let clk = Domain.DLS.get cache_clock_key in
       match first.request.Protocol.call with
       | Protocol.Run_mc { circuit; sampler; r; _ } -> (
+          cache_clock_reset clk;
+          let s0 = Util.Trace.now_ns () in
           let shared =
             Util.Trace.with_span
-              ~attrs:[ ("method", "run_mc"); ("group", string_of_int (List.length live)) ]
+              ~attrs:
+                [
+                  ("method", "run_mc");
+                  ("group", string_of_int (List.length live));
+                  (* the coalesced group records every member's correlation
+                     ID, so a trace span maps back to each client request *)
+                  ("req_ids", req_ids);
+                ]
               "serve.batch"
             @@ fun () ->
             match
@@ -699,16 +861,30 @@ let run_group t jobs =
             | exception Invalid_argument msg -> Error (Protocol.Bad_params, msg)
             | exception e -> Error (Protocol.Internal_error, Printexc.to_string e)
           in
+          (* shared prep is attributed to every member: each one would have
+             paid it alone, and charging it keeps batched-vs-direct compute
+             histograms comparable *)
+          let shared_ns = Util.Trace.now_ns () - s0 in
+          let shared_cache_ns = cache_clock_read clk in
           match shared with
-          | Error (code, msg) -> List.iter (fun job -> reply_error t job code msg) live
+          | Error (code, msg) ->
+              List.iter
+                (fun job ->
+                  reply_error t job code msg;
+                  record_stages t job ~method_:"run_mc" ~ok:false ~dequeue_ns
+                    ~exec_ns:shared_ns ~cache_ns:shared_cache_ns)
+                live
           | Ok (setup, setup_tier, resources, setup_seconds, tier) ->
               List.iter
                 (fun job ->
                   match job.request.Protocol.call with
                   | Protocol.Run_mc { seed; n; batch; full; _ } ->
+                      cache_clock_reset clk;
+                      let ok = ref true in
+                      let m0 = Util.Trace.now_ns () in
                       let response =
                         Util.Trace.with_span
-                          ~attrs:[ ("method", "run_mc") ]
+                          ~attrs:[ ("method", "run_mc"); ("req_id", job.req_id) ]
                           "serve.request"
                         @@ fun () ->
                         match
@@ -728,24 +904,36 @@ let run_group t jobs =
                                 ("sampler_setup_seconds", Jsonx.Num setup_seconds);
                               ])
                         with
-                        | payload -> job.codec.rc_ok ~id:job.request.Protocol.id payload
+                        | payload ->
+                            job.codec.rc_ok ~id:job.request.Protocol.id
+                              ~req_id:(echo_req_id job) payload
                         | exception Util.Diag.Failure event ->
+                            ok := false;
                             Atomic.incr t.n_errors;
                             Util.Trace.incr c_errors;
                             job.codec.rc_error ~id:job.request.Protocol.id
-                              Protocol.Internal_error (Util.Diag.to_string event)
+                              ~req_id:(echo_req_id job) Protocol.Internal_error
+                              (Util.Diag.to_string event)
                         | exception Invalid_argument msg ->
-                            Atomic.incr t.n_errors;
-                            Util.Trace.incr c_errors;
-                            job.codec.rc_error ~id:job.request.Protocol.id Protocol.Bad_params
-                              msg
-                        | exception e ->
+                            ok := false;
                             Atomic.incr t.n_errors;
                             Util.Trace.incr c_errors;
                             job.codec.rc_error ~id:job.request.Protocol.id
-                              Protocol.Internal_error (Printexc.to_string e)
+                              ~req_id:(echo_req_id job) Protocol.Bad_params msg
+                        | exception e ->
+                            ok := false;
+                            Atomic.incr t.n_errors;
+                            Util.Trace.incr c_errors;
+                            job.codec.rc_error ~id:job.request.Protocol.id
+                              ~req_id:(echo_req_id job) Protocol.Internal_error
+                              (Printexc.to_string e)
                       in
-                      safe_reply t job response
+                      let member_ns = Util.Trace.now_ns () - m0 in
+                      let member_cache_ns = cache_clock_read clk in
+                      safe_reply t job response;
+                      record_stages t job ~method_:"run_mc" ~ok:!ok ~dequeue_ns
+                        ~exec_ns:(shared_ns + member_ns)
+                        ~cache_ns:(shared_cache_ns + member_cache_ns)
                   | _ ->
                       (* the batch key admits only run_mc; anything else here
                          is a collector bug, answered typed not crashed *)
@@ -843,19 +1031,26 @@ let on_worker_crash t (slot : job list ref) e ~restarts =
                  (Jsonx.to_string job.request.Protocol.id)
                  attempts);
             safe_reply t job
-              (job.codec.rc_error ~id:job.request.Protocol.id Protocol.Internal_error
+              (job.codec.rc_error ~id:job.request.Protocol.id ~req_id:(echo_req_id job)
+                 Protocol.Internal_error
                  (Printf.sprintf "request crashed the worker %d times — quarantined"
                     attempts))
           end
           else if Atomic.get t.draining then
             safe_reply t job
-              (job.codec.rc_error ~id:job.request.Protocol.id Protocol.Shutting_down
+              (job.codec.rc_error ~id:job.request.Protocol.id ~req_id:(echo_req_id job)
+                 Protocol.Shutting_down
                  "worker crashed while draining; request not retried")
-          else
+          else begin
+            Atomic.incr t.n_requeued;
+            (* the retry re-enters the queue now; resetting the admission
+               stamp keeps queue_wait honest for the re-run *)
+            job.enqueued_ns <- Util.Trace.now_ns ();
             Mutex.protect t.lock (fun () ->
                 Queue.push [ job ] t.queue;
                 t.queued <- t.queued + 1;
-                Condition.signal t.not_empty))
+                Condition.signal t.not_empty)
+          end)
         inflight);
   outcome
 
@@ -865,11 +1060,12 @@ let reject_job t job verdict =
   match verdict with
   | `Draining ->
       safe_reply t job
-        (job.codec.rc_error ~id:job.request.Protocol.id Protocol.Shutting_down
-           "server is draining")
+        (job.codec.rc_error ~id:job.request.Protocol.id ~req_id:(echo_req_id job)
+           Protocol.Shutting_down "server is draining")
   | `Full ->
       safe_reply t job
-        (job.codec.rc_error ~id:job.request.Protocol.id Protocol.Overloaded
+        (job.codec.rc_error ~id:job.request.Protocol.id ~req_id:(echo_req_id job)
+           Protocol.Overloaded
            (Printf.sprintf "queue full (%d pending)" t.config.queue_capacity))
 
 (* The single enqueue point: a group is admitted whole or rejected whole,
@@ -884,6 +1080,11 @@ let enqueue_group t jobs =
             if Atomic.get t.draining then `Draining
             else if t.queued >= t.config.queue_capacity then `Full
             else begin
+              (* queue admission: everything before this stamp is batch
+                 window (or ~0 on the direct path), everything after until
+                 dequeue is queue_wait *)
+              let now = Util.Trace.now_ns () in
+              List.iter (fun job -> job.enqueued_ns <- now) jobs;
               Queue.push jobs t.queue;
               t.queued <- t.queued + size;
               Condition.signal t.not_empty;
@@ -897,10 +1098,20 @@ let enqueue_group t jobs =
 (* ---------------------------------------------------------------- *)
 (* lifecycle *)
 
+(* ingress req_id namespace: two servers in one process (router tests)
+   must not mint colliding IDs, so mix a per-process sequence into the
+   monotonic-clock reading *)
+let instance_counter = Atomic.make 0
+
 let create ?diag config =
   if config.workers < 1 then invalid_arg "Server.create: workers < 1";
   if config.queue_capacity < 1 then invalid_arg "Server.create: queue_capacity < 1";
   let diag = match diag with Some d -> d | None -> Util.Diag.create () in
+  let instance =
+    (Util.Trace.now_ns () land 0xFFFF_FFFF) lxor (Atomic.fetch_and_add instance_counter 1 lsl 32)
+  in
+  let telemetry = Telemetry.create ~slow_ms:config.slow_ms ~ring_size:config.slow_ring () in
+  Telemetry.set_log telemetry config.request_log;
   let store =
     Option.map
       (fun dir ->
@@ -937,6 +1148,12 @@ let create ?diag config =
       n_hits_disk = Atomic.make 0;
       n_misses = Atomic.make 0;
       n_recovered = Atomic.make 0;
+      n_singleflight = Atomic.make 0;
+      n_replies_dropped = Atomic.make 0;
+      n_requeued = Atomic.make 0;
+      telemetry;
+      instance;
+      req_seq = Atomic.make 0;
     }
   in
   t.worker_handles <-
@@ -984,12 +1201,30 @@ let submit_wire t ~wire payload ~reply =
   | Error (id, code, msg) ->
       Atomic.incr t.n_errors;
       Util.Trace.incr c_errors;
-      reply (codec.rc_error ~id code msg)
+      (* best-effort echo: a line that parses as JSON but fails request
+         validation (unknown method, bad params) still correlates its error
+         reply. Binary payloads that fail decode carry no recoverable ID. *)
+      let req_id =
+        match wire with
+        | `Binary -> None
+        | `Json -> (
+            match Jsonx.parse payload with
+            | Error _ -> None
+            | Ok json -> Option.bind (Jsonx.member "req_id" json) Jsonx.as_str)
+      in
+      reply (codec.rc_error ~id ~req_id code msg)
   | Ok request -> (
+      let submitted_ns = Util.Trace.now_ns () in
       let deadline_ns =
-        Option.map
-          (fun ms -> Util.Trace.now_ns () + int_of_float (ms *. 1e6))
-          request.Protocol.deadline_ms
+        Option.map (fun ms -> submitted_ns + int_of_float (ms *. 1e6)) request.Protocol.deadline_ms
+      in
+      (* the effective correlation ID: the client's if it sent one, minted
+         at ingress otherwise — so traces, logs and the slow ring always
+         have one. Only client-sent IDs are echoed in replies. *)
+      let req_id =
+        match request.Protocol.req_id with
+        | Some r -> r
+        | None -> Printf.sprintf "srv-%08x-%d" t.instance (Atomic.fetch_and_add t.req_seq 1)
       in
       let job =
         {
@@ -999,6 +1234,10 @@ let submit_wire t ~wire payload ~reply =
           deadline_ns;
           replied = Atomic.make false;
           attempts = Atomic.make 0;
+          req_id;
+          submitted_ns;
+          enqueued_ns = submitted_ns;
+          reply_write_ns = 0;
         }
       in
       match (t.batcher, batch_key request) with

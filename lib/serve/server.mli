@@ -35,8 +35,20 @@
       instead of being retried forever.
 
     Each executed request runs inside a [serve.request] {!Util.Trace} span
-    (attributes: method, cache tier) and bumps the [serve_*] counters, so
-    a traced serving run attributes time and cache behaviour per request. *)
+    (attributes: method, [req_id], cache tier) and bumps the [serve_*]
+    counters, so a traced serving run attributes time and cache behaviour
+    per request; a coalesced group's [serve.batch] span records every
+    member's correlation ID.
+
+    {b Telemetry}: every executed request is recorded into a per-server
+    {!Telemetry} registry — per-stage latency histograms (queue wait,
+    batch wait, cache lookup, compute, reply write), a slow-request ring,
+    and an optional structured request log. The [metrics] protocol method
+    returns the full registry (counters + quantiles + mergeable histogram
+    snapshots + Prometheus text); [debug] returns the slow-request ring.
+    Requests carry a correlation ID end-to-end: the client's [req_id] if
+    it sent one (echoed verbatim in the reply), or one minted at ingress
+    ([srv-<instance>-<seq>], telemetry-only, never echoed). *)
 
 type config = {
   store_dir : string option;  (** [None] disables the disk tier *)
@@ -67,13 +79,23 @@ type config = {
       (** flush a group early when it reaches this size (on the submitting
           thread — no added latency at saturation); [<= 1] disables
           coalescing *)
+  slow_ms : float;
+      (** slow-request threshold for the {!Telemetry} ring ([debug]
+          method); [0.] admits every request, so the ring holds the most
+          recent [slow_ring] requests *)
+  slow_ring : int;  (** slow-request ring capacity *)
+  request_log : (Jsonx.t -> unit) option;
+      (** structured request-log sink ([ssta_serve --log-json]): one JSON
+          object per executed request. Called from worker domains — must be
+          thread-safe. *)
 }
 
 val default_config : config
 (** No disk store, 32 cache entries, queue of 64, 2 workers, sequential
     compute ([jobs = Some 1]), placement seed 1,
     {!Ssta.Algorithm2.paper_config}, 30 s drain timeout, no fault
-    injection, coalescing off ([batch_window_s = 0.], [batch_max = 8]). *)
+    injection, coalescing off ([batch_window_s = 0.], [batch_max = 8]),
+    [slow_ms = 0.], [slow_ring = 64], no request log. *)
 
 type t
 
@@ -81,6 +103,11 @@ val create : ?diag:Util.Diag.sink -> config -> t
 (** Spawns the worker domains; opens the store when [store_dir] is set. *)
 
 val diagnostics : t -> Util.Diag.sink
+
+val telemetry : t -> Telemetry.t
+(** The server's telemetry registry — what the [metrics] and [debug]
+    protocol methods expose. [bench serve] resets it between sweep rows
+    and reads server-side quantiles from it directly. *)
 
 val submit : t -> string -> reply:(string -> unit) -> unit
 (** Decode one JSON request line and enqueue it. [reply] is called exactly
@@ -120,8 +147,9 @@ val quarantined : t -> int
 
 val stats_payload : t -> Jsonx.t
 (** The same JSON object a [stats] request returns: request/reject/deadline
-    counters, queue occupancy, worker restart/quarantine counts, LRU and
-    store statistics. *)
+    counters, [replies_dropped] (replies that raised mid-write — a dead
+    client), [requeued] and [singleflight_dedup], queue occupancy, worker
+    restart/quarantine counts, LRU, batch and store statistics. *)
 
 val health_payload : t -> Jsonx.t
 (** The same JSON object a [health] request returns: [healthy] (accepting

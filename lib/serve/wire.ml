@@ -3,6 +3,7 @@ module C = Persist.Codec
 let magic0 = '\xB5'
 let magic1 = '\x7A'
 let version = 1
+let max_version = 2
 let max_payload = 16 * 1024 * 1024
 
 type read_error = [ `Eof | `Corrupt of string ]
@@ -10,15 +11,23 @@ type read_error = [ `Eof | `Corrupt of string ]
 (* ---------------------------------------------------------------- *)
 (* framing *)
 
-let frame payload =
+(* Version negotiation: a version-2 frame is a version-1 frame plus a
+   trailing optional req_id section in the payload. Writers emit version 1
+   unless that section is present, so a peer that only speaks version 1
+   (and never sends a req_id) receives frames byte-identical to before;
+   readers accept 1..max_version and key the trailing section off the
+   remaining payload bytes, not the version byte. *)
+let frame_v ver payload =
   let len = String.length payload in
   if len > max_payload then invalid_arg "Wire.frame: payload exceeds max_payload";
   let w = C.writer () in
   C.write_u8 w (Char.code magic0);
   C.write_u8 w (Char.code magic1);
-  C.write_u8 w version;
+  C.write_u8 w ver;
   C.write_fixed32 w len;
   C.contents w ^ payload
+
+let frame payload = frame_v version payload
 
 let header_checks rd =
   let m0 = C.read_u8 rd in
@@ -26,8 +35,11 @@ let header_checks rd =
   let ver = C.read_u8 rd in
   if m0 <> Char.code magic0 || m1 <> Char.code magic1 then
     Error (`Corrupt (Printf.sprintf "bad frame magic 0x%02x%02x" m0 m1))
-  else if ver <> version then
-    Error (`Corrupt (Printf.sprintf "unsupported wire version %d (expected %d)" ver version))
+  else if ver < version || ver > max_version then
+    Error
+      (`Corrupt
+        (Printf.sprintf "unsupported wire version %d (accepted %d..%d)" ver version
+           max_version))
   else
     let len = C.read_fixed32 rd in
     (* reject before allocating: the framing analogue of the read_mat guard *)
@@ -200,8 +212,14 @@ let encode_request (req : Protocol.request) =
       C.write_uint w n
   | Protocol.Stats -> C.write_u8 w 3
   | Protocol.Health -> C.write_u8 w 4
-  | Protocol.Shutdown -> C.write_u8 w 5);
-  frame (C.contents w)
+  | Protocol.Shutdown -> C.write_u8 w 5
+  | Protocol.Metrics -> C.write_u8 w 6
+  | Protocol.Debug -> C.write_u8 w 7);
+  match req.req_id with
+  | None -> frame_v version (C.contents w)
+  | Some _ ->
+      C.write_option w C.write_string req.req_id;
+      frame_v max_version (C.contents w)
 
 let decode_request payload =
   let rd = C.reader payload in
@@ -243,10 +261,19 @@ let decode_request payload =
           | 3 -> Protocol.Stats
           | 4 -> Protocol.Health
           | 5 -> Protocol.Shutdown
+          | 6 -> Protocol.Metrics
+          | 7 -> Protocol.Debug
           | t -> rej Protocol.Unknown_method "unknown method tag %d" t
         in
+        (* trailing version-2 section: absent in version-1 payloads *)
+        let req_id =
+          if C.remaining rd > 0 then C.read_option rd C.read_string else None
+        in
+        (match req_id with
+        | Some "" -> rej Protocol.Bad_params "req_id must be non-empty"
+        | _ -> ());
         C.expect_end rd;
-        Ok { Protocol.id; deadline_ms; call }
+        Ok { Protocol.id; req_id; deadline_ms; call }
       with
       | C.Error msg -> Error (id, Protocol.Invalid_request, msg)
       | Rej (code, msg) -> Error (id, code, msg))
@@ -277,34 +304,48 @@ let code_of_tag = function
   | 8 -> Protocol.Internal_error
   | t -> raise (C.Error (Printf.sprintf "unknown error-code tag %d" t))
 
-let ok_response ~id payload =
+(* responses mirror the request negotiation: the trailing req_id echo is
+   only written (and the frame only marked version 2) when present *)
+let finish_response w req_id =
+  match req_id with
+  | None -> frame_v version (C.contents w)
+  | Some _ ->
+      C.write_option w C.write_string req_id;
+      frame_v max_version (C.contents w)
+
+let ok_response ~id ?req_id payload =
   let w = C.writer () in
   encode_jsonx w id;
   C.write_u8 w 0;
   encode_jsonx w payload;
-  frame (C.contents w)
+  finish_response w req_id
 
-let error_response ~id code message =
+let error_response ~id ?req_id code message =
   let w = C.writer () in
   encode_jsonx w id;
   C.write_u8 w 1;
   C.write_u8 w (code_tag code);
   C.write_string w message;
-  frame (C.contents w)
+  finish_response w req_id
 
 let decode_response payload =
   let rd = C.reader payload in
+  let read_req_id () =
+    if C.remaining rd > 0 then C.read_option rd C.read_string else None
+  in
   try
     let id = decode_jsonx rd in
     match C.read_u8 rd with
     | 0 ->
         let p = decode_jsonx rd in
+        let req_id = read_req_id () in
         C.expect_end rd;
-        Ok (id, Ok p)
+        Ok (id, req_id, Ok p)
     | 1 ->
         let code = code_of_tag (C.read_u8 rd) in
         let msg = C.read_string rd in
+        let req_id = read_req_id () in
         C.expect_end rd;
-        Ok (id, Error (code, msg))
+        Ok (id, req_id, Error (code, msg))
     | t -> Error (Printf.sprintf "bad response status tag %d" t)
   with C.Error msg -> Error msg

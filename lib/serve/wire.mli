@@ -23,6 +23,14 @@ val magic0 : char
 val magic1 : char
 
 val version : int
+(** Base frame version (1). Writers emit it unless the payload carries the
+    trailing request-ID section introduced by version 2. *)
+
+val max_version : int
+(** Highest accepted frame version (2: version 1 plus an optional trailing
+    [req_id] in request and response payloads). Readers accept
+    [version..max_version]; the trailing section is keyed off remaining
+    payload bytes, so version-1 peers interoperate unchanged. *)
 
 val max_payload : int
 (** Upper bound on the frame length field (16 MiB). Larger lengths are
@@ -71,14 +79,16 @@ val decode_request : string -> (Protocol.request, Jsonx.t * Protocol.error_code 
 
 (** {1 Responses} *)
 
-val ok_response : id:Jsonx.t -> Jsonx.t -> string
-(** One full frame. *)
+val ok_response : id:Jsonx.t -> ?req_id:string -> Jsonx.t -> string
+(** One full frame. [?req_id] echoes the request's correlation ID as the
+    version-2 trailing section; omitted → a version-1 frame, so replies to
+    old clients are byte-identical to before. *)
 
-val error_response : id:Jsonx.t -> Protocol.error_code -> string -> string
+val error_response : id:Jsonx.t -> ?req_id:string -> Protocol.error_code -> string -> string
 
 val decode_response :
   string ->
-  (Jsonx.t * (Jsonx.t, Protocol.error_code * string) result, string) result
+  (Jsonx.t * string option * (Jsonx.t, Protocol.error_code * string) result, string) result
 (** Decode one binary response frame payload into
-    [(id, Ok payload | Error (code, message))]; [Error msg] when the
-    payload itself is malformed. *)
+    [(id, echoed req_id, Ok payload | Error (code, message))]; [Error msg]
+    when the payload itself is malformed. *)

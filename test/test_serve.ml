@@ -70,7 +70,7 @@ let decode_err line =
 
 let test_protocol_decode_ok () =
   (match Protocol.decode {|{"id":1,"method":"stats"}|} with
-  | Ok { id = Jsonx.Num 1.0; deadline_ms = None; call = Protocol.Stats } -> ()
+  | Ok { id = Jsonx.Num 1.0; req_id = None; deadline_ms = None; call = Protocol.Stats } -> ()
   | _ -> Alcotest.fail "stats decode");
   (match
      Protocol.decode
@@ -79,6 +79,7 @@ let test_protocol_decode_ok () =
   | Ok
       {
         id = Jsonx.Str "x";
+        req_id = None;
         deadline_ms = Some 250.0;
         call =
           Protocol.Run_mc
@@ -544,9 +545,15 @@ let test_server_reply_failure_survives () =
       while not !fired do
         Condition.wait c m
       done);
-  ignore (expect_ok (sync_call server {|{"id":2,"method":"stats"}|}));
+  let stats = expect_ok (sync_call server {|{"id":2,"method":"stats"}|}) in
   Alcotest.(check bool) "dropped reply recorded" true
-    (Util.Diag.count ~code:`Degraded_fallback (Server.diagnostics server) >= 1)
+    (Util.Diag.count ~code:`Degraded_fallback (Server.diagnostics server) >= 1);
+  (* the drop is a first-class stat, not only a diagnostic *)
+  match Option.bind (Jsonx.member "replies_dropped" stats) Jsonx.as_int with
+  | Some n when n >= 1 -> ()
+  | v ->
+      Alcotest.failf "replies_dropped: %s"
+        (match v with Some n -> string_of_int n | None -> "absent")
 
 (* ---------- supervision, health, chaos ---------- *)
 
@@ -819,11 +826,17 @@ let test_wire_jsonx_adversarial () =
 
 let wire_requests =
   [
-    { Protocol.id = Jsonx.Num 1.0; deadline_ms = None; call = Protocol.Stats };
-    { Protocol.id = Jsonx.Num 2.0; deadline_ms = None; call = Protocol.Health };
-    { Protocol.id = Jsonx.Str "s"; deadline_ms = None; call = Protocol.Shutdown };
+    { Protocol.id = Jsonx.Num 1.0; req_id = None; deadline_ms = None; call = Protocol.Stats };
+    { Protocol.id = Jsonx.Num 2.0; req_id = None; deadline_ms = None; call = Protocol.Health };
+    {
+      Protocol.id = Jsonx.Str "s";
+      req_id = Some "cli-2a-7";
+      deadline_ms = None;
+      call = Protocol.Shutdown;
+    };
     {
       Protocol.id = Jsonx.Str "x";
+      req_id = Some "chaos-42";
       deadline_ms = Some 250.0;
       call =
         Protocol.Run_mc
@@ -832,11 +845,13 @@ let wire_requests =
     };
     {
       Protocol.id = Jsonx.Null;
+      req_id = None;
       deadline_ms = None;
       call = Protocol.Prepare { circuit = Protocol.Bench_text tiny_bench; r = None };
     };
     {
       Protocol.id = Jsonx.List [ Jsonx.Num 1.0; Jsonx.Str "b" ];
+      req_id = None;
       deadline_ms = None;
       call = Protocol.Compare { circuit = Protocol.Named "c432"; r = Some 3; seed = -2; n = 9 };
     };
@@ -872,7 +887,7 @@ let test_wire_request_adversarial () =
     | Error (_, code, _) -> Protocol.error_code_name code
   in
   let stats_req =
-    { Protocol.id = Jsonx.Num 1.0; deadline_ms = None; call = Protocol.Stats }
+    { Protocol.id = Jsonx.Num 1.0; req_id = None; deadline_ms = None; call = Protocol.Stats }
   in
   let stats = payload_of stats_req in
   (* unknown method tag (the method tag is the last payload byte) *)
@@ -894,6 +909,7 @@ let test_wire_request_adversarial () =
   let run_mc n =
     {
       Protocol.id = Jsonx.Num 1.0;
+      req_id = None;
       deadline_ms = None;
       call =
         Protocol.Run_mc
@@ -916,17 +932,26 @@ let test_wire_response_roundtrip () =
   (match Wire.unframe (Wire.ok_response ~id:(Jsonx.Num 3.0) payload) with
   | Ok p -> (
       match Wire.decode_response p with
-      | Ok (Jsonx.Num 3.0, Ok back) ->
+      | Ok (Jsonx.Num 3.0, None, Ok back) ->
           Alcotest.(check string) "ok payload" (Jsonx.to_string payload)
             (Jsonx.to_string back)
       | _ -> Alcotest.fail "ok response decode")
   | Error _ -> Alcotest.fail "ok response unframe");
   (match
+     Wire.unframe
+       (Wire.ok_response ~id:(Jsonx.Num 4.0) ~req_id:"cli-1-2" payload)
+   with
+  | Ok p -> (
+      match Wire.decode_response p with
+      | Ok (Jsonx.Num 4.0, Some "cli-1-2", Ok _) -> ()
+      | _ -> Alcotest.fail "ok response with req_id decode")
+  | Error _ -> Alcotest.fail "ok response with req_id unframe");
+  (match
      Wire.unframe (Wire.error_response ~id:(Jsonx.Str "a") Protocol.Overloaded "queue full")
    with
   | Ok p -> (
       match Wire.decode_response p with
-      | Ok (Jsonx.Str "a", Error (Protocol.Overloaded, "queue full")) -> ()
+      | Ok (Jsonx.Str "a", None, Error (Protocol.Overloaded, "queue full")) -> ()
       | _ -> Alcotest.fail "error response decode")
   | Error _ -> Alcotest.fail "error response unframe");
   match Wire.decode_response "\xee" with
@@ -935,9 +960,10 @@ let test_wire_response_roundtrip () =
 
 (* ---------- cross-wire / cross-shard helpers ---------- *)
 
-let mc_request ?(id = 1.0) ?(seed = 3) ?(n = 24) ?(full = false) () =
+let mc_request ?(id = 1.0) ?req_id ?(seed = 3) ?(n = 24) ?(full = false) () =
   {
     Protocol.id = Jsonx.Num id;
+    req_id;
     deadline_ms = None;
     call =
       Protocol.Run_mc
@@ -983,7 +1009,7 @@ let sync_call_binary server request =
   | Ok p -> (
       match Wire.decode_response p with
       | Error msg -> Alcotest.failf "binary reply decode: %s" msg
-      | Ok (id, result) -> (id, result))
+      | Ok (id, _req_id, result) -> (id, result))
 
 let test_wire_cross_identity () =
   with_server @@ fun server ->
@@ -1007,6 +1033,7 @@ let test_wire_cross_identity () =
     sync_call_binary server
       {
         Protocol.id = Jsonx.Num 9.0;
+        req_id = None;
         deadline_ms = None;
         call =
           Protocol.Run_mc
@@ -1130,7 +1157,7 @@ let sync_router_call router line =
       Option.get !slot)
 
 let test_router_routing_key () =
-  let req call = { Protocol.id = Jsonx.Null; deadline_ms = None; call } in
+  let req call = { Protocol.id = Jsonx.Null; req_id = None; deadline_ms = None; call } in
   let run_mc r =
     req
       (Protocol.Run_mc
@@ -1346,6 +1373,9 @@ let test_server_chaos_invariants () =
     (report.Serve.Chaos.faults_injected >= 50);
   Alcotest.(check bool) "workers were crashed" true
     (report.Serve.Chaos.worker_restarts >= 1);
+  (* every reply — including retried and failed-over ones — carried the
+     originating request's correlation ID exactly once *)
+  Alcotest.(check int) "req_id violations" 0 report.Serve.Chaos.id_violations;
   (match Serve.Chaos.violations ~min_faults:50 report with
   | [] -> ()
   | v ->
@@ -1401,6 +1431,304 @@ let test_router_chaos_invariants () =
   | v ->
       Alcotest.failf "router chaos violations: %s (report: %s)" (String.concat "; " v)
         (Serve.Chaos.report_to_string report)
+
+(* ---------- telemetry: req_id propagation, metrics, debug ---------- *)
+
+let count_substring ~needle hay =
+  let n = String.length needle in
+  let rec scan from acc =
+    match String.index_from_opt hay from needle.[0] with
+    | None -> acc
+    | Some i ->
+        if i + n <= String.length hay && String.sub hay i n = needle then
+          scan (i + 1) (acc + 1)
+        else scan (i + 1) acc
+  in
+  if n = 0 then 0 else scan 0 0
+
+(* recording happens after the reply is written, so a test that asserts on
+   telemetry right after a reply must wait for the record to land *)
+let await ?(tries = 500) what pred =
+  let rec go n =
+    if pred () then ()
+    else if n = 0 then Alcotest.failf "%s never became true" what
+    else begin
+      Thread.delay 0.005;
+      go (n - 1)
+    end
+  in
+  go tries
+
+let test_server_req_id_echo_json () =
+  with_server @@ fun server ->
+  let reply = sync_call server {|{"id":1,"req_id":"cli-aa-1","method":"stats"}|} in
+  Alcotest.(check int) "echoed exactly once" 1
+    (count_substring ~needle:{|"req_id"|} reply);
+  Alcotest.(check (option string)) "echoed verbatim" (Some "cli-aa-1")
+    (Option.bind (Jsonx.member "req_id" (reply_json reply)) Jsonx.as_str);
+  (* no req_id in, none out: server-minted IDs are telemetry-only *)
+  let reply = sync_call server {|{"id":2,"method":"stats"}|} in
+  Alcotest.(check int) "no echo without req_id" 0
+    (count_substring ~needle:{|"req_id"|} reply);
+  (* error replies echo too *)
+  let reply = sync_call server {|{"id":3,"req_id":"cli-aa-3","method":"warp"}|} in
+  Alcotest.(check (option string)) "echo on error" (Some "cli-aa-3")
+    (Option.bind (Jsonx.member "req_id" (reply_json reply)) Jsonx.as_str)
+
+let sync_call_binary_full server request =
+  let payload =
+    match Wire.unframe (Wire.encode_request request) with
+    | Ok p -> p
+    | Error _ -> Alcotest.fail "self-frame failed"
+  in
+  let m = Mutex.create () and c = Condition.create () in
+  let slot = ref None in
+  Server.submit_wire server ~wire:`Binary payload ~reply:(fun r ->
+      Mutex.protect m (fun () ->
+          slot := Some r;
+          Condition.signal c));
+  let frame =
+    Mutex.protect m (fun () ->
+        while !slot = None do
+          Condition.wait c m
+        done;
+        Option.get !slot)
+  in
+  match Wire.unframe frame with
+  | Error _ -> Alcotest.fail "binary reply is not a frame"
+  | Ok p -> (
+      match Wire.decode_response p with
+      | Error msg -> Alcotest.failf "binary reply decode: %s" msg
+      | Ok triple -> triple)
+
+let test_server_req_id_echo_binary () =
+  with_server @@ fun server ->
+  (match sync_call_binary_full server (mc_request ~req_id:"cli-bb-1" ()) with
+  | _, Some "cli-bb-1", Ok _ -> ()
+  | _, got, _ ->
+      Alcotest.failf "binary echo: %s" (Option.value ~default:"<none>" got));
+  match sync_call_binary_full server (mc_request ~id:2.0 ()) with
+  | _, None, Ok _ -> ()
+  | _, Some got, _ -> Alcotest.failf "unexpected binary echo %S" got
+  | _, None, Error (code, msg) ->
+      Alcotest.failf "binary call failed: %s %s" (Protocol.error_code_name code) msg
+
+let test_wire_v1_compat () =
+  (* writers emit the base version when there is no req_id to carry, so
+     replies to old clients are byte-compatible; the trailing section only
+     appears (as version 2) when a correlation ID is present *)
+  let v1 = Wire.ok_response ~id:(Jsonx.Num 1.0) (Jsonx.Obj []) in
+  Alcotest.(check char) "v1 when no req_id" '\x01' v1.[2];
+  let v2 = Wire.ok_response ~id:(Jsonx.Num 1.0) ~req_id:"x" (Jsonx.Obj []) in
+  Alcotest.(check char) "v2 with req_id" '\x02' v2.[2];
+  (match Wire.unframe v1 with
+  | Ok p -> (
+      match Wire.decode_response p with
+      | Ok (_, None, Ok _) -> ()
+      | _ -> Alcotest.fail "v1 response decode")
+  | Error _ -> Alcotest.fail "v1 unframe");
+  let r1 = Wire.encode_request (mc_request ()) in
+  Alcotest.(check char) "request v1 without req_id" '\x01' r1.[2];
+  let r2 = Wire.encode_request (mc_request ~req_id:"cli-1-1" ()) in
+  Alcotest.(check char) "request v2 with req_id" '\x02' r2.[2];
+  (* a v1 request payload (no trailing section) decodes with req_id None *)
+  match Wire.unframe r1 with
+  | Ok p -> (
+      match Wire.decode_request p with
+      | Ok { req_id = None; _ } -> ()
+      | _ -> Alcotest.fail "v1 request decode")
+  | Error _ -> Alcotest.fail "v1 request unframe"
+
+let test_client_generates_req_id () =
+  with_server @@ fun server ->
+  let sent = ref [] in
+  let transport line ~reply =
+    sent := line :: !sent;
+    Server.submit server line ~reply
+  in
+  let client = Serve.Client.create transport in
+  (match Serve.Client.call_request client (mc_request ()) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "call failed: %s" (Serve.Client.failure_to_string e));
+  match !sent with
+  | [ line ] -> (
+      match
+        Option.bind (Result.to_option (Jsonx.parse line)) (fun v ->
+            Option.bind (Jsonx.member "req_id" v) Jsonx.as_str)
+      with
+      | Some rid ->
+          Alcotest.(check bool)
+            (Printf.sprintf "generated id %S has the cli- prefix" rid)
+            true
+            (String.length rid > 4 && String.sub rid 0 4 = "cli-")
+      | None -> Alcotest.fail "client sent no req_id")
+  | lines -> Alcotest.failf "expected one transport send, saw %d" (List.length lines)
+
+let test_server_metrics_method () =
+  with_server @@ fun server ->
+  ignore (expect_ok (sync_call server (run_mc_line ())));
+  await "first request recorded" (fun () ->
+      Util.Histogram.count (Serve.Telemetry.total_histogram (Server.telemetry server)) >= 1);
+  let mp = expect_ok (sync_call server {|{"id":2,"method":"metrics"}|}) in
+  List.iter
+    (fun field ->
+      Alcotest.(check bool) (field ^ " present") true (Jsonx.member field mp <> None))
+    [ "counters"; "stages"; "histograms"; "prometheus" ];
+  (match
+     Option.bind (Option.bind (Jsonx.member "counters" mp) (Jsonx.member "requests"))
+       Jsonx.as_int
+   with
+  | Some n when n >= 1 -> ()
+  | _ -> Alcotest.fail "requests counter missing or zero");
+  let total = Option.bind (Jsonx.member "stages" mp) (Jsonx.member "total") in
+  let q name =
+    match Option.bind (Option.bind total (Jsonx.member name)) Jsonx.as_num with
+    | Some v -> v
+    | None -> Alcotest.failf "stages.total.%s missing" name
+  in
+  Alcotest.(check bool) "total count >= 1" true (q "count" >= 1.0);
+  Alcotest.(check bool) "p50 <= p99" true (q "p50_ms" <= q "p99_ms");
+  Alcotest.(check bool) "p99 <= p999" true (q "p99_ms" <= q "p999_ms");
+  let prom =
+    match Option.bind (Jsonx.member "prometheus" mp) Jsonx.as_str with
+    | Some s -> s
+    | None -> Alcotest.fail "prometheus text missing"
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("prometheus has " ^ needle) true (contains ~sub:needle prom))
+    [
+      "ssta_requests"; "ssta_cache_misses";
+      {|ssta_stage_latency_seconds{stage="queue_wait"|};
+      {|ssta_stage_latency_seconds{stage="compute"|};
+      {|ssta_stage_latency_seconds_count{stage="total"}|};
+    ]
+
+let test_server_debug_ring () =
+  (* slow_ms = 0 admits every request, so the ring holds the most recent *)
+  with_server @@ fun server ->
+  ignore (expect_ok (sync_call server {|{"id":1,"req_id":"cli-dd-1","method":"stats"}|}));
+  await "ring admission" (fun () ->
+      match
+        Option.bind
+          (Jsonx.member "slow_requests"
+             (expect_ok (sync_call server {|{"id":2,"method":"debug"}|})))
+          (function Jsonx.List l -> Some l | _ -> None)
+      with
+      | Some (_ :: _) -> true
+      | _ -> false);
+  let dp = expect_ok (sync_call server {|{"id":3,"method":"debug"}|}) in
+  let entries =
+    match Jsonx.member "slow_requests" dp with
+    | Some (Jsonx.List l) -> l
+    | _ -> Alcotest.fail "slow_requests missing"
+  in
+  let has_dd1 =
+    List.exists
+      (fun e ->
+        Option.bind (Jsonx.member "req_id" e) Jsonx.as_str = Some "cli-dd-1"
+        && Option.bind (Jsonx.member "stages_ms" e) (Jsonx.member "compute") <> None
+        && Option.bind (Jsonx.member "stages_ms" e) (Jsonx.member "queue_wait") <> None)
+      entries
+  in
+  Alcotest.(check bool) "entry carries req_id + per-stage breakdown" true has_dd1
+
+let test_server_json_request_log () =
+  let lock = Mutex.create () in
+  let logs = ref [] in
+  let config =
+    {
+      test_config with
+      Server.request_log = Some (fun j -> Mutex.protect lock (fun () -> logs := j :: !logs));
+    }
+  in
+  with_server ~config @@ fun server ->
+  ignore (expect_ok (sync_call server {|{"id":1,"req_id":"cli-log-1","method":"stats"}|}));
+  await "log line emitted" (fun () ->
+      Mutex.protect lock (fun () ->
+          List.exists
+            (fun j ->
+              Option.bind (Jsonx.member "req_id" j) Jsonx.as_str = Some "cli-log-1"
+              && Jsonx.member "total_ms" j <> None
+              && Option.bind (Jsonx.member "ok" j) Jsonx.as_bool = Some true)
+            !logs))
+
+let test_server_batch_wait_recorded () =
+  let config =
+    { test_config with Server.batch_window_s = 0.05; Server.batch_max = 4; Server.workers = 2 }
+  in
+  with_server ~config @@ fun server ->
+  let m = Mutex.create () and c = Condition.create () in
+  let got = ref 0 in
+  let request seed = mc_request ~id:(float_of_int seed) ~seed () in
+  List.iter
+    (fun seed ->
+      Server.submit server (Protocol.encode_request (request seed)) ~reply:(fun line ->
+          ignore (expect_ok line);
+          Mutex.protect m (fun () ->
+              incr got;
+              Condition.signal c)))
+    [ 21; 22; 23; 24 ];
+  Mutex.protect m (fun () ->
+      while !got < 4 do
+        Condition.wait c m
+      done);
+  let h = Serve.Telemetry.stage_histogram (Server.telemetry server) Serve.Telemetry.Batch_wait in
+  await "batch_wait recorded for every member" (fun () -> Util.Histogram.count h >= 4);
+  (* members coalesced behind the window actually waited *)
+  Alcotest.(check bool) "some member waited" true (Util.Histogram.max_value h > 0)
+
+let test_router_merged_metrics () =
+  with_server @@ fun s1 ->
+  with_server @@ fun s2 ->
+  let router =
+    Router.create
+      [
+        Router.backend_of_server ~describe:"shard-0" s1;
+        Router.backend_of_server ~describe:"shard-1" s2;
+      ]
+  in
+  ignore (expect_ok (sync_router_call router (run_mc_line ())));
+  ignore (expect_ok (sync_router_call router (run_mc_line ~id:2 ~sampler:"kle" ~n:16 ())));
+  await "shard recording landed" (fun () ->
+      Util.Histogram.count (Serve.Telemetry.total_histogram (Server.telemetry s1))
+      + Util.Histogram.count (Serve.Telemetry.total_histogram (Server.telemetry s2))
+      >= 2);
+  let mp = expect_ok (sync_router_call router {|{"id":9,"method":"metrics"}|}) in
+  Alcotest.(check (option int)) "both shards reporting" (Some 2)
+    (Option.bind (Jsonx.member "shards_reporting" mp) Jsonx.as_int);
+  let shard_requests server =
+    (* every shard also counts the metrics fan-out request itself at submit
+       time, so compare against live server counters scraped after *)
+    match
+      Option.bind
+        (Jsonx.member "requests" (expect_ok (sync_call server {|{"id":0,"method":"stats"}|})))
+        Jsonx.as_int
+    with
+    | Some n -> n
+    | None -> Alcotest.fail "shard stats missing requests"
+  in
+  (match Option.bind (Jsonx.member "counters" mp) (Jsonx.member "requests") with
+  | Some v -> (
+      match Jsonx.as_int v with
+      | Some merged ->
+          Alcotest.(check bool)
+            (Printf.sprintf "merged requests %d sums both shards" merged)
+            true
+            (merged >= 2 && merged <= shard_requests s1 + shard_requests s2)
+      | None -> Alcotest.fail "merged requests not an int")
+  | None -> Alcotest.fail "merged counters missing requests");
+  (* the merged histogram holds both shards' samples *)
+  match
+    Option.bind
+      (Option.bind (Option.bind (Jsonx.member "stages" mp) (Jsonx.member "total"))
+         (Jsonx.member "count"))
+      Jsonx.as_int
+  with
+  | Some n when n >= 2 -> ()
+  | v ->
+      Alcotest.failf "merged total count: %s"
+        (match v with Some n -> string_of_int n | None -> "absent")
 
 let () =
   Alcotest.run "serve"
@@ -1473,6 +1801,22 @@ let () =
             test_server_hierarchical_factor_reuse;
           Alcotest.test_case "reply failure survives" `Quick
             test_server_reply_failure_survives;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "req_id echo (json)" `Quick test_server_req_id_echo_json;
+          Alcotest.test_case "req_id echo (binary)" `Quick
+            test_server_req_id_echo_binary;
+          Alcotest.test_case "wire v1 compatibility" `Quick test_wire_v1_compat;
+          Alcotest.test_case "client generates req_id" `Quick
+            test_client_generates_req_id;
+          Alcotest.test_case "metrics method" `Quick test_server_metrics_method;
+          Alcotest.test_case "debug ring" `Quick test_server_debug_ring;
+          Alcotest.test_case "json request log" `Quick test_server_json_request_log;
+          Alcotest.test_case "batch_wait recorded" `Quick
+            test_server_batch_wait_recorded;
+          Alcotest.test_case "router merges shard metrics" `Quick
+            test_router_merged_metrics;
         ] );
       ( "supervision",
         [

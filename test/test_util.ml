@@ -286,6 +286,116 @@ let test_fault_io_plan_one_shot_and_fire () =
   Alcotest.(check string) "io_kind_name" "latency(5ms)"
     (Util.Fault.io_kind_name (Util.Fault.Latency 5.0))
 
+(* ---------- histogram ---------- *)
+
+(* a deterministic spread of latencies across several powers of two,
+   including the exact-bucket range below 32 *)
+let hist_samples =
+  Array.init 4096 (fun i -> (i * 2654435761) land 0xFFFFF)
+
+let record_all h samples = Array.iter (Util.Histogram.record h) samples
+
+let hist_state h =
+  (Util.Histogram.count h, Util.Histogram.sum h, Util.Histogram.buckets h)
+
+let test_histogram_domain_determinism () =
+  (* the same multiset of samples recorded on one domain vs. racing across
+     two domains yields bit-identical buckets — addition commutes *)
+  let h1 = Util.Histogram.create () in
+  record_all h1 hist_samples;
+  let h2 = Util.Histogram.create () in
+  let n = Array.length hist_samples in
+  let half tid () =
+    let i = ref tid in
+    while !i < n do
+      Util.Histogram.record h2 hist_samples.(!i);
+      i := !i + 2
+    done
+  in
+  let d0 = Domain.spawn (half 0) and d1 = Domain.spawn (half 1) in
+  Domain.join d0;
+  Domain.join d1;
+  Alcotest.(check bool) "1-domain = 2-domain" true (hist_state h1 = hist_state h2);
+  List.iter
+    (fun p ->
+      Alcotest.(check int)
+        (Printf.sprintf "quantile %.3f" p)
+        (Util.Histogram.quantile h1 p) (Util.Histogram.quantile h2 p))
+    [ 0.5; 0.9; 0.99; 0.999 ]
+
+let test_histogram_shard_merge () =
+  (* two shards each record a disjoint half; merging (in either order)
+     equals one histogram that saw everything *)
+  let whole = Util.Histogram.create () in
+  record_all whole hist_samples;
+  let n = Array.length hist_samples in
+  let a = Util.Histogram.create () and b = Util.Histogram.create () in
+  Array.iteri
+    (fun i v -> Util.Histogram.record (if i < n / 2 then a else b) v)
+    hist_samples;
+  let m1 = Util.Histogram.create () in
+  Util.Histogram.merge_into ~dst:m1 a;
+  Util.Histogram.merge_into ~dst:m1 b;
+  let m2 = Util.Histogram.create () in
+  Util.Histogram.merge_into ~dst:m2 b;
+  Util.Histogram.merge_into ~dst:m2 a;
+  Alcotest.(check bool) "a+b = whole" true (hist_state m1 = hist_state whole);
+  Alcotest.(check bool) "merge commutes" true (hist_state m1 = hist_state m2)
+
+let test_histogram_json_roundtrip () =
+  let h = Util.Histogram.create () in
+  record_all h hist_samples;
+  (match Util.Histogram.of_json (Util.Histogram.to_json h) with
+  | Error msg -> Alcotest.failf "decode failed: %s" msg
+  | Ok back ->
+      Alcotest.(check bool) "round-trip" true (hist_state back = hist_state h));
+  let empty = Util.Histogram.create () in
+  (match Util.Histogram.of_json (Util.Histogram.to_json empty) with
+  | Error msg -> Alcotest.failf "empty decode failed: %s" msg
+  | Ok back -> Alcotest.(check int) "empty count" 0 (Util.Histogram.count back));
+  (* foreign layouts and versions are rejected, not misinterpreted *)
+  let reject label json =
+    match Util.Histogram.of_json json with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s accepted" label
+  in
+  let module J = Util.Jsonx in
+  reject "wrong layout"
+    (J.Obj
+       [ ("v", J.Num 1.0); ("layout", J.Str "linear-64"); ("count", J.Num 0.0);
+         ("sum", J.Num 0.0); ("buckets", J.List []) ]);
+  reject "future version"
+    (J.Obj
+       [ ("v", J.Num 9.0); ("layout", J.Str Util.Histogram.layout);
+         ("count", J.Num 0.0); ("sum", J.Num 0.0); ("buckets", J.List []) ]);
+  reject "count mismatch"
+    (J.Obj
+       [ ("v", J.Num 1.0); ("layout", J.Str Util.Histogram.layout);
+         ("count", J.Num 5.0); ("sum", J.Num 0.0); ("buckets", J.List []) ])
+
+let test_histogram_quantiles () =
+  let h = Util.Histogram.create () in
+  record_all h hist_samples;
+  let q p = Util.Histogram.quantile h p in
+  (* monotone in p, bounded by the max bucket *)
+  Alcotest.(check bool) "p50 <= p90" true (q 0.5 <= q 0.9);
+  Alcotest.(check bool) "p90 <= p99" true (q 0.9 <= q 0.99);
+  Alcotest.(check bool) "p99 <= p999" true (q 0.99 <= q 0.999);
+  Alcotest.(check bool) "p999 <= max" true (q 0.999 <= Util.Histogram.max_value h);
+  (* the log-linear layout bounds relative error: the bucket midpoint of
+     any value is within ~3.2% of the value itself (1/32 sub-buckets) *)
+  Array.iter
+    (fun v ->
+      let mid = Util.Histogram.bucket_value (Util.Histogram.bucket_index v) in
+      let err = abs_float (float_of_int (mid - v)) /. float_of_int (max v 1) in
+      if v >= 32 && err > 0.033 then
+        Alcotest.failf "bucket midpoint of %d is %d (%.1f%% off)" v mid (err *. 100.))
+    hist_samples;
+  (* negative values clamp to bucket 0 *)
+  let neg = Util.Histogram.create () in
+  Util.Histogram.record neg (-5);
+  Alcotest.(check int) "negative clamps" 0 (Util.Histogram.quantile neg 1.0)
+
 (* ---------- minimal JSON parser (for exporter round-trip checks) ---------- *)
 
 module Json = struct
@@ -800,6 +910,15 @@ let () =
             test_trace_summary_json_parses;
           Alcotest.test_case "disabled tracer allocates nothing" `Quick
             test_trace_disabled_overhead;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "1-vs-2-domain bit identity" `Quick
+            test_histogram_domain_determinism;
+          Alcotest.test_case "shard merge determinism" `Quick
+            test_histogram_shard_merge;
+          Alcotest.test_case "json round-trip" `Quick test_histogram_json_roundtrip;
+          Alcotest.test_case "quantile bounds" `Quick test_histogram_quantiles;
         ] );
       ( "fault",
         [
