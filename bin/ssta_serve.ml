@@ -496,7 +496,7 @@ let run_client path timeout_s binary =
         | Ok payload -> (
             match Serve.Wire.decode_request payload with
             | Ok r -> Serve.Jsonx.to_string r.Serve.Protocol.id
-            | Error (id, _, _) -> Serve.Jsonx.to_string id)
+            | Error rej -> Serve.Jsonx.to_string rej.Serve.Protocol.reject_id)
         | Error _ -> "null"
       else key_of_request message
     in
@@ -532,9 +532,13 @@ let run_client path timeout_s binary =
        if String.trim line <> "" then
          if binary then
            match Serve.Protocol.decode line with
-           | Error (id, code, msg) ->
+           | Error rej ->
                (* malformed request: answer locally, like the server would *)
-               print_endline (Serve.Protocol.error_response ~id code msg);
+               print_endline
+                 (Serve.Protocol.error_response ~id:rej.Serve.Protocol.reject_id
+                    ?req_id:rej.Serve.Protocol.reject_req_id
+                    ?field:rej.Serve.Protocol.field rej.Serve.Protocol.code
+                    rej.Serve.Protocol.message);
                flush stdout
            | Ok request ->
                print_result request.Serve.Protocol.id

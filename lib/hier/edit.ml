@@ -1,0 +1,54 @@
+module Netlist = Circuit.Netlist
+module Gate = Circuit.Gate
+
+type t = { gate : int; kind : Gate.kind }
+
+let logic_kinds =
+  [
+    ("inv", Gate.Inv);
+    ("buf", Gate.Buf);
+    ("nand2", Gate.Nand2);
+    ("nor2", Gate.Nor2);
+    ("and2", Gate.And2);
+    ("or2", Gate.Or2);
+    ("xor2", Gate.Xor2);
+    ("xnor2", Gate.Xnor2);
+  ]
+
+let kind_of_string s =
+  match List.assoc_opt (String.lowercase_ascii s) logic_kinds with
+  | Some k -> Ok k
+  | None ->
+      Error
+        (Printf.sprintf "unknown gate kind %S (%s)" s
+           (String.concat "|" (List.map fst logic_kinds)))
+
+let kind_to_string k =
+  match List.find_opt (fun (_, k') -> k' = k) logic_kinds with
+  | Some (name, _) -> name
+  | None -> invalid_arg "Hier.Edit.kind_to_string: not a logic kind"
+
+let apply (netlist : Netlist.t) { gate; kind } =
+  if gate < 0 || gate >= Netlist.size netlist then
+    Error (Printf.sprintf "edit.gate %d out of range (0..%d)" gate (Netlist.size netlist - 1))
+  else
+    let old = netlist.Netlist.gates.(gate) in
+    match old.Netlist.kind with
+    | Gate.Input | Gate.Dff ->
+        Error
+          (Printf.sprintf "edit.gate %d is a %s — only logic gates can be swapped" gate
+             (Gate.kind_name old.Netlist.kind))
+    | old_kind when Gate.arity old_kind <> Gate.arity kind ->
+        Error
+          (Printf.sprintf "edit.kind %s has arity %d but gate %d (%s) has %d fanins"
+             (kind_to_string kind) (Gate.arity kind) gate (Gate.kind_name old_kind)
+             (Gate.arity old_kind))
+    | _ ->
+        let gates =
+          Array.map
+            (fun (g : Netlist.gate) ->
+              if g.Netlist.id = gate then { g with Netlist.kind } else g)
+            netlist.Netlist.gates
+        in
+        (try Ok (Netlist.make ~name:netlist.Netlist.name ~gates ~outputs:netlist.Netlist.outputs)
+         with Invalid_argument m -> Error m)

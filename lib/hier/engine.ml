@@ -1,0 +1,204 @@
+module Netlist = Circuit.Netlist
+module Canonical = Ssta.Canonical
+module Context = Ssta.Block_ssta.Context
+module Depgraph = Persist.Depgraph
+
+type counters = { blocks_reused : int; blocks_recomputed : int }
+
+type result = {
+  basis_dim : int;
+  n_blocks : int;
+  worst : Canonical.t;
+  endpoint_forms : Canonical.t array;
+  counters : counters;
+  analysis_seconds : float;
+}
+
+(* ---------------------------------------------------------------- *)
+(* stitching *)
+
+type stitched = {
+  s_basis_dim : int;
+  s_worst : Canonical.t;
+  s_endpoints : Canonical.t array;
+}
+
+(* Compose the macros in block (level) order: a block output's arrival is
+   Clark's max over its base contribution and, per reachable input i,
+   [A_i + D_io + k_io·(s_i − s_ref)]; its slew follows the contribution
+   with the largest composed mean (block-level selection approximation),
+   shifted by that input's slew gain. *)
+let compose (part : Partition.t) (setup : Ssta.Experiment.circuit_setup) macros ~basis_dim =
+  let n = Netlist.size part.Partition.netlist in
+  let arrival = Array.make n None in
+  let slew = Array.make n None in
+  let boundary f =
+    match (arrival.(f), slew.(f)) with
+    | Some a, Some s -> (a, s)
+    | _ -> invalid_arg "Hier.Engine.compose: block input read before its source block"
+  in
+  Array.iter
+    (fun (block : Partition.block) ->
+      let macro : Macro.t = macros.(block.Partition.index) in
+      let per_out = Array.make macro.Macro.n_outputs [] in
+      (* transfers are grouped by input then output ascending; consing
+         then reversing restores ascending input order per output *)
+      Array.iter
+        (fun (tr : Macro.transfer) ->
+          per_out.(tr.Macro.output) <- tr :: per_out.(tr.Macro.output))
+        macro.Macro.transfers;
+      Array.iteri
+        (fun o gate_o ->
+          let base =
+            match (macro.Macro.base_arrival.(o), macro.Macro.base_slew.(o)) with
+            | Some a, Some s -> [ (a, s) ]
+            | _ -> []
+          in
+          let via_inputs =
+            List.rev_map
+              (fun (tr : Macro.transfer) ->
+                let f = block.Partition.ext_inputs.(tr.Macro.input) in
+                let a_i, s_i = boundary f in
+                let ds = Canonical.add_constant s_i (-.Macro.reference_slew_ps) in
+                let a =
+                  Canonical.add
+                    (Canonical.add a_i tr.Macro.arrival)
+                    (Canonical.scale tr.Macro.k_arrival_slew ds)
+                in
+                let s =
+                  Canonical.add tr.Macro.slew (Canonical.scale tr.Macro.k_slew_slew ds)
+                in
+                (a, s))
+              (List.rev per_out.(o))
+          in
+          match base @ via_inputs with
+          | [] ->
+              invalid_arg "Hier.Engine.compose: block output unreachable from any boundary"
+          | contribs ->
+              let merged = Canonical.max_many (List.map fst contribs) in
+              let _, sel =
+                List.fold_left
+                  (fun (best_mean, best) (a, s) ->
+                    if a.Canonical.mean > best_mean then (a.Canonical.mean, s)
+                    else (best_mean, best))
+                  (neg_infinity, snd (List.hd contribs))
+                  contribs
+              in
+              arrival.(gate_o) <- Some merged;
+              slew.(gate_o) <- Some sel)
+        block.Partition.outputs)
+    part.Partition.blocks;
+  let endpoints = setup.Ssta.Experiment.sta.Sta.Timing.endpoints in
+  let endpoint_forms = Array.map (fun e -> fst (boundary e)) endpoints in
+  let worst = Canonical.max_many (Array.to_list endpoint_forms) in
+  { s_basis_dim = basis_dim; s_worst = worst; s_endpoints = endpoint_forms }
+
+(* ---------------------------------------------------------------- *)
+(* persistence of the stitched result *)
+
+module Codec = Persist.Codec
+module Entity = Persist.Entity
+
+let stitch_entity =
+  let encode b s =
+    Codec.write_uint b s.s_basis_dim;
+    Entity.write_canonical b s.s_worst;
+    Codec.write_array b Entity.write_canonical s.s_endpoints
+  in
+  let decode r =
+    let s_basis_dim = Codec.read_uint r in
+    let check c =
+      if Canonical.dim c <> s_basis_dim then
+        raise (Codec.Error "stitched form dimension mismatch");
+      c
+    in
+    let s_worst = check (Entity.read_canonical r) in
+    let s_endpoints = Codec.read_array r (fun r -> check (Entity.read_canonical r)) in
+    { s_basis_dim; s_worst; s_endpoints }
+  in
+  { Entity.kind = "hier-stitch"; version = 1; encode; decode }
+
+let macro_spec ~part_hash ~model_key =
+  Printf.sprintf "hier-macro(block=%s;models=%s)" part_hash model_key
+
+let macro_node ~part_hash ~model_key =
+  Depgraph.node Macro.entity ~spec:(macro_spec ~part_hash ~model_key)
+
+(* ---------------------------------------------------------------- *)
+
+let retime ?(n_blocks = 4) ?jobs ?cache (setup : Ssta.Experiment.circuit_setup) ~models
+    ~model_key =
+  let timer = Util.Timer.start () in
+  let part = Partition.build ~n_blocks setup.Ssta.Experiment.netlist in
+  let ctx = Context.build setup ~models in
+  let basis_dim = Context.basis_dim ctx in
+  let nb = Array.length part.Partition.blocks in
+  let hashes = Array.init nb (fun b -> Partition.content_hash part ~setup b) in
+  let spec_of b = macro_spec ~part_hash:hashes.(b) ~model_key in
+  let outcomes = Array.make nb `Miss in
+  let fetch_macros () =
+    let macros = Array.make nb None in
+    Util.Pool.with_jobs ?jobs (fun pool ->
+        Util.Pool.parallel_for pool ~chunk:1 ~n:nb (fun lo hi ->
+            for b = lo to hi - 1 do
+              let m, outcome =
+                match cache with
+                | None -> (Macro.extract ctx part ~block:b, `Miss)
+                | Some dg ->
+                    Depgraph.find_or_add dg Macro.entity ~spec:(spec_of b) (fun () ->
+                        Macro.extract ctx part ~block:b)
+              in
+              macros.(b) <- Some m;
+              outcomes.(b) <- outcome
+            done));
+    Array.map
+      (function
+        | Some m -> m
+        | None -> invalid_arg "Hier.Engine.retime: macro extraction produced no result")
+      macros
+  in
+  let compute_stitched () = compose part setup (fetch_macros ()) ~basis_dim in
+  let stitched, blocks_reused, blocks_recomputed =
+    match cache with
+    | None ->
+        let s = compute_stitched () in
+        (s, 0, nb)
+    | Some dg -> (
+        let spec =
+          Printf.sprintf "hier-stitch(blocks=%s;inter=%s;models=%s)"
+            (String.concat "," (Array.to_list hashes))
+            (Codec.fnv64_hex (Partition.interconnect_spec part))
+            model_key
+        in
+        let deps =
+          List.init nb (fun b -> macro_node ~part_hash:hashes.(b) ~model_key)
+        in
+        let s, outcome = Depgraph.find_or_add dg stitch_entity ~spec ~deps compute_stitched in
+        match outcome with
+        | `Hit -> (s, nb, 0)
+        | `Miss | `Recovered ->
+            let reused =
+              Array.fold_left
+                (fun acc o -> match o with `Hit -> acc + 1 | `Miss | `Recovered -> acc)
+                0 outcomes
+            in
+            (s, reused, nb - reused))
+  in
+  {
+    basis_dim = stitched.s_basis_dim;
+    n_blocks = nb;
+    worst = stitched.s_worst;
+    endpoint_forms = stitched.s_endpoints;
+    counters = { blocks_reused; blocks_recomputed };
+    analysis_seconds = Util.Timer.elapsed_s timer;
+  }
+
+let validate_against_flat result ~(flat : Ssta.Block_ssta.t) =
+  let open Ssta in
+  let ref_mean = flat.Block_ssta.worst.Canonical.mean in
+  let ref_sigma = Canonical.sigma flat.Block_ssta.worst in
+  let e_mu = 100.0 *. Float.abs (result.worst.Canonical.mean -. ref_mean) /. Float.abs ref_mean in
+  let e_sigma =
+    100.0 *. Float.abs (Canonical.sigma result.worst -. ref_sigma) /. Float.abs ref_sigma
+  in
+  (e_mu, e_sigma)

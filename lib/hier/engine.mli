@@ -1,0 +1,52 @@
+(** Incremental hierarchical SSTA: partition, extract (or load) per-block
+    macro-models, and stitch them with Clark's max into the worst-delay
+    canonical form.
+
+    With a [cache], macros are content-addressed on
+    [(block content hash, KLE model key)] and the stitched result on
+    [(all block hashes, interconnect, model key)], with dependency edges
+    from every macro to the stitched entry — so invalidating one block's
+    macro removes exactly its downstream stitched results
+    ({!Persist.Depgraph.invalidate}), and a one-block edit re-extracts
+    exactly the dirty block set. All persistence goes through the
+    dependency layer; this library never touches the store directly. *)
+
+type counters = {
+  blocks_reused : int;  (** macros served from the cache *)
+  blocks_recomputed : int;  (** macros extracted this call *)
+}
+
+type result = {
+  basis_dim : int;
+  n_blocks : int;
+  worst : Ssta.Canonical.t;
+  endpoint_forms : Ssta.Canonical.t array;  (** per [Sta.Timing] endpoint *)
+  counters : counters;
+  analysis_seconds : float;
+}
+
+val retime :
+  ?n_blocks:int ->
+  ?jobs:int ->
+  ?cache:Persist.Depgraph.t ->
+  Ssta.Experiment.circuit_setup ->
+  models:Kle.Model.t array ->
+  model_key:string ->
+  result
+(** Hierarchical analysis of [setup] over [models] (one per parameter, as
+    {!Ssta.Block_ssta.run}). [model_key] is the models' canonical spec
+    contribution to cache keys — callers must derive it from the same
+    inputs that determine the models (kernel specs, truncation, process).
+    [n_blocks] defaults to 4; [jobs] fans block extraction out with
+    {!Util.Pool.with_jobs} semantics (bit-identical for every value).
+    Without [cache] every block is extracted ([blocks_reused = 0]). When
+    the cached stitched result is served whole, [blocks_reused] counts
+    all blocks. *)
+
+val macro_node : part_hash:string -> model_key:string -> Persist.Depgraph.node
+(** Cache address of one block's macro, for targeted invalidation (the
+    [part_hash] is {!Partition.content_hash} of the block). *)
+
+val validate_against_flat : result -> flat:Ssta.Block_ssta.t -> float * float
+(** [(e_mu_pct, e_sigma_pct)] of the composed worst-delay form against the
+    flat single-pass analysis of the same setup/models. *)

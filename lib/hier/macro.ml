@@ -1,0 +1,285 @@
+module Netlist = Circuit.Netlist
+module Gate = Circuit.Gate
+module Canonical = Ssta.Canonical
+module Context = Ssta.Block_ssta.Context
+
+type transfer = {
+  input : int;
+  output : int;
+  arrival : Canonical.t;
+  slew : Canonical.t;
+  k_arrival_slew : float;
+  k_slew_slew : float;
+}
+
+type t = {
+  basis_dim : int;
+  n_inputs : int;
+  n_outputs : int;
+  base_arrival : Canonical.t option array;
+  base_slew : Canonical.t option array;
+  transfers : transfer array;
+  extract_seconds : float;
+}
+
+let reference_slew_ps = Sta.Timing.default_input_slew_ps
+
+(* Boundary arrivals not under study sit this far below zero. Paths
+   accumulate at most ~1e4 ps and form sigmas stay below ~1e3, so the
+   tightness alpha at any active-vs-suppressed merge exceeds ~1e3 — far
+   past the point where normal_cdf saturates to exactly 1.0 and the pdf
+   underflows to exactly 0.0, making Clark's max an exact selection (no
+   leakage of suppressed means into active forms). Means of order 1e6
+   also keep the second-moment subtraction in Clark's variance well
+   within double precision (ulp(1e12) = 2.4e-4). *)
+let suppress = 1e6
+let reachable_mean = -1e5
+
+let zeros4 = Array.make Gate.num_parameters 0.0
+
+(* One block-local propagation with the given boundary activation:
+   [`Sources] lets the block's internal Input/Dff gates launch and
+   suppresses every external input; [`Ext i] launches external input [i]
+   at arrival 0 / reference slew and suppresses everything else. The
+   basis is widened by one pseudo dimension (index [basis_dim]) carrying
+   the active external driver's slew deviation. Returns per block output:
+   (arrival form, slew form), both of dimension [basis_dim + 1]. *)
+let extract_pass (ctx : Context.t) (part : Partition.t) (block : Partition.block) ~active =
+  let netlist = part.Partition.netlist in
+  let prepared = ctx.Context.setup.Ssta.Experiment.sta in
+  let basis_dim = ctx.Context.basis_dim in
+  let dim = basis_dim + 1 in
+  let n = Netlist.size netlist in
+  let arr = Array.make n (Canonical.constant ~dim 0.0) in
+  let slew = Array.make n (Canonical.constant ~dim reference_slew_ps) in
+  let nom_arr = Array.make n 0.0 in
+  let nom_slew = Array.make n reference_slew_ps in
+  (* boundary: external inputs *)
+  Array.iteri
+    (fun i f ->
+      match active with
+      | `Ext j when j = i ->
+          arr.(f) <- Canonical.constant ~dim 0.0;
+          nom_arr.(f) <- 0.0;
+          let sens = Array.make dim 0.0 in
+          sens.(basis_dim) <- 1.0;
+          slew.(f) <- Canonical.make ~mean:reference_slew_ps ~sens ~indep:0.0;
+          nom_slew.(f) <- reference_slew_ps
+      | `Ext _ | `Sources ->
+          arr.(f) <- Canonical.constant ~dim (-.suppress);
+          nom_arr.(f) <- -.suppress;
+          slew.(f) <- Canonical.constant ~dim reference_slew_ps;
+          nom_slew.(f) <- reference_slew_ps)
+    block.Partition.ext_inputs;
+  let statistical_part g ~betas ~quad = Context.statistical_part ~dim ctx g ~betas ~quad in
+  Array.iter
+    (fun g ->
+      let gate = netlist.Netlist.gates.(g) in
+      let c_load = prepared.Sta.Timing.c_loads.(g) in
+      match gate.Netlist.kind with
+      | Gate.Input ->
+          let s =
+            Gate.output_slew Gate.Input ~slew_in:reference_slew_ps ~c_load ~params:zeros4
+          in
+          slew.(g) <- Canonical.constant ~dim s;
+          nom_slew.(g) <- s;
+          if active = `Sources then begin
+            let d =
+              Gate.delay Gate.Input ~slew_in:reference_slew_ps ~c_load ~params:zeros4
+            in
+            arr.(g) <- Canonical.constant ~dim d;
+            nom_arr.(g) <- d
+          end
+          else begin
+            arr.(g) <- Canonical.constant ~dim (-.suppress);
+            nom_arr.(g) <- -.suppress
+          end
+      | Gate.Dff ->
+          let s_nom =
+            Gate.output_slew Gate.Dff ~slew_in:reference_slew_ps ~c_load ~params:zeros4
+          in
+          nom_slew.(g) <- s_nom;
+          if active = `Sources then begin
+            let timing = Gate.timing Gate.Dff in
+            let nominal = Gate.clk_to_q ~params:zeros4 in
+            let stat =
+              statistical_part g ~betas:timing.Gate.beta
+                ~quad:(Some (timing.Gate.gamma, timing.Gate.w))
+            in
+            arr.(g) <- Canonical.add_constant stat nominal;
+            nom_arr.(g) <- nominal;
+            let s_stat = statistical_part g ~betas:timing.Gate.beta_slew ~quad:None in
+            slew.(g) <- Canonical.add_constant s_stat s_nom
+          end
+          else begin
+            arr.(g) <- Canonical.constant ~dim (-.suppress);
+            nom_arr.(g) <- -.suppress;
+            slew.(g) <- Canonical.constant ~dim s_nom
+          end
+      | kind ->
+          (* mirror of [Block_ssta.run]'s merge, with the block-local
+             nominal recurrence standing in for the global nominal STA *)
+          let timing = Gate.timing kind in
+          let best_nominal = ref neg_infinity in
+          let best_slew_nom = ref reference_slew_ps in
+          let best_slew_form = ref (Canonical.constant ~dim reference_slew_ps) in
+          let pins =
+            Array.to_list
+              (Array.map
+                 (fun f ->
+                   let load = prepared.Sta.Timing.wireload.Circuit.Wireload.loads.(f) in
+                   let wire_elmore =
+                     load.Circuit.Wireload.r_wire
+                     *. ((0.5 *. load.Circuit.Wireload.c_wire) +. timing.Gate.c_in)
+                   in
+                   let pin_nominal = nom_arr.(f) +. wire_elmore in
+                   if pin_nominal > !best_nominal then begin
+                     best_nominal := pin_nominal;
+                     let s_drv = nom_slew.(f) in
+                     let s_pin =
+                       Sta.Slew.sink_slew ~slew_driver:s_drv ~wire_elmore_ps:wire_elmore
+                     in
+                     best_slew_nom := s_pin;
+                     let gain = if s_pin > 1e-9 then s_drv /. s_pin else 1.0 in
+                     best_slew_form :=
+                       Canonical.add_constant
+                         (Canonical.scale gain (Canonical.add_constant slew.(f) (-.s_drv)))
+                         s_pin
+                   end;
+                   Canonical.add_constant arr.(f) wire_elmore)
+                 gate.Netlist.fanins)
+          in
+          let merged = Canonical.max_many pins in
+          let slew_in_nom = !best_slew_nom in
+          let nominal_delay = Gate.delay kind ~slew_in:slew_in_nom ~c_load ~params:zeros4 in
+          let stat =
+            statistical_part g ~betas:timing.Gate.beta
+              ~quad:(Some (timing.Gate.gamma, timing.Gate.w))
+          in
+          let slew_dev = Canonical.add_constant !best_slew_form (-.slew_in_nom) in
+          let delay_form =
+            Canonical.add
+              (Canonical.add_constant stat nominal_delay)
+              (Canonical.scale timing.Gate.k_slew slew_dev)
+          in
+          arr.(g) <- Canonical.add merged delay_form;
+          nom_arr.(g) <- !best_nominal +. nominal_delay;
+          let s_nom = Gate.output_slew kind ~slew_in:slew_in_nom ~c_load ~params:zeros4 in
+          let s_stat = statistical_part g ~betas:timing.Gate.beta_slew ~quad:None in
+          slew.(g) <-
+            Canonical.add
+              (Canonical.add_constant s_stat s_nom)
+              (Canonical.scale timing.Gate.k_slew_out slew_dev);
+          nom_slew.(g) <- s_nom)
+    block.Partition.gates;
+  Array.map (fun o -> (arr.(o), slew.(o))) block.Partition.outputs
+
+let strip basis_dim (c : Canonical.t) =
+  Canonical.make ~mean:c.Canonical.mean
+    ~sens:(Array.sub c.Canonical.sens 0 basis_dim)
+    ~indep:c.Canonical.indep
+
+let extract ctx (part : Partition.t) ~block =
+  let timer = Util.Timer.start () in
+  let b = part.Partition.blocks.(block) in
+  let basis_dim = Context.basis_dim ctx in
+  let n_outputs = Array.length b.Partition.outputs in
+  let n_inputs = Array.length b.Partition.ext_inputs in
+  let base_arrival = Array.make n_outputs None in
+  let base_slew = Array.make n_outputs None in
+  if b.Partition.has_sources then begin
+    let outs = extract_pass ctx part b ~active:`Sources in
+    Array.iteri
+      (fun o (a, s) ->
+        if a.Canonical.mean > reachable_mean then begin
+          base_arrival.(o) <- Some (strip basis_dim a);
+          base_slew.(o) <- Some (strip basis_dim s)
+        end)
+      outs
+  end;
+  let transfers = ref [] in
+  for i = n_inputs - 1 downto 0 do
+    let outs = extract_pass ctx part b ~active:(`Ext i) in
+    for o = n_outputs - 1 downto 0 do
+      let a, s = outs.(o) in
+      if a.Canonical.mean > reachable_mean then
+        transfers :=
+          {
+            input = i;
+            output = o;
+            arrival = strip basis_dim a;
+            slew = strip basis_dim s;
+            k_arrival_slew = a.Canonical.sens.(basis_dim);
+            k_slew_slew = s.Canonical.sens.(basis_dim);
+          }
+          :: !transfers
+    done
+  done;
+  {
+    basis_dim;
+    n_inputs;
+    n_outputs;
+    base_arrival;
+    base_slew;
+    transfers = Array.of_list !transfers;
+    extract_seconds = Util.Timer.elapsed_s timer;
+  }
+
+(* ---------------------------------------------------------------- *)
+(* persistence *)
+
+module Codec = Persist.Codec
+module Entity = Persist.Entity
+
+let encode b t =
+  Codec.write_uint b t.basis_dim;
+  Codec.write_uint b t.n_inputs;
+  Codec.write_uint b t.n_outputs;
+  Codec.write_array b (fun b c -> Codec.write_option b Entity.write_canonical c) t.base_arrival;
+  Codec.write_array b (fun b c -> Codec.write_option b Entity.write_canonical c) t.base_slew;
+  Codec.write_array b
+    (fun b tr ->
+      Codec.write_uint b tr.input;
+      Codec.write_uint b tr.output;
+      Entity.write_canonical b tr.arrival;
+      Entity.write_canonical b tr.slew;
+      Codec.write_float b tr.k_arrival_slew;
+      Codec.write_float b tr.k_slew_slew)
+    t.transfers;
+  Codec.write_float b t.extract_seconds
+
+let decode r =
+  let basis_dim = Codec.read_uint r in
+  let n_inputs = Codec.read_uint r in
+  let n_outputs = Codec.read_uint r in
+  let corrupt fmt = Printf.ksprintf (fun m -> raise (Codec.Error m)) fmt in
+  let canonical_checked r =
+    let c = Entity.read_canonical r in
+    if Canonical.dim c <> basis_dim then
+      corrupt "macro form of dimension %d (basis %d)" (Canonical.dim c) basis_dim;
+    c
+  in
+  let base_arrival = Codec.read_array r (fun r -> Codec.read_option r canonical_checked) in
+  let base_slew = Codec.read_array r (fun r -> Codec.read_option r canonical_checked) in
+  if Array.length base_arrival <> n_outputs || Array.length base_slew <> n_outputs then
+    corrupt "macro base arrays sized %d/%d for %d outputs" (Array.length base_arrival)
+      (Array.length base_slew) n_outputs;
+  let transfers =
+    Codec.read_array r (fun r ->
+        let input = Codec.read_uint r in
+        let output = Codec.read_uint r in
+        if input >= n_inputs || output >= n_outputs then
+          corrupt "macro transfer (%d, %d) out of range (%d inputs, %d outputs)" input
+            output n_inputs n_outputs;
+        let arrival = canonical_checked r in
+        let slew = canonical_checked r in
+        let k_arrival_slew = Codec.read_float r in
+        let k_slew_slew = Codec.read_float r in
+        if not (Float.is_finite k_arrival_slew && Float.is_finite k_slew_slew) then
+          corrupt "non-finite macro slew gain";
+        { input; output; arrival; slew; k_arrival_slew; k_slew_slew })
+  in
+  let extract_seconds = Codec.read_float r in
+  { basis_dim; n_inputs; n_outputs; base_arrival; base_slew; transfers; extract_seconds }
+
+let entity = { Entity.kind = "hier-macro"; version = 1; encode; decode }

@@ -1,0 +1,60 @@
+(** Per-block interface timing macro-model (hierarchical SSTA, after Li
+    et al.): canonical-form arrival {e transfers} from each block input to
+    each block output over the shared 4×r KLE ξ basis, so a block's timing
+    can be extracted once and recombined with Clark's max at stitch points
+    without re-touching its gates.
+
+    Extraction runs one propagation pass per external input (plus one for
+    internal [Input]/[Dff] sources): the active input gets arrival 0 while
+    every other boundary arrival is suppressed far below any real path, so
+    Clark's max selects exactly the active paths (the cdf/pdf saturate at
+    the resulting astronomic tightness). Each pass appends one {e pseudo
+    basis dimension} carrying the active driver's output-slew deviation
+    with unit sensitivity; its coefficient at a block output is then the
+    first-order gain of that output's arrival (and slew) with respect to
+    the input slew — the PERI/k_slew chain differentiated through the
+    block — and is stripped from the stored forms.
+
+    The macro is a pure function of (block content, KLE models): boundary
+    nominal arrivals are referenced to 0 and boundary slews to
+    [Sta.Timing.default_input_slew_ps], which is what makes it cacheable
+    under the block {!Partition.content_hash}. The cost is a block-level
+    selection approximation at stitch time (composition picks slews by
+    largest composed nominal, and linearizes around the reference slew);
+    [Engine] validates the composed result against the flat analysis. *)
+
+type transfer = {
+  input : int;  (** index into the block's [ext_inputs] *)
+  output : int;  (** index into the block's [outputs] *)
+  arrival : Ssta.Canonical.t;
+      (** arrival at the output when the input switches at time 0 with the
+          reference slew *)
+  slew : Ssta.Canonical.t;  (** output slew along the input's selected chains *)
+  k_arrival_slew : float;  (** d(arrival at output) / d(input driver slew) *)
+  k_slew_slew : float;  (** d(output slew) / d(input driver slew) *)
+}
+
+type t = {
+  basis_dim : int;
+  n_inputs : int;
+  n_outputs : int;
+  base_arrival : Ssta.Canonical.t option array;
+      (** per output: arrival contribution of the block's internal
+          [Input]/[Dff] sources, when any reach it *)
+  base_slew : Ssta.Canonical.t option array;
+      (** per output: slew along the internal sources' selected chains *)
+  transfers : transfer array;
+      (** reachable (input, output) pairs, grouped by input then output *)
+  extract_seconds : float;
+}
+
+val reference_slew_ps : float
+(** Boundary linearization point: [Sta.Timing.default_input_slew_ps]. *)
+
+val extract : Ssta.Block_ssta.Context.t -> Partition.t -> block:int -> t
+(** Extract block [block]'s macro. Deterministic: a pure function of the
+    partition, the setup inside the context, and its models. *)
+
+val entity : t Persist.Entity.t
+(** Versioned store codec, kind ["hier-macro"] (mirrored in
+    [Persist.Store]'s fsck version table). *)

@@ -1,0 +1,162 @@
+module Netlist = Circuit.Netlist
+module Gate = Circuit.Gate
+
+type block = {
+  index : int;
+  gates : int array;
+  ext_inputs : int array;
+  outputs : int array;
+  has_sources : bool;
+}
+
+type t = {
+  netlist : Netlist.t;
+  block_of_gate : int array;
+  blocks : block array;
+}
+
+let is_source (g : Netlist.gate) =
+  match g.Netlist.kind with Gate.Input | Gate.Dff -> true | _ -> false
+
+let build ?(n_blocks = 4) netlist =
+  if n_blocks < 1 then invalid_arg "Partition.build: n_blocks must be >= 1";
+  let n = Netlist.size netlist in
+  let levels = Netlist.levels netlist in
+  let max_level = Array.fold_left max 0 levels in
+  let n_blocks = min n_blocks (max_level + 1) in
+  (* gates per level, then greedy contiguous ranges balanced by count *)
+  let per_level = Array.make (max_level + 1) 0 in
+  Array.iter (fun l -> per_level.(l) <- per_level.(l) + 1) levels;
+  let block_of_level = Array.make (max_level + 1) 0 in
+  let remaining = ref n and blocks_left = ref n_blocks in
+  let current = ref 0 and acc = ref 0 in
+  for l = 0 to max_level do
+    block_of_level.(l) <- !current;
+    acc := !acc + per_level.(l);
+    remaining := !remaining - per_level.(l);
+    let target = (!remaining + !acc + !blocks_left - 1) / !blocks_left in
+    if !acc >= target && !blocks_left > 1 && l < max_level then begin
+      incr current;
+      decr blocks_left;
+      acc := 0
+    end
+  done;
+  let n_actual = !current + 1 in
+  let block_of_gate = Array.map (fun l -> block_of_level.(l)) levels in
+  let order = Netlist.topological_order netlist in
+  let members = Array.make n_actual [] in
+  Array.iter (fun g -> members.(block_of_gate.(g)) <- g :: members.(block_of_gate.(g))) order;
+  let endpoint_set = Hashtbl.create 64 in
+  Array.iter (fun e -> Hashtbl.replace endpoint_set e ()) (Netlist.endpoints netlist);
+  let blocks =
+    Array.init n_actual (fun b ->
+        let gates = Array.of_list (List.rev members.(b)) in
+        let ext = Hashtbl.create 16 and outs = Hashtbl.create 16 in
+        let has_sources = ref false in
+        Array.iter
+          (fun g ->
+            let gate = netlist.Netlist.gates.(g) in
+            if is_source gate then has_sources := true
+            else
+              Array.iter
+                (fun f -> if block_of_gate.(f) <> b then Hashtbl.replace ext f ())
+                gate.Netlist.fanins;
+            if Hashtbl.mem endpoint_set g then Hashtbl.replace outs g ())
+          gates;
+        (* a member also becomes an output when a combinational pin in
+           another block reads it *)
+        Array.iter
+          (fun (gate : Netlist.gate) ->
+            if (not (is_source gate)) && block_of_gate.(gate.Netlist.id) <> b then
+              Array.iter
+                (fun f -> if block_of_gate.(f) = b then Hashtbl.replace outs f ())
+                gate.Netlist.fanins)
+          netlist.Netlist.gates;
+        let sorted tbl =
+          let a = Array.of_seq (Seq.map fst (Hashtbl.to_seq tbl)) in
+          Array.sort Int.compare a;
+          a
+        in
+        {
+          index = b;
+          gates;
+          ext_inputs = sorted ext;
+          outputs = sorted outs;
+          has_sources = !has_sources;
+        })
+  in
+  { netlist; block_of_gate; blocks }
+
+let index_in a g =
+  let rec go lo hi =
+    if lo >= hi then raise Not_found
+    else
+      let mid = (lo + hi) / 2 in
+      if a.(mid) = g then mid else if a.(mid) < g then go (mid + 1) hi else go lo mid
+  in
+  go 0 (Array.length a)
+
+let output_index b g = index_in b.outputs g
+let ext_input_index b g = index_in b.ext_inputs g
+
+let content_hash t ~(setup : Ssta.Experiment.circuit_setup) b =
+  if Netlist.size setup.Ssta.Experiment.netlist <> Netlist.size t.netlist then
+    invalid_arg "Partition.content_hash: setup built from a different netlist";
+  let prepared = setup.Ssta.Experiment.sta in
+  let locations = setup.Ssta.Experiment.placement.Circuit.Placer.locations in
+  let loads = prepared.Sta.Timing.wireload.Circuit.Wireload.loads in
+  let block = t.blocks.(b) in
+  let local = Hashtbl.create (Array.length block.gates) in
+  Array.iteri (fun i g -> Hashtbl.replace local g i) block.gates;
+  let buf = Buffer.create 1024 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  Array.iteri
+    (fun i g ->
+      let gate = t.netlist.Netlist.gates.(g) in
+      let p = locations.(g) in
+      let load = loads.(g) in
+      addf "g%d:%s@(%.17g,%.17g);cl=%.17g;rw=%.17g;cw=%.17g;f=[" i
+        (Gate.kind_name gate.Netlist.kind)
+        p.Geometry.Point.x p.Geometry.Point.y prepared.Sta.Timing.c_loads.(g)
+        load.Circuit.Wireload.r_wire load.Circuit.Wireload.c_wire;
+      if not (is_source gate) then
+        Array.iter
+          (fun f ->
+            match Hashtbl.find_opt local f with
+            | Some j -> addf "i%d," j
+            | None -> addf "x%d," (ext_input_index block f))
+          gate.Netlist.fanins;
+      addf "];\n")
+    block.gates;
+  Array.iteri
+    (fun i f ->
+      let load = loads.(f) in
+      addf "x%d:rw=%.17g;cw=%.17g;\n" i load.Circuit.Wireload.r_wire
+        load.Circuit.Wireload.c_wire)
+    block.ext_inputs;
+  addf "o=[";
+  Array.iter (fun g -> addf "i%d," (Hashtbl.find local g)) block.outputs;
+  addf "]";
+  Persist.Codec.fnv64_hex (Buffer.contents buf)
+
+let interconnect_spec t =
+  let buf = Buffer.create 256 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  Array.iter
+    (fun block ->
+      addf "b%d:x=[" block.index;
+      Array.iter
+        (fun f ->
+          let src = t.blocks.(t.block_of_gate.(f)) in
+          addf "(%d,%d)," src.index (output_index src f))
+        block.ext_inputs;
+      addf "];")
+    t.blocks;
+  addf "e=[";
+  Array.iter
+    (fun e ->
+      let src = t.blocks.(t.block_of_gate.(e)) in
+      addf "(%d,%d)," src.index (output_index src e))
+    (Netlist.endpoints t.netlist);
+  addf "]";
+  Buffer.contents buf

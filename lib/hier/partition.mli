@@ -1,0 +1,54 @@
+(** Levelized partition of a netlist into timing blocks.
+
+    Gates are cut into contiguous topological-level ranges balanced by
+    gate count, so every cross-block combinational edge points from a
+    lower block to a higher one and blocks can be extracted and stitched
+    in index order. Sequential elements ([Input]/[Dff]) are timing
+    sources: their data fanins impose no ordering, so a Dff may sit in
+    block 0 while its data driver sits downstream — the driver is an
+    endpoint and therefore a block output.
+
+    Each block's {!content_hash} digests everything its macro-model is a
+    pure function of {e besides} the KLE model: member kinds, block-local
+    fanin structure, placed locations, capacitive loads, and the wire
+    parasitics of member nets and of the external nets feeding the block.
+    A one-gate kind swap therefore changes exactly the hashes of the
+    blocks whose timing it can change (its own block; upstream blocks too
+    only when the swap changes the pin capacitance their loads see). *)
+
+type block = {
+  index : int;
+  gates : int array;  (** member gate ids, in topological order *)
+  ext_inputs : int array;
+      (** distinct driver gate ids outside the block feeding member
+          combinational pins, sorted ascending *)
+  outputs : int array;
+      (** member gates visible outside: driving a combinational pin in
+          another block, or a timing endpoint; sorted ascending *)
+  has_sources : bool;  (** any [Input]/[Dff] member *)
+}
+
+type t = {
+  netlist : Circuit.Netlist.t;
+  block_of_gate : int array;
+  blocks : block array;  (** in stitch (level) order *)
+}
+
+val build : ?n_blocks:int -> Circuit.Netlist.t -> t
+(** Split into at most [n_blocks] (default 4, clamped to [1, levels+1])
+    blocks. Raises [Invalid_argument] if [n_blocks < 1]. *)
+
+val output_index : block -> int -> int
+(** Position of a gate id in [outputs]. Raises [Not_found]. *)
+
+val ext_input_index : block -> int -> int
+(** Position of a gate id in [ext_inputs]. Raises [Not_found]. *)
+
+val content_hash : t -> setup:Ssta.Experiment.circuit_setup -> int -> string
+(** 16-hex digest of block [b]'s macro-relevant content. The [setup] must
+    be built from the partition's netlist ([Invalid_argument] otherwise). *)
+
+val interconnect_spec : t -> string
+(** Canonical description of the cross-block wiring (which (block, output)
+    feeds which (block, external input)) plus the endpoint list — the
+    stitch topology's contribution to cache keys. *)

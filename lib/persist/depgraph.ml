@@ -1,0 +1,81 @@
+type node = { kind : string; hash : string }
+
+type t = { store : Store.t; lock : Mutex.t }
+
+let create store = { store; lock = Mutex.create () }
+let store t = t.store
+
+let node (entity : _ Entity.t) ~spec = { kind = entity.Entity.kind; hash = Store.key ~spec }
+
+(* the edge list of a node is itself a store entry, addressed by the
+   node's own address so it can be found without knowing the full spec *)
+let edges_spec n = Printf.sprintf "deps-of(%s-%s)" n.kind n.hash
+
+let read_edges t n =
+  match Store.get t.store Entity.dep_edges ~spec:(edges_spec n) with
+  | None -> [||]
+  | Some edges -> edges
+
+let record_edges t ~target deps =
+  if deps <> [] then begin
+    Mutex.lock t.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () ->
+        List.iter
+          (fun dep ->
+            let existing = read_edges t dep in
+            let present =
+              Array.exists (fun (k, h) -> k = target.kind && h = target.hash) existing
+            in
+            if not present then
+              Store.put t.store Entity.dep_edges ~spec:(edges_spec dep)
+                (Array.append existing [| (target.kind, target.hash) |]))
+          deps)
+  end
+
+let find_or_add t entity ~spec ?(deps = []) compute =
+  let result = Store.find_or_add t.store entity ~spec compute in
+  record_edges t ~target:(node entity ~spec) deps;
+  result
+
+let put t entity ~spec ?(deps = []) v =
+  Store.put t.store entity ~spec v;
+  record_edges t ~target:(node entity ~spec) deps
+
+let get t entity ~spec = Store.get t.store entity ~spec
+
+let compare_node a b =
+  match String.compare a.kind b.kind with 0 -> String.compare a.hash b.hash | c -> c
+
+let dependents t n =
+  read_edges t n |> Array.to_list
+  |> List.map (fun (kind, hash) -> { kind; hash })
+  |> List.sort compare_node
+
+let invalidate t root =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      (* breadth-first over persisted reverse edges; [seen] caps cycles
+         (which a well-formed derivation graph never has) *)
+      let seen = Hashtbl.create 16 in
+      let removed = ref [] in
+      let queue = Queue.create () in
+      Queue.add root queue;
+      Hashtbl.replace seen (root.kind, root.hash) ();
+      while not (Queue.is_empty queue) do
+        let n = Queue.pop queue in
+        removed := n :: !removed;
+        Array.iter
+          (fun (kind, hash) ->
+            if not (Hashtbl.mem seen (kind, hash)) then begin
+              Hashtbl.replace seen (kind, hash) ();
+              Queue.add { kind; hash } queue
+            end)
+          (read_edges t n);
+        Store.remove_addressed t.store ~kind:n.kind ~hash:n.hash;
+        Store.remove t.store Entity.dep_edges ~spec:(edges_spec n)
+      done;
+      List.rev !removed)

@@ -1,0 +1,56 @@
+(** Dependency-aware invalidation layer over {!Store}.
+
+    The store is content-addressed: an entry's key already changes when
+    its {e spec} changes, so most staleness is handled by keys alone. What
+    keys cannot express is "entry S was computed {e from} entry M": when M
+    is explicitly invalidated (a block macro is known bad, a codec bug is
+    being flushed, an upstream model was revoked), every entry derived
+    from it must go too — and {e only} those.
+
+    This layer records reverse dependency edges at [find_or_add] time and
+    persists them in the store itself (as {!Entity.dep_edges} entries), so
+    invalidation works across processes and restarts. [invalidate] walks
+    the edges transitively and deletes exactly the downstream closure.
+
+    All operations are safe from multiple domains of one process (edge
+    read-modify-writes are serialized on an internal lock; the underlying
+    file operations are the store's own atomic ones). *)
+
+type t
+
+type node = { kind : string; hash : string }
+(** Store address of one entry: entity kind + 16-hex spec hash. *)
+
+val create : Store.t -> t
+(** Wrap a store. Several wrappers over one store share edges (they live
+    in the store), but serialize updates only within their own process. *)
+
+val store : t -> Store.t
+(** The wrapped store (for stats / fsck at the owning layer; subsystems
+    that receive a [Depgraph.t] should not reach through this). *)
+
+val node : 'a Entity.t -> spec:string -> node
+(** The address [find_or_add] files edges under for this (entity, spec). *)
+
+val find_or_add :
+  t -> 'a Entity.t -> spec:string -> ?deps:node list -> (unit -> 'a) -> 'a * Store.outcome
+(** {!Store.find_or_add}, additionally recording a reverse edge from every
+    [dep] to this entry — on hits too, so edges self-heal after a partial
+    invalidation or a cleared store directory. *)
+
+val put : t -> 'a Entity.t -> spec:string -> ?deps:node list -> 'a -> unit
+(** {!Store.put} with the same edge recording. *)
+
+val get : t -> 'a Entity.t -> spec:string -> 'a option
+(** Plain verified read; records nothing. *)
+
+val dependents : t -> node -> node list
+(** Direct dependents currently on record for [node] (unsorted on disk;
+    returned sorted by [(kind, hash)] for determinism). *)
+
+val invalidate : t -> node -> node list
+(** Delete [node]'s entry, every transitive dependent's entry, and the
+    edge lists of everything deleted. Returns the addresses of the data
+    entries removed (the node itself first, then discovery order);
+    entries merely absent are still listed — invalidation is about keys,
+    not files. Unrelated entries are untouched. *)

@@ -226,6 +226,10 @@ let find_or_add t entity ~spec compute =
 let remove t entity ~spec =
   try Sys.remove (path t entity ~spec) with Sys_error _ -> ()
 
+let remove_addressed t ~kind ~hash =
+  try Sys.remove (Filename.concat t.dir (Printf.sprintf "%s-%s.bin" kind hash))
+  with Sys_error _ -> ()
+
 type stats = {
   hits : int;
   misses : int;
@@ -287,6 +291,12 @@ let current_versions =
     (Entity.hmatrix.Entity.kind, Entity.hmatrix.Entity.version);
     (Entity.netlist.Entity.kind, Entity.netlist.Entity.version);
     (Entity.circuit_setup.Entity.kind, Entity.circuit_setup.Entity.version);
+    (Entity.dep_edges.Entity.kind, Entity.dep_edges.Entity.version);
+    (* hierarchical SSTA entities live in [lib/hier] (which depends on this
+       library), so their versions are mirrored here as literals — keep in
+       sync with [Hier.Macro.entity] / [Hier.Engine.stitch_entity] *)
+    ("hier-macro", 1);
+    ("hier-stitch", 1);
   ]
 
 (* Structural verification without an entity decoder: header fields,

@@ -82,6 +82,12 @@ val find_or_add : t -> 'a Entity.t -> spec:string -> (unit -> 'a) -> 'a * outcom
 val remove : t -> 'a Entity.t -> spec:string -> unit
 (** Delete an entry if present. *)
 
+val remove_addressed : t -> kind:string -> hash:string -> unit
+(** Delete the entry for [kind] whose spec hashes to [hash] (the 16-hex
+    {!key} form), if present. This is the deletion primitive behind
+    {!Depgraph} invalidation, which tracks entries by address rather than
+    by typed entity + full spec. *)
+
 type stats = {
   hits : int;
   misses : int;

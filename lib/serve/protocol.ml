@@ -1,5 +1,6 @@
 type circuit = Named of string | Bench_text of string
 type sampler_kind = Cholesky | Kle | Kle_qmc
+type retime_edit = { gate : int; kind : string }
 
 type call =
   | Prepare of { circuit : circuit; r : int option }
@@ -13,6 +14,12 @@ type call =
       full : bool;
     }
   | Compare of { circuit : circuit; r : int option; seed : int; n : int }
+  | Retime of {
+      circuit : circuit;
+      r : int option;
+      n_blocks : int option;
+      edit : retime_edit option;
+    }
   | Stats
   | Metrics
   | Debug
@@ -51,9 +58,38 @@ let error_code_name = function
 (* ---------------------------------------------------------------- *)
 (* decoding *)
 
-exception Reject of error_code * string
+type reject = {
+  reject_id : Jsonx.t;
+  reject_req_id : string option;
+  code : error_code;
+  message : string;
+  field : string option;
+}
 
-let reject code fmt = Printf.ksprintf (fun m -> raise (Reject (code, m))) fmt
+exception Reject of { code : error_code; message : string; field : string option }
+
+let reject ?field code fmt =
+  Printf.ksprintf (fun message -> raise (Reject { code; message; field })) fmt
+
+(* every method's accepted params keys; anything else is semantically
+   unknown and rejected with the offending key in [reject.field] *)
+let params_keys = function
+  | "prepare" -> [ "circuit"; "r" ]
+  | "run_mc" -> [ "circuit"; "sampler"; "r"; "seed"; "n"; "batch"; "full" ]
+  | "compare" -> [ "circuit"; "r"; "seed"; "n" ]
+  | "retime" -> [ "circuit"; "r"; "n_blocks"; "edit" ]
+  | _ -> []
+
+let check_keys ~where allowed obj =
+  match Jsonx.as_obj obj with
+  | None -> ()
+  | Some fields ->
+      List.iter
+        (fun (k, _) ->
+          if not (List.mem k allowed) then
+            reject ~field:k Bad_params "unknown %s key %S (accepted: %s)" where k
+              (match allowed with [] -> "none" | _ -> String.concat ", " allowed))
+        fields
 
 let params_of json =
   match Jsonx.member "params" json with
@@ -65,6 +101,7 @@ let circuit_of params =
   match Jsonx.member "circuit" params with
   | None -> reject Bad_params "missing params.circuit"
   | Some c -> (
+      check_keys ~where:"params.circuit" [ "name"; "bench" ] c;
       match (Jsonx.member "name" c, Jsonx.member "bench" c) with
       | Some name, None -> (
           match Jsonx.as_str name with
@@ -116,7 +153,44 @@ let sampler_of params =
       | Some s -> reject Bad_params "unknown sampler %S (cholesky|kle|kle-qmc)" s
       | None -> reject Bad_params "params.sampler must be a string")
 
+let edit_of params =
+  match Jsonx.member "edit" params with
+  | None -> None
+  | Some e -> (
+      match Jsonx.as_obj e with
+      | None -> reject ~field:"edit" Bad_params "params.edit must be an object"
+      | Some _ ->
+          check_keys ~where:"params.edit" [ "gate"; "kind" ] e;
+          let gate =
+            match Jsonx.member "gate" e with
+            | None -> reject ~field:"gate" Bad_params "missing params.edit.gate"
+            | Some v -> (
+                match Jsonx.as_int v with
+                | Some i when i >= 0 -> i
+                | _ ->
+                    reject ~field:"gate" Bad_params
+                      "params.edit.gate must be a non-negative integer")
+          in
+          let kind =
+            match Jsonx.member "kind" e with
+            | None -> reject ~field:"kind" Bad_params "missing params.edit.kind"
+            | Some v -> (
+                match Jsonx.as_str v with
+                | Some s when s <> "" -> s
+                | _ ->
+                    reject ~field:"kind" Bad_params
+                      "params.edit.kind must be a non-empty string")
+          in
+          Some { gate; kind })
+
 let call_of ~method_ params =
+  (* key whitelisting only for known methods: an unknown method must
+     answer [Unknown_method], not trip over its (empty) key set first *)
+  (match method_ with
+  | "prepare" | "run_mc" | "compare" | "retime" | "stats" | "metrics" | "debug" | "health"
+  | "shutdown" ->
+      check_keys ~where:"params" (params_keys method_) params
+  | _ -> ());
   match method_ with
   | "prepare" -> Prepare { circuit = circuit_of params; r = opt_int_field params "r" ~min:1 }
   | "run_mc" ->
@@ -138,6 +212,14 @@ let call_of ~method_ params =
           seed = int_field params "seed" ~default:42 ~min:min_int;
           n = int_field params "n" ~min:1;
         }
+  | "retime" ->
+      Retime
+        {
+          circuit = circuit_of params;
+          r = opt_int_field params "r" ~min:1;
+          n_blocks = opt_int_field params "n_blocks" ~min:1;
+          edit = edit_of params;
+        }
   | "stats" -> Stats
   | "metrics" -> Metrics
   | "debug" -> Debug
@@ -147,43 +229,59 @@ let call_of ~method_ params =
 
 let decode line =
   match Jsonx.parse line with
-  | Error msg -> Error (Jsonx.Null, Parse_error, msg)
+  | Error msg ->
+      Error
+        {
+          reject_id = Jsonx.Null;
+          reject_req_id = None;
+          code = Parse_error;
+          message = msg;
+          field = None;
+        }
   | Ok json -> (
       let id = Option.value (Jsonx.member "id" json) ~default:Jsonx.Null in
+      let fail ~req_id code message field =
+        Error { reject_id = id; reject_req_id = req_id; code; message; field }
+      in
       match Jsonx.as_obj json with
-      | None -> Error (id, Invalid_request, "request must be a JSON object")
+      | None -> fail ~req_id:None Invalid_request "request must be a JSON object" None
       | Some _ -> (
+          (* req_id is parsed before anything else can reject, so every
+             validation error still echoes the client's correlation ID *)
           match
-            let method_ =
-              match Jsonx.member "method" json with
-              | Some m -> (
-                  match Jsonx.as_str m with
-                  | Some s -> s
-                  | None -> reject Invalid_request "method must be a string")
-              | None -> reject Invalid_request "missing method"
-            in
-            let deadline_ms =
-              match Jsonx.member "deadline_ms" json with
-              | None -> None
-              | Some v -> (
-                  match Jsonx.as_num v with
-                  | Some ms when ms > 0. -> Some ms
-                  | Some _ -> reject Bad_params "deadline_ms must be positive"
-                  | None -> reject Bad_params "deadline_ms must be a number")
-            in
-            let req_id =
-              match Jsonx.member "req_id" json with
-              | None -> None
-              | Some v -> (
-                  match Jsonx.as_str v with
-                  | Some s when s <> "" -> Some s
-                  | Some _ -> reject Bad_params "req_id must be non-empty"
-                  | None -> reject Bad_params "req_id must be a string")
-            in
-            { id; req_id; deadline_ms; call = call_of ~method_ (params_of json) }
+            match Jsonx.member "req_id" json with
+            | None -> None
+            | Some v -> (
+                match Jsonx.as_str v with
+                | Some s when s <> "" -> Some s
+                | Some _ -> reject Bad_params "req_id must be non-empty"
+                | None -> reject Bad_params "req_id must be a string")
           with
-          | request -> Ok request
-          | exception Reject (code, msg) -> Error (id, code, msg)))
+          | exception Reject { code; message; field } ->
+              fail ~req_id:None code message field
+          | req_id -> (
+              match
+                let method_ =
+                  match Jsonx.member "method" json with
+                  | Some m -> (
+                      match Jsonx.as_str m with
+                      | Some s -> s
+                      | None -> reject Invalid_request "method must be a string")
+                  | None -> reject Invalid_request "missing method"
+                in
+                let deadline_ms =
+                  match Jsonx.member "deadline_ms" json with
+                  | None -> None
+                  | Some v -> (
+                      match Jsonx.as_num v with
+                      | Some ms when ms > 0. -> Some ms
+                      | Some _ -> reject Bad_params "deadline_ms must be positive"
+                      | None -> reject Bad_params "deadline_ms must be a number")
+                in
+                { id; req_id; deadline_ms; call = call_of ~method_ (params_of json) }
+              with
+              | request -> Ok request
+              | exception Reject { code; message; field } -> fail ~req_id code message field)))
 
 (* ---------------------------------------------------------------- *)
 (* encoding *)
@@ -218,6 +316,16 @@ let encode_request { id; req_id; deadline_ms; call } =
           [ ("circuit", circuit_json circuit) ]
           @ opt_num_i "r" r
           @ [ ("seed", num_i seed); ("n", num_i n) ] )
+    | Retime { circuit; r; n_blocks; edit } ->
+        ( "retime",
+          [ ("circuit", circuit_json circuit) ]
+          @ opt_num_i "r" r
+          @ opt_num_i "n_blocks" n_blocks
+          @
+          match edit with
+          | None -> []
+          | Some e ->
+              [ ("edit", Jsonx.Obj [ ("gate", num_i e.gate); ("kind", Jsonx.Str e.kind) ]) ] )
     | Stats -> ("stats", [])
     | Metrics -> ("metrics", [])
     | Debug -> ("debug", [])
@@ -245,7 +353,7 @@ let req_id_fields = function
 let ok_response ~id ?req_id payload =
   Jsonx.to_string (Jsonx.Obj ([ ("id", id) ] @ req_id_fields req_id @ [ ("ok", payload) ]))
 
-let error_response ~id ?req_id code message =
+let error_response ~id ?req_id ?field code message =
   Jsonx.to_string
     (Jsonx.Obj
        ([ ("id", id) ]
@@ -253,7 +361,11 @@ let error_response ~id ?req_id code message =
        @ [
            ( "error",
              Jsonx.Obj
-               [ ("code", Jsonx.Str (error_code_name code)); ("message", Jsonx.Str message) ] );
+               ([ ("code", Jsonx.Str (error_code_name code)); ("message", Jsonx.Str message) ]
+               @
+               match field with
+               | None -> []
+               | Some f -> [ ("field", Jsonx.Str f) ]) );
          ]))
 
 let response_id line =

@@ -88,6 +88,9 @@ let routing_key (request : Protocol.request) =
   | Protocol.Prepare { circuit; r } -> key circuit r
   | Protocol.Run_mc { circuit; r; _ } -> key circuit r
   | Protocol.Compare { circuit; r; _ } -> key circuit r
+  (* retime shares prepare/run_mc's key shape so a circuit's macros and
+     models warm the same shard's store *)
+  | Protocol.Retime { circuit; r; _ } -> key circuit r
   | Protocol.Stats | Protocol.Health | Protocol.Metrics | Protocol.Debug
   | Protocol.Shutdown ->
       None
@@ -211,10 +214,21 @@ let aggregate t call =
 (* submission *)
 
 let submit t ~wire payload ~reply =
-  let encode_ok, encode_error =
+  let encode_ok, encode_error, encode_reject =
     match wire with
-    | `Json -> (Protocol.ok_response, Protocol.error_response)
-    | `Binary -> (Wire.ok_response, Wire.error_response)
+    | `Json ->
+        ( Protocol.ok_response,
+          (fun ~id ?req_id code msg -> Protocol.error_response ~id ?req_id code msg),
+          fun (rej : Protocol.reject) ->
+            Protocol.error_response ~id:rej.Protocol.reject_id
+              ?req_id:rej.Protocol.reject_req_id ?field:rej.Protocol.field
+              rej.Protocol.code rej.Protocol.message )
+    | `Binary ->
+        ( Wire.ok_response,
+          Wire.error_response,
+          fun (rej : Protocol.reject) ->
+            Wire.error_response ~id:rej.Protocol.reject_id
+              ?req_id:rej.Protocol.reject_req_id rej.Protocol.code rej.Protocol.message )
   in
   let decoded =
     match wire with
@@ -222,7 +236,7 @@ let submit t ~wire payload ~reply =
     | `Binary -> Wire.decode_request payload
   in
   match decoded with
-  | Error (id, code, msg) -> reply (encode_error ~id code msg)
+  | Error rej -> reply (encode_reject rej)
   | Ok request -> (
       let id = request.Protocol.id in
       let req_id = request.Protocol.req_id in

@@ -59,18 +59,28 @@ type artifact =
 type rcodec = {
   rc_ok : id:Jsonx.t -> req_id:string option -> Jsonx.t -> string;
   rc_error : id:Jsonx.t -> req_id:string option -> Protocol.error_code -> string -> string;
+  rc_reject : Protocol.reject -> string;
+      (* decode rejects carry their own correlation and field attribution *)
 }
 
 let json_codec =
   {
     rc_ok = (fun ~id ~req_id payload -> Protocol.ok_response ~id ?req_id payload);
     rc_error = (fun ~id ~req_id code msg -> Protocol.error_response ~id ?req_id code msg);
+    rc_reject =
+      (fun rej ->
+        Protocol.error_response ~id:rej.Protocol.reject_id ?req_id:rej.Protocol.reject_req_id
+          ?field:rej.Protocol.field rej.Protocol.code rej.Protocol.message);
   }
 
 let binary_codec =
   {
     rc_ok = (fun ~id ~req_id payload -> Wire.ok_response ~id ?req_id payload);
     rc_error = (fun ~id ~req_id code msg -> Wire.error_response ~id ?req_id code msg);
+    rc_reject =
+      (fun rej ->
+        Wire.error_response ~id:rej.Protocol.reject_id ?req_id:rej.Protocol.reject_req_id
+          rej.Protocol.code rej.Protocol.message);
   }
 
 type job = {
@@ -92,6 +102,9 @@ type t = {
   config : config;
   diag : Util.Diag.sink;
   store : Persist.Store.t option;
+  (* dependency-aware view over [store] for the hierarchical retime cache;
+     None when the server runs without a store (macros recomputed per call) *)
+  depgraph : Persist.Depgraph.t option;
   cache : artifact Lru.t;
   (* the queue holds job *groups*: singletons for ordinary requests, larger
      lists for coalesced run_mc batches that execute with shared prep *)
@@ -127,6 +140,8 @@ type t = {
   n_singleflight : int Atomic.t;  (* misses answered by another domain's compute *)
   n_replies_dropped : int Atomic.t;  (* replies that raised mid-write (dead client) *)
   n_requeued : int Atomic.t;  (* jobs re-queued after a worker crash *)
+  n_blocks_reused : int Atomic.t;  (* retime: block macros served from the cache *)
+  n_blocks_recomputed : int Atomic.t;  (* retime: block macros extracted *)
   telemetry : Telemetry.t;
   instance : int;  (* ingress req_id namespace, unique per server *)
   req_seq : int Atomic.t;
@@ -263,17 +278,42 @@ let resolve_netlist circuit =
       | Ok netlist -> Ok (netlist, "bench=" ^ Persist.Codec.fnv64_hex text)
       | Error msg -> Error (Protocol.Netlist_error, msg))
 
-let get_setup t circuit =
+(* [edit] applies a one-gate kind swap before setup; the swap is folded
+   into the cache token so the edited setup is content-addressed alongside
+   (never instead of) the baseline one *)
+let get_setup_edited t circuit edit =
   match resolve_netlist circuit with
   | Error _ as e -> e
-  | Ok (netlist, token) ->
-      let spec = Printf.sprintf "circuit(%s,placement_seed=%d)" token t.config.placement_seed in
-      Ok
-        (cached t Persist.Entity.circuit_setup ~spec
-           ~inject:(fun s -> A_setup s)
-           ~project:(function A_setup s -> Some s | _ -> None)
-           (fun () ->
-             Ssta.Experiment.setup_circuit ~placement_seed:t.config.placement_seed netlist))
+  | Ok (netlist, token) -> (
+      let edited =
+        match edit with
+        | None -> Ok (netlist, token)
+        | Some { Protocol.gate; kind } -> (
+            match Hier.Edit.kind_of_string kind with
+            | Error msg -> Error (Protocol.Bad_params, msg)
+            | Ok k -> (
+                match Hier.Edit.apply netlist { Hier.Edit.gate; kind = k } with
+                | Error msg -> Error (Protocol.Bad_params, msg)
+                | Ok edited ->
+                    Ok
+                      ( edited,
+                        Printf.sprintf "%s;edit=%d:%s" token gate
+                          (String.lowercase_ascii kind) )))
+      in
+      match edited with
+      | Error _ as e -> e
+      | Ok (netlist, token) ->
+          let spec =
+            Printf.sprintf "circuit(%s,placement_seed=%d)" token t.config.placement_seed
+          in
+          Ok
+            (cached t Persist.Entity.circuit_setup ~spec
+               ~inject:(fun s -> A_setup s)
+               ~project:(function A_setup s -> Some s | _ -> None)
+               (fun () ->
+                 Ssta.Experiment.setup_circuit ~placement_seed:t.config.placement_seed netlist)))
+
+let get_setup t circuit = get_setup_edited t circuit None
 
 let mode_name = function
   | Kle.Galerkin.Auto -> "auto"
@@ -362,6 +402,18 @@ let get_model t kernel ~r =
     ~inject:(fun m -> A_model m)
     ~project:(function A_model m -> Some m | _ -> None)
     (compute_model t kernel ~r)
+
+(* the model set's cache-key contribution for hierarchical macros: every
+   parameter's full model spec, hashed to keep macro specs short. Any
+   change that would alter a model (kernel, truncation, mesh config)
+   changes this key and therefore every macro and stitched entry. *)
+let models_key t process ~r =
+  Persist.Codec.fnv64_hex
+    (String.concat "|"
+       (Array.to_list
+          (Array.map
+             (fun (p : Ssta.Process.parameter) -> model_spec t p.Ssta.Process.kernel ~r)
+             process.Ssta.Process.parameters)))
 
 (* one model per process parameter; same kernel spec -> same model (the
    first parameter computes, the rest hit the memory tier) *)
@@ -507,6 +559,9 @@ let stats_payload t =
        ("cache_misses", Jsonx.Num (float_of_int (Atomic.get t.n_misses)));
        ("cache_recovered", Jsonx.Num (float_of_int (Atomic.get t.n_recovered)));
        ("singleflight_dedup", Jsonx.Num (float_of_int (Atomic.get t.n_singleflight)));
+       ("retime_blocks_reused", Jsonx.Num (float_of_int (Atomic.get t.n_blocks_reused)));
+       ( "retime_blocks_recomputed",
+         Jsonx.Num (float_of_int (Atomic.get t.n_blocks_recomputed)) );
        ("queue_length", Jsonx.Num (float_of_int queue_len));
        ("queue_capacity", Jsonx.Num (float_of_int t.config.queue_capacity));
        ("workers", Jsonx.Num (float_of_int t.config.workers));
@@ -577,6 +632,8 @@ let unified_counters t =
     ("cache_misses", Atomic.get t.n_misses);
     ("cache_recovered", Atomic.get t.n_recovered);
     ("singleflight_dedup", Atomic.get t.n_singleflight);
+    ("retime_blocks_reused", Atomic.get t.n_blocks_reused);
+    ("retime_blocks_recomputed", Atomic.get t.n_blocks_recomputed);
     ("worker_restarts", Atomic.get t.n_worker_restarts);
     ("quarantined", Atomic.get t.n_quarantined);
     ("queue_depth", queue_depth);
@@ -668,6 +725,38 @@ let execute t (request : Protocol.request) : Jsonx.t =
                 Jsonx.Num (float_of_int cmp.Ssta.Experiment.excluded_endpoints) );
               ("speedup", Jsonx.Num cmp.Ssta.Experiment.speedup);
             ])
+  | Protocol.Retime { circuit; r; n_blocks; edit } -> (
+      match get_setup_edited t circuit edit with
+      | Error (code, msg) -> raise (Reject (code, msg))
+      | Ok (setup, setup_tier) ->
+          let proc = process () in
+          let models, model_tier = get_models t proc ~r in
+          let result =
+            Hier.Engine.retime ?n_blocks ?jobs:t.config.jobs ?cache:t.depgraph setup
+              ~models ~model_key:(models_key t proc ~r)
+          in
+          let counters = result.Hier.Engine.counters in
+          ignore
+            (Atomic.fetch_and_add t.n_blocks_reused counters.Hier.Engine.blocks_reused);
+          ignore
+            (Atomic.fetch_and_add t.n_blocks_recomputed
+               counters.Hier.Engine.blocks_recomputed);
+          Jsonx.Obj
+            [
+              ("circuit", Jsonx.Str setup.Ssta.Experiment.netlist.Circuit.Netlist.name);
+              ("n_blocks", Jsonx.Num (float_of_int result.Hier.Engine.n_blocks));
+              ("basis_dim", Jsonx.Num (float_of_int result.Hier.Engine.basis_dim));
+              ("worst_mean", Jsonx.Num result.Hier.Engine.worst.Ssta.Canonical.mean);
+              ("worst_sigma", Jsonx.Num (Ssta.Canonical.sigma result.Hier.Engine.worst));
+              ( "endpoints",
+                Jsonx.Num (float_of_int (Array.length result.Hier.Engine.endpoint_forms)) );
+              ("blocks_reused", Jsonx.Num (float_of_int counters.Hier.Engine.blocks_reused));
+              ( "blocks_recomputed",
+                Jsonx.Num (float_of_int counters.Hier.Engine.blocks_recomputed) );
+              ("analysis_seconds", Jsonx.Num result.Hier.Engine.analysis_seconds);
+              ("cache_setup", Jsonx.Str (tier_name setup_tier));
+              ("cache_models", Jsonx.Str (tier_name model_tier));
+            ])
   | Protocol.Stats -> stats_payload t
   | Protocol.Health -> health_payload t
   | Protocol.Metrics -> Telemetry.metrics_payload t.telemetry ~counters:(unified_counters t)
@@ -681,6 +770,7 @@ let method_name (request : Protocol.request) =
   | Protocol.Prepare _ -> "prepare"
   | Protocol.Run_mc _ -> "run_mc"
   | Protocol.Compare _ -> "compare"
+  | Protocol.Retime _ -> "retime"
   | Protocol.Stats -> "stats"
   | Protocol.Health -> "health"
   | Protocol.Metrics -> "metrics"
@@ -1123,6 +1213,7 @@ let create ?diag config =
       config;
       diag;
       store;
+      depgraph = Option.map Persist.Depgraph.create store;
       cache = Lru.create ~capacity:config.cache_entries;
       queue = Queue.create ();
       queued = 0;
@@ -1151,6 +1242,8 @@ let create ?diag config =
       n_singleflight = Atomic.make 0;
       n_replies_dropped = Atomic.make 0;
       n_requeued = Atomic.make 0;
+      n_blocks_reused = Atomic.make 0;
+      n_blocks_recomputed = Atomic.make 0;
       telemetry;
       instance;
       req_seq = Atomic.make 0;
@@ -1198,21 +1291,13 @@ let submit_wire t ~wire payload ~reply =
     | `Binary -> Wire.decode_request payload
   in
   match decoded with
-  | Error (id, code, msg) ->
+  | Error rej ->
       Atomic.incr t.n_errors;
       Util.Trace.incr c_errors;
-      (* best-effort echo: a line that parses as JSON but fails request
-         validation (unknown method, bad params) still correlates its error
-         reply. Binary payloads that fail decode carry no recoverable ID. *)
-      let req_id =
-        match wire with
-        | `Binary -> None
-        | `Json -> (
-            match Jsonx.parse payload with
-            | Error _ -> None
-            | Ok json -> Option.bind (Jsonx.member "req_id" json) Jsonx.as_str)
-      in
-      reply (codec.rc_error ~id ~req_id code msg)
+      (* the reject record carries the best-effort id, the echoed req_id
+         (JSON wire parses it before any validation can fail) and, for
+         semantically unknown params keys, the offending field *)
+      reply (codec.rc_reject rej)
   | Ok request -> (
       let submitted_ns = Util.Trace.now_ns () in
       let deadline_ns =

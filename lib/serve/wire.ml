@@ -214,18 +214,40 @@ let encode_request (req : Protocol.request) =
   | Protocol.Health -> C.write_u8 w 4
   | Protocol.Shutdown -> C.write_u8 w 5
   | Protocol.Metrics -> C.write_u8 w 6
-  | Protocol.Debug -> C.write_u8 w 7);
+  | Protocol.Debug -> C.write_u8 w 7
+  | Protocol.Retime { circuit; r; n_blocks; edit } ->
+      C.write_u8 w 8;
+      write_circuit w circuit;
+      C.write_option w C.write_uint r;
+      C.write_option w C.write_uint n_blocks;
+      C.write_option w
+        (fun w (e : Protocol.retime_edit) ->
+          C.write_uint w e.Protocol.gate;
+          C.write_string w e.Protocol.kind)
+        edit);
   match req.req_id with
   | None -> frame_v version (C.contents w)
   | Some _ ->
       C.write_option w C.write_string req.req_id;
       frame_v max_version (C.contents w)
 
+(* binary rejects carry no recoverable req_id (it trails the payload) and
+   no field attribution — the message text still names the offender *)
+let rejected id code message =
+  Error
+    {
+      Protocol.reject_id = id;
+      reject_req_id = None;
+      code;
+      message;
+      field = None;
+    }
+
 let decode_request payload =
   let rd = C.reader payload in
   match decode_jsonx rd with
   | exception C.Error msg ->
-      Error (Jsonx.Null, Protocol.Invalid_request, "bad request id: " ^ msg)
+      rejected Jsonx.Null Protocol.Invalid_request ("bad request id: " ^ msg)
   | id -> (
       try
         let deadline_ms = C.read_option rd C.read_float in
@@ -263,6 +285,19 @@ let decode_request payload =
           | 5 -> Protocol.Shutdown
           | 6 -> Protocol.Metrics
           | 7 -> Protocol.Debug
+          | 8 ->
+              let circuit = read_circuit rd in
+              let r = read_opt_pos rd "r" in
+              let n_blocks = read_opt_pos rd "n_blocks" in
+              let edit =
+                C.read_option rd (fun rd ->
+                    let gate = C.read_uint rd in
+                    let kind = C.read_string rd in
+                    if String.length kind = 0 then
+                      rej Protocol.Bad_params "edit.kind must be non-empty";
+                    { Protocol.gate; kind })
+              in
+              Protocol.Retime { circuit; r; n_blocks; edit }
           | t -> rej Protocol.Unknown_method "unknown method tag %d" t
         in
         (* trailing version-2 section: absent in version-1 payloads *)
@@ -275,8 +310,8 @@ let decode_request payload =
         C.expect_end rd;
         Ok { Protocol.id; req_id; deadline_ms; call }
       with
-      | C.Error msg -> Error (id, Protocol.Invalid_request, msg)
-      | Rej (code, msg) -> Error (id, code, msg))
+      | C.Error msg -> rejected id Protocol.Invalid_request msg
+      | Rej (code, msg) -> rejected id code msg)
 
 (* ---------------------------------------------------------------- *)
 (* responses *)

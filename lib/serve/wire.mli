@@ -72,10 +72,13 @@ val decode_jsonx : Persist.Codec.reader -> Jsonx.t
 val encode_request : Protocol.request -> string
 (** One full frame (header + binary payload). *)
 
-val decode_request : string -> (Protocol.request, Jsonx.t * Protocol.error_code * string) result
+val decode_request : string -> (Protocol.request, Protocol.reject) result
 (** Decode one binary frame {e payload} (header already stripped by
     {!read_frame}/{!unframe}). Mirrors {!Protocol.decode}: malformed
-    payloads yield a typed error with the best-effort request id. *)
+    payloads yield a typed {!Protocol.reject} with the best-effort request
+    id. Binary rejects carry no [reject_req_id] (the correlation ID trails
+    the payload) and no [field] attribution — the message names the
+    offender instead. *)
 
 (** {1 Responses} *)
 

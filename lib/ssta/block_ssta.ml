@@ -10,44 +10,68 @@ type t = {
 
 let zeros4 = Array.make Gate.num_parameters 0.0
 
-let run (setup : Experiment.circuit_setup) ~models =
-  if Array.length models <> Gate.num_parameters then
-    invalid_arg "Block_ssta.run: need one KLE model per statistical parameter";
-  let timer = Util.Timer.start () in
-  let prepared = setup.Experiment.sta in
-  let netlist = setup.Experiment.netlist in
-  let n_gates = Netlist.size netlist in
-  (* per-parameter expansion rows at each logic gate *)
-  let samplers =
-    Array.map (fun m -> Kle.Sampler.create m setup.Experiment.locations) models
-  in
-  let expansions = Array.map Kle.Sampler.expansion samplers in
-  let rs = Array.map Linalg.Mat.cols expansions in
-  let offsets = Array.make Gate.num_parameters 0 in
-  for k = 1 to Gate.num_parameters - 1 do
-    offsets.(k) <- offsets.(k - 1) + rs.(k - 1)
-  done;
-  let basis_dim = offsets.(Gate.num_parameters - 1) + rs.(Gate.num_parameters - 1) in
-  (* logic-gate row index per gate id (-1 for Input pseudo gates) *)
-  let logic_row = Array.make n_gates (-1) in
-  Array.iteri (fun row id -> logic_row.(id) <- row) setup.Experiment.logic_ids;
-  (* nominal corner: linearization point for slews *)
-  let _nominal_arrival, nominal_slew = Sta.Timing.nominal_arrival_and_slew prepared in
+(* Everything the canonical-form propagation needs that is a pure function
+   of (circuit setup, KLE models): per-parameter expansion rows, the basis
+   layout, and the nominal corner. Shared with the hierarchical macro
+   extractor in [lib/hier], which propagates over gate subsets with its own
+   boundary conditions. *)
+module Context = struct
+  type ctx = {
+    setup : Experiment.circuit_setup;
+    expansions : Linalg.Mat.t array;
+    rs : int array;
+    offsets : int array;
+    basis_dim : int;
+    logic_row : int array; (* per gate id; -1 for Input pseudo gates *)
+    nominal_arrival : float array;
+    nominal_slew : float array;
+  }
+
+  type t = ctx
+
+  let build (setup : Experiment.circuit_setup) ~models =
+    if Array.length models <> Gate.num_parameters then
+      invalid_arg "Block_ssta.Context.build: need one KLE model per statistical parameter";
+    let prepared = setup.Experiment.sta in
+    let n_gates = Netlist.size setup.Experiment.netlist in
+    let samplers =
+      Array.map (fun m -> Kle.Sampler.create m setup.Experiment.locations) models
+    in
+    let expansions = Array.map Kle.Sampler.expansion samplers in
+    let rs = Array.map Linalg.Mat.cols expansions in
+    let offsets = Array.make Gate.num_parameters 0 in
+    for k = 1 to Gate.num_parameters - 1 do
+      offsets.(k) <- offsets.(k - 1) + rs.(k - 1)
+    done;
+    let basis_dim = offsets.(Gate.num_parameters - 1) + rs.(Gate.num_parameters - 1) in
+    let logic_row = Array.make n_gates (-1) in
+    Array.iteri (fun row id -> logic_row.(id) <- row) setup.Experiment.logic_ids;
+    let nominal_arrival, nominal_slew = Sta.Timing.nominal_arrival_and_slew prepared in
+    { setup; expansions; rs; offsets; basis_dim; logic_row; nominal_arrival; nominal_slew }
+
+  let basis_dim ctx = ctx.basis_dim
+
   (* canonical form of the statistical part of a gate quantity with linear
      parameter sensitivities [betas] (per unit sigma at this gate's
      location), plus — when [quad] is given — the rank-one quadratic's mean
-     shift gamma * s² and its Var = 2 gamma² s⁴ as an independent term *)
-  let statistical_part g ~betas ~quad =
-    let sens = Array.make basis_dim 0.0 in
-    let row = logic_row.(g) in
+     shift gamma * s² and its Var = 2 gamma² s⁴ as an independent term.
+     [dim] (>= basis_dim, default basis_dim) pads the sensitivity vector
+     with trailing zeros: extraction passes append pseudo dimensions for
+     boundary-slew gains. *)
+  let statistical_part ?dim ctx g ~betas ~quad =
+    let dim = Option.value dim ~default:ctx.basis_dim in
+    if dim < ctx.basis_dim then
+      invalid_arg "Block_ssta.Context.statistical_part: dim below basis dimension";
+    let sens = Array.make dim 0.0 in
+    let row = ctx.logic_row.(g) in
     let s2 = ref 0.0 in
     if row >= 0 then
       for k = 0 to Gate.num_parameters - 1 do
-        let b = expansions.(k) in
+        let b = ctx.expansions.(k) in
         let var_k = ref 0.0 in
-        for j = 0 to rs.(k) - 1 do
+        for j = 0 to ctx.rs.(k) - 1 do
           let bij = Linalg.Mat.unsafe_get b row j in
-          sens.(offsets.(k) + j) <- betas.(k) *. bij;
+          sens.(ctx.offsets.(k) + j) <- betas.(k) *. bij;
           var_k := !var_k +. (bij *. bij)
         done;
         match quad with
@@ -60,7 +84,18 @@ let run (setup : Experiment.circuit_setup) ~models =
         let quad_mean = gamma *. !s2 in
         let quad_indep = sqrt 2.0 *. Float.abs gamma *. !s2 in
         Canonical.make ~mean:quad_mean ~sens ~indep:quad_indep
-  in
+end
+
+let run (setup : Experiment.circuit_setup) ~models =
+  let timer = Util.Timer.start () in
+  let ctx = Context.build setup ~models in
+  let prepared = setup.Experiment.sta in
+  let netlist = setup.Experiment.netlist in
+  let n_gates = Netlist.size netlist in
+  let basis_dim = ctx.Context.basis_dim in
+  let nominal_arrival = ctx.Context.nominal_arrival in
+  let nominal_slew = ctx.Context.nominal_slew in
+  let statistical_part g ~betas ~quad = Context.statistical_part ctx g ~betas ~quad in
   (* topological propagation of arrival AND slew forms: slew variation feeds
      back into delay through the gate's k_slew sensitivity, which matters for
      the sigma of long paths *)
@@ -115,7 +150,7 @@ let run (setup : Experiment.circuit_setup) ~models =
                    in
                    (* track the nominal-latest pin: its slew linearizes the
                       gate delay (selection approximation) *)
-                   let pin_nominal = _nominal_arrival.(f) +. wire_elmore in
+                   let pin_nominal = nominal_arrival.(f) +. wire_elmore in
                    if pin_nominal > !best_nominal then begin
                      best_nominal := pin_nominal;
                      let s_drv = nominal_slew.(f) in
@@ -175,24 +210,42 @@ let sigma t = Canonical.sigma t.worst
 
 let quantile t p = Canonical.quantile t.worst p
 
-let criticalities ?(samples = 20_000) ?(seed = 1) t =
+(* Criticality sampling follows [Experiment.run_mc]'s determinism recipe:
+   each fixed-size batch draws from its own counter-derived substream and
+   per-batch tallies merge in batch order, so the result is a pure function
+   of (t, samples, seed, batch) — bit-identical for every [jobs] value. *)
+let criticality_batch = 256
+
+let criticalities ?(samples = 20_000) ?(seed = 1) ?jobs t =
+  if samples <= 0 then invalid_arg "Block_ssta.criticalities: samples must be positive";
   let n_end = Array.length t.endpoint_forms in
+  let n_batches = (samples + criticality_batch - 1) / criticality_batch in
+  let batch_counts = Array.make n_batches [||] in
+  Util.Pool.with_jobs ?jobs (fun pool ->
+      Util.Pool.parallel_for pool ~chunk:1 ~n:n_batches (fun lo hi ->
+          for bi = lo to hi - 1 do
+            let b = min criticality_batch (samples - (bi * criticality_batch)) in
+            let rng = Prng.Rng.substream ~seed ~stream:bi in
+            let counts = Array.make n_end 0 in
+            for _ = 1 to b do
+              let xi = Prng.Gaussian.vector rng t.basis_dim in
+              let best = ref 0 and best_v = ref neg_infinity in
+              Array.iteri
+                (fun e f ->
+                  let local = Prng.Gaussian.draw rng in
+                  let v = Canonical.eval f ~xi ~local in
+                  if v > !best_v then begin
+                    best_v := v;
+                    best := e
+                  end)
+                t.endpoint_forms;
+              counts.(!best) <- counts.(!best) + 1
+            done;
+            batch_counts.(bi) <- counts
+          done));
   let counts = Array.make n_end 0 in
-  let rng = Prng.Rng.create ~seed in
-  for _ = 1 to samples do
-    let xi = Prng.Gaussian.vector rng t.basis_dim in
-    let best = ref 0 and best_v = ref neg_infinity in
-    Array.iteri
-      (fun e f ->
-        let local = Prng.Gaussian.draw rng in
-        let v = Canonical.eval f ~xi ~local in
-        if v > !best_v then begin
-          best_v := v;
-          best := e
-        end)
-      t.endpoint_forms;
-    counts.(!best) <- counts.(!best) + 1
-  done;
+  Array.iter (Array.iteri (fun e c -> counts.(e) <- counts.(e) + c)) batch_counts;
+  Util.Trace.add Util.Trace.mc_samples samples;
   Array.map (fun c -> float_of_int c /. float_of_int samples) counts
 
 let validate_against_mc t ~reference =

@@ -19,6 +19,46 @@ type t = {
   analysis_seconds : float;
 }
 
+(** The propagation context: per-parameter expansion rows at the logic
+    gates, the shared-basis layout, and the nominal corner — everything
+    {!run} needs that is a pure function of (setup, models). Exposed so the
+    hierarchical macro extractor ([lib/hier]) can build block-local
+    propagations over the {e same} basis, including extraction passes that
+    append pseudo dimensions for boundary-slew gains. *)
+module Context : sig
+  type ctx = {
+    setup : Experiment.circuit_setup;
+    expansions : Linalg.Mat.t array; (* per parameter: N_g x r_k rows *)
+    rs : int array;
+    offsets : int array; (* column offset of parameter k in the basis *)
+    basis_dim : int;
+    logic_row : int array; (* per gate id; -1 for Input pseudo gates *)
+    nominal_arrival : float array;
+    nominal_slew : float array;
+  }
+
+  type t = ctx
+
+  val build : Experiment.circuit_setup -> models:Kle.Model.t array -> t
+  (** Raises [Invalid_argument] unless exactly 4 models are given. *)
+
+  val basis_dim : t -> int
+
+  val statistical_part :
+    ?dim:int ->
+    t ->
+    int ->
+    betas:float array ->
+    quad:(float * float array) option ->
+    Canonical.t
+  (** Canonical form of the statistical part of a gate quantity: linear
+      sensitivities [betas] projected on the gate's expansion rows, plus —
+      when [quad = Some (gamma, w)] — the rank-one quadratic's mean shift
+      and independent variance remainder. [dim] (default [basis_dim]) pads
+      the sensitivity vector with trailing zero pseudo dimensions; raises
+      [Invalid_argument] below [basis_dim]. *)
+end
+
 val run : Experiment.circuit_setup -> models:Kle.Model.t array -> t
 (** [run setup ~models] performs the single-pass statistical timing using
     the per-parameter truncated KLE models (one per L, W, Vt, tox, as built
@@ -31,12 +71,20 @@ val sigma : t -> float
 val quantile : t -> float -> float
 (** Gaussian quantile of the worst-delay form (e.g. 0.9987 = +3σ corner). *)
 
-val criticalities : ?samples:int -> ?seed:int -> t -> float array
+val criticalities : ?samples:int -> ?seed:int -> ?jobs:int -> t -> float array
 (** Per-endpoint criticality: the probability that each endpoint is the one
     setting the circuit's worst delay, estimated by sampling the endpoint
     canonical forms on a common basis draw ([samples] defaults to 20000).
     Sums to 1 (ties broken toward the lower index). A classic block-SSTA
-    diagnostic: which outputs deserve optimization effort. *)
+    diagnostic: which outputs deserve optimization effort.
+
+    Sampling follows the [Experiment.run_mc] determinism recipe: fixed-size
+    batches on counter-derived RNG substreams ({!Prng.Rng.substream} of
+    [(seed, batch index)]), fanned out over [jobs] domains
+    ({!Util.Pool.with_jobs} semantics) with per-batch tallies merged in
+    batch order — bit-identical for every [jobs] value. Samples drawn are
+    accumulated on {!Util.Trace.mc_samples}. Raises [Invalid_argument] if
+    [samples <= 0]. *)
 
 val validate_against_mc :
   t -> reference:Experiment.mc_result -> float * float

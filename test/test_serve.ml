@@ -66,7 +66,7 @@ let test_jsonx_member () =
 let decode_err line =
   match Protocol.decode line with
   | Ok _ -> Alcotest.failf "decode %S should fail" line
-  | Error (id, code, msg) -> (id, code, msg)
+  | Error rej -> (rej.Protocol.reject_id, rej.Protocol.code, rej.Protocol.message)
 
 let test_protocol_decode_ok () =
   (match Protocol.decode {|{"id":1,"method":"stats"}|} with
@@ -361,6 +361,118 @@ let test_server_bench_errors_are_typed () =
         (Printf.sprintf "%S carries %S (got %S)" bench expected_substr msg)
         true (contains ~sub:expected_substr msg))
     cases
+
+(* satellite contract: a semantically unknown params key is a typed
+   [bad_params] naming the offending key in the error's [field] member,
+   with the request's [req_id] still echoed *)
+let test_protocol_unknown_param_key () =
+  let check_reject line ~field ~req_id =
+    match Protocol.decode line with
+    | Ok _ -> Alcotest.failf "accepted: %s" line
+    | Error rej ->
+        Alcotest.(check string) "code"
+          (Protocol.error_code_name Protocol.Bad_params)
+          (Protocol.error_code_name rej.Protocol.code);
+        Alcotest.(check (option string)) "field" (Some field) rej.Protocol.field;
+        Alcotest.(check (option string)) "req_id echoed" req_id rej.Protocol.reject_req_id;
+        Alcotest.(check bool)
+          (Printf.sprintf "message %S names %S" rej.Protocol.message field)
+          true (contains ~sub:field rej.Protocol.message);
+        rej
+  in
+  let rej =
+    check_reject
+      {|{"id":1,"req_id":"cli-9","method":"retime","params":{"circuit":{"name":"c17"},"bogus":1}}|}
+      ~field:"bogus" ~req_id:(Some "cli-9")
+  in
+  (* the encoded error object carries the field + echoes req_id *)
+  let encoded =
+    Protocol.error_response ~id:rej.Protocol.reject_id
+      ?req_id:rej.Protocol.reject_req_id ?field:rej.Protocol.field rej.Protocol.code
+      rej.Protocol.message
+  in
+  let v = reply_json encoded in
+  Alcotest.(check (option string)) "encoded field" (Some "bogus")
+    (Option.bind (Option.bind (Jsonx.member "error" v) (Jsonx.member "field")) Jsonx.as_str);
+  Alcotest.(check (option string)) "encoded req_id" (Some "cli-9")
+    (Option.bind (Jsonx.member "req_id" v) Jsonx.as_str);
+  (* nested objects are validated too: circuit and edit *)
+  ignore
+    (check_reject
+       {|{"id":2,"method":"run_mc","params":{"circuit":{"name":"c17","zap":true},"n":8}}|}
+       ~field:"zap" ~req_id:None);
+  ignore
+    (check_reject
+       {|{"id":3,"method":"retime","params":{"circuit":{"name":"c17"},"edit":{"gate":0,"kind":"inv","why":"x"}}}|}
+       ~field:"why" ~req_id:None);
+  (* unknown methods still answer unknown_method, not bad_params *)
+  match Protocol.decode {|{"id":4,"method":"warp","params":{"bogus":1}}|} with
+  | Error rej ->
+      Alcotest.(check string) "unknown method wins"
+        (Protocol.error_code_name Protocol.Unknown_method)
+        (Protocol.error_code_name rej.Protocol.code)
+  | Ok _ -> Alcotest.fail "warp accepted"
+
+let retime_line ?(id = 1) ?edit () =
+  let edit_field =
+    match edit with
+    | None -> ""
+    | Some (gate, kind) -> Printf.sprintf {|,"edit":{"gate":%d,"kind":"%s"}|} gate kind
+  in
+  Printf.sprintf
+    {|{"id":%d,"method":"retime","params":{"circuit":{"bench":"%s"}%s}}|}
+    id (escape_bench tiny_bench) edit_field
+
+let test_server_retime_end_to_end () =
+  let store_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "serve-retime.%d.%d" (Unix.getpid ()) (Random.int 1_000_000))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         Array.iter
+           (fun f -> Sys.remove (Filename.concat store_dir f))
+           (Sys.readdir store_dir)
+       with Sys_error _ -> ());
+      try Unix.rmdir store_dir with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let config = { test_config with Server.store_dir = Some store_dir } in
+  with_server ~config @@ fun server ->
+  let int_of payload k = Option.bind (Jsonx.member k payload) Jsonx.as_int in
+  (* cold: every block extracted *)
+  let cold = expect_ok (sync_call server (retime_line ~id:1 ())) in
+  let nb = Option.get (int_of cold "n_blocks") in
+  Alcotest.(check bool) "blocks partitioned" true (nb >= 1);
+  Alcotest.(check (option int)) "cold reused" (Some 0) (int_of cold "blocks_reused");
+  Alcotest.(check (option int)) "cold recomputed" (Some nb)
+    (int_of cold "blocks_recomputed");
+  (* warm: the whole stitched result is served from the dependency cache *)
+  let warm = expect_ok (sync_call server (retime_line ~id:2 ())) in
+  Alcotest.(check (option int)) "warm reused" (Some nb) (int_of warm "blocks_reused");
+  Alcotest.(check (option int)) "warm recomputed" (Some 0)
+    (int_of warm "blocks_recomputed");
+  Alcotest.(check (option float_exact)) "bit-identical worst_mean"
+    (Option.bind (Jsonx.member "worst_mean" cold) Jsonx.as_num)
+    (Option.bind (Jsonx.member "worst_mean" warm) Jsonx.as_num);
+  (* one-gate edit (x = NAND -> NOR, same pin capacitance): exactly the
+     dirty block re-extracts *)
+  let edited = expect_ok (sync_call server (retime_line ~id:3 ~edit:(2, "nor2") ())) in
+  Alcotest.(check (option int)) "edit recomputed" (Some 1)
+    (int_of edited "blocks_recomputed");
+  Alcotest.(check (option int)) "edit reused" (Some (nb - 1))
+    (int_of edited "blocks_reused");
+  (* cumulative counters surface in stats *)
+  let stats = expect_ok (sync_call server {|{"id":9,"method":"stats"}|}) in
+  Alcotest.(check (option int)) "stats reused" (Some (nb + (nb - 1)))
+    (int_of stats "retime_blocks_reused");
+  Alcotest.(check (option int)) "stats recomputed" (Some (nb + 1))
+    (int_of stats "retime_blocks_recomputed");
+  (* edit validation surfaces as bad_params: inputs are not editable *)
+  ignore
+    (expect_error
+       (sync_call server (retime_line ~id:4 ~edit:(0, "inv") ()))
+       Protocol.Bad_params)
 
 let test_server_overload_backpressure () =
   let config = { test_config with Server.workers = 1; Server.queue_capacity = 1 } in
@@ -855,6 +967,24 @@ let wire_requests =
       deadline_ms = None;
       call = Protocol.Compare { circuit = Protocol.Named "c432"; r = Some 3; seed = -2; n = 9 };
     };
+    {
+      Protocol.id = Jsonx.Num 7.0;
+      req_id = Some "edit-1";
+      deadline_ms = None;
+      call =
+        Protocol.Retime
+          { circuit = Protocol.Named "c17"; r = Some 10; n_blocks = Some 3;
+            edit = Some { Protocol.gate = 5; kind = "nor2" } };
+    };
+    {
+      Protocol.id = Jsonx.Num 8.0;
+      req_id = None;
+      deadline_ms = None;
+      call =
+        Protocol.Retime
+          { circuit = Protocol.Bench_text tiny_bench; r = None; n_blocks = None;
+            edit = None };
+    };
   ]
 
 let test_wire_request_roundtrip () =
@@ -865,14 +995,15 @@ let test_wire_request_roundtrip () =
       | Ok payload -> (
           match Wire.decode_request payload with
           | Ok back -> Alcotest.(check bool) "binary roundtrip" true (back = request)
-          | Error (_, code, msg) ->
+          | Error rej ->
               Alcotest.failf "binary decode failed: %s %s"
-                (Protocol.error_code_name code) msg));
+                (Protocol.error_code_name rej.Protocol.code) rej.Protocol.message));
       (* and the JSON encoder agrees with the JSON decoder *)
       match Protocol.decode (Protocol.encode_request request) with
       | Ok back -> Alcotest.(check bool) "json roundtrip" true (back = request)
-      | Error (_, code, msg) ->
-          Alcotest.failf "json decode failed: %s %s" (Protocol.error_code_name code) msg)
+      | Error rej ->
+          Alcotest.failf "json decode failed: %s %s"
+            (Protocol.error_code_name rej.Protocol.code) rej.Protocol.message)
     wire_requests
 
 let test_wire_request_adversarial () =
@@ -884,7 +1015,7 @@ let test_wire_request_adversarial () =
   let code_of payload =
     match Wire.decode_request payload with
     | Ok _ -> Alcotest.fail "malformed request accepted"
-    | Error (_, code, _) -> Protocol.error_code_name code
+    | Error rej -> Protocol.error_code_name rej.Protocol.code
   in
   let stats_req =
     { Protocol.id = Jsonx.Num 1.0; req_id = None; deadline_ms = None; call = Protocol.Stats }
@@ -1748,6 +1879,8 @@ let () =
           Alcotest.test_case "decode ok" `Quick test_protocol_decode_ok;
           Alcotest.test_case "decode errors" `Quick test_protocol_decode_errors;
           Alcotest.test_case "responses" `Quick test_protocol_responses;
+          Alcotest.test_case "unknown params key is typed" `Quick
+            test_protocol_unknown_param_key;
         ] );
       ( "wire",
         [
@@ -1790,6 +1923,7 @@ let () =
           Alcotest.test_case "run_mc ok" `Quick test_server_run_mc_ok;
           Alcotest.test_case "cache tiers" `Quick test_server_cache_tiers;
           Alcotest.test_case "typed errors" `Quick test_server_typed_errors;
+          Alcotest.test_case "retime end-to-end" `Quick test_server_retime_end_to_end;
           Alcotest.test_case "bench errors are typed" `Quick
             test_server_bench_errors_are_typed;
           Alcotest.test_case "overload backpressure" `Quick test_server_overload_backpressure;

@@ -753,6 +753,85 @@ let test_block_ssta_criticalities () =
   Alcotest.(check bool) "dominant endpoint critical" true
     (crit.(Util.Arrayx.argmax means) > 0.2)
 
+let test_block_ssta_criticalities_jobs_bit_identical () =
+  let s = Lazy.force setup in
+  let a2 = Lazy.force a2_fixture in
+  let blk = Ssta.Block_ssta.run s ~models:(Ssta.Algorithm2.models a2) in
+  (* 1500 samples spans full and ragged 256-sample batches *)
+  let c1 = Ssta.Block_ssta.criticalities ~samples:1500 ~seed:9 ~jobs:1 blk in
+  let c2 = Ssta.Block_ssta.criticalities ~samples:1500 ~seed:9 ~jobs:2 blk in
+  Array.iteri
+    (fun i v ->
+      if Int64.bits_of_float v <> Int64.bits_of_float c2.(i) then
+        Alcotest.failf "criticality %d differs across jobs: %h vs %h" i v c2.(i))
+    c1
+
+let test_block_ssta_criticalities_traced () =
+  let s = Lazy.force setup in
+  let a2 = Lazy.force a2_fixture in
+  let blk = Ssta.Block_ssta.run s ~models:(Ssta.Algorithm2.models a2) in
+  Util.Trace.enable ();
+  Fun.protect ~finally:Util.Trace.disable @@ fun () ->
+  Util.Trace.reset ();
+  ignore (Ssta.Block_ssta.criticalities ~samples:1234 ~seed:3 blk);
+  Alcotest.(check int) "mc_samples counts every draw" 1234
+    (Util.Trace.value Util.Trace.mc_samples);
+  ignore (Ssta.Block_ssta.criticalities ~samples:100 ~seed:3 ~jobs:2 blk);
+  Alcotest.(check int) "accumulates across calls and jobs" 1334
+    (Util.Trace.value Util.Trace.mc_samples)
+
+(* Clark's max_many is a left fold of a non-associative operator: the
+   result is order-sensitive in its third moment but must stay stable in
+   mean/sigma under permutation — the property macro stitching relies on
+   when it merges per-block contributions in a fixed canonical order. *)
+let test_clark_max_many_permutation_stable () =
+  let rng = Prng.Rng.create ~seed:41 in
+  let forms =
+    List.init 7 (fun i ->
+        canon
+          ~mean:(10.0 +. (2.0 *. float_of_int i *. Prng.Rng.uniform rng))
+          ~sens:(Array.init 3 (fun _ -> Prng.Gaussian.draw rng))
+          ~indep:(Float.abs (Prng.Gaussian.draw rng)))
+  in
+  let base = Ssta.Canonical.max_many forms in
+  let permutations =
+    [ List.rev forms;
+      (match forms with a :: b :: rest -> b :: a :: rest | l -> l);
+      (match List.rev forms with a :: rest -> rest @ [ a ] | l -> l) ]
+  in
+  List.iteri
+    (fun pi perm ->
+      let m = Ssta.Canonical.max_many perm in
+      let tag = Printf.sprintf "perm %d" pi in
+      Alcotest.(check bool)
+        (tag ^ " mean stable")
+        true
+        (Float.abs (m.Ssta.Canonical.mean -. base.Ssta.Canonical.mean)
+        < 0.01 *. Float.abs base.Ssta.Canonical.mean);
+      Alcotest.(check bool)
+        (tag ^ " sigma stable")
+        true
+        (Float.abs (Ssta.Canonical.sigma m -. Ssta.Canonical.sigma base)
+        < 0.05 *. Ssta.Canonical.sigma base))
+    permutations;
+  (* associativity up to re-Gaussianization: pairwise tree vs fold *)
+  let tree =
+    match forms with
+    | [ a; b; c; d; e; f; g ] ->
+        Ssta.Canonical.max_clark
+          (Ssta.Canonical.max_clark
+             (Ssta.Canonical.max_clark a b)
+             (Ssta.Canonical.max_clark c d))
+          (Ssta.Canonical.max_clark (Ssta.Canonical.max_clark e f) g)
+    | _ -> assert false
+  in
+  Alcotest.(check bool) "tree vs fold mean" true
+    (Float.abs (tree.Ssta.Canonical.mean -. base.Ssta.Canonical.mean)
+    < 0.01 *. Float.abs base.Ssta.Canonical.mean);
+  Alcotest.(check bool) "tree vs fold sigma" true
+    (Float.abs (Ssta.Canonical.sigma tree -. Ssta.Canonical.sigma base)
+    < 0.05 *. Ssta.Canonical.sigma base)
+
 let test_block_ssta_bad_models () =
   let s = Lazy.force setup in
   let a2 = Lazy.force a2_fixture in
@@ -806,6 +885,8 @@ let () =
           Alcotest.test_case "max of identical forms" `Quick test_clark_max_identical_forms;
           Alcotest.test_case "max with dominant input" `Quick test_clark_max_dominant;
           Alcotest.test_case "max_many empty" `Quick test_max_many_empty;
+          Alcotest.test_case "max_many permutation stable" `Quick
+            test_clark_max_many_permutation_stable;
           Alcotest.test_case "quantile" `Quick test_canonical_quantile;
         ] );
       ( "block_ssta",
@@ -813,6 +894,10 @@ let () =
           Alcotest.test_case "matches MC" `Slow test_block_ssta_matches_mc;
           Alcotest.test_case "structure" `Quick test_block_ssta_structure;
           Alcotest.test_case "criticalities" `Quick test_block_ssta_criticalities;
+          Alcotest.test_case "criticalities jobs bit-identical" `Quick
+            test_block_ssta_criticalities_jobs_bit_identical;
+          Alcotest.test_case "criticalities traced" `Quick
+            test_block_ssta_criticalities_traced;
           Alcotest.test_case "bad model count" `Quick test_block_ssta_bad_models;
         ] );
       ( "experiment",
